@@ -1,0 +1,49 @@
+// Ablation: the Experiment-1 overheads as a function of inter-site message
+// latency. The paper's testbed measured 9 ms per interprocess message on
+// one machine in 1987; modern substrates range from microseconds
+// (same-rack RDMA/IPC) to tens of milliseconds (WAN). Message-bound costs
+// (transaction rounds, control transaction type 1 at the recovering site)
+// scale with latency; CPU-bound costs (type-1 serving, type 2) do not —
+// which is also a sensitivity check on the cost-model calibration.
+
+#include <cstdio>
+
+#include "core/experiments.h"
+
+namespace miniraid {
+namespace {
+
+void Run() {
+  std::printf("=== Ablation: overheads vs inter-site message latency ===\n");
+  std::printf("config: Experiment-1 setup (4 sites, db=50, max txn size "
+              "10), latency swept\n\n");
+  std::printf("%-11s %14s %12s %16s %16s %10s\n", "latency", "coord (ms)",
+              "part (ms)", "type1 rec (ms)", "type1 op (ms)", "type2 (ms)");
+
+  for (const int64_t ms : {0LL, 1LL, 9LL, 25LL, 100LL}) {
+    Exp1Config config;
+    config.message_latency = Milliseconds(ms);
+    config.measured_txns = 60;
+    const Exp1FailLockOverheadResult txn = RunExp1FailLockOverhead(config);
+    const Exp1ControlResult control = RunExp1Control(config);
+    std::printf("%8lld ms %14.1f %12.1f %16.1f %16.1f %10.1f\n",
+                (long long)ms, txn.coord_with_ms, txn.part_with_ms,
+                control.type1_recovering_ms, control.type1_operational_ms,
+                control.type2_ms);
+  }
+  std::printf("\nExpected shape: transaction times grow linearly with "
+              "latency (four one-way hops\nper 2PC round trip pair). "
+              "Type-1-at-recoverer is CPU-dominated at low latency\n(the "
+              "operational sites' serialized table formatting) and becomes "
+              "latency-bound at\nWAN scales; type-1-at-operational and "
+              "type 2 shift only by the single send the\npaper's "
+              "accounting includes.\n");
+}
+
+}  // namespace
+}  // namespace miniraid
+
+int main() {
+  miniraid::Run();
+  return 0;
+}

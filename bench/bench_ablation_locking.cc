@@ -1,0 +1,118 @@
+// Ablation for the concurrency-control extension: what strict two-phase
+// locking (wait-die) costs relative to the lock-free last-writer-wins mode
+// under concurrent submission.
+//
+// A note on what locking buys here: because each transaction's reads
+// execute atomically in one event at one site, each site applies a
+// transaction's writes atomically, and workload writes are
+// value-predetermined (never computed from reads), the lock-free mode's
+// classical anomalies (torn reads, lost updates) are not expressible in
+// this operation model — the `snapshot anomalies` column stays zero in
+// both modes, by construction. 2PL's value is the guarantee: it holds for
+// ANY operation semantics (e.g. read-modify-write application logic built
+// on the API), at the measured cost in wait-die aborts.
+
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "txn/workload.h"
+
+namespace miniraid {
+namespace {
+
+struct Row {
+  uint64_t committed = 0;
+  uint64_t lock_aborts = 0;
+  uint64_t torn_reads = 0;
+  double virtual_seconds = 0;
+};
+
+Row Drive(bool locking, uint32_t window, uint64_t seed) {
+  ClusterOptions options;
+  options.n_sites = 4;
+  options.db_size = 16;  // small: high contention
+  options.site.enable_locking = locking;
+  options.site.costs = CostModel::PaperCalibrated();
+  options.site.ack_timeout = Seconds(5);
+  options.sim.shared_cpu = false;
+  options.transport.message_latency = Milliseconds(9);
+  SimCluster cluster(options);
+
+  // Transactions read two fixed "pair" items together, or write both;
+  // torn reads show up as the two reads disagreeing on the version.
+  Rng rng(seed);
+  constexpr uint32_t kTxns = 300;
+  uint32_t next = 0;
+  uint32_t outstanding = 0;
+  Row row;
+
+  std::function<void()> pump = [&] {
+    while (outstanding < window && next < kTxns) {
+      TxnSpec txn;
+      txn.id = ++next;
+      const ItemId a = static_cast<ItemId>(rng.NextBounded(8)) * 2;
+      const ItemId b = a + 1;
+      const bool writer = rng.NextBool(0.5);
+      if (writer) {
+        txn.ops = {Operation::Write(a, WriteValueFor(txn.id, a)),
+                   Operation::Write(b, WriteValueFor(txn.id, b))};
+      } else {
+        txn.ops = {Operation::Read(a), Operation::Read(b)};
+      }
+      ++outstanding;
+      cluster.managing().Submit(
+          txn, static_cast<SiteId>(txn.id % 4),
+          [&row, &outstanding, &pump, writer](const TxnReplyArgs& reply) {
+            --outstanding;
+            if (reply.outcome == TxnOutcome::kCommitted) {
+              ++row.committed;
+              if (!writer && reply.reads.size() == 2 &&
+                  reply.reads[0].version != reply.reads[1].version) {
+                ++row.torn_reads;
+              }
+            } else if (reply.outcome == TxnOutcome::kAbortedLockConflict) {
+              ++row.lock_aborts;
+            }
+            pump();
+          });
+    }
+  };
+  const TimePoint start = cluster.runtime().now();
+  pump();
+  cluster.RunUntilIdle();
+  row.virtual_seconds =
+      double(cluster.runtime().now() - start) / double(Seconds(1));
+  return row;
+}
+
+void Run() {
+  std::printf("=== Ablation: strict 2PL (wait-die) vs lock-free "
+              "last-writer-wins under concurrency ===\n");
+  std::printf("config: 4 sites, 16 items in contended pairs, 300 txns "
+              "(half pair-reads, half pair-writes)\n\n");
+  std::printf("%-10s %-10s %10s %12s %12s %12s\n", "locking", "window",
+              "committed", "lock aborts", "snapshot anoms", "virt sec");
+  for (const uint32_t window : {1u, 4u, 8u}) {
+    for (const bool locking : {false, true}) {
+      const Row row = Drive(locking, window, /*seed=*/3);
+      std::printf("%-10s %-10u %10llu %12llu %12llu %12.1f\n",
+                  locking ? "2PL" : "off", window,
+                  (unsigned long long)row.committed,
+                  (unsigned long long)row.lock_aborts,
+                  (unsigned long long)row.torn_reads, row.virtual_seconds);
+    }
+  }
+  std::printf("\nExpected shape: serial (window 1) is identical either way; "
+              "under concurrency 2PL\npays wait-die aborts (safe to retry) "
+              "for ordering guarantees that hold under any\noperation "
+              "semantics. Snapshot anomalies are zero in both modes by "
+              "construction\n(see the header comment).\n");
+}
+
+}  // namespace
+}  // namespace miniraid
+
+int main() {
+  miniraid::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: crash semantics. The paper's testbed simulates failure with
+// memory intact ("a failed site would remain inactive until recovery");
+// fail-locks then pinpoint exactly the copies that missed updates. A cold
+// restart (volatile state lost) forces the recovering site to fail-lock
+// every copy it holds, so the recovery period covers the whole database —
+// quantifying how much work the paper's fail-lock precision saves.
+
+#include <cstdio>
+
+#include "core/experiments.h"
+
+namespace miniraid {
+namespace {
+
+struct Row {
+  double locks_at_recovery = 0;
+  double txns_to_recover = 0;
+  double copiers = 0;
+};
+
+Row Measure(bool lose_state, double batch_threshold) {
+  Row row;
+  constexpr int kSeeds = 5;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Exp2Config config;
+    config.scenario.seed = seed;
+    config.down_txns = 30;  // well short of fail-locking everything
+    config.scenario.site.lose_state_on_crash = lose_state;
+    config.scenario.site.batch_copier_threshold = batch_threshold;
+    config.recovering_site_weight = 0.5;
+    config.recovery_cap = 20000;
+    const Exp2Result result = RunExperiment2(config);
+    // Locks the moment recovery starts = the value right after down_txns.
+    for (const TxnRecord& rec : result.scenario.txns) {
+      if (rec.txn_no == config.down_txns + 1) {
+        row.locks_at_recovery += rec.fail_locks_per_site[0];
+        break;
+      }
+    }
+    row.txns_to_recover += result.txns_to_full_recovery;
+    row.copiers += result.copier_txns +
+                   double(result.scenario.batch_copiers_total);
+  }
+  row.locks_at_recovery /= kSeeds;
+  row.txns_to_recover /= kSeeds;
+  row.copiers /= kSeeds;
+  return row;
+}
+
+void Run() {
+  std::printf("=== Ablation: crash semantics — fail-lock precision vs cold "
+              "restart ===\n");
+  std::printf("config: Figure-1 scenario but only 30 txns while down "
+              "(partial staleness),\nrecovering-site coordinator "
+              "weight=0.5, 5-seed means\n\n");
+  std::printf("%-34s %14s %16s %12s\n", "mode", "stale copies",
+              "txns to recover", "copiers");
+
+  const Row warm = Measure(/*lose_state=*/false, /*batch=*/0.0);
+  std::printf("%-34s %14.1f %16.0f %12.1f\n",
+              "retain state (paper)", warm.locks_at_recovery,
+              warm.txns_to_recover, warm.copiers);
+  const Row cold = Measure(/*lose_state=*/true, /*batch=*/0.0);
+  std::printf("%-34s %14.1f %16.0f %12.1f\n", "cold restart",
+              cold.locks_at_recovery, cold.txns_to_recover, cold.copiers);
+  const Row cold_batch = Measure(/*lose_state=*/true, /*batch=*/1.0);
+  std::printf("%-34s %14.1f %16.0f %12.1f\n",
+              "cold restart + batch copiers", cold_batch.locks_at_recovery,
+              cold_batch.txns_to_recover, cold_batch.copiers);
+
+  std::printf("\nExpected shape: fail-locks confine the recovery period to "
+              "the copies that\nactually missed updates; a cold restart "
+              "must refresh all 50, which two-step\nbatch copiers then "
+              "absorb into the recovery protocol itself.\n");
+}
+
+}  // namespace
+}  // namespace miniraid
+
+int main() {
+  miniraid::Run();
+  return 0;
+}

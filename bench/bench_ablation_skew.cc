@@ -1,0 +1,54 @@
+// Ablation for the paper's §5 hot-set assumption: "we made the assumption
+// that in a database there is a subset of data items that is frequently
+// referenced [with] approximately equal probabilities." This bench relaxes
+// equal-probability access to a Zipf distribution over the hot set and
+// re-runs the Figure-1 recovery scenario.
+//
+// Under skew, hot items are both fail-locked sooner (more writes hit them)
+// and refreshed sooner; the cold tail dominates the recovery period even
+// more than under uniform access, lengthening full recovery.
+
+#include <cstdio>
+
+#include "core/experiments.h"
+
+namespace miniraid {
+namespace {
+
+void Run() {
+  std::printf("=== Ablation: access skew over the hot set (paper §5 "
+              "assumption) ===\n");
+  std::printf("config: Figure-1 scenario with Zipf(theta) item "
+              "selection\n\n");
+  std::printf("%-12s %12s %18s %16s\n", "zipf theta", "peak locks",
+              "txns to recover", "demand copiers");
+
+  for (const double theta : {0.0, 0.5, 0.8, 0.99}) {
+    double peak = 0, txns = 0, copiers = 0;
+    constexpr int kSeeds = 5;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      Exp2Config config;
+      config.scenario.seed = seed;
+      config.scenario.zipf_theta = theta;
+      config.recovery_cap = 50000;
+      const Exp2Result result = RunExperiment2(config);
+      peak += result.peak_fail_locks;
+      txns += result.txns_to_full_recovery;
+      copiers += result.copier_txns;
+    }
+    std::printf("%-12.2f %12.0f %18.0f %16.1f\n", theta, peak / kSeeds,
+                txns / kSeeds, copiers / kSeeds);
+  }
+  std::printf("\nExpected shape: skew lowers the fail-locked peak slightly "
+              "(repeated writes hit the\nsame hot items) and stretches full "
+              "recovery (cold items are rarely written) —\nmotivating the "
+              "paper's batch-mode step two for the cold tail.\n");
+}
+
+}  // namespace
+}  // namespace miniraid
+
+int main() {
+  miniraid::Run();
+  return 0;
+}

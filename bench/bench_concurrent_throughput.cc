@@ -1,0 +1,99 @@
+// Extension bench: concurrent transaction processing (the paper's "complete
+// RAID" future-work direction). Measures committed transactions per second
+// of virtual time as the offered concurrency (outstanding transactions)
+// grows, with coordinators spread round-robin across the sites. Serial
+// submission (window = 1) is the paper's configuration; larger windows
+// overlap distinct coordinators' two-phase commits.
+
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "txn/workload.h"
+
+namespace miniraid {
+namespace {
+
+struct Row {
+  double txns_per_virtual_second = 0;
+  double committed_fraction = 0;
+};
+
+Row Measure(uint32_t window, uint32_t n_sites) {
+  ClusterOptions options;
+  options.n_sites = n_sites;
+  options.db_size = 50;
+  options.site.costs = CostModel::PaperCalibrated();
+  options.site.ack_timeout = Seconds(5);
+  options.sim.shared_cpu = false;  // a site per machine: real overlap
+  options.transport.message_latency = Milliseconds(9);
+  SimCluster cluster(options);
+
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 50;
+  wopts.max_txn_size = 10;
+  UniformWorkload workload(wopts);
+
+  constexpr uint32_t kTxns = 400;
+  uint32_t next = 0;
+  uint64_t committed = 0;
+  uint32_t outstanding = 0;
+
+  // Keep `window` transactions in flight until kTxns have been submitted.
+  std::function<void()> pump = [&] {
+    while (outstanding < window && next < kTxns) {
+      const SiteId coordinator = static_cast<SiteId>(next % n_sites);
+      TxnSpec txn = workload.Next();
+      ++next;
+      ++outstanding;
+      cluster.managing().Submit(txn, coordinator,
+                                [&](const TxnReplyArgs& reply) {
+                                  --outstanding;
+                                  committed +=
+                                      reply.outcome == TxnOutcome::kCommitted;
+                                  pump();
+                                });
+    }
+  };
+  const TimePoint start = cluster.runtime().now();
+  pump();
+  cluster.RunUntilIdle();
+  const double seconds =
+      double(cluster.runtime().now() - start) / double(Seconds(1));
+
+  Row row;
+  row.txns_per_virtual_second = double(kTxns) / seconds;
+  row.committed_fraction = double(committed) / double(kTxns);
+  return row;
+}
+
+void Run() {
+  std::printf("=== Extension: concurrent transaction throughput (paper's "
+              "future-work direction) ===\n");
+  std::printf("config: db=50, max txn size=10, 9 ms messages, one CPU per "
+              "site, 400 txns,\ncoordinators round-robin; window = "
+              "outstanding transactions\n\n");
+  std::printf("%-8s | %-24s | %-24s\n", "window", "4 sites (txn/s virtual)",
+              "8 sites (txn/s virtual)");
+  for (const uint32_t window : {1u, 2u, 4u, 8u, 16u}) {
+    const Row four = Measure(window, 4);
+    const Row eight = Measure(window, 8);
+    std::printf("%-8u | %11.1f (%.0f%% ok) | %11.1f (%.0f%% ok)\n", window,
+                four.txns_per_virtual_second, 100 * four.committed_fraction,
+                eight.txns_per_virtual_second,
+                100 * eight.committed_fraction);
+  }
+  std::printf("\nExpected shape: throughput rises with the window until the "
+              "per-site serial\nexecution saturates (~n_sites concurrent "
+              "coordinations), with everything\nstill committing — "
+              "last-writer-wins keeps replicas convergent without a\nlock "
+              "manager (reads are not serializable; see "
+              "tests/concurrency_test.cc).\n");
+}
+
+}  // namespace
+}  // namespace miniraid
+
+int main() {
+  miniraid::Run();
+  return 0;
+}

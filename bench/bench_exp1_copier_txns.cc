@@ -1,0 +1,46 @@
+// Reproduces Experiment 1 §2.2.3: the cost of copier transactions.
+// Scenario: 4 sites; one site accumulates fail-locks while down, recovers,
+// and then coordinates transactions whose reads of fail-locked copies
+// demand copier transactions (copy request -> copy reply -> local install
+// -> special clear-fail-locks transaction) before two-phase commit.
+
+#include <cstdio>
+
+#include "core/experiments.h"
+
+namespace miniraid {
+namespace {
+
+void Run() {
+  Exp1Config config;
+  const Exp1CopierResult result = RunExp1Copier(config);
+
+  std::printf("=== Experiment 1 (§2.2.3): overhead for copier "
+              "transactions ===\n");
+  std::printf("config: 4 sites, db=50 items, max txn size=10, message "
+              "latency=9ms, shared CPU\n\n");
+  std::printf("%-52s %10s %12s\n", "", "paper (ms)", "measured (ms)");
+  std::printf("%-52s %10s %12.1f\n",
+              "db txn with one copier txn (at recovering site)", "270",
+              result.txn_with_copier_ms);
+  std::printf("%-52s %10s %12.1f\n", "db txn without copier txns", "186",
+              result.txn_plain_ms);
+  std::printf("%-52s %10s %12.1f\n", "serving a copy request", "25",
+              result.copy_serve_ms);
+  std::printf("%-52s %10s %12.1f\n", "clear-fail-locks special txn", "20",
+              result.clear_locks_ms);
+  std::printf("%-52s %10s %11.0f%%\n", "increase over plain transaction",
+              "45%", result.increase_pct);
+  std::printf("\nConclusion check: copier transactions are the heaviest "
+              "overhead; the paper notes\n~30%% of the copier cost is the "
+              "clear-fail-locks transactions, which embedding the\n"
+              "information in 2PC could eliminate (§2.2.3).\n");
+}
+
+}  // namespace
+}  // namespace miniraid
+
+int main() {
+  miniraid::Run();
+  return 0;
+}

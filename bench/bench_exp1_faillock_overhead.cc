@@ -1,0 +1,51 @@
+// Reproduces Experiment 1 §2.2.1: the overhead of fail-lock maintenance.
+// 4 sites, 50-item hot set, max transaction size 10, 9 ms per inter-site
+// message, all sites on one shared processor (the paper's testbed). The
+// same seeded transaction set runs once with the fail-lock maintenance
+// code disabled and once with it enabled, exactly as in the paper.
+//
+// The cost model is calibrated to the paper's primitive costs (see
+// EXPERIMENTS.md); this bench validates that the *compositions* — the
+// coordinator and participant transaction times and the maintenance deltas
+// — reproduce the published table.
+
+#include <cstdio>
+
+#include "core/experiments.h"
+
+namespace miniraid {
+namespace {
+
+void Run() {
+  Exp1Config config;
+  const Exp1FailLockOverheadResult result = RunExp1FailLockOverhead(config);
+
+  std::printf("=== Experiment 1 (§2.2.1): overhead for fail-locks "
+              "maintenance ===\n");
+  std::printf("config: 4 sites, db=50 items, max txn size=10, message "
+              "latency=9ms, shared CPU\n\n");
+  std::printf("%-36s %12s %12s\n", "", "paper (ms)", "measured (ms)");
+  std::printf("%-36s %12s %12.1f\n", "coordinator, without fail-locks",
+              "176", result.coord_without_ms);
+  std::printf("%-36s %12s %12.1f\n", "coordinator, with fail-locks", "186",
+              result.coord_with_ms);
+  std::printf("%-36s %12s %12.1f\n", "participant, without fail-locks", "90",
+              result.part_without_ms);
+  std::printf("%-36s %12s %12.1f\n", "participant, with fail-locks", "97",
+              result.part_with_ms);
+  std::printf("\n%-36s %12s %12.1f\n", "maintenance delta, coordinator",
+              "+10", result.coord_with_ms - result.coord_without_ms);
+  std::printf("%-36s %12s %12.1f\n", "maintenance delta, participant", "+7",
+              result.part_with_ms - result.part_without_ms);
+  std::printf("\nConclusion check: fail-lock maintenance adds only a few "
+              "percent to transaction times\n(paper: \"a slight increase in "
+              "transaction processing times\").\n");
+}
+
+}  // namespace
+}  // namespace miniraid
+
+int main() {
+  miniraid::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Microbenchmarks for the in-memory versioned store.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "db/database.h"
+
+namespace miniraid {
+namespace {
+
+void BM_DatabaseRead(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Database db(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.Read(static_cast<ItemId>(rng.NextBounded(n))));
+  }
+}
+BENCHMARK(BM_DatabaseRead)->Arg(50)->Arg(1 << 16);
+
+void BM_DatabaseCommitWrite(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Database db(n);
+  Rng rng(1);
+  TxnId txn = 0;
+  for (auto _ : state) {
+    const ItemId item = static_cast<ItemId>(rng.NextBounded(n));
+    ++txn;
+    benchmark::DoNotOptimize(
+        db.CommitWrite(item, static_cast<Value>(txn), txn));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DatabaseCommitWrite)->Arg(50)->Arg(1 << 16);
+
+void BM_DatabaseInstallCopy(benchmark::State& state) {
+  Database db(1 << 12);
+  Rng rng(1);
+  Version v = 0;
+  for (auto _ : state) {
+    const ItemId item = static_cast<ItemId>(rng.NextBounded(1 << 12));
+    ++v;
+    benchmark::DoNotOptimize(
+        db.InstallCopy(item, ItemState{static_cast<Value>(v), v}));
+  }
+}
+BENCHMARK(BM_DatabaseInstallCopy);
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,75 @@
+// Microbenchmarks for the remaining protocol tables: session vector
+// operations (consulted on every commit and every control transaction) and
+// the trace log (to confirm tracing is cheap enough to leave on during
+// experiments).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "metrics/trace.h"
+#include "replication/placement.h"
+#include "replication/session_vector.h"
+
+namespace miniraid {
+namespace {
+
+void BM_SessionVectorOperationalSites(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  SessionVector vec(n);
+  for (SiteId s = 0; s < n; s += 3) vec.MarkDown(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec.OperationalSites());
+  }
+}
+BENCHMARK(BM_SessionVectorOperationalSites)->Arg(4)->Arg(64);
+
+void BM_SessionVectorMerge(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  SessionVector local(n);
+  SessionVector remote(n);
+  for (SiteId s = 0; s < n; ++s) {
+    remote.Set(s, s % 5 + 1, s % 2 ? SiteStatus::kUp : SiteStatus::kDown);
+  }
+  const auto wire = remote.ToWire();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local.MergeFrom(wire));
+  }
+}
+BENCHMARK(BM_SessionVectorMerge)->Arg(4)->Arg(64);
+
+void BM_HoldersLookup(benchmark::State& state) {
+  HoldersTable table(1 << 12, 16);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Holds(static_cast<ItemId>(rng.NextBounded(1 << 12)),
+                    static_cast<SiteId>(rng.NextBounded(16))));
+  }
+}
+BENCHMARK(BM_HoldersLookup);
+
+void BM_TraceRecord(benchmark::State& state) {
+  TraceLog log(1 << 16);
+  TimePoint t = 0;
+  for (auto _ : state) {
+    log.Record(t += 9, 1, TraceEvent::kTxnCommitted, 42, 3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecord);
+
+void BM_TraceFilter(benchmark::State& state) {
+  TraceLog log(1 << 16);
+  Rng rng(1);
+  for (int i = 0; i < (1 << 16); ++i) {
+    log.Record(i, static_cast<SiteId>(rng.NextBounded(4)),
+               static_cast<TraceEvent>(rng.NextBounded(16)), i, 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Count(TraceEvent::kTxnCommitted));
+  }
+}
+BENCHMARK(BM_TraceFilter);
+
+}  // namespace
+}  // namespace miniraid

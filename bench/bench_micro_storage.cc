@@ -1,0 +1,104 @@
+// Microbenchmarks for the durability substrate: WAL append (buffered and
+// fsynced), replay, and snapshot checkpointing.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "storage/durable_database.h"
+#include "storage/wal.h"
+
+namespace miniraid {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() /
+                       (std::string("miniraid_bench_") + name + "_" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void BM_WalAppendBuffered(benchmark::State& state) {
+  const std::string dir = FreshDir("wal");
+  auto wal = WriteAheadLog::Open(dir + "/wal");
+  std::vector<uint8_t> record(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*wal)->Append(record));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendBuffered)->Arg(21)->Arg(256);
+
+void BM_WalAppendFsync(benchmark::State& state) {
+  const std::string dir = FreshDir("wal_sync");
+  WriteAheadLog::Options options;
+  options.sync_each_append = true;
+  auto wal = WriteAheadLog::Open(dir + "/wal", options);
+  const std::vector<uint8_t> record(21, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*wal)->Append(record));
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendFsync)->Iterations(200);
+
+void BM_WalReplay(benchmark::State& state) {
+  const std::string dir = FreshDir("wal_replay");
+  const std::string path = dir + "/wal";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    const std::vector<uint8_t> record(21, 0xcd);
+    for (int i = 0; i < 10000; ++i) (void)(*wal)->Append(record);
+  }
+  for (auto _ : state) {
+    uint64_t count = 0;
+    (void)WriteAheadLog::Replay(path, [&count](const uint8_t*, size_t) {
+      ++count;
+      return Status::Ok();
+    });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalReplay);
+
+void BM_DurableCommitWrite(benchmark::State& state) {
+  const std::string dir = FreshDir("durable");
+  DurableDatabase::Options options;
+  options.dir = dir;
+  auto db = DurableDatabase::Open(options, 1 << 10);
+  TxnId txn = 0;
+  for (auto _ : state) {
+    ++txn;
+    benchmark::DoNotOptimize(
+        (*db)->CommitWrite(static_cast<ItemId>(txn & 1023), Value(txn), txn));
+  }
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DurableCommitWrite);
+
+void BM_Checkpoint(benchmark::State& state) {
+  const std::string dir = FreshDir("checkpoint");
+  DurableDatabase::Options options;
+  options.dir = dir;
+  auto db = DurableDatabase::Open(options, static_cast<uint32_t>(
+                                               state.range(0)));
+  for (ItemId item = 0; item < state.range(0); ++item) {
+    (void)(*db)->CommitWrite(item, Value(item), item + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Checkpoint());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_Checkpoint)->Arg(50)->Arg(1 << 12);
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,86 @@
+// The durability substrate under the paper's retain-state crash model: a
+// replica store that survives real process crashes via a checksummed
+// snapshot plus a write-ahead log. The paper kept copies in process memory
+// (assumption 3) and simulated failures as inactivity; DurableDatabase is
+// what a production site puts underneath so that a *real* restart behaves
+// like the paper's model — the site comes back with its pre-crash copies
+// and only the updates it missed need fail-lock-driven refresh.
+//
+//   ./build/examples/durable_store [dir]
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "storage/durable_database.h"
+
+using namespace miniraid;
+
+int main(int argc, char** argv) {
+  const std::string dir =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() /
+                  "miniraid_durable_demo")
+                     .string();
+  std::filesystem::create_directories(dir);
+
+  DurableDatabase::Options options;
+  options.dir = dir;
+  options.auto_checkpoint_bytes = 4096;
+
+  constexpr uint32_t kItems = 50;
+  {
+    auto db = DurableDatabase::Open(options, kItems);
+    if (!db.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("opened %s: replayed %llu log records, wal=%llu bytes\n",
+                dir.c_str(), (unsigned long long)(*db)->replayed_records(),
+                (unsigned long long)(*db)->wal_bytes());
+
+    // Continue the transaction-id sequence past anything already stored,
+    // so re-running the demo on the same directory keeps versions monotone.
+    Rng rng(1);
+    TxnId txn = 0;
+    for (ItemId item = 0; item < kItems; ++item) {
+      if ((*db)->Holds(item)) {
+        txn = std::max<TxnId>(txn, (*db)->Read(item)->version);
+      }
+    }
+    for (int i = 0; i < 200; ++i) {
+      const ItemId item = static_cast<ItemId>(rng.NextBounded(kItems));
+      ++txn;
+      (void)(*db)->CommitWrite(item, Value(txn * 10), txn);
+    }
+    std::printf("committed 200 writes; wal=%llu bytes (auto-checkpoint at "
+                "4096)\n",
+                (unsigned long long)(*db)->wal_bytes());
+    // No clean shutdown: the destructor is the "crash".
+  }
+
+  auto db = DurableDatabase::Open(options, kItems);
+  if (!db.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  uint32_t held = 0;
+  Version max_version = 0;
+  for (ItemId item = 0; item < kItems; ++item) {
+    if (!(*db)->Holds(item)) continue;
+    ++held;
+    max_version = std::max(max_version, (*db)->Read(item)->version);
+  }
+  std::printf("after crash+reopen: %u items held, newest version %llu, "
+              "%llu records replayed\n",
+              held, (unsigned long long)max_version,
+              (unsigned long long)(*db)->replayed_records());
+  std::printf("(a mini-RAID site restarting on this store rejoins via "
+              "control transaction type 1;\n fail-locks then cover exactly "
+              "the updates committed while it was down)\n");
+  (void)(*db)->Checkpoint();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Failure/recovery demo: replays the paper's Experiment 2 interactively
+// and renders the Figure-1 availability curve in the terminal, then shows
+// the effect of the paper's proposed two-step recovery side by side.
+//
+//   ./build/examples/failure_recovery_demo [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiments.h"
+#include "metrics/series.h"
+
+using namespace miniraid;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  std::printf("mini-RAID failure & recovery demo (seed %llu)\n",
+              (unsigned long long)seed);
+  std::printf("2 sites, 50-item hot set, transactions of 1-5 operations, "
+              "50/50 reads/writes.\n");
+  std::printf("Site 0 crashes before txn 1; 100 txns run on site 1; site 0 "
+              "then recovers.\n\n");
+
+  Exp2Config config;
+  config.scenario.seed = seed;
+  const Exp2Result plain = RunExperiment2(config);
+
+  Series curve{"fail-locked copies of site 0", {}, {}};
+  for (const TxnRecord& rec : plain.scenario.txns) {
+    curve.Add(double(rec.txn_no), double(rec.fail_locks_per_site[0]));
+  }
+  std::printf("%s\n", RenderAsciiChart({curve}, 70, 14, "transaction number",
+                                       "stale copies")
+                          .c_str());
+  std::printf("peak staleness: %u of 50 copies; full recovery %u txns after "
+              "restart; %u copier txns\n\n",
+              plain.peak_fail_locks, plain.txns_to_full_recovery,
+              plain.copier_txns);
+
+  // Same scenario with two-step recovery (batch copiers, threshold 0.25).
+  Exp2Config two_step = config;
+  two_step.scenario.site.batch_copier_threshold = 0.25;
+  two_step.scenario.site.batch_copier_chunk = 10;
+  const Exp2Result batched = RunExperiment2(two_step);
+  std::printf("with two-step recovery (threshold 0.25, the paper's §3.2 "
+              "proposal):\n");
+  std::printf("  full recovery after %u txns (vs %u), using %llu batch "
+              "copier txns\n",
+              batched.txns_to_full_recovery, plain.txns_to_full_recovery,
+              (unsigned long long)batched.scenario.batch_copiers_total);
+
+  const bool ok = plain.scenario.consistency.ok() &&
+                  batched.scenario.consistency.ok();
+  std::printf("\nreplica agreement in both runs: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

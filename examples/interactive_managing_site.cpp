@@ -1,0 +1,175 @@
+// The paper's managing site, interactively: "We implemented a managing
+// site to provide interactive control of system actions. It was used to
+// cause sites to fail and recover and to initiate a database transaction
+// to a site" (§1.2). This REPL drives a simulated cluster with the same
+// commands; system parameters (database size, number of sites, maximum
+// transaction size) are set on the command line, as in the paper.
+//
+//   ./build/examples/interactive_managing_site [n_sites] [db_size] [max_txn]
+//
+// Commands:
+//   run <n> [site]     submit n random transactions (to `site`, or any up)
+//   txn <site> <ops>   submit an explicit transaction, ops like r4 w7
+//   fail <site>        crash a site
+//   recover <site>     recover a site (control transaction type 1)
+//   state              show per-site status, sessions, and fail-locks
+//   stats              show counters (commits, aborts, copiers, ...)
+//   check              run the replica-agreement oracle
+//   help / quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/cluster.h"
+#include "txn/parse.h"
+#include "txn/workload.h"
+
+using namespace miniraid;
+
+namespace {
+
+void PrintState(SimCluster& cluster) {
+  for (SiteId s = 0; s < cluster.n_sites(); ++s) {
+    const Site& site = cluster.site(s);
+    std::printf(
+        "  site %u: %-11s session=%llu stale-copies=%u vector=%s\n", s,
+        site.is_up()
+            ? (site.InRecoveryPeriod() ? "recovering" : "up")
+            : "down",
+        (unsigned long long)site.session_vector().session(s),
+        site.OwnFailLockCount(), site.session_vector().ToString().c_str());
+  }
+}
+
+void PrintStats(SimCluster& cluster) {
+  std::printf("  %-6s %9s %9s %8s %9s %9s %7s\n", "site", "coord'd",
+              "committed", "aborted", "copiers", "locks set", "cleared");
+  for (SiteId s = 0; s < cluster.n_sites(); ++s) {
+    const SiteCounters& c = cluster.site(s).counters();
+    std::printf("  %-6u %9llu %9llu %8llu %9llu %9llu %7llu\n", s,
+                (unsigned long long)c.txns_coordinated,
+                (unsigned long long)c.txns_committed,
+                (unsigned long long)(c.txns_aborted_copier +
+                                     c.txns_aborted_participant),
+                (unsigned long long)c.copier_transactions,
+                (unsigned long long)c.fail_locks_set,
+                (unsigned long long)c.fail_locks_cleared);
+  }
+  std::printf("  managing site: %llu submitted, %llu committed, %llu "
+              "aborted, %llu unreachable\n",
+              (unsigned long long)cluster.managing().submitted(),
+              (unsigned long long)cluster.managing().committed(),
+              (unsigned long long)cluster.managing().aborted(),
+              (unsigned long long)cluster.managing().unreachable());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t n_sites = argc > 1 ? std::atoi(argv[1]) : 4;
+  const uint32_t db_size = argc > 2 ? std::atoi(argv[2]) : 50;
+  const uint32_t max_txn = argc > 3 ? std::atoi(argv[3]) : 10;
+
+  ClusterOptions options;
+  options.n_sites = n_sites;
+  options.db_size = db_size;
+  SimCluster cluster(options);
+
+  UniformWorkloadOptions wopts;
+  wopts.db_size = db_size;
+  wopts.max_txn_size = max_txn;
+  wopts.seed = 42;
+  UniformWorkload workload(wopts);
+  Rng rng(42);
+  TxnId manual_id = 1000000;  // manual txns above the generator's range
+
+  std::printf("mini-RAID managing site. %u sites, %u items, max txn size "
+              "%u. 'help' lists commands.\n",
+              n_sites, db_size, max_txn);
+
+  std::string line;
+  while (std::printf("raid> ") && std::fflush(stdout) == 0 &&
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "  run <n> [site] | txn <site> <r#|w#...> | fail <site> | "
+          "recover <site>\n  state | stats | check | quit\n");
+    } else if (cmd == "run") {
+      uint32_t count = 0;
+      long fixed = -1;
+      in >> count;
+      in >> fixed;
+      uint64_t committed = 0;
+      for (uint32_t i = 0; i < count; ++i) {
+        const std::vector<SiteId> up = cluster.UpSites();
+        if (up.empty()) {
+          std::printf("  no operational site\n");
+          break;
+        }
+        const SiteId coordinator =
+            (fixed >= 0 && fixed < long(n_sites))
+                ? static_cast<SiteId>(fixed)
+                : up[rng.NextBounded(up.size())];
+        const TxnReplyArgs reply = cluster.RunTxn(workload.Next(),
+                                                  coordinator);
+        committed += reply.outcome == TxnOutcome::kCommitted;
+      }
+      std::printf("  %llu/%u committed\n", (unsigned long long)committed,
+                  count);
+    } else if (cmd == "txn") {
+      long site = -1;
+      in >> site;
+      std::string ops_text;
+      std::getline(in, ops_text);
+      const Result<TxnSpec> txn = ParseTxnOps(manual_id, ops_text, db_size);
+      if (site < 0 || site >= long(n_sites) || !txn.ok()) {
+        std::printf("  usage: txn <site> r4 w7[=42] ...%s%s\n",
+                    txn.ok() ? "" : " — ",
+                    txn.ok() ? "" : txn.status().ToString().c_str());
+        continue;
+      }
+      ++manual_id;
+      const TxnReplyArgs reply =
+          cluster.RunTxn(*txn, static_cast<SiteId>(site));
+      std::printf("  %s (copiers=%u)",
+                  std::string(TxnOutcomeName(reply.outcome)).c_str(),
+                  reply.copier_count);
+      for (const ItemCopy& read : reply.reads) {
+        std::printf("  item%u=%lld", read.item, (long long)read.value);
+      }
+      std::printf("\n");
+    } else if (cmd == "fail" || cmd == "recover") {
+      long site = -1;
+      in >> site;
+      if (site < 0 || site >= long(n_sites)) {
+        std::printf("  usage: %s <site>\n", cmd.c_str());
+        continue;
+      }
+      if (cmd == "fail") {
+        cluster.Fail(static_cast<SiteId>(site));
+      } else {
+        cluster.Recover(static_cast<SiteId>(site));
+      }
+      PrintState(cluster);
+    } else if (cmd == "state") {
+      PrintState(cluster);
+    } else if (cmd == "stats") {
+      PrintStats(cluster);
+    } else if (cmd == "check") {
+      const Status status = cluster.CheckReplicaAgreement();
+      std::printf("  replica agreement: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("  unknown command '%s' ('help' lists commands)\n",
+                  cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Real message passing: the same protocol engine on TCP sockets over
+// localhost — "real transaction processing on real sites with real message
+// passing" (paper §abstract), beyond the paper's single-process testbed.
+// Each site runs its own event-loop thread and TCP transport; frames are
+// length-prefixed encodings of the same wire messages the simulator uses.
+//
+//   ./build/examples/socket_cluster [base_port]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cluster.h"
+#include "txn/workload.h"
+
+using namespace miniraid;
+
+int main(int argc, char** argv) {
+  RealClusterOptions options;
+  options.n_sites = 3;
+  options.db_size = 20;
+  options.transport = RealClusterOptions::TransportKind::kTcp;
+  options.base_port =
+      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 0;
+  options.site.ack_timeout = Milliseconds(300);
+  options.managing.client_timeout = Seconds(3);
+
+  RealCluster cluster(options);
+  const Status started = cluster.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start cluster: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("3 sites + managing site listening on 127.0.0.1 (TCP)\n");
+
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 20;
+  wopts.max_txn_size = 6;
+  wopts.seed = 99;
+  UniformWorkload workload(wopts);
+
+  uint64_t committed = 0;
+  for (int i = 0; i < 50; ++i) {
+    const TxnReplyArgs reply =
+        cluster.RunTxn(workload.Next(), static_cast<SiteId>(i % 3));
+    if (reply.outcome == TxnOutcome::kCommitted) ++committed;
+  }
+  std::printf("50 transactions over TCP: %llu committed\n",
+              (unsigned long long)committed);
+
+  // Crash site 2 and keep going; then bring it back.
+  cluster.Fail(2);
+  for (int i = 0; i < 20; ++i) {
+    const TxnReplyArgs reply =
+        cluster.RunTxn(workload.Next(), static_cast<SiteId>(i % 2));
+    if (reply.outcome == TxnOutcome::kCommitted) ++committed;
+  }
+  uint32_t stale = 0;
+  cluster.Inspect(0, [&stale](Site& site) {
+    stale = site.fail_locks().CountForSite(2);
+  });
+  std::printf("site 2 crashed; 20 more txns; %u of its copies now stale\n",
+              stale);
+
+  cluster.Recover(2);
+  bool refreshed = false;
+  for (int i = 0; i < 60 && !refreshed; ++i) {
+    (void)cluster.RunTxn(workload.Next(), 2);
+    cluster.Inspect(2, [&refreshed](Site& site) {
+      refreshed = site.OwnFailLockCount() == 0;
+    });
+  }
+  std::printf("site 2 recovered over TCP; fully refreshed: %s\n",
+              refreshed ? "yes" : "not yet");
+
+  // Verify all three databases agree item by item.
+  std::vector<std::vector<ItemState>> snapshots(3);
+  for (SiteId s = 0; s < 3; ++s) {
+    cluster.Inspect(s, [&snapshots, s](Site& site) {
+      for (ItemId item = 0; item < 20; ++item) {
+        snapshots[s].push_back(*site.db().Read(item));
+      }
+    });
+  }
+  bool agree = true;
+  for (ItemId item = 0; item < 20; ++item) {
+    agree &= snapshots[0][item] == snapshots[1][item] &&
+             snapshots[1][item] == snapshots[2][item];
+  }
+  std::printf("replica agreement over real sockets: %s\n",
+              agree ? "yes" : "NO");
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Reproduces every table and figure in the paper plus all ablations,
+# collecting outputs (text + CSV series) under results/. Run from the
+# repository root.
+set -eu
+
+BUILD=${BUILD:-build}
+OUT=${OUT:-results}
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+mkdir -p "$OUT"
+
+# Figures, with CSV series for external plotting.
+"$BUILD"/bench/bench_exp2_recovery_fig1   "$OUT/fig1.csv" | tee "$OUT/fig1.txt"
+"$BUILD"/bench/bench_exp3_scenario1_fig2  "$OUT/fig2.csv" | tee "$OUT/fig2.txt"
+"$BUILD"/bench/bench_exp3_scenario2_fig3  "$OUT/fig3.csv" | tee "$OUT/fig3.txt"
+
+# Tables, ablations, and microbenchmarks: everything else in bench/.
+for path in "$BUILD"/bench/bench_*; do
+  bench=$(basename "$path")
+  case "$bench" in
+    bench_exp2_recovery_fig1|bench_exp3_scenario1_fig2|bench_exp3_scenario2_fig3)
+      continue ;;  # already run above, with CSV output
+    bench_micro_*)
+      "$path" --benchmark_min_time=0.05 | tee "$OUT/$bench.txt" ;;
+    *)
+      "$path" | tee "$OUT/$bench.txt" ;;
+  esac
+done
+
+echo
+echo "all outputs in $OUT/"

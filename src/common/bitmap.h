@@ -1,0 +1,59 @@
+#ifndef MINIRAID_COMMON_BITMAP_H_
+#define MINIRAID_COMMON_BITMAP_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace miniraid {
+
+/// A fixed 64-bit set. The paper implements fail-locks as "a bit map for
+/// each data item [whose] size was less than or equal to the number of
+/// possible sites ... allow[ing] the fail-lock operations to be performed
+/// very quickly"; one machine word covers up to 64 sites.
+class Bitmap64 {
+ public:
+  constexpr Bitmap64() = default;
+  constexpr explicit Bitmap64(uint64_t bits) : bits_(bits) {}
+
+  constexpr void Set(uint32_t i) { bits_ |= (uint64_t{1} << i); }
+  constexpr void Clear(uint32_t i) { bits_ &= ~(uint64_t{1} << i); }
+  constexpr bool Test(uint32_t i) const {
+    return (bits_ >> i) & uint64_t{1};
+  }
+
+  constexpr void SetAll(uint32_t n) {
+    bits_ = (n >= 64) ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+  }
+  constexpr void ClearAll() { bits_ = 0; }
+
+  constexpr bool Any() const { return bits_ != 0; }
+  constexpr bool None() const { return bits_ == 0; }
+  int Count() const { return std::popcount(bits_); }
+
+  constexpr uint64_t bits() const { return bits_; }
+
+  constexpr Bitmap64 operator|(Bitmap64 other) const {
+    return Bitmap64(bits_ | other.bits_);
+  }
+  constexpr Bitmap64 operator&(Bitmap64 other) const {
+    return Bitmap64(bits_ & other.bits_);
+  }
+  constexpr Bitmap64& operator|=(Bitmap64 other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+  constexpr Bitmap64& operator&=(Bitmap64 other) {
+    bits_ &= other.bits_;
+    return *this;
+  }
+  friend constexpr bool operator==(Bitmap64 a, Bitmap64 b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_BITMAP_H_

@@ -1,0 +1,46 @@
+#ifndef MINIRAID_COMMON_CLOCK_H_
+#define MINIRAID_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace miniraid {
+
+/// Time within the system, in nanoseconds. Under the simulator this is
+/// virtual time; under the thread/socket runtimes it is steady_clock time.
+using Duration = int64_t;  // nanoseconds
+using TimePoint = int64_t;  // nanoseconds since runtime start
+
+constexpr Duration Nanoseconds(int64_t n) { return n; }
+constexpr Duration Microseconds(int64_t n) { return n * 1000; }
+constexpr Duration Milliseconds(int64_t n) { return n * 1000 * 1000; }
+constexpr Duration Seconds(int64_t n) { return n * 1000 * 1000 * 1000; }
+
+constexpr double ToMillis(Duration d) { return double(d) / 1e6; }
+
+/// Source of "now". The protocol engine only ever reads time through this
+/// interface so the identical code runs in virtual and real time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+/// Real-time clock backed by std::chrono::steady_clock.
+class SteadyClock : public Clock {
+ public:
+  SteadyClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  TimePoint Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_CLOCK_H_

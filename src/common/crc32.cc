@@ -1,0 +1,38 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace miniraid {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xedb88320u;  // reflected IEEE polynomial
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32Extend(uint32_t seed, const uint8_t* data, size_t size) {
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ data[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  return Crc32Extend(0, data, size);
+}
+
+}  // namespace miniraid

@@ -1,0 +1,19 @@
+#ifndef MINIRAID_COMMON_CRC32_H_
+#define MINIRAID_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace miniraid {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant). Used to detect
+/// torn or corrupt records in the write-ahead log and snapshot files.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Incremental form: extends `seed` (a previous Crc32 result) with more
+/// bytes. Crc32(all) == Crc32Extend(Crc32(first), rest).
+uint32_t Crc32Extend(uint32_t seed, const uint8_t* data, size_t size);
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_CRC32_H_

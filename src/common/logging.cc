@@ -1,0 +1,76 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace miniraid {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+// Serializes line emission so concurrent sites do not interleave output.
+std::mutex& EmitMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line,
+          const std::string& message) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
+               line, message.c_str());
+}
+
+FatalLine::FatalLine(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "Check failed: " << condition << " ";
+}
+
+FatalLine::~FatalLine() {
+  Emit(LogLevel::kError, file_, line_, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+
+}  // namespace miniraid

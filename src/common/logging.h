@@ -1,0 +1,92 @@
+#ifndef MINIRAID_COMMON_LOGGING_H_
+#define MINIRAID_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace miniraid {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global log threshold; messages below it are dropped before formatting
+/// (the macro short-circuits, so disabled logging costs one branch).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Emits one formatted line to stderr: "[LEVEL file:line] message".
+void Emit(LogLevel level, const char* file, int line,
+          const std::string& message);
+
+/// Stream collector used by the MR_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Emit(level_, file_, line_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define MR_LOG(level)                                               \
+  if (::miniraid::LogLevel::level < ::miniraid::GetLogLevel()) {    \
+  } else                                                            \
+    ::miniraid::internal_logging::LogLine(::miniraid::LogLevel::level, \
+                                          __FILE__, __LINE__)
+
+#define MR_CHECK(cond)                                                   \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::miniraid::internal_logging::FatalLine(__FILE__, __LINE__, #cond)
+
+namespace internal_logging {
+
+/// Collector for MR_CHECK failures; aborts the process in the destructor.
+class FatalLine {
+ public:
+  FatalLine(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLine();
+
+  FatalLine(const FatalLine&) = delete;
+  FatalLine& operator=(const FatalLine&) = delete;
+
+  template <typename T>
+  FatalLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_LOGGING_H_

@@ -1,0 +1,71 @@
+#ifndef MINIRAID_COMMON_RESULT_H_
+#define MINIRAID_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace miniraid {
+
+/// A Status with a value on success (a minimal absl::StatusOr). The value
+/// is engaged iff status().ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status makes
+  /// `return Status::NotFound(...);` work. A program that constructs a
+  /// Result from an OK status without a value has a bug.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result from OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when not OK.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status
+/// from the enclosing function.
+#define MINIRAID_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto MINIRAID_CONCAT_(_mr_result_, __LINE__) = (expr); \
+  if (!MINIRAID_CONCAT_(_mr_result_, __LINE__).ok())     \
+    return MINIRAID_CONCAT_(_mr_result_, __LINE__).status(); \
+  lhs = std::move(MINIRAID_CONCAT_(_mr_result_, __LINE__)).value()
+
+#define MINIRAID_CONCAT_INNER_(a, b) a##b
+#define MINIRAID_CONCAT_(a, b) MINIRAID_CONCAT_INNER_(a, b)
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_RESULT_H_

@@ -1,0 +1,66 @@
+#ifndef MINIRAID_COMMON_RNG_H_
+#define MINIRAID_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace miniraid {
+
+/// Deterministic pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. Used everywhere instead of std::mt19937 so that experiment
+/// traces are reproducible bit-for-bit across platforms and standard-library
+/// versions.
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` with SplitMix64 so that nearby
+  /// seeds give uncorrelated streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0. Uses rejection
+  /// sampling (Lemire) so results are unbiased.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Derives an independent child generator; convenient for giving each
+  /// site / workload its own stream from one experiment seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(θ) sampler over {0, ..., n-1} using the classic CDF-inversion
+/// approximation with precomputed harmonic normalization. θ = 0 degenerates
+/// to uniform. Used by the skewed workloads (paper §5 discusses relaxing the
+/// equal-probability hot-set assumption).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, Rng* rng);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng* rng_;  // not owned
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_RNG_H_

@@ -1,0 +1,45 @@
+#ifndef MINIRAID_COMMON_RUNTIME_H_
+#define MINIRAID_COMMON_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.h"
+
+namespace miniraid {
+
+using TimerId = uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// Per-site execution services the protocol engine runs against. The same
+/// engine code runs deterministically under the discrete-event simulator
+/// (virtual time, modelled CPU costs) and on real threads/sockets (steady
+/// clock, no-op CPU accounting).
+///
+/// Threading contract: all calls into a SiteRuntime for a given site are
+/// made from that site's execution context (the simulator's single thread,
+/// or the site's event-loop thread), and timer callbacks fire in that same
+/// context — so the protocol engine needs no internal locking.
+class SiteRuntime {
+ public:
+  virtual ~SiteRuntime() = default;
+
+  /// Current time (virtual or steady), in nanoseconds since runtime start.
+  virtual TimePoint Now() const = 0;
+
+  /// Runs `fn` after `delay` in this site's execution context. Returns a
+  /// handle that can cancel the timer before it fires.
+  virtual TimerId ScheduleAfter(Duration delay, std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; a no-op if it already fired or was cancelled.
+  virtual void CancelTimer(TimerId id) = 0;
+
+  /// Accounts `amount` of CPU work to this site. Under the simulator this
+  /// advances the site's virtual clock (and delays everything the site does
+  /// afterwards); real runtimes may ignore it.
+  virtual void ChargeCpu(Duration amount) = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_RUNTIME_H_

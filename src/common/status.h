@@ -1,0 +1,108 @@
+#ifndef MINIRAID_COMMON_STATUS_H_
+#define MINIRAID_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace miniraid {
+
+/// Error categories used across the library. Modelled after the
+/// RocksDB/absl status idiom: no exceptions cross a library boundary; any
+/// fallible call returns a Status (or Result<T>, see result.h).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kUnavailable = 5,   // e.g. no operational site holds an up-to-date copy
+  kTimedOut = 6,      // e.g. a 2PC ack deadline expired
+  kAborted = 7,       // transaction aborted by the protocol
+  kIoError = 8,       // socket / OS-level failure
+  kCorruption = 9,    // malformed wire data
+  kInternal = 10,     // invariant violation (a bug)
+};
+
+/// Returns a stable human-readable name for `code` ("Ok", "TimedOut", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-type result of a fallible operation: a code plus an optional
+/// message. Cheap to copy when OK (no allocation on the OK path).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are advisory
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if not OK.
+#define MINIRAID_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::miniraid::Status _mr_status = (expr);            \
+    if (!_mr_status.ok()) return _mr_status;           \
+  } while (0)
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_STATUS_H_

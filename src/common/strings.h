@@ -1,0 +1,23 @@
+#ifndef MINIRAID_COMMON_STRINGS_H_
+#define MINIRAID_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace miniraid {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_STRINGS_H_

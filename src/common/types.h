@@ -1,0 +1,48 @@
+#ifndef MINIRAID_COMMON_TYPES_H_
+#define MINIRAID_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace miniraid {
+
+/// Identifies a database site. The managing site is a site too (it owns no
+/// replica but speaks the same message channel, as in the paper).
+using SiteId = uint32_t;
+
+/// Index of a logical data item in the frequently-referenced hot set.
+using ItemId = uint32_t;
+
+/// A session number identifies one operational epoch of a site; it is
+/// incremented every time the site comes back up (paper §1.1).
+using SessionNumber = uint64_t;
+
+/// Monotone identifier the managing site assigns to database transactions.
+using TxnId = uint64_t;
+
+/// Stored value of a data item. The workloads write values derived from
+/// (transaction id, item) so replica agreement is checkable bit-for-bit.
+using Value = int64_t;
+
+/// Per-item commit counter: the number of committed writes applied to an
+/// up-to-date copy. Equal versions with clear fail-locks imply equal values.
+using Version = uint64_t;
+
+/// Perceived operational state of a site, as recorded in a nominal session
+/// vector (paper §1.2: "site is up, site is down, site is waiting to
+/// recover, and site is terminating").
+enum class SiteStatus : uint8_t {
+  kUp = 0,
+  kDown = 1,
+  kWaitingToRecover = 2,
+  kTerminating = 3,
+};
+
+/// Sentinel meaning "no site".
+inline constexpr SiteId kInvalidSite = ~SiteId{0};
+
+/// Maximum number of database sites a fail-lock bitmap word supports.
+inline constexpr uint32_t kMaxSites = 64;
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_COMMON_TYPES_H_

@@ -1,0 +1,55 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+namespace miniraid {
+namespace analysis {
+
+double ExpectedOpsPerTxn(uint32_t max_txn_size) {
+  return (1.0 + double(max_txn_size)) / 2.0;
+}
+
+double ExpectedWritesPerTxn(uint32_t max_txn_size, double write_fraction) {
+  return ExpectedOpsPerTxn(max_txn_size) * write_fraction;
+}
+
+double ExpectedFailLocksAfter(uint32_t db_size, uint32_t max_txn_size,
+                              double write_fraction, uint32_t txns) {
+  const double writes =
+      double(txns) * ExpectedWritesPerTxn(max_txn_size, write_fraction);
+  const double miss = std::pow(1.0 - 1.0 / double(db_size), writes);
+  return double(db_size) * (1.0 - miss);
+}
+
+double ExpectedTxnsToClear(uint32_t db_size, uint32_t max_txn_size,
+                           double write_fraction, uint32_t locked) {
+  double writes_needed = 0;
+  for (uint32_t k = 1; k <= locked; ++k) {
+    writes_needed += double(db_size) / double(k);
+  }
+  return writes_needed / ExpectedWritesPerTxn(max_txn_size, write_fraction);
+}
+
+uint64_t MessagesPerCommit(uint32_t participants) {
+  // client request + (prepare, prepare-ack, commit, commit-ack) per
+  // participant + client reply.
+  return 2 + 4ull * participants;
+}
+
+double CopierDemandProbability(uint32_t db_size, uint32_t max_txn_size,
+                               double write_fraction, uint32_t locked) {
+  const double stale_fraction = double(locked) / double(db_size);
+  const double read_fraction = 1.0 - write_fraction;
+  double total = 0;
+  for (uint32_t size = 1; size <= max_txn_size; ++size) {
+    // Given `size` operations, each is a read of a stale item with
+    // probability read_fraction * stale_fraction.
+    const double none =
+        std::pow(1.0 - read_fraction * stale_fraction, double(size));
+    total += (1.0 - none) / double(max_txn_size);
+  }
+  return total;
+}
+
+}  // namespace analysis
+}  // namespace miniraid

@@ -1,0 +1,52 @@
+#ifndef MINIRAID_CORE_ANALYSIS_H_
+#define MINIRAID_CORE_ANALYSIS_H_
+
+#include <cstdint>
+
+namespace miniraid {
+
+/// Closed-form predictions for the paper's experiments, used by the tests
+/// to cross-check the simulator and by EXPERIMENTS.md to explain the
+/// measured shapes. All formulas assume the paper's workload model:
+/// transactions of uniformly 1..max_txn_size operations, each operation
+/// independently a write with probability `write_fraction`, targeting a
+/// uniformly random item among `db_size`.
+namespace analysis {
+
+/// Expected operations per transaction: (1 + max) / 2.
+double ExpectedOpsPerTxn(uint32_t max_txn_size);
+
+/// Expected write operations per transaction.
+double ExpectedWritesPerTxn(uint32_t max_txn_size, double write_fraction);
+
+/// Expected number of distinct items fail-locked for a down site after
+/// `txns` transactions (occupancy / coupon collector with w writes per
+/// transaction): db_size * (1 - (1 - 1/db_size)^(txns * w)).
+double ExpectedFailLocksAfter(uint32_t db_size, uint32_t max_txn_size,
+                              double write_fraction, uint32_t txns);
+
+/// Expected transactions to clear `locked` specific fail-locks through
+/// write-driven refresh alone: sum_{k=1..locked} db_size/k writes, divided
+/// by writes per transaction. (The paper's Figure-1 tail: the last 10
+/// locks take ~an order of magnitude longer than the first 10.)
+double ExpectedTxnsToClear(uint32_t db_size, uint32_t max_txn_size,
+                           double write_fraction, uint32_t locked);
+
+/// Expected messages for one committed transaction coordinated at an
+/// operational site with `participants` operational peers and no copier
+/// activity: prepare + ack + commit + ack per participant, plus the client
+/// request and reply.
+uint64_t MessagesPerCommit(uint32_t participants);
+
+/// Probability that a transaction demands at least one copier at a
+/// coordinator with `locked` of `db_size` copies stale: the chance some
+/// read hits a stale item, averaged over transaction sizes. Reads per
+/// transaction are binomial; this uses the independent-approximation
+/// 1 - E[(1 - locked/db_size)^reads].
+double CopierDemandProbability(uint32_t db_size, uint32_t max_txn_size,
+                               double write_fraction, uint32_t locked);
+
+}  // namespace analysis
+}  // namespace miniraid
+
+#endif  // MINIRAID_CORE_ANALYSIS_H_

@@ -1,0 +1,246 @@
+#include "core/cluster.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+namespace {
+
+SiteOptions ResolveSiteOptions(uint32_t n_sites, uint32_t db_size,
+                               SiteOptions site) {
+  site.n_sites = n_sites;
+  site.db_size = db_size;
+  site.managing_site = n_sites;
+  return site;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimCluster.
+// ---------------------------------------------------------------------------
+
+SimCluster::SimCluster(const ClusterOptions& options)
+    : options_(options), sim_(options.sim) {
+  options_.site =
+      ResolveSiteOptions(options_.n_sites, options_.db_size, options_.site);
+  transport_ = std::make_unique<SimTransport>(&sim_, options_.transport);
+  for (SiteId id = 0; id < options_.n_sites; ++id) {
+    sites_.push_back(std::make_unique<Site>(id, options_.site,
+                                            transport_.get(),
+                                            sim_.RuntimeFor(id)));
+    transport_->Register(id, sites_.back().get());
+  }
+  managing_ = std::make_unique<ManagingSite>(
+      managing_id(), transport_.get(), sim_.RuntimeFor(managing_id()),
+      options_.managing);
+  transport_->Register(managing_id(), managing_.get());
+}
+
+SimCluster::~SimCluster() = default;
+
+TxnReplyArgs SimCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
+  std::optional<TxnReplyArgs> result;
+  managing_->Submit(txn, coordinator,
+                    [&result](const TxnReplyArgs& reply) { result = reply; });
+  sim_.RunUntilIdle();
+  MR_CHECK(result.has_value()) << "simulation drained without a reply";
+  return *result;
+}
+
+void SimCluster::Fail(SiteId site) {
+  managing_->FailSite(site);
+  sim_.RunUntilIdle();
+}
+
+void SimCluster::Recover(SiteId site) {
+  managing_->RecoverSite(site);
+  sim_.RunUntilIdle();
+}
+
+std::vector<SiteId> SimCluster::UpSites() const {
+  std::vector<SiteId> up;
+  for (SiteId id = 0; id < options_.n_sites; ++id) {
+    if (sites_[id]->is_up()) up.push_back(id);
+  }
+  return up;
+}
+
+uint32_t SimCluster::FailLockCountFor(SiteId target) const {
+  uint32_t count = 0;
+  for (SiteId id = 0; id < options_.n_sites; ++id) {
+    if (!sites_[id]->is_up()) continue;
+    count = std::max(count, sites_[id]->fail_locks().CountForSite(target));
+  }
+  return count;
+}
+
+Status SimCluster::CheckReplicaAgreement() const {
+  // Authoritative fail-lock view: union over operational sites.
+  const std::vector<SiteId> up = UpSites();
+  if (up.empty()) return Status::Ok();  // nothing is authoritative
+  for (ItemId item = 0; item < options_.db_size; ++item) {
+    // Freshest copy anywhere.
+    Version freshest = 0;
+    Value freshest_value = 0;
+    for (SiteId id = 0; id < options_.n_sites; ++id) {
+      const Database& db = sites_[id]->db();
+      if (!db.Holds(item)) continue;
+      const ItemState state = *db.Read(item);
+      if (state.version >= freshest) {
+        freshest = state.version;
+        freshest_value = state.value;
+      }
+    }
+    for (SiteId id = 0; id < options_.n_sites; ++id) {
+      const Database& db = sites_[id]->db();
+      if (!db.Holds(item)) continue;
+      bool locked = false;
+      for (SiteId viewer : up) {
+        if (sites_[viewer]->fail_locks().IsSet(item, id)) locked = true;
+      }
+      if (locked) continue;  // known stale: exempt
+      const ItemState state = *db.Read(item);
+      if (state.version != freshest || state.value != freshest_value) {
+        return Status::Internal(StrFormat(
+            "item %u: site %u has unlocked copy v%llu=%lld, freshest "
+            "v%llu=%lld",
+            item, id, (unsigned long long)state.version,
+            (long long)state.value, (unsigned long long)freshest,
+            (long long)freshest_value));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// RealCluster.
+// ---------------------------------------------------------------------------
+
+RealCluster::RealCluster(const RealClusterOptions& options)
+    : options_(options) {
+  options_.site =
+      ResolveSiteOptions(options_.n_sites, options_.db_size, options_.site);
+}
+
+RealCluster::~RealCluster() { Stop(); }
+
+Status RealCluster::Start() {
+  MR_CHECK(!started_) << "RealCluster::Start called twice";
+  started_ = true;
+  const uint32_t total = options_.n_sites + 1;  // + managing site
+  for (uint32_t i = 0; i < total; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+    runtimes_.push_back(
+        std::make_unique<ThreadSiteRuntime>(loops_.back().get(), &clock_));
+  }
+
+  if (options_.transport == RealClusterOptions::TransportKind::kInProc) {
+    inproc_ = std::make_unique<InProcTransport>();
+    for (SiteId id = 0; id < options_.n_sites; ++id) {
+      sites_.push_back(std::make_unique<Site>(
+          id, options_.site, inproc_.get(), runtimes_[id].get()));
+      inproc_->Register(id, loops_[id].get(), sites_.back().get());
+    }
+    managing_ = std::make_unique<ManagingSite>(
+        managing_id(), inproc_.get(), runtimes_[managing_id()].get(),
+        options_.managing);
+    inproc_->Register(managing_id(), loops_[managing_id()].get(),
+                      managing_.get());
+    return Status::Ok();
+  }
+
+  // TCP: every endpoint (sites + managing) gets its own transport. The
+  // transports are created handler-less first (breaking the site <->
+  // transport dependency cycle), then wired and started.
+  const uint16_t base =
+      options_.base_port != 0 ? options_.base_port : PickEphemeralBasePort();
+  std::map<SiteId, uint16_t> ports;
+  for (uint32_t i = 0; i < total; ++i) {
+    ports[i] = static_cast<uint16_t>(base + i);
+  }
+  for (uint32_t i = 0; i < total; ++i) {
+    tcp_.push_back(std::make_unique<TcpTransport>(
+        static_cast<SiteId>(i), ports, loops_[i].get(), /*handler=*/nullptr));
+  }
+  for (SiteId id = 0; id < options_.n_sites; ++id) {
+    sites_.push_back(std::make_unique<Site>(id, options_.site, tcp_[id].get(),
+                                            runtimes_[id].get()));
+    tcp_[id]->set_handler(sites_.back().get());
+  }
+  managing_ = std::make_unique<ManagingSite>(
+      managing_id(), tcp_[managing_id()].get(),
+      runtimes_[managing_id()].get(), options_.managing);
+  tcp_[managing_id()]->set_handler(managing_.get());
+  for (auto& transport : tcp_) {
+    MINIRAID_RETURN_IF_ERROR(transport->Start());
+  }
+  return Status::Ok();
+}
+
+void RealCluster::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& transport : tcp_) {
+    if (transport) transport->Stop();
+  }
+  for (auto& loop : loops_) {
+    if (loop) loop->Stop();
+  }
+}
+
+TxnReplyArgs RealCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<TxnReplyArgs> result;
+  loops_[managing_id()]->Post([&, txn, coordinator] {
+    managing_->Submit(txn, coordinator, [&](const TxnReplyArgs& reply) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        result = reply;
+      }
+      cv.notify_one();
+    });
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return result.has_value(); });
+  return *result;
+}
+
+void RealCluster::Fail(SiteId site) {
+  loops_[managing_id()]->PostAndWait([this, site] {
+    managing_->FailSite(site);
+  });
+  WaitUntil(site, [](Site& s) { return !s.is_up(); });
+}
+
+void RealCluster::Recover(SiteId site) {
+  loops_[managing_id()]->PostAndWait([this, site] {
+    managing_->RecoverSite(site);
+  });
+  WaitUntil(site, [](Site& s) { return s.is_up(); });
+}
+
+void RealCluster::Inspect(SiteId site, const std::function<void(Site&)>& fn) {
+  Site* target = sites_.at(site).get();
+  loops_[site]->PostAndWait([target, &fn] { fn(*target); });
+}
+
+bool RealCluster::WaitUntil(SiteId site,
+                            const std::function<bool(Site&)>& pred,
+                            Duration timeout) {
+  const TimePoint deadline = clock_.Now() + timeout;
+  while (clock_.Now() < deadline) {
+    bool ok = false;
+    Inspect(site, [&](Site& s) { ok = pred(s); });
+    if (ok) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+}  // namespace miniraid

@@ -1,0 +1,149 @@
+#ifndef MINIRAID_CORE_CLUSTER_H_
+#define MINIRAID_CORE_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/managing_site.h"
+#include "net/event_loop.h"
+#include "net/inproc_transport.h"
+#include "net/sim_transport.h"
+#include "net/tcp_transport.h"
+#include "replication/site.h"
+#include "sim/sim_runtime.h"
+
+namespace miniraid {
+
+/// Everything needed to stand up a mini-RAID cluster. `site` carries the
+/// protocol configuration; its n_sites/db_size/managing_site fields are
+/// overwritten from the cluster-level values.
+struct ClusterOptions {
+  uint32_t n_sites = 2;
+  uint32_t db_size = 50;
+  SiteOptions site;
+  SimOptions sim;
+  SimTransportOptions transport;
+  ManagingSite::Options managing;
+};
+
+/// A cluster under the deterministic simulator: N database sites plus the
+/// managing site, wired through SimTransport. This is the substrate of all
+/// experiment reproductions — fast, virtual-time, bit-for-bit repeatable.
+class SimCluster {
+ public:
+  explicit SimCluster(const ClusterOptions& options);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  SimRuntime& runtime() { return sim_; }
+  SimTransport& transport() { return *transport_; }
+  uint64_t messages_sent() const { return transport_->messages_sent(); }
+  ManagingSite& managing() { return *managing_; }
+  Site& site(SiteId id) { return *sites_.at(id); }
+  const Site& site(SiteId id) const { return *sites_.at(id); }
+  uint32_t n_sites() const { return options_.n_sites; }
+  SiteId managing_id() const { return options_.n_sites; }
+
+  /// Submits `txn` to `coordinator` and runs the simulation to quiescence;
+  /// returns the reply (synthesized kCoordinatorUnreachable on timeout).
+  TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator);
+
+  /// Fails / recovers a site through the managing site's control channel
+  /// and runs to quiescence.
+  void Fail(SiteId site);
+  void Recover(SiteId site);
+
+  void RunUntilIdle() { sim_.RunUntilIdle(); }
+
+  /// Sites whose local status is up.
+  std::vector<SiteId> UpSites() const;
+
+  /// Inconsistency measure for the figures: how many of `target`'s copies
+  /// are fail-locked, per the operational sites' (authoritative) tables —
+  /// the max across them (they agree at quiescence).
+  uint32_t FailLockCountFor(SiteId target) const;
+
+  /// Verifies invariant 1 (replica agreement): for every item, every copy
+  /// whose fail-lock bit is clear in the authoritative table matches the
+  /// freshest copy. Call at quiescence only.
+  Status CheckReplicaAgreement() const;
+
+ private:
+  ClusterOptions options_;
+  SimRuntime sim_;
+  std::unique_ptr<SimTransport> transport_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::unique_ptr<ManagingSite> managing_;
+};
+
+/// A cluster on real threads with real message passing: one EventLoop per
+/// site, in-process queues or TCP sockets on localhost. Used to validate
+/// that the protocol behaves identically outside the simulator and to
+/// measure real relative overheads.
+struct RealClusterOptions {
+  uint32_t n_sites = 2;
+  uint32_t db_size = 50;
+  SiteOptions site;
+  ManagingSite::Options managing;
+
+  enum class TransportKind { kInProc, kTcp };
+  TransportKind transport = TransportKind::kInProc;
+
+  /// TCP only: first port; site s listens on base_port + s. 0 picks a
+  /// pid-derived base to keep concurrent test runs apart.
+  uint16_t base_port = 0;
+};
+
+class RealCluster {
+ public:
+  explicit RealCluster(const RealClusterOptions& options);
+  ~RealCluster();
+
+  RealCluster(const RealCluster&) = delete;
+  RealCluster& operator=(const RealCluster&) = delete;
+
+  /// Binds sockets / finishes wiring. Must be called before traffic.
+  Status Start();
+
+  /// Stops all loops and transports. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Blocking: submits to `coordinator`, waits for the reply or client
+  /// timeout.
+  TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator);
+
+  void Fail(SiteId site);
+  void Recover(SiteId site);
+
+  /// Runs `fn(site)` on the site's loop thread and waits (all Site access
+  /// must happen there).
+  void Inspect(SiteId site, const std::function<void(Site&)>& fn);
+
+  /// Polls until `pred(site)` is true (checked on the site's loop) or the
+  /// deadline passes. Returns whether the predicate held.
+  bool WaitUntil(SiteId site, const std::function<bool(Site&)>& pred,
+                 Duration timeout = Seconds(10));
+
+  uint32_t n_sites() const { return options_.n_sites; }
+  SiteId managing_id() const { return options_.n_sites; }
+
+ private:
+  RealClusterOptions options_;
+  SteadyClock clock_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;  // per site + managing
+  std::vector<std::unique_ptr<ThreadSiteRuntime>> runtimes_;
+  std::unique_ptr<InProcTransport> inproc_;
+  std::vector<std::unique_ptr<TcpTransport>> tcp_;  // per site + managing
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::unique_ptr<ManagingSite> managing_;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_CORE_CLUSTER_H_

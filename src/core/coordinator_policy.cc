@@ -1,0 +1,73 @@
+#include "core/coordinator_policy.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+
+CoordinatorPolicy CoordinatorPolicy::Fixed(SiteId site) {
+  CoordinatorPolicy policy(Kind::kFixed);
+  policy.fixed_ = site;
+  return policy;
+}
+
+CoordinatorPolicy CoordinatorPolicy::RoundRobin() {
+  return CoordinatorPolicy(Kind::kRoundRobin);
+}
+
+CoordinatorPolicy CoordinatorPolicy::Uniform() {
+  return CoordinatorPolicy(Kind::kUniform);
+}
+
+CoordinatorPolicy CoordinatorPolicy::Weighted(std::vector<double> weights) {
+  CoordinatorPolicy policy(Kind::kWeighted);
+  policy.weights_ = std::move(weights);
+  return policy;
+}
+
+SiteId CoordinatorPolicy::Pick(const std::vector<SiteId>& up_sites,
+                               Rng* rng) {
+  MR_CHECK(!up_sites.empty()) << "no operational site to coordinate";
+  switch (kind_) {
+    case Kind::kFixed: {
+      for (SiteId site : up_sites) {
+        if (site == fixed_) return site;
+      }
+      return up_sites.front();
+    }
+    case Kind::kRoundRobin:
+      return up_sites[counter_++ % up_sites.size()];
+    case Kind::kUniform:
+      return up_sites[rng->NextBounded(up_sites.size())];
+    case Kind::kWeighted: {
+      double total = 0.0;
+      for (SiteId site : up_sites) {
+        total += site < weights_.size() ? weights_[site] : 1.0;
+      }
+      double roll = rng->NextDouble() * total;
+      for (SiteId site : up_sites) {
+        const double w = site < weights_.size() ? weights_[site] : 1.0;
+        if (roll < w) return site;
+        roll -= w;
+      }
+      return up_sites.back();
+    }
+  }
+  return up_sites.front();
+}
+
+std::string CoordinatorPolicy::name() const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return StrFormat("fixed(%u)", fixed_);
+    case Kind::kRoundRobin:
+      return "round-robin";
+    case Kind::kUniform:
+      return "uniform";
+    case Kind::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+}  // namespace miniraid

@@ -1,0 +1,51 @@
+#ifndef MINIRAID_CORE_COORDINATOR_POLICY_H_
+#define MINIRAID_CORE_COORDINATOR_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace miniraid {
+
+/// How the managing site chooses the coordinating site for each
+/// transaction. The paper leaves this implicit ("initiate a database
+/// transaction to a site"); the Figure-1 data implies transactions were
+/// routed overwhelmingly to the operational site during recovery, so the
+/// policy is explicit and sweepable here (DESIGN.md interpretation note).
+class CoordinatorPolicy {
+ public:
+  /// Every transaction goes to `site` (if it is up; otherwise the
+  /// lowest-id up site).
+  static CoordinatorPolicy Fixed(SiteId site);
+
+  /// Cycle through the up sites.
+  static CoordinatorPolicy RoundRobin();
+
+  /// Uniformly random among up sites.
+  static CoordinatorPolicy Uniform();
+
+  /// Weighted random among up sites; `weights[s]` is site s's relative
+  /// probability mass (sites with no entry get weight 1).
+  static CoordinatorPolicy Weighted(std::vector<double> weights);
+
+  /// Picks a coordinator from `up_sites` (nonempty, ascending).
+  SiteId Pick(const std::vector<SiteId>& up_sites, Rng* rng);
+
+  std::string name() const;
+
+ private:
+  enum class Kind { kFixed, kRoundRobin, kUniform, kWeighted };
+
+  explicit CoordinatorPolicy(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  SiteId fixed_ = 0;
+  std::vector<double> weights_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_CORE_COORDINATOR_POLICY_H_

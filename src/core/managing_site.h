@@ -1,0 +1,91 @@
+#ifndef MINIRAID_CORE_MANAGING_SITE_H_
+#define MINIRAID_CORE_MANAGING_SITE_H_
+
+#include <functional>
+#include <map>
+
+#include "common/runtime.h"
+#include "net/transport.h"
+#include "txn/transaction.h"
+
+namespace miniraid {
+
+/// The paper's managing site: "interactive control of system actions ...
+/// used to cause sites to fail and recover and to initiate a database
+/// transaction to a site". It speaks the same message channel as the
+/// database sites but holds no replica and never counts as operational.
+///
+/// The API is asynchronous (callback on completion) so the same code runs
+/// under the simulator and the real runtimes; drivers layer their own
+/// blocking on top.
+class ManagingSite : public MessageHandler {
+ public:
+  struct Options {
+    /// How long to wait for a coordinator's reply before declaring it
+    /// unreachable (it crashed mid-transaction, or was down all along).
+    Duration client_timeout = Seconds(10);
+  };
+
+  ManagingSite(SiteId id, Transport* transport, SiteRuntime* runtime,
+               const Options& options);
+  ManagingSite(SiteId id, Transport* transport, SiteRuntime* runtime)
+      : ManagingSite(id, transport, runtime, Options{}) {}
+
+  using ReplyCallback = std::function<void(const TxnReplyArgs&)>;
+
+  /// Sends `txn` to `coordinator` and invokes `callback` exactly once: with
+  /// the coordinator's reply, or with outcome kCoordinatorUnreachable after
+  /// the client timeout. The paper's experiments submit serially
+  /// (assumption 2), but multiple transactions may be outstanding — sites
+  /// queue overlapping requests and still execute serially each.
+  void Submit(const TxnSpec& txn, SiteId coordinator, ReplyCallback callback);
+
+  /// True while any submitted transaction has neither replied nor timed
+  /// out.
+  bool HasPending() const { return !pending_.empty(); }
+  size_t PendingCount() const { return pending_.size(); }
+
+  /// Simulates a crash of `site` (paper: "site failure was simulated by
+  /// sending a message to a site to indicate that the site should not
+  /// participate in any further system actions").
+  void FailSite(SiteId site);
+
+  /// Initiates recovery (control transaction type 1) at `site`.
+  void RecoverSite(SiteId site);
+
+  /// Asks `site` to terminate cleanly.
+  void Shutdown(SiteId site);
+
+  void OnMessage(const Message& msg) override;
+
+  // -- tallies over all submitted transactions ---------------------------
+  uint64_t submitted() const { return submitted_; }
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+  uint64_t unreachable() const { return unreachable_; }
+
+  SiteId id() const { return id_; }
+
+ private:
+  struct PendingTxn {
+    ReplyCallback callback;
+    TimerId timer = kInvalidTimer;
+  };
+
+  void ClientTimeout(TxnId txn);
+
+  const SiteId id_;
+  Transport* const transport_;
+  SiteRuntime* const runtime_;
+  const Options options_;
+
+  std::map<TxnId, PendingTxn> pending_;
+  uint64_t submitted_ = 0;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+  uint64_t unreachable_ = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_CORE_MANAGING_SITE_H_

@@ -1,0 +1,74 @@
+#include "db/database.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+
+Database::Database(uint32_t n_items)
+    : items_(n_items, ItemState{}), held_count_(n_items) {}
+
+Database::Database(uint32_t n_items, const std::vector<ItemId>& held)
+    : items_(n_items, std::nullopt) {
+  for (ItemId item : held) {
+    MR_CHECK(item < n_items) << "held item " << item << " out of range";
+    if (!items_[item].has_value()) {
+      items_[item] = ItemState{};
+      ++held_count_;
+    }
+  }
+}
+
+Result<ItemState> Database::Read(ItemId item) const {
+  if (!Holds(item)) {
+    return Status::NotFound(StrFormat("no local copy of item %u", item));
+  }
+  return *items_[item];
+}
+
+Status Database::CommitWrite(ItemId item, Value value, TxnId writer) {
+  if (!Holds(item)) {
+    return Status::NotFound(StrFormat("no local copy of item %u", item));
+  }
+  ItemState& state = *items_[item];
+  if (writer < state.version) {
+    return Status::InvalidArgument(
+        StrFormat("write by txn %llu would regress item %u from version %llu",
+                  (unsigned long long)writer, item,
+                  (unsigned long long)state.version));
+  }
+  state.value = value;
+  state.version = writer;
+  return Status::Ok();
+}
+
+Status Database::InstallCopy(ItemId item, const ItemState& copy) {
+  if (item >= items_.size()) {
+    return Status::InvalidArgument(StrFormat("item %u out of range", item));
+  }
+  if (!items_[item].has_value()) {
+    items_[item] = copy;
+    ++held_count_;
+    return Status::Ok();
+  }
+  ItemState& state = *items_[item];
+  if (copy.version < state.version) {
+    return Status::InvalidArgument(StrFormat(
+        "incoming copy of item %u (version %llu) older than local (%llu)",
+        item, (unsigned long long)copy.version,
+        (unsigned long long)state.version));
+  }
+  state = copy;
+  return Status::Ok();
+}
+
+Status Database::DropCopy(ItemId item) {
+  if (!Holds(item)) {
+    return Status::NotFound(StrFormat("no local copy of item %u", item));
+  }
+  items_[item] = std::nullopt;
+  --held_count_;
+  return Status::Ok();
+}
+
+}  // namespace miniraid

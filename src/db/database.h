@@ -1,0 +1,79 @@
+#ifndef MINIRAID_DB_DATABASE_H_
+#define MINIRAID_DB_DATABASE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace miniraid {
+
+/// State of one local copy of a data item. `version` is the id of the last
+/// committed transaction that wrote the item (0 = initial state). Because
+/// transactions execute serially and ids are assigned in submission order,
+/// versions are monotone, identical versions imply identical values, and
+/// version comparison orders copies by freshness (used by the copier
+/// machinery and the quorum baseline).
+struct ItemState {
+  Value value = 0;
+  Version version = 0;
+
+  friend bool operator==(const ItemState&, const ItemState&) = default;
+};
+
+/// One site's copy of the database: the frequently-referenced hot set of
+/// `n_items` logical items, kept in memory (the paper factored out data
+/// I/O; copies lived "within the virtual memory of each process", §1.2).
+/// Supports partial replication for the control-transaction-type-3
+/// extension: a site may hold copies of only a subset of the items.
+class Database {
+ public:
+  /// Fully replicated database over items [0, n_items).
+  explicit Database(uint32_t n_items);
+
+  /// Partially replicated: holds only the items in `held` (ids must be
+  /// < n_items).
+  Database(uint32_t n_items, const std::vector<ItemId>& held);
+
+  uint32_t n_items() const { return static_cast<uint32_t>(items_.size()); }
+
+  /// True if this site stores a copy of `item`.
+  bool Holds(ItemId item) const {
+    return item < items_.size() && items_[item].has_value();
+  }
+
+  /// Number of items this site holds a copy of.
+  uint32_t held_count() const { return held_count_; }
+
+  /// Reads the local copy. kNotFound if this site holds no copy.
+  Result<ItemState> Read(ItemId item) const;
+
+  /// Applies a committed write: installs `value` and advances the version
+  /// to `writer` (the committing transaction's id). kNotFound if the site
+  /// holds no copy; kInvalidArgument if the version would regress.
+  Status CommitWrite(ItemId item, Value value, TxnId writer);
+
+  /// Installs a complete copy obtained from another site (copier
+  /// transaction / control type 3). Creates the local copy if absent.
+  /// Rejects regressions: an incoming copy older than the local one is a
+  /// protocol error.
+  Status InstallCopy(ItemId item, const ItemState& copy);
+
+  /// Drops the local copy (space reclamation after a type-3 backup copy is
+  /// no longer needed). kNotFound if not held.
+  Status DropCopy(ItemId item);
+
+  /// Full snapshot (unheld items are nullopt) — used by tests and oracles.
+  const std::vector<std::optional<ItemState>>& snapshot() const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::optional<ItemState>> items_;
+  uint32_t held_count_ = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_DB_DATABASE_H_

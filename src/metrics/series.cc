@@ -1,0 +1,105 @@
+#include "metrics/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace miniraid {
+
+void WriteCsv(std::ostream& out, const std::string& x_label,
+              const std::vector<Series>& series) {
+  out << x_label;
+  for (const Series& s : series) out << "," << s.label;
+  out << "\n";
+
+  // Collect the union of x values, then one row per x.
+  std::map<double, std::vector<std::string>> rows;
+  for (size_t si = 0; si < series.size(); ++si) {
+    const Series& s = series[si];
+    for (size_t i = 0; i < s.size(); ++i) {
+      auto [it, inserted] =
+          rows.try_emplace(s.xs[i], std::vector<std::string>(series.size()));
+      it->second[si] = StrFormat("%g", s.ys[i]);
+    }
+  }
+  for (const auto& [x, cells] : rows) {
+    out << StrFormat("%g", x);
+    for (const std::string& cell : cells) out << "," << cell;
+    out << "\n";
+  }
+}
+
+std::string RenderAsciiChart(const std::vector<Series>& series, int width,
+                             int height, const std::string& x_label,
+                             const std::string& y_label) {
+  static constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+  if (width < 10) width = 10;
+  if (height < 4) height = 4;
+
+  double min_x = 0, max_x = 1, min_y = 0, max_y = 1;
+  bool any = false;
+  for (const Series& s : series) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (!any) {
+        min_x = max_x = s.xs[i];
+        min_y = max_y = s.ys[i];
+        any = true;
+      } else {
+        min_x = std::min(min_x, s.xs[i]);
+        max_x = std::max(max_x, s.xs[i]);
+        min_y = std::min(min_y, s.ys[i]);
+        max_y = std::max(max_y, s.ys[i]);
+      }
+    }
+  }
+  if (!any) return "(empty chart)\n";
+  // Anchor the y axis at zero like the paper's figures, and avoid a
+  // degenerate scale when all values coincide.
+  min_y = std::min(min_y, 0.0);
+  if (max_x == min_x) max_x = min_x + 1;
+  if (max_y == min_y) max_y = min_y + 1;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const Series& s = series[si];
+    for (size_t i = 0; i < s.size(); ++i) {
+      const int col = static_cast<int>(
+          std::lround((s.xs[i] - min_x) / (max_x - min_x) * (width - 1)));
+      const int row = static_cast<int>(
+          std::lround((s.ys[i] - min_y) / (max_y - min_y) * (height - 1)));
+      grid[height - 1 - row][col] = glyph;
+    }
+  }
+
+  std::string out;
+  out += StrFormat("%s\n", y_label.c_str());
+  const std::string top_label = StrFormat("%6.0f |", max_y);
+  const std::string bottom_label = StrFormat("%6.0f |", min_y);
+  const std::string pad(8, ' ');
+  for (int r = 0; r < height; ++r) {
+    if (r == 0) {
+      out += top_label;
+    } else if (r == height - 1) {
+      out += bottom_label;
+    } else {
+      out += "       |";
+    }
+    out += grid[r];
+    out += "\n";
+  }
+  out += pad + std::string(width, '-') + "\n";
+  out += pad + StrFormat("%-10.0f", min_x) +
+         std::string(std::max(0, width - 20), ' ') +
+         StrFormat("%10.0f", max_x) + "\n";
+  out += pad + x_label + "\n";
+  for (size_t si = 0; si < series.size(); ++si) {
+    out += StrFormat("        %c = %s\n", kGlyphs[si % sizeof(kGlyphs)],
+                     series[si].label.c_str());
+  }
+  return out;
+}
+
+}  // namespace miniraid

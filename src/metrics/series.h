@@ -1,0 +1,39 @@
+#ifndef MINIRAID_METRICS_SERIES_H_
+#define MINIRAID_METRICS_SERIES_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace miniraid {
+
+/// One plotted curve: (x, y) points with a legend label. The experiment
+/// drivers record one series per site (e.g. "fail-locks set for site 0"
+/// against the transaction number, the axes of the paper's Figures 1-3).
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+
+  void Add(double x, double y) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  size_t size() const { return xs.size(); }
+};
+
+/// Writes series as CSV: header "x,label1,label2,...", one row per distinct
+/// x (missing values empty). Suitable for external plotting.
+void WriteCsv(std::ostream& out, const std::string& x_label,
+              const std::vector<Series>& series);
+
+/// Renders series as a monochrome ASCII chart of the given size; each
+/// series uses its own glyph, with a legend underneath. This is how the
+/// benches reproduce the paper's figures in a terminal.
+std::string RenderAsciiChart(const std::vector<Series>& series, int width,
+                             int height, const std::string& x_label,
+                             const std::string& y_label);
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_METRICS_SERIES_H_

@@ -1,0 +1,71 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+
+void DurationStats::Add(Duration sample) {
+  samples_.push_back(sample);
+  sorted_valid_ = false;
+}
+
+void DurationStats::MergeFrom(const DurationStats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
+void DurationStats::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void DurationStats::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+Duration DurationStats::Min() const {
+  MR_CHECK(!samples_.empty()) << "Min of empty stats";
+  EnsureSorted();
+  return sorted_.front();
+}
+
+Duration DurationStats::Max() const {
+  MR_CHECK(!samples_.empty()) << "Max of empty stats";
+  EnsureSorted();
+  return sorted_.back();
+}
+
+Duration DurationStats::Mean() const {
+  MR_CHECK(!samples_.empty()) << "Mean of empty stats";
+  const __int128 total = std::accumulate(
+      samples_.begin(), samples_.end(), __int128{0},
+      [](__int128 acc, Duration d) { return acc + d; });
+  return static_cast<Duration>(total / static_cast<__int128>(samples_.size()));
+}
+
+Duration DurationStats::Percentile(double q) const {
+  MR_CHECK(!samples_.empty()) << "Percentile of empty stats";
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const size_t rank = static_cast<size_t>(q * double(sorted_.size() - 1) + 0.5);
+  return sorted_[rank];
+}
+
+std::string DurationStats::Summary() const {
+  if (samples_.empty()) return "n=0";
+  return StrFormat("n=%zu mean=%.2fms min=%.2fms p50=%.2fms p95=%.2fms max=%.2fms",
+                   count(), ToMillis(Mean()), ToMillis(Min()),
+                   ToMillis(Percentile(0.5)), ToMillis(Percentile(0.95)),
+                   ToMillis(Max()));
+}
+
+}  // namespace miniraid

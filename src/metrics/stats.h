@@ -1,0 +1,50 @@
+#ifndef MINIRAID_METRICS_STATS_H_
+#define MINIRAID_METRICS_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace miniraid {
+
+/// Accumulates duration samples and reports summary statistics. The paper
+/// reports averages of "the recorded times ... after a stable state of
+/// transaction processing was achieved"; Mean() is the headline number and
+/// percentiles support deeper analysis.
+class DurationStats {
+ public:
+  void Add(Duration sample);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  Duration Min() const;
+  Duration Max() const;
+  Duration Mean() const;
+  /// `q` in [0, 1]; nearest-rank on the sorted samples.
+  Duration Percentile(double q) const;
+
+  double MeanMillis() const { return ToMillis(Mean()); }
+
+  /// "n=12 mean=176.2ms min=... p95=... max=..."
+  std::string Summary() const;
+
+  /// Raw samples in insertion order (used to merge per-site stats).
+  const std::vector<Duration>& samples() const { return samples_; }
+
+  /// Appends all of `other`'s samples.
+  void MergeFrom(const DurationStats& other);
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<Duration> samples_;
+  mutable std::vector<Duration> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_METRICS_STATS_H_

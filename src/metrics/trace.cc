@@ -1,0 +1,119 @@
+#include "metrics/trace.h"
+
+#include "common/strings.h"
+
+namespace miniraid {
+
+std::string_view TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kTxnReceived:
+      return "TxnReceived";
+    case TraceEvent::kTxnCommitted:
+      return "TxnCommitted";
+    case TraceEvent::kTxnAborted:
+      return "TxnAborted";
+    case TraceEvent::kCopierStarted:
+      return "CopierStarted";
+    case TraceEvent::kCopyServed:
+      return "CopyServed";
+    case TraceEvent::kClearLocksSent:
+      return "ClearLocksSent";
+    case TraceEvent::kPrepareHandled:
+      return "PrepareHandled";
+    case TraceEvent::kParticipantCommitted:
+      return "ParticipantCommitted";
+    case TraceEvent::kCrashed:
+      return "Crashed";
+    case TraceEvent::kRecoveryStarted:
+      return "RecoveryStarted";
+    case TraceEvent::kRecoveryServed:
+      return "RecoveryServed";
+    case TraceEvent::kRecoveryCompleted:
+      return "RecoveryCompleted";
+    case TraceEvent::kFailureDetected:
+      return "FailureDetected";
+    case TraceEvent::kFailureLearned:
+      return "FailureLearned";
+    case TraceEvent::kType3Backup:
+      return "Type3Backup";
+    case TraceEvent::kBatchCopierStarted:
+      return "BatchCopierStarted";
+  }
+  return "Unknown";
+}
+
+std::string TraceRecord::ToString() const {
+  return StrFormat("[%10.3fms] site %u %-20s a=%llu b=%llu", ToMillis(when),
+                   site, std::string(TraceEventName(event)).c_str(),
+                   (unsigned long long)a, (unsigned long long)b);
+}
+
+void TraceLog::Record(TimePoint when, SiteId site, TraceEvent event,
+                      uint64_t a, uint64_t b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(TraceRecord{when, site, event, a, b});
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+uint64_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceRecord> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceRecord>(records_.begin(), records_.end());
+}
+
+std::vector<TraceRecord> TraceLog::Filter(TraceEvent event) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& record : records_) {
+    if (record.event == event) out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> TraceLog::ForSite(SiteId site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& record : records_) {
+    if (record.site == site) out.push_back(record);
+  }
+  return out;
+}
+
+size_t TraceLog::Count(TraceEvent event) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const TraceRecord& record : records_) {
+    count += record.event == event ? 1 : 0;
+  }
+  return count;
+}
+
+std::string TraceLog::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const TraceRecord& record : records_) {
+    out += record.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace miniraid

@@ -1,0 +1,88 @@
+#ifndef MINIRAID_METRICS_TRACE_H_
+#define MINIRAID_METRICS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace miniraid {
+
+/// Protocol events a site can record. One enumerator per externally
+/// meaningful protocol step; the two argument slots are event-specific
+/// (documented per enumerator).
+enum class TraceEvent : uint8_t {
+  kTxnReceived = 0,        // a=txn id, b=op count
+  kTxnCommitted = 1,       // a=txn id, b=write count
+  kTxnAborted = 2,         // a=txn id, b=outcome (TxnOutcome)
+  kCopierStarted = 3,      // a=txn id, b=item count needing copies
+  kCopyServed = 4,         // a=requesting site, b=copies returned
+  kClearLocksSent = 5,     // a=txn id, b=item count
+  kPrepareHandled = 6,     // a=txn id, b=staged item count
+  kParticipantCommitted = 7,  // a=txn id, b=installed item count
+  kCrashed = 8,            // a=1 if state lost
+  kRecoveryStarted = 9,    // a=new session number
+  kRecoveryServed = 10,    // a=recovering site, b=fail-lock rows sent
+  kRecoveryCompleted = 11, // a=session, b=own fail-lock count afterwards
+  kFailureDetected = 12,   // a=failed site (control type 2 initiated)
+  kFailureLearned = 13,    // a=failed site (control type 2 received)
+  kType3Backup = 14,       // a=backup site, b=copies shipped
+  kBatchCopierStarted = 15,  // a=items in the batch
+};
+
+std::string_view TraceEventName(TraceEvent event);
+
+/// One recorded event.
+struct TraceRecord {
+  TimePoint when = 0;
+  SiteId site = kInvalidSite;
+  TraceEvent event = TraceEvent::kTxnReceived;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  std::string ToString() const;
+};
+
+/// Bounded in-memory protocol trace, shared by all sites of a cluster.
+/// Thread-safe (a single mutex guards the buffer), so it works on the real
+/// thread/socket runtimes as well as under the simulator. Oldest records
+/// are dropped once `capacity` is reached.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 65536) : capacity_(capacity) {}
+
+  void Record(TimePoint when, SiteId site, TraceEvent event, uint64_t a = 0,
+              uint64_t b = 0);
+
+  size_t size() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  /// Copy of the full buffer, in order.
+  std::vector<TraceRecord> Snapshot() const;
+
+  /// Records matching `event` (all sites), in order.
+  std::vector<TraceRecord> Filter(TraceEvent event) const;
+  /// Records for `site`, in order.
+  std::vector<TraceRecord> ForSite(SiteId site) const;
+
+  /// Count of records matching `event`.
+  size_t Count(TraceEvent event) const;
+
+  /// Multi-line human-readable dump ("[12.345ms] site 1 Prepare txn=7 ...").
+  std::string Dump() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<TraceRecord> records_;  // guarded by mu_
+  uint64_t dropped_ = 0;             // guarded by mu_
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_METRICS_TRACE_H_

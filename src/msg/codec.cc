@@ -1,0 +1,55 @@
+#include "msg/codec.h"
+
+namespace miniraid {
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutString(const std::string& s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Status Decoder::GetU8(uint8_t* out) { return GetFixed(out); }
+Status Decoder::GetU16(uint16_t* out) { return GetFixed(out); }
+Status Decoder::GetU32(uint32_t* out) { return GetFixed(out); }
+Status Decoder::GetU64(uint64_t* out) { return GetFixed(out); }
+
+Status Decoder::GetI64(int64_t* out) {
+  uint64_t u = 0;
+  MINIRAID_RETURN_IF_ERROR(GetFixed(&u));
+  *out = static_cast<int64_t>(u);
+  return Status::Ok();
+}
+
+Status Decoder::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::Corruption("varint truncated");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    const uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status Decoder::GetString(std::string* out) {
+  uint64_t n = 0;
+  MINIRAID_RETURN_IF_ERROR(GetVarint(&n));
+  if (n > remaining()) return Status::Corruption("string truncated");
+  out->assign(reinterpret_cast<const char*>(data_ + pos_),
+              static_cast<size_t>(n));
+  pos_ += static_cast<size_t>(n);
+  return Status::Ok();
+}
+
+}  // namespace miniraid

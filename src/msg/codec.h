@@ -1,0 +1,121 @@
+#ifndef MINIRAID_MSG_CODEC_H_
+#define MINIRAID_MSG_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace miniraid {
+
+/// Append-only binary encoder. Fixed-width integers are little-endian;
+/// unsigned varints use LEB128. The format is the same for the in-memory
+/// and socket transports so a message round-trips identically everywhere.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+
+  /// LEB128 unsigned varint (1-10 bytes).
+  void PutVarint(uint64_t v);
+
+  /// Length-prefixed byte string.
+  void PutString(const std::string& s);
+
+  /// Length-prefixed vector of POD-encodable elements via a callback.
+  template <typename T, typename F>
+  void PutVector(const std::vector<T>& v, F&& put_element) {
+    PutVarint(v.size());
+    for (const T& e : v) put_element(*this, e);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    uint8_t bytes[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader over an encoded buffer. Every getter returns a
+/// Status so truncated or corrupt input surfaces as StatusCode::kCorruption
+/// instead of undefined behaviour.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU16(uint16_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI64(int64_t* out);
+  Status GetVarint(uint64_t* out);
+  Status GetString(std::string* out);
+
+  /// Length-prefixed vector; `get_element` decodes one element.
+  template <typename T, typename F>
+  Status GetVector(std::vector<T>* out, F&& get_element) {
+    uint64_t n = 0;
+    MINIRAID_RETURN_IF_ERROR(GetVarint(&n));
+    if (n > remaining()) {
+      // Each element takes >= 1 byte, so this length is impossible; reject
+      // before attempting a huge allocation from corrupt input.
+      return Status::Corruption("vector length exceeds remaining bytes");
+    }
+    out->clear();
+    out->reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      T element;
+      MINIRAID_RETURN_IF_ERROR(get_element(*this, &element));
+      out->push_back(std::move(element));
+    }
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  Status GetFixed(T* out) {
+    if (remaining() < sizeof(T)) {
+      return Status::Corruption("buffer truncated");
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return Status::Ok();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_MSG_CODEC_H_

@@ -1,0 +1,120 @@
+#include "net/event_loop.h"
+
+#include "common/logging.h"
+
+namespace miniraid {
+
+EventLoop::EventLoop() : thread_([this] { Run(); }) {}
+
+EventLoop::~EventLoop() { Stop(); }
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+TimerId EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  const auto when =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay);
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return kInvalidTimer;
+    id = next_timer_id_++;
+    timers_.emplace(when, Timer{id, std::move(fn)});
+  }
+  cv_.notify_one();
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) {
+  if (id == kInvalidTimer) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.id == id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+  // Not found: it may be the timer currently executing; mark it so a
+  // re-entrant cancel is still a no-op afterwards.
+  cancelled_.insert(id);
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopped; just make sure the thread is joined.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  MR_CHECK(!IsCurrentThread()) << "EventLoop::Stop from the loop thread";
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::PostAndWait(std::function<void()> task) {
+  MR_CHECK(!IsCurrentThread()) << "PostAndWait from the loop thread";
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  Post([&] {
+    task();
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done = true;
+    }
+    done_cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(done_mu);
+  // If the loop is stopping the task may never run; bound the wait so a
+  // shutdown race cannot hang the caller forever.
+  done_cv.wait_for(lock, std::chrono::seconds(30), [&] { return done; });
+}
+
+void EventLoop::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stopping_) return;
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (!timers_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      auto first = timers_.begin();
+      if (first->first <= now) {
+        Timer timer = std::move(first->second);
+        timers_.erase(first);
+        if (cancelled_.erase(timer.id)) continue;
+        lock.unlock();
+        timer.fn();
+        lock.lock();
+        continue;
+      }
+      cv_.wait_until(lock, first->first);
+      continue;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void ThreadSiteRuntime::ChargeCpu(Duration amount) {
+  if (cpu_scale_ <= 0.0) return;
+  const Duration target = static_cast<Duration>(double(amount) * cpu_scale_);
+  const TimePoint start = clock_->Now();
+  while (clock_->Now() - start < target) {
+    // Busy spin: emulates the modelled CPU cost in wall-clock time.
+  }
+}
+
+}  // namespace miniraid

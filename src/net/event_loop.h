@@ -1,0 +1,101 @@
+#ifndef MINIRAID_NET_EVENT_LOOP_H_
+#define MINIRAID_NET_EVENT_LOOP_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "common/runtime.h"
+
+namespace miniraid {
+
+/// A single-threaded executor with timers: the real-time analogue of one
+/// site's execution context. Tasks posted from any thread run in FIFO order
+/// on the loop thread; timers fire on the loop thread too, so code running
+/// inside the loop never needs locks (mirroring the simulator's contract).
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Enqueues `task` to run on the loop thread. Safe from any thread.
+  /// Tasks posted after Stop() are dropped.
+  void Post(std::function<void()> task);
+
+  /// Runs `fn` on the loop thread after `delay`. Safe from any thread.
+  TimerId ScheduleAfter(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending timer (no-op if it already fired). Safe from any
+  /// thread, including the loop thread.
+  void CancelTimer(TimerId id);
+
+  /// Stops the loop and joins the thread. Pending tasks/timers are dropped.
+  /// Idempotent. Must not be called from the loop thread.
+  void Stop();
+
+  bool IsCurrentThread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+  /// Posts `task` and blocks until it has run (deadlocks if called from the
+  /// loop thread; asserted).
+  void PostAndWait(std::function<void()> task);
+
+ private:
+  struct Timer {
+    TimerId id;
+    std::function<void()> fn;
+  };
+
+  void Run();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::multimap<std::chrono::steady_clock::time_point, Timer> timers_;
+  std::unordered_set<TimerId> cancelled_;
+  TimerId next_timer_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// SiteRuntime over an EventLoop and a shared SteadyClock. ChargeCpu can
+/// optionally busy-spin (scaled) to emulate modelled work in real time; by
+/// default it is a no-op because real work has real cost.
+class ThreadSiteRuntime : public SiteRuntime {
+ public:
+  /// `clock` must outlive this runtime. `cpu_scale` multiplies ChargeCpu
+  /// durations into actual spinning (0 disables).
+  ThreadSiteRuntime(EventLoop* loop, const Clock* clock,
+                    double cpu_scale = 0.0)
+      : loop_(loop), clock_(clock), cpu_scale_(cpu_scale) {}
+
+  TimePoint Now() const override { return clock_->Now(); }
+
+  TimerId ScheduleAfter(Duration delay, std::function<void()> fn) override {
+    return loop_->ScheduleAfter(delay, std::move(fn));
+  }
+
+  void CancelTimer(TimerId id) override { loop_->CancelTimer(id); }
+
+  void ChargeCpu(Duration amount) override;
+
+  EventLoop* loop() { return loop_; }
+
+ private:
+  EventLoop* loop_;
+  const Clock* clock_;
+  double cpu_scale_;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_NET_EVENT_LOOP_H_

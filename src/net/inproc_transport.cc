@@ -1,0 +1,37 @@
+#include "net/inproc_transport.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+
+InProcTransport::InProcTransport(const InProcTransportOptions& options)
+    : options_(options) {}
+
+void InProcTransport::Register(SiteId site, EventLoop* loop,
+                               MessageHandler* handler) {
+  endpoints_[site] = Endpoint{loop, handler};
+}
+
+Status InProcTransport::Send(const Message& msg) {
+  auto it = endpoints_.find(msg.to);
+  if (it == endpoints_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("no endpoint registered for site %u", msg.to));
+  }
+  const Endpoint endpoint = it->second;
+  if (options_.codec_roundtrip) {
+    std::vector<uint8_t> wire = EncodeMessage(msg);
+    endpoint.loop->Post([endpoint, wire = std::move(wire)] {
+      Result<Message> decoded = DecodeMessage(wire);
+      MR_CHECK(decoded.ok()) << "in-process codec round-trip failed: "
+                             << decoded.status().ToString();
+      endpoint.handler->OnMessage(*decoded);
+    });
+  } else {
+    endpoint.loop->Post([endpoint, msg] { endpoint.handler->OnMessage(msg); });
+  }
+  return Status::Ok();
+}
+
+}  // namespace miniraid

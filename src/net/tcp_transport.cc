@@ -1,0 +1,234 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+namespace {
+
+/// Writes exactly `size` bytes; retries on partial writes and EINTR.
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("send: %s", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Reads exactly `size` bytes; returns NotFound on orderly EOF at a frame
+/// boundary start, IoError otherwise.
+Status ReadAll(int fd, uint8_t* data, size_t size) {
+  size_t read = 0;
+  while (read < size) {
+    const ssize_t n = ::recv(fd, data + read, size - read, 0);
+    if (n == 0) {
+      return read == 0 ? Status::NotFound("connection closed")
+                       : Status::IoError("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("recv: %s", std::strerror(errno)));
+    }
+    read += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+constexpr uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB sanity bound
+
+}  // namespace
+
+TcpTransport::TcpTransport(SiteId self, std::map<SiteId, uint16_t> peers,
+                           EventLoop* loop, MessageHandler* handler,
+                           const TcpTransportOptions& options)
+    : self_(self),
+      peers_(std::move(peers)),
+      loop_(loop),
+      handler_(handler),
+      options_(options) {}
+
+TcpTransport::~TcpTransport() { Stop(); }
+
+Status TcpTransport::Start() {
+  if (handler_ == nullptr) {
+    return Status::FailedPrecondition("TcpTransport started without handler");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peers_.at(self_));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IoError(StrFormat("bind port %u: %s", peers_.at(self_),
+                                     std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    return Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpTransport::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [peer, fd] : out_fds_) ::close(fd);
+    out_fds_.clear();
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (int fd : in_fds_) ::shutdown(fd, SHUT_RDWR);
+    readers.swap(reader_threads_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (int fd : in_fds_) ::close(fd);
+    in_fds_.clear();
+  }
+}
+
+void TcpTransport::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed (Stop) or fatal error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    in_fds_.push_back(fd);
+    reader_threads_.emplace_back([this, fd] { ReadLoop(fd); });
+  }
+}
+
+void TcpTransport::ReadLoop(int fd) {
+  while (!stopping_.load()) {
+    uint8_t header[4];
+    Status status = ReadAll(fd, header, sizeof(header));
+    if (!status.ok()) return;
+    const uint32_t length = uint32_t{header[0]} | (uint32_t{header[1]} << 8) |
+                            (uint32_t{header[2]} << 16) |
+                            (uint32_t{header[3]} << 24);
+    if (length > kMaxFrameBytes) {
+      MR_LOG(kError) << "site " << self_ << ": oversized frame (" << length
+                     << " bytes); closing connection";
+      return;
+    }
+    std::vector<uint8_t> body(length);
+    status = ReadAll(fd, body.data(), body.size());
+    if (!status.ok()) return;
+    Result<Message> decoded = DecodeMessage(body);
+    if (!decoded.ok()) {
+      MR_LOG(kError) << "site " << self_ << ": undecodable frame: "
+                     << decoded.status().ToString();
+      return;
+    }
+    messages_received_.fetch_add(1);
+    MessageHandler* handler = handler_;
+    loop_->Post(
+        [handler, msg = std::move(*decoded)] { handler->OnMessage(msg); });
+  }
+}
+
+Status TcpTransport::ConnectTo(SiteId peer, int* fd_out) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    return Status::InvalidArgument(StrFormat("unknown peer site %u", peer));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(it->second);
+  ::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(StrFormat("connect to site %u port %u: %s", peer,
+                                     it->second, std::strerror(err)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *fd_out = fd;
+  return Status::Ok();
+}
+
+Status TcpTransport::Send(const Message& msg) {
+  if (stopping_.load()) return Status::FailedPrecondition("transport stopped");
+  const std::vector<uint8_t> body = EncodeMessage(msg);
+  const uint32_t length = static_cast<uint32_t>(body.size());
+  uint8_t header[4] = {
+      static_cast<uint8_t>(length), static_cast<uint8_t>(length >> 8),
+      static_cast<uint8_t>(length >> 16), static_cast<uint8_t>(length >> 24)};
+
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  auto it = out_fds_.find(msg.to);
+  if (it == out_fds_.end()) {
+    int fd = -1;
+    MINIRAID_RETURN_IF_ERROR(ConnectTo(msg.to, &fd));
+    it = out_fds_.emplace(msg.to, fd).first;
+  }
+  Status status = WriteAll(it->second, header, sizeof(header));
+  if (status.ok()) status = WriteAll(it->second, body.data(), body.size());
+  if (!status.ok()) {
+    // Drop the broken connection; the next Send retries with a fresh one.
+    ::close(it->second);
+    out_fds_.erase(it);
+    return status;
+  }
+  messages_sent_.fetch_add(1);
+  return Status::Ok();
+}
+
+uint16_t PickEphemeralBasePort() {
+  return static_cast<uint16_t>(20000 + (::getpid() * 37) % 20000);
+}
+
+}  // namespace miniraid

@@ -1,0 +1,34 @@
+#ifndef MINIRAID_NET_TRANSPORT_H_
+#define MINIRAID_NET_TRANSPORT_H_
+
+#include "common/status.h"
+#include "msg/message.h"
+
+namespace miniraid {
+
+/// Consumer of incoming messages. Each site implements this; the transport
+/// invokes it in the site's execution context (see SiteRuntime's threading
+/// contract).
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void OnMessage(const Message& msg) = 0;
+};
+
+/// Asynchronous, reliable, per-pair-FIFO message channel — the paper's
+/// assumption 1 ("no messages were lost; messages arrived and were
+/// processed in the order that they were sent"). Send never blocks on the
+/// receiver; delivery failures beyond the reliability contract (e.g. an
+/// unknown destination) surface as a Status.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues `msg` for delivery to `msg.to`. Fire-and-forget: an OK return
+  /// means the transport accepted the message, not that it was processed.
+  virtual Status Send(const Message& msg) = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_NET_TRANSPORT_H_

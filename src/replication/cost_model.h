@@ -1,0 +1,64 @@
+#ifndef MINIRAID_REPLICATION_COST_MODEL_H_
+#define MINIRAID_REPLICATION_COST_MODEL_H_
+
+#include "common/clock.h"
+
+namespace miniraid {
+
+/// CPU costs the protocol engine charges to its SiteRuntime at the points
+/// where the paper's implementation did work. Under the simulator these
+/// durations advance virtual time (the paper's testbed serialized all sites
+/// on one processor, which SimOptions::shared_cpu reproduces); under the
+/// real thread/socket runtimes they are ignored and real work costs real
+/// time.
+///
+/// `PaperCalibrated()` is fitted so that the compositions the paper reports
+/// in Experiment 1 (transaction times with/without fail-lock maintenance,
+/// control-transaction times, copier-transaction times) come out close to
+/// the published numbers for the paper's configuration (4 sites, 50 items,
+/// max transaction size 10, 9 ms per inter-site message). The absolute
+/// values are *not* claims about modern hardware — they reconstruct the
+/// 1987 testbed so the relative overheads can be validated.
+struct CostModel {
+  // -- database transaction processing ---------------------------------
+  Duration txn_setup = 0;            // receive/parse one transaction request
+  Duration per_read_op = 0;          // execute one read operation
+  Duration per_write_op = 0;         // execute one write operation (stage)
+  Duration prepare_send_per_site = 0;  // format one phase-1 copy update
+  Duration participant_stage_per_item = 0;  // stage one item at a participant
+  Duration commit_install_per_item = 0;     // install one committed item
+  Duration faillock_maint_per_item = 0;     // set/clear bits for one item
+  Duration ack_format = 0;           // format one small message (ack/commit)
+  Duration reply_format = 0;         // format the reply to the managing site
+
+  // -- control transaction type 1 ---------------------------------------
+  Duration announce_format = 0;       // recovering site formats one announce
+  Duration recovery_format_base = 0;  // operational site: vector+locks msg
+  Duration recovery_format_per_item = 0;  // ... per nonzero fail-lock row
+  Duration recovery_install = 0;      // recovering site installs one reply
+
+  // -- control transaction type 2 ---------------------------------------
+  Duration failure_detect = 0;        // initiator updates its vector
+  Duration failure_update = 0;        // receiver updates its vector
+
+  // -- copier transactions and the special clear-fail-locks txn ---------
+  Duration copier_setup = 0;          // coordinator decides + formats request
+  Duration copy_serve_base = 0;       // serving site: lookup + format reply
+  Duration copy_serve_per_item = 0;
+  Duration copy_install_per_item = 0;  // install one fetched copy
+  Duration clear_locks_format = 0;     // format one clear-fail-locks msg
+  Duration clear_locks_apply_base = 0;   // receiver: process the special txn
+  Duration clear_locks_apply_per_item = 0;
+
+  /// All-zero model: protocol logic only (unit tests, count-based
+  /// experiments, real-time runs).
+  static CostModel Zero() { return CostModel{}; }
+
+  /// Fitted to the paper's Experiment-1 measurements (see EXPERIMENTS.md
+  /// for the calibration table).
+  static CostModel PaperCalibrated();
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_REPLICATION_COST_MODEL_H_

@@ -1,0 +1,61 @@
+#ifndef MINIRAID_REPLICATION_COUNTERS_H_
+#define MINIRAID_REPLICATION_COUNTERS_H_
+
+#include <cstdint>
+
+#include "metrics/stats.h"
+
+namespace miniraid {
+
+/// Per-site event counts and timing distributions, the raw material of the
+/// paper's three experiments. Counters accumulate from site construction;
+/// drivers snapshot/diff them between measurement windows.
+struct SiteCounters {
+  // -- transactions coordinated by this site -----------------------------
+  uint64_t txns_coordinated = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted_copier = 0;       // no up-to-date copy reachable
+  uint64_t txns_aborted_participant = 0;  // participant failed in phase one
+  uint64_t txns_aborted_lock_conflict = 0;  // wait-die (locking extension)
+  uint64_t lock_waits = 0;                // lock requests that had to queue
+  uint64_t lock_rejections = 0;           // wait-die refusals at this site
+
+  // -- copier machinery ---------------------------------------------------
+  uint64_t copier_transactions = 0;      // copy requests issued on demand
+  uint64_t batch_copier_transactions = 0;  // step-two proactive copiers
+  uint64_t copy_requests_served = 0;
+  uint64_t clear_lock_txns_sent = 0;     // special transactions initiated
+  uint64_t clear_lock_txns_received = 0;
+
+  // -- fail-lock bit transitions (state changes, not re-writes) ----------
+  uint64_t fail_locks_set = 0;
+  uint64_t fail_locks_cleared = 0;
+
+  // -- control transactions ----------------------------------------------
+  uint64_t control1_initiated = 0;  // recoveries started by this site
+  uint64_t control1_served = 0;     // recovery announcements answered
+  uint64_t control2_initiated = 0;  // failures this site detected/announced
+  uint64_t control2_received = 0;
+  uint64_t control3_initiated = 0;  // backup copies this site created
+  uint64_t control3_copies_installed = 0;
+
+  // -- participant role ----------------------------------------------------
+  uint64_t prepares_handled = 0;
+  uint64_t commits_handled = 0;
+  uint64_t aborts_handled = 0;
+  uint64_t coordinator_failures_detected = 0;
+
+  // -- timing distributions (virtual time under the simulator) ------------
+  DurationStats coord_txn_time;        // TxnRequest received -> reply sent
+  DurationStats coord_txn_copier_time;  // same, txns that ran >= 1 copier
+  DurationStats participant_time;      // Prepare received -> CommitAck sent
+  DurationStats recovery_time;         // type 1 at the recovering site
+  DurationStats type1_serve_time;      // type 1 at an operational site
+  DurationStats type2_receive_time;    // type 2 processing at a receiver
+  DurationStats copy_serve_time;       // copy request service
+  DurationStats clear_locks_time;      // special-transaction processing
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_REPLICATION_COUNTERS_H_

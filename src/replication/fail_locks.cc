@@ -1,0 +1,103 @@
+#include "replication/fail_locks.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+
+FailLockTable::FailLockTable(uint32_t n_items, uint32_t n_sites)
+    : n_sites_(n_sites),
+      rows_(n_items),
+      per_site_count_(n_sites, 0) {
+  MR_CHECK(n_sites >= 1 && n_sites <= kMaxSites)
+      << "site count " << n_sites << " out of range";
+}
+
+bool FailLockTable::IsSet(ItemId item, SiteId site) const {
+  MR_CHECK(item < rows_.size() && site < n_sites_)
+      << "fail-lock index out of range";
+  return rows_[item].Test(site);
+}
+
+bool FailLockTable::Set(ItemId item, SiteId site) {
+  MR_CHECK(item < rows_.size() && site < n_sites_)
+      << "fail-lock index out of range";
+  if (rows_[item].Test(site)) return false;
+  rows_[item].Set(site);
+  ++per_site_count_[site];
+  ++total_set_;
+  return true;
+}
+
+bool FailLockTable::Clear(ItemId item, SiteId site) {
+  MR_CHECK(item < rows_.size() && site < n_sites_)
+      << "fail-lock index out of range";
+  if (!rows_[item].Test(site)) return false;
+  rows_[item].Clear(site);
+  --per_site_count_[site];
+  --total_set_;
+  return true;
+}
+
+Bitmap64 FailLockTable::Row(ItemId item) const {
+  MR_CHECK(item < rows_.size()) << "item out of range";
+  return rows_[item];
+}
+
+uint32_t FailLockTable::CountForSite(SiteId site) const {
+  MR_CHECK(site < n_sites_) << "site out of range";
+  return per_site_count_[site];
+}
+
+double FailLockTable::FractionLockedFor(SiteId site) const {
+  if (rows_.empty()) return 0.0;
+  return double(CountForSite(site)) / double(rows_.size());
+}
+
+std::vector<ItemId> FailLockTable::ItemsLockedFor(SiteId site,
+                                                  uint32_t limit) const {
+  std::vector<ItemId> out;
+  for (ItemId item = 0; item < rows_.size(); ++item) {
+    if (rows_[item].Test(site)) {
+      out.push_back(item);
+      if (limit != 0 && out.size() >= limit) break;
+    }
+  }
+  return out;
+}
+
+std::vector<FailLockRow> FailLockTable::ToWire() const {
+  std::vector<FailLockRow> out;
+  for (ItemId item = 0; item < rows_.size(); ++item) {
+    if (rows_[item].Any()) {
+      out.push_back(FailLockRow{item, rows_[item].bits()});
+    }
+  }
+  return out;
+}
+
+Status FailLockTable::MergeFrom(const std::vector<FailLockRow>& remote) {
+  for (const FailLockRow& row : remote) {
+    if (row.item >= rows_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("fail-lock row for unknown item %u", row.item));
+    }
+    const Bitmap64 incoming(row.bits);
+    for (SiteId site = 0; site < n_sites_; ++site) {
+      if (incoming.Test(site)) Set(row.item, site);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FailLockTable::ToString() const {
+  std::string out;
+  for (ItemId item = 0; item < rows_.size(); ++item) {
+    if (!rows_[item].Any()) continue;
+    if (!out.empty()) out += " ";
+    out += StrFormat("%u:%llx", item, (unsigned long long)rows_[item].bits());
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace miniraid

@@ -1,0 +1,69 @@
+#ifndef MINIRAID_REPLICATION_FAIL_LOCKS_H_
+#define MINIRAID_REPLICATION_FAIL_LOCKS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "msg/message.h"
+
+namespace miniraid {
+
+/// The fail-lock table: one bit per (item, site). Bit s set on item x means
+/// site s's copy of x missed at least one committed update while s was down
+/// — the copy is out of date (paper §1.1). Implemented, as in the paper,
+/// as "a bit map for each data item" so set/clear/test are O(1); per-site
+/// counts are maintained incrementally so the recovery experiments can
+/// sample them per transaction at no cost.
+class FailLockTable {
+ public:
+  FailLockTable(uint32_t n_items, uint32_t n_sites);
+
+  uint32_t n_items() const { return static_cast<uint32_t>(rows_.size()); }
+  uint32_t n_sites() const { return n_sites_; }
+
+  bool IsSet(ItemId item, SiteId site) const;
+
+  /// Sets the fail-lock; returns true if the bit transitioned 0 -> 1.
+  bool Set(ItemId item, SiteId site);
+
+  /// Clears the fail-lock; returns true if the bit transitioned 1 -> 0.
+  bool Clear(ItemId item, SiteId site);
+
+  /// The bitmap of sites whose copy of `item` is out of date.
+  Bitmap64 Row(ItemId item) const;
+
+  /// Number of items currently fail-locked for `site`.
+  uint32_t CountForSite(SiteId site) const;
+
+  /// Fraction of the database fail-locked for `site`, in [0, 1] (the
+  /// two-step recovery threshold input, paper §3.2).
+  double FractionLockedFor(SiteId site) const;
+
+  /// Items fail-locked for `site`, ascending. `limit` = 0 means all.
+  std::vector<ItemId> ItemsLockedFor(SiteId site, uint32_t limit = 0) const;
+
+  /// Total number of set bits in the table.
+  uint64_t TotalSet() const { return total_set_; }
+
+  /// Nonzero rows, for the wire (control transaction type 1).
+  std::vector<FailLockRow> ToWire() const;
+
+  /// Unions remote rows into this table (a recovering site merges the
+  /// fail-locks collected from each operational site).
+  Status MergeFrom(const std::vector<FailLockRow>& remote);
+
+  std::string ToString() const;
+
+ private:
+  uint32_t n_sites_;
+  std::vector<Bitmap64> rows_;
+  std::vector<uint32_t> per_site_count_;
+  uint64_t total_set_ = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_REPLICATION_FAIL_LOCKS_H_

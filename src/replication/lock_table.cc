@@ -1,0 +1,120 @@
+#include "replication/lock_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace miniraid {
+
+LockTable::Outcome LockTable::Acquire(ItemId item, TxnId txn, Mode mode,
+                                      std::function<void()> on_grant) {
+  ItemLocks& locks = locks_[item];
+
+  if (locks.holders.empty()) {
+    locks.mode = mode;
+    locks.holders.insert(txn);
+    return Outcome::kGranted;
+  }
+
+  if (locks.holders.count(txn)) {
+    // Re-entrant acquisition. Shared -> exclusive upgrades succeed only
+    // for a sole holder; otherwise treat like any conflicting request.
+    if (mode == Mode::kShared || locks.mode == Mode::kExclusive) {
+      return Outcome::kGranted;
+    }
+    if (locks.holders.size() == 1) {
+      locks.mode = Mode::kExclusive;
+      return Outcome::kGranted;
+    }
+    // Fall through: upgrade conflicts with the other shared holders.
+  }
+
+  const bool compatible = mode == Mode::kShared &&
+                          locks.mode == Mode::kShared &&
+                          locks.queue.empty();  // no writer starvation
+  if (compatible) {
+    locks.holders.insert(txn);
+    return Outcome::kGranted;
+  }
+
+  // WAIT-DIE: wait only if older (smaller id) than every conflicting
+  // holder; a younger requester dies so no cycle can form.
+  for (const TxnId holder : locks.holders) {
+    if (holder == txn) continue;
+    if (txn > holder) return Outcome::kRejected;
+  }
+  MR_CHECK(on_grant != nullptr) << "queued lock request needs a callback";
+  locks.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
+  return Outcome::kQueued;
+}
+
+void LockTable::GrantFromQueue(ItemId item) {
+  auto it = locks_.find(item);
+  if (it == locks_.end()) return;
+  ItemLocks& locks = it->second;
+  // Grant in FIFO order while compatible: one exclusive waiter alone, or a
+  // run of shared waiters.
+  std::vector<std::function<void()>> callbacks;
+  while (!locks.queue.empty()) {
+    const Waiter& next = locks.queue.front();
+    const bool can_grant =
+        locks.holders.empty() ||
+        (next.mode == Mode::kShared && locks.mode == Mode::kShared);
+    if (!can_grant) break;
+    locks.mode = locks.holders.empty() ? next.mode : locks.mode;
+    locks.holders.insert(next.txn);
+    callbacks.push_back(std::move(locks.queue.front().on_grant));
+    locks.queue.erase(locks.queue.begin());
+    if (locks.mode == Mode::kExclusive) break;
+  }
+  if (locks.holders.empty() && locks.queue.empty()) {
+    locks_.erase(it);
+  }
+  for (auto& callback : callbacks) callback();
+}
+
+void LockTable::ReleaseAll(TxnId txn) {
+  // Collect affected items first: grant callbacks may re-enter Acquire.
+  std::vector<ItemId> affected;
+  for (auto& [item, locks] : locks_) {
+    const bool held = locks.holders.erase(txn) > 0;
+    const auto queued = std::remove_if(
+        locks.queue.begin(), locks.queue.end(),
+        [txn](const Waiter& waiter) { return waiter.txn == txn; });
+    const bool dequeued = queued != locks.queue.end();
+    locks.queue.erase(queued, locks.queue.end());
+    if (held || dequeued) affected.push_back(item);
+  }
+  for (const ItemId item : affected) GrantFromQueue(item);
+  // Drop empty entries that GrantFromQueue did not visit/erase.
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second.holders.empty() && it->second.queue.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockTable::Holds(ItemId item, TxnId txn) const {
+  auto it = locks_.find(item);
+  return it != locks_.end() && it->second.holders.count(txn) > 0;
+}
+
+size_t LockTable::HolderCount(ItemId item) const {
+  auto it = locks_.find(item);
+  return it == locks_.end() ? 0 : it->second.holders.size();
+}
+
+size_t LockTable::QueueLength(ItemId item) const {
+  auto it = locks_.find(item);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+size_t LockTable::TotalHeld() const {
+  size_t total = 0;
+  for (const auto& [item, locks] : locks_) total += locks.holders.size();
+  return total;
+}
+
+}  // namespace miniraid

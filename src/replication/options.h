@@ -1,0 +1,92 @@
+#ifndef MINIRAID_REPLICATION_OPTIONS_H_
+#define MINIRAID_REPLICATION_OPTIONS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+#include "metrics/trace.h"
+#include "replication/cost_model.h"
+
+namespace miniraid {
+
+/// Static configuration shared by every site in a cluster.
+struct SiteOptions {
+  /// Number of database sites (the managing site is extra, see
+  /// `managing_site`).
+  uint32_t n_sites = 2;
+
+  /// Size of the frequently-referenced hot set (paper: 50).
+  uint32_t db_size = 50;
+
+  /// Id of the managing site (by convention n_sites; it holds no replica
+  /// and is never counted operational for ROWAA purposes).
+  SiteId managing_site = kInvalidSite;
+
+  /// Per-site item placement; empty means full replication (the paper's
+  /// assumption 4). Used by the partial-replication / type-3 extension.
+  std::vector<std::vector<ItemId>> placement;
+
+  /// Toggle for Experiment 1: when false, the fail-lock maintenance code in
+  /// the commit step is skipped entirely (work and CPU charge), matching
+  /// the paper's "fail-locks maintenance code removed from the software".
+  bool maintain_fail_locks = true;
+
+  /// Modelled CPU costs (Zero for pure-logic runs).
+  CostModel costs = CostModel::Zero();
+
+  /// How long a site waits for acknowledgements (2PC acks, copy replies,
+  /// recovery info) before declaring the silent party failed.
+  Duration ack_timeout = Milliseconds(1000);
+
+  /// Two-step recovery (paper §3.2 proposal). When the fraction of this
+  /// site's copies that are fail-locked drops to or below this threshold,
+  /// the site enters step two and proactively issues batch copier
+  /// transactions instead of waiting for reads to demand them. 0 disables
+  /// step two (the paper's measured implementation); 1.0 makes recovery
+  /// fully proactive.
+  double batch_copier_threshold = 0.0;
+
+  /// Items refreshed per batch copier transaction.
+  uint32_t batch_copier_chunk = 10;
+
+  /// Control transaction type 3 (paper §3.2 proposal): when this site
+  /// detects it holds the last operational up-to-date copy of an item, it
+  /// creates a backup copy on a site that lacks one.
+  bool enable_type3 = false;
+
+  /// Crash semantics. The paper simulates failure by making the site
+  /// inactive with its memory intact (false). With true, a crash wipes the
+  /// database and fail-lock table (a cold restart); at recovery the site
+  /// conservatively fail-locks every copy it holds, so the whole database
+  /// is refreshed through copier transactions and writes before any of it
+  /// is served. The session counter survives either way (a persistent boot
+  /// counter — session numbers must never repeat for the type-2
+  /// stale-announcement guard to work).
+  bool lose_state_on_crash = false;
+
+  /// Opt-in concurrency-control extension (the paper's deferred "complete
+  /// RAID" integration): strict two-phase item locking — shared locks for
+  /// the coordinator's local reads, exclusive locks acquired at every site
+  /// through phase one for writes — with WAIT-DIE deadlock avoidance
+  /// (younger conflicting transactions abort with kAbortedLockConflict and
+  /// can be retried). Off by default: the paper's experiments run without
+  /// concurrency control (assumption 2).
+  bool enable_locking = false;
+
+  /// Optional shared protocol trace (not owned; must outlive the sites).
+  /// Only enable under the simulator — TraceLog is not thread-safe.
+  TraceLog* trace = nullptr;
+
+  /// Durability hook: invoked from the site's execution context after every
+  /// local application of a committed write or installed copy, with the
+  /// item's new (value, version). Drivers mirror these into a
+  /// DurableDatabase (src/storage) and feed the image back through
+  /// Site::RestoreImage after a process restart.
+  std::function<void(ItemId, Value, Version)> on_apply;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_REPLICATION_OPTIONS_H_

@@ -1,0 +1,71 @@
+#include "replication/placement.h"
+
+#include "common/logging.h"
+
+namespace miniraid {
+
+HoldersTable::HoldersTable(uint32_t n_items, uint32_t n_sites)
+    : n_sites_(n_sites), rows_(n_items) {
+  MR_CHECK(n_sites >= 1 && n_sites <= kMaxSites)
+      << "site count " << n_sites << " out of range";
+  for (Bitmap64& row : rows_) row.SetAll(n_sites);
+}
+
+HoldersTable HoldersTable::FromPlacement(
+    uint32_t n_items, uint32_t n_sites,
+    const std::vector<std::vector<ItemId>>& per_site) {
+  HoldersTable table(n_items, n_sites);
+  for (Bitmap64& row : table.rows_) row.ClearAll();
+  MR_CHECK(per_site.size() == n_sites)
+      << "placement must list items for every site";
+  for (SiteId site = 0; site < n_sites; ++site) {
+    for (ItemId item : per_site[site]) {
+      MR_CHECK(item < n_items) << "placement item out of range";
+      table.rows_[item].Set(site);
+    }
+  }
+  return table;
+}
+
+bool HoldersTable::Holds(ItemId item, SiteId site) const {
+  MR_CHECK(item < rows_.size() && site < n_sites_)
+      << "holders index out of range";
+  return rows_[item].Test(site);
+}
+
+void HoldersTable::Add(ItemId item, SiteId site) {
+  MR_CHECK(item < rows_.size() && site < n_sites_)
+      << "holders index out of range";
+  rows_[item].Set(site);
+}
+
+void HoldersTable::Remove(ItemId item, SiteId site) {
+  MR_CHECK(item < rows_.size() && site < n_sites_)
+      << "holders index out of range";
+  rows_[item].Clear(site);
+}
+
+Bitmap64 HoldersTable::Row(ItemId item) const {
+  MR_CHECK(item < rows_.size()) << "item out of range";
+  return rows_[item];
+}
+
+std::vector<SiteId> HoldersTable::HoldersOf(ItemId item) const {
+  const Bitmap64 row = Row(item);
+  std::vector<SiteId> out;
+  for (SiteId site = 0; site < n_sites_; ++site) {
+    if (row.Test(site)) out.push_back(site);
+  }
+  return out;
+}
+
+std::vector<ItemId> HoldersTable::ItemsHeldBy(SiteId site) const {
+  MR_CHECK(site < n_sites_) << "site out of range";
+  std::vector<ItemId> out;
+  for (ItemId item = 0; item < rows_.size(); ++item) {
+    if (rows_[item].Test(site)) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace miniraid

@@ -1,0 +1,45 @@
+#ifndef MINIRAID_REPLICATION_PLACEMENT_H_
+#define MINIRAID_REPLICATION_PLACEMENT_H_
+
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/types.h"
+
+namespace miniraid {
+
+/// Which sites hold a copy of each item. For the paper's main experiments
+/// the database is fully replicated (assumption 4) and every bit is set;
+/// the partial-replication / control-transaction-type-3 extension (§3.2)
+/// mutates it as backup copies are created and dropped.
+class HoldersTable {
+ public:
+  /// Fully replicated: every site holds every item.
+  HoldersTable(uint32_t n_items, uint32_t n_sites);
+
+  /// Partial placement: `per_site[s]` lists the items site s holds.
+  static HoldersTable FromPlacement(
+      uint32_t n_items, uint32_t n_sites,
+      const std::vector<std::vector<ItemId>>& per_site);
+
+  uint32_t n_items() const { return static_cast<uint32_t>(rows_.size()); }
+  uint32_t n_sites() const { return n_sites_; }
+
+  bool Holds(ItemId item, SiteId site) const;
+  void Add(ItemId item, SiteId site);
+  void Remove(ItemId item, SiteId site);
+
+  Bitmap64 Row(ItemId item) const;
+  std::vector<SiteId> HoldersOf(ItemId item) const;
+
+  /// Items site `site` holds, ascending.
+  std::vector<ItemId> ItemsHeldBy(SiteId site) const;
+
+ private:
+  uint32_t n_sites_;
+  std::vector<Bitmap64> rows_;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_REPLICATION_PLACEMENT_H_

@@ -1,0 +1,115 @@
+#include "replication/session_vector.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+namespace {
+
+const char* StatusGlyph(SiteStatus status) {
+  switch (status) {
+    case SiteStatus::kUp:
+      return "up";
+    case SiteStatus::kDown:
+      return "down";
+    case SiteStatus::kWaitingToRecover:
+      return "recovering";
+    case SiteStatus::kTerminating:
+      return "terminating";
+  }
+  return "?";
+}
+
+}  // namespace
+
+SessionVector::SessionVector(uint32_t n_sites) : entries_(n_sites) {
+  MR_CHECK(n_sites >= 1 && n_sites <= kMaxSites)
+      << "site count " << n_sites << " out of range";
+}
+
+const SessionVector::Entry& SessionVector::At(SiteId site) const {
+  MR_CHECK(site < entries_.size()) << "site " << site << " out of range";
+  return entries_[site];
+}
+
+SessionVector::Entry& SessionVector::At(SiteId site) {
+  MR_CHECK(site < entries_.size()) << "site " << site << " out of range";
+  return entries_[site];
+}
+
+void SessionVector::Set(SiteId site, SessionNumber session,
+                        SiteStatus status) {
+  At(site) = Entry{session, status};
+}
+
+void SessionVector::MarkDown(SiteId site) {
+  At(site).status = SiteStatus::kDown;
+}
+
+void SessionVector::MarkUp(SiteId site, SessionNumber session) {
+  Entry& entry = At(site);
+  MR_CHECK(session > entry.session || entry.status == SiteStatus::kUp)
+      << "MarkUp must start a new session";
+  entry.session = std::max(entry.session, session);
+  entry.status = SiteStatus::kUp;
+}
+
+std::vector<SiteId> SessionVector::OperationalSites() const {
+  std::vector<SiteId> out;
+  for (SiteId site = 0; site < entries_.size(); ++site) {
+    if (entries_[site].status == SiteStatus::kUp) out.push_back(site);
+  }
+  return out;
+}
+
+uint32_t SessionVector::OperationalCount() const {
+  uint32_t count = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.status == SiteStatus::kUp) ++count;
+  }
+  return count;
+}
+
+std::vector<SessionEntryWire> SessionVector::ToWire() const {
+  std::vector<SessionEntryWire> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    out.push_back(SessionEntryWire{entry.session, entry.status});
+  }
+  return out;
+}
+
+Status SessionVector::MergeFrom(const std::vector<SessionEntryWire>& remote) {
+  if (remote.size() != entries_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("session vector size mismatch: %zu vs %zu", remote.size(),
+                  entries_.size()));
+  }
+  for (size_t i = 0; i < remote.size(); ++i) {
+    Entry& local = entries_[i];
+    const SessionEntryWire& incoming = remote[i];
+    if (incoming.session > local.session) {
+      local.session = incoming.session;
+      local.status = incoming.status;
+    } else if (incoming.session == local.session &&
+               incoming.status != SiteStatus::kUp) {
+      // Same epoch, remote has failure news: down wins.
+      local.status = incoming.status;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string SessionVector::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i) out += ", ";
+    out += StrFormat("s%zu:%llu/%s", i,
+                     (unsigned long long)entries_[i].session,
+                     StatusGlyph(entries_[i].status));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace miniraid

@@ -1,0 +1,69 @@
+#ifndef MINIRAID_REPLICATION_SESSION_VECTOR_H_
+#define MINIRAID_REPLICATION_SESSION_VECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "msg/message.h"
+
+namespace miniraid {
+
+/// A nominal session vector: one site's view of every site's session number
+/// and operational state (paper §1.1-1.2). "A site uses its nominal session
+/// vector to determine which sites are operational (only operational sites
+/// can participate in a protocol based on the ROWAA strategy)."
+class SessionVector {
+ public:
+  /// All sites start up, in session 1.
+  explicit SessionVector(uint32_t n_sites);
+
+  uint32_t n_sites() const { return static_cast<uint32_t>(entries_.size()); }
+
+  SessionNumber session(SiteId site) const { return At(site).session; }
+  SiteStatus status(SiteId site) const { return At(site).status; }
+  bool IsUp(SiteId site) const { return status(site) == SiteStatus::kUp; }
+
+  /// Records that `site` entered session `session` in state `status`.
+  void Set(SiteId site, SessionNumber session, SiteStatus status);
+
+  /// Marks `site` down within its current session (failure detection).
+  void MarkDown(SiteId site);
+
+  /// Marks `site` up with a (strictly newer) session number.
+  void MarkUp(SiteId site, SessionNumber session);
+
+  /// Sites currently believed up, ascending by id.
+  std::vector<SiteId> OperationalSites() const;
+  uint32_t OperationalCount() const;
+
+  std::vector<SessionEntryWire> ToWire() const;
+
+  /// Lattice join with a remote view: for each site, a higher session wins
+  /// outright; at an equal session "down" wins over "up" (the remote site
+  /// has newer failure news — a site can only leave the down state by
+  /// starting a new session). kWaitingToRecover/kTerminating merge like
+  /// "down" for ROWAA purposes.
+  Status MergeFrom(const std::vector<SessionEntryWire>& remote);
+
+  std::string ToString() const;
+
+  friend bool operator==(const SessionVector&, const SessionVector&) = default;
+
+ private:
+  struct Entry {
+    SessionNumber session = 1;
+    SiteStatus status = SiteStatus::kUp;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  const Entry& At(SiteId site) const;
+  Entry& At(SiteId site);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_REPLICATION_SESSION_VECTOR_H_

@@ -1,0 +1,1001 @@
+#include "replication/site.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+namespace {
+
+Database MakeDatabase(SiteId id, const SiteOptions& options) {
+  if (options.placement.empty()) return Database(options.db_size);
+  MR_CHECK(options.placement.size() == options.n_sites)
+      << "placement must cover every site";
+  return Database(options.db_size, options.placement[id]);
+}
+
+HoldersTable MakeHolders(const SiteOptions& options) {
+  if (options.placement.empty()) {
+    return HoldersTable(options.db_size, options.n_sites);
+  }
+  return HoldersTable::FromPlacement(options.db_size, options.n_sites,
+                                     options.placement);
+}
+
+}  // namespace
+
+Site::Site(SiteId id, const SiteOptions& options, Transport* transport,
+           SiteRuntime* runtime)
+    : id_(id),
+      options_(options),
+      transport_(transport),
+      runtime_(runtime),
+      db_(MakeDatabase(id, options)),
+      session_vector_(options.n_sites),
+      fail_locks_(options.db_size, options.n_sites),
+      holders_(MakeHolders(options)) {
+  MR_CHECK(id < options.n_sites) << "site id out of range";
+}
+
+void Site::SendTo(SiteId to, Payload payload) {
+  const Status status = transport_->Send(MakeMessage(id_, to, payload));
+  if (!status.ok()) {
+    MR_LOG(kWarn) << "site " << id_ << ": send to " << to
+                  << " failed: " << status.ToString();
+  }
+}
+
+std::vector<SiteId> Site::OperationalPeers() const {
+  std::vector<SiteId> peers = session_vector_.OperationalSites();
+  peers.erase(std::remove(peers.begin(), peers.end(), id_), peers.end());
+  return peers;
+}
+
+SiteId Site::PickCopySource(ItemId item) const {
+  for (SiteId t = 0; t < options_.n_sites; ++t) {
+    if (t == id_) continue;
+    if (!session_vector_.IsUp(t)) continue;
+    if (!holders_.Holds(item, t)) continue;
+    if (fail_locks_.IsSet(item, t)) continue;
+    return t;
+  }
+  return kInvalidSite;
+}
+
+void Site::OnMessage(const Message& msg) {
+  // A down site "remain[s] inactive until recovery was initiated from the
+  // managing site" — the only message it reacts to is kRecoverSite.
+  if (status_ == SiteStatus::kDown && msg.type != MsgType::kRecoverSite) {
+    return;
+  }
+  if (status_ == SiteStatus::kTerminating) return;
+
+  switch (msg.type) {
+    case MsgType::kTxnRequest:
+      HandleTxnRequest(msg);
+      break;
+    case MsgType::kTxnReply:
+      // Sites never receive transaction replies; the managing site does.
+      break;
+    case MsgType::kPrepare:
+      HandlePrepare(msg);
+      break;
+    case MsgType::kPrepareAck:
+      HandlePrepareAck(msg);
+      break;
+    case MsgType::kCommit:
+      HandleCommit(msg);
+      break;
+    case MsgType::kCommitAck:
+      HandleCommitAck(msg);
+      break;
+    case MsgType::kAbort:
+      HandleAbort(msg);
+      break;
+    case MsgType::kCopyRequest:
+      HandleCopyRequest(msg);
+      break;
+    case MsgType::kCopyReply:
+      HandleCopyReply(msg);
+      break;
+    case MsgType::kClearFailLocks:
+      HandleClearFailLocks(msg);
+      break;
+    case MsgType::kClearFailLocksAck:
+      break;  // the special transaction is fire-and-forget
+    case MsgType::kRecoveryAnnounce:
+      HandleRecoveryAnnounce(msg);
+      break;
+    case MsgType::kRecoveryInfo:
+      HandleRecoveryInfo(msg);
+      break;
+    case MsgType::kFailureAnnounce:
+      HandleFailureAnnounce(msg);
+      break;
+    case MsgType::kFailureAck:
+      break;  // type 2 is fire-and-forget
+    case MsgType::kCopyCreate:
+      HandleCopyCreate(msg);
+      break;
+    case MsgType::kCopyCreateAck:
+      break;  // type 3 is fire-and-forget
+    case MsgType::kFailSite:
+      Crash();
+      break;
+    case MsgType::kRecoverSite:
+      StartRecovery();
+      break;
+    case MsgType::kShutdown:
+      status_ = SiteStatus::kTerminating;
+      break;
+  }
+}
+
+void Site::Crash() {
+  status_ = SiteStatus::kDown;
+  Trace(TraceEvent::kCrashed, options_.lose_state_on_crash ? 1 : 0);
+  if (coord_) {
+    runtime_->CancelTimer(coord_->timer);
+    coord_.reset();
+  }
+  for (auto& [txn, participation] : participations_) {
+    runtime_->CancelTimer(participation.timer);
+  }
+  participations_.clear();
+  queued_requests_.clear();
+  lock_table_ = LockTable();  // all locks vanish with the crash
+  if (recovery_) {
+    runtime_->CancelTimer(recovery_->timer);
+    recovery_.reset();
+  }
+  if (options_.lose_state_on_crash) {
+    // Cold restart: volatile state is gone. The session counter is treated
+    // as stable storage (see SiteOptions::lose_state_on_crash).
+    db_ = MakeDatabase(id_, options_);
+    fail_locks_ = FailLockTable(options_.db_size, options_.n_sites);
+    state_lost_ = true;
+    return;
+  }
+  // Otherwise database, session vector, and fail-locks are retained: the
+  // paper simulates failure by making the site ignore all system actions.
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator role (Appendix A, "actions at the coordinating site").
+// ---------------------------------------------------------------------------
+
+void Site::HandleTxnRequest(const Message& msg) {
+  if (status_ != SiteStatus::kUp) return;  // client will time out
+  if (coord_) {
+    // Another transaction is being coordinated; serve this one when the
+    // slot frees up. Execution at this site stays serial.
+    if (queued_requests_.size() < kMaxQueuedRequests) {
+      queued_requests_.push_back(msg);
+    } else {
+      MR_LOG(kWarn) << "site " << id_
+                    << ": request queue full; dropping transaction";
+    }
+    return;
+  }
+  ++counters_.txns_coordinated;
+  coord_.emplace();
+  coord_->txn = msg.As<TxnRequestArgs>().txn;
+  coord_->client = msg.from;
+  coord_->start_time = runtime_->Now();
+  Trace(TraceEvent::kTxnReceived, coord_->txn.id, coord_->txn.ops.size());
+  Charge(options_.costs.txn_setup);
+
+  // Validate before touching any table: item ids from the wire are
+  // untrusted input.
+  for (const Operation& op : coord_->txn.ops) {
+    if (op.item >= options_.db_size) {
+      ReplyAndClear(TxnOutcome::kRejectedInvalid);
+      return;
+    }
+  }
+
+  // "if transaction contains read operation for a fail-locked copy then
+  // run copier transaction". Reads of items this site holds no copy of
+  // (partial replication) fetch a remote copy the same way.
+  for (ItemId item : coord_->txn.ReadSet()) {
+    if (!db_.Holds(item) || fail_locks_.IsSet(item, id_)) {
+      coord_->needs_copy.push_back(item);
+    }
+  }
+  if (options_.enable_locking) {
+    AcquireCoordinatorLocks();
+  } else {
+    ProceedAfterLocks();
+  }
+}
+
+void Site::AcquireCoordinatorLocks() {
+  // Shared locks for pure local reads, exclusive for writes and for stale
+  // reads (the copier installs a fresh copy locally). Strict two-phase:
+  // everything is released in ReplyAndClear.
+  Coordination& c = *coord_;
+  const TxnId txn = c.txn.id;
+  std::map<ItemId, LockTable::Mode> wanted;
+  for (ItemId item : c.txn.ReadSet()) wanted[item] = LockTable::Mode::kShared;
+  for (ItemId item : c.needs_copy) wanted[item] = LockTable::Mode::kExclusive;
+  for (ItemId item : c.txn.WriteSet()) {
+    wanted[item] = LockTable::Mode::kExclusive;
+  }
+  for (const auto& [item, mode] : wanted) {
+    const LockTable::Outcome outcome = lock_table_.Acquire(
+        item, txn, mode, [this, txn] { OnCoordinatorLockGranted(txn); });
+    switch (outcome) {
+      case LockTable::Outcome::kGranted:
+        break;
+      case LockTable::Outcome::kQueued:
+        ++counters_.lock_waits;
+        ++c.lock_waits_pending;
+        break;
+      case LockTable::Outcome::kRejected: {
+        // Wait-die: this (younger) transaction dies; the client may retry.
+        ++counters_.lock_rejections;
+        ++counters_.txns_aborted_lock_conflict;
+        lock_table_.ReleaseAll(txn);
+        ReplyAndClear(TxnOutcome::kAbortedLockConflict);
+        return;
+      }
+    }
+  }
+  if (c.lock_waits_pending == 0) ProceedAfterLocks();
+}
+
+void Site::OnCoordinatorLockGranted(TxnId txn) {
+  if (!coord_ || coord_->batch_refresh || coord_->txn.id != txn) return;
+  if (--coord_->lock_waits_pending == 0) ProceedAfterLocks();
+}
+
+void Site::ProceedAfterLocks() {
+  if (!coord_->needs_copy.empty()) {
+    StartCopierPhase(coord_->needs_copy);
+  } else {
+    ExecuteAndPrepare();
+  }
+}
+
+void Site::StartCopierPhase(const std::vector<ItemId>& needed) {
+  Coordination& c = *coord_;
+  c.phase = Coordination::Phase::kCopier;
+  if (!c.batch_refresh) {
+    Trace(TraceEvent::kCopierStarted, c.txn.id, needed.size());
+  }
+  Charge(options_.costs.copier_setup);
+  for (ItemId item : needed) {
+    const SiteId source = PickCopySource(item);
+    if (source == kInvalidSite) {
+      // No operational site holds an up-to-date copy: the transaction
+      // cannot proceed (Experiment 3 scenario 1's abort cause).
+      if (c.batch_refresh) {
+        coord_.reset();
+        return;
+      }
+      ++counters_.txns_aborted_copier;
+      ReplyAndClear(TxnOutcome::kAbortedCopierFailed);
+      return;
+    }
+    c.copies_pending[source].push_back(item);
+  }
+  const uint32_t groups = static_cast<uint32_t>(c.copies_pending.size());
+  c.copier_count += groups;
+  if (c.batch_refresh) {
+    counters_.batch_copier_transactions += groups;
+  } else {
+    counters_.copier_transactions += groups;
+  }
+  for (const auto& [source, items] : c.copies_pending) {
+    Charge(options_.costs.ack_format);
+    SendTo(source, CopyRequestArgs{c.txn.id, items});
+  }
+  c.timer = runtime_->ScheduleAfter(options_.ack_timeout,
+                                    [this] { CoordinationTimeout(); });
+}
+
+void Site::HandleCopyReply(const Message& msg) {
+  if (!coord_ || coord_->phase != Coordination::Phase::kCopier) return;
+  const auto& args = msg.As<CopyReplyArgs>();
+  if (args.txn != coord_->txn.id) return;
+  auto pending = coord_->copies_pending.find(msg.from);
+  if (pending == coord_->copies_pending.end()) return;
+
+  // The source returns every requested item it could serve; a missing item
+  // means the source's own copy turned out fail-locked (our table was
+  // stale), which makes the copier transaction fail.
+  for (ItemId item : pending->second) {
+    const bool present =
+        std::any_of(args.copies.begin(), args.copies.end(),
+                    [item](const ItemCopy& c) { return c.item == item; });
+    if (!present) {
+      runtime_->CancelTimer(coord_->timer);
+      if (coord_->batch_refresh) {
+        coord_.reset();
+        return;
+      }
+      ++counters_.txns_aborted_copier;
+      ReplyAndClear(TxnOutcome::kAbortedCopierFailed);
+      return;
+    }
+  }
+
+  for (const ItemCopy& copy : args.copies) {
+    Charge(options_.costs.copy_install_per_item);
+    const ItemState state{copy.value, copy.version};
+    if (db_.Holds(copy.item)) {
+      const Status status = db_.InstallCopy(copy.item, state);
+      if (!status.ok()) {
+        MR_LOG(kWarn) << "site " << id_ << ": copier install failed: "
+                      << status.ToString();
+        continue;
+      }
+      if (options_.on_apply) {
+        options_.on_apply(copy.item, copy.value, copy.version);
+      }
+      if (fail_locks_.Clear(copy.item, id_)) {
+        ++counters_.fail_locks_cleared;
+      }
+      coord_->refreshed_items.push_back(copy.item);
+    } else {
+      // Partial replication: remote read, no local copy to refresh.
+      coord_->remote_reads[copy.item] = state;
+    }
+  }
+  coord_->copies_pending.erase(pending);
+  if (coord_->copies_pending.empty()) FinishCopierPhase();
+}
+
+void Site::FinishCopierPhase() {
+  runtime_->CancelTimer(coord_->timer);
+  coord_->timer = kInvalidTimer;
+  if (!coord_->refreshed_items.empty()) {
+    // The special transaction: "inform other sites of the fail-lock bits
+    // cleared by copier transactions", run after the copier values have
+    // been written at the coordinating site.
+    ++counters_.clear_lock_txns_sent;
+    Trace(TraceEvent::kClearLocksSent, coord_->txn.id,
+          coord_->refreshed_items.size());
+    for (SiteId peer : OperationalPeers()) {
+      Charge(options_.costs.clear_locks_format);
+      SendTo(peer, ClearFailLocksArgs{coord_->txn.id, id_,
+                                      coord_->refreshed_items});
+    }
+  }
+  if (coord_->batch_refresh) {
+    coord_.reset();
+    OnCoordinatorIdle();
+    return;
+  }
+  ExecuteAndPrepare();
+}
+
+void Site::ExecuteAndPrepare() {
+  Coordination& c = *coord_;
+  for (const Operation& op : c.txn.ops) {
+    if (op.is_read()) {
+      Charge(options_.costs.per_read_op);
+      ItemState state;
+      if (db_.Holds(op.item)) {
+        Result<ItemState> read = db_.Read(op.item);
+        MR_CHECK(read.ok()) << "read of held item failed";
+        state = *read;
+      } else {
+        auto it = c.remote_reads.find(op.item);
+        MR_CHECK(it != c.remote_reads.end())
+            << "read of item " << op.item << " with no copy fetched";
+        state = it->second;
+      }
+      c.reads.push_back(ItemCopy{op.item, state.value, state.version});
+    } else {
+      Charge(options_.costs.per_write_op);
+      auto it = std::find_if(c.writes.begin(), c.writes.end(),
+                             [&op](const ItemWrite& w) {
+                               return w.item == op.item;
+                             });
+      if (it == c.writes.end()) {
+        c.writes.push_back(ItemWrite{op.item, op.value});
+      } else {
+        it->value = op.value;  // last write wins within a transaction
+      }
+    }
+  }
+
+  // "begin phase one of protocol: issue copy update for written items to
+  // every operational site".
+  c.participants = OperationalPeers();
+  if (c.participants.empty()) {
+    FinishCommit();
+    return;
+  }
+  c.phase = Coordination::Phase::kPrepare;
+  c.awaiting.insert(c.participants.begin(), c.participants.end());
+  for (SiteId p : c.participants) {
+    Charge(options_.costs.prepare_send_per_site);
+    SendTo(p, PrepareArgs{c.txn.id, c.writes});
+  }
+  c.timer = runtime_->ScheduleAfter(options_.ack_timeout,
+                                    [this] { CoordinationTimeout(); });
+}
+
+void Site::HandlePrepareAck(const Message& msg) {
+  if (!coord_ || coord_->phase != Coordination::Phase::kPrepare) return;
+  const auto& args = msg.As<PrepareAckArgs>();
+  if (args.txn != coord_->txn.id) return;
+  if (!args.accepted) {
+    // A participant refused (wait-die lock conflict): abort everywhere.
+    runtime_->CancelTimer(coord_->timer);
+    coord_->timer = kInvalidTimer;
+    for (SiteId p : coord_->participants) {
+      Charge(options_.costs.ack_format);
+      SendTo(p, AbortArgs{coord_->txn.id});
+    }
+    ++counters_.txns_aborted_lock_conflict;
+    ReplyAndClear(TxnOutcome::kAbortedLockConflict);
+    return;
+  }
+  coord_->awaiting.erase(msg.from);
+  if (coord_->awaiting.empty()) {
+    runtime_->CancelTimer(coord_->timer);
+    coord_->timer = kInvalidTimer;
+    StartCommitPhase();
+  }
+}
+
+void Site::StartCommitPhase() {
+  Coordination& c = *coord_;
+  c.phase = Coordination::Phase::kCommit;
+  c.awaiting.insert(c.participants.begin(), c.participants.end());
+  for (SiteId p : c.participants) {
+    Charge(options_.costs.ack_format);
+    SendTo(p, CommitArgs{c.txn.id});
+  }
+  c.timer = runtime_->ScheduleAfter(options_.ack_timeout,
+                                    [this] { CoordinationTimeout(); });
+}
+
+void Site::HandleCommitAck(const Message& msg) {
+  if (!coord_ || coord_->phase != Coordination::Phase::kCommit) return;
+  if (msg.As<CommitAckArgs>().txn != coord_->txn.id) return;
+  coord_->awaiting.erase(msg.from);
+  if (coord_->awaiting.empty()) {
+    runtime_->CancelTimer(coord_->timer);
+    coord_->timer = kInvalidTimer;
+    FinishCommit();
+  }
+}
+
+void Site::FinishCommit() {
+  // "commit database data items; update fail-locks for data items" — the
+  // coordinator's local commit happens after phase two completes.
+  CommitLocalWrites(coord_->txn.id, coord_->writes);
+  ++counters_.txns_committed;
+  ReplyAndClear(TxnOutcome::kCommitted);
+}
+
+void Site::CoordinationTimeout() {
+  if (!coord_ || coord_->timer == kInvalidTimer) return;
+  coord_->timer = kInvalidTimer;
+  Coordination& c = *coord_;
+  switch (c.phase) {
+    case Coordination::Phase::kCopier: {
+      // "site to which copy request sent is now down": abort the database
+      // transaction and announce the failure (control type 2).
+      std::vector<SiteId> silent;
+      for (const auto& [source, items] : c.copies_pending) {
+        silent.push_back(source);
+      }
+      const bool batch = c.batch_refresh;
+      if (!batch) {
+        ++counters_.txns_aborted_copier;
+        ReplyAndClear(TxnOutcome::kAbortedCopierFailed);
+      } else {
+        coord_.reset();
+      }
+      RunControlType2(silent);
+      break;
+    }
+    case Coordination::Phase::kPrepare: {
+      // "a participating site has failed": abort + control type 2.
+      std::vector<SiteId> silent(c.awaiting.begin(), c.awaiting.end());
+      for (SiteId p : c.participants) {
+        if (!c.awaiting.count(p)) {
+          Charge(options_.costs.ack_format);
+          SendTo(p, AbortArgs{c.txn.id});
+        }
+      }
+      ++counters_.txns_aborted_participant;
+      ReplyAndClear(TxnOutcome::kAbortedParticipantFailed);
+      RunControlType2(silent);
+      break;
+    }
+    case Coordination::Phase::kCommit: {
+      // "if commit ack not received from all participating sites then run
+      // control type 2" — but the transaction still commits.
+      std::vector<SiteId> silent(c.awaiting.begin(), c.awaiting.end());
+      FinishCommit();
+      RunControlType2(silent);
+      break;
+    }
+  }
+}
+
+void Site::ReplyAndClear(TxnOutcome outcome) {
+  Coordination& c = *coord_;
+  if (options_.enable_locking && !c.batch_refresh) {
+    lock_table_.ReleaseAll(c.txn.id);
+  }
+  if (c.timer != kInvalidTimer) {
+    runtime_->CancelTimer(c.timer);
+    c.timer = kInvalidTimer;
+  }
+  if (!c.batch_refresh) {
+    Trace(outcome == TxnOutcome::kCommitted ? TraceEvent::kTxnCommitted
+                                            : TraceEvent::kTxnAborted,
+          c.txn.id, static_cast<uint64_t>(outcome));
+    Charge(options_.costs.reply_format);
+    SendTo(c.client,
+           TxnReplyArgs{c.txn.id, outcome, c.copier_count, c.reads});
+    const Duration elapsed = runtime_->Now() - c.start_time;
+    counters_.coord_txn_time.Add(elapsed);
+    if (c.copier_count > 0) counters_.coord_txn_copier_time.Add(elapsed);
+  }
+  coord_.reset();
+  OnCoordinatorIdle();
+}
+
+void Site::OnCoordinatorIdle() {
+  if (status_ != SiteStatus::kUp || coord_) return;
+  if (!queued_requests_.empty()) {
+    // Serve the next queued client transaction (client work has priority
+    // over proactive batch refreshes).
+    const Message next = queued_requests_.front();
+    queued_requests_.pop_front();
+    HandleTxnRequest(next);
+    return;
+  }
+  MaybeStartBatchCopier();
+}
+
+// ---------------------------------------------------------------------------
+// Participant role (Appendix A, "actions at a participating site").
+// ---------------------------------------------------------------------------
+
+void Site::HandlePrepare(const Message& msg) {
+  const auto& args = msg.As<PrepareArgs>();
+  auto existing = participations_.find(args.txn);
+  if (existing != participations_.end()) {
+    // Duplicate prepare (retransmission): re-ack, keep the staging.
+    Charge(options_.costs.ack_format);
+    SendTo(msg.from, PrepareAckArgs{args.txn});
+    return;
+  }
+  ++counters_.prepares_handled;
+  Participation& part = participations_[args.txn];
+  part.txn = args.txn;
+  part.coordinator = msg.from;
+  part.start_time = runtime_->Now();
+  for (const ItemWrite& write : args.writes) {
+    if (!db_.Holds(write.item)) continue;
+    Charge(options_.costs.participant_stage_per_item);
+    part.staged.push_back(write);
+  }
+  Trace(TraceEvent::kPrepareHandled, args.txn, part.staged.size());
+  // The participant's patience exceeds the coordinator's ack timeout so
+  // that a slow-but-alive coordinator resolves the transaction first.
+  const TxnId txn = args.txn;
+  part.timer = runtime_->ScheduleAfter(
+      3 * options_.ack_timeout, [this, txn] { ParticipationTimeout(txn); });
+
+  if (options_.enable_locking) {
+    for (const ItemWrite& write : part.staged) {
+      const LockTable::Outcome outcome = lock_table_.Acquire(
+          write.item, txn, LockTable::Mode::kExclusive,
+          [this, txn] { OnParticipantLockGranted(txn); });
+      if (outcome == LockTable::Outcome::kRejected) {
+        // Wait-die: refuse the prepare; the coordinator aborts the txn.
+        ++counters_.lock_rejections;
+        lock_table_.ReleaseAll(txn);
+        runtime_->CancelTimer(part.timer);
+        participations_.erase(txn);
+        Charge(options_.costs.ack_format);
+        SendTo(msg.from, PrepareAckArgs{txn, /*accepted=*/false});
+        return;
+      }
+      if (outcome == LockTable::Outcome::kQueued) {
+        ++counters_.lock_waits;
+        ++part.lock_waits_pending;
+      }
+    }
+    if (part.lock_waits_pending > 0) return;  // ack once locks arrive
+  }
+  SendPrepareAck(part);
+}
+
+void Site::OnParticipantLockGranted(TxnId txn) {
+  auto it = participations_.find(txn);
+  if (it == participations_.end()) return;
+  if (--it->second.lock_waits_pending == 0) SendPrepareAck(it->second);
+}
+
+void Site::SendPrepareAck(Participation& part) {
+  Charge(options_.costs.ack_format);
+  SendTo(part.coordinator, PrepareAckArgs{part.txn});
+}
+
+void Site::HandleCommit(const Message& msg) {
+  auto it = participations_.find(msg.As<CommitArgs>().txn);
+  if (it == participations_.end()) return;
+  Participation& part = it->second;
+  runtime_->CancelTimer(part.timer);
+  CommitLocalWrites(part.txn, part.staged);
+  if (options_.enable_locking) lock_table_.ReleaseAll(part.txn);
+  Trace(TraceEvent::kParticipantCommitted, part.txn, part.staged.size());
+  Charge(options_.costs.ack_format);
+  SendTo(part.coordinator, CommitAckArgs{part.txn});
+  ++counters_.commits_handled;
+  counters_.participant_time.Add(runtime_->Now() - part.start_time);
+  participations_.erase(it);
+  MaybeStartBatchCopier();
+}
+
+void Site::HandleAbort(const Message& msg) {
+  auto it = participations_.find(msg.As<AbortArgs>().txn);
+  if (it == participations_.end()) return;
+  runtime_->CancelTimer(it->second.timer);
+  ++counters_.aborts_handled;
+  if (options_.enable_locking) lock_table_.ReleaseAll(it->first);
+  participations_.erase(it);  // "discard the copy updates"
+}
+
+void Site::ParticipationTimeout(TxnId txn) {
+  auto it = participations_.find(txn);
+  if (it == participations_.end()) return;
+  // "coordinating site has failed": discard and run control type 2.
+  ++counters_.coordinator_failures_detected;
+  const SiteId coordinator = it->second.coordinator;
+  if (options_.enable_locking) lock_table_.ReleaseAll(it->first);
+  participations_.erase(it);
+  RunControlType2({coordinator});
+}
+
+// ---------------------------------------------------------------------------
+// Copier service and the special clear-fail-locks transaction.
+// ---------------------------------------------------------------------------
+
+void Site::HandleCopyRequest(const Message& msg) {
+  if (status_ != SiteStatus::kUp) return;
+  const auto& args = msg.As<CopyRequestArgs>();
+  ++counters_.copy_requests_served;
+  const TimePoint start = runtime_->Now();
+  Charge(options_.costs.copy_serve_base);
+  CopyReplyArgs reply;
+  reply.txn = args.txn;
+  for (ItemId item : args.items) {
+    if (!db_.Holds(item)) continue;
+    if (fail_locks_.IsSet(item, id_)) continue;  // own copy is stale
+    Charge(options_.costs.copy_serve_per_item);
+    const Result<ItemState> state = db_.Read(item);
+    MR_CHECK(state.ok()) << "read of held item failed";
+    reply.copies.push_back(ItemCopy{item, state->value, state->version});
+  }
+  counters_.copy_serve_time.Add(runtime_->Now() - start);
+  Trace(TraceEvent::kCopyServed, msg.from, reply.copies.size());
+  SendTo(msg.from, std::move(reply));
+}
+
+void Site::HandleClearFailLocks(const Message& msg) {
+  const auto& args = msg.As<ClearFailLocksArgs>();
+  if (args.refreshed_site >= options_.n_sites) return;  // untrusted input
+  ++counters_.clear_lock_txns_received;
+  const TimePoint start = runtime_->Now();
+  Charge(options_.costs.clear_locks_apply_base +
+         options_.costs.clear_locks_apply_per_item *
+             static_cast<Duration>(args.items.size()));
+  for (ItemId item : args.items) {
+    if (item >= options_.db_size) continue;
+    if (fail_locks_.Clear(item, args.refreshed_site)) {
+      ++counters_.fail_locks_cleared;
+    }
+  }
+  counters_.clear_locks_time.Add(runtime_->Now() - start);
+}
+
+// ---------------------------------------------------------------------------
+// Control transactions.
+// ---------------------------------------------------------------------------
+
+void Site::StartRecovery() {
+  if (status_ != SiteStatus::kDown) return;
+  status_ = SiteStatus::kWaitingToRecover;
+  ++counters_.control1_initiated;
+  recovery_.emplace();
+  recovery_->new_session = session_vector_.session(id_) + 1;
+  recovery_->start_time = runtime_->Now();
+  Trace(TraceEvent::kRecoveryStarted, recovery_->new_session);
+  // Announce to every other database site; the local vector may be
+  // arbitrarily stale, and sites that are actually down simply ignore it.
+  for (SiteId t = 0; t < options_.n_sites; ++t) {
+    if (t == id_) continue;
+    Charge(options_.costs.announce_format);
+    SendTo(t, RecoveryAnnounceArgs{id_, recovery_->new_session});
+    recovery_->awaiting.insert(t);
+  }
+  if (recovery_->awaiting.empty()) {
+    CompleteRecovery();
+    return;
+  }
+  recovery_->timer = runtime_->ScheduleAfter(options_.ack_timeout,
+                                             [this] { CompleteRecovery(); });
+}
+
+Status Site::RestoreImage(const std::vector<ItemCopy>& image) {
+  if (status_ != SiteStatus::kDown) {
+    return Status::FailedPrecondition(
+        "RestoreImage requires the site to be down");
+  }
+  for (const ItemCopy& copy : image) {
+    if (copy.item >= options_.db_size) {
+      return Status::InvalidArgument(
+          StrFormat("image item %u out of range", copy.item));
+    }
+    MINIRAID_RETURN_IF_ERROR(
+        db_.InstallCopy(copy.item, ItemState{copy.value, copy.version}));
+  }
+  // The durable image stands in for the lost volatile state: recovery can
+  // rely on the operational sites' fail-locks to cover exactly the updates
+  // missed while down, instead of conservatively locking everything.
+  state_lost_ = false;
+  return Status::Ok();
+}
+
+void Site::HandleRecoveryAnnounce(const Message& msg) {
+  if (status_ != SiteStatus::kUp) return;
+  const auto& args = msg.As<RecoveryAnnounceArgs>();
+  if (args.recovering_site >= options_.n_sites) return;  // untrusted input
+  session_vector_.Set(args.recovering_site, args.new_session,
+                      SiteStatus::kUp);
+  ++counters_.control1_served;
+  const TimePoint start = runtime_->Now();
+  const std::vector<FailLockRow> rows = fail_locks_.ToWire();
+  Charge(options_.costs.recovery_format_base +
+         options_.costs.recovery_format_per_item *
+             static_cast<Duration>(rows.size()));
+  SendTo(args.recovering_site,
+         RecoveryInfoArgs{session_vector_.ToWire(), rows});
+  Trace(TraceEvent::kRecoveryServed, args.recovering_site, rows.size());
+  counters_.type1_serve_time.Add(runtime_->Now() - start);
+}
+
+void Site::HandleRecoveryInfo(const Message& msg) {
+  if (!recovery_) return;
+  Charge(options_.costs.recovery_install);
+  recovery_->infos.push_back(msg.As<RecoveryInfoArgs>());
+  recovery_->awaiting.erase(msg.from);
+  if (recovery_->awaiting.empty()) {
+    runtime_->CancelTimer(recovery_->timer);
+    recovery_->timer = kInvalidTimer;
+    CompleteRecovery();
+  }
+}
+
+void Site::CompleteRecovery() {
+  if (!recovery_) return;
+  Recovery recovery = std::move(*recovery_);
+  recovery_.reset();
+  if (recovery.timer != kInvalidTimer) {
+    runtime_->CancelTimer(recovery.timer);
+  }
+  if (!recovery.infos.empty()) {
+    // The operational sites' tables are authoritative: they tracked every
+    // update committed while this site was down, including clears this
+    // site never saw. Adopt the union of their fail-lock tables and
+    // discard the frozen local one; merge their session vectors.
+    FailLockTable fresh(options_.db_size, options_.n_sites);
+    for (const RecoveryInfoArgs& info : recovery.infos) {
+      const Status merged = fresh.MergeFrom(info.fail_locks);
+      if (!merged.ok()) {
+        MR_LOG(kWarn) << "site " << id_
+                      << ": bad fail-lock rows in recovery info: "
+                      << merged.ToString();
+      }
+    }
+    fail_locks_ = std::move(fresh);
+    for (const RecoveryInfoArgs& info : recovery.infos) {
+      const Status merged = session_vector_.MergeFrom(info.session_vector);
+      if (!merged.ok()) {
+        MR_LOG(kWarn) << "site " << id_
+                      << ": bad session vector in recovery info: "
+                      << merged.ToString();
+      }
+    }
+  }
+  // Else: no operational site answered. Keep the frozen local state — the
+  // best available — and come up alone (documented DESIGN.md choice).
+  session_vector_.Set(id_, recovery.new_session, SiteStatus::kUp);
+  if (state_lost_) {
+    // Cold restart: even copies the operational sites think are fine are
+    // gone locally. Conservatively fail-lock every held copy so reads go
+    // through copier transactions until each copy is refreshed.
+    for (ItemId item = 0; item < options_.db_size; ++item) {
+      if (db_.Holds(item)) fail_locks_.Set(item, id_);
+    }
+    state_lost_ = false;
+  }
+  status_ = SiteStatus::kUp;
+  counters_.recovery_time.Add(runtime_->Now() - recovery.start_time);
+  Trace(TraceEvent::kRecoveryCompleted, recovery.new_session,
+        fail_locks_.CountForSite(id_));
+  MaybeStartBatchCopier();
+}
+
+void Site::HandleFailureAnnounce(const Message& msg) {
+  const auto& args = msg.As<FailureAnnounceArgs>();
+  ++counters_.control2_received;
+  const TimePoint start = runtime_->Now();
+  Charge(options_.costs.failure_update);
+  for (const FailedSiteEntry& entry : args.failed_sites) {
+    if (entry.site >= options_.n_sites || entry.site == id_) continue;
+    const SessionNumber local = session_vector_.session(entry.site);
+    if (entry.session > local) {
+      session_vector_.Set(entry.site, entry.session, SiteStatus::kDown);
+      Trace(TraceEvent::kFailureLearned, entry.site);
+    } else if (entry.session == local) {
+      session_vector_.MarkDown(entry.site);
+      Trace(TraceEvent::kFailureLearned, entry.site);
+    }
+    // else: stale news about an epoch the site already left; ignore.
+  }
+  counters_.type2_receive_time.Add(runtime_->Now() - start);
+  MaybeRunType3();
+}
+
+void Site::RunControlType2(const std::vector<SiteId>& failed) {
+  std::vector<FailedSiteEntry> entries;
+  for (SiteId f : failed) {
+    if (f >= options_.n_sites || f == id_) continue;
+    if (session_vector_.IsUp(f)) session_vector_.MarkDown(f);
+    Trace(TraceEvent::kFailureDetected, f);
+    entries.push_back(FailedSiteEntry{f, session_vector_.session(f)});
+  }
+  if (entries.empty()) return;
+  ++counters_.control2_initiated;
+  Charge(options_.costs.failure_detect);
+  for (SiteId peer : OperationalPeers()) {
+    Charge(options_.costs.ack_format);
+    SendTo(peer, FailureAnnounceArgs{entries});
+  }
+  MaybeRunType3();
+}
+
+void Site::HandleCopyCreate(const Message& msg) {
+  const auto& args = msg.As<CopyCreateArgs>();
+  if (args.backup_site >= options_.n_sites) return;  // untrusted input
+  for (const ItemCopy& copy : args.copies) {
+    if (copy.item >= options_.db_size) continue;
+    holders_.Add(copy.item, args.backup_site);
+    if (args.backup_site == id_) {
+      const Status status =
+          db_.InstallCopy(copy.item, ItemState{copy.value, copy.version});
+      if (status.ok()) {
+        ++counters_.control3_copies_installed;
+        if (options_.on_apply) {
+          options_.on_apply(copy.item, copy.value, copy.version);
+        }
+        fail_locks_.Clear(copy.item, id_);  // the new copy is up to date
+      } else {
+        MR_LOG(kWarn) << "site " << id_ << ": type-3 install failed: "
+                      << status.ToString();
+      }
+    }
+  }
+}
+
+void Site::MaybeRunType3() {
+  if (!options_.enable_type3 || status_ != SiteStatus::kUp) return;
+  // Collect items whose only operational up-to-date copy is ours, keyed by
+  // the chosen backup site.
+  std::map<SiteId, std::vector<ItemCopy>> plans;
+  for (ItemId item = 0; item < options_.db_size; ++item) {
+    if (!db_.Holds(item) || fail_locks_.IsSet(item, id_)) continue;
+    bool other_fresh_copy = false;
+    for (SiteId t = 0; t < options_.n_sites; ++t) {
+      if (t == id_) continue;
+      if (session_vector_.IsUp(t) && holders_.Holds(item, t) &&
+          !fail_locks_.IsSet(item, t)) {
+        other_fresh_copy = true;
+        break;
+      }
+    }
+    if (other_fresh_copy) continue;
+    // Back-up target: the lowest-id operational peer without a copy.
+    SiteId backup = kInvalidSite;
+    for (SiteId t : OperationalPeers()) {
+      if (!holders_.Holds(item, t)) {
+        backup = t;
+        break;
+      }
+    }
+    if (backup == kInvalidSite) continue;  // nowhere to place a copy
+    const Result<ItemState> state = db_.Read(item);
+    MR_CHECK(state.ok()) << "read of held item failed";
+    plans[backup].push_back(ItemCopy{item, state->value, state->version});
+  }
+  for (auto& [backup, copies] : plans) {
+    ++counters_.control3_initiated;
+    Trace(TraceEvent::kType3Backup, backup, copies.size());
+    for (const ItemCopy& copy : copies) holders_.Add(copy.item, backup);
+    // Broadcast so every operational site's holders table learns of the
+    // new copies; only the backup installs the data.
+    for (SiteId peer : OperationalPeers()) {
+      Charge(options_.costs.ack_format);
+      SendTo(peer, CopyCreateArgs{backup, copies});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+void Site::CommitLocalWrites(TxnId writer,
+                             const std::vector<ItemWrite>& writes) {
+  for (const ItemWrite& write : writes) {
+    if (!db_.Holds(write.item)) continue;
+    Charge(options_.costs.commit_install_per_item);
+    const Status status = db_.CommitWrite(write.item, write.value, writer);
+    if (status.ok() && options_.on_apply) {
+      options_.on_apply(write.item, write.value, writer);
+    }
+    if (status.code() == StatusCode::kInvalidArgument) {
+      // A concurrent transaction with a higher id already committed this
+      // item (last-writer-wins ordering keeps replicas convergent when
+      // transactions overlap); skipping the stale write is correct.
+      MR_LOG(kDebug) << "site " << id_ << ": LWW skip on item " << write.item
+                     << " for txn " << writer;
+    } else if (!status.ok()) {
+      MR_LOG(kWarn) << "site " << id_ << ": commit of item " << write.item
+                    << " failed: " << status.ToString();
+    }
+  }
+  if (options_.maintain_fail_locks) MaintainFailLocks(writes);
+}
+
+void Site::MaintainFailLocks(const std::vector<ItemWrite>& writes) {
+  // "As a transaction committed a particular copy on a site, the nominal
+  // session vector was examined and the fail-lock bits for each written
+  // data item were set for each failed site" — and re-cleared for each
+  // operational site (the paper found unconditional maintenance cheaper
+  // than checking each site's state first).
+  for (const ItemWrite& write : writes) {
+    Charge(options_.costs.faillock_maint_per_item);
+    for (SiteId t = 0; t < options_.n_sites; ++t) {
+      if (!holders_.Holds(write.item, t)) continue;
+      if (session_vector_.IsUp(t)) {
+        if (fail_locks_.Clear(write.item, t)) ++counters_.fail_locks_cleared;
+      } else {
+        if (fail_locks_.Set(write.item, t)) ++counters_.fail_locks_set;
+      }
+    }
+  }
+}
+
+void Site::MaybeStartBatchCopier() {
+  if (options_.batch_copier_threshold <= 0.0) return;  // step two disabled
+  if (status_ != SiteStatus::kUp || !IsIdle()) return;
+  const uint32_t own = fail_locks_.CountForSite(id_);
+  if (own == 0) return;
+  if (fail_locks_.FractionLockedFor(id_) > options_.batch_copier_threshold) {
+    return;  // still in step one: refresh on demand only
+  }
+  const std::vector<ItemId> items =
+      fail_locks_.ItemsLockedFor(id_, options_.batch_copier_chunk);
+  Trace(TraceEvent::kBatchCopierStarted, items.size());
+  coord_.emplace();
+  coord_->batch_refresh = true;
+  coord_->start_time = runtime_->Now();
+  StartCopierPhase(items);
+}
+
+}  // namespace miniraid

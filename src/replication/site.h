@@ -1,0 +1,264 @@
+#ifndef MINIRAID_REPLICATION_SITE_H_
+#define MINIRAID_REPLICATION_SITE_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/runtime.h"
+#include "db/database.h"
+#include "net/transport.h"
+#include "replication/counters.h"
+#include "replication/fail_locks.h"
+#include "replication/lock_table.h"
+#include "replication/options.h"
+#include "replication/placement.h"
+#include "replication/session_vector.h"
+
+namespace miniraid {
+
+/// One database site: the protocol engine implementing the paper's
+/// replicated copy control — ROWAA transaction processing via two-phase
+/// commit (Appendix A), fail-lock maintenance inside the commit step,
+/// copier transactions with the special fail-lock-clearing transaction,
+/// control transactions type 1 (recovery), type 2 (failure announcement),
+/// and the proposed type 3 (backup-copy creation), plus the proposed
+/// two-step recovery with batch copiers.
+///
+/// The engine is runtime-agnostic: all time, timers, CPU accounting, and
+/// messaging go through SiteRuntime and Transport, so the identical code
+/// runs under the deterministic simulator and on real threads/sockets.
+/// All methods must be called from the site's execution context.
+class Site : public MessageHandler {
+ public:
+  Site(SiteId id, const SiteOptions& options, Transport* transport,
+       SiteRuntime* runtime);
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  /// Transport entry point.
+  void OnMessage(const Message& msg) override;
+
+  /// Simulated crash (the managing site's kFailSite does this): the site
+  /// stops participating in all system actions until recovery. State is
+  /// retained, as in the paper's implementation, where a failed site
+  /// "would remain inactive until recovery was initiated".
+  void Crash();
+
+  /// Begins the control-type-1 recovery protocol (kRecoverSite does this).
+  void StartRecovery();
+
+  /// Restores a durable image into a DOWN site that lost its volatile
+  /// state (lose_state_on_crash): the modelled equivalent of a process
+  /// restarting from its DurableDatabase before rejoining via control
+  /// type 1. After the restore only the updates committed while the site
+  /// was down need fail-lock-driven refresh, exactly as with retained
+  /// state. kFailedPrecondition unless the site is down.
+  Status RestoreImage(const std::vector<ItemCopy>& image);
+
+  // -- introspection (drivers, experiments, tests) -----------------------
+
+  SiteId id() const { return id_; }
+  SiteStatus local_status() const { return status_; }
+  bool is_up() const { return status_ == SiteStatus::kUp; }
+
+  /// True while the site is up but still holds fail-locks on its own
+  /// copies (the paper's "recovery period").
+  bool InRecoveryPeriod() const {
+    return is_up() && fail_locks_.CountForSite(id_) > 0;
+  }
+
+  const Database& db() const { return db_; }
+  const SessionVector& session_vector() const { return session_vector_; }
+  const FailLockTable& fail_locks() const { return fail_locks_; }
+  const HoldersTable& holders() const { return holders_; }
+  const SiteCounters& counters() const { return counters_; }
+
+  /// Mutable counters, so drivers can reset between warmup and measurement
+  /// windows (the paper measured "after a stable state of transaction
+  /// processing was achieved").
+  SiteCounters& mutable_counters() { return counters_; }
+  const SiteOptions& options() const { return options_; }
+
+  /// Number of this site's own copies currently fail-locked.
+  uint32_t OwnFailLockCount() const { return fail_locks_.CountForSite(id_); }
+
+  /// True if no transaction / recovery is in flight at this site.
+  bool IsIdle() const {
+    return !coord_.has_value() && participations_.empty() &&
+           !recovery_.has_value() && queued_requests_.empty();
+  }
+
+  /// Transaction requests waiting for the coordinator slot (requests that
+  /// arrive while another transaction is being coordinated are queued and
+  /// served in order; execution at the site stays serial).
+  size_t QueuedRequests() const { return queued_requests_.size(); }
+
+ private:
+  // State of a transaction this site is coordinating. Processing is serial
+  // (paper assumption 2): at most one coordination is in flight.
+  struct Coordination {
+    TxnSpec txn;
+    SiteId client = kInvalidSite;
+    TimePoint start_time = 0;
+
+    enum class Phase {
+      kCopier,      // waiting for copy replies
+      kPrepare,     // phase one: waiting for prepare acks
+      kCommit,      // phase two: waiting for commit acks
+    };
+    Phase phase = Phase::kCopier;
+
+    // Copier sub-state: source site -> items requested from it.
+    std::map<SiteId, std::vector<ItemId>> copies_pending;
+    // Fail-locked own copies refreshed by copier transactions.
+    std::vector<ItemId> refreshed_items;
+    // Values fetched for reads of items this site holds no copy of
+    // (partial replication).
+    std::map<ItemId, ItemState> remote_reads;
+    uint32_t copier_count = 0;
+
+    std::vector<SiteId> participants;
+    std::set<SiteId> awaiting;
+    std::vector<ItemWrite> writes;
+    std::vector<ItemCopy> reads;
+
+    TimerId timer = kInvalidTimer;
+    // True if this is a step-two batch copier refresh rather than a client
+    // transaction (txn/client unused, no 2PC follows the copier).
+    bool batch_refresh = false;
+
+    // Locking extension state: read-set items needing copier refresh
+    // (computed before lock acquisition) and outstanding queued local
+    // lock requests.
+    std::vector<ItemId> needs_copy;
+    uint32_t lock_waits_pending = 0;
+  };
+
+  // State of a transaction this site participates in.
+  struct Participation {
+    TxnId txn = 0;
+    SiteId coordinator = kInvalidSite;
+    TimePoint start_time = 0;
+    std::vector<ItemWrite> staged;  // writes of items this site holds
+    TimerId timer = kInvalidTimer;
+    // Locking extension: queued exclusive-lock requests still outstanding
+    // before the prepare-ack can be sent.
+    uint32_t lock_waits_pending = 0;
+  };
+
+  // State of an in-flight control-type-1 recovery at this site.
+  struct Recovery {
+    SessionNumber new_session = 0;
+    TimePoint start_time = 0;
+    std::set<SiteId> awaiting;
+    std::vector<RecoveryInfoArgs> infos;
+    TimerId timer = kInvalidTimer;
+  };
+
+  // ---- coordinator role -------------------------------------------------
+  void HandleTxnRequest(const Message& msg);
+  /// Locking extension: acquires the coordinator's local locks (shared for
+  /// pure reads, exclusive for writes and stale reads), then continues to
+  /// the copier phase / execution once all are granted.
+  void AcquireCoordinatorLocks();
+  void OnCoordinatorLockGranted(TxnId txn);
+  /// Runs after local locks are held (or immediately when locking is off).
+  void ProceedAfterLocks();
+  void StartCopierPhase(const std::vector<ItemId>& needed);
+  void HandleCopyReply(const Message& msg);
+  void FinishCopierPhase();
+  void ExecuteAndPrepare();
+  void HandlePrepareAck(const Message& msg);
+  void StartCommitPhase();
+  void HandleCommitAck(const Message& msg);
+  void FinishCommit();
+  void CoordinationTimeout();
+  void ReplyAndClear(TxnOutcome outcome);
+
+  // ---- participant role --------------------------------------------------
+  void HandlePrepare(const Message& msg);
+  void HandleCommit(const Message& msg);
+  void HandleAbort(const Message& msg);
+  void ParticipationTimeout(TxnId txn);
+  void OnParticipantLockGranted(TxnId txn);
+  void SendPrepareAck(Participation& part);
+
+  /// Runs when the coordinator slot frees up: serves the next queued
+  /// request, or lets step-two batch copiers proceed.
+  void OnCoordinatorIdle();
+
+  // ---- services -----------------------------------------------------------
+  void HandleCopyRequest(const Message& msg);
+  void HandleClearFailLocks(const Message& msg);
+
+  // ---- control transactions ------------------------------------------------
+  void HandleRecoveryAnnounce(const Message& msg);
+  void HandleRecoveryInfo(const Message& msg);
+  void CompleteRecovery();
+  void HandleFailureAnnounce(const Message& msg);
+  void RunControlType2(const std::vector<SiteId>& failed);
+  void HandleCopyCreate(const Message& msg);
+  void MaybeRunType3();
+
+  // ---- shared helpers --------------------------------------------------------
+  /// Installs committed writes locally and maintains fail-locks per the
+  /// local session vector (the paper folds fail-lock maintenance into the
+  /// commitment of data copies).
+  void CommitLocalWrites(TxnId writer, const std::vector<ItemWrite>& writes);
+  void MaintainFailLocks(const std::vector<ItemWrite>& writes);
+
+  /// Operational database sites other than this one, per the local vector.
+  std::vector<SiteId> OperationalPeers() const;
+
+  /// Chooses a copy source for `item`: the lowest-id operational peer that
+  /// holds an up-to-date copy per the local tables; kInvalidSite if none.
+  SiteId PickCopySource(ItemId item) const;
+
+  /// Step-two recovery: proactively refresh remaining fail-locked copies
+  /// when idle and below the threshold.
+  void MaybeStartBatchCopier();
+
+  void Charge(Duration amount) { runtime_->ChargeCpu(amount); }
+  void SendTo(SiteId to, Payload payload);
+
+  void Trace(TraceEvent event, uint64_t a = 0, uint64_t b = 0) {
+    if (options_.trace != nullptr) {
+      options_.trace->Record(runtime_->Now(), id_, event, a, b);
+    }
+  }
+
+  const SiteId id_;
+  const SiteOptions options_;
+  Transport* const transport_;
+  SiteRuntime* const runtime_;
+
+  SiteStatus status_ = SiteStatus::kUp;
+  Database db_;
+  LockTable lock_table_;  // used only with options_.enable_locking
+  SessionVector session_vector_;
+  FailLockTable fail_locks_;
+  HoldersTable holders_;
+  SiteCounters counters_;
+
+  std::optional<Coordination> coord_;
+  std::deque<Message> queued_requests_;
+  /// In-flight participations keyed by transaction id. Multiple
+  /// coordinators may have transactions staged here concurrently; each
+  /// site's own execution remains serial (one event at a time).
+  std::map<TxnId, Participation> participations_;
+  std::optional<Recovery> recovery_;
+
+  /// Bound on the coordinator request queue; beyond it requests are
+  /// dropped and the client times out.
+  static constexpr size_t kMaxQueuedRequests = 64;
+  /// Set by a lose-state crash; consumed by the next CompleteRecovery.
+  bool state_lost_ = false;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_REPLICATION_SITE_H_

@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace miniraid {
+
+EventQueue::EventId EventQueue::Push(TimePoint when,
+                                     std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  functions_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  auto it = functions_.find(id);
+  if (it == functions_.end()) return;  // already ran or cancelled
+  functions_.erase(it);
+  cancelled_.insert(id);
+}
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() const {
+  DropCancelledHead();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::NextTime() const {
+  DropCancelledHead();
+  MR_CHECK(!heap_.empty()) << "NextTime on empty event queue";
+  return heap_.top().when;
+}
+
+EventQueue::Event EventQueue::Pop() {
+  DropCancelledHead();
+  MR_CHECK(!heap_.empty()) << "Pop on empty event queue";
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = functions_.find(entry.id);
+  MR_CHECK(it != functions_.end()) << "live heap entry without function";
+  Event event{entry.when, entry.id, std::move(it->second)};
+  functions_.erase(it);
+  return event;
+}
+
+}  // namespace miniraid

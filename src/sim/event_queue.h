@@ -1,0 +1,75 @@
+#ifndef MINIRAID_SIM_EVENT_QUEUE_H_
+#define MINIRAID_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace miniraid {
+
+/// Time-ordered queue of simulation events. Ties are broken by insertion
+/// order (a strictly increasing sequence number), which makes runs fully
+/// deterministic and preserves FIFO delivery for messages scheduled at the
+/// same instant.
+class EventQueue {
+ public:
+  using EventId = uint64_t;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues `fn` to run at absolute time `when`. Returns an id usable
+  /// with Cancel().
+  EventId Push(TimePoint when, std::function<void()> fn);
+
+  /// Marks an event cancelled; it is discarded when popped. No-op if the
+  /// event already ran.
+  void Cancel(EventId id);
+
+  /// True if no runnable (non-cancelled) event remains.
+  bool Empty() const;
+
+  /// Time of the earliest runnable event. Precondition: !Empty().
+  TimePoint NextTime() const;
+
+  /// Pops and returns the earliest runnable event. Precondition: !Empty().
+  struct Event {
+    TimePoint when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Event Pop();
+
+  size_t size() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    uint64_t seq;
+    EventId id;
+    // Heap orders earliest-first; std::priority_queue is a max-heap, so
+    // invert the comparison.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, std::function<void()>> functions_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_SIM_EVENT_QUEUE_H_

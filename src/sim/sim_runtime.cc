@@ -1,0 +1,133 @@
+#include "sim/sim_runtime.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace miniraid {
+
+/// Per-site facade implementing the SiteRuntime interface on top of the
+/// shared SimRuntime.
+class SimRuntime::SimSiteRuntime : public SiteRuntime {
+ public:
+  SimSiteRuntime(SimRuntime* sim, SiteId site) : sim_(sim), site_(site) {}
+
+  TimePoint Now() const override {
+    // Inside this site's handler, time includes CPU charged so far;
+    // otherwise the base simulation time.
+    if (sim_->current_site_ == site_) return sim_->CurrentTime();
+    return sim_->now_;
+  }
+
+  TimerId ScheduleAfter(Duration delay, std::function<void()> fn) override {
+    return sim_->ScheduleSiteEvent(Now() + delay, site_, std::move(fn));
+  }
+
+  void CancelTimer(TimerId id) override {
+    if (id != kInvalidTimer) sim_->CancelEvent(id);
+  }
+
+  void ChargeCpu(Duration amount) override {
+    if (sim_->current_site_ == site_) {
+      sim_->ChargeCurrentSite(amount);
+    } else {
+      // Charging outside the site's handler (e.g. from a driver) just
+      // pushes the site's busy horizon forward.
+      sim_->SetBusyUntil(site_,
+                         std::max(sim_->BusyUntil(site_), sim_->now_) + amount);
+    }
+  }
+
+ private:
+  SimRuntime* sim_;
+  SiteId site_;
+};
+
+SimRuntime::SimRuntime(const SimOptions& options) : options_(options) {}
+
+SimRuntime::~SimRuntime() = default;
+
+SiteRuntime* SimRuntime::RuntimeFor(SiteId site) {
+  auto it = site_runtimes_.find(site);
+  if (it == site_runtimes_.end()) {
+    it = site_runtimes_
+             .emplace(site, std::make_unique<SimSiteRuntime>(this, site))
+             .first;
+  }
+  return it->second.get();
+}
+
+TimePoint SimRuntime::BusyUntil(SiteId site) const {
+  if (options_.shared_cpu) return shared_busy_until_;
+  auto it = busy_until_.find(site);
+  return it == busy_until_.end() ? 0 : it->second;
+}
+
+void SimRuntime::SetBusyUntil(SiteId site, TimePoint when) {
+  if (options_.shared_cpu) {
+    shared_busy_until_ = std::max(shared_busy_until_, when);
+  } else {
+    TimePoint& slot = busy_until_[site];
+    slot = std::max(slot, when);
+  }
+}
+
+EventQueue::EventId SimRuntime::ScheduleSiteEvent(TimePoint when, SiteId site,
+                                                  std::function<void()> fn) {
+  return queue_.Push(when, [this, site, when, fn = std::move(fn)]() mutable {
+    ExecuteSiteEvent(site, when, std::move(fn));
+  });
+}
+
+EventQueue::EventId SimRuntime::ScheduleGlobalEvent(TimePoint when,
+                                                    std::function<void()> fn) {
+  return queue_.Push(when, std::move(fn));
+}
+
+void SimRuntime::ChargeCurrentSite(Duration amount) {
+  if (current_site_ == kInvalidSite) return;
+  MR_CHECK(amount >= 0) << "negative CPU charge";
+  current_offset_ += amount;
+}
+
+void SimRuntime::ExecuteSiteEvent(SiteId site, TimePoint when,
+                                  std::function<void()>&& fn) {
+  const TimePoint busy = BusyUntil(site);
+  if (busy > when) {
+    // The site's (or, in shared mode, the machine's) CPU is still occupied;
+    // requeue at the busy horizon. Push order preserves FIFO.
+    ScheduleSiteEvent(busy, site, std::move(fn));
+    return;
+  }
+  MR_CHECK(current_site_ == kInvalidSite) << "nested site event execution";
+  current_site_ = site;
+  current_offset_ = 0;
+  fn();
+  SetBusyUntil(site, when + current_offset_);
+  current_site_ = kInvalidSite;
+  current_offset_ = 0;
+}
+
+bool SimRuntime::RunOne() {
+  if (queue_.Empty()) return false;
+  EventQueue::Event event = queue_.Pop();
+  MR_CHECK(event.when >= now_) << "event scheduled in the past";
+  now_ = event.when;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+void SimRuntime::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+void SimRuntime::RunUntil(TimePoint deadline) {
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    RunOne();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace miniraid

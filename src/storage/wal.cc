@@ -1,0 +1,139 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+namespace {
+
+constexpr size_t kHeaderBytes = 8;  // u32 length + u32 crc
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+uint32_t ReadLE32(const uint8_t* p) {
+  return uint32_t{p[0]} | (uint32_t{p[1]} << 8) | (uint32_t{p[2]} << 16) |
+         (uint32_t{p[3]} << 24);
+}
+
+void WriteLE32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+/// Scans the file for the longest valid prefix of records, invoking `fn`
+/// (when non-null) for each.
+Status ScanValidPrefix(
+    std::FILE* file,
+    const std::function<Status(const uint8_t*, size_t)>* fn,
+    uint64_t* valid_bytes) {
+  uint64_t offset = 0;
+  std::vector<uint8_t> payload;
+  while (true) {
+    uint8_t header[kHeaderBytes];
+    const size_t got = std::fread(header, 1, kHeaderBytes, file);
+    if (got < kHeaderBytes) break;  // clean EOF or torn header
+    const uint32_t length = ReadLE32(header);
+    const uint32_t crc = ReadLE32(header + 4);
+    if (length > kMaxRecordBytes) break;  // garbage length: torn tail
+    payload.resize(length);
+    if (std::fread(payload.data(), 1, length, file) < length) break;
+    if (Crc32(payload.data(), payload.size()) != crc) break;
+    if (fn != nullptr && *fn) {
+      MINIRAID_RETURN_IF_ERROR((*fn)(payload.data(), payload.size()));
+    }
+    offset += kHeaderBytes + length;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = offset;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, const Options& options) {
+  // Determine the valid prefix (tolerating a torn tail from a crash).
+  uint64_t valid = 0;
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe != nullptr) {
+    const Status scanned = ScanValidPrefix(probe, nullptr, &valid);
+    std::fclose(probe);
+    MINIRAID_RETURN_IF_ERROR(scanned);
+    if (::truncate(path.c_str(), static_cast<off_t>(valid)) != 0) {
+      return Status::IoError(
+          StrFormat("truncate %s: %s", path.c_str(), std::strerror(errno)));
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError(
+        StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, file, valid, options));
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::Append(const uint8_t* payload, size_t size) {
+  if (size > kMaxRecordBytes) {
+    return Status::InvalidArgument("record too large");
+  }
+  uint8_t header[kHeaderBytes];
+  WriteLE32(header, static_cast<uint32_t>(size));
+  WriteLE32(header + 4, Crc32(payload, size));
+  if (std::fwrite(header, 1, kHeaderBytes, file_) < kHeaderBytes ||
+      std::fwrite(payload, 1, size, file_) < size) {
+    return Status::IoError(StrFormat("append to %s failed", path_.c_str()));
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError(StrFormat("flush %s failed", path_.c_str()));
+  }
+  if (options_.sync_each_append) {
+    MINIRAID_RETURN_IF_ERROR(Sync());
+  }
+  size_bytes_ += kHeaderBytes + size;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Sync() {
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::IoError(StrFormat("fsync %s failed", path_.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Reset() {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError(
+        StrFormat("reopen %s: %s", path_.c_str(), std::strerror(errno)));
+  }
+  size_bytes_ = 0;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<Status(const uint8_t*, size_t)>& fn,
+    uint64_t* valid_bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (valid_bytes != nullptr) *valid_bytes = 0;
+    return Status::Ok();  // no log yet: nothing to replay
+  }
+  const Status status = ScanValidPrefix(file, &fn, valid_bytes);
+  std::fclose(file);
+  return status;
+}
+
+}  // namespace miniraid

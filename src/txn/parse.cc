@@ -1,0 +1,79 @@
+#include "txn/parse.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace miniraid {
+
+Result<TxnSpec> ParseTxnOps(TxnId id, const std::string& ops_text,
+                            uint32_t db_size) {
+  TxnSpec txn;
+  txn.id = id;
+  std::istringstream in(ops_text);
+  std::string token;
+  while (in >> token) {
+    if (token.size() < 2) {
+      return Status::InvalidArgument(
+          StrFormat("bad operation '%s' (want rN or wN[=V])", token.c_str()));
+    }
+    const char kind = token[0];
+    if (kind != 'r' && kind != 'w') {
+      return Status::InvalidArgument(
+          StrFormat("bad operation kind in '%s'", token.c_str()));
+    }
+    const std::string rest = token.substr(1);
+    const size_t eq = rest.find('=');
+    const std::string item_text = eq == std::string::npos
+                                      ? rest
+                                      : rest.substr(0, eq);
+    char* end = nullptr;
+    const long item = std::strtol(item_text.c_str(), &end, 10);
+    if (end == item_text.c_str() || *end != '\0' || item < 0 ||
+        static_cast<unsigned long>(item) >= db_size) {
+      return Status::InvalidArgument(
+          StrFormat("bad item in '%s' (0 <= item < %u)", token.c_str(),
+                    db_size));
+    }
+    const ItemId item_id = static_cast<ItemId>(item);
+    if (kind == 'r') {
+      if (eq != std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("reads take no value: '%s'", token.c_str()));
+      }
+      txn.ops.push_back(Operation::Read(item_id));
+      continue;
+    }
+    Value value = WriteValueFor(id, item_id);
+    if (eq != std::string::npos) {
+      const std::string value_text = rest.substr(eq + 1);
+      char* value_end = nullptr;
+      value = static_cast<Value>(
+          std::strtoll(value_text.c_str(), &value_end, 10));
+      if (value_end == value_text.c_str() || *value_end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("bad value in '%s'", token.c_str()));
+      }
+    }
+    txn.ops.push_back(Operation::Write(item_id, value));
+  }
+  if (txn.ops.empty()) {
+    return Status::InvalidArgument("transaction needs at least one operation");
+  }
+  return txn;
+}
+
+std::string FormatTxnOps(const TxnSpec& txn) {
+  std::vector<std::string> parts;
+  for (const Operation& op : txn.ops) {
+    if (op.is_read()) {
+      parts.push_back(StrFormat("r%u", op.item));
+    } else {
+      parts.push_back(StrFormat("w%u=%lld", op.item, (long long)op.value));
+    }
+  }
+  return StrJoin(parts, " ");
+}
+
+}  // namespace miniraid

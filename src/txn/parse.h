@@ -1,0 +1,23 @@
+#ifndef MINIRAID_TXN_PARSE_H_
+#define MINIRAID_TXN_PARSE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "txn/transaction.h"
+
+namespace miniraid {
+
+/// Parses a whitespace-separated operation list like "r4 w7 r0" into a
+/// transaction: `rN` reads item N, `wN` writes item N with the canonical
+/// value WriteValueFor(id, N), and `wN=V` writes the explicit value V.
+/// Items must be < `db_size`. Used by the interactive managing site.
+Result<TxnSpec> ParseTxnOps(TxnId id, const std::string& ops_text,
+                            uint32_t db_size);
+
+/// Renders a transaction back into the parsable form ("r4 w7=42").
+std::string FormatTxnOps(const TxnSpec& txn);
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_TXN_PARSE_H_

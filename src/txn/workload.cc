@@ -1,0 +1,101 @@
+#include "txn/workload.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace miniraid {
+
+UniformWorkload::UniformWorkload(const UniformWorkloadOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(options.db_size, options.zipf_theta, &rng_) {
+  MR_CHECK(options_.db_size > 0) << "workload needs at least one item";
+  MR_CHECK(options_.max_txn_size > 0) << "max transaction size must be >= 1";
+}
+
+TxnSpec UniformWorkload::Next() {
+  TxnSpec txn;
+  txn.id = next_id_++;
+  const uint32_t n_ops = static_cast<uint32_t>(
+      1 + rng_.NextBounded(options_.max_txn_size));
+  txn.ops.reserve(n_ops);
+  for (uint32_t i = 0; i < n_ops; ++i) {
+    const ItemId item = static_cast<ItemId>(zipf_.Next());
+    if (rng_.NextBool(options_.write_fraction)) {
+      txn.ops.push_back(Operation::Write(item, WriteValueFor(txn.id, item)));
+    } else {
+      txn.ops.push_back(Operation::Read(item));
+    }
+  }
+  return txn;
+}
+
+std::string UniformWorkload::name() const {
+  if (options_.zipf_theta == 0.0) return "uniform";
+  return StrFormat("zipf(%.2f)", options_.zipf_theta);
+}
+
+Et1Workload::Et1Workload(const Et1WorkloadOptions& options)
+    : options_(options), rng_(options.seed) {
+  MR_CHECK(options_.accounts > 0 && options_.tellers > 0 &&
+           options_.branches > 0 && options_.history_slots > 0)
+      << "ET1 workload needs at least one record of each kind";
+}
+
+uint32_t Et1Workload::db_size() const {
+  return options_.accounts + options_.tellers + options_.branches +
+         options_.history_slots;
+}
+
+TxnSpec Et1Workload::Next() {
+  TxnSpec txn;
+  txn.id = next_id_++;
+  const ItemId account = AccountItem(
+      static_cast<uint32_t>(rng_.NextBounded(options_.accounts)));
+  const ItemId teller =
+      TellerItem(static_cast<uint32_t>(rng_.NextBounded(options_.tellers)));
+  const ItemId branch =
+      BranchItem(static_cast<uint32_t>(rng_.NextBounded(options_.branches)));
+  const ItemId history = HistoryItem(history_cursor_);
+  history_cursor_ = (history_cursor_ + 1) % options_.history_slots;
+
+  // DebitCredit: read-modify-write account, teller, branch; insert history.
+  txn.ops.push_back(Operation::Read(account));
+  txn.ops.push_back(Operation::Write(account, WriteValueFor(txn.id, account)));
+  txn.ops.push_back(Operation::Read(teller));
+  txn.ops.push_back(Operation::Write(teller, WriteValueFor(txn.id, teller)));
+  txn.ops.push_back(Operation::Read(branch));
+  txn.ops.push_back(Operation::Write(branch, WriteValueFor(txn.id, branch)));
+  txn.ops.push_back(Operation::Write(history, WriteValueFor(txn.id, history)));
+  return txn;
+}
+
+WisconsinWorkload::WisconsinWorkload(const WisconsinWorkloadOptions& options)
+    : options_(options), rng_(options.seed) {
+  MR_CHECK(options_.db_size > 0) << "workload needs at least one item";
+  MR_CHECK(options_.scan_length > 0) << "scan length must be >= 1";
+}
+
+TxnSpec WisconsinWorkload::Next() {
+  TxnSpec txn;
+  txn.id = next_id_++;
+  if (rng_.NextBool(options_.scan_fraction)) {
+    // Selection query: read a contiguous range (wrapping at db_size).
+    const uint32_t len = std::min(options_.scan_length, options_.db_size);
+    const uint32_t start =
+        static_cast<uint32_t>(rng_.NextBounded(options_.db_size));
+    for (uint32_t i = 0; i < len; ++i) {
+      txn.ops.push_back(
+          Operation::Read((start + i) % options_.db_size));
+    }
+  } else {
+    // Point update: read-modify-write a single random item.
+    const ItemId item =
+        static_cast<ItemId>(rng_.NextBounded(options_.db_size));
+    txn.ops.push_back(Operation::Read(item));
+    txn.ops.push_back(Operation::Write(item, WriteValueFor(txn.id, item)));
+  }
+  return txn;
+}
+
+}  // namespace miniraid

@@ -1,0 +1,123 @@
+#ifndef MINIRAID_TXN_WORKLOAD_H_
+#define MINIRAID_TXN_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace miniraid {
+
+/// Produces the stream of database transactions the managing site submits.
+/// Implementations must be deterministic given the seed in their options.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// The next transaction. Ids are assigned 1, 2, 3, ... ("Transactions
+  /// were sequentially numbered from 1", paper §3.1).
+  virtual TxnSpec Next() = 0;
+
+  /// Number of distinct data items the workload can touch.
+  virtual uint32_t db_size() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's workload: each transaction has a uniform random number of
+/// operations in [1, max_txn_size]; each operation is independently a read
+/// or a write with probability `write_fraction` (0.5 in the paper, §1.2);
+/// each operation targets an item chosen from the hot set — uniformly when
+/// zipf_theta == 0 (the paper's equal-probability assumption), Zipf-skewed
+/// otherwise (the §5 extension).
+struct UniformWorkloadOptions {
+  uint32_t db_size = 50;        // paper: 50 frequently referenced items
+  uint32_t max_txn_size = 10;   // paper experiment 1: 10; experiments 2-3: 5
+  double write_fraction = 0.5;  // paper: reads and writes equally likely
+  double zipf_theta = 0.0;      // 0 = uniform (the paper's assumption)
+  uint64_t seed = 1;
+};
+
+class UniformWorkload : public WorkloadGenerator {
+ public:
+  explicit UniformWorkload(const UniformWorkloadOptions& options);
+
+  TxnSpec Next() override;
+  uint32_t db_size() const override { return options_.db_size; }
+  std::string name() const override;
+
+ private:
+  UniformWorkloadOptions options_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  TxnId next_id_ = 1;
+};
+
+/// An ET1/DebitCredit-shaped workload (the Tandem benchmark the paper
+/// planned to adopt, [Anon85]): each transaction reads and updates one
+/// account, one teller, and one branch record, and appends to a history
+/// slot. Records are mapped onto the item space as
+/// [accounts | tellers | branches | history ring].
+struct Et1WorkloadOptions {
+  uint32_t accounts = 40;
+  uint32_t tellers = 5;
+  uint32_t branches = 2;
+  uint32_t history_slots = 3;  // history writes cycle through these items
+  uint64_t seed = 1;
+};
+
+class Et1Workload : public WorkloadGenerator {
+ public:
+  explicit Et1Workload(const Et1WorkloadOptions& options);
+
+  TxnSpec Next() override;
+  uint32_t db_size() const override;
+  std::string name() const override { return "et1"; }
+
+  /// Item-id layout accessors (also used by tests).
+  ItemId AccountItem(uint32_t i) const { return i; }
+  ItemId TellerItem(uint32_t i) const { return options_.accounts + i; }
+  ItemId BranchItem(uint32_t i) const {
+    return options_.accounts + options_.tellers + i;
+  }
+  ItemId HistoryItem(uint32_t i) const {
+    return options_.accounts + options_.tellers + options_.branches + i;
+  }
+
+ private:
+  Et1WorkloadOptions options_;
+  Rng rng_;
+  TxnId next_id_ = 1;
+  uint32_t history_cursor_ = 0;
+};
+
+/// A Wisconsin-benchmark-shaped workload ([Bitt83]): a mix of selection
+/// scans (a run of reads over a contiguous key range) and point updates,
+/// approximating the benchmark's selection/update queries on the hot set.
+struct WisconsinWorkloadOptions {
+  uint32_t db_size = 50;
+  uint32_t scan_length = 5;    // items read by a selection query
+  double scan_fraction = 0.5;  // probability a transaction is a scan
+  uint64_t seed = 1;
+};
+
+class WisconsinWorkload : public WorkloadGenerator {
+ public:
+  explicit WisconsinWorkload(const WisconsinWorkloadOptions& options);
+
+  TxnSpec Next() override;
+  uint32_t db_size() const override { return options_.db_size; }
+  std::string name() const override { return "wisconsin"; }
+
+ private:
+  WisconsinWorkloadOptions options_;
+  Rng rng_;
+  TxnId next_id_ = 1;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_TXN_WORKLOAD_H_

@@ -1,0 +1,75 @@
+#include "common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+TEST(Bitmap64Test, StartsEmpty) {
+  Bitmap64 map;
+  EXPECT_TRUE(map.None());
+  EXPECT_FALSE(map.Any());
+  EXPECT_EQ(map.Count(), 0);
+}
+
+TEST(Bitmap64Test, SetTestClear) {
+  Bitmap64 map;
+  map.Set(0);
+  map.Set(5);
+  map.Set(63);
+  EXPECT_TRUE(map.Test(0));
+  EXPECT_TRUE(map.Test(5));
+  EXPECT_TRUE(map.Test(63));
+  EXPECT_FALSE(map.Test(1));
+  EXPECT_EQ(map.Count(), 3);
+  map.Clear(5);
+  EXPECT_FALSE(map.Test(5));
+  EXPECT_EQ(map.Count(), 2);
+}
+
+TEST(Bitmap64Test, SetClearIdempotent) {
+  Bitmap64 map;
+  map.Set(7);
+  map.Set(7);
+  EXPECT_EQ(map.Count(), 1);
+  map.Clear(7);
+  map.Clear(7);
+  EXPECT_EQ(map.Count(), 0);
+}
+
+TEST(Bitmap64Test, SetAllBounded) {
+  Bitmap64 map;
+  map.SetAll(4);
+  EXPECT_EQ(map.bits(), 0b1111u);
+  EXPECT_EQ(map.Count(), 4);
+  map.SetAll(64);
+  EXPECT_EQ(map.Count(), 64);
+  map.ClearAll();
+  EXPECT_TRUE(map.None());
+}
+
+TEST(Bitmap64Test, BitwiseOperators) {
+  Bitmap64 a(0b1100);
+  Bitmap64 b(0b1010);
+  EXPECT_EQ((a | b).bits(), 0b1110u);
+  EXPECT_EQ((a & b).bits(), 0b1000u);
+  a |= b;
+  EXPECT_EQ(a.bits(), 0b1110u);
+  a &= Bitmap64(0b0110);
+  EXPECT_EQ(a.bits(), 0b0110u);
+  EXPECT_EQ(Bitmap64(5), Bitmap64(5));
+}
+
+TEST(Bitmap64Test, ConstexprUsable) {
+  constexpr Bitmap64 kMap = [] {
+    Bitmap64 m;
+    m.Set(3);
+    return m;
+  }();
+  static_assert(kMap.Test(3));
+  static_assert(!kMap.Test(4));
+  EXPECT_TRUE(kMap.Any());
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,181 @@
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+#include "txn/transaction.h"
+
+namespace miniraid {
+namespace {
+
+ClusterOptions SmallCluster(uint32_t n_sites = 2, uint32_t db_size = 8) {
+  ClusterOptions options;
+  options.n_sites = n_sites;
+  options.db_size = db_size;
+  return options;
+}
+
+TxnSpec MakeTxn(TxnId id, std::vector<Operation> ops) {
+  TxnSpec txn;
+  txn.id = id;
+  txn.ops = std::move(ops);
+  return txn;
+}
+
+TEST(SimClusterTest, CommitReplicatesWrites) {
+  SimCluster cluster(SmallCluster());
+  const TxnSpec txn =
+      MakeTxn(1, {Operation::Write(3, 42), Operation::Read(3)});
+  const TxnReplyArgs reply = cluster.RunTxn(txn, /*coordinator=*/0);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  for (SiteId s = 0; s < 2; ++s) {
+    const ItemState state = *cluster.site(s).db().Read(3);
+    EXPECT_EQ(state.value, 42) << "site " << s;
+    EXPECT_EQ(state.version, 1u) << "site " << s;
+  }
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+}
+
+TEST(SimClusterTest, ReadsObserveLatestCommit) {
+  SimCluster cluster(SmallCluster());
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
+  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(0, 20)}), 1);
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(3, {Operation::Read(0)}), 0);
+  ASSERT_EQ(reply.reads.size(), 1u);
+  EXPECT_EQ(reply.reads[0].value, 20);
+  EXPECT_EQ(reply.reads[0].version, 2u);
+}
+
+TEST(SimClusterTest, WritesWhileSiteDownSetFailLocks) {
+  SimCluster cluster(SmallCluster());
+  cluster.Fail(1);
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 7)}), 0);
+  // The first transaction after an undetected failure aborts on the
+  // prepare-ack timeout and announces the failure (control type 2).
+  EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedParticipantFailed);
+  EXPECT_FALSE(cluster.site(0).session_vector().IsUp(1));
+
+  // With the failure known, ROWAA proceeds with the single available copy
+  // and fail-locks the down site's copy.
+  const TxnReplyArgs reply2 =
+      cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 8)}), 0);
+  EXPECT_EQ(reply2.outcome, TxnOutcome::kCommitted);
+  EXPECT_TRUE(cluster.site(0).fail_locks().IsSet(2, 1));
+  EXPECT_EQ(cluster.FailLockCountFor(1), 1u);
+}
+
+TEST(SimClusterTest, RecoveryCollectsFailLocksAndSessionVector) {
+  SimCluster cluster(SmallCluster());
+  cluster.Fail(1);
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
+  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 8)}), 0);
+  (void)cluster.RunTxn(MakeTxn(3, {Operation::Write(5, 9)}), 0);
+  cluster.Recover(1);
+
+  const Site& recovered = cluster.site(1);
+  EXPECT_TRUE(recovered.is_up());
+  EXPECT_EQ(recovered.session_vector().session(1), 2u);
+  EXPECT_TRUE(recovered.fail_locks().IsSet(2, 1));
+  EXPECT_TRUE(recovered.fail_locks().IsSet(5, 1));
+  EXPECT_EQ(recovered.OwnFailLockCount(), 2u);
+  EXPECT_TRUE(recovered.InRecoveryPeriod());
+  // Both sites see site 1 up in session 2.
+  EXPECT_TRUE(cluster.site(0).session_vector().IsUp(1));
+  EXPECT_EQ(cluster.site(0).session_vector().session(1), 2u);
+}
+
+TEST(SimClusterTest, CopierTransactionRefreshesFailLockedRead) {
+  SimCluster cluster(SmallCluster());
+  cluster.Fail(1);
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
+  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 0);
+  cluster.Recover(1);
+  ASSERT_TRUE(cluster.site(1).fail_locks().IsSet(2, 1));
+
+  // A read of the fail-locked copy at the recovering coordinator runs a
+  // copier transaction and returns the up-to-date value.
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(3, {Operation::Read(2)}), 1);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(reply.copier_count, 1u);
+  ASSERT_EQ(reply.reads.size(), 1u);
+  EXPECT_EQ(reply.reads[0].value, 88);
+  // The fail-lock is cleared locally and at the other site (the special
+  // transaction).
+  EXPECT_FALSE(cluster.site(1).fail_locks().IsSet(2, 1));
+  EXPECT_FALSE(cluster.site(0).fail_locks().IsSet(2, 1));
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+}
+
+TEST(SimClusterTest, WriteRefreshesFailLockedCopyEverywhere) {
+  SimCluster cluster(SmallCluster());
+  cluster.Fail(1);
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
+  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 0);
+  cluster.Recover(1);
+
+  // A write to the fail-locked item refreshes the recovered copy without a
+  // copier: fail-lock maintenance at commit clears the bit at every site.
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(3, {Operation::Write(2, 99)}), 0);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(reply.copier_count, 0u);
+  EXPECT_FALSE(cluster.site(0).fail_locks().IsSet(2, 1));
+  EXPECT_FALSE(cluster.site(1).fail_locks().IsSet(2, 1));
+  EXPECT_EQ(cluster.site(1).db().Read(2)->value, 99);
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+}
+
+TEST(SimClusterTest, AbortWhenNoUpToDateCopyReachable) {
+  SimCluster cluster(SmallCluster());
+  cluster.Fail(0);
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 1);  // abort
+  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 1);
+  cluster.Recover(0);
+  cluster.Fail(1);  // the only up-to-date copy of item 2 goes down
+
+  // Site 0 must abort: its copy of 2 is fail-locked and no operational
+  // site holds a fresh one (Experiment 3 scenario 1's abort cause).
+  // The first attempt may abort on the undetected failure of site 1.
+  (void)cluster.RunTxn(MakeTxn(3, {Operation::Read(2)}), 0);
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(4, {Operation::Read(2)}), 0);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedCopierFailed);
+}
+
+TEST(SimClusterTest, DownCoordinatorIsUnreachable) {
+  ClusterOptions options = SmallCluster();
+  options.managing.client_timeout = Seconds(2);
+  SimCluster cluster(options);
+  cluster.Fail(0);
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(1, {Operation::Write(1, 5)}), 0);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kCoordinatorUnreachable);
+}
+
+TEST(SimClusterTest, SuccessiveFailuresKeepConsistency) {
+  SimCluster cluster(SmallCluster(4, 16));
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 16;
+  wopts.max_txn_size = 5;
+  wopts.seed = 7;
+  UniformWorkload workload(wopts);
+
+  for (SiteId victim = 0; victim < 4; ++victim) {
+    cluster.Fail(victim);
+    for (int i = 0; i < 10; ++i) {
+      (void)cluster.RunTxn(workload.Next(), (victim + 1) % 4);
+    }
+    cluster.Recover(victim);
+  }
+  for (int i = 0; i < 30; ++i) {
+    (void)cluster.RunTxn(workload.Next(), i % 4);
+  }
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok())
+      << cluster.CheckReplicaAgreement().ToString();
+}
+
+}  // namespace
+}  // namespace miniraid

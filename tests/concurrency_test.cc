@@ -1,0 +1,172 @@
+// Concurrent transaction processing — the direction the paper names as
+// future work ("we also plan to run this protocol in the complete RAID
+// system and take into account other factors such as concurrency
+// control"). Multiple transactions may be outstanding at once: different
+// sites coordinate concurrently, a busy coordinator queues overlapping
+// requests, and participants stage several transactions simultaneously.
+//
+// Without a lock manager, concurrent writers to the same item are ordered
+// by last-writer-wins on the transaction id (versions are monotone), which
+// keeps all replicas convergent — serializability of reads is explicitly
+// out of scope, as it was for the paper.
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "txn/workload.h"
+
+namespace miniraid {
+namespace {
+
+TxnSpec MakeTxn(TxnId id, std::vector<Operation> ops) {
+  TxnSpec txn;
+  txn.id = id;
+  txn.ops = std::move(ops);
+  return txn;
+}
+
+ClusterOptions Options(uint32_t n_sites, uint32_t db_size = 12) {
+  ClusterOptions options;
+  options.n_sites = n_sites;
+  options.db_size = db_size;
+  return options;
+}
+
+/// Submits all (txn, coordinator) pairs before running the simulation, so
+/// the coordinations genuinely overlap in virtual time.
+std::vector<TxnReplyArgs> RunConcurrently(
+    SimCluster& cluster,
+    const std::vector<std::pair<TxnSpec, SiteId>>& batch) {
+  std::vector<std::optional<TxnReplyArgs>> slots(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    cluster.managing().Submit(
+        batch[i].first, batch[i].second,
+        [&slots, i](const TxnReplyArgs& reply) { slots[i] = reply; });
+  }
+  cluster.RunUntilIdle();
+  std::vector<TxnReplyArgs> replies;
+  for (auto& slot : slots) {
+    EXPECT_TRUE(slot.has_value()) << "missing reply";
+    replies.push_back(slot.value_or(TxnReplyArgs{}));
+  }
+  return replies;
+}
+
+TEST(ConcurrencyTest, DisjointWritesAtDifferentCoordinators) {
+  SimCluster cluster(Options(3));
+  const auto replies = RunConcurrently(
+      cluster, {{MakeTxn(1, {Operation::Write(0, 10)}), 0},
+                {MakeTxn(2, {Operation::Write(1, 20)}), 1},
+                {MakeTxn(3, {Operation::Write(2, 30)}), 2}});
+  for (const TxnReplyArgs& reply : replies) {
+    EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  }
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(cluster.site(s).db().Read(0)->value, 10);
+    EXPECT_EQ(cluster.site(s).db().Read(1)->value, 20);
+    EXPECT_EQ(cluster.site(s).db().Read(2)->value, 30);
+  }
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+}
+
+TEST(ConcurrencyTest, ConflictingWritesConvergeByLastWriterWins) {
+  SimCluster cluster(Options(3));
+  const auto replies = RunConcurrently(
+      cluster, {{MakeTxn(1, {Operation::Write(5, 100)}), 0},
+                {MakeTxn(2, {Operation::Write(5, 200)}), 1},
+                {MakeTxn(3, {Operation::Write(5, 300)}), 2}});
+  for (const TxnReplyArgs& reply : replies) {
+    EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  }
+  // The highest transaction id wins everywhere, whatever the arrival
+  // interleaving at each site.
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(cluster.site(s).db().Read(5)->value, 300) << "site " << s;
+    EXPECT_EQ(cluster.site(s).db().Read(5)->version, 3u) << "site " << s;
+  }
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+}
+
+TEST(ConcurrencyTest, BusyCoordinatorQueuesInOrder) {
+  SimCluster cluster(Options(2));
+  std::vector<std::pair<TxnSpec, SiteId>> batch;
+  for (TxnId t = 1; t <= 10; ++t) {
+    batch.push_back({MakeTxn(t, {Operation::Write(0, Value(t))}), 0});
+  }
+  const auto replies = RunConcurrently(cluster, batch);
+  for (const TxnReplyArgs& reply : replies) {
+    EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  }
+  // FIFO queue + serial execution: the last submitted wins.
+  EXPECT_EQ(cluster.site(0).db().Read(0)->version, 10u);
+  EXPECT_EQ(cluster.site(1).db().Read(0)->value, Value(10));
+}
+
+TEST(ConcurrencyTest, ParticipantsHoldMultipleStagings) {
+  // Sites 0 and 1 both coordinate; site 2 participates in both at once.
+  SimCluster cluster(Options(3));
+  const auto replies = RunConcurrently(
+      cluster, {{MakeTxn(1, {Operation::Write(0, 10), Operation::Write(1, 11)}),
+                 0},
+                {MakeTxn(2, {Operation::Write(2, 22), Operation::Write(3, 33)}),
+                 1}});
+  EXPECT_EQ(replies[0].outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(replies[1].outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(cluster.site(2).db().Read(1)->value, 11);
+  EXPECT_EQ(cluster.site(2).db().Read(3)->value, 33);
+  EXPECT_EQ(cluster.site(2).counters().prepares_handled, 2u);
+  EXPECT_EQ(cluster.site(2).counters().commits_handled, 2u);
+}
+
+TEST(ConcurrencyTest, ConcurrentLoadWithFailureStaysConsistent) {
+  SimCluster cluster(Options(4, 20));
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 20;
+  wopts.max_txn_size = 5;
+  wopts.seed = 11;
+  UniformWorkload workload(wopts);
+
+  // Waves of 8 concurrent transactions across all sites; crash a site
+  // between waves and recover it later.
+  auto wave = [&](const std::vector<SiteId>& coords) {
+    std::vector<std::pair<TxnSpec, SiteId>> batch;
+    for (int i = 0; i < 8; ++i) {
+      batch.push_back({workload.Next(), coords[i % coords.size()]});
+    }
+    (void)RunConcurrently(cluster, batch);
+  };
+
+  wave({0, 1, 2, 3});
+  cluster.Fail(3);
+  wave({0, 1, 2});  // detection aborts some; ROWAA continues
+  wave({0, 1, 2});
+  cluster.Recover(3);
+  wave({0, 1, 2, 3});
+  const Status agreement = cluster.CheckReplicaAgreement();
+  EXPECT_TRUE(agreement.ok()) << agreement.ToString();
+}
+
+TEST(ConcurrencyTest, QueueOverflowDropsButClientTimesOut) {
+  ClusterOptions options = Options(2);
+  options.managing.client_timeout = Seconds(30);
+  SimCluster cluster(options);
+  // 70 concurrent submissions to one coordinator: 1 active + 64 queued,
+  // the rest dropped. Every submission still gets exactly one reply
+  // (dropped ones as kCoordinatorUnreachable after the client timeout).
+  std::vector<std::pair<TxnSpec, SiteId>> batch;
+  for (TxnId t = 1; t <= 70; ++t) {
+    batch.push_back({MakeTxn(t, {Operation::Write(0, Value(t))}), 0});
+  }
+  const auto replies = RunConcurrently(cluster, batch);
+  uint64_t committed = 0, unreachable = 0;
+  for (const TxnReplyArgs& reply : replies) {
+    if (reply.outcome == TxnOutcome::kCommitted) ++committed;
+    if (reply.outcome == TxnOutcome::kCoordinatorUnreachable) ++unreachable;
+  }
+  EXPECT_EQ(committed, 65u);   // 1 active + 64 queued
+  EXPECT_EQ(unreachable, 5u);  // dropped beyond the bound
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,72 @@
+#include "core/coordinator_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace miniraid {
+namespace {
+
+TEST(CoordinatorPolicyTest, FixedPrefersItsSite) {
+  CoordinatorPolicy policy = CoordinatorPolicy::Fixed(2);
+  Rng rng(1);
+  EXPECT_EQ(policy.Pick({0, 1, 2, 3}, &rng), 2u);
+  // Falls back to the first up site when the fixed one is down.
+  EXPECT_EQ(policy.Pick({0, 1, 3}, &rng), 0u);
+}
+
+TEST(CoordinatorPolicyTest, RoundRobinCycles) {
+  CoordinatorPolicy policy = CoordinatorPolicy::RoundRobin();
+  Rng rng(1);
+  const std::vector<SiteId> up = {0, 1, 2};
+  EXPECT_EQ(policy.Pick(up, &rng), 0u);
+  EXPECT_EQ(policy.Pick(up, &rng), 1u);
+  EXPECT_EQ(policy.Pick(up, &rng), 2u);
+  EXPECT_EQ(policy.Pick(up, &rng), 0u);
+}
+
+TEST(CoordinatorPolicyTest, UniformCoversAllSites) {
+  CoordinatorPolicy policy = CoordinatorPolicy::Uniform();
+  Rng rng(5);
+  std::map<SiteId, int> histogram;
+  for (int i = 0; i < 9000; ++i) {
+    ++histogram[policy.Pick({0, 1, 2}, &rng)];
+  }
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_NEAR(histogram[s], 3000, 300) << "site " << s;
+  }
+}
+
+TEST(CoordinatorPolicyTest, WeightedMatchesWeights) {
+  CoordinatorPolicy policy = CoordinatorPolicy::Weighted({0.1, 1.0});
+  Rng rng(5);
+  std::map<SiteId, int> histogram;
+  constexpr int kDraws = 22000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[policy.Pick({0, 1}, &rng)];
+  }
+  EXPECT_NEAR(double(histogram[0]) / kDraws, 0.1 / 1.1, 0.01);
+}
+
+TEST(CoordinatorPolicyTest, WeightedDefaultsMissingEntriesToOne) {
+  CoordinatorPolicy policy = CoordinatorPolicy::Weighted({0.0});
+  Rng rng(5);
+  // Site 0 has weight 0; sites 1 and 2 default to 1.
+  std::map<SiteId, int> histogram;
+  for (int i = 0; i < 2000; ++i) {
+    ++histogram[policy.Pick({0, 1, 2}, &rng)];
+  }
+  EXPECT_EQ(histogram[0], 0);
+  EXPECT_GT(histogram[1], 0);
+  EXPECT_GT(histogram[2], 0);
+}
+
+TEST(CoordinatorPolicyTest, Names) {
+  EXPECT_EQ(CoordinatorPolicy::Fixed(3).name(), "fixed(3)");
+  EXPECT_EQ(CoordinatorPolicy::RoundRobin().name(), "round-robin");
+  EXPECT_EQ(CoordinatorPolicy::Uniform().name(), "uniform");
+  EXPECT_EQ(CoordinatorPolicy::Weighted({1}).name(), "weighted");
+}
+
+}  // namespace
+}  // namespace miniraid

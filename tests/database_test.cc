@@ -1,0 +1,97 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+TEST(DatabaseTest, FullyReplicatedHoldsEverything) {
+  Database db(50);
+  EXPECT_EQ(db.n_items(), 50u);
+  EXPECT_EQ(db.held_count(), 50u);
+  for (ItemId item = 0; item < 50; ++item) {
+    EXPECT_TRUE(db.Holds(item));
+    const Result<ItemState> state = db.Read(item);
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(state->value, 0);
+    EXPECT_EQ(state->version, 0u);
+  }
+  EXPECT_FALSE(db.Holds(50));
+}
+
+TEST(DatabaseTest, PartialPlacement) {
+  Database db(10, {1, 3, 5, 3});  // duplicate 3 counted once
+  EXPECT_EQ(db.held_count(), 3u);
+  EXPECT_TRUE(db.Holds(3));
+  EXPECT_FALSE(db.Holds(0));
+  EXPECT_TRUE(db.Read(0).status().IsNotFound());
+}
+
+TEST(DatabaseTest, CommitWriteAdvancesVersion) {
+  Database db(4);
+  ASSERT_TRUE(db.CommitWrite(2, 99, /*writer=*/7).ok());
+  const ItemState state = *db.Read(2);
+  EXPECT_EQ(state.value, 99);
+  EXPECT_EQ(state.version, 7u);
+}
+
+TEST(DatabaseTest, CommitWriteRejectsRegression) {
+  Database db(4);
+  ASSERT_TRUE(db.CommitWrite(2, 99, 7).ok());
+  const Status regress = db.CommitWrite(2, 1, 5);
+  EXPECT_EQ(regress.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Read(2)->value, 99);  // unchanged
+}
+
+TEST(DatabaseTest, CommitWriteToUnheldItemFails) {
+  Database db(4, {0});
+  EXPECT_TRUE(db.CommitWrite(3, 1, 1).IsNotFound());
+}
+
+TEST(DatabaseTest, InstallCopyRefreshesAndCreates) {
+  Database db(4, {0});
+  // Refresh an existing copy.
+  ASSERT_TRUE(db.InstallCopy(0, ItemState{5, 3}).ok());
+  EXPECT_EQ(db.Read(0)->version, 3u);
+  // Create a copy this site did not previously hold (control type 3).
+  ASSERT_TRUE(db.InstallCopy(2, ItemState{7, 9}).ok());
+  EXPECT_TRUE(db.Holds(2));
+  EXPECT_EQ(db.held_count(), 2u);
+  EXPECT_EQ(db.Read(2)->value, 7);
+}
+
+TEST(DatabaseTest, InstallCopyRejectsOlderCopy) {
+  Database db(4);
+  ASSERT_TRUE(db.InstallCopy(1, ItemState{5, 10}).ok());
+  EXPECT_EQ(db.InstallCopy(1, ItemState{4, 9}).code(),
+            StatusCode::kInvalidArgument);
+  // Same version re-install is allowed (idempotent copier retries).
+  EXPECT_TRUE(db.InstallCopy(1, ItemState{5, 10}).ok());
+}
+
+TEST(DatabaseTest, InstallCopyOutOfRange) {
+  Database db(4);
+  EXPECT_EQ(db.InstallCopy(99, ItemState{}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, DropCopy) {
+  Database db(4);
+  ASSERT_TRUE(db.DropCopy(2).ok());
+  EXPECT_FALSE(db.Holds(2));
+  EXPECT_EQ(db.held_count(), 3u);
+  EXPECT_TRUE(db.DropCopy(2).IsNotFound());
+}
+
+TEST(DatabaseTest, SnapshotExposesHeldState) {
+  Database db(3, {1});
+  ASSERT_TRUE(db.CommitWrite(1, 42, 1).ok());
+  const auto& snapshot = db.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_FALSE(snapshot[0].has_value());
+  ASSERT_TRUE(snapshot[1].has_value());
+  EXPECT_EQ(snapshot[1]->value, 42);
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,134 @@
+#include "net/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace miniraid {
+namespace {
+
+TEST(EventLoopTest, TasksRunInPostOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    loop.Post([&order, i] { order.push_back(i); });
+  }
+  loop.PostAndWait([] {});
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoopTest, TasksRunOnLoopThread) {
+  EventLoop loop;
+  bool on_loop_thread = false;
+  loop.PostAndWait(
+      [&] { on_loop_thread = loop.IsCurrentThread(); });
+  EXPECT_TRUE(on_loop_thread);
+  EXPECT_FALSE(loop.IsCurrentThread());
+}
+
+TEST(EventLoopTest, TimerFires) {
+  EventLoop loop;
+  std::atomic<bool> fired{false};
+  loop.ScheduleAfter(Milliseconds(5), [&] { fired = true; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!fired && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoopTest, CancelledTimerNeverFires) {
+  EventLoop loop;
+  std::atomic<bool> fired{false};
+  const TimerId id =
+      loop.ScheduleAfter(Milliseconds(20), [&] { fired = true; });
+  loop.CancelTimer(id);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::atomic<int> fired{0};
+  loop.ScheduleAfter(Milliseconds(30), [&] {
+    order.push_back(2);
+    ++fired;
+  });
+  loop.ScheduleAfter(Milliseconds(5), [&] {
+    order.push_back(1);
+    ++fired;
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fired < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoopTest, CancelFromTimerCallback) {
+  EventLoop loop;
+  std::atomic<bool> second_fired{false};
+  std::atomic<bool> done{false};
+  loop.PostAndWait([&] {
+    const TimerId second = loop.ScheduleAfter(Milliseconds(50), [&] {
+      second_fired = true;
+    });
+    loop.ScheduleAfter(Milliseconds(5), [&, second] {
+      loop.CancelTimer(second);
+      done = true;
+    });
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(EventLoopTest, StopIsIdempotent) {
+  EventLoop loop;
+  loop.Post([] {});
+  loop.Stop();
+  loop.Stop();  // second stop must be harmless
+}
+
+TEST(EventLoopTest, PostAfterStopIsDropped) {
+  EventLoop loop;
+  loop.Stop();
+  loop.Post([] { FAIL() << "task ran after Stop"; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+TEST(ThreadSiteRuntimeTest, NowAdvances) {
+  EventLoop loop;
+  SteadyClock clock;
+  ThreadSiteRuntime runtime(&loop, &clock);
+  const TimePoint a = runtime.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(runtime.Now(), a);
+}
+
+TEST(ThreadSiteRuntimeTest, ChargeCpuSpinsWhenScaled) {
+  EventLoop loop;
+  SteadyClock clock;
+  ThreadSiteRuntime scaled(&loop, &clock, /*cpu_scale=*/1.0);
+  const TimePoint start = clock.Now();
+  scaled.ChargeCpu(Milliseconds(5));
+  EXPECT_GE(clock.Now() - start, Milliseconds(5));
+
+  ThreadSiteRuntime unscaled(&loop, &clock, /*cpu_scale=*/0.0);
+  const TimePoint start2 = clock.Now();
+  unscaled.ChargeCpu(Seconds(100));  // must return immediately
+  EXPECT_LT(clock.Now() - start2, Seconds(1));
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,78 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace miniraid {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(30, [&] { order.push_back(3); });
+  queue.Push(10, [&] { order.push_back(1); });
+  queue.Push(20, [&] { order.push_back(2); });
+  while (!queue.Empty()) queue.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.Empty()) queue.Pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue queue;
+  queue.Push(100, [] {});
+  queue.Push(50, [] {});
+  EXPECT_EQ(queue.NextTime(), 50);
+  (void)queue.Pop();
+  EXPECT_EQ(queue.NextTime(), 100);
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue queue;
+  bool ran = false;
+  const EventQueue::EventId id = queue.Push(10, [&] { ran = true; });
+  queue.Push(20, [] {});
+  queue.Cancel(id);
+  EXPECT_EQ(queue.NextTime(), 20);
+  while (!queue.Empty()) queue.Pop().fn();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterRunIsNoop) {
+  EventQueue queue;
+  const EventQueue::EventId id = queue.Push(1, [] {});
+  (void)queue.Pop();
+  queue.Cancel(id);  // must not affect anything
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, CancelAllLeavesEmptyQueue) {
+  EventQueue queue;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(queue.Push(i, [] {}));
+  for (const auto id : ids) queue.Cancel(id);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, PushDuringPopExecution) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(10, [&] {
+    order.push_back(1);
+    queue.Push(5, [&] { order.push_back(2); });  // in the past: still runs
+  });
+  while (!queue.Empty()) queue.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace miniraid

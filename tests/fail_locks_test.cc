@@ -1,0 +1,119 @@
+#include "replication/fail_locks.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace miniraid {
+namespace {
+
+TEST(FailLockTableTest, StartsClear) {
+  FailLockTable table(50, 4);
+  EXPECT_EQ(table.TotalSet(), 0u);
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_EQ(table.CountForSite(s), 0u);
+  }
+  EXPECT_FALSE(table.IsSet(0, 0));
+}
+
+TEST(FailLockTableTest, SetClearReportTransitions) {
+  FailLockTable table(50, 4);
+  EXPECT_TRUE(table.Set(10, 2));    // 0 -> 1
+  EXPECT_FALSE(table.Set(10, 2));   // already set
+  EXPECT_TRUE(table.IsSet(10, 2));
+  EXPECT_EQ(table.CountForSite(2), 1u);
+  EXPECT_EQ(table.TotalSet(), 1u);
+  EXPECT_TRUE(table.Clear(10, 2));   // 1 -> 0
+  EXPECT_FALSE(table.Clear(10, 2));  // already clear
+  EXPECT_EQ(table.TotalSet(), 0u);
+}
+
+TEST(FailLockTableTest, RowIsPerSiteBitmap) {
+  FailLockTable table(8, 4);
+  table.Set(3, 0);
+  table.Set(3, 2);
+  EXPECT_EQ(table.Row(3).bits(), 0b0101u);
+  EXPECT_TRUE(table.Row(4).None());
+}
+
+TEST(FailLockTableTest, FractionAndItemList) {
+  FailLockTable table(10, 2);
+  for (ItemId item = 0; item < 4; ++item) table.Set(item, 1);
+  EXPECT_DOUBLE_EQ(table.FractionLockedFor(1), 0.4);
+  EXPECT_EQ(table.ItemsLockedFor(1), (std::vector<ItemId>{0, 1, 2, 3}));
+  EXPECT_EQ(table.ItemsLockedFor(1, 2), (std::vector<ItemId>{0, 1}));
+  EXPECT_TRUE(table.ItemsLockedFor(0).empty());
+}
+
+TEST(FailLockTableTest, WireOmitsEmptyRows) {
+  FailLockTable table(10, 2);
+  table.Set(7, 0);
+  table.Set(2, 1);
+  const std::vector<FailLockRow> wire = table.ToWire();
+  ASSERT_EQ(wire.size(), 2u);
+  EXPECT_EQ(wire[0].item, 2u);
+  EXPECT_EQ(wire[1].item, 7u);
+}
+
+TEST(FailLockTableTest, MergeUnions) {
+  FailLockTable a(10, 4);
+  a.Set(1, 0);
+  a.Set(2, 1);
+  FailLockTable b(10, 4);
+  b.Set(2, 1);  // overlap
+  b.Set(2, 3);
+  ASSERT_TRUE(b.MergeFrom(a.ToWire()).ok());
+  EXPECT_TRUE(b.IsSet(1, 0));
+  EXPECT_TRUE(b.IsSet(2, 1));
+  EXPECT_TRUE(b.IsSet(2, 3));
+  EXPECT_EQ(b.TotalSet(), 3u);
+}
+
+TEST(FailLockTableTest, MergeRejectsUnknownItem) {
+  FailLockTable table(5, 2);
+  EXPECT_EQ(table.MergeFrom({FailLockRow{9, 1}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailLockTableTest, CountsStayConsistentUnderRandomOps) {
+  // Property: incremental per-site counters always equal a recount.
+  FailLockTable table(32, 8);
+  Rng rng(5);
+  for (int op = 0; op < 5000; ++op) {
+    const ItemId item = static_cast<ItemId>(rng.NextBounded(32));
+    const SiteId site = static_cast<SiteId>(rng.NextBounded(8));
+    if (rng.NextBool(0.5)) {
+      table.Set(item, site);
+    } else {
+      table.Clear(item, site);
+    }
+  }
+  uint64_t total = 0;
+  for (SiteId site = 0; site < 8; ++site) {
+    uint32_t recount = 0;
+    for (ItemId item = 0; item < 32; ++item) {
+      recount += table.IsSet(item, site) ? 1 : 0;
+    }
+    EXPECT_EQ(table.CountForSite(site), recount) << "site " << site;
+    total += recount;
+  }
+  EXPECT_EQ(table.TotalSet(), total);
+}
+
+TEST(FailLockTableTest, WireRoundTripPreservesEverything) {
+  FailLockTable table(64, 8);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    table.Set(static_cast<ItemId>(rng.NextBounded(64)),
+              static_cast<SiteId>(rng.NextBounded(8)));
+  }
+  FailLockTable copy(64, 8);
+  ASSERT_TRUE(copy.MergeFrom(table.ToWire()).ok());
+  for (ItemId item = 0; item < 64; ++item) {
+    EXPECT_EQ(copy.Row(item), table.Row(item)) << "item " << item;
+  }
+  EXPECT_EQ(copy.TotalSet(), table.TotalSet());
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,143 @@
+#include "replication/lock_table.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+using Mode = LockTable::Mode;
+using Outcome = LockTable::Outcome;
+
+TEST(LockTableTest, GrantsFreeLocks) {
+  LockTable table;
+  EXPECT_EQ(table.Acquire(1, 10, Mode::kExclusive, nullptr),
+            Outcome::kGranted);
+  EXPECT_TRUE(table.Holds(1, 10));
+  EXPECT_EQ(table.TotalHeld(), 1u);
+}
+
+TEST(LockTableTest, SharedLocksCoexist) {
+  LockTable table;
+  EXPECT_EQ(table.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  EXPECT_EQ(table.Acquire(1, 20, Mode::kShared, nullptr), Outcome::kGranted);
+  EXPECT_EQ(table.HolderCount(1), 2u);
+}
+
+TEST(LockTableTest, ReentrantAcquisition) {
+  LockTable table;
+  EXPECT_EQ(table.Acquire(1, 10, Mode::kExclusive, nullptr),
+            Outcome::kGranted);
+  EXPECT_EQ(table.Acquire(1, 10, Mode::kExclusive, nullptr),
+            Outcome::kGranted);
+  EXPECT_EQ(table.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  EXPECT_EQ(table.HolderCount(1), 1u);
+}
+
+TEST(LockTableTest, SoleSharedHolderUpgrades) {
+  LockTable table;
+  EXPECT_EQ(table.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  EXPECT_EQ(table.Acquire(1, 10, Mode::kExclusive, nullptr),
+            Outcome::kGranted);
+  // Now exclusive: another shared request from an older txn queues.
+  bool granted = false;
+  EXPECT_EQ(table.Acquire(1, 5, Mode::kShared, [&granted] { granted = true; }),
+            Outcome::kQueued);
+  table.ReleaseAll(10);
+  EXPECT_TRUE(granted);
+}
+
+TEST(LockTableTest, WaitDieOlderWaitsYoungerDies) {
+  LockTable table;
+  ASSERT_EQ(table.Acquire(1, 10, Mode::kExclusive, nullptr),
+            Outcome::kGranted);
+  // Younger (larger id) conflicting requester dies immediately.
+  EXPECT_EQ(table.Acquire(1, 20, Mode::kExclusive, nullptr),
+            Outcome::kRejected);
+  EXPECT_EQ(table.Acquire(1, 20, Mode::kShared, nullptr), Outcome::kRejected);
+  // Older (smaller id) requester waits.
+  bool granted = false;
+  EXPECT_EQ(
+      table.Acquire(1, 5, Mode::kExclusive, [&granted] { granted = true; }),
+      Outcome::kQueued);
+  EXPECT_FALSE(granted);
+  table.ReleaseAll(10);
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(table.Holds(1, 5));
+}
+
+TEST(LockTableTest, FifoGrantOfQueuedWaiters) {
+  LockTable table;
+  ASSERT_EQ(table.Acquire(1, 30, Mode::kExclusive, nullptr),
+            Outcome::kGranted);
+  std::vector<int> order;
+  ASSERT_EQ(table.Acquire(1, 10, Mode::kExclusive,
+                          [&order] { order.push_back(10); }),
+            Outcome::kQueued);
+  ASSERT_EQ(
+      table.Acquire(1, 20, Mode::kExclusive, [&order] { order.push_back(20); }),
+      Outcome::kQueued);
+  table.ReleaseAll(30);
+  // Only the first waiter gets the exclusive lock.
+  EXPECT_EQ(order, (std::vector<int>{10}));
+  table.ReleaseAll(10);
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+}
+
+TEST(LockTableTest, SharedWaitersGrantTogether) {
+  LockTable table;
+  ASSERT_EQ(table.Acquire(1, 30, Mode::kExclusive, nullptr),
+            Outcome::kGranted);
+  int granted = 0;
+  ASSERT_EQ(
+      table.Acquire(1, 10, Mode::kShared, [&granted] { ++granted; }),
+      Outcome::kQueued);
+  ASSERT_EQ(
+      table.Acquire(1, 20, Mode::kShared, [&granted] { ++granted; }),
+      Outcome::kQueued);
+  table.ReleaseAll(30);
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(table.HolderCount(1), 2u);
+}
+
+TEST(LockTableTest, QueuedSharedBlocksLaterSharedBehindWriter) {
+  // No writer starvation: once an exclusive waiter queues, later shared
+  // requests conflict (they must queue or die).
+  LockTable table;
+  ASSERT_EQ(table.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  bool writer_granted = false;
+  ASSERT_EQ(table.Acquire(1, 5, Mode::kExclusive,
+                          [&writer_granted] { writer_granted = true; }),
+            Outcome::kQueued);
+  // Younger shared requester dies rather than jumping the writer.
+  EXPECT_EQ(table.Acquire(1, 20, Mode::kShared, nullptr), Outcome::kRejected);
+  table.ReleaseAll(10);
+  EXPECT_TRUE(writer_granted);
+}
+
+TEST(LockTableTest, ReleaseCancelsQueuedRequests) {
+  LockTable table;
+  ASSERT_EQ(table.Acquire(1, 10, Mode::kExclusive, nullptr),
+            Outcome::kGranted);
+  bool granted = false;
+  ASSERT_EQ(
+      table.Acquire(1, 5, Mode::kExclusive, [&granted] { granted = true; }),
+      Outcome::kQueued);
+  table.ReleaseAll(5);  // the waiter gives up (abort path)
+  table.ReleaseAll(10);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(table.TotalHeld(), 0u);
+}
+
+TEST(LockTableTest, ReleaseAllCoversManyItems) {
+  LockTable table;
+  for (ItemId item = 0; item < 5; ++item) {
+    ASSERT_EQ(table.Acquire(item, 7, Mode::kExclusive, nullptr),
+              Outcome::kGranted);
+  }
+  EXPECT_EQ(table.TotalHeld(), 5u);
+  table.ReleaseAll(7);
+  EXPECT_EQ(table.TotalHeld(), 0u);
+}
+
+}  // namespace
+}  // namespace miniraid

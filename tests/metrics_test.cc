@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/series.h"
+#include "metrics/stats.h"
+
+namespace miniraid {
+namespace {
+
+TEST(DurationStatsTest, BasicSummary) {
+  DurationStats stats;
+  for (int ms : {10, 20, 30, 40, 50}) stats.Add(Milliseconds(ms));
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_EQ(stats.Min(), Milliseconds(10));
+  EXPECT_EQ(stats.Max(), Milliseconds(50));
+  EXPECT_EQ(stats.Mean(), Milliseconds(30));
+  EXPECT_EQ(stats.Percentile(0.5), Milliseconds(30));
+  EXPECT_EQ(stats.Percentile(0.0), Milliseconds(10));
+  EXPECT_EQ(stats.Percentile(1.0), Milliseconds(50));
+  EXPECT_DOUBLE_EQ(stats.MeanMillis(), 30.0);
+}
+
+TEST(DurationStatsTest, UnsortedInputHandled) {
+  DurationStats stats;
+  for (int ms : {50, 10, 40, 20, 30}) stats.Add(Milliseconds(ms));
+  EXPECT_EQ(stats.Min(), Milliseconds(10));
+  EXPECT_EQ(stats.Percentile(0.5), Milliseconds(30));
+  // Adding after a sorted query invalidates the cache correctly.
+  stats.Add(Milliseconds(5));
+  EXPECT_EQ(stats.Min(), Milliseconds(5));
+}
+
+TEST(DurationStatsTest, MergeAndClear) {
+  DurationStats a, b;
+  a.Add(Milliseconds(10));
+  b.Add(Milliseconds(30));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Mean(), Milliseconds(20));
+  a.Clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.Summary(), "n=0");
+}
+
+TEST(DurationStatsTest, SummaryFormat) {
+  DurationStats stats;
+  stats.Add(Milliseconds(176));
+  const std::string summary = stats.Summary();
+  EXPECT_NE(summary.find("n=1"), std::string::npos);
+  EXPECT_NE(summary.find("mean=176.00ms"), std::string::npos);
+}
+
+TEST(SeriesTest, AddAndSize) {
+  Series series{"fail-locks", {}, {}};
+  series.Add(1, 10);
+  series.Add(2, 12);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.xs[1], 2);
+  EXPECT_EQ(series.ys[1], 12);
+}
+
+TEST(CsvTest, AlignsSeriesByX) {
+  Series a{"a", {}, {}};
+  a.Add(1, 10);
+  a.Add(2, 20);
+  Series b{"b", {}, {}};
+  b.Add(2, 200);
+  b.Add(3, 300);
+  std::ostringstream out;
+  WriteCsv(out, "txn", {a, b});
+  EXPECT_EQ(out.str(),
+            "txn,a,b\n"
+            "1,10,\n"
+            "2,20,200\n"
+            "3,,300\n");
+}
+
+TEST(AsciiChartTest, RendersGlyphsAndLegend) {
+  Series series{"curve", {}, {}};
+  for (int i = 0; i <= 10; ++i) series.Add(i, i * i);
+  const std::string chart =
+      RenderAsciiChart({series}, 40, 10, "x-axis", "y-axis");
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("curve"), std::string::npos);
+  EXPECT_NE(chart.find("x-axis"), std::string::npos);
+  EXPECT_NE(chart.find("y-axis"), std::string::npos);
+  EXPECT_NE(chart.find("100"), std::string::npos);  // y max label
+}
+
+TEST(AsciiChartTest, MultipleSeriesDistinctGlyphs) {
+  Series a{"a", {0, 1}, {0, 1}};
+  Series b{"b", {0, 1}, {1, 0}};
+  const std::string chart = RenderAsciiChart({a, b}, 30, 8, "x", "y");
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptyAndDegenerateInputs) {
+  EXPECT_EQ(RenderAsciiChart({}, 40, 10, "x", "y"), "(empty chart)\n");
+  Series flat{"flat", {1, 2, 3}, {5, 5, 5}};
+  // Must not divide by zero on a constant series.
+  const std::string chart = RenderAsciiChart({flat}, 20, 5, "x", "y");
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,54 @@
+#include "txn/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+TEST(ParseTxnOpsTest, ReadsAndCanonicalWrites) {
+  const Result<TxnSpec> txn = ParseTxnOps(7, "r4 w2 r0", 10);
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  ASSERT_EQ(txn->ops.size(), 3u);
+  EXPECT_EQ(txn->ops[0], Operation::Read(4));
+  EXPECT_EQ(txn->ops[1], Operation::Write(2, WriteValueFor(7, 2)));
+  EXPECT_EQ(txn->ops[2], Operation::Read(0));
+  EXPECT_EQ(txn->id, 7u);
+}
+
+TEST(ParseTxnOpsTest, ExplicitWriteValues) {
+  const Result<TxnSpec> txn = ParseTxnOps(1, "w3=42 w5=-7", 10);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->ops[0], Operation::Write(3, 42));
+  EXPECT_EQ(txn->ops[1], Operation::Write(5, -7));
+}
+
+TEST(ParseTxnOpsTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseTxnOps(1, "", 10).ok());              // empty
+  EXPECT_FALSE(ParseTxnOps(1, "x3", 10).ok());            // bad kind
+  EXPECT_FALSE(ParseTxnOps(1, "r", 10).ok());             // no item
+  EXPECT_FALSE(ParseTxnOps(1, "rfoo", 10).ok());          // non-numeric
+  EXPECT_FALSE(ParseTxnOps(1, "r12", 10).ok());           // out of range
+  EXPECT_FALSE(ParseTxnOps(1, "r-1", 10).ok());           // negative
+  EXPECT_FALSE(ParseTxnOps(1, "r3=5", 10).ok());          // read with value
+  EXPECT_FALSE(ParseTxnOps(1, "w3=abc", 10).ok());        // bad value
+  EXPECT_FALSE(ParseTxnOps(1, "r3 w999", 10).ok());       // one bad op
+  EXPECT_FALSE(ParseTxnOps(1, "w3=", 10).ok());           // empty value
+}
+
+TEST(ParseTxnOpsTest, RoundTripsThroughFormat) {
+  const Result<TxnSpec> txn = ParseTxnOps(3, "r1 w2=20 r0 w4=-4", 10);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(FormatTxnOps(*txn), "r1 w2=20 r0 w4=-4");
+  const Result<TxnSpec> again = ParseTxnOps(3, FormatTxnOps(*txn), 10);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ops, txn->ops);
+}
+
+TEST(ParseTxnOpsTest, WhitespaceTolerant) {
+  const Result<TxnSpec> txn = ParseTxnOps(1, "   r1\t w2   ", 10);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->ops.size(), 2u);
+}
+
+}  // namespace
+}  // namespace miniraid

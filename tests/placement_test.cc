@@ -1,0 +1,45 @@
+#include "replication/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+TEST(HoldersTableTest, FullReplicationEveryoneHoldsAll) {
+  HoldersTable table(10, 4);
+  for (ItemId item = 0; item < 10; ++item) {
+    for (SiteId site = 0; site < 4; ++site) {
+      EXPECT_TRUE(table.Holds(item, site));
+    }
+    EXPECT_EQ(table.HoldersOf(item), (std::vector<SiteId>{0, 1, 2, 3}));
+  }
+}
+
+TEST(HoldersTableTest, FromPlacement) {
+  const std::vector<std::vector<ItemId>> placement = {
+      {0, 1}, {1, 2}, {2, 0}};
+  HoldersTable table = HoldersTable::FromPlacement(3, 3, placement);
+  EXPECT_TRUE(table.Holds(0, 0));
+  EXPECT_TRUE(table.Holds(0, 2));
+  EXPECT_FALSE(table.Holds(0, 1));
+  EXPECT_EQ(table.HoldersOf(1), (std::vector<SiteId>{0, 1}));
+  EXPECT_EQ(table.ItemsHeldBy(2), (std::vector<ItemId>{0, 2}));
+}
+
+TEST(HoldersTableTest, AddRemove) {
+  HoldersTable table = HoldersTable::FromPlacement(2, 2, {{0}, {1}});
+  table.Add(0, 1);  // a type-3 backup copy
+  EXPECT_TRUE(table.Holds(0, 1));
+  EXPECT_EQ(table.HoldersOf(0), (std::vector<SiteId>{0, 1}));
+  table.Remove(0, 1);
+  EXPECT_FALSE(table.Holds(0, 1));
+}
+
+TEST(HoldersTableTest, RowBitmap) {
+  HoldersTable table = HoldersTable::FromPlacement(2, 4, {{0}, {}, {0}, {}});
+  EXPECT_EQ(table.Row(0).bits(), 0b0101u);
+  EXPECT_TRUE(table.Row(1).None());
+}
+
+}  // namespace
+}  // namespace miniraid

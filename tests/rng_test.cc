@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace miniraid {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(99);
+  std::map<uint64_t, int> histogram;
+  constexpr int kDraws = 60000;
+  constexpr uint64_t kBuckets = 6;
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.NextBounded(kBuckets)];
+  }
+  for (uint64_t bucket = 0; bucket < kBuckets; ++bucket) {
+    EXPECT_NEAR(histogram[bucket], kDraws / kBuckets, kDraws / 50)
+        << "bucket " << bucket;
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(11);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    trues += rng.NextBool(0.3);
+  }
+  EXPECT_NEAR(trues, 3000, 200);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(13);
+  ZipfGenerator zipf(10, 0.0, &rng);
+  std::map<uint64_t, int> histogram;
+  for (int i = 0; i < 50000; ++i) ++histogram[zipf.Next()];
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(histogram[k], 5000, 400) << "item " << k;
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(13);
+  ZipfGenerator zipf(50, 0.99, &rng);
+  std::map<uint64_t, int> histogram;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, 50u);
+    ++histogram[v];
+  }
+  // Rank 0 should dominate, and the head should vastly outdraw the tail.
+  EXPECT_GT(histogram[0], histogram[10]);
+  EXPECT_GT(histogram[0], 8 * std::max(histogram[49], 1));
+  EXPECT_GT(histogram[0] + histogram[1] + histogram[2], kDraws / 5);
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,108 @@
+#include "replication/session_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+TEST(SessionVectorTest, InitialStateAllUpSessionOne) {
+  SessionVector vec(4);
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_TRUE(vec.IsUp(s));
+    EXPECT_EQ(vec.session(s), 1u);
+  }
+  EXPECT_EQ(vec.OperationalCount(), 4u);
+  EXPECT_EQ(vec.OperationalSites(), (std::vector<SiteId>{0, 1, 2, 3}));
+}
+
+TEST(SessionVectorTest, MarkDownAndUp) {
+  SessionVector vec(3);
+  vec.MarkDown(1);
+  EXPECT_FALSE(vec.IsUp(1));
+  EXPECT_EQ(vec.status(1), SiteStatus::kDown);
+  EXPECT_EQ(vec.OperationalSites(), (std::vector<SiteId>{0, 2}));
+  vec.MarkUp(1, 2);
+  EXPECT_TRUE(vec.IsUp(1));
+  EXPECT_EQ(vec.session(1), 2u);
+}
+
+TEST(SessionVectorTest, MergeHigherSessionWins) {
+  SessionVector local(2);
+  local.MarkDown(1);  // we think site 1 is down in session 1
+  std::vector<SessionEntryWire> remote = {
+      SessionEntryWire{1, SiteStatus::kUp},
+      SessionEntryWire{2, SiteStatus::kUp},  // it recovered: session 2
+  };
+  ASSERT_TRUE(local.MergeFrom(remote).ok());
+  EXPECT_TRUE(local.IsUp(1));
+  EXPECT_EQ(local.session(1), 2u);
+}
+
+TEST(SessionVectorTest, MergeSameSessionDownWins) {
+  SessionVector local(2);
+  std::vector<SessionEntryWire> remote = {
+      SessionEntryWire{1, SiteStatus::kUp},
+      SessionEntryWire{1, SiteStatus::kDown},  // failure news, same epoch
+  };
+  ASSERT_TRUE(local.MergeFrom(remote).ok());
+  EXPECT_FALSE(local.IsUp(1));
+}
+
+TEST(SessionVectorTest, MergeStaleNewsIgnored) {
+  SessionVector local(2);
+  local.Set(1, 5, SiteStatus::kUp);
+  std::vector<SessionEntryWire> remote = {
+      SessionEntryWire{1, SiteStatus::kUp},
+      SessionEntryWire{3, SiteStatus::kDown},  // old epoch's failure
+  };
+  ASSERT_TRUE(local.MergeFrom(remote).ok());
+  EXPECT_TRUE(local.IsUp(1));
+  EXPECT_EQ(local.session(1), 5u);
+}
+
+TEST(SessionVectorTest, MergeIsIdempotentAndCommutative) {
+  auto build = [](std::vector<SessionEntryWire> a,
+                  std::vector<SessionEntryWire> b, bool swap) {
+    SessionVector vec(3);
+    if (swap) std::swap(a, b);
+    EXPECT_TRUE(vec.MergeFrom(a).ok());
+    EXPECT_TRUE(vec.MergeFrom(b).ok());
+    EXPECT_TRUE(vec.MergeFrom(a).ok());  // idempotent re-merge
+    return vec;
+  };
+  const std::vector<SessionEntryWire> a = {
+      SessionEntryWire{2, SiteStatus::kUp},
+      SessionEntryWire{1, SiteStatus::kDown},
+      SessionEntryWire{4, SiteStatus::kUp}};
+  const std::vector<SessionEntryWire> b = {
+      SessionEntryWire{1, SiteStatus::kUp},
+      SessionEntryWire{3, SiteStatus::kUp},
+      SessionEntryWire{4, SiteStatus::kDown}};
+  EXPECT_EQ(build(a, b, false), build(a, b, true));
+}
+
+TEST(SessionVectorTest, MergeSizeMismatchRejected) {
+  SessionVector vec(3);
+  EXPECT_EQ(vec.MergeFrom({SessionEntryWire{1, SiteStatus::kUp}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionVectorTest, WireRoundTrip) {
+  SessionVector vec(3);
+  vec.Set(0, 4, SiteStatus::kUp);
+  vec.Set(1, 2, SiteStatus::kDown);
+  vec.Set(2, 7, SiteStatus::kWaitingToRecover);
+  SessionVector other(3);
+  ASSERT_TRUE(other.MergeFrom(vec.ToWire()).ok());
+  EXPECT_EQ(other.session(0), 4u);
+  EXPECT_EQ(other.status(2), SiteStatus::kWaitingToRecover);
+}
+
+TEST(SessionVectorTest, ToStringIsReadable) {
+  SessionVector vec(2);
+  vec.MarkDown(1);
+  EXPECT_EQ(vec.ToString(), "[s0:1/up, s1:1/down]");
+}
+
+}  // namespace
+}  // namespace miniraid

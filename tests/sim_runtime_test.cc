@@ -1,0 +1,144 @@
+#include "sim/sim_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace miniraid {
+namespace {
+
+TEST(SimRuntimeTest, EventsRunAtTheirTimes) {
+  SimRuntime sim;
+  std::vector<TimePoint> observed;
+  sim.ScheduleGlobalEvent(Milliseconds(5),
+                          [&] { observed.push_back(sim.now()); });
+  sim.ScheduleGlobalEvent(Milliseconds(2),
+                          [&] { observed.push_back(sim.now()); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(observed,
+            (std::vector<TimePoint>{Milliseconds(2), Milliseconds(5)}));
+}
+
+TEST(SimRuntimeTest, ChargeAdvancesSiteLocalTime) {
+  SimRuntime sim;
+  SiteRuntime* site = sim.RuntimeFor(0);
+  TimePoint before = 0, after = 0;
+  sim.ScheduleSiteEvent(Milliseconds(1), 0, [&] {
+    before = site->Now();
+    site->ChargeCpu(Milliseconds(10));
+    after = site->Now();
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(before, Milliseconds(1));
+  EXPECT_EQ(after, Milliseconds(11));
+}
+
+TEST(SimRuntimeTest, BusySiteDefersNextEvent) {
+  SimRuntime sim({/*shared_cpu=*/false});
+  SiteRuntime* site = sim.RuntimeFor(0);
+  TimePoint second_start = 0;
+  sim.ScheduleSiteEvent(Milliseconds(1), 0,
+                        [&] { site->ChargeCpu(Milliseconds(10)); });
+  sim.ScheduleSiteEvent(Milliseconds(2), 0,
+                        [&] { second_start = site->Now(); });
+  sim.RunUntilIdle();
+  // The second event was due at 2 ms but the site's CPU was busy until 11.
+  EXPECT_EQ(second_start, Milliseconds(11));
+}
+
+TEST(SimRuntimeTest, PerSiteCpusRunInParallel) {
+  SimRuntime sim({/*shared_cpu=*/false});
+  TimePoint site1_start = 0;
+  sim.ScheduleSiteEvent(Milliseconds(1), 0, [&] {
+    sim.RuntimeFor(0)->ChargeCpu(Milliseconds(50));
+  });
+  sim.ScheduleSiteEvent(Milliseconds(2), 1,
+                        [&] { site1_start = sim.RuntimeFor(1)->Now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(site1_start, Milliseconds(2));  // unaffected by site 0's work
+}
+
+TEST(SimRuntimeTest, SharedCpuSerializesSites) {
+  SimRuntime sim({/*shared_cpu=*/true});
+  TimePoint site1_start = 0;
+  sim.ScheduleSiteEvent(Milliseconds(1), 0, [&] {
+    sim.RuntimeFor(0)->ChargeCpu(Milliseconds(50));
+  });
+  sim.ScheduleSiteEvent(Milliseconds(2), 1,
+                        [&] { site1_start = sim.RuntimeFor(1)->Now(); });
+  sim.RunUntilIdle();
+  // One processor (the paper's testbed): site 1 waits for site 0's work.
+  EXPECT_EQ(site1_start, Milliseconds(51));
+}
+
+TEST(SimRuntimeTest, FifoPreservedThroughBusyDeferral) {
+  SimRuntime sim;
+  std::vector<int> order;
+  sim.ScheduleSiteEvent(Milliseconds(1), 0, [&] {
+    sim.RuntimeFor(0)->ChargeCpu(Milliseconds(10));
+    order.push_back(0);
+  });
+  sim.ScheduleSiteEvent(Milliseconds(2), 0, [&] { order.push_back(1); });
+  sim.ScheduleSiteEvent(Milliseconds(3), 0, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimRuntimeTest, TimersFireAndCancel) {
+  SimRuntime sim;
+  SiteRuntime* site = sim.RuntimeFor(3);
+  bool fired = false;
+  bool cancelled_fired = false;
+  sim.ScheduleSiteEvent(0, 3, [&] {
+    (void)site->ScheduleAfter(Milliseconds(7), [&] { fired = true; });
+    const TimerId id =
+        site->ScheduleAfter(Milliseconds(8), [&] { cancelled_fired = true; });
+    site->CancelTimer(id);
+  });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(cancelled_fired);
+}
+
+TEST(SimRuntimeTest, TimerDelayCountsChargedCpu) {
+  SimRuntime sim;
+  SiteRuntime* site = sim.RuntimeFor(0);
+  TimePoint fire_time = 0;
+  sim.ScheduleSiteEvent(Milliseconds(1), 0, [&] {
+    site->ChargeCpu(Milliseconds(4));
+    // Scheduled at local time 5 ms, so it fires at 5 + 10.
+    (void)site->ScheduleAfter(Milliseconds(10),
+                              [&] { fire_time = site->Now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fire_time, Milliseconds(15));
+}
+
+TEST(SimRuntimeTest, RunUntilAdvancesClockToDeadline) {
+  SimRuntime sim;
+  int ran = 0;
+  sim.ScheduleGlobalEvent(Milliseconds(5), [&] { ++ran; });
+  sim.ScheduleGlobalEvent(Milliseconds(50), [&] { ++ran; });
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), Milliseconds(10));
+  sim.RunUntilIdle();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimRuntimeTest, DeterministicEventCount) {
+  auto run = [] {
+    SimRuntime sim;
+    for (int i = 0; i < 100; ++i) {
+      sim.ScheduleSiteEvent(i * 3 % 17, i % 4, [&sim, i] {
+        sim.RuntimeFor(i % 4)->ChargeCpu(i % 5);
+      });
+    }
+    sim.RunUntilIdle();
+    return sim.now();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace miniraid

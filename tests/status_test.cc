@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace miniraid {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::TimedOut("no ack from site 3");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsTimedOut());
+  EXPECT_EQ(status.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(status.message(), "no ack from site 3");
+  EXPECT_EQ(status.ToString(), "TimedOut: no ack from site 3");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Aborted("a"));
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::Ok().IsAborted());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int code = 0; code <= 10; ++code) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+Status FailsThrough() {
+  MINIRAID_RETURN_IF_ERROR(Status::Corruption("bad byte"));
+  return Status::Ok();
+}
+
+Status Passes() {
+  MINIRAID_RETURN_IF_ERROR(Status::Ok());
+  return Status::AlreadyExists("reached the end");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kCorruption);
+  EXPECT_EQ(Passes().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  MINIRAID_ASSIGN_OR_RETURN(const int half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*QuarterOf(8), 2);
+  EXPECT_EQ(QuarterOf(6).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(QuarterOf(7).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,37 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("site %u took %.1f ms", 3u, 12.34), "site 3 took 12.3 ms");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string big(1000, 'x');
+  EXPECT_EQ(StrFormat("[%s]", big.c_str()).size(), 1002u);
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrSplitJoinTest, RoundTrip) {
+  const std::string original = "one,two,,four";
+  EXPECT_EQ(StrJoin(StrSplit(original, ','), ","), original);
+}
+
+}  // namespace
+}  // namespace miniraid

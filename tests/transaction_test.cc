@@ -1,0 +1,60 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+TEST(OperationTest, Factories) {
+  const Operation read = Operation::Read(7);
+  EXPECT_TRUE(read.is_read());
+  EXPECT_FALSE(read.is_write());
+  EXPECT_EQ(read.item, 7u);
+
+  const Operation write = Operation::Write(3, -5);
+  EXPECT_TRUE(write.is_write());
+  EXPECT_EQ(write.value, -5);
+}
+
+TEST(TxnSpecTest, ReadAndWriteSetsDedupInOrder) {
+  TxnSpec txn;
+  txn.id = 1;
+  txn.ops = {Operation::Read(5),      Operation::Write(2, 1),
+             Operation::Read(5),      Operation::Read(0),
+             Operation::Write(2, 9),  Operation::Write(7, 3)};
+  EXPECT_EQ(txn.ReadSet(), (std::vector<ItemId>{5, 0}));
+  EXPECT_EQ(txn.WriteSet(), (std::vector<ItemId>{2, 7}));
+}
+
+TEST(TxnSpecTest, Touches) {
+  TxnSpec txn;
+  txn.ops = {Operation::Read(1), Operation::Write(4, 0)};
+  EXPECT_TRUE(txn.Touches(1));
+  EXPECT_TRUE(txn.Touches(4));
+  EXPECT_FALSE(txn.Touches(2));
+}
+
+TEST(TxnSpecTest, ToStringShowsOps) {
+  TxnSpec txn;
+  txn.id = 12;
+  txn.ops = {Operation::Read(1), Operation::Write(2, 34)};
+  EXPECT_EQ(txn.ToString(), "txn 12 {R(1), W(2=34)}");
+}
+
+TEST(TxnOutcomeTest, AllNamed) {
+  EXPECT_EQ(TxnOutcomeName(TxnOutcome::kCommitted), "Committed");
+  EXPECT_EQ(TxnOutcomeName(TxnOutcome::kAbortedCopierFailed),
+            "AbortedCopierFailed");
+  EXPECT_EQ(TxnOutcomeName(TxnOutcome::kCoordinatorUnreachable),
+            "CoordinatorUnreachable");
+}
+
+TEST(WriteValueForTest, DeterministicAndSpread) {
+  EXPECT_EQ(WriteValueFor(1, 1), WriteValueFor(1, 1));
+  EXPECT_NE(WriteValueFor(1, 1), WriteValueFor(1, 2));
+  EXPECT_NE(WriteValueFor(1, 1), WriteValueFor(2, 1));
+  EXPECT_GE(WriteValueFor(123, 45), 0);  // always non-negative
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -1,0 +1,139 @@
+// Tests of partial replication and control transaction type 3 (paper §3.2):
+// reads route to holders, writes update available copies only, and the
+// last fresh copy of an item gets backed up before it can be lost.
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace miniraid {
+namespace {
+
+TxnSpec MakeTxn(TxnId id, std::vector<Operation> ops) {
+  TxnSpec txn;
+  txn.id = id;
+  txn.ops = std::move(ops);
+  return txn;
+}
+
+/// 3 sites, 6 items, item i on sites i%3 and (i+1)%3.
+ClusterOptions PartialOptions(bool enable_type3) {
+  ClusterOptions options;
+  options.n_sites = 3;
+  options.db_size = 6;
+  options.site.enable_type3 = enable_type3;
+  options.site.placement.resize(3);
+  for (ItemId item = 0; item < 6; ++item) {
+    options.site.placement[item % 3].push_back(item);
+    options.site.placement[(item + 1) % 3].push_back(item);
+  }
+  return options;
+}
+
+TEST(PartialReplicationTest, PlacementWiring) {
+  SimCluster cluster(PartialOptions(false));
+  // Item 0 lives on sites 0 and 1.
+  EXPECT_TRUE(cluster.site(0).db().Holds(0));
+  EXPECT_TRUE(cluster.site(1).db().Holds(0));
+  EXPECT_FALSE(cluster.site(2).db().Holds(0));
+  EXPECT_EQ(cluster.site(2).holders().HoldersOf(0),
+            (std::vector<SiteId>{0, 1}));
+  EXPECT_EQ(cluster.site(0).db().held_count(), 4u);
+}
+
+TEST(PartialReplicationTest, WritesReachOnlyHolders) {
+  SimCluster cluster(PartialOptions(false));
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(cluster.site(0).db().Read(0)->value, 10);
+  EXPECT_EQ(cluster.site(1).db().Read(0)->value, 10);
+  EXPECT_FALSE(cluster.site(2).db().Holds(0));
+}
+
+TEST(PartialReplicationTest, RemoteReadFetchesFromHolder) {
+  SimCluster cluster(PartialOptions(false));
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
+  // Site 2 holds no copy of item 0: the read fetches one remotely (a
+  // copier-style request) without installing a local copy.
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(2, {Operation::Read(0)}), 2);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(reply.reads.at(0).value, 10);
+  EXPECT_FALSE(cluster.site(2).db().Holds(0));
+}
+
+TEST(PartialReplicationTest, ConsistencyOracleHandlesPartialPlacement) {
+  SimCluster cluster(PartialOptions(false));
+  for (TxnId t = 1; t <= 20; ++t) {
+    const ItemId item = static_cast<ItemId>(t % 6);
+    (void)cluster.RunTxn(
+        MakeTxn(t, {Operation::Write(item, Value(t))}),
+        static_cast<SiteId>(t % 3));
+  }
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok())
+      << cluster.CheckReplicaAgreement().ToString();
+}
+
+TEST(Type3Test, LastCopyHolderCreatesBackup) {
+  SimCluster cluster(PartialOptions(true));
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
+  cluster.Fail(0);
+  // Detection: the next transaction's coordinator announces site 0 down.
+  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(1, 11)}), 1);
+  cluster.RunUntilIdle();
+  // Items 0 and 3 (placed on {0,1}) now have their last fresh copy on
+  // site 1, which must have backed them up onto site 2.
+  EXPECT_TRUE(cluster.site(2).db().Holds(0));
+  EXPECT_TRUE(cluster.site(2).db().Holds(3));
+  EXPECT_EQ(cluster.site(2).db().Read(0)->value, 10);
+  // Everyone's holders table learned about the new copies.
+  for (SiteId s = 1; s < 3; ++s) {
+    EXPECT_TRUE(cluster.site(s).holders().Holds(0, 2)) << "site " << s;
+  }
+  EXPECT_GE(cluster.site(1).counters().control3_initiated, 1u);
+  EXPECT_GE(cluster.site(2).counters().control3_copies_installed, 2u);
+}
+
+TEST(Type3Test, BackupKeepsDataAvailableThroughSecondFailure) {
+  SimCluster cluster(PartialOptions(true));
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
+  cluster.Fail(0);
+  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(1, 11)}), 1);  // detect
+  cluster.Fail(1);
+  (void)cluster.RunTxn(MakeTxn(3, {Operation::Write(2, 12)}), 2);  // detect
+  // Item 0's placement sites are both down; only the type-3 backup serves.
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(4, {Operation::Read(0)}), 2);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(reply.reads.at(0).value, 10);
+}
+
+TEST(Type3Test, WithoutBackupSecondFailureLosesAvailability) {
+  SimCluster cluster(PartialOptions(false));
+  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
+  cluster.Fail(0);
+  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(1, 11)}), 1);
+  cluster.Fail(1);
+  (void)cluster.RunTxn(MakeTxn(3, {Operation::Write(2, 12)}), 2);
+  const TxnReplyArgs reply =
+      cluster.RunTxn(MakeTxn(4, {Operation::Read(0)}), 2);
+  EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedCopierFailed);
+}
+
+TEST(Type3Test, NoBackupWhenAnotherFreshCopyExists) {
+  // With all sites up, nothing is a last copy: type 3 must stay quiet.
+  SimCluster cluster(PartialOptions(true));
+  for (TxnId t = 1; t <= 10; ++t) {
+    (void)cluster.RunTxn(
+        MakeTxn(t, {Operation::Write(static_cast<ItemId>(t % 6), Value(t))}),
+        static_cast<SiteId>(t % 3));
+  }
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(cluster.site(s).counters().control3_initiated, 0u);
+    EXPECT_EQ(cluster.site(s).db().held_count(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace miniraid

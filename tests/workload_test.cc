@@ -1,0 +1,174 @@
+#include "txn/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace miniraid {
+namespace {
+
+TEST(UniformWorkloadTest, IdsStartAtOneAndIncrement) {
+  UniformWorkload workload(UniformWorkloadOptions{});
+  EXPECT_EQ(workload.Next().id, 1u);
+  EXPECT_EQ(workload.Next().id, 2u);
+  EXPECT_EQ(workload.Next().id, 3u);
+}
+
+TEST(UniformWorkloadTest, RespectsSizeBounds) {
+  UniformWorkloadOptions options;
+  options.db_size = 20;
+  options.max_txn_size = 5;
+  UniformWorkload workload(options);
+  for (int i = 0; i < 1000; ++i) {
+    const TxnSpec txn = workload.Next();
+    EXPECT_GE(txn.ops.size(), 1u);
+    EXPECT_LE(txn.ops.size(), 5u);
+    for (const Operation& op : txn.ops) {
+      EXPECT_LT(op.item, 20u);
+    }
+  }
+}
+
+TEST(UniformWorkloadTest, PaperMixIsHalfWritesAvgSize) {
+  UniformWorkloadOptions options;
+  options.max_txn_size = 10;
+  UniformWorkload workload(options);
+  uint64_t ops = 0, writes = 0, txns = 5000;
+  for (uint64_t i = 0; i < txns; ++i) {
+    const TxnSpec txn = workload.Next();
+    ops += txn.ops.size();
+    for (const Operation& op : txn.ops) writes += op.is_write();
+  }
+  // E[ops per txn] = 5.5 for uniform 1..10; writes ~ half of ops.
+  EXPECT_NEAR(double(ops) / double(txns), 5.5, 0.2);
+  EXPECT_NEAR(double(writes) / double(ops), 0.5, 0.02);
+}
+
+TEST(UniformWorkloadTest, WriteFractionKnob) {
+  UniformWorkloadOptions options;
+  options.write_fraction = 0.2;
+  UniformWorkload workload(options);
+  uint64_t ops = 0, writes = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const TxnSpec txn = workload.Next();
+    ops += txn.ops.size();
+    for (const Operation& op : txn.ops) writes += op.is_write();
+  }
+  EXPECT_NEAR(double(writes) / double(ops), 0.2, 0.03);
+}
+
+TEST(UniformWorkloadTest, DeterministicPerSeed) {
+  UniformWorkloadOptions options;
+  options.seed = 77;
+  UniformWorkload a(options);
+  UniformWorkload b(options);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(UniformWorkloadTest, WritesUseCanonicalValues) {
+  UniformWorkload workload(UniformWorkloadOptions{});
+  for (int i = 0; i < 200; ++i) {
+    const TxnSpec txn = workload.Next();
+    for (const Operation& op : txn.ops) {
+      if (op.is_write()) {
+        EXPECT_EQ(op.value, WriteValueFor(txn.id, op.item));
+      }
+    }
+  }
+}
+
+TEST(UniformWorkloadTest, ZipfSkewsItemChoice) {
+  UniformWorkloadOptions options;
+  options.zipf_theta = 0.99;
+  options.db_size = 50;
+  UniformWorkload workload(options);
+  std::map<ItemId, int> histogram;
+  for (int i = 0; i < 3000; ++i) {
+    for (const Operation& op : workload.Next().ops) ++histogram[op.item];
+  }
+  EXPECT_GT(histogram[0], 4 * std::max(histogram[40], 1));
+}
+
+TEST(Et1WorkloadTest, LayoutAndShape) {
+  Et1WorkloadOptions options;
+  options.accounts = 10;
+  options.tellers = 4;
+  options.branches = 2;
+  options.history_slots = 3;
+  Et1Workload workload(options);
+  EXPECT_EQ(workload.db_size(), 19u);
+  EXPECT_EQ(workload.AccountItem(0), 0u);
+  EXPECT_EQ(workload.TellerItem(0), 10u);
+  EXPECT_EQ(workload.BranchItem(0), 14u);
+  EXPECT_EQ(workload.HistoryItem(0), 16u);
+
+  for (int i = 0; i < 500; ++i) {
+    const TxnSpec txn = workload.Next();
+    // DebitCredit: 3 read-modify-write pairs + 1 history insert.
+    ASSERT_EQ(txn.ops.size(), 7u);
+    EXPECT_TRUE(txn.ops[0].is_read());
+    EXPECT_TRUE(txn.ops[1].is_write());
+    EXPECT_EQ(txn.ops[0].item, txn.ops[1].item);  // account RMW
+    EXPECT_LT(txn.ops[0].item, 10u);              // an account
+    EXPECT_GE(txn.ops[2].item, 10u);              // a teller
+    EXPECT_LT(txn.ops[2].item, 14u);
+    EXPECT_GE(txn.ops[4].item, 14u);  // a branch
+    EXPECT_LT(txn.ops[4].item, 16u);
+    EXPECT_TRUE(txn.ops[6].is_write());  // history insert
+    EXPECT_GE(txn.ops[6].item, 16u);
+  }
+}
+
+TEST(Et1WorkloadTest, HistoryCycles) {
+  Et1WorkloadOptions options;
+  options.history_slots = 2;
+  Et1Workload workload(options);
+  const ItemId h0 = workload.Next().ops[6].item;
+  const ItemId h1 = workload.Next().ops[6].item;
+  const ItemId h2 = workload.Next().ops[6].item;
+  EXPECT_NE(h0, h1);
+  EXPECT_EQ(h0, h2);
+}
+
+TEST(WisconsinWorkloadTest, ScansAndUpdates) {
+  WisconsinWorkloadOptions options;
+  options.db_size = 20;
+  options.scan_length = 5;
+  options.scan_fraction = 0.5;
+  WisconsinWorkload workload(options);
+  int scans = 0, updates = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const TxnSpec txn = workload.Next();
+    if (txn.ops.size() == 5 &&
+        std::all_of(txn.ops.begin(), txn.ops.end(),
+                    [](const Operation& op) { return op.is_read(); })) {
+      ++scans;
+      // Contiguous modulo db_size.
+      for (size_t k = 1; k < txn.ops.size(); ++k) {
+        EXPECT_EQ(txn.ops[k].item, (txn.ops[0].item + k) % 20);
+      }
+    } else {
+      ++updates;
+      ASSERT_EQ(txn.ops.size(), 2u);
+      EXPECT_TRUE(txn.ops[0].is_read());
+      EXPECT_TRUE(txn.ops[1].is_write());
+      EXPECT_EQ(txn.ops[0].item, txn.ops[1].item);
+    }
+  }
+  EXPECT_NEAR(scans, 1000, 120);
+  EXPECT_NEAR(updates, 1000, 120);
+}
+
+TEST(WisconsinWorkloadTest, ScanLengthClampedToDb) {
+  WisconsinWorkloadOptions options;
+  options.db_size = 3;
+  options.scan_length = 10;
+  options.scan_fraction = 1.0;
+  WisconsinWorkload workload(options);
+  EXPECT_EQ(workload.Next().ops.size(), 3u);
+}
+
+}  // namespace
+}  // namespace miniraid
