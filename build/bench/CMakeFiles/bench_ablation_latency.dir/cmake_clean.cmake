@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_latency.dir/bench_ablation_latency.cc.o"
+  "CMakeFiles/bench_ablation_latency.dir/bench_ablation_latency.cc.o.d"
+  "bench_ablation_latency"
+  "bench_ablation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

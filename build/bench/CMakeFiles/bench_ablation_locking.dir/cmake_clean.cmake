@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_locking.dir/bench_ablation_locking.cc.o"
+  "CMakeFiles/bench_ablation_locking.dir/bench_ablation_locking.cc.o.d"
+  "bench_ablation_locking"
+  "bench_ablation_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

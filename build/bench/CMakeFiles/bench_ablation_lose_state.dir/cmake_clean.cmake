@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lose_state.dir/bench_ablation_lose_state.cc.o"
+  "CMakeFiles/bench_ablation_lose_state.dir/bench_ablation_lose_state.cc.o.d"
+  "bench_ablation_lose_state"
+  "bench_ablation_lose_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lose_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rw_ratio.dir/bench_ablation_rw_ratio.cc.o"
+  "CMakeFiles/bench_ablation_rw_ratio.dir/bench_ablation_rw_ratio.cc.o.d"
+  "bench_ablation_rw_ratio"
+  "bench_ablation_rw_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rw_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_site_scaling.dir/bench_ablation_site_scaling.cc.o"
+  "CMakeFiles/bench_ablation_site_scaling.dir/bench_ablation_site_scaling.cc.o.d"
+  "bench_ablation_site_scaling"
+  "bench_ablation_site_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_site_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_skew.dir/bench_ablation_skew.cc.o"
+  "CMakeFiles/bench_ablation_skew.dir/bench_ablation_skew.cc.o.d"
+  "bench_ablation_skew"
+  "bench_ablation_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

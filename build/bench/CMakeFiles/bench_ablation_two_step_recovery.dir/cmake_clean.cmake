@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_two_step_recovery.dir/bench_ablation_two_step_recovery.cc.o"
+  "CMakeFiles/bench_ablation_two_step_recovery.dir/bench_ablation_two_step_recovery.cc.o.d"
+  "bench_ablation_two_step_recovery"
+  "bench_ablation_two_step_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_two_step_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

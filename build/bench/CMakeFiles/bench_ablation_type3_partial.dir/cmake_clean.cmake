@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_type3_partial.dir/bench_ablation_type3_partial.cc.o"
+  "CMakeFiles/bench_ablation_type3_partial.dir/bench_ablation_type3_partial.cc.o.d"
+  "bench_ablation_type3_partial"
+  "bench_ablation_type3_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_type3_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines_availability.dir/bench_baselines_availability.cc.o"
+  "CMakeFiles/bench_baselines_availability.dir/bench_baselines_availability.cc.o.d"
+  "bench_baselines_availability"
+  "bench_baselines_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

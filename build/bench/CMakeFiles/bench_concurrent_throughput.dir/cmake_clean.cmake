@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_throughput.dir/bench_concurrent_throughput.cc.o"
+  "CMakeFiles/bench_concurrent_throughput.dir/bench_concurrent_throughput.cc.o.d"
+  "bench_concurrent_throughput"
+  "bench_concurrent_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_copier_txns.dir/bench_exp1_copier_txns.cc.o"
+  "CMakeFiles/bench_exp1_copier_txns.dir/bench_exp1_copier_txns.cc.o.d"
+  "bench_exp1_copier_txns"
+  "bench_exp1_copier_txns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_copier_txns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp1_copier_txns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_faillock_overhead.dir/bench_exp1_faillock_overhead.cc.o"
+  "CMakeFiles/bench_exp1_faillock_overhead.dir/bench_exp1_faillock_overhead.cc.o.d"
+  "bench_exp1_faillock_overhead"
+  "bench_exp1_faillock_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_faillock_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

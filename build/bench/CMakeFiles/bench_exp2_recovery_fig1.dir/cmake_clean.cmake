@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_recovery_fig1.dir/bench_exp2_recovery_fig1.cc.o"
+  "CMakeFiles/bench_exp2_recovery_fig1.dir/bench_exp2_recovery_fig1.cc.o.d"
+  "bench_exp2_recovery_fig1"
+  "bench_exp2_recovery_fig1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_recovery_fig1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

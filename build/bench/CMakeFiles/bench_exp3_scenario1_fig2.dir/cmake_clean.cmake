@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_scenario1_fig2.dir/bench_exp3_scenario1_fig2.cc.o"
+  "CMakeFiles/bench_exp3_scenario1_fig2.dir/bench_exp3_scenario1_fig2.cc.o.d"
+  "bench_exp3_scenario1_fig2"
+  "bench_exp3_scenario1_fig2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_scenario1_fig2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

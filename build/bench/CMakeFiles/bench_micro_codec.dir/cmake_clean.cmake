@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_codec.dir/bench_micro_codec.cc.o"
+  "CMakeFiles/bench_micro_codec.dir/bench_micro_codec.cc.o.d"
+  "bench_micro_codec"
+  "bench_micro_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

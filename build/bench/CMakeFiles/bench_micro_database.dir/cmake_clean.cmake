@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_database.dir/bench_micro_database.cc.o"
+  "CMakeFiles/bench_micro_database.dir/bench_micro_database.cc.o.d"
+  "bench_micro_database"
+  "bench_micro_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_faillocks.dir/bench_micro_faillocks.cc.o"
+  "CMakeFiles/bench_micro_faillocks.dir/bench_micro_faillocks.cc.o.d"
+  "bench_micro_faillocks"
+  "bench_micro_faillocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_faillocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_protocol_tables.dir/bench_micro_protocol_tables.cc.o"
+  "CMakeFiles/bench_micro_protocol_tables.dir/bench_micro_protocol_tables.cc.o.d"
+  "bench_micro_protocol_tables"
+  "bench_micro_protocol_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_protocol_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_split_brain.dir/bench_partition_split_brain.cc.o"
+  "CMakeFiles/bench_partition_split_brain.dir/bench_partition_split_brain.cc.o.d"
+  "bench_partition_split_brain"
+  "bench_partition_split_brain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_split_brain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

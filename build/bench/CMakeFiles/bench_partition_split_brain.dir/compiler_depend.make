@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_partition_split_brain.
+# This may be replaced when dependencies are built.

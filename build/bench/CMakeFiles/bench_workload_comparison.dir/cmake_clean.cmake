@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_comparison.dir/bench_workload_comparison.cc.o"
+  "CMakeFiles/bench_workload_comparison.dir/bench_workload_comparison.cc.o.d"
+  "bench_workload_comparison"
+  "bench_workload_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

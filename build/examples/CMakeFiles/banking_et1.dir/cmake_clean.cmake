@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_et1.dir/banking_et1.cpp.o"
+  "CMakeFiles/banking_et1.dir/banking_et1.cpp.o.d"
+  "banking_et1"
+  "banking_et1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_et1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for banking_et1.
+# This may be replaced when dependencies are built.

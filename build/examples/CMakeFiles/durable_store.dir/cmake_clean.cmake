@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_store.dir/durable_store.cpp.o"
+  "CMakeFiles/durable_store.dir/durable_store.cpp.o.d"
+  "durable_store"
+  "durable_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

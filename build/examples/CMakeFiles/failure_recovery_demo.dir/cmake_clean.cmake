@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_recovery_demo.dir/failure_recovery_demo.cpp.o"
+  "CMakeFiles/failure_recovery_demo.dir/failure_recovery_demo.cpp.o.d"
+  "failure_recovery_demo"
+  "failure_recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_managing_site.dir/interactive_managing_site.cpp.o"
+  "CMakeFiles/interactive_managing_site.dir/interactive_managing_site.cpp.o.d"
+  "interactive_managing_site"
+  "interactive_managing_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_managing_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for interactive_managing_site.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_replication.dir/partial_replication.cpp.o"
+  "CMakeFiles/partial_replication.dir/partial_replication.cpp.o.d"
+  "partial_replication"
+  "partial_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_cluster.dir/socket_cluster.cpp.o"
+  "CMakeFiles/socket_cluster.dir/socket_cluster.cpp.o.d"
+  "socket_cluster"
+  "socket_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

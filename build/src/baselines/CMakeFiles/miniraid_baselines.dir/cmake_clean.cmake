@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_baselines.dir/baseline_cluster.cc.o"
+  "CMakeFiles/miniraid_baselines.dir/baseline_cluster.cc.o.d"
+  "CMakeFiles/miniraid_baselines.dir/quorum_site.cc.o"
+  "CMakeFiles/miniraid_baselines.dir/quorum_site.cc.o.d"
+  "CMakeFiles/miniraid_baselines.dir/rowa_site.cc.o"
+  "CMakeFiles/miniraid_baselines.dir/rowa_site.cc.o.d"
+  "libminiraid_baselines.a"
+  "libminiraid_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

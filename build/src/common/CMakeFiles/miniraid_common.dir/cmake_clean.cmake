@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_common.dir/crc32.cc.o"
+  "CMakeFiles/miniraid_common.dir/crc32.cc.o.d"
+  "CMakeFiles/miniraid_common.dir/logging.cc.o"
+  "CMakeFiles/miniraid_common.dir/logging.cc.o.d"
+  "CMakeFiles/miniraid_common.dir/rng.cc.o"
+  "CMakeFiles/miniraid_common.dir/rng.cc.o.d"
+  "CMakeFiles/miniraid_common.dir/status.cc.o"
+  "CMakeFiles/miniraid_common.dir/status.cc.o.d"
+  "CMakeFiles/miniraid_common.dir/strings.cc.o"
+  "CMakeFiles/miniraid_common.dir/strings.cc.o.d"
+  "libminiraid_common.a"
+  "libminiraid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_core.dir/analysis.cc.o"
+  "CMakeFiles/miniraid_core.dir/analysis.cc.o.d"
+  "CMakeFiles/miniraid_core.dir/cluster.cc.o"
+  "CMakeFiles/miniraid_core.dir/cluster.cc.o.d"
+  "CMakeFiles/miniraid_core.dir/coordinator_policy.cc.o"
+  "CMakeFiles/miniraid_core.dir/coordinator_policy.cc.o.d"
+  "CMakeFiles/miniraid_core.dir/experiments.cc.o"
+  "CMakeFiles/miniraid_core.dir/experiments.cc.o.d"
+  "CMakeFiles/miniraid_core.dir/managing_site.cc.o"
+  "CMakeFiles/miniraid_core.dir/managing_site.cc.o.d"
+  "libminiraid_core.a"
+  "libminiraid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

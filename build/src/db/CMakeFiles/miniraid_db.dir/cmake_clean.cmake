@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_db.dir/database.cc.o"
+  "CMakeFiles/miniraid_db.dir/database.cc.o.d"
+  "libminiraid_db.a"
+  "libminiraid_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_metrics.dir/series.cc.o"
+  "CMakeFiles/miniraid_metrics.dir/series.cc.o.d"
+  "CMakeFiles/miniraid_metrics.dir/stats.cc.o"
+  "CMakeFiles/miniraid_metrics.dir/stats.cc.o.d"
+  "CMakeFiles/miniraid_metrics.dir/trace.cc.o"
+  "CMakeFiles/miniraid_metrics.dir/trace.cc.o.d"
+  "libminiraid_metrics.a"
+  "libminiraid_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

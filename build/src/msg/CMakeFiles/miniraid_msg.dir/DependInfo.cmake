@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/codec.cc" "src/msg/CMakeFiles/miniraid_msg.dir/codec.cc.o" "gcc" "src/msg/CMakeFiles/miniraid_msg.dir/codec.cc.o.d"
+  "/root/repo/src/msg/message.cc" "src/msg/CMakeFiles/miniraid_msg.dir/message.cc.o" "gcc" "src/msg/CMakeFiles/miniraid_msg.dir/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miniraid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/miniraid_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_msg.dir/codec.cc.o"
+  "CMakeFiles/miniraid_msg.dir/codec.cc.o.d"
+  "CMakeFiles/miniraid_msg.dir/message.cc.o"
+  "CMakeFiles/miniraid_msg.dir/message.cc.o.d"
+  "libminiraid_msg.a"
+  "libminiraid_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for miniraid_msg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_loop.cc" "src/net/CMakeFiles/miniraid_net.dir/event_loop.cc.o" "gcc" "src/net/CMakeFiles/miniraid_net.dir/event_loop.cc.o.d"
+  "/root/repo/src/net/inproc_transport.cc" "src/net/CMakeFiles/miniraid_net.dir/inproc_transport.cc.o" "gcc" "src/net/CMakeFiles/miniraid_net.dir/inproc_transport.cc.o.d"
+  "/root/repo/src/net/sim_transport.cc" "src/net/CMakeFiles/miniraid_net.dir/sim_transport.cc.o" "gcc" "src/net/CMakeFiles/miniraid_net.dir/sim_transport.cc.o.d"
+  "/root/repo/src/net/tcp_transport.cc" "src/net/CMakeFiles/miniraid_net.dir/tcp_transport.cc.o" "gcc" "src/net/CMakeFiles/miniraid_net.dir/tcp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miniraid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/miniraid_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/miniraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/miniraid_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

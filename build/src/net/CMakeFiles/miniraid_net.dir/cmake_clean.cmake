@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_net.dir/event_loop.cc.o"
+  "CMakeFiles/miniraid_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/miniraid_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/miniraid_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/miniraid_net.dir/sim_transport.cc.o"
+  "CMakeFiles/miniraid_net.dir/sim_transport.cc.o.d"
+  "CMakeFiles/miniraid_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/miniraid_net.dir/tcp_transport.cc.o.d"
+  "libminiraid_net.a"
+  "libminiraid_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/cost_model.cc" "src/replication/CMakeFiles/miniraid_replication.dir/cost_model.cc.o" "gcc" "src/replication/CMakeFiles/miniraid_replication.dir/cost_model.cc.o.d"
+  "/root/repo/src/replication/fail_locks.cc" "src/replication/CMakeFiles/miniraid_replication.dir/fail_locks.cc.o" "gcc" "src/replication/CMakeFiles/miniraid_replication.dir/fail_locks.cc.o.d"
+  "/root/repo/src/replication/lock_table.cc" "src/replication/CMakeFiles/miniraid_replication.dir/lock_table.cc.o" "gcc" "src/replication/CMakeFiles/miniraid_replication.dir/lock_table.cc.o.d"
+  "/root/repo/src/replication/placement.cc" "src/replication/CMakeFiles/miniraid_replication.dir/placement.cc.o" "gcc" "src/replication/CMakeFiles/miniraid_replication.dir/placement.cc.o.d"
+  "/root/repo/src/replication/session_vector.cc" "src/replication/CMakeFiles/miniraid_replication.dir/session_vector.cc.o" "gcc" "src/replication/CMakeFiles/miniraid_replication.dir/session_vector.cc.o.d"
+  "/root/repo/src/replication/site.cc" "src/replication/CMakeFiles/miniraid_replication.dir/site.cc.o" "gcc" "src/replication/CMakeFiles/miniraid_replication.dir/site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miniraid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/miniraid_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/miniraid_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/miniraid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/miniraid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/miniraid_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/miniraid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

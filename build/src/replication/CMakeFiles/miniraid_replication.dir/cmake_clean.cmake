@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_replication.dir/cost_model.cc.o"
+  "CMakeFiles/miniraid_replication.dir/cost_model.cc.o.d"
+  "CMakeFiles/miniraid_replication.dir/fail_locks.cc.o"
+  "CMakeFiles/miniraid_replication.dir/fail_locks.cc.o.d"
+  "CMakeFiles/miniraid_replication.dir/lock_table.cc.o"
+  "CMakeFiles/miniraid_replication.dir/lock_table.cc.o.d"
+  "CMakeFiles/miniraid_replication.dir/placement.cc.o"
+  "CMakeFiles/miniraid_replication.dir/placement.cc.o.d"
+  "CMakeFiles/miniraid_replication.dir/session_vector.cc.o"
+  "CMakeFiles/miniraid_replication.dir/session_vector.cc.o.d"
+  "CMakeFiles/miniraid_replication.dir/site.cc.o"
+  "CMakeFiles/miniraid_replication.dir/site.cc.o.d"
+  "libminiraid_replication.a"
+  "libminiraid_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

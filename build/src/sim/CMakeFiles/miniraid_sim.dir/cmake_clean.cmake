@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_sim.dir/event_queue.cc.o"
+  "CMakeFiles/miniraid_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/miniraid_sim.dir/sim_runtime.cc.o"
+  "CMakeFiles/miniraid_sim.dir/sim_runtime.cc.o.d"
+  "libminiraid_sim.a"
+  "libminiraid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_storage.dir/durable_database.cc.o"
+  "CMakeFiles/miniraid_storage.dir/durable_database.cc.o.d"
+  "CMakeFiles/miniraid_storage.dir/wal.cc.o"
+  "CMakeFiles/miniraid_storage.dir/wal.cc.o.d"
+  "libminiraid_storage.a"
+  "libminiraid_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

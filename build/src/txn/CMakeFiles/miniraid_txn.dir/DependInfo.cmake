@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/parse.cc" "src/txn/CMakeFiles/miniraid_txn.dir/parse.cc.o" "gcc" "src/txn/CMakeFiles/miniraid_txn.dir/parse.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/txn/CMakeFiles/miniraid_txn.dir/transaction.cc.o" "gcc" "src/txn/CMakeFiles/miniraid_txn.dir/transaction.cc.o.d"
+  "/root/repo/src/txn/workload.cc" "src/txn/CMakeFiles/miniraid_txn.dir/workload.cc.o" "gcc" "src/txn/CMakeFiles/miniraid_txn.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miniraid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

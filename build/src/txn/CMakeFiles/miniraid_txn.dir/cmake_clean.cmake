@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_txn.dir/parse.cc.o"
+  "CMakeFiles/miniraid_txn.dir/parse.cc.o.d"
+  "CMakeFiles/miniraid_txn.dir/transaction.cc.o"
+  "CMakeFiles/miniraid_txn.dir/transaction.cc.o.d"
+  "CMakeFiles/miniraid_txn.dir/workload.cc.o"
+  "CMakeFiles/miniraid_txn.dir/workload.cc.o.d"
+  "libminiraid_txn.a"
+  "libminiraid_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

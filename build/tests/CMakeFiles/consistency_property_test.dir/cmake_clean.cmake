@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_property_test.dir/consistency_property_test.cc.o"
+  "CMakeFiles/consistency_property_test.dir/consistency_property_test.cc.o.d"
+  "consistency_property_test"
+  "consistency_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

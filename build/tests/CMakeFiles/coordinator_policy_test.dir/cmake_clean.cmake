@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinator_policy_test.dir/coordinator_policy_test.cc.o"
+  "CMakeFiles/coordinator_policy_test.dir/coordinator_policy_test.cc.o.d"
+  "coordinator_policy_test"
+  "coordinator_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinator_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_site_test.dir/durable_site_test.cc.o"
+  "CMakeFiles/durable_site_test.dir/durable_site_test.cc.o.d"
+  "durable_site_test"
+  "durable_site_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

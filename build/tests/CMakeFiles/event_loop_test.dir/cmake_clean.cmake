@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_loop_test.dir/event_loop_test.cc.o"
+  "CMakeFiles/event_loop_test.dir/event_loop_test.cc.o.d"
+  "event_loop_test"
+  "event_loop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

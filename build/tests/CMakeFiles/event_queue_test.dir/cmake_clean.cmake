@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_queue_test.dir/event_queue_test.cc.o"
+  "CMakeFiles/event_queue_test.dir/event_queue_test.cc.o.d"
+  "event_queue_test"
+  "event_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

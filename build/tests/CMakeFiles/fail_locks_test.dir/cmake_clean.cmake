@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fail_locks_test.dir/fail_locks_test.cc.o"
+  "CMakeFiles/fail_locks_test.dir/fail_locks_test.cc.o.d"
+  "fail_locks_test"
+  "fail_locks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fail_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locking_test.dir/locking_test.cc.o"
+  "CMakeFiles/locking_test.dir/locking_test.cc.o.d"
+  "locking_test"
+  "locking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/managing_site_test.dir/managing_site_test.cc.o"
+  "CMakeFiles/managing_site_test.dir/managing_site_test.cc.o.d"
+  "managing_site_test"
+  "managing_site_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/managing_site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_test.dir/message_test.cc.o"
+  "CMakeFiles/message_test.dir/message_test.cc.o.d"
+  "message_test"
+  "message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

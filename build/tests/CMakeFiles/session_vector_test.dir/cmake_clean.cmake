@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_vector_test.dir/session_vector_test.cc.o"
+  "CMakeFiles/session_vector_test.dir/session_vector_test.cc.o.d"
+  "session_vector_test"
+  "session_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_runtime_test.dir/sim_runtime_test.cc.o"
+  "CMakeFiles/sim_runtime_test.dir/sim_runtime_test.cc.o.d"
+  "sim_runtime_test"
+  "sim_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_protocol_test.dir/site_protocol_test.cc.o"
+  "CMakeFiles/site_protocol_test.dir/site_protocol_test.cc.o.d"
+  "site_protocol_test"
+  "site_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

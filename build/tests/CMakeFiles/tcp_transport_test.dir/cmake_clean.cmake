@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_transport_test.dir/tcp_transport_test.cc.o"
+  "CMakeFiles/tcp_transport_test.dir/tcp_transport_test.cc.o.d"
+  "tcp_transport_test"
+  "tcp_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_step_recovery_test.dir/two_step_recovery_test.cc.o"
+  "CMakeFiles/two_step_recovery_test.dir/two_step_recovery_test.cc.o.d"
+  "two_step_recovery_test"
+  "two_step_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_step_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type3_partial_test.dir/type3_partial_test.cc.o"
+  "CMakeFiles/type3_partial_test.dir/type3_partial_test.cc.o.d"
+  "type3_partial_test"
+  "type3_partial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type3_partial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

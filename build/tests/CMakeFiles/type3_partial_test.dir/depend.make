@@ -1,0 +1,2 @@
+# Empty dependencies file for type3_partial_test.
+# This may be replaced when dependencies are built.
