@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/miniraid_core.dir/coordinator_policy.cc.o.d"
   "CMakeFiles/miniraid_core.dir/experiments.cc.o"
   "CMakeFiles/miniraid_core.dir/experiments.cc.o.d"
+  "CMakeFiles/miniraid_core.dir/invariants.cc.o"
+  "CMakeFiles/miniraid_core.dir/invariants.cc.o.d"
   "CMakeFiles/miniraid_core.dir/managing_site.cc.o"
   "CMakeFiles/miniraid_core.dir/managing_site.cc.o.d"
   "libminiraid_core.a"

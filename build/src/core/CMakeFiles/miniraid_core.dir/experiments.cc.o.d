@@ -210,19 +210,23 @@ src/core/CMakeFiles/miniraid_core.dir/experiments.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /root/repo/src/core/cluster.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/invariants.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/types.h \
+ /root/repo/src/db/database.h /root/repo/src/common/result.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/replication/fail_locks.h /root/repo/src/common/bitmap.h \
+ /root/repo/src/msg/message.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/txn/transaction.h /root/repo/src/replication/placement.h \
+ /root/repo/src/replication/session_vector.h \
  /root/repo/src/core/managing_site.h /root/repo/src/common/runtime.h \
  /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/transport.h \
- /root/repo/src/common/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/msg/message.h \
- /usr/include/c++/12/variant /root/repo/src/common/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/common/types.h /root/repo/src/txn/transaction.h \
  /root/repo/src/net/event_loop.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
@@ -241,14 +245,11 @@ src/core/CMakeFiles/miniraid_core.dir/experiments.cc.o: \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/tcp_transport.h \
  /root/repo/src/replication/site.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/db/database.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/replication/counters.h /root/repo/src/metrics/stats.h \
- /root/repo/src/replication/fail_locks.h /root/repo/src/common/bitmap.h \
  /root/repo/src/replication/lock_table.h \
  /root/repo/src/replication/options.h /root/repo/src/metrics/trace.h \
  /root/repo/src/replication/cost_model.h \
- /root/repo/src/replication/placement.h \
- /root/repo/src/replication/session_vector.h \
  /root/repo/src/core/coordinator_policy.h /root/repo/src/txn/workload.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariants_test.dir/invariants_test.cc.o"
+  "CMakeFiles/invariants_test.dir/invariants_test.cc.o.d"
+  "invariants_test"
+  "invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,16 +1,4 @@
 #!/usr/bin/env bash
-# Verifies that every public header is self-contained (compiles on its own),
-# per the style guide. Run from the repository root.
-set -u
-fail=0
-for header in $(find src -name '*.h' | sort); do
-  if ! g++ -std=c++20 -fsyntax-only -Wall -Wextra -I src -x c++ "$header" 2>/tmp/hdr_err; then
-    echo "NOT SELF-CONTAINED: $header"
-    sed -n '1,5p' /tmp/hdr_err
-    fail=1
-  fi
-done
-if [ "$fail" -eq 0 ]; then
-  echo "all headers self-contained"
-fi
-exit $fail
+# Kept as a thin alias: the self-contained-header check now lives in the
+# lint driver (scripts/miniraid_lint.py --headers-only).
+exec python3 "$(dirname "$0")/miniraid_lint.py" --headers-only "$@"

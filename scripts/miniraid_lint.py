@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for mini-RAID: protocol-layer rules generic tools miss.
+
+Rules (each can be suppressed per line or per preceding line with
+`// miniraid-lint: allow(<rule>)`):
+
+  fail-lock-mutation   Mutating FailLockTable calls (Set/Clear/MergeFrom on a
+                       fail-lock receiver) are confined to src/replication/.
+                       The fail-lock table is the paper's central correctness
+                       structure; every mutation must stay inside the
+                       replication layer where the protocol maintains it.
+
+  blocking-call        No blocking syscalls or sleeps in code that runs on a
+                       site's event-loop thread (everything outside
+                       src/storage/ and src/net/tcp_transport.cc, which own
+                       dedicated I/O threads). A blocked loop thread stalls
+                       the whole site: timers, 2PC acks, recovery.
+
+  discarded-status     A call to a known Status/Result-returning API used as
+                       a bare statement. [[nodiscard]] catches this at
+                       compile time; the lint also flags it in templates and
+                       dead code the compiler never instantiates.
+
+  header-guard         Every header uses the canonical include guard
+                       MINIRAID_<PATH>_H_ derived from its path under src/.
+
+Modes:
+  (default)        run the text rules over src/ (or the given paths)
+  --headers        also verify every header is self-contained (compiles
+                   alone with g++ -fsyntax-only)
+  --headers-only   only the self-contained-header check (what the old
+                   scripts/check_headers.sh did)
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+SUPPRESS_RE = re.compile(r"//\s*miniraid-lint:\s*allow\(([a-z\-, ]+)\)")
+
+# fail-lock-mutation: a mutating method invoked on something that names the
+# fail-lock table (member, local copy, or accessor result).
+FAIL_LOCK_MUT_RE = re.compile(
+    r"\bfail_locks?\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*(Set|Clear|MergeFrom)\s*\("
+)
+
+# blocking-call: sleeps and blocking socket/file syscalls that must never
+# run on an event-loop thread.
+BLOCKING_RE = re.compile(
+    r"(std::this_thread::sleep_for|std::this_thread::sleep_until"
+    r"|\busleep\s*\(|\bsleep\s*\(|::recv\s*\(|::send\s*\(|::accept\s*\("
+    r"|::connect\s*\(|::poll\s*\(|::select\s*\(|::fsync\s*\(|\bsystem\s*\()"
+)
+
+# discarded-status: a bare-statement call (no assignment, return, cast, or
+# macro wrapper) to an API known to return Status/Result. MergeFrom is only
+# Status-returning on the protocol tables (DurationStats::MergeFrom is
+# void), so it is constrained by receiver name.
+DISCARDED_RE = re.compile(
+    r"^\s*(?:"
+    r"(?:\w+(?:\.|->))*(?:fail_locks?\w*|session\w*)(?:\.|->)MergeFrom"
+    r"|(?:\w+(?:\.|->))+(?:CommitWrite|InstallCopy|DropCopy|RestoreImage)"
+    r"|(?:\w+(?:\.|->))*wal\w*(?:\.|->)(?:Append|Sync)"
+    r")\s*\([^;]*\)\s*;\s*$"
+)
+
+# Layers whose code runs on (or posts to) an event-loop thread. Dedicated
+# I/O threads live in tcp_transport; the storage layer is explicitly a
+# blocking durability layer driven from non-loop contexts.
+BLOCKING_EXEMPT_DIRS = ("src/storage/",)
+BLOCKING_EXEMPT_FILES = ("src/net/tcp_transport.cc",)
+
+# fail-lock mutations are legal only here.
+FAIL_LOCK_HOME = "src/replication/"
+
+
+def find_repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(here)
+    if not os.path.isdir(os.path.join(root, "src")):
+        sys.stderr.write("miniraid_lint: cannot locate repo root (no src/)\n")
+        sys.exit(2)
+    return root
+
+
+def relpath(path, root):
+    return os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+
+
+def collect_sources(root, paths):
+    files = []
+    for path in paths:
+        if not os.path.exists(path):
+            sys.stderr.write(f"miniraid_lint: no such path: {path}\n")
+            sys.exit(2)
+        if os.path.isdir(path):
+            for dirpath, _, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith((".h", ".cc")):
+                        files.append(os.path.join(dirpath, name))
+        elif path.endswith((".h", ".cc")):
+            files.append(path)
+    return sorted(set(files))
+
+
+def suppressed(lines, index, rule):
+    """True if line `index` (0-based) or the one above allows `rule`."""
+    for i in (index, index - 1):
+        if 0 <= i < len(lines):
+            m = SUPPRESS_RE.search(lines[i])
+            if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                return True
+    return False
+
+
+def expected_guard(rel):
+    # src/net/event_loop.h -> MINIRAID_NET_EVENT_LOOP_H_
+    trimmed = rel[len("src/"):] if rel.startswith("src/") else rel
+    stem = re.sub(r"[^A-Za-z0-9]", "_", trimmed[:-2])  # strip ".h"
+    return "MINIRAID_" + stem.upper() + "_H_"
+
+
+def lint_file(path, root, findings):
+    rel = relpath(path, root)
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as err:
+        findings.append((rel, 0, "io", str(err)))
+        return
+    lines = text.splitlines()
+
+    in_block_comment = False
+    prev_code_tail = ";"  # code character ending the previous non-blank line
+    for i, line in enumerate(lines):
+        # Strip line comments and track /* */ blocks so commented-out code
+        # and prose never trip the code rules.
+        code = line
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        start = code.find("/*")
+        if start >= 0 and "*/" not in code[start:]:
+            in_block_comment = True
+            code = code[:start]
+        code = re.sub(r"/\*.*?\*/", "", code)
+        code = code.split("//")[0]
+        if not code.strip():
+            continue
+
+        if (FAIL_LOCK_MUT_RE.search(code)
+                and not rel.startswith(FAIL_LOCK_HOME)
+                and not suppressed(lines, i, "fail-lock-mutation")):
+            findings.append((rel, i + 1, "fail-lock-mutation",
+                             "fail-lock tables may only be mutated inside "
+                             "src/replication/ (the protocol layer owns "
+                             "fail-lock maintenance)"))
+
+        if (BLOCKING_RE.search(code)
+                and not rel.startswith(BLOCKING_EXEMPT_DIRS)
+                and rel not in BLOCKING_EXEMPT_FILES
+                and not suppressed(lines, i, "blocking-call")):
+            findings.append((rel, i + 1, "blocking-call",
+                             "blocking call in code that may run on an "
+                             "event-loop thread; move it to a dedicated "
+                             "thread or suppress with justification"))
+
+        # Only a statement *start* can discard a result: skip continuation
+        # lines (previous line ended mid-expression, e.g. `=`, `(`, `,`, or
+        # a macro wrapper like MINIRAID_RETURN_IF_ERROR).
+        at_statement_start = prev_code_tail in ";}{"
+        balanced = code.count("(") == code.count(")")
+        if (at_statement_start and balanced and DISCARDED_RE.match(code)
+                and not suppressed(lines, i, "discarded-status")):
+            findings.append((rel, i + 1, "discarded-status",
+                             "result of a Status/Result-returning call is "
+                             "discarded; check it or cast to (void) with a "
+                             "reason"))
+        prev_code_tail = code.strip()[-1]
+
+    if rel.endswith(".h") and rel.startswith("src/"):
+        guard = expected_guard(rel)
+        if (f"#ifndef {guard}" not in text or f"#define {guard}" not in text):
+            if not suppressed(lines, 0, "header-guard"):
+                findings.append((rel, 1, "header-guard",
+                                 f"expected include guard {guard}"))
+
+
+def check_headers(root, paths):
+    """Every header must compile on its own (self-contained)."""
+    headers = [f for f in collect_sources(root, paths) if f.endswith(".h")]
+    failures = 0
+    for header in headers:
+        proc = subprocess.run(
+            ["g++", "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+             "-I", os.path.join(root, "src"), "-x", "c++", header],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            failures += 1
+            print(f"NOT SELF-CONTAINED: {relpath(header, root)}")
+            sys.stdout.write("\n".join(proc.stderr.splitlines()[:5]) + "\n")
+    if failures == 0:
+        print(f"all {len(headers)} headers self-contained")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/)")
+    parser.add_argument("--headers", action="store_true",
+                        help="also check headers are self-contained")
+    parser.add_argument("--headers-only", action="store_true",
+                        help="only check headers are self-contained")
+    args = parser.parse_args()
+
+    root = find_repo_root()
+    paths = args.paths or [os.path.join(root, "src")]
+
+    failures = 0
+    if not args.headers_only:
+        findings = []
+        for path in collect_sources(root, paths):
+            lint_file(path, root, findings)
+        for rel, line, rule, message in findings:
+            print(f"{rel}:{line}: [{rule}] {message}")
+        if not findings:
+            print("miniraid_lint: clean")
+        failures += len(findings)
+    if args.headers or args.headers_only:
+        failures += check_headers(root, paths)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

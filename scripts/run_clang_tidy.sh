@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# sources, using the compile_commands.json exported by any CMake build dir.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir] [extra clang-tidy args...]
+#   build-dir defaults to the first of build-release/ build/ that has a
+#   compile_commands.json.
+#
+# Exits 0 when clang-tidy is clean, 1 on findings, and 2 (with a notice)
+# when no clang-tidy binary is available — local dev containers may only
+# ship gcc; CI installs clang-tidy and treats 2 as a hard failure there.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+tidy=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+if [[ -z "$tidy" ]]; then
+  echo "run_clang_tidy: no clang-tidy binary found on PATH; skipping." >&2
+  echo "run_clang_tidy: install clang-tidy (>= 14) to run this check." >&2
+  exit 2
+fi
+
+build_dir="${1:-}"
+if [[ $# -gt 0 ]]; then shift; fi
+if [[ -z "$build_dir" ]]; then
+  for candidate in "$root/build-release" "$root/build"; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$build_dir" || ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: no compile_commands.json; configure a build first" >&2
+  echo "  cmake --preset release   # or: cmake -B build -S ." >&2
+  exit 2
+fi
+
+# First-party translation units only: generated/third-party code (gtest,
+# anything under a build dir) is excluded by construction.
+mapfile -t sources < <(cd "$root" && find src tests bench examples \
+  -name '*.cc' -o -name '*.cpp' | sort)
+
+echo "run_clang_tidy: $tidy over ${#sources[@]} files (build: $build_dir)"
+status=0
+"$tidy" -p "$build_dir" --quiet "$@" "${sources[@]/#/$root/}" || status=1
+if [[ $status -eq 0 ]]; then
+  echo "run_clang_tidy: clean"
+fi
+exit $status

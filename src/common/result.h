@@ -12,7 +12,7 @@ namespace miniraid {
 /// A Status with a value on success (a minimal absl::StatusOr). The value
 /// is engaged iff status().ok().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value makes `return value;` work.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

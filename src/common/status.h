@@ -29,7 +29,10 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// Value-type result of a fallible operation: a code plus an optional
 /// message. Cheap to copy when OK (no allocation on the OK path).
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides protocol errors, so a
+/// discarded return is a compile error; truly intentional drops must say so
+/// with a cast (e.g. `(void)transport_->Send(...)`).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

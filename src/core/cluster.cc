@@ -24,7 +24,7 @@ SiteOptions ResolveSiteOptions(uint32_t n_sites, uint32_t db_size,
 // ---------------------------------------------------------------------------
 
 SimCluster::SimCluster(const ClusterOptions& options)
-    : options_(options), sim_(options.sim) {
+    : options_(options), sim_(options.sim), checker_(options.invariants) {
   options_.site =
       ResolveSiteOptions(options_.n_sites, options_.db_size, options_.site);
   transport_ = std::make_unique<SimTransport>(&sim_, options_.transport);
@@ -48,17 +48,20 @@ TxnReplyArgs SimCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
                     [&result](const TxnReplyArgs& reply) { result = reply; });
   sim_.RunUntilIdle();
   MR_CHECK(result.has_value()) << "simulation drained without a reply";
+  EnforceInvariants();
   return *result;
 }
 
 void SimCluster::Fail(SiteId site) {
   managing_->FailSite(site);
   sim_.RunUntilIdle();
+  EnforceInvariants();
 }
 
 void SimCluster::Recover(SiteId site) {
   managing_->RecoverSite(site);
   sim_.RunUntilIdle();
+  EnforceInvariants();
 }
 
 std::vector<SiteId> SimCluster::UpSites() const {
@@ -79,42 +82,40 @@ uint32_t SimCluster::FailLockCountFor(SiteId target) const {
 }
 
 Status SimCluster::CheckReplicaAgreement() const {
-  // Authoritative fail-lock view: union over operational sites.
-  const std::vector<SiteId> up = UpSites();
-  if (up.empty()) return Status::Ok();  // nothing is authoritative
-  for (ItemId item = 0; item < options_.db_size; ++item) {
-    // Freshest copy anywhere.
-    Version freshest = 0;
-    Value freshest_value = 0;
-    for (SiteId id = 0; id < options_.n_sites; ++id) {
-      const Database& db = sites_[id]->db();
-      if (!db.Holds(item)) continue;
-      const ItemState state = *db.Read(item);
-      if (state.version >= freshest) {
-        freshest = state.version;
-        freshest_value = state.value;
-      }
-    }
-    for (SiteId id = 0; id < options_.n_sites; ++id) {
-      const Database& db = sites_[id]->db();
-      if (!db.Holds(item)) continue;
-      bool locked = false;
-      for (SiteId viewer : up) {
-        if (sites_[viewer]->fail_locks().IsSet(item, id)) locked = true;
-      }
-      if (locked) continue;  // known stale: exempt
-      const ItemState state = *db.Read(item);
-      if (state.version != freshest || state.value != freshest_value) {
-        return Status::Internal(StrFormat(
-            "item %u: site %u has unlocked copy v%llu=%lld, freshest "
-            "v%llu=%lld",
-            item, id, (unsigned long long)state.version,
-            (long long)state.value, (unsigned long long)freshest,
-            (long long)freshest_value));
-      }
-    }
+  // Replica agreement is the write-coverage invariant; run just that check
+  // through a throwaway (stateless) checker.
+  InvariantChecker::Options options;
+  options.check_fail_lock_shape = false;
+  options.check_fail_lock_session = false;
+  options.check_fail_lock_agreement = false;
+  options.check_session_monotonicity = false;
+  InvariantChecker checker(options);
+  const std::vector<InvariantViolation> violations =
+      checker.Check(SnapshotSites());
+  if (violations.empty()) return Status::Ok();
+  return Status::Internal(violations.front().ToString());
+}
+
+std::vector<SiteSnapshot> SimCluster::SnapshotSites() const {
+  std::vector<SiteSnapshot> snapshots;
+  snapshots.reserve(sites_.size());
+  for (const auto& site : sites_) snapshots.push_back(SnapshotOf(*site));
+  return snapshots;
+}
+
+std::vector<InvariantViolation> SimCluster::CheckInvariants() {
+  return checker_.Check(SnapshotSites());
+}
+
+void SimCluster::EnforceInvariants() {
+  if (!options_.check_invariants) return;
+  const std::vector<InvariantViolation> violations = CheckInvariants();
+  for (const InvariantViolation& v : violations) {
+    MR_LOG(kError) << "invariant violated: " << v.ToString();
   }
-  return Status::Ok();
+  MR_CHECK(violations.empty())
+      << violations.size() << " protocol invariant violation(s); first: "
+      << violations.front().ToString();
 }
 
 // ---------------------------------------------------------------------------
@@ -199,10 +200,10 @@ TxnReplyArgs RealCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
   std::optional<TxnReplyArgs> result;
   loops_[managing_id()]->Post([&, txn, coordinator] {
     managing_->Submit(txn, coordinator, [&](const TxnReplyArgs& reply) {
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        result = reply;
-      }
+      // Notify under the lock: the waiter's stack frame (mu, cv, result)
+      // may be destroyed the moment `result` is observable.
+      std::lock_guard<std::mutex> lock(mu);
+      result = reply;
       cv.notify_one();
     });
   });
@@ -238,6 +239,8 @@ bool RealCluster::WaitUntil(SiteId site,
     bool ok = false;
     Inspect(site, [&](Site& s) { ok = pred(s); });
     if (ok) return true;
+    // Driver-side poll loop on the caller's thread, never a loop thread.
+    // miniraid-lint: allow(blocking-call)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return false;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/invariants.h"
 #include "core/managing_site.h"
 #include "net/event_loop.h"
 #include "net/inproc_transport.h"
@@ -25,6 +26,12 @@ struct ClusterOptions {
   SimOptions sim;
   SimTransportOptions transport;
   ManagingSite::Options managing;
+
+  /// When true, the cluster runs the InvariantChecker over every site after
+  /// each quiescent step (RunTxn / Fail / Recover) and aborts on the first
+  /// violation — the simulator-side analogue of an always-on assertion.
+  bool check_invariants = false;
+  InvariantChecker::Options invariants;
 };
 
 /// A cluster under the deterministic simulator: N database sites plus the
@@ -69,14 +76,25 @@ class SimCluster {
   /// Verifies invariant 1 (replica agreement): for every item, every copy
   /// whose fail-lock bit is clear in the authoritative table matches the
   /// freshest copy. Call at quiescence only.
-  Status CheckReplicaAgreement() const;
+  [[nodiscard]] Status CheckReplicaAgreement() const;
+
+  /// One snapshot per database site, in id order. Quiescence only.
+  std::vector<SiteSnapshot> SnapshotSites() const;
+
+  /// Runs the full invariant suite over the current quiescent state using
+  /// the cluster's stateful checker. Empty result = every invariant holds.
+  [[nodiscard]] std::vector<InvariantViolation> CheckInvariants();
 
  private:
+  /// MR_CHECK-fails on any invariant violation (check_invariants mode).
+  void EnforceInvariants();
+
   ClusterOptions options_;
   SimRuntime sim_;
   std::unique_ptr<SimTransport> transport_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<ManagingSite> managing_;
+  InvariantChecker checker_;
 };
 
 /// A cluster on real threads with real message passing: one EventLoop per

@@ -1,0 +1,303 @@
+#include "core/invariants.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "replication/site.h"
+
+namespace miniraid {
+namespace {
+
+bool IsOperational(const SiteSnapshot& site) {
+  return site.status == SiteStatus::kUp;
+}
+
+/// Union of the operational sites' fail-lock bits for `item`.
+Bitmap64 OperationalLockUnion(const std::vector<SiteSnapshot>& sites,
+                              ItemId item) {
+  Bitmap64 bits;
+  for (const SiteSnapshot& site : sites) {
+    if (IsOperational(site)) bits |= site.fail_locks.Row(item);
+  }
+  return bits;
+}
+
+void Report(InvariantKind kind, std::string detail,
+            std::vector<InvariantViolation>* out) {
+  out->push_back(InvariantViolation{kind, std::move(detail)});
+}
+
+}  // namespace
+
+std::string_view InvariantKindName(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kFailLockShape:
+      return "FailLockShape";
+    case InvariantKind::kFailLockSession:
+      return "FailLockSession";
+    case InvariantKind::kFailLockAgreement:
+      return "FailLockAgreement";
+    case InvariantKind::kSessionMonotonicity:
+      return "SessionMonotonicity";
+    case InvariantKind::kWriteCoverage:
+      return "WriteCoverage";
+  }
+  return "Unknown";
+}
+
+std::string InvariantViolation::ToString() const {
+  return StrFormat("%s: %s", std::string(InvariantKindName(kind)).c_str(),
+                   detail.c_str());
+}
+
+SiteSnapshot::SiteSnapshot(SiteId id_in, SiteStatus status_in,
+                           SessionVector sessions_in,
+                           FailLockTable fail_locks_in,
+                           HoldersTable holders_in,
+                           std::vector<std::optional<ItemState>> db_in)
+    : id(id_in),
+      status(status_in),
+      sessions(std::move(sessions_in)),
+      fail_locks(std::move(fail_locks_in)),
+      holders(std::move(holders_in)),
+      db(std::move(db_in)) {}
+
+SiteSnapshot SnapshotOf(const Site& site) {
+  return SiteSnapshot(site.id(), site.local_status(), site.session_vector(),
+                      site.fail_locks(), site.holders(),
+                      site.db().snapshot());
+}
+
+std::vector<InvariantViolation> InvariantChecker::Check(
+    const std::vector<SiteSnapshot>& sites) {
+  ++checks_run_;
+  std::vector<InvariantViolation> violations;
+  if (sites.empty()) return violations;
+  if (options_.check_fail_lock_shape) {
+    CheckFailLockShape(sites, &violations);
+  }
+  if (options_.check_fail_lock_session) {
+    CheckFailLockSession(sites, &violations);
+  }
+  if (options_.check_fail_lock_agreement) {
+    CheckFailLockAgreement(sites, &violations);
+  }
+  if (options_.check_session_monotonicity) {
+    CheckSessionMonotonicity(sites, &violations);
+  }
+  if (options_.check_write_coverage) {
+    CheckWriteCoverage(sites, &violations);
+  }
+  return violations;
+}
+
+void InvariantChecker::CheckFailLockShape(
+    const std::vector<SiteSnapshot>& sites,
+    std::vector<InvariantViolation>* out) const {
+  // Every site's table must be well-formed, operational or not: a down
+  // site's frozen table was valid when it froze.
+  for (const SiteSnapshot& site : sites) {
+    // The holders table carries the cluster's configured site count;
+    // FailLockTable masks bits to its own width, so a wider (corrupt)
+    // table is exactly what this bound catches.
+    const uint32_t n_sites = site.holders.n_sites();
+    for (ItemId item = 0; item < site.fail_locks.n_items(); ++item) {
+      const Bitmap64 row = site.fail_locks.Row(item);
+      if (row.None()) continue;
+      for (uint32_t s = 0; s < 64; ++s) {
+        if (!row.Test(s)) continue;
+        if (s >= n_sites) {
+          Report(InvariantKind::kFailLockShape,
+                 StrFormat("site %u: item %u fail-locked for nonexistent "
+                           "site %u (n_sites=%u)",
+                           site.id, item, s, n_sites),
+                 out);
+        } else if (!site.holders.Holds(item, s)) {
+          Report(InvariantKind::kFailLockShape,
+                 StrFormat("site %u: item %u fail-locked for site %u, which "
+                           "holds no copy of it",
+                           site.id, item, s),
+                 out);
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckFailLockSession(
+    const std::vector<SiteSnapshot>& sites,
+    std::vector<InvariantViolation>* out) const {
+  // A fail-lock bit (x, s) at an operational observer asserts s missed a
+  // committed update. The observer must therefore not consider s fully up
+  // to date: either its session vector says s is not up, or s is up and
+  // mid-recovery — in which case s's own merged table must carry the bit
+  // too (control transaction type 1 merges every operational table into
+  // the recovering site before it rejoins).
+  for (const SiteSnapshot& observer : sites) {
+    if (!IsOperational(observer)) continue;
+    for (ItemId item = 0; item < observer.fail_locks.n_items(); ++item) {
+      const Bitmap64 row = observer.fail_locks.Row(item);
+      if (row.None()) continue;
+      for (uint32_t s = 0; s < observer.fail_locks.n_sites(); ++s) {
+        if (!row.Test(s)) continue;
+        // Bits beyond the session vector are shape violations, reported by
+        // CheckFailLockShape; indexing the vector with them would abort.
+        if (s >= observer.sessions.n_sites()) continue;
+        if (!observer.sessions.IsUp(s)) continue;
+        const auto subject =
+            std::find_if(sites.begin(), sites.end(),
+                         [s](const SiteSnapshot& snap) { return snap.id == s; });
+        if (subject == sites.end() || !IsOperational(*subject)) continue;
+        if (!subject->fail_locks.IsSet(item, s)) {
+          Report(InvariantKind::kFailLockSession,
+                 StrFormat("site %u holds fail-lock (item %u, site %u) but "
+                           "believes site %u is up and site %u's own table "
+                           "has no such lock — a copier cleared the lock "
+                           "at the owner but not everywhere",
+                           observer.id, item, s, s, s),
+                 out);
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckFailLockAgreement(
+    const std::vector<SiteSnapshot>& sites,
+    std::vector<InvariantViolation>* out) const {
+  // At quiescence the operational sites agree on every fail-lock bit
+  // (x, s): fail-lock maintenance runs inside every commit at every
+  // operational site, and the fail-lock-clearing transaction reaches every
+  // operational site (paper §2.2). One asymmetry is legitimate: site s may
+  // know MORE about its own staleness than its peers — a lose-state cold
+  // restart conservatively self-locks every held copy locally — so s's own
+  // column is compared only across observers other than s. (An owner
+  // MISSING a bit its peers hold is the copier-clear bug, caught by
+  // CheckFailLockSession.)
+  const SiteSnapshot* first_up = nullptr;
+  for (const SiteSnapshot& site : sites) {
+    if (IsOperational(site)) {
+      first_up = &site;
+      break;
+    }
+  }
+  if (first_up == nullptr) return;
+  const uint32_t n_items = first_up->fail_locks.n_items();
+  const uint32_t n_sites = first_up->fail_locks.n_sites();
+  for (ItemId item = 0; item < n_items; ++item) {
+    for (uint32_t s = 0; s < n_sites; ++s) {
+      const SiteSnapshot* seen_by = nullptr;
+      const SiteSnapshot* cleared_by = nullptr;
+      for (const SiteSnapshot& observer : sites) {
+        if (!IsOperational(observer) || observer.id == s) continue;
+        if (item >= observer.fail_locks.n_items() ||
+            s >= observer.fail_locks.n_sites()) {
+          continue;  // malformed table; CheckFailLockShape's department
+        }
+        if (observer.fail_locks.IsSet(item, s)) {
+          seen_by = &observer;
+        } else {
+          cleared_by = &observer;
+        }
+      }
+      if (seen_by != nullptr && cleared_by != nullptr) {
+        Report(InvariantKind::kFailLockAgreement,
+               StrFormat("item %u: operational sites disagree on the "
+                         "fail-lock for site %u's copy (site %u has it "
+                         "set, site %u clear)",
+                         item, s, seen_by->id, cleared_by->id),
+               out);
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckSessionMonotonicity(
+    const std::vector<SiteSnapshot>& sites,
+    std::vector<InvariantViolation>* out) {
+  // Across observers, within this cut: no operational observer may record
+  // a higher session for an up site than the site records for itself (a
+  // session is born at its site; nobody can be ahead of the source).
+  for (const SiteSnapshot& observer : sites) {
+    if (!IsOperational(observer)) continue;
+    for (const SiteSnapshot& subject : sites) {
+      if (!IsOperational(subject) || subject.id == observer.id) continue;
+      if (!observer.sessions.IsUp(subject.id)) continue;
+      const SessionNumber seen = observer.sessions.session(subject.id);
+      const SessionNumber own = subject.sessions.session(subject.id);
+      if (seen > own) {
+        Report(InvariantKind::kSessionMonotonicity,
+               StrFormat("site %u records session %llu for up site %u, "
+                         "ahead of that site's own session %llu",
+                         observer.id, (unsigned long long)seen, subject.id,
+                         (unsigned long long)own),
+               out);
+      }
+    }
+  }
+
+  // Over time: a recorded session number never regresses between checks.
+  for (const SiteSnapshot& observer : sites) {
+    if (observer.id >= last_sessions_.size()) {
+      last_sessions_.resize(observer.id + 1);
+    }
+    std::vector<SessionNumber>& history = last_sessions_[observer.id];
+    const uint32_t n = observer.sessions.n_sites();
+    if (history.size() < n) history.resize(n, 0);
+    for (uint32_t s = 0; s < n; ++s) {
+      const SessionNumber now = observer.sessions.session(s);
+      if (now < history[s]) {
+        Report(InvariantKind::kSessionMonotonicity,
+               StrFormat("site %u's recorded session for site %u regressed "
+                         "from %llu to %llu",
+                         observer.id, s, (unsigned long long)history[s],
+                         (unsigned long long)now),
+               out);
+      }
+      history[s] = std::max(history[s], now);
+    }
+  }
+}
+
+void InvariantChecker::CheckWriteCoverage(
+    const std::vector<SiteSnapshot>& sites,
+    std::vector<InvariantViolation>* out) const {
+  // ROWAA writes reach every operational copy; a missed copy must carry a
+  // fail-lock. So every copy whose bit is clear in the operational union
+  // must equal the freshest copy anywhere.
+  if (std::none_of(sites.begin(), sites.end(), IsOperational)) return;
+  const uint32_t n_items =
+      sites.front().db.empty()
+          ? 0
+          : static_cast<uint32_t>(sites.front().db.size());
+  for (ItemId item = 0; item < n_items; ++item) {
+    ItemState freshest;
+    for (const SiteSnapshot& site : sites) {
+      if (item >= site.db.size() || !site.db[item].has_value()) continue;
+      const ItemState& copy = *site.db[item];
+      if (copy.version >= freshest.version) freshest = copy;
+    }
+    const Bitmap64 locked = OperationalLockUnion(sites, item);
+    for (const SiteSnapshot& site : sites) {
+      if (item >= site.db.size() || !site.db[item].has_value()) continue;
+      // Only operational copies are served to transactions; a down site's
+      // copy may be arbitrarily stale (lose-state crashes wipe it outright)
+      // and is repaired by fail-locks or conservative locking at recovery.
+      if (!IsOperational(site)) continue;
+      if (locked.Test(site.id)) continue;  // known stale: exempt
+      const ItemState& copy = *site.db[item];
+      if (copy.version != freshest.version || copy.value != freshest.value) {
+        Report(InvariantKind::kWriteCoverage,
+               StrFormat("item %u: site %u's unlocked copy is v%llu=%lld "
+                         "but the freshest copy is v%llu=%lld",
+                         item, site.id, (unsigned long long)copy.version,
+                         (long long)copy.value,
+                         (unsigned long long)freshest.version,
+                         (long long)freshest.value),
+               out);
+      }
+    }
+  }
+}
+
+}  // namespace miniraid

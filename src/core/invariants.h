@@ -1,0 +1,144 @@
+#ifndef MINIRAID_CORE_INVARIANTS_H_
+#define MINIRAID_CORE_INVARIANTS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "db/database.h"
+#include "replication/fail_locks.h"
+#include "replication/placement.h"
+#include "replication/session_vector.h"
+
+namespace miniraid {
+
+class Site;
+
+/// The cluster-wide protocol invariants the paper's correctness argument
+/// rests on (DESIGN.md §5), checked mechanically at quiescent points:
+///
+///   kFailLockShape        A set fail-lock bit (x, s) must name a real site
+///                         s < n_sites that holds a copy of x per the
+///                         observing site's holders table.
+///   kFailLockSession      Fail-lock ↔ session-vector consistency: a bit
+///                         (x, s) at an operational observer means s missed
+///                         a committed update, so the observer must not
+///                         believe s is up to date — s is down per the
+///                         observer's vector, or s is up mid-recovery, in
+///                         which case s's own table must carry the bit too
+///                         (recovery merges every operational table).
+///   kFailLockAgreement    At quiescence all operational sites agree on
+///                         every fail-lock bit: commits set bits at every
+///                         operational site and copier transactions clear
+///                         them at every operational site. A site's own
+///                         column is exempt — a lose-state cold restart
+///                         conservatively self-locks locally, which peers
+///                         legitimately never learn.
+///   kSessionMonotonicity  Session numbers only grow — both over time (no
+///                         observer's recorded session for any site may
+///                         regress between checks) and across observers (no
+///                         operational observer may record a higher session
+///                         for an up site than the site itself).
+///   kWriteCoverage        Write-all-available coverage: every copy whose
+///                         fail-lock bit is clear in the operational union
+///                         matches the freshest copy anywhere — a ROWAA
+///                         commit that skipped an operational site without
+///                         fail-locking it shows up here.
+enum class InvariantKind : uint8_t {
+  kFailLockShape = 0,
+  kFailLockSession = 1,
+  kFailLockAgreement = 2,
+  kSessionMonotonicity = 3,
+  kWriteCoverage = 4,
+};
+
+std::string_view InvariantKindName(InvariantKind kind);
+
+/// One violated invariant, with a human-readable account of the evidence.
+struct InvariantViolation {
+  InvariantKind kind = InvariantKind::kFailLockShape;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// A copy of the protocol-visible state of one site at a quiescent point.
+/// The checker works on snapshots rather than live Site references so tests
+/// can corrupt a snapshot (flip a fail-lock bit, regress a session) and
+/// assert the checker notices.
+struct SiteSnapshot {
+  SiteSnapshot(SiteId id, SiteStatus status, SessionVector sessions,
+               FailLockTable fail_locks, HoldersTable holders,
+               std::vector<std::optional<ItemState>> db);
+
+  SiteId id;
+  /// The site's local status (kUp sites are the authoritative observers).
+  SiteStatus status;
+  SessionVector sessions;
+  FailLockTable fail_locks;
+  HoldersTable holders;
+  /// Database image, indexed by item; disengaged = no copy held.
+  std::vector<std::optional<ItemState>> db;
+};
+
+/// Captures `site`'s protocol state. Must run in the site's execution
+/// context (trivially true under the simulator at quiescence).
+SiteSnapshot SnapshotOf(const Site& site);
+
+/// Validates the cluster-wide invariants over a set of site snapshots.
+/// Stateless checks look at one quiescent cut; the monotonicity check also
+/// remembers every session number seen in previous calls on this instance,
+/// so a checker should live as long as the cluster it watches.
+class InvariantChecker {
+ public:
+  struct Options {
+    bool check_fail_lock_shape = true;
+    bool check_fail_lock_session = true;
+    bool check_fail_lock_agreement = true;
+    bool check_session_monotonicity = true;
+    bool check_write_coverage = true;
+  };
+
+  InvariantChecker() : InvariantChecker(Options{}) {}
+  explicit InvariantChecker(const Options& options) : options_(options) {}
+
+  /// Checks every enabled invariant over one quiescent cut of the cluster
+  /// (one snapshot per database site). Returns all violations found (empty
+  /// means every invariant holds) and updates the monotonicity history.
+  [[nodiscard]] std::vector<InvariantViolation> Check(
+      const std::vector<SiteSnapshot>& sites);
+
+  /// Number of Check() calls so far.
+  uint64_t checks_run() const { return checks_run_; }
+
+  /// Forgets the monotonicity history (e.g. between independent clusters).
+  void Reset() {
+    last_sessions_.clear();
+    checks_run_ = 0;
+  }
+
+ private:
+  void CheckFailLockShape(const std::vector<SiteSnapshot>& sites,
+                          std::vector<InvariantViolation>* out) const;
+  void CheckFailLockSession(const std::vector<SiteSnapshot>& sites,
+                            std::vector<InvariantViolation>* out) const;
+  void CheckFailLockAgreement(const std::vector<SiteSnapshot>& sites,
+                              std::vector<InvariantViolation>* out) const;
+  void CheckSessionMonotonicity(const std::vector<SiteSnapshot>& sites,
+                                std::vector<InvariantViolation>* out);
+  void CheckWriteCoverage(const std::vector<SiteSnapshot>& sites,
+                          std::vector<InvariantViolation>* out) const;
+
+  Options options_;
+  /// last_sessions_[observer][subject] = highest session `observer` has
+  /// ever recorded for `subject`; sized lazily on first Check.
+  std::vector<std::vector<SessionNumber>> last_sessions_;
+  uint64_t checks_run_ = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_CORE_INVARIANTS_H_

@@ -47,22 +47,22 @@ class Database {
   uint32_t held_count() const { return held_count_; }
 
   /// Reads the local copy. kNotFound if this site holds no copy.
-  Result<ItemState> Read(ItemId item) const;
+  [[nodiscard]] Result<ItemState> Read(ItemId item) const;
 
   /// Applies a committed write: installs `value` and advances the version
   /// to `writer` (the committing transaction's id). kNotFound if the site
   /// holds no copy; kInvalidArgument if the version would regress.
-  Status CommitWrite(ItemId item, Value value, TxnId writer);
+  [[nodiscard]] Status CommitWrite(ItemId item, Value value, TxnId writer);
 
   /// Installs a complete copy obtained from another site (copier
   /// transaction / control type 3). Creates the local copy if absent.
   /// Rejects regressions: an incoming copy older than the local one is a
   /// protocol error.
-  Status InstallCopy(ItemId item, const ItemState& copy);
+  [[nodiscard]] Status InstallCopy(ItemId item, const ItemState& copy);
 
   /// Drops the local copy (space reclamation after a type-3 backup copy is
   /// no longer needed). kNotFound if not held.
-  Status DropCopy(ItemId item);
+  [[nodiscard]] Status DropCopy(ItemId item);
 
   /// Full snapshot (unheld items are nullopt) — used by tests and oracles.
   const std::vector<std::optional<ItemState>>& snapshot() const {

@@ -45,11 +45,14 @@ class Encoder {
  private:
   template <typename T>
   void PutFixed(T v) {
-    uint8_t bytes[sizeof(T)];
+    // Bytes are appended one by one (rather than staged in a local array
+    // handed to vector::insert) because GCC 12's -Warray-bounds misfires on
+    // the insert path at -O2 and the build is -Werror.
+    const size_t old_size = buf_.size();
+    buf_.resize(old_size + sizeof(T));
     for (size_t i = 0; i < sizeof(T); ++i) {
-      bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+      buf_[old_size + i] = static_cast<uint8_t>(v >> (8 * i));
     }
-    buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
   }
 
   std::vector<uint8_t> buf_;

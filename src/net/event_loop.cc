@@ -1,5 +1,7 @@
 #include "net/event_loop.h"
 
+#include <memory>
+
 #include "common/logging.h"
 
 namespace miniraid {
@@ -60,21 +62,26 @@ void EventLoop::Stop() {
 
 void EventLoop::PostAndWait(std::function<void()> task) {
   MR_CHECK(!IsCurrentThread()) << "PostAndWait from the loop thread";
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  bool done = false;
-  Post([&] {
+  // The wait state is shared (not stack-captured) and notified while the
+  // lock is held: the caller may time out or wake the instant `done` is
+  // observable, after which its frame is gone.
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto state = std::make_shared<WaitState>();
+  Post([state, task = std::move(task)] {
     task();
-    {
-      std::lock_guard<std::mutex> lock(done_mu);
-      done = true;
-    }
-    done_cv.notify_one();
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+    state->cv.notify_one();
   });
-  std::unique_lock<std::mutex> lock(done_mu);
+  std::unique_lock<std::mutex> lock(state->mu);
   // If the loop is stopping the task may never run; bound the wait so a
   // shutdown race cannot hang the caller forever.
-  done_cv.wait_for(lock, std::chrono::seconds(30), [&] { return done; });
+  state->cv.wait_for(lock, std::chrono::seconds(30),
+                     [&] { return state->done; });
 }
 
 void EventLoop::Run() {

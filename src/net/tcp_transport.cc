@@ -100,11 +100,11 @@ void TcpTransport::Stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  // Wake the accept thread with shutdown(), but only close the fd after
+  // joining it: closing first would let the kernel reuse the descriptor
+  // number while AcceptLoop may still be entering accept() on it.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (auto& [peer, fd] : out_fds_) ::close(fd);
@@ -117,6 +117,7 @@ void TcpTransport::Stop() {
     readers.swap(reader_threads_);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd >= 0) ::close(listen_fd);
   for (std::thread& t : readers) {
     if (t.joinable()) t.join();
   }

@@ -66,7 +66,8 @@ class TcpTransport : public Transport {
   TcpTransportOptions options_;
 
   std::atomic<bool> stopping_{false};
-  int listen_fd_ = -1;
+  // Atomic: written by Stop() (any thread) while AcceptLoop() reads it.
+  std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
 
   std::mutex conn_mu_;

@@ -24,7 +24,7 @@ class FailLockTable {
   uint32_t n_items() const { return static_cast<uint32_t>(rows_.size()); }
   uint32_t n_sites() const { return n_sites_; }
 
-  bool IsSet(ItemId item, SiteId site) const;
+  [[nodiscard]] bool IsSet(ItemId item, SiteId site) const;
 
   /// Sets the fail-lock; returns true if the bit transitioned 0 -> 1.
   bool Set(ItemId item, SiteId site);
@@ -33,27 +33,27 @@ class FailLockTable {
   bool Clear(ItemId item, SiteId site);
 
   /// The bitmap of sites whose copy of `item` is out of date.
-  Bitmap64 Row(ItemId item) const;
+  [[nodiscard]] Bitmap64 Row(ItemId item) const;
 
   /// Number of items currently fail-locked for `site`.
-  uint32_t CountForSite(SiteId site) const;
+  [[nodiscard]] uint32_t CountForSite(SiteId site) const;
 
   /// Fraction of the database fail-locked for `site`, in [0, 1] (the
   /// two-step recovery threshold input, paper §3.2).
-  double FractionLockedFor(SiteId site) const;
+  [[nodiscard]] double FractionLockedFor(SiteId site) const;
 
   /// Items fail-locked for `site`, ascending. `limit` = 0 means all.
-  std::vector<ItemId> ItemsLockedFor(SiteId site, uint32_t limit = 0) const;
+  [[nodiscard]] std::vector<ItemId> ItemsLockedFor(SiteId site, uint32_t limit = 0) const;
 
   /// Total number of set bits in the table.
-  uint64_t TotalSet() const { return total_set_; }
+  [[nodiscard]] uint64_t TotalSet() const { return total_set_; }
 
   /// Nonzero rows, for the wire (control transaction type 1).
-  std::vector<FailLockRow> ToWire() const;
+  [[nodiscard]] std::vector<FailLockRow> ToWire() const;
 
   /// Unions remote rows into this table (a recovering site merges the
   /// fail-locks collected from each operational site).
-  Status MergeFrom(const std::vector<FailLockRow>& remote);
+  [[nodiscard]] Status MergeFrom(const std::vector<FailLockRow>& remote);
 
   std::string ToString() const;
 

@@ -25,15 +25,15 @@ class HoldersTable {
   uint32_t n_items() const { return static_cast<uint32_t>(rows_.size()); }
   uint32_t n_sites() const { return n_sites_; }
 
-  bool Holds(ItemId item, SiteId site) const;
+  [[nodiscard]] bool Holds(ItemId item, SiteId site) const;
   void Add(ItemId item, SiteId site);
   void Remove(ItemId item, SiteId site);
 
-  Bitmap64 Row(ItemId item) const;
-  std::vector<SiteId> HoldersOf(ItemId item) const;
+  [[nodiscard]] Bitmap64 Row(ItemId item) const;
+  [[nodiscard]] std::vector<SiteId> HoldersOf(ItemId item) const;
 
   /// Items site `site` holds, ascending.
-  std::vector<ItemId> ItemsHeldBy(SiteId site) const;
+  [[nodiscard]] std::vector<ItemId> ItemsHeldBy(SiteId site) const;
 
  private:
   uint32_t n_sites_;

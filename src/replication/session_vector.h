@@ -21,9 +21,9 @@ class SessionVector {
 
   uint32_t n_sites() const { return static_cast<uint32_t>(entries_.size()); }
 
-  SessionNumber session(SiteId site) const { return At(site).session; }
-  SiteStatus status(SiteId site) const { return At(site).status; }
-  bool IsUp(SiteId site) const { return status(site) == SiteStatus::kUp; }
+  [[nodiscard]] SessionNumber session(SiteId site) const { return At(site).session; }
+  [[nodiscard]] SiteStatus status(SiteId site) const { return At(site).status; }
+  [[nodiscard]] bool IsUp(SiteId site) const { return status(site) == SiteStatus::kUp; }
 
   /// Records that `site` entered session `session` in state `status`.
   void Set(SiteId site, SessionNumber session, SiteStatus status);
@@ -35,17 +35,17 @@ class SessionVector {
   void MarkUp(SiteId site, SessionNumber session);
 
   /// Sites currently believed up, ascending by id.
-  std::vector<SiteId> OperationalSites() const;
-  uint32_t OperationalCount() const;
+  [[nodiscard]] std::vector<SiteId> OperationalSites() const;
+  [[nodiscard]] uint32_t OperationalCount() const;
 
-  std::vector<SessionEntryWire> ToWire() const;
+  [[nodiscard]] std::vector<SessionEntryWire> ToWire() const;
 
   /// Lattice join with a remote view: for each site, a higher session wins
   /// outright; at an equal session "down" wins over "up" (the remote site
   /// has newer failure news — a site can only leave the down state by
   /// starting a new session). kWaitingToRecover/kTerminating merge like
   /// "down" for ROWAA purposes.
-  Status MergeFrom(const std::vector<SessionEntryWire>& remote);
+  [[nodiscard]] Status MergeFrom(const std::vector<SessionEntryWire>& remote);
 
   std::string ToString() const;
 

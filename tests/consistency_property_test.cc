@@ -36,6 +36,10 @@ TEST_P(ConsistencyPropertyTest, InvariantsHoldUnderRandomFailures) {
   options.db_size = kDbSize;
   options.site.ack_timeout = Milliseconds(200);
   options.managing.client_timeout = Seconds(5);
+  // The runtime invariant checker rides along: every quiescent step also
+  // validates fail-lock/session consistency, table agreement, session
+  // monotonicity, and write coverage (aborts on violation).
+  options.check_invariants = true;
   SimCluster cluster(options);
 
   UniformWorkloadOptions wopts;

@@ -139,6 +139,7 @@ TEST(JitterTest, ProtocolCorrectUnderJitteredLatency) {
   options.db_size = 10;
   options.transport.latency_jitter = Milliseconds(30);
   options.transport.jitter_seed = 7;
+  options.check_invariants = true;  // full invariant suite at every step
   SimCluster cluster(options);
   UniformWorkloadOptions wopts;
   wopts.db_size = 10;
@@ -162,6 +163,7 @@ TEST(LoseStateTest, ColdRestartRefreshesEverythingBeforeServing) {
   options.n_sites = 2;
   options.db_size = 6;
   options.site.lose_state_on_crash = true;
+  options.check_invariants = true;  // full invariant suite at every step
   SimCluster cluster(options);
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0);
   cluster.Fail(1);
