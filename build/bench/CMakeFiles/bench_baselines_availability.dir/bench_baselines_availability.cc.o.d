@@ -237,10 +237,7 @@ bench/CMakeFiles/bench_baselines_availability.dir/bench_baselines_availability.c
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/experiments.h /root/repo/src/core/cluster.h \
- /root/repo/src/core/invariants.h /root/repo/src/replication/fail_locks.h \
- /root/repo/src/common/bitmap.h /root/repo/src/replication/placement.h \
- /root/repo/src/replication/session_vector.h \
- /root/repo/src/net/event_loop.h /usr/include/c++/12/condition_variable \
+ /root/repo/src/core/cluster_api.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -248,9 +245,13 @@ bench/CMakeFiles/bench_baselines_availability.dir/bench_baselines_availability.c
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/net/inproc_transport.h \
- /root/repo/src/net/tcp_transport.h /root/repo/src/replication/site.h \
+ /root/repo/src/core/invariants.h /root/repo/src/replication/fail_locks.h \
+ /root/repo/src/common/bitmap.h /root/repo/src/replication/placement.h \
+ /root/repo/src/replication/session_vector.h \
+ /root/repo/src/net/inproc_transport.h /root/repo/src/net/event_loop.h \
+ /usr/include/c++/12/thread /root/repo/src/replication/site.h \
  /root/repo/src/replication/lock_table.h \
  /root/repo/src/replication/options.h /root/repo/src/metrics/trace.h \
  /root/repo/src/replication/cost_model.h \
+ /root/repo/src/core/submit_window.h /root/repo/src/net/tcp_transport.h \
  /root/repo/src/core/coordinator_policy.h /root/repo/src/txn/workload.h

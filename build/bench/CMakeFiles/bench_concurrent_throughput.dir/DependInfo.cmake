@@ -15,13 +15,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/miniraid_core.dir/DependInfo.cmake"
   "/root/repo/build/src/baselines/CMakeFiles/miniraid_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/miniraid_driver.dir/DependInfo.cmake"
   "/root/repo/build/src/replication/CMakeFiles/miniraid_replication.dir/DependInfo.cmake"
-  "/root/repo/build/src/metrics/CMakeFiles/miniraid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/miniraid_db.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/miniraid_net.dir/DependInfo.cmake"
   "/root/repo/build/src/msg/CMakeFiles/miniraid_msg.dir/DependInfo.cmake"
-  "/root/repo/build/src/txn/CMakeFiles/miniraid_txn.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/miniraid_sim.dir/DependInfo.cmake"
-  "/root/repo/build/src/db/CMakeFiles/miniraid_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/miniraid_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/miniraid_metrics.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/miniraid_common.dir/DependInfo.cmake"
   )
 

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_under_load.dir/bench_failure_under_load.cc.o"
+  "CMakeFiles/bench_failure_under_load.dir/bench_failure_under_load.cc.o.d"
+  "bench_failure_under_load"
+  "bench_failure_under_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_under_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_failure_under_load.
+# This may be replaced when dependencies are built.

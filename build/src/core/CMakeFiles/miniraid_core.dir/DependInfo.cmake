@@ -10,10 +10,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/miniraid_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/miniraid_core.dir/analysis.cc.o.d"
   "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/miniraid_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/miniraid_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/cluster_api.cc" "src/core/CMakeFiles/miniraid_core.dir/cluster_api.cc.o" "gcc" "src/core/CMakeFiles/miniraid_core.dir/cluster_api.cc.o.d"
   "/root/repo/src/core/coordinator_policy.cc" "src/core/CMakeFiles/miniraid_core.dir/coordinator_policy.cc.o" "gcc" "src/core/CMakeFiles/miniraid_core.dir/coordinator_policy.cc.o.d"
   "/root/repo/src/core/experiments.cc" "src/core/CMakeFiles/miniraid_core.dir/experiments.cc.o" "gcc" "src/core/CMakeFiles/miniraid_core.dir/experiments.cc.o.d"
   "/root/repo/src/core/invariants.cc" "src/core/CMakeFiles/miniraid_core.dir/invariants.cc.o" "gcc" "src/core/CMakeFiles/miniraid_core.dir/invariants.cc.o.d"
   "/root/repo/src/core/managing_site.cc" "src/core/CMakeFiles/miniraid_core.dir/managing_site.cc.o" "gcc" "src/core/CMakeFiles/miniraid_core.dir/managing_site.cc.o.d"
+  "/root/repo/src/core/submit_window.cc" "src/core/CMakeFiles/miniraid_core.dir/submit_window.cc.o" "gcc" "src/core/CMakeFiles/miniraid_core.dir/submit_window.cc.o.d"
   )
 
 # Targets to which this target links.

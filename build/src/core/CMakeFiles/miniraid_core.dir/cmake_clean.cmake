@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/miniraid_core.dir/analysis.cc.o.d"
   "CMakeFiles/miniraid_core.dir/cluster.cc.o"
   "CMakeFiles/miniraid_core.dir/cluster.cc.o.d"
+  "CMakeFiles/miniraid_core.dir/cluster_api.cc.o"
+  "CMakeFiles/miniraid_core.dir/cluster_api.cc.o.d"
   "CMakeFiles/miniraid_core.dir/coordinator_policy.cc.o"
   "CMakeFiles/miniraid_core.dir/coordinator_policy.cc.o.d"
   "CMakeFiles/miniraid_core.dir/experiments.cc.o"
@@ -11,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/miniraid_core.dir/invariants.cc.o.d"
   "CMakeFiles/miniraid_core.dir/managing_site.cc.o"
   "CMakeFiles/miniraid_core.dir/managing_site.cc.o.d"
+  "CMakeFiles/miniraid_core.dir/submit_window.cc.o"
+  "CMakeFiles/miniraid_core.dir/submit_window.cc.o.d"
   "libminiraid_core.a"
   "libminiraid_core.pdb"
 )

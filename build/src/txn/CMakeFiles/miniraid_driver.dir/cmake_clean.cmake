@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniraid_driver.dir/driver.cc.o"
+  "CMakeFiles/miniraid_driver.dir/driver.cc.o.d"
+  "libminiraid_driver.a"
+  "libminiraid_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniraid_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -201,49 +201,48 @@ tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/invariants.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/status.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/types.h \
- /root/repo/src/db/database.h /root/repo/src/common/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/replication/fail_locks.h /root/repo/src/common/bitmap.h \
- /root/repo/src/msg/message.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/txn/transaction.h /root/repo/src/replication/placement.h \
- /root/repo/src/replication/session_vector.h \
- /root/repo/src/core/managing_site.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/common/runtime.h /root/repo/src/common/clock.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/cluster_api.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/transport.h \
- /root/repo/src/net/event_loop.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/result.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
+ /root/repo/src/common/types.h /root/repo/src/core/invariants.h \
+ /root/repo/src/db/database.h /root/repo/src/replication/fail_locks.h \
+ /root/repo/src/common/bitmap.h /root/repo/src/msg/message.h \
+ /usr/include/c++/12/variant /root/repo/src/txn/transaction.h \
+ /root/repo/src/replication/placement.h \
+ /root/repo/src/replication/session_vector.h \
+ /root/repo/src/core/managing_site.h /root/repo/src/common/runtime.h \
+ /root/repo/src/net/transport.h /root/repo/src/net/inproc_transport.h \
+ /root/repo/src/net/event_loop.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/thread /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/net/inproc_transport.h /root/repo/src/net/sim_transport.h \
- /root/repo/src/common/rng.h /root/repo/src/sim/sim_runtime.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/tcp_transport.h \
+ /root/repo/src/net/sim_transport.h /root/repo/src/common/rng.h \
+ /root/repo/src/sim/sim_runtime.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/replication/site.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
@@ -251,6 +250,7 @@ tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o: \
  /root/repo/src/replication/lock_table.h \
  /root/repo/src/replication/options.h /root/repo/src/metrics/trace.h \
  /root/repo/src/replication/cost_model.h \
+ /root/repo/src/core/submit_window.h /root/repo/src/net/tcp_transport.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -323,5 +323,4 @@ tests/CMakeFiles/cluster_test.dir/cluster_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/experiments.h \
- /root/repo/src/core/coordinator_policy.h /root/repo/src/txn/workload.h
+ /root/repo/src/txn/workload.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_test.dir/driver_test.cc.o"
+  "CMakeFiles/driver_test.dir/driver_test.cc.o.d"
+  "driver_test"
+  "driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/real_cluster_stress_test.cc" "tests/CMakeFiles/real_cluster_stress_test.dir/real_cluster_stress_test.cc.o" "gcc" "tests/CMakeFiles/real_cluster_stress_test.dir/real_cluster_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/miniraid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/miniraid_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/miniraid_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/miniraid_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/miniraid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/miniraid_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/miniraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/miniraid_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/miniraid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miniraid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_cluster_stress_test.dir/real_cluster_stress_test.cc.o"
+  "CMakeFiles/real_cluster_stress_test.dir/real_cluster_stress_test.cc.o.d"
+  "real_cluster_stress_test"
+  "real_cluster_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_cluster_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for real_cluster_stress_test.
+# This may be replaced when dependencies are built.

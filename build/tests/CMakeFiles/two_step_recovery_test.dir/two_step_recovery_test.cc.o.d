@@ -293,36 +293,35 @@ tests/CMakeFiles/two_step_recovery_test.dir/two_step_recovery_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/cluster.h /root/repo/src/core/invariants.h \
- /root/repo/src/common/status.h /root/repo/src/common/types.h \
- /root/repo/src/db/database.h /root/repo/src/common/result.h \
- /root/repo/src/replication/fail_locks.h /root/repo/src/common/bitmap.h \
- /root/repo/src/msg/message.h /root/repo/src/txn/transaction.h \
- /root/repo/src/replication/placement.h \
- /root/repo/src/replication/session_vector.h \
- /root/repo/src/core/managing_site.h /root/repo/src/common/runtime.h \
- /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/net/transport.h /root/repo/src/net/event_loop.h \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/core/cluster.h /root/repo/src/core/cluster_api.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /root/repo/src/common/result.h /root/repo/src/common/status.h \
+ /root/repo/src/common/types.h /root/repo/src/core/invariants.h \
+ /root/repo/src/db/database.h /root/repo/src/replication/fail_locks.h \
+ /root/repo/src/common/bitmap.h /root/repo/src/msg/message.h \
+ /root/repo/src/txn/transaction.h /root/repo/src/replication/placement.h \
+ /root/repo/src/replication/session_vector.h \
+ /root/repo/src/core/managing_site.h /root/repo/src/common/runtime.h \
+ /root/repo/src/net/transport.h /root/repo/src/net/inproc_transport.h \
+ /root/repo/src/net/event_loop.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/thread /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/net/inproc_transport.h /root/repo/src/net/sim_transport.h \
- /root/repo/src/common/rng.h /root/repo/src/sim/sim_runtime.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/tcp_transport.h \
+ /root/repo/src/net/sim_transport.h /root/repo/src/common/rng.h \
+ /root/repo/src/sim/sim_runtime.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/replication/site.h /root/repo/src/replication/counters.h \
  /root/repo/src/metrics/stats.h /root/repo/src/replication/lock_table.h \
  /root/repo/src/replication/options.h /root/repo/src/metrics/trace.h \
  /root/repo/src/replication/cost_model.h \
+ /root/repo/src/core/submit_window.h /root/repo/src/net/tcp_transport.h \
  /root/repo/src/core/experiments.h \
  /root/repo/src/core/coordinator_policy.h /root/repo/src/txn/workload.h

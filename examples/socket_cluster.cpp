@@ -15,22 +15,22 @@
 using namespace miniraid;
 
 int main(int argc, char** argv) {
-  RealClusterOptions options;
+  ClusterOptions options;
+  options.backend = ClusterBackend::kTcp;
   options.n_sites = 3;
   options.db_size = 20;
-  options.transport = RealClusterOptions::TransportKind::kTcp;
   options.base_port =
       argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 0;
   options.site.ack_timeout = Milliseconds(300);
   options.managing.client_timeout = Seconds(3);
 
-  RealCluster cluster(options);
-  const Status started = cluster.Start();
-  if (!started.ok()) {
+  auto made = MakeCluster(options);
+  if (!made.ok()) {
     std::fprintf(stderr, "failed to start cluster: %s\n",
-                 started.ToString().c_str());
+                 made.status().ToString().c_str());
     return 1;
   }
+  auto& cluster = *made;
   std::printf("3 sites + managing site listening on 127.0.0.1 (TCP)\n");
 
   UniformWorkloadOptions wopts;
@@ -42,50 +42,38 @@ int main(int argc, char** argv) {
   uint64_t committed = 0;
   for (int i = 0; i < 50; ++i) {
     const TxnReplyArgs reply =
-        cluster.RunTxn(workload.Next(), static_cast<SiteId>(i % 3));
+        cluster->RunTxn(workload.Next(), static_cast<SiteId>(i % 3));
     if (reply.outcome == TxnOutcome::kCommitted) ++committed;
   }
   std::printf("50 transactions over TCP: %llu committed\n",
               (unsigned long long)committed);
 
   // Crash site 2 and keep going; then bring it back.
-  cluster.Fail(2);
+  cluster->Fail(2);
   for (int i = 0; i < 20; ++i) {
     const TxnReplyArgs reply =
-        cluster.RunTxn(workload.Next(), static_cast<SiteId>(i % 2));
+        cluster->RunTxn(workload.Next(), static_cast<SiteId>(i % 2));
     if (reply.outcome == TxnOutcome::kCommitted) ++committed;
   }
-  uint32_t stale = 0;
-  cluster.Inspect(0, [&stale](Site& site) {
-    stale = site.fail_locks().CountForSite(2);
-  });
+  const uint32_t stale = cluster->FailLockCountFor(2);
   std::printf("site 2 crashed; 20 more txns; %u of its copies now stale\n",
               stale);
 
-  cluster.Recover(2);
+  cluster->Recover(2);
   bool refreshed = false;
   for (int i = 0; i < 60 && !refreshed; ++i) {
-    (void)cluster.RunTxn(workload.Next(), 2);
-    cluster.Inspect(2, [&refreshed](Site& site) {
-      refreshed = site.OwnFailLockCount() == 0;
-    });
+    (void)cluster->RunTxn(workload.Next(), 2);
+    refreshed = cluster->SnapshotSites()[2].fail_locks.CountForSite(2) == 0;
   }
   std::printf("site 2 recovered over TCP; fully refreshed: %s\n",
               refreshed ? "yes" : "not yet");
 
   // Verify all three databases agree item by item.
-  std::vector<std::vector<ItemState>> snapshots(3);
-  for (SiteId s = 0; s < 3; ++s) {
-    cluster.Inspect(s, [&snapshots, s](Site& site) {
-      for (ItemId item = 0; item < 20; ++item) {
-        snapshots[s].push_back(*site.db().Read(item));
-      }
-    });
-  }
+  const std::vector<SiteSnapshot> snapshots = cluster->SnapshotSites();
   bool agree = true;
   for (ItemId item = 0; item < 20; ++item) {
-    agree &= snapshots[0][item] == snapshots[1][item] &&
-             snapshots[1][item] == snapshots[2][item];
+    agree &= snapshots[0].db[item] == snapshots[1].db[item] &&
+             snapshots[1].db[item] == snapshots[2].db[item];
   }
   std::printf("replica agreement over real sockets: %s\n",
               agree ? "yes" : "NO");

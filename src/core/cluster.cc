@@ -1,32 +1,20 @@
 #include "core/cluster.h"
 
-#include <condition_variable>
-#include <mutex>
+#include <chrono>
+#include <optional>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace miniraid {
-namespace {
-
-SiteOptions ResolveSiteOptions(uint32_t n_sites, uint32_t db_size,
-                               SiteOptions site) {
-  site.n_sites = n_sites;
-  site.db_size = db_size;
-  site.managing_site = n_sites;
-  return site;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // SimCluster.
 // ---------------------------------------------------------------------------
 
 SimCluster::SimCluster(const ClusterOptions& options)
-    : options_(options), sim_(options.sim), checker_(options.invariants) {
-  options_.site =
-      ResolveSiteOptions(options_.n_sites, options_.db_size, options_.site);
+    : Cluster(options), sim_(options.sim) {
   transport_ = std::make_unique<SimTransport>(&sim_, options_.transport);
   for (SiteId id = 0; id < options_.n_sites; ++id) {
     sites_.push_back(std::make_unique<Site>(id, options_.site,
@@ -38,14 +26,23 @@ SimCluster::SimCluster(const ClusterOptions& options)
       managing_id(), transport_.get(), sim_.RuntimeFor(managing_id()),
       options_.managing);
   transport_->Register(managing_id(), managing_.get());
+  window_ =
+      std::make_unique<SubmitWindow>(managing_.get(), options_.max_inflight);
 }
 
 SimCluster::~SimCluster() = default;
 
+void SimCluster::SubmitTxn(const TxnSpec& txn, SiteId coordinator,
+                           ReplyCallback callback) {
+  // Single-threaded: the caller is the simulation's driving thread, which
+  // is the managing execution context by definition.
+  window_->Submit(txn, coordinator, std::move(callback));
+}
+
 TxnReplyArgs SimCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
   std::optional<TxnReplyArgs> result;
-  managing_->Submit(txn, coordinator,
-                    [&result](const TxnReplyArgs& reply) { result = reply; });
+  SubmitTxn(txn, coordinator,
+            [&result](const TxnReplyArgs& reply) { result = reply; });
   sim_.RunUntilIdle();
   MR_CHECK(result.has_value()) << "simulation drained without a reply";
   EnforceInvariants();
@@ -73,27 +70,14 @@ std::vector<SiteId> SimCluster::UpSites() const {
 }
 
 uint32_t SimCluster::FailLockCountFor(SiteId target) const {
+  // Cheaper than the snapshot-based default: the experiment drivers sample
+  // this after every transaction.
   uint32_t count = 0;
   for (SiteId id = 0; id < options_.n_sites; ++id) {
     if (!sites_[id]->is_up()) continue;
     count = std::max(count, sites_[id]->fail_locks().CountForSite(target));
   }
   return count;
-}
-
-Status SimCluster::CheckReplicaAgreement() const {
-  // Replica agreement is the write-coverage invariant; run just that check
-  // through a throwaway (stateless) checker.
-  InvariantChecker::Options options;
-  options.check_fail_lock_shape = false;
-  options.check_fail_lock_session = false;
-  options.check_fail_lock_agreement = false;
-  options.check_session_monotonicity = false;
-  InvariantChecker checker(options);
-  const std::vector<InvariantViolation> violations =
-      checker.Check(SnapshotSites());
-  if (violations.empty()) return Status::Ok();
-  return Status::Internal(violations.front().ToString());
 }
 
 std::vector<SiteSnapshot> SimCluster::SnapshotSites() const {
@@ -103,8 +87,48 @@ std::vector<SiteSnapshot> SimCluster::SnapshotSites() const {
   return snapshots;
 }
 
-std::vector<InvariantViolation> SimCluster::CheckInvariants() {
-  return checker_.Check(SnapshotSites());
+ClusterStats SimCluster::Stats() const {
+  ClusterStats stats;
+  stats.submitted = managing_->submitted();
+  stats.committed = managing_->committed();
+  stats.aborted = managing_->aborted();
+  stats.unreachable = managing_->unreachable();
+  stats.messages_sent = transport_->messages_sent();
+  stats.backlogged = window_->backlogged_total();
+  stats.inflight = window_->inflight();
+  stats.max_inflight_seen = window_->max_inflight_seen();
+  return stats;
+}
+
+void SimCluster::Post(std::function<void()> fn) {
+  sim_.ScheduleSiteEvent(sim_.CurrentTime(), managing_id(), std::move(fn));
+}
+
+void SimCluster::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  sim_.RuntimeFor(managing_id())->ScheduleAfter(delay, std::move(fn));
+}
+
+bool SimCluster::Drive(const std::function<bool()>& done,
+                       Duration /*timeout*/) {
+  // Virtual time is free: run events until the predicate holds or the
+  // simulation has nothing left to do.
+  while (!done() && sim_.RunOne()) {
+  }
+  return done();
+}
+
+bool SimCluster::WaitUntil(SiteId site,
+                           const std::function<bool(const Site&)>& pred,
+                           Duration /*timeout*/) {
+  sim_.RunUntilIdle();
+  return pred(*sites_.at(site));
+}
+
+void SimCluster::AwaitTxn(internal::TxnWaitState& state) {
+  while (!state.IsDone() && sim_.RunOne()) {
+  }
+  MR_CHECK(state.IsDone()) << "simulation drained without a reply for txn "
+                           << state.id;
 }
 
 void SimCluster::EnforceInvariants() {
@@ -122,10 +146,10 @@ void SimCluster::EnforceInvariants() {
 // RealCluster.
 // ---------------------------------------------------------------------------
 
-RealCluster::RealCluster(const RealClusterOptions& options)
-    : options_(options) {
-  options_.site =
-      ResolveSiteOptions(options_.n_sites, options_.db_size, options_.site);
+RealCluster::RealCluster(const ClusterOptions& options) : Cluster(options) {
+  MR_CHECK(options.backend != ClusterBackend::kSim)
+      << "RealCluster needs an inproc or tcp backend "
+         "(use SimCluster / MakeCluster for the simulator)";
 }
 
 RealCluster::~RealCluster() { Stop(); }
@@ -140,8 +164,8 @@ Status RealCluster::Start() {
         std::make_unique<ThreadSiteRuntime>(loops_.back().get(), &clock_));
   }
 
-  if (options_.transport == RealClusterOptions::TransportKind::kInProc) {
-    inproc_ = std::make_unique<InProcTransport>();
+  if (options_.backend == ClusterBackend::kInProc) {
+    inproc_ = std::make_unique<InProcTransport>(options_.inproc);
     for (SiteId id = 0; id < options_.n_sites; ++id) {
       sites_.push_back(std::make_unique<Site>(
           id, options_.site, inproc_.get(), runtimes_[id].get()));
@@ -152,6 +176,8 @@ Status RealCluster::Start() {
         options_.managing);
     inproc_->Register(managing_id(), loops_[managing_id()].get(),
                       managing_.get());
+    window_ = std::make_unique<SubmitWindow>(managing_.get(),
+                                             options_.max_inflight);
     return Status::Ok();
   }
 
@@ -177,6 +203,8 @@ Status RealCluster::Start() {
       managing_id(), tcp_[managing_id()].get(),
       runtimes_[managing_id()].get(), options_.managing);
   tcp_[managing_id()]->set_handler(managing_.get());
+  window_ =
+      std::make_unique<SubmitWindow>(managing_.get(), options_.max_inflight);
   for (auto& transport : tcp_) {
     MINIRAID_RETURN_IF_ERROR(transport->Start());
   }
@@ -194,45 +222,96 @@ void RealCluster::Stop() {
   }
 }
 
-TxnReplyArgs RealCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::optional<TxnReplyArgs> result;
-  loops_[managing_id()]->Post([&, txn, coordinator] {
-    managing_->Submit(txn, coordinator, [&](const TxnReplyArgs& reply) {
-      // Notify under the lock: the waiter's stack frame (mu, cv, result)
-      // may be destroyed the moment `result` is observable.
-      std::lock_guard<std::mutex> lock(mu);
-      result = reply;
-      cv.notify_one();
-    });
-  });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return result.has_value(); });
-  return *result;
+void RealCluster::SubmitTxn(const TxnSpec& txn, SiteId coordinator,
+                            ReplyCallback callback) {
+  // All window bookkeeping happens on the managing loop; submissions from
+  // any thread serialize through its queue in arrival order.
+  loops_[managing_id()]->Post(
+      [this, txn, coordinator, callback = std::move(callback)]() mutable {
+        window_->Submit(txn, coordinator, std::move(callback));
+      });
 }
 
 void RealCluster::Fail(SiteId site) {
   loops_[managing_id()]->PostAndWait([this, site] {
     managing_->FailSite(site);
   });
-  WaitUntil(site, [](Site& s) { return !s.is_up(); });
+  WaitUntil(site, [](const Site& s) { return !s.is_up(); });
 }
 
 void RealCluster::Recover(SiteId site) {
   loops_[managing_id()]->PostAndWait([this, site] {
     managing_->RecoverSite(site);
   });
-  WaitUntil(site, [](Site& s) { return s.is_up(); });
+  WaitUntil(site, [](const Site& s) { return s.is_up(); });
 }
 
-void RealCluster::Inspect(SiteId site, const std::function<void(Site&)>& fn) {
+std::vector<SiteId> RealCluster::UpSites() const {
+  std::vector<SiteId> up;
+  for (SiteId id = 0; id < options_.n_sites; ++id) {
+    bool is_up = false;
+    Inspect(id, [&is_up](Site& s) { is_up = s.is_up(); });
+    if (is_up) up.push_back(id);
+  }
+  return up;
+}
+
+std::vector<SiteSnapshot> RealCluster::SnapshotSites() const {
+  std::vector<SiteSnapshot> snapshots;
+  snapshots.reserve(options_.n_sites);
+  for (SiteId id = 0; id < options_.n_sites; ++id) {
+    Inspect(id, [&snapshots](Site& s) { snapshots.push_back(SnapshotOf(s)); });
+  }
+  return snapshots;
+}
+
+ClusterStats RealCluster::Stats() const {
+  ClusterStats stats;
+  loops_[managing_id()]->PostAndWait([this, &stats] {
+    stats.submitted = managing_->submitted();
+    stats.committed = managing_->committed();
+    stats.aborted = managing_->aborted();
+    stats.unreachable = managing_->unreachable();
+    stats.backlogged = window_->backlogged_total();
+    stats.inflight = window_->inflight();
+    stats.max_inflight_seen = window_->max_inflight_seen();
+  });
+  if (inproc_) stats.messages_sent = inproc_->messages_sent();
+  for (const auto& transport : tcp_) {
+    stats.messages_sent += transport->messages_sent();
+  }
+  return stats;
+}
+
+void RealCluster::Post(std::function<void()> fn) {
+  loops_[managing_id()]->Post(std::move(fn));
+}
+
+void RealCluster::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  loops_[managing_id()]->ScheduleAfter(delay, std::move(fn));
+}
+
+bool RealCluster::Drive(const std::function<bool()>& done, Duration timeout) {
+  const TimePoint deadline = clock_.Now() + timeout;
+  while (true) {
+    bool ok = false;
+    loops_[managing_id()]->PostAndWait([&done, &ok] { ok = done(); });
+    if (ok) return true;
+    if (clock_.Now() >= deadline) return false;
+    // Driver-side poll loop on the caller's thread, never a loop thread.
+    // miniraid-lint: allow(blocking-call)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void RealCluster::Inspect(SiteId site,
+                          const std::function<void(Site&)>& fn) const {
   Site* target = sites_.at(site).get();
   loops_[site]->PostAndWait([target, &fn] { fn(*target); });
 }
 
 bool RealCluster::WaitUntil(SiteId site,
-                            const std::function<bool(Site&)>& pred,
+                            const std::function<bool(const Site&)>& pred,
                             Duration timeout) {
   const TimePoint deadline = clock_.Now() + timeout;
   while (clock_.Now() < deadline) {
@@ -244,6 +323,24 @@ bool RealCluster::WaitUntil(SiteId site,
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return false;
+}
+
+void RealCluster::AwaitTxn(internal::TxnWaitState& state) {
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&state] { return state.done; });
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Cluster>> MakeCluster(const ClusterOptions& options) {
+  if (options.backend == ClusterBackend::kSim) {
+    return std::unique_ptr<Cluster>(std::make_unique<SimCluster>(options));
+  }
+  auto real = std::make_unique<RealCluster>(options);
+  MINIRAID_RETURN_IF_ERROR(real->Start());
+  return std::unique_ptr<Cluster>(std::move(real));
 }
 
 }  // namespace miniraid

@@ -5,8 +5,10 @@
 #include <memory>
 #include <vector>
 
+#include "core/cluster_api.h"
 #include "core/invariants.h"
 #include "core/managing_site.h"
+#include "core/submit_window.h"
 #include "net/event_loop.h"
 #include "net/inproc_transport.h"
 #include "net/sim_transport.h"
@@ -16,140 +18,114 @@
 
 namespace miniraid {
 
-/// Everything needed to stand up a mini-RAID cluster. `site` carries the
-/// protocol configuration; its n_sites/db_size/managing_site fields are
-/// overwritten from the cluster-level values.
-struct ClusterOptions {
-  uint32_t n_sites = 2;
-  uint32_t db_size = 50;
-  SiteOptions site;
-  SimOptions sim;
-  SimTransportOptions transport;
-  ManagingSite::Options managing;
-
-  /// When true, the cluster runs the InvariantChecker over every site after
-  /// each quiescent step (RunTxn / Fail / Recover) and aborts on the first
-  /// violation — the simulator-side analogue of an always-on assertion.
-  bool check_invariants = false;
-  InvariantChecker::Options invariants;
-};
-
 /// A cluster under the deterministic simulator: N database sites plus the
 /// managing site, wired through SimTransport. This is the substrate of all
 /// experiment reproductions — fast, virtual-time, bit-for-bit repeatable.
-class SimCluster {
+///
+/// Implements the unified Cluster interface (see core/cluster_api.h); the
+/// members below it are simulator extras (direct site access, virtual-time
+/// control) that interface-level code must not depend on.
+class SimCluster : public Cluster {
  public:
   explicit SimCluster(const ClusterOptions& options);
-  ~SimCluster();
+  ~SimCluster() override;
 
-  SimCluster(const SimCluster&) = delete;
-  SimCluster& operator=(const SimCluster&) = delete;
+  // -- Cluster interface ----------------------------------------------------
+  using Cluster::SubmitTxn;
+  void SubmitTxn(const TxnSpec& txn, SiteId coordinator,
+                 ReplyCallback callback) override;
 
+  /// Submits `txn` to `coordinator` and runs the simulation to quiescence;
+  /// returns the reply (synthesized kCoordinatorUnreachable on timeout).
+  TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator) override;
+
+  /// Fails / recovers a site through the managing site's control channel
+  /// and runs to quiescence.
+  void Fail(SiteId site) override;
+  void Recover(SiteId site) override;
+
+  std::vector<SiteId> UpSites() const override;
+  std::vector<SiteSnapshot> SnapshotSites() const override;
+  uint32_t FailLockCountFor(SiteId target) const override;
+  ClusterStats Stats() const override;
+
+  TimePoint Now() const override { return sim_.now(); }
+  void Post(std::function<void()> fn) override;
+  void ScheduleAfter(Duration delay, std::function<void()> fn) override;
+  bool Drive(const std::function<bool()>& done,
+             Duration timeout = Seconds(60)) override;
+  bool WaitUntil(SiteId site, const std::function<bool(const Site&)>& pred,
+                 Duration timeout = Seconds(10)) override;
+
+  // -- simulator extras -----------------------------------------------------
   SimRuntime& runtime() { return sim_; }
   SimTransport& transport() { return *transport_; }
   uint64_t messages_sent() const { return transport_->messages_sent(); }
   ManagingSite& managing() { return *managing_; }
   Site& site(SiteId id) { return *sites_.at(id); }
   const Site& site(SiteId id) const { return *sites_.at(id); }
-  uint32_t n_sites() const { return options_.n_sites; }
-  SiteId managing_id() const { return options_.n_sites; }
-
-  /// Submits `txn` to `coordinator` and runs the simulation to quiescence;
-  /// returns the reply (synthesized kCoordinatorUnreachable on timeout).
-  TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator);
-
-  /// Fails / recovers a site through the managing site's control channel
-  /// and runs to quiescence.
-  void Fail(SiteId site);
-  void Recover(SiteId site);
 
   void RunUntilIdle() { sim_.RunUntilIdle(); }
 
-  /// Sites whose local status is up.
-  std::vector<SiteId> UpSites() const;
-
-  /// Inconsistency measure for the figures: how many of `target`'s copies
-  /// are fail-locked, per the operational sites' (authoritative) tables —
-  /// the max across them (they agree at quiescence).
-  uint32_t FailLockCountFor(SiteId target) const;
-
-  /// Verifies invariant 1 (replica agreement): for every item, every copy
-  /// whose fail-lock bit is clear in the authoritative table matches the
-  /// freshest copy. Call at quiescence only.
-  [[nodiscard]] Status CheckReplicaAgreement() const;
-
-  /// One snapshot per database site, in id order. Quiescence only.
-  std::vector<SiteSnapshot> SnapshotSites() const;
-
-  /// Runs the full invariant suite over the current quiescent state using
-  /// the cluster's stateful checker. Empty result = every invariant holds.
-  [[nodiscard]] std::vector<InvariantViolation> CheckInvariants();
+ protected:
+  void AwaitTxn(internal::TxnWaitState& state) override;
 
  private:
   /// MR_CHECK-fails on any invariant violation (check_invariants mode).
   void EnforceInvariants();
 
-  ClusterOptions options_;
   SimRuntime sim_;
   std::unique_ptr<SimTransport> transport_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<ManagingSite> managing_;
-  InvariantChecker checker_;
+  std::unique_ptr<SubmitWindow> window_;
 };
 
 /// A cluster on real threads with real message passing: one EventLoop per
 /// site, in-process queues or TCP sockets on localhost. Used to validate
 /// that the protocol behaves identically outside the simulator and to
 /// measure real relative overheads.
-struct RealClusterOptions {
-  uint32_t n_sites = 2;
-  uint32_t db_size = 50;
-  SiteOptions site;
-  ManagingSite::Options managing;
-
-  enum class TransportKind { kInProc, kTcp };
-  TransportKind transport = TransportKind::kInProc;
-
-  /// TCP only: first port; site s listens on base_port + s. 0 picks a
-  /// pid-derived base to keep concurrent test runs apart.
-  uint16_t base_port = 0;
-};
-
-class RealCluster {
+class RealCluster : public Cluster {
  public:
-  explicit RealCluster(const RealClusterOptions& options);
-  ~RealCluster();
-
-  RealCluster(const RealCluster&) = delete;
-  RealCluster& operator=(const RealCluster&) = delete;
+  explicit RealCluster(const ClusterOptions& options);
+  ~RealCluster() override;
 
   /// Binds sockets / finishes wiring. Must be called before traffic.
+  /// (MakeCluster does this for you.)
   Status Start();
 
   /// Stops all loops and transports. Idempotent; the destructor calls it.
   void Stop();
 
-  /// Blocking: submits to `coordinator`, waits for the reply or client
-  /// timeout.
-  TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator);
+  // -- Cluster interface ----------------------------------------------------
+  using Cluster::SubmitTxn;
+  void SubmitTxn(const TxnSpec& txn, SiteId coordinator,
+                 ReplyCallback callback) override;
 
-  void Fail(SiteId site);
-  void Recover(SiteId site);
+  void Fail(SiteId site) override;
+  void Recover(SiteId site) override;
 
+  std::vector<SiteId> UpSites() const override;
+  std::vector<SiteSnapshot> SnapshotSites() const override;
+  ClusterStats Stats() const override;
+
+  TimePoint Now() const override { return clock_.Now(); }
+  void Post(std::function<void()> fn) override;
+  void ScheduleAfter(Duration delay, std::function<void()> fn) override;
+  bool Drive(const std::function<bool()>& done,
+             Duration timeout = Seconds(60)) override;
+  bool WaitUntil(SiteId site, const std::function<bool(const Site&)>& pred,
+                 Duration timeout = Seconds(10)) override;
+
+  // -- real-backend extras --------------------------------------------------
   /// Runs `fn(site)` on the site's loop thread and waits (all Site access
   /// must happen there).
-  void Inspect(SiteId site, const std::function<void(Site&)>& fn);
+  void Inspect(SiteId site, const std::function<void(Site&)>& fn) const;
 
-  /// Polls until `pred(site)` is true (checked on the site's loop) or the
-  /// deadline passes. Returns whether the predicate held.
-  bool WaitUntil(SiteId site, const std::function<bool(Site&)>& pred,
-                 Duration timeout = Seconds(10));
-
-  uint32_t n_sites() const { return options_.n_sites; }
-  SiteId managing_id() const { return options_.n_sites; }
+ protected:
+  void AwaitTxn(internal::TxnWaitState& state) override;
 
  private:
-  RealClusterOptions options_;
   SteadyClock clock_;
   bool started_ = false;
   bool stopped_ = false;
@@ -160,7 +136,13 @@ class RealCluster {
   std::vector<std::unique_ptr<TcpTransport>> tcp_;  // per site + managing
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<ManagingSite> managing_;
+  std::unique_ptr<SubmitWindow> window_;  // managing-loop context only
 };
+
+/// Deprecated alias kept for one PR: the options structs are merged — use
+/// ClusterOptions with `backend = ClusterBackend::kInProc / kTcp`.
+using RealClusterOptions [[deprecated(
+    "use ClusterOptions with a ClusterBackend")]] = ClusterOptions;
 
 }  // namespace miniraid
 

@@ -1,0 +1,266 @@
+#ifndef MINIRAID_CORE_CLUSTER_API_H_
+#define MINIRAID_CORE_CLUSTER_API_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/invariants.h"
+#include "core/managing_site.h"
+#include "net/inproc_transport.h"
+#include "net/sim_transport.h"
+#include "replication/site.h"
+#include "sim/sim_runtime.h"
+#include "txn/transaction.h"
+
+namespace miniraid {
+
+class Cluster;
+
+/// Which substrate a cluster runs on. `kSim` is the deterministic
+/// discrete-event simulator (virtual time, bit-for-bit repeatable); the
+/// other two run one event-loop thread per site with real message passing —
+/// in-process queues (`kInProc`) or TCP sockets on localhost (`kTcp`).
+enum class ClusterBackend : uint8_t {
+  kSim = 0,
+  kInProc = 1,
+  kTcp = 2,
+};
+
+std::string_view ClusterBackendName(ClusterBackend backend);
+
+/// Everything needed to stand up a mini-RAID cluster on any backend. The
+/// former `ClusterOptions` (sim) and `RealClusterOptions` surfaces are
+/// merged here; fields that apply to one backend only say so. `site`
+/// carries the protocol configuration; its n_sites/db_size/managing_site
+/// fields are overwritten from the cluster-level values.
+struct ClusterOptions {
+  ClusterBackend backend = ClusterBackend::kSim;
+
+  uint32_t n_sites = 2;
+  uint32_t db_size = 50;
+  SiteOptions site;
+  ManagingSite::Options managing;
+
+  /// Submission window: at most this many transactions are in flight at
+  /// once; further SubmitTxn calls queue in arrival order until a slot
+  /// frees (backpressure). 0 = unbounded. The client timeout of a queued
+  /// transaction starts when it is dispatched, not when it is enqueued.
+  uint32_t max_inflight = 0;
+
+  // -- sim backend only ----------------------------------------------------
+  SimOptions sim;
+  SimTransportOptions transport;
+
+  // -- inproc backend only --------------------------------------------------
+  InProcTransportOptions inproc;
+
+  // -- tcp backend only ----------------------------------------------------
+  /// First port; site s listens on base_port + s. 0 picks a base derived
+  /// from the pid and a per-process counter, keeping concurrent test runs
+  /// and multiple clusters in one process apart.
+  uint16_t base_port = 0;
+
+  /// When true, the cluster runs the InvariantChecker over every site after
+  /// each quiescent step (RunTxn / Fail / Recover) and aborts on the first
+  /// violation. Sim backend only: the real backends have no global
+  /// quiescent points during traffic (call CheckInvariants() explicitly at
+  /// known-quiet moments instead).
+  bool check_invariants = false;
+  InvariantChecker::Options invariants;
+
+  /// Deprecated spelling kept for one PR: prefer `ClusterBackend`.
+  using TransportKind = ClusterBackend;
+};
+
+/// Counters over everything submitted through a Cluster since start.
+struct ClusterStats {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t unreachable = 0;
+  /// Messages accepted by the transport (all sites + managing).
+  uint64_t messages_sent = 0;
+  /// Submissions that had to wait for a window slot (max_inflight).
+  uint64_t backlogged = 0;
+  /// Transactions in flight right now / high-water mark.
+  uint32_t inflight = 0;
+  uint32_t max_inflight_seen = 0;
+};
+
+namespace internal {
+
+/// Heap-allocated completion state shared by a TxnHandle and the submit
+/// path; never lives on a waiter's stack, so a reply can never race a
+/// destroyed frame (the failure mode of per-txn stack condvars).
+struct TxnWaitState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  TxnReplyArgs reply;
+  TxnId id = 0;
+
+  bool IsDone() {
+    std::lock_guard<std::mutex> lock(mu);
+    return done;
+  }
+};
+
+}  // namespace internal
+
+/// Future-like handle to one asynchronously submitted transaction.
+/// `Get()` drives the owning cluster (simulator) or blocks (real backends)
+/// until the reply arrives; the managing site guarantees exactly one reply
+/// per submission (synthesizing kCoordinatorUnreachable on timeout), so
+/// `Get()` always terminates. The handle must not outlive its cluster.
+class TxnHandle {
+ public:
+  TxnHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  TxnId id() const { return state_ ? state_->id : 0; }
+
+  /// True once the reply has arrived. Never blocks.
+  bool done() const { return state_ && state_->IsDone(); }
+
+  /// Waits for the reply (running the simulation to completion under the
+  /// sim backend). The reference stays valid as long as the handle lives.
+  const TxnReplyArgs& Get();
+
+ private:
+  friend class Cluster;
+  TxnHandle(Cluster* cluster, std::shared_ptr<internal::TxnWaitState> state)
+      : cluster_(cluster), state_(std::move(state)) {}
+
+  Cluster* cluster_ = nullptr;
+  std::shared_ptr<internal::TxnWaitState> state_;
+};
+
+/// The unified cluster surface: N database sites plus the managing site,
+/// on any backend (see ClusterBackend). Everything experiments, tests and
+/// benches need is expressed here once, so drivers are written once and
+/// run against the simulator and the real runtimes unchanged.
+///
+/// Submission is asynchronous and pipelined: SubmitTxn returns immediately
+/// (callback or TxnHandle form) and up to `options.max_inflight`
+/// transactions proceed concurrently; the blocking RunTxn is a thin wrapper
+/// over the same path. Completion callbacks run in the managing site's
+/// execution context (the simulator's thread, or the managing event-loop
+/// thread) — state touched only from callbacks and Post/ScheduleAfter
+/// closures therefore needs no locking.
+class Cluster {
+ public:
+  using ReplyCallback = ManagingSite::ReplyCallback;
+
+  explicit Cluster(const ClusterOptions& options);
+  virtual ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // -- transaction submission ---------------------------------------------
+
+  /// Submits `txn` to `coordinator`; `callback` is invoked exactly once
+  /// with the reply, in the managing execution context. Subject to the
+  /// submission window (see ClusterOptions::max_inflight).
+  virtual void SubmitTxn(const TxnSpec& txn, SiteId coordinator,
+                         ReplyCallback callback) = 0;
+
+  /// Future form of the above.
+  TxnHandle SubmitTxn(const TxnSpec& txn, SiteId coordinator);
+
+  /// Blocking wrapper: submits and waits for the reply. Under the sim
+  /// backend this also runs the simulation to quiescence and (with
+  /// check_invariants) enforces the protocol invariants, preserving the
+  /// paper experiments' serial semantics.
+  virtual TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator);
+
+  // -- failure control ------------------------------------------------------
+
+  /// Fails / recovers a site through the managing site's control channel.
+  /// Blocking: returns once the site observed the transition (and, under
+  /// sim, the cluster is quiescent).
+  virtual void Fail(SiteId site) = 0;
+  virtual void Recover(SiteId site) = 0;
+
+  // -- inspection -----------------------------------------------------------
+
+  /// Sites whose local status is up.
+  virtual std::vector<SiteId> UpSites() const = 0;
+
+  /// One snapshot per database site, in id order. Snapshots are
+  /// individually consistent on every backend; cross-site guarantees (the
+  /// cluster-wide invariants) hold at quiescence only.
+  virtual std::vector<SiteSnapshot> SnapshotSites() const = 0;
+
+  /// Inconsistency measure for the figures: how many of `target`'s copies
+  /// are fail-locked, per the operational sites' (authoritative) tables —
+  /// the max across them (they agree at quiescence).
+  virtual uint32_t FailLockCountFor(SiteId target) const;
+
+  /// Verifies invariant 1 (replica agreement): for every item, every copy
+  /// whose fail-lock bit is clear in the authoritative table matches the
+  /// freshest copy. Call at quiescence only.
+  [[nodiscard]] Status CheckReplicaAgreement() const;
+
+  /// Runs the full invariant suite over the current state using the
+  /// cluster's stateful checker. Empty result = every invariant holds.
+  /// Call at quiescence only.
+  [[nodiscard]] std::vector<InvariantViolation> CheckInvariants();
+
+  /// Aggregate submission / message counters.
+  virtual ClusterStats Stats() const = 0;
+
+  // -- execution services (for drivers) -------------------------------------
+
+  /// Current time: virtual under sim, steady-clock on the real backends.
+  virtual TimePoint Now() const = 0;
+
+  /// Runs `fn` in the managing execution context as soon as possible /
+  /// after `delay`. Safe from any thread.
+  virtual void Post(std::function<void()> fn) = 0;
+  virtual void ScheduleAfter(Duration delay, std::function<void()> fn) = 0;
+
+  /// Drives execution until `done()` (evaluated in the managing execution
+  /// context) returns true. Under sim this runs events (and ignores the
+  /// timeout — virtual time is free); on the real backends it polls until
+  /// the real-time deadline. Returns the final value of `done()`.
+  virtual bool Drive(const std::function<bool()>& done,
+                     Duration timeout = Seconds(60)) = 0;
+
+  /// Waits until `pred(site)` holds, evaluated in the site's execution
+  /// context. Under sim this first runs to quiescence; on the real
+  /// backends it polls until the deadline. Returns whether the predicate
+  /// held.
+  virtual bool WaitUntil(SiteId site,
+                         const std::function<bool(const Site&)>& pred,
+                         Duration timeout = Seconds(10)) = 0;
+
+  uint32_t n_sites() const { return options_.n_sites; }
+  SiteId managing_id() const { return options_.n_sites; }
+  ClusterBackend backend() const { return options_.backend; }
+  const ClusterOptions& options() const { return options_; }
+
+ protected:
+  friend class TxnHandle;
+
+  /// Blocks / drives until `state.done`. Implemented per backend.
+  virtual void AwaitTxn(internal::TxnWaitState& state) = 0;
+
+  ClusterOptions options_;
+  InvariantChecker checker_;
+};
+
+/// Builds a cluster for `options.backend` and starts it (binding sockets
+/// under kTcp). The one entry point benches and tests should use.
+Result<std::unique_ptr<Cluster>> MakeCluster(const ClusterOptions& options);
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_CORE_CLUSTER_API_H_

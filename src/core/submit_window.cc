@@ -1,0 +1,38 @@
+#include "core/submit_window.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace miniraid {
+
+void SubmitWindow::Submit(const TxnSpec& txn, SiteId coordinator,
+                          ManagingSite::ReplyCallback callback) {
+  Pending pending{txn, coordinator, std::move(callback)};
+  if (window_ != 0 && inflight_ >= window_) {
+    ++backlogged_total_;
+    backlog_.push_back(std::move(pending));
+    return;
+  }
+  Dispatch(std::move(pending));
+}
+
+void SubmitWindow::Dispatch(Pending pending) {
+  ++inflight_;
+  max_inflight_seen_ = std::max(max_inflight_seen_, inflight_);
+  ManagingSite::ReplyCallback callback = std::move(pending.callback);
+  managing_->Submit(
+      pending.txn, pending.coordinator,
+      [this, callback = std::move(callback)](const TxnReplyArgs& reply) {
+        --inflight_;
+        // Refill the slot before running user code so the pipe never goes
+        // idle while a queued transaction is waiting.
+        if (!backlog_.empty() && (window_ == 0 || inflight_ < window_)) {
+          Pending next = std::move(backlog_.front());
+          backlog_.pop_front();
+          Dispatch(std::move(next));
+        }
+        callback(reply);
+      });
+}
+
+}  // namespace miniraid

@@ -1,0 +1,61 @@
+#ifndef MINIRAID_CORE_SUBMIT_WINDOW_H_
+#define MINIRAID_CORE_SUBMIT_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "core/managing_site.h"
+#include "txn/transaction.h"
+
+namespace miniraid {
+
+/// The pipelined-submission window both cluster backends share: at most
+/// `max_inflight` transactions outstanding at the managing site, further
+/// submissions queued in arrival order (backpressure) and dispatched as
+/// replies free slots.
+///
+/// Single-context: every method (and the completion callbacks it wraps)
+/// must run in the managing site's execution context, so no locking is
+/// needed — the same contract ManagingSite itself has.
+class SubmitWindow {
+ public:
+  /// `managing` must outlive this window. `max_inflight` 0 = unbounded.
+  SubmitWindow(ManagingSite* managing, uint32_t max_inflight)
+      : managing_(managing), window_(max_inflight) {}
+
+  SubmitWindow(const SubmitWindow&) = delete;
+  SubmitWindow& operator=(const SubmitWindow&) = delete;
+
+  /// Dispatches immediately if a slot is free, else queues. `callback` is
+  /// invoked exactly once with the reply; the next queued transaction (if
+  /// any) is dispatched before the callback runs, keeping the pipe full.
+  void Submit(const TxnSpec& txn, SiteId coordinator,
+              ManagingSite::ReplyCallback callback);
+
+  uint32_t inflight() const { return inflight_; }
+  size_t backlog_size() const { return backlog_.size(); }
+  /// Total submissions that had to wait for a slot.
+  uint64_t backlogged_total() const { return backlogged_total_; }
+  uint32_t max_inflight_seen() const { return max_inflight_seen_; }
+
+ private:
+  struct Pending {
+    TxnSpec txn;
+    SiteId coordinator;
+    ManagingSite::ReplyCallback callback;
+  };
+
+  void Dispatch(Pending pending);
+
+  ManagingSite* const managing_;
+  const uint32_t window_;
+
+  std::deque<Pending> backlog_;
+  uint32_t inflight_ = 0;
+  uint32_t max_inflight_seen_ = 0;
+  uint64_t backlogged_total_ = 0;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_CORE_SUBMIT_WINDOW_H_

@@ -20,17 +20,24 @@ Status InProcTransport::Send(const Message& msg) {
         StrFormat("no endpoint registered for site %u", msg.to));
   }
   const Endpoint endpoint = it->second;
+  std::function<void()> deliver;
   if (options_.codec_roundtrip) {
     std::vector<uint8_t> wire = EncodeMessage(msg);
-    endpoint.loop->Post([endpoint, wire = std::move(wire)] {
+    deliver = [endpoint, wire = std::move(wire)] {
       Result<Message> decoded = DecodeMessage(wire);
       MR_CHECK(decoded.ok()) << "in-process codec round-trip failed: "
                              << decoded.status().ToString();
       endpoint.handler->OnMessage(*decoded);
-    });
+    };
   } else {
-    endpoint.loop->Post([endpoint, msg] { endpoint.handler->OnMessage(msg); });
+    deliver = [endpoint, msg] { endpoint.handler->OnMessage(msg); };
   }
+  if (options_.message_latency > 0) {
+    endpoint.loop->ScheduleAfter(options_.message_latency, std::move(deliver));
+  } else {
+    endpoint.loop->Post(std::move(deliver));
+  }
+  messages_sent_.fetch_add(1);
   return Status::Ok();
 }
 

@@ -229,7 +229,14 @@ Status TcpTransport::Send(const Message& msg) {
 }
 
 uint16_t PickEphemeralBasePort() {
-  return static_cast<uint16_t>(20000 + (::getpid() * 37) % 20000);
+  // The pid keeps concurrently running test binaries apart; the counter
+  // keeps multiple clusters within one process apart (each cluster uses a
+  // contiguous run of ports, so stride by more than any plausible cluster
+  // size).
+  static std::atomic<uint32_t> next_cluster{0};
+  const uint32_t slot = next_cluster.fetch_add(1);
+  return static_cast<uint16_t>(
+      20000 + (uint32_t(::getpid()) * 37 + slot * 128) % 20000);
 }
 
 }  // namespace miniraid

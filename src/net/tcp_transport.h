@@ -82,7 +82,9 @@ class TcpTransport : public Transport {
 };
 
 /// Returns a base port unlikely to collide between concurrently running
-/// test binaries (derived from the process id).
+/// test binaries (derived from the process id) or between multiple TCP
+/// clusters in one process (an atomic per-process counter advances the
+/// range on every call).
 uint16_t PickEphemeralBasePort();
 
 }  // namespace miniraid

@@ -1,19 +1,20 @@
+// Protocol integration tests written once against the unified Cluster
+// interface and run on both the deterministic simulator and the in-process
+// real runtime (TCP is exercised separately in real_cluster_test.cc).
+// Everything is asserted through MakeCluster + SnapshotSites/WaitUntil, so
+// the suite is a living check that the abstract surface is sufficient.
+
 #include "core/cluster.h"
 
 #include <gtest/gtest.h>
 
-#include "core/experiments.h"
+#include <memory>
+
 #include "txn/transaction.h"
+#include "txn/workload.h"
 
 namespace miniraid {
 namespace {
-
-ClusterOptions SmallCluster(uint32_t n_sites = 2, uint32_t db_size = 8) {
-  ClusterOptions options;
-  options.n_sites = n_sites;
-  options.db_size = db_size;
-  return options;
-}
 
 TxnSpec MakeTxn(TxnId id, std::vector<Operation> ops) {
   TxnSpec txn;
@@ -22,141 +23,247 @@ TxnSpec MakeTxn(TxnId id, std::vector<Operation> ops) {
   return txn;
 }
 
-TEST(SimClusterTest, CommitReplicatesWrites) {
-  SimCluster cluster(SmallCluster());
+class ClusterApiTest : public ::testing::TestWithParam<ClusterBackend> {
+ protected:
+  std::unique_ptr<Cluster> Make(uint32_t n_sites = 2, uint32_t db_size = 8) {
+    ClusterOptions options;
+    options.backend = GetParam();
+    options.n_sites = n_sites;
+    options.db_size = db_size;
+    // Fast failure detection / client timeout keep the real backend quick;
+    // virtual time makes the values irrelevant under sim.
+    options.site.ack_timeout = Milliseconds(250);
+    options.managing.client_timeout = Milliseconds(750);
+    // The simulator has quiescent points after every RunTxn — enforce the
+    // full invariant suite there.
+    options.check_invariants = GetParam() == ClusterBackend::kSim;
+    auto cluster = MakeCluster(options);
+    EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+    return std::move(*cluster);
+  }
+
+  static ItemState ReadItem(Cluster& cluster, SiteId site, ItemId item) {
+    const std::vector<SiteSnapshot> snaps = cluster.SnapshotSites();
+    EXPECT_TRUE(snaps[site].db[item].has_value());
+    return snaps[site].db[item].value_or(ItemState{});
+  }
+};
+
+TEST_P(ClusterApiTest, CommitReplicatesWrites) {
+  auto cluster = Make();
   const TxnSpec txn =
       MakeTxn(1, {Operation::Write(3, 42), Operation::Read(3)});
-  const TxnReplyArgs reply = cluster.RunTxn(txn, /*coordinator=*/0);
+  const TxnReplyArgs reply = cluster->RunTxn(txn, /*coordinator=*/0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   for (SiteId s = 0; s < 2; ++s) {
-    const ItemState state = *cluster.site(s).db().Read(3);
+    const ItemState state = ReadItem(*cluster, s, 3);
     EXPECT_EQ(state.value, 42) << "site " << s;
     EXPECT_EQ(state.version, 1u) << "site " << s;
   }
-  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+  EXPECT_TRUE(cluster->CheckReplicaAgreement().ok());
 }
 
-TEST(SimClusterTest, ReadsObserveLatestCommit) {
-  SimCluster cluster(SmallCluster());
-  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
-  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(0, 20)}), 1);
+TEST_P(ClusterApiTest, ReadsObserveLatestCommit) {
+  auto cluster = Make();
+  (void)cluster->RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
+  (void)cluster->RunTxn(MakeTxn(2, {Operation::Write(0, 20)}), 1);
   const TxnReplyArgs reply =
-      cluster.RunTxn(MakeTxn(3, {Operation::Read(0)}), 0);
+      cluster->RunTxn(MakeTxn(3, {Operation::Read(0)}), 0);
   ASSERT_EQ(reply.reads.size(), 1u);
   EXPECT_EQ(reply.reads[0].value, 20);
   EXPECT_EQ(reply.reads[0].version, 2u);
 }
 
-TEST(SimClusterTest, WritesWhileSiteDownSetFailLocks) {
-  SimCluster cluster(SmallCluster());
-  cluster.Fail(1);
+TEST_P(ClusterApiTest, SubmitTxnHandleResolvesToReply) {
+  auto cluster = Make();
+  TxnHandle handle =
+      cluster->SubmitTxn(MakeTxn(1, {Operation::Write(4, 7)}), 0);
+  ASSERT_TRUE(handle.valid());
+  const TxnReplyArgs& reply = handle.Get();
+  EXPECT_TRUE(handle.done());
+  EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(ReadItem(*cluster, 1, 4).value, 7);
+}
+
+TEST_P(ClusterApiTest, PipelinedSubmissionsAllComplete) {
+  auto cluster = Make(3, 12);
+  std::vector<TxnHandle> handles;
+  for (TxnId t = 1; t <= 12; ++t) {
+    handles.push_back(cluster->SubmitTxn(
+        MakeTxn(t, {Operation::Write(ItemId(t % 12), Value(t))}),
+        SiteId(t % 3)));
+  }
+  uint64_t committed = 0;
+  for (TxnHandle& handle : handles) {
+    if (handle.Get().outcome == TxnOutcome::kCommitted) ++committed;
+  }
+  EXPECT_EQ(committed, 12u);
+  const ClusterStats stats = cluster->Stats();
+  EXPECT_EQ(stats.submitted, 12u);
+  EXPECT_EQ(stats.committed, 12u);
+  EXPECT_TRUE(cluster->CheckReplicaAgreement().ok());
+}
+
+TEST_P(ClusterApiTest, SubmissionWindowBackpressuresButCompletesAll) {
+  // 40 submissions through a window of 4: never more than 4 in flight,
+  // everything still commits exactly once. Well under the coordinator's
+  // queue bound, so no submission can be dropped.
+  ClusterOptions options;
+  options.backend = GetParam();
+  options.n_sites = 2;
+  options.db_size = 8;
+  options.max_inflight = 4;
+  options.site.ack_timeout = Milliseconds(250);
+  auto made = MakeCluster(options);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto& cluster = *made;
+
+  std::vector<TxnHandle> handles;
+  for (TxnId t = 1; t <= 40; ++t) {
+    handles.push_back(cluster->SubmitTxn(
+        MakeTxn(t, {Operation::Write(ItemId(t % 8), Value(t))}), 0));
+  }
+  for (TxnHandle& handle : handles) {
+    EXPECT_EQ(handle.Get().outcome, TxnOutcome::kCommitted);
+  }
+  const ClusterStats stats = cluster->Stats();
+  EXPECT_EQ(stats.committed, 40u);
+  EXPECT_LE(stats.max_inflight_seen, 4u);
+  EXPECT_GE(stats.backlogged, 36u - 4u);  // most submissions had to queue
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_TRUE(cluster->CheckReplicaAgreement().ok());
+}
+
+TEST_P(ClusterApiTest, WritesWhileSiteDownSetFailLocks) {
+  auto cluster = Make();
+  cluster->Fail(1);
   const TxnReplyArgs reply =
-      cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 7)}), 0);
+      cluster->RunTxn(MakeTxn(1, {Operation::Write(2, 7)}), 0);
   // The first transaction after an undetected failure aborts on the
   // prepare-ack timeout and announces the failure (control type 2).
   EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedParticipantFailed);
-  EXPECT_FALSE(cluster.site(0).session_vector().IsUp(1));
+  EXPECT_FALSE(cluster->SnapshotSites()[0].sessions.IsUp(1));
 
   // With the failure known, ROWAA proceeds with the single available copy
   // and fail-locks the down site's copy.
   const TxnReplyArgs reply2 =
-      cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 8)}), 0);
+      cluster->RunTxn(MakeTxn(2, {Operation::Write(2, 8)}), 0);
   EXPECT_EQ(reply2.outcome, TxnOutcome::kCommitted);
-  EXPECT_TRUE(cluster.site(0).fail_locks().IsSet(2, 1));
-  EXPECT_EQ(cluster.FailLockCountFor(1), 1u);
+  EXPECT_TRUE(cluster->SnapshotSites()[0].fail_locks.IsSet(2, 1));
+  EXPECT_EQ(cluster->FailLockCountFor(1), 1u);
 }
 
-TEST(SimClusterTest, RecoveryCollectsFailLocksAndSessionVector) {
-  SimCluster cluster(SmallCluster());
-  cluster.Fail(1);
-  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
-  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 8)}), 0);
-  (void)cluster.RunTxn(MakeTxn(3, {Operation::Write(5, 9)}), 0);
-  cluster.Recover(1);
+TEST_P(ClusterApiTest, RecoveryCollectsFailLocksAndSessionVector) {
+  auto cluster = Make();
+  cluster->Fail(1);
+  (void)cluster->RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
+  (void)cluster->RunTxn(MakeTxn(2, {Operation::Write(2, 8)}), 0);
+  (void)cluster->RunTxn(MakeTxn(3, {Operation::Write(5, 9)}), 0);
+  cluster->Recover(1);
+  ASSERT_TRUE(cluster->WaitUntil(1, [](const Site& site) {
+    return site.is_up() && site.OwnFailLockCount() >= 2;
+  }));
 
-  const Site& recovered = cluster.site(1);
-  EXPECT_TRUE(recovered.is_up());
-  EXPECT_EQ(recovered.session_vector().session(1), 2u);
-  EXPECT_TRUE(recovered.fail_locks().IsSet(2, 1));
-  EXPECT_TRUE(recovered.fail_locks().IsSet(5, 1));
-  EXPECT_EQ(recovered.OwnFailLockCount(), 2u);
-  EXPECT_TRUE(recovered.InRecoveryPeriod());
+  const std::vector<SiteSnapshot> snaps = cluster->SnapshotSites();
+  const SiteSnapshot& recovered = snaps[1];
+  EXPECT_EQ(recovered.status, SiteStatus::kUp);
+  EXPECT_EQ(recovered.sessions.session(1), 2u);
+  EXPECT_TRUE(recovered.fail_locks.IsSet(2, 1));
+  EXPECT_TRUE(recovered.fail_locks.IsSet(5, 1));
+  EXPECT_EQ(recovered.fail_locks.CountForSite(1), 2u);
   // Both sites see site 1 up in session 2.
-  EXPECT_TRUE(cluster.site(0).session_vector().IsUp(1));
-  EXPECT_EQ(cluster.site(0).session_vector().session(1), 2u);
+  EXPECT_TRUE(snaps[0].sessions.IsUp(1));
+  EXPECT_EQ(snaps[0].sessions.session(1), 2u);
 }
 
-TEST(SimClusterTest, CopierTransactionRefreshesFailLockedRead) {
-  SimCluster cluster(SmallCluster());
-  cluster.Fail(1);
-  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
-  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 0);
-  cluster.Recover(1);
-  ASSERT_TRUE(cluster.site(1).fail_locks().IsSet(2, 1));
+TEST_P(ClusterApiTest, CopierTransactionRefreshesFailLockedRead) {
+  auto cluster = Make();
+  cluster->Fail(1);
+  (void)cluster->RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
+  (void)cluster->RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 0);
+  cluster->Recover(1);
+  ASSERT_TRUE(cluster->WaitUntil(
+      1, [](const Site& site) { return site.fail_locks().IsSet(2, 1); }));
 
   // A read of the fail-locked copy at the recovering coordinator runs a
   // copier transaction and returns the up-to-date value.
   const TxnReplyArgs reply =
-      cluster.RunTxn(MakeTxn(3, {Operation::Read(2)}), 1);
+      cluster->RunTxn(MakeTxn(3, {Operation::Read(2)}), 1);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.copier_count, 1u);
   ASSERT_EQ(reply.reads.size(), 1u);
   EXPECT_EQ(reply.reads[0].value, 88);
   // The fail-lock is cleared locally and at the other site (the special
   // transaction).
-  EXPECT_FALSE(cluster.site(1).fail_locks().IsSet(2, 1));
-  EXPECT_FALSE(cluster.site(0).fail_locks().IsSet(2, 1));
-  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+  const std::vector<SiteSnapshot> snaps = cluster->SnapshotSites();
+  EXPECT_FALSE(snaps[1].fail_locks.IsSet(2, 1));
+  EXPECT_FALSE(snaps[0].fail_locks.IsSet(2, 1));
+  EXPECT_TRUE(cluster->CheckReplicaAgreement().ok());
 }
 
-TEST(SimClusterTest, WriteRefreshesFailLockedCopyEverywhere) {
-  SimCluster cluster(SmallCluster());
-  cluster.Fail(1);
-  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
-  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 0);
-  cluster.Recover(1);
+TEST_P(ClusterApiTest, WriteRefreshesFailLockedCopyEverywhere) {
+  auto cluster = Make();
+  cluster->Fail(1);
+  (void)cluster->RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 0);  // abort
+  (void)cluster->RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 0);
+  cluster->Recover(1);
+  ASSERT_TRUE(cluster->WaitUntil(
+      1, [](const Site& site) { return site.fail_locks().IsSet(2, 1); }));
 
   // A write to the fail-locked item refreshes the recovered copy without a
   // copier: fail-lock maintenance at commit clears the bit at every site.
   const TxnReplyArgs reply =
-      cluster.RunTxn(MakeTxn(3, {Operation::Write(2, 99)}), 0);
+      cluster->RunTxn(MakeTxn(3, {Operation::Write(2, 99)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.copier_count, 0u);
-  EXPECT_FALSE(cluster.site(0).fail_locks().IsSet(2, 1));
-  EXPECT_FALSE(cluster.site(1).fail_locks().IsSet(2, 1));
-  EXPECT_EQ(cluster.site(1).db().Read(2)->value, 99);
-  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+  const std::vector<SiteSnapshot> snaps = cluster->SnapshotSites();
+  EXPECT_FALSE(snaps[0].fail_locks.IsSet(2, 1));
+  EXPECT_FALSE(snaps[1].fail_locks.IsSet(2, 1));
+  EXPECT_EQ(snaps[1].db[2]->value, 99);
+  EXPECT_TRUE(cluster->CheckReplicaAgreement().ok());
 }
 
-TEST(SimClusterTest, AbortWhenNoUpToDateCopyReachable) {
-  SimCluster cluster(SmallCluster());
-  cluster.Fail(0);
-  (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 1);  // abort
-  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 1);
-  cluster.Recover(0);
-  cluster.Fail(1);  // the only up-to-date copy of item 2 goes down
+TEST_P(ClusterApiTest, AbortWhenNoUpToDateCopyReachable) {
+  auto cluster = Make();
+  cluster->Fail(0);
+  (void)cluster->RunTxn(MakeTxn(1, {Operation::Write(2, 8)}), 1);  // abort
+  (void)cluster->RunTxn(MakeTxn(2, {Operation::Write(2, 88)}), 1);
+  cluster->Recover(0);
+  ASSERT_TRUE(cluster->WaitUntil(
+      0, [](const Site& site) { return site.fail_locks().IsSet(2, 0); }));
+  cluster->Fail(1);  // the only up-to-date copy of item 2 goes down
 
   // Site 0 must abort: its copy of 2 is fail-locked and no operational
   // site holds a fresh one (Experiment 3 scenario 1's abort cause).
   // The first attempt may abort on the undetected failure of site 1.
-  (void)cluster.RunTxn(MakeTxn(3, {Operation::Read(2)}), 0);
+  (void)cluster->RunTxn(MakeTxn(3, {Operation::Read(2)}), 0);
   const TxnReplyArgs reply =
-      cluster.RunTxn(MakeTxn(4, {Operation::Read(2)}), 0);
+      cluster->RunTxn(MakeTxn(4, {Operation::Read(2)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedCopierFailed);
 }
 
-TEST(SimClusterTest, DownCoordinatorIsUnreachable) {
-  ClusterOptions options = SmallCluster();
-  options.managing.client_timeout = Seconds(2);
-  SimCluster cluster(options);
-  cluster.Fail(0);
+TEST_P(ClusterApiTest, DownCoordinatorIsUnreachable) {
+  auto cluster = Make();
+  cluster->Fail(0);
   const TxnReplyArgs reply =
-      cluster.RunTxn(MakeTxn(1, {Operation::Write(1, 5)}), 0);
+      cluster->RunTxn(MakeTxn(1, {Operation::Write(1, 5)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCoordinatorUnreachable);
+  EXPECT_EQ(cluster->Stats().unreachable, 1u);
 }
 
-TEST(SimClusterTest, SuccessiveFailuresKeepConsistency) {
-  SimCluster cluster(SmallCluster(4, 16));
+TEST_P(ClusterApiTest, UpSitesTracksFailuresAndRecoveries) {
+  auto cluster = Make(3, 8);
+  EXPECT_EQ(cluster->UpSites(), (std::vector<SiteId>{0, 1, 2}));
+  cluster->Fail(1);
+  EXPECT_EQ(cluster->UpSites(), (std::vector<SiteId>{0, 2}));
+  cluster->Recover(1);
+  ASSERT_TRUE(cluster->WaitUntil(
+      1, [](const Site& site) { return site.is_up(); }));
+  EXPECT_EQ(cluster->UpSites(), (std::vector<SiteId>{0, 1, 2}));
+}
+
+TEST_P(ClusterApiTest, SuccessiveFailuresKeepConsistency) {
+  auto cluster = Make(4, 16);
   UniformWorkloadOptions wopts;
   wopts.db_size = 16;
   wopts.max_txn_size = 5;
@@ -164,18 +271,26 @@ TEST(SimClusterTest, SuccessiveFailuresKeepConsistency) {
   UniformWorkload workload(wopts);
 
   for (SiteId victim = 0; victim < 4; ++victim) {
-    cluster.Fail(victim);
+    cluster->Fail(victim);
     for (int i = 0; i < 10; ++i) {
-      (void)cluster.RunTxn(workload.Next(), (victim + 1) % 4);
+      (void)cluster->RunTxn(workload.Next(), (victim + 1) % 4);
     }
-    cluster.Recover(victim);
+    cluster->Recover(victim);
   }
   for (int i = 0; i < 30; ++i) {
-    (void)cluster.RunTxn(workload.Next(), i % 4);
+    (void)cluster->RunTxn(workload.Next(), i % 4);
   }
-  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok())
-      << cluster.CheckReplicaAgreement().ToString();
+  EXPECT_TRUE(cluster->CheckReplicaAgreement().ok())
+      << cluster->CheckReplicaAgreement().ToString();
+  EXPECT_TRUE(cluster->CheckInvariants().empty());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ClusterApiTest,
+    ::testing::Values(ClusterBackend::kSim, ClusterBackend::kInProc),
+    [](const ::testing::TestParamInfo<ClusterBackend>& info) {
+      return std::string(ClusterBackendName(info.param));
+    });
 
 }  // namespace
 }  // namespace miniraid

@@ -1,0 +1,177 @@
+// The closed-/open-loop workload driver over the unified Cluster API, and
+// the determinism contract of pipelined submission on the simulator: the
+// same seed must reproduce byte-identical outcome sequences, database
+// state, and invariant-checker verdicts, however many transactions overlap
+// in virtual time.
+
+#include "txn/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/strings.h"
+#include "core/cluster.h"
+#include "txn/workload.h"
+
+namespace miniraid {
+namespace {
+
+ClusterOptions SimOptions(uint32_t n_sites, uint32_t db_size,
+                          uint32_t window) {
+  ClusterOptions options;
+  options.backend = ClusterBackend::kSim;
+  options.n_sites = n_sites;
+  options.db_size = db_size;
+  options.max_inflight = window;
+  return options;
+}
+
+std::unique_ptr<Cluster> Make(const ClusterOptions& options) {
+  auto cluster = MakeCluster(options);
+  EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+  return std::move(*cluster);
+}
+
+TEST(DriverTest, ClosedLoopRunsAllTransactions) {
+  auto cluster = Make(SimOptions(3, 12, 0));
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 12;
+  wopts.max_txn_size = 4;
+  wopts.seed = 2;
+  UniformWorkload workload(wopts);
+
+  DriverOptions dopts;
+  dopts.concurrency = 5;
+  dopts.measure_txns = 40;
+  const DriverReport report = Driver(cluster.get(), &workload, dopts).Run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.submitted, 40u);
+  EXPECT_EQ(report.committed + report.aborted + report.unreachable, 40u);
+  EXPECT_EQ(report.committed, 40u);  // healthy cluster: everything commits
+  EXPECT_EQ(report.latency.count(), 40u);
+  EXPECT_GT(report.elapsed, 0);
+  EXPECT_GT(report.CommittedPerSec(), 0.0);
+  EXPECT_TRUE(cluster->CheckReplicaAgreement().ok());
+}
+
+TEST(DriverTest, WarmupTransactionsAreNotMeasured) {
+  auto cluster = Make(SimOptions(2, 8, 0));
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 8;
+  wopts.seed = 4;
+  UniformWorkload workload(wopts);
+
+  DriverOptions dopts;
+  dopts.concurrency = 3;
+  dopts.warmup_txns = 10;
+  dopts.measure_txns = 25;
+  const DriverReport report = Driver(cluster.get(), &workload, dopts).Run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.submitted, 25u);
+  EXPECT_EQ(report.latency.count(), 25u);
+  // All 35 ran through the cluster, only 25 were recorded.
+  EXPECT_EQ(cluster->Stats().submitted, 35u);
+}
+
+TEST(DriverTest, OpenLoopArrivalsPaceVirtualTime) {
+  auto cluster = Make(SimOptions(2, 8, 0));
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 8;
+  wopts.seed = 6;
+  UniformWorkload workload(wopts);
+
+  DriverOptions dopts;
+  dopts.arrival_per_sec = 50.0;  // fixed 20 ms gaps of virtual time
+  dopts.measure_txns = 21;
+  const DriverReport report = Driver(cluster.get(), &workload, dopts).Run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.submitted, 21u);
+  EXPECT_EQ(report.committed, 21u);
+  // 20 gaps of 20 ms between the first and last submission.
+  EXPECT_GE(report.elapsed, Milliseconds(20) * 20);
+}
+
+TEST(DriverTest, SubmissionWindowCapsDriverConcurrency) {
+  auto cluster = Make(SimOptions(2, 8, /*window=*/2));
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 8;
+  wopts.seed = 8;
+  UniformWorkload workload(wopts);
+
+  DriverOptions dopts;
+  dopts.concurrency = 10;  // driver offers 10, window admits 2
+  dopts.measure_txns = 30;
+  const DriverReport report = Driver(cluster.get(), &workload, dopts).Run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.committed, 30u);
+  const ClusterStats stats = cluster->Stats();
+  EXPECT_LE(stats.max_inflight_seen, 2u);
+  EXPECT_GE(stats.backlogged, 8u);
+}
+
+/// One pipelined run with failure and recovery in the middle; returns a
+/// fingerprint covering every measured outcome, the final database image,
+/// message count, and the invariant-checker verdict.
+std::string DeterminismFingerprint() {
+  ClusterOptions options = SimOptions(4, 16, /*window=*/6);
+  options.check_invariants = true;  // enforced at Fail/Recover quiescence
+  auto cluster = Make(options);
+
+  UniformWorkloadOptions wopts;
+  wopts.db_size = 16;
+  wopts.max_txn_size = 5;
+  wopts.seed = 13;
+  UniformWorkload workload(wopts);
+
+  DriverOptions dopts;
+  dopts.concurrency = 6;
+  dopts.measure_txns = 40;
+  dopts.record_outcomes = true;
+
+  std::string fp;
+  auto phase = [&] {
+    const DriverReport report =
+        Driver(cluster.get(), &workload, dopts).Run();
+    EXPECT_TRUE(report.completed);
+    for (const TxnOutcome outcome : report.outcomes) {
+      fp += StrFormat("%d,", int(outcome));
+    }
+    fp += StrFormat("|t=%lld|", (long long)report.elapsed);
+  };
+
+  phase();
+  cluster->Fail(2);
+  phase();
+  cluster->Recover(2);
+  phase();
+
+  for (const SiteSnapshot& snap : cluster->SnapshotSites()) {
+    for (const auto& item : snap.db) {
+      if (!item.has_value()) continue;
+      fp += StrFormat("%lld:%llu,", (long long)item->value,
+                      (unsigned long long)item->version);
+    }
+    fp += ";";
+  }
+  fp += StrFormat("msgs=%llu|", (unsigned long long)
+                  cluster->Stats().messages_sent);
+  fp += StrFormat("violations=%zu", cluster->CheckInvariants().size());
+  return fp;
+}
+
+TEST(DriverTest, PipelinedSubmissionIsDeterministicUnderSim) {
+  const std::string first = DeterminismFingerprint();
+  const std::string second = DeterminismFingerprint();
+  EXPECT_EQ(first, second);
+  // And the runs were non-trivial: outcomes were actually recorded.
+  EXPECT_GT(first.size(), 120u * 2);
+}
+
+}  // namespace
+}  // namespace miniraid

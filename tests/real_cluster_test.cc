@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "core/cluster.h"
 #include "txn/workload.h"
 
@@ -18,96 +21,104 @@ TxnSpec MakeTxn(TxnId id, std::vector<Operation> ops) {
   return txn;
 }
 
-RealClusterOptions Options(RealClusterOptions::TransportKind kind,
-                           uint32_t n_sites) {
-  RealClusterOptions options;
+ClusterOptions Options(ClusterBackend backend, uint32_t n_sites) {
+  ClusterOptions options;
+  options.backend = backend;
   options.n_sites = n_sites;
   options.db_size = 12;
-  options.transport = kind;
   options.site.ack_timeout = Milliseconds(250);
   options.managing.client_timeout = Seconds(5);
   return options;
 }
 
-class RealClusterTest
-    : public ::testing::TestWithParam<RealClusterOptions::TransportKind> {};
+class RealClusterTest : public ::testing::TestWithParam<ClusterBackend> {
+ protected:
+  std::unique_ptr<Cluster> Make(uint32_t n_sites) {
+    auto cluster = MakeCluster(Options(GetParam(), n_sites));
+    EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+    return std::move(*cluster);
+  }
+};
 
 TEST_P(RealClusterTest, CommitReplicates) {
-  RealCluster cluster(Options(GetParam(), 3));
-  ASSERT_TRUE(cluster.Start().ok());
+  auto cluster = Make(3);
   const TxnReplyArgs reply =
-      cluster.RunTxn(MakeTxn(1, {Operation::Write(4, 44)}), 0);
+      cluster->RunTxn(MakeTxn(1, {Operation::Write(4, 44)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  const std::vector<SiteSnapshot> snaps = cluster->SnapshotSites();
   for (SiteId s = 0; s < 3; ++s) {
-    ItemState state;
-    cluster.Inspect(s, [&state](Site& site) { state = *site.db().Read(4); });
-    EXPECT_EQ(state.value, 44) << "site " << s;
-    EXPECT_EQ(state.version, 1u) << "site " << s;
+    ASSERT_TRUE(snaps[s].db[4].has_value()) << "site " << s;
+    EXPECT_EQ(snaps[s].db[4]->value, 44) << "site " << s;
+    EXPECT_EQ(snaps[s].db[4]->version, 1u) << "site " << s;
   }
 }
 
 TEST_P(RealClusterTest, FailureRecoveryRoundTrip) {
-  RealCluster cluster(Options(GetParam(), 3));
-  ASSERT_TRUE(cluster.Start().ok());
-  ASSERT_EQ(cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 1)}), 0).outcome,
+  auto cluster = Make(3);
+  ASSERT_EQ(cluster->RunTxn(MakeTxn(1, {Operation::Write(0, 1)}), 0).outcome,
             TxnOutcome::kCommitted);
 
-  cluster.Fail(2);
+  cluster->Fail(2);
   // First write detects the failure (abort), second proceeds via ROWAA.
-  (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(3, 33)}), 0);
+  (void)cluster->RunTxn(MakeTxn(2, {Operation::Write(3, 33)}), 0);
   const TxnReplyArgs reply =
-      cluster.RunTxn(MakeTxn(3, {Operation::Write(3, 34)}), 0);
+      cluster->RunTxn(MakeTxn(3, {Operation::Write(3, 34)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
-  uint32_t stale = 0;
-  cluster.Inspect(0, [&stale](Site& site) {
-    stale = site.fail_locks().CountForSite(2);
-  });
-  EXPECT_GE(stale, 1u);
+  EXPECT_GE(cluster->SnapshotSites()[0].fail_locks.CountForSite(2), 1u);
 
-  cluster.Recover(2);
+  cluster->Recover(2);
   // Wait until the recovering site has its merged fail-lock table.
-  ASSERT_TRUE(cluster.WaitUntil(
-      2, [](Site& site) { return site.OwnFailLockCount() >= 1; }));
+  ASSERT_TRUE(cluster->WaitUntil(
+      2, [](const Site& site) { return site.OwnFailLockCount() >= 1; }));
   // A read at the recovering site triggers a copier transaction.
   const TxnReplyArgs read_reply =
-      cluster.RunTxn(MakeTxn(4, {Operation::Read(3)}), 2);
+      cluster->RunTxn(MakeTxn(4, {Operation::Read(3)}), 2);
   EXPECT_EQ(read_reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(read_reply.reads.at(0).value, 34);
   EXPECT_GE(read_reply.copier_count, 1u);
 }
 
 TEST_P(RealClusterTest, WorkloadBurstKeepsReplicasConsistent) {
-  RealCluster cluster(Options(GetParam(), 3));
-  ASSERT_TRUE(cluster.Start().ok());
+  auto cluster = Make(3);
   UniformWorkloadOptions wopts;
   wopts.db_size = 12;
   wopts.max_txn_size = 5;
   wopts.seed = 3;
   UniformWorkload workload(wopts);
   for (int i = 0; i < 60; ++i) {
-    (void)cluster.RunTxn(workload.Next(), static_cast<SiteId>(i % 3));
+    (void)cluster->RunTxn(workload.Next(), static_cast<SiteId>(i % 3));
   }
-  std::vector<std::vector<ItemState>> snapshots(3);
+  const std::vector<SiteSnapshot> snaps = cluster->SnapshotSites();
   for (SiteId s = 0; s < 3; ++s) {
-    cluster.Inspect(s, [&snapshots, s](Site& site) {
-      for (ItemId item = 0; item < 12; ++item) {
-        snapshots[s].push_back(*site.db().Read(item));
-      }
-    });
+    for (ItemId item = 0; item < 12; ++item) {
+      ASSERT_TRUE(snaps[s].db[item].has_value());
+      EXPECT_EQ(snaps[s].db[item]->value, snaps[0].db[item]->value)
+          << "site " << s << " item " << item;
+      EXPECT_EQ(snaps[s].db[item]->version, snaps[0].db[item]->version)
+          << "site " << s << " item " << item;
+    }
   }
-  EXPECT_EQ(snapshots[0], snapshots[1]);
-  EXPECT_EQ(snapshots[1], snapshots[2]);
+  EXPECT_TRUE(cluster->CheckReplicaAgreement().ok());
+}
+
+TEST_P(RealClusterTest, TwoTcpClustersCoexistInOneProcess) {
+  // Regression test for base_port = 0 collisions: two clusters stood up
+  // back to back in one process must land on disjoint port ranges.
+  auto first = Make(3);
+  auto second = Make(3);
+  EXPECT_EQ(first->RunTxn(MakeTxn(1, {Operation::Write(2, 5)}), 0).outcome,
+            TxnOutcome::kCommitted);
+  EXPECT_EQ(second->RunTxn(MakeTxn(1, {Operation::Write(2, 6)}), 1).outcome,
+            TxnOutcome::kCommitted);
+  EXPECT_EQ(first->SnapshotSites()[1].db[2]->value, 5);
+  EXPECT_EQ(second->SnapshotSites()[1].db[2]->value, 6);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Transports, RealClusterTest,
-    ::testing::Values(RealClusterOptions::TransportKind::kInProc,
-                      RealClusterOptions::TransportKind::kTcp),
-    [](const ::testing::TestParamInfo<RealClusterOptions::TransportKind>&
-           info) {
-      return info.param == RealClusterOptions::TransportKind::kInProc
-                 ? "InProc"
-                 : "Tcp";
+    ::testing::Values(ClusterBackend::kInProc, ClusterBackend::kTcp),
+    [](const ::testing::TestParamInfo<ClusterBackend>& info) {
+      return std::string(ClusterBackendName(info.param));
     });
 
 }  // namespace
