@@ -36,7 +36,8 @@ Row Drive(bool locking, uint32_t window, uint64_t seed) {
   options.site.ack_timeout = Seconds(5);
   options.sim.shared_cpu = false;
   options.transport.message_latency = Milliseconds(9);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   // Transactions read two fixed "pair" items together, or write both;
   // torn reads show up as the two reads disagreeing on the version.

@@ -36,7 +36,8 @@ Outcome Drive(bool enable_type3, uint64_t seed) {
     options.site.placement[(item + 1) % 3].push_back(item);
   }
   options.managing.client_timeout = Seconds(8);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   UniformWorkloadOptions wopts;
   wopts.db_size = 30;

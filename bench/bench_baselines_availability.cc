@@ -110,7 +110,8 @@ void Run() {
     options.n_sites = kSites;
     options.db_size = 50;
     options.managing.client_timeout = Seconds(8);
-    SimCluster cluster(options);
+    auto cluster_owner = MakeSimCluster(options);
+    SimCluster& cluster = *cluster_owner;
     print_row("ROWAA (paper)", Drive(cluster, kSites, kSeed));
   }
   for (const BaselineKind kind :

@@ -44,7 +44,8 @@ void BM_SimTxnThroughput(benchmark::State& state) {
   options.n_sites = n_sites;
   options.db_size = 50;
   options.transport.message_latency = Microseconds(10);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 50;
   wopts.max_txn_size = 10;
@@ -63,7 +64,8 @@ void BM_SimFailureRecoveryCycle(benchmark::State& state) {
   options.db_size = 50;
   options.site.ack_timeout = Milliseconds(50);
   options.transport.message_latency = Microseconds(10);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 50;
   wopts.max_txn_size = 5;

@@ -81,7 +81,8 @@ void Run() {
     options.db_size = kDbSize;
     options.transport.drop_filter = partition.Filter();
     options.managing.client_timeout = Seconds(8);
-    SimCluster cluster(options);
+    auto cluster_owner = MakeSimCluster(options);
+    SimCluster& cluster = *cluster_owner;
     const EpisodeResult r = Drive(
         cluster, partition,
         [&cluster](SiteId site, ItemId item) {

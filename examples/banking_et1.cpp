@@ -25,7 +25,8 @@ int main() {
   ClusterOptions options;
   options.n_sites = 4;
   options.db_size = workload.db_size();
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   std::printf("ET1/DebitCredit on mini-RAID: %u accounts, %u tellers, %u "
               "branches, 4 sites\n\n",

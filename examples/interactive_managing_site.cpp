@@ -76,7 +76,8 @@ int main(int argc, char** argv) {
   ClusterOptions options;
   options.n_sites = n_sites;
   options.db_size = db_size;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   UniformWorkloadOptions wopts;
   wopts.db_size = db_size;

@@ -24,7 +24,8 @@ int main() {
     options.site.placement[item % 3].push_back(item);
     options.site.placement[(item + 1) % 3].push_back(item);
   }
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   std::printf("partial replication: %u items, factor 2 over 3 sites, "
               "type-3 backups ON\n\n",

@@ -37,7 +37,8 @@ int main() {
   ClusterOptions options;
   options.n_sites = 3;
   options.db_size = 10;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   // Transactions are lists of read/write operations, submitted through the
   // managing site to a coordinator of your choice.

@@ -1,0 +1,42 @@
+// libFuzzer harness for the transaction-operation parser (txn/parse.h) —
+// the interactive managing site feeds it raw operator input.
+//
+// Property 1: ParseTxnOps never crashes on arbitrary text.
+// Property 2: round-trip — any spec it accepts must survive
+// FormatTxnOps -> ParseTxnOps unchanged (parse/format are inverses on the
+// accepted language).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "txn/parse.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // A large-but-bounded db_size: most numeric items are accepted (deep
+  // round-trip coverage) while the item-range rejection path stays
+  // reachable via bigger literals.
+  constexpr miniraid::TxnId kId = 7;
+  constexpr uint32_t kDbSize = 1u << 20;
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto parsed = miniraid::ParseTxnOps(kId, text, kDbSize);
+  if (!parsed.ok()) return 0;
+
+  const std::string formatted = miniraid::FormatTxnOps(*parsed);
+  auto again = miniraid::ParseTxnOps(kId, formatted, kDbSize);
+  if (!again.ok()) {
+    std::fprintf(stderr, "re-parse of formatted txn failed on '%s': %s\n",
+                 formatted.c_str(), again.status().ToString().c_str());
+    std::abort();
+  }
+  if (miniraid::FormatTxnOps(*again) != formatted) {
+    std::fprintf(stderr, "parse/format round-trip not stable: '%s' vs '%s'\n",
+                 formatted.c_str(),
+                 miniraid::FormatTxnOps(*again).c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/miniraid_lint.py: every rule must reject its
+known-bad snippet and accept the matching known-good one.
+
+This is the regression harness the CI lint job runs first: if a rule stops
+firing (a refactor of the lint, an over-broad suppression), the injected
+raw-mutex / callback-under-lock / session-mutation / fail-lock snippets
+below stop being caught and this script fails the build.
+
+Exit status: 0 all cases pass, 1 otherwise.
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import miniraid_lint  # noqa: E402
+
+
+# (name, path-in-fake-repo, source, rule expected to fire or None)
+CASES = [
+    # -- raw-mutex ---------------------------------------------------------
+    ("raw std::mutex member outside common/",
+     "src/core/bad_mutex.h",
+     "#ifndef MINIRAID_CORE_BAD_MUTEX_H_\n"
+     "#define MINIRAID_CORE_BAD_MUTEX_H_\n"
+     "#include <mutex>\n"
+     "struct S { std::mutex mu_; };\n"
+     "#endif  // MINIRAID_CORE_BAD_MUTEX_H_\n",
+     "raw-mutex"),
+    ("raw std::lock_guard outside common/",
+     "src/net/bad_guard.cc",
+     "void F() { std::lock_guard<std::mutex> lock(mu_); }\n",
+     "raw-mutex"),
+    ("std::mutex inside common/ is the wrapper's home",
+     "src/common/mutex_impl.cc",
+     "static std::mutex m;\n",
+     None),
+    ("annotated Mutex wrapper use is clean",
+     "src/core/good_mutex.cc",
+     "void F() { MutexLock lock(mu_); counter_++; }\n",
+     None),
+    ("raw-mutex respects suppression",
+     "src/core/suppressed_mutex.cc",
+     "std::mutex special_;  // miniraid-lint: allow(raw-mutex)\n",
+     None),
+
+    # -- callback-under-lock ----------------------------------------------
+    ("callback invoked inside a MutexLock scope",
+     "src/core/bad_callback.cc",
+     "void F() {\n"
+     "  MutexLock lock(mu_);\n"
+     "  callback(reply);\n"
+     "}\n",
+     "callback-under-lock"),
+    ("condvar notify while the guard is still held",
+     "src/core/bad_notify.cc",
+     "void F() {\n"
+     "  MutexLock lock(state->mu);\n"
+     "  state->done = true;\n"
+     "  state->cv.NotifyOne();\n"
+     "}\n",
+     "callback-under-lock"),
+    ("notify after the guard's scope closes is the correct shape",
+     "src/core/good_notify.cc",
+     "void F() {\n"
+     "  {\n"
+     "    MutexLock lock(state->mu);\n"
+     "    state->done = true;\n"
+     "  }\n"
+     "  state->cv.NotifyOne();\n"
+     "}\n",
+     None),
+    ("callback with no lock in scope is clean",
+     "src/txn/good_callback.cc",
+     "void F() { callback(reply); }\n",
+     None),
+    ("replication layer is outside the callback-under-lock scope",
+     "src/replication/not_in_scope.cc",
+     "void F() {\n"
+     "  MutexLock lock(mu_);\n"
+     "  callback(reply);\n"
+     "}\n",
+     None),
+
+    # -- session-mutation --------------------------------------------------
+    ("session vector mutated outside the Site engine",
+     "src/core/bad_session.cc",
+     "void F() { session_vector_.MarkDown(3); }\n",
+     "session-mutation"),
+    ("session vector merge outside the Site engine",
+     "src/baselines/bad_session_merge.cc",
+     "void F() { (void)site.session_vector().MergeFrom(remote); }\n",
+     "session-mutation"),
+    ("Site itself may mutate session vectors",
+     "src/replication/site.cc",
+     "void Site::X() { session_vector_.MarkDown(3); }\n",
+     None),
+    ("reading a session vector anywhere is fine",
+     "src/core/good_session.cc",
+     "bool F() { return session_vector_.IsUp(3); }\n",
+     None),
+
+    # -- fail-lock-mutation (tightened home) -------------------------------
+    ("fail-lock mutation outside the Site engine",
+     "src/core/bad_faillock.cc",
+     "void F() { fail_locks_.Set(item, site); }\n",
+     "fail-lock-mutation"),
+    ("fail-lock mutation elsewhere in replication/ is no longer home",
+     "src/replication/placement.cc",
+     "void F() { fail_locks_.Clear(item, site); }\n",
+     "fail-lock-mutation"),
+    ("Site itself may mutate fail-locks",
+     "src/replication/site.cc",
+     "void Site::Y() { fail_locks_.Set(item, site); }\n",
+     None),
+
+    # -- pre-existing rules stay alive -------------------------------------
+    ("blocking sleep on a loop-thread layer",
+     "src/core/bad_sleep.cc",
+     "void F() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n",
+     "blocking-call"),
+    ("wrong header guard",
+     "src/core/bad_guard_name.h",
+     "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n",
+     "header-guard"),
+]
+
+
+def main():
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="miniraid_lint_selftest_") as tmp:
+        os.makedirs(os.path.join(tmp, "src"), exist_ok=True)
+        for name, rel, source, expected_rule in CASES:
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(source)
+
+            findings = []
+            miniraid_lint.lint_file(path, tmp, findings)
+            fired = {rule for (_, _, rule, _) in findings}
+            if expected_rule is None:
+                ok = expected_rule is None and not fired
+                want = "clean"
+            else:
+                ok = expected_rule in fired
+                want = f"[{expected_rule}]"
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} {name}: expected {want}, got "
+                  f"{sorted(fired) if fired else 'clean'}")
+            failures += 0 if ok else 1
+
+            # Bad snippets must also be silence-able: the suppression
+            # comment is part of the contract. It is per-line, so append
+            # it to the exact line each finding fired on.
+            if expected_rule is not None and ok:
+                bad_lines = {ln for (_, ln, rule, _) in findings
+                             if rule == expected_rule}
+                lines = source.splitlines(keepends=True)
+                for ln in bad_lines:
+                    text = lines[ln - 1].rstrip("\n")
+                    lines[ln - 1] = (
+                        f"{text}  // miniraid-lint: allow({expected_rule})\n")
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write("".join(lines))
+                findings = []
+                miniraid_lint.lint_file(path, tmp, findings)
+                fired = {r for (_, _, r, _) in findings}
+                if expected_rule in fired:
+                    print(f"FAIL {name}: allow({expected_rule}) comment "
+                          f"did not suppress the finding")
+                    failures += 1
+
+    if failures:
+        print(f"lint_selftest: {failures} case(s) FAILED")
+        return 1
+    print(f"lint_selftest: all {len(CASES)} cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

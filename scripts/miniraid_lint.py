@@ -24,6 +24,30 @@ Rules (each can be suppressed per line or per preceding line with
   header-guard         Every header uses the canonical include guard
                        MINIRAID_<PATH>_H_ derived from its path under src/.
 
+  raw-mutex            Raw standard-library synchronization types
+                       (std::mutex, std::condition_variable, std::lock_guard,
+                       std::unique_lock, ...) outside src/common/. Everything
+                       else must use the annotated wrappers in
+                       common/mutex.h, so the clang-tsa preset can prove the
+                       lock discipline at compile time (GUARDED_BY fields,
+                       declared lock order).
+
+  callback-under-lock  A user callback or condition-variable notify invoked
+                       while a scoped lock guard is still in scope, in the
+                       layers that hand replies back to callers (src/core/,
+                       src/txn/, src/net/). Running foreign code under a
+                       lock is the notify-after-unlock bug class PR 1 fixed
+                       by hand: it deadlocks on re-entrant submission and
+                       wakes waiters into a still-held mutex.
+
+  session-mutation     SessionVector mutations (Set/MarkDown/MarkUp/
+                       MergeFrom on a session-vector receiver) outside the
+                       Site protocol engine and the vector's own
+                       implementation. The paper's ownership rule (sec. 3):
+                       only control transactions — recovery type 1, failure
+                       announcement type 2 — may change a site's view of
+                       sessions, and those run inside Site.
+
 Modes:
   (default)        run the text rules over src/ (or the given paths)
   --headers        also verify every header is self-contained (compiles
@@ -68,14 +92,64 @@ DISCARDED_RE = re.compile(
     r")\s*\([^;]*\)\s*;\s*$"
 )
 
+# raw-mutex: standard-library synchronization types; only the annotated
+# wrappers in src/common/ may touch these directly.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+# callback-under-lock: a scoped lock guard declaration ...
+GUARD_DECL_RE = re.compile(
+    r"\b(?:MutexLock|std::lock_guard|std::unique_lock|std::scoped_lock"
+    r"|std::shared_lock)\b[^;(]*\("
+)
+# ... and, while one is in scope, an invocation of something that looks
+# like a user callback or a condition-variable notify.
+CALLBACK_CALL_RE = re.compile(
+    r"(?:\b(?:callback|cb|task)\s*\(|(?:\.|->)\s*fn\s*\("
+    r"|(?:\.|->)\s*(?:NotifyOne|NotifyAll|notify_one|notify_all)\s*\()"
+)
+
+# session-mutation: a mutating method invoked on something that names a
+# session vector.
+SESSION_MUT_RE = re.compile(
+    r"\bsession_vector\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*"
+    r"(Set|MarkDown|MarkUp|MergeFrom)\s*\("
+)
+
 # Layers whose code runs on (or posts to) an event-loop thread. Dedicated
 # I/O threads live in tcp_transport; the storage layer is explicitly a
 # blocking durability layer driven from non-loop contexts.
 BLOCKING_EXEMPT_DIRS = ("src/storage/",)
 BLOCKING_EXEMPT_FILES = ("src/net/tcp_transport.cc",)
 
-# fail-lock mutations are legal only here.
-FAIL_LOCK_HOME = "src/replication/"
+# fail-lock mutations are legal only in the Site protocol engine (where
+# ROWAA commits and control transactions maintain the table) and in the
+# table's own implementation.
+FAIL_LOCK_HOME = (
+    "src/replication/site.cc",
+    "src/replication/site.h",
+    "src/replication/fail_locks.cc",
+    "src/replication/fail_locks.h",
+)
+
+# Session vectors likewise: Site plus the vector's implementation.
+SESSION_HOME = (
+    "src/replication/site.cc",
+    "src/replication/site.h",
+    "src/replication/session_vector.cc",
+    "src/replication/session_vector.h",
+)
+
+# Raw standard-library synchronization is confined to the annotated
+# wrappers' home.
+RAW_MUTEX_HOME = "src/common/"
+
+# callback-under-lock applies to the layers that invoke user callbacks /
+# notify waiters (the submit path and the runtimes beneath it).
+CALLBACK_LOCK_SCOPE = ("src/core/", "src/txn/", "src/net/")
 
 
 def find_repo_root():
@@ -136,6 +210,8 @@ def lint_file(path, root, findings):
 
     in_block_comment = False
     prev_code_tail = ";"  # code character ending the previous non-blank line
+    brace_depth = 0      # callback-under-lock scope tracking
+    guard_depths = []    # brace depth at each active scoped-guard decl
     for i, line in enumerate(lines):
         # Strip line comments and track /* */ blocks so commented-out code
         # and prose never trip the code rules.
@@ -156,12 +232,56 @@ def lint_file(path, root, findings):
             continue
 
         if (FAIL_LOCK_MUT_RE.search(code)
-                and not rel.startswith(FAIL_LOCK_HOME)
+                and rel not in FAIL_LOCK_HOME
                 and not suppressed(lines, i, "fail-lock-mutation")):
             findings.append((rel, i + 1, "fail-lock-mutation",
-                             "fail-lock tables may only be mutated inside "
-                             "src/replication/ (the protocol layer owns "
-                             "fail-lock maintenance)"))
+                             "fail-lock tables may only be mutated by the "
+                             "Site protocol engine (src/replication/site.cc "
+                             "or the table implementation itself)"))
+
+        if (SESSION_MUT_RE.search(code)
+                and rel not in SESSION_HOME
+                and not suppressed(lines, i, "session-mutation")):
+            findings.append((rel, i + 1, "session-mutation",
+                             "session vectors may only be mutated by the "
+                             "Site protocol engine (control transactions) "
+                             "or the vector implementation itself"))
+
+        if (RAW_MUTEX_RE.search(code)
+                and not rel.startswith(RAW_MUTEX_HOME)
+                and not suppressed(lines, i, "raw-mutex")):
+            findings.append((rel, i + 1, "raw-mutex",
+                             "raw standard-library synchronization outside "
+                             "src/common/; use the annotated Mutex / "
+                             "MutexLock / CondVar wrappers (common/mutex.h) "
+                             "so clang-tsa can check the lock discipline"))
+
+        # callback-under-lock: walk the line's braces, guard declarations
+        # and callback-ish calls in position order so `{ guard; } cb();` is
+        # clean while `guard; cb();` inside one scope is flagged.
+        if rel.startswith(CALLBACK_LOCK_SCOPE):
+            events = [(m.start(), "open") for m in re.finditer(r"\{", code)]
+            events += [(m.start(), "close") for m in re.finditer(r"\}", code)]
+            events += [(m.start(), "guard")
+                       for m in GUARD_DECL_RE.finditer(code)]
+            events += [(m.start(), "call")
+                       for m in CALLBACK_CALL_RE.finditer(code)]
+            for _, kind in sorted(events):
+                if kind == "open":
+                    brace_depth += 1
+                elif kind == "close":
+                    brace_depth -= 1
+                    while guard_depths and guard_depths[-1] > brace_depth:
+                        guard_depths.pop()
+                elif kind == "guard":
+                    guard_depths.append(brace_depth)
+                elif kind == "call" and guard_depths:
+                    if not suppressed(lines, i, "callback-under-lock"):
+                        findings.append(
+                            (rel, i + 1, "callback-under-lock",
+                             "callback / condvar notify invoked while a "
+                             "scoped lock guard is in scope; release the "
+                             "lock first (notify-after-unlock rule)"))
 
         if (BLOCKING_RE.search(code)
                 and not rel.startswith(BLOCKING_EXEMPT_DIRS)

@@ -50,7 +50,10 @@ mapfile -t sources < <(cd "$root" && find src tests bench examples \
 
 echo "run_clang_tidy: $tidy over ${#sources[@]} files (build: $build_dir)"
 status=0
-"$tidy" -p "$build_dir" --quiet "$@" "${sources[@]/#/$root/}" || status=1
+# -warnings-as-errors='*' makes every enabled check gating: clang-tidy
+# exits nonzero on any finding, so CI fails instead of logging and passing.
+"$tidy" -p "$build_dir" --quiet --warnings-as-errors='*' "$@" \
+  "${sources[@]/#/$root/}" || status=1
 if [[ $status -eq 0 ]]; then
   echo "run_clang_tidy: clean"
 fi

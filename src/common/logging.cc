@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace miniraid {
 namespace {
@@ -11,8 +12,8 @@ namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
 
 // Serializes line emission so concurrent sites do not interleave output.
-std::mutex& EmitMutex() {
-  static std::mutex* m = new std::mutex;
+Mutex& EmitMutex() {
+  static Mutex* m = new Mutex;
   return *m;
 }
 
@@ -56,7 +57,7 @@ namespace internal_logging {
 
 void Emit(LogLevel level, const char* file, int line,
           const std::string& message) {
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  MutexLock lock(EmitMutex());
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
                line, message.c_str());
 }

@@ -30,7 +30,12 @@ SimCluster::SimCluster(const ClusterOptions& options)
       std::make_unique<SubmitWindow>(managing_.get(), options_.max_inflight);
 }
 
-SimCluster::~SimCluster() = default;
+SimCluster::~SimCluster() {
+  // The destructor runs in the driving thread (= the managing execution
+  // context), so closing the window here is in-contract: any still-queued
+  // submission gets its kCoordinatorUnreachable reply instead of vanishing.
+  if (window_) window_->Close();
+}
 
 void SimCluster::SubmitTxn(const TxnSpec& txn, SiteId coordinator,
                            ReplyCallback callback) {
@@ -214,6 +219,12 @@ Status RealCluster::Start() {
 void RealCluster::Stop() {
   if (stopped_) return;
   stopped_ = true;
+  // Reject the backlog on the managing loop (the window's single context)
+  // before stopping the loops, so every queued submission still gets its
+  // one reply instead of being dropped.
+  if (started_ && window_) {
+    loops_[managing_id()]->PostAndWait([this] { window_->Close(); });
+  }
   for (auto& transport : tcp_) {
     if (transport) transport->Stop();
   }
@@ -326,19 +337,25 @@ bool RealCluster::WaitUntil(SiteId site,
 }
 
 void RealCluster::AwaitTxn(internal::TxnWaitState& state) {
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.cv.wait(lock, [&state] { return state.done; });
+  MutexLock lock(state.mu);
+  while (!state.done) state.cv.Wait(state.mu);
 }
 
 // ---------------------------------------------------------------------------
 // Factory.
 // ---------------------------------------------------------------------------
 
+std::unique_ptr<SimCluster> MakeSimCluster(const ClusterOptions& options) {
+  // Not make_unique: the constructor is private and this factory is the
+  // friend.
+  return std::unique_ptr<SimCluster>(new SimCluster(options));
+}
+
 Result<std::unique_ptr<Cluster>> MakeCluster(const ClusterOptions& options) {
   if (options.backend == ClusterBackend::kSim) {
-    return std::unique_ptr<Cluster>(std::make_unique<SimCluster>(options));
+    return std::unique_ptr<Cluster>(MakeSimCluster(options));
   }
-  auto real = std::make_unique<RealCluster>(options);
+  auto real = std::unique_ptr<RealCluster>(new RealCluster(options));
   MINIRAID_RETURN_IF_ERROR(real->Start());
   return std::unique_ptr<Cluster>(std::move(real));
 }

@@ -27,7 +27,6 @@ namespace miniraid {
 /// control) that interface-level code must not depend on.
 class SimCluster : public Cluster {
  public:
-  explicit SimCluster(const ClusterOptions& options);
   ~SimCluster() override;
 
   // -- Cluster interface ----------------------------------------------------
@@ -71,6 +70,13 @@ class SimCluster : public Cluster {
   void AwaitTxn(internal::TxnWaitState& state) override;
 
  private:
+  /// Construction goes through MakeSimCluster / MakeCluster only, so every
+  /// cluster in the tree is built (and, for the real backends, started) the
+  /// same way.
+  explicit SimCluster(const ClusterOptions& options);
+  friend std::unique_ptr<SimCluster> MakeSimCluster(
+      const ClusterOptions& options);
+
   /// MR_CHECK-fails on any invariant violation (check_invariants mode).
   void EnforceInvariants();
 
@@ -87,7 +93,6 @@ class SimCluster : public Cluster {
 /// measure real relative overheads.
 class RealCluster : public Cluster {
  public:
-  explicit RealCluster(const ClusterOptions& options);
   ~RealCluster() override;
 
   /// Binds sockets / finishes wiring. Must be called before traffic.
@@ -126,6 +131,12 @@ class RealCluster : public Cluster {
   void AwaitTxn(internal::TxnWaitState& state) override;
 
  private:
+  /// Construction goes through MakeCluster only: a RealCluster is unusable
+  /// until Start(), and the factory is what guarantees Start() ran.
+  explicit RealCluster(const ClusterOptions& options);
+  friend Result<std::unique_ptr<Cluster>> MakeCluster(
+      const ClusterOptions& options);
+
   SteadyClock clock_;
   bool started_ = false;
   bool stopped_ = false;
@@ -139,10 +150,10 @@ class RealCluster : public Cluster {
   std::unique_ptr<SubmitWindow> window_;  // managing-loop context only
 };
 
-/// Deprecated alias kept for one PR: the options structs are merged — use
-/// ClusterOptions with `backend = ClusterBackend::kInProc / kTcp`.
-using RealClusterOptions [[deprecated(
-    "use ClusterOptions with a ClusterBackend")]] = ClusterOptions;
+/// Builds a simulator cluster. This is the sanctioned white-box entry point
+/// for tests and experiment code that need the simulator extras (site(),
+/// runtime(), RunUntilIdle()); interface-level code should use MakeCluster.
+std::unique_ptr<SimCluster> MakeSimCluster(const ClusterOptions& options);
 
 }  // namespace miniraid
 

@@ -49,11 +49,14 @@ TxnHandle Cluster::SubmitTxn(const TxnSpec& txn, SiteId coordinator) {
   state->id = txn.id;
   SubmitTxn(txn, coordinator, [state](const TxnReplyArgs& reply) {
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       state->reply = reply;
       state->done = true;
     }
-    state->cv.notify_all();
+    // Notify with the lock released: a waiter must never wake into a
+    // still-held mutex (the notify-after-unlock rule the lint's
+    // callback-under-lock pass enforces for this layer).
+    state->cv.NotifyAll();
   });
   return TxnHandle(this, std::move(state));
 }

@@ -1,13 +1,12 @@
 #ifndef MINIRAID_CORE_CLUSTER_API_H_
 #define MINIRAID_CORE_CLUSTER_API_H_
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -74,9 +73,6 @@ struct ClusterOptions {
   /// known-quiet moments instead).
   bool check_invariants = false;
   InvariantChecker::Options invariants;
-
-  /// Deprecated spelling kept for one PR: prefer `ClusterBackend`.
-  using TransportKind = ClusterBackend;
 };
 
 /// Counters over everything submitted through a Cluster since start.
@@ -100,14 +96,18 @@ namespace internal {
 /// path; never lives on a waiter's stack, so a reply can never race a
 /// destroyed frame (the failure mode of per-txn stack condvars).
 struct TxnWaitState {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
+  Mutex mu;
+  CondVar cv;
+  bool done MR_GUARDED_BY(mu) = false;
+  /// Written (under `mu`) strictly before `done` flips and read only after
+  /// `done` is observed true, so the lock release/acquire on `done` is the
+  /// synchronization for `reply` too — TxnHandle::Get can safely hand out
+  /// a plain reference.
   TxnReplyArgs reply;
   TxnId id = 0;
 
   bool IsDone() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return done;
   }
 };

@@ -126,7 +126,8 @@ ScenarioResult RunScenarioImplInternal(const ScenarioConfig& config,
 ScenarioResult RunScenario(const ScenarioConfig& config,
                            const std::vector<ScenarioStep>& steps,
                            CoordinatorPolicy default_policy) {
-  SimCluster cluster(ToClusterOptions(config));
+  auto cluster_owner = MakeSimCluster(ToClusterOptions(config));
+  SimCluster& cluster = *cluster_owner;
   return RunScenarioImplInternal(config, steps, std::move(default_policy),
                                  &cluster);
 }
@@ -294,7 +295,8 @@ void ResetTimingStats(SimCluster& cluster) {
 Exp1FailLockOverheadResult RunExp1FailLockOverhead(const Exp1Config& config) {
   Exp1FailLockOverheadResult result;
   for (const bool maintain : {false, true}) {
-    SimCluster cluster(Exp1ClusterOptions(config, maintain));
+    auto cluster_owner = MakeSimCluster(Exp1ClusterOptions(config, maintain));
+    SimCluster& cluster = *cluster_owner;
     UniformWorkload workload(Exp1WorkloadOptions(config));
     // Warm up, then measure the same transaction stream (the paper ran a
     // set of transactions without the fail-locks code, then "re-ran the
@@ -325,7 +327,8 @@ Exp1FailLockOverheadResult RunExp1FailLockOverhead(const Exp1Config& config) {
 }
 
 Exp1ControlResult RunExp1Control(const Exp1Config& config) {
-  SimCluster cluster(Exp1ClusterOptions(config, /*maintain_fail_locks=*/true));
+  auto cluster_owner = MakeSimCluster(Exp1ClusterOptions(config, /*maintain_fail_locks=*/true));
+  SimCluster& cluster = *cluster_owner;
   UniformWorkload workload(Exp1WorkloadOptions(config));
   const SiteId victim = config.n_sites - 1;
 
@@ -369,7 +372,8 @@ Exp1ControlResult RunExp1Control(const Exp1Config& config) {
 }
 
 Exp1CopierResult RunExp1Copier(const Exp1Config& config) {
-  SimCluster cluster(Exp1ClusterOptions(config, /*maintain_fail_locks=*/true));
+  auto cluster_owner = MakeSimCluster(Exp1ClusterOptions(config, /*maintain_fail_locks=*/true));
+  SimCluster& cluster = *cluster_owner;
   UniformWorkload workload(Exp1WorkloadOptions(config));
   const SiteId victim = config.n_sites - 1;
 

@@ -8,12 +8,34 @@ namespace miniraid {
 void SubmitWindow::Submit(const TxnSpec& txn, SiteId coordinator,
                           ManagingSite::ReplyCallback callback) {
   Pending pending{txn, coordinator, std::move(callback)};
+  if (closed_) {
+    Reject(std::move(pending));
+    return;
+  }
   if (window_ != 0 && inflight_ >= window_) {
     ++backlogged_total_;
     backlog_.push_back(std::move(pending));
     return;
   }
   Dispatch(std::move(pending));
+}
+
+void SubmitWindow::Close() {
+  if (closed_) return;
+  closed_ = true;
+  // Swap the backlog out first: a rejection callback may call Submit again
+  // (which now rejects directly) and must not observe or mutate a
+  // half-drained queue.
+  std::deque<Pending> rejected;
+  rejected.swap(backlog_);
+  for (Pending& pending : rejected) Reject(std::move(pending));
+}
+
+void SubmitWindow::Reject(Pending pending) {
+  TxnReplyArgs reply;
+  reply.txn = pending.txn.id;
+  reply.outcome = TxnOutcome::kCoordinatorUnreachable;
+  pending.callback(reply);
 }
 
 void SubmitWindow::Dispatch(Pending pending) {

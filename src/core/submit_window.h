@@ -29,9 +29,20 @@ class SubmitWindow {
   /// Dispatches immediately if a slot is free, else queues. `callback` is
   /// invoked exactly once with the reply; the next queued transaction (if
   /// any) is dispatched before the callback runs, keeping the pipe full.
+  /// After Close(), the callback is instead invoked immediately with a
+  /// synthesized kCoordinatorUnreachable reply.
   void Submit(const TxnSpec& txn, SiteId coordinator,
               ManagingSite::ReplyCallback callback);
 
+  /// Rejects every queued (not-yet-dispatched) transaction with a
+  /// synthesized kCoordinatorUnreachable reply, in arrival order, and makes
+  /// all later Submit calls fail the same way. In-flight transactions are
+  /// not touched: the managing site still owes each exactly one reply.
+  /// Idempotent. Used by cluster shutdown so no submission callback is
+  /// silently dropped.
+  void Close();
+
+  bool closed() const { return closed_; }
   uint32_t inflight() const { return inflight_; }
   size_t backlog_size() const { return backlog_.size(); }
   /// Total submissions that had to wait for a slot.
@@ -46,11 +57,14 @@ class SubmitWindow {
   };
 
   void Dispatch(Pending pending);
+  /// Invokes `pending.callback` with the synthesized rejection reply.
+  static void Reject(Pending pending);
 
   ManagingSite* const managing_;
   const uint32_t window_;
 
   std::deque<Pending> backlog_;
+  bool closed_ = false;
   uint32_t inflight_ = 0;
   uint32_t max_inflight_seen_ = 0;
   uint64_t backlogged_total_ = 0;

@@ -50,7 +50,7 @@ std::string TraceRecord::ToString() const {
 
 void TraceLog::Record(TimePoint when, SiteId site, TraceEvent event,
                       uint64_t a, uint64_t b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (records_.size() >= capacity_) {
     records_.pop_front();
     ++dropped_;
@@ -59,28 +59,28 @@ void TraceLog::Record(TimePoint when, SiteId site, TraceEvent event,
 }
 
 size_t TraceLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_.size();
 }
 
 uint64_t TraceLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   records_.clear();
   dropped_ = 0;
 }
 
 std::vector<TraceRecord> TraceLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::vector<TraceRecord>(records_.begin(), records_.end());
 }
 
 std::vector<TraceRecord> TraceLog::Filter(TraceEvent event) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceRecord> out;
   for (const TraceRecord& record : records_) {
     if (record.event == event) out.push_back(record);
@@ -89,7 +89,7 @@ std::vector<TraceRecord> TraceLog::Filter(TraceEvent event) const {
 }
 
 std::vector<TraceRecord> TraceLog::ForSite(SiteId site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceRecord> out;
   for (const TraceRecord& record : records_) {
     if (record.site == site) out.push_back(record);
@@ -98,7 +98,7 @@ std::vector<TraceRecord> TraceLog::ForSite(SiteId site) const {
 }
 
 size_t TraceLog::Count(TraceEvent event) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t count = 0;
   for (const TraceRecord& record : records_) {
     count += record.event == event ? 1 : 0;
@@ -107,7 +107,7 @@ size_t TraceLog::Count(TraceEvent event) const {
 }
 
 std::string TraceLog::Dump() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const TraceRecord& record : records_) {
     out += record.ToString();

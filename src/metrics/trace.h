@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace miniraid {
@@ -77,10 +77,10 @@ class TraceLog {
   std::string Dump() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   size_t capacity_;
-  std::deque<TraceRecord> records_;  // guarded by mu_
-  uint64_t dropped_ = 0;             // guarded by mu_
+  std::deque<TraceRecord> records_ MR_GUARDED_BY(mu_);
+  uint64_t dropped_ MR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace miniraid

@@ -12,11 +12,11 @@ EventLoop::~EventLoop() { Stop(); }
 
 void EventLoop::Post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     tasks_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 TimerId EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
@@ -24,18 +24,18 @@ TimerId EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
       std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay);
   TimerId id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return kInvalidTimer;
     id = next_timer_id_++;
     timers_.emplace(when, Timer{id, std::move(fn)});
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return id;
 }
 
 void EventLoop::CancelTimer(TimerId id) {
   if (id == kInvalidTimer) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = timers_.begin(); it != timers_.end(); ++it) {
     if (it->second.id == id) {
       timers_.erase(it);
@@ -49,51 +49,59 @@ void EventLoop::CancelTimer(TimerId id) {
 
 void EventLoop::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Already stopped; just make sure the thread is joined.
-    }
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   MR_CHECK(!IsCurrentThread()) << "EventLoop::Stop from the loop thread";
   if (thread_.joinable()) thread_.join();
 }
 
 void EventLoop::PostAndWait(std::function<void()> task) {
   MR_CHECK(!IsCurrentThread()) << "PostAndWait from the loop thread";
-  // The wait state is shared (not stack-captured) and notified while the
-  // lock is held: the caller may time out or wake the instant `done` is
-  // observable, after which its frame is gone.
+  // The wait state is shared (not stack-captured): the caller may time out
+  // or wake the instant `done` is observable, after which its frame is
+  // gone; the shared_ptr keeps the state alive for the notifying side.
   struct WaitState {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex mu;
+    CondVar cv;
+    bool done MR_GUARDED_BY(mu) = false;
   };
   auto state = std::make_shared<WaitState>();
   Post([state, task = std::move(task)] {
     task();
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->done = true;
-    state->cv.notify_one();
+    {
+      MutexLock lock(state->mu);
+      state->done = true;
+    }
+    state->cv.NotifyOne();
   });
-  std::unique_lock<std::mutex> lock(state->mu);
   // If the loop is stopping the task may never run; bound the wait so a
   // shutdown race cannot hang the caller forever.
-  state->cv.wait_for(lock, std::chrono::seconds(30),
-                     [&] { return state->done; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  MutexLock lock(state->mu);
+  while (!state->done) {
+    if (state->cv.WaitUntil(state->mu, deadline)) break;
+  }
 }
 
 void EventLoop::Run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    if (stopping_) return;
+    if (stopping_) {
+      mu_.Unlock();
+      return;
+    }
     if (!tasks_.empty()) {
       std::function<void()> task = std::move(tasks_.front());
       tasks_.pop_front();
-      lock.unlock();
+      // Tasks and timers run with mu_ released: it is the innermost lock
+      // (see the lock-order annotations on the transport mutexes), so
+      // loop-thread code is free to call Transport::Send and the like.
+      mu_.Unlock();
       task();
-      lock.lock();
+      mu_.Lock();
       continue;
     }
     if (!timers_.empty()) {
@@ -103,15 +111,15 @@ void EventLoop::Run() {
         Timer timer = std::move(first->second);
         timers_.erase(first);
         if (cancelled_.erase(timer.id)) continue;
-        lock.unlock();
+        mu_.Unlock();
         timer.fn();
-        lock.lock();
+        mu_.Lock();
         continue;
       }
-      cv_.wait_until(lock, first->first);
+      cv_.WaitUntil(mu_, first->first);
       continue;
     }
-    cv_.wait(lock);
+    cv_.Wait(mu_);
   }
 }
 

@@ -1,15 +1,14 @@
 #ifndef MINIRAID_NET_EVENT_LOOP_H_
 #define MINIRAID_NET_EVENT_LOOP_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/runtime.h"
 
 namespace miniraid {
@@ -49,6 +48,13 @@ class EventLoop {
   /// loop thread; asserted).
   void PostAndWait(std::function<void()> task);
 
+  /// The queue mutex, public only so that other layers can name it in
+  /// lock-order annotations (see TcpTransport: transport mutexes are
+  /// MR_ACQUIRED_BEFORE this one, making it the innermost lock — tasks and
+  /// timers always run with it released, so loop-thread code may take
+  /// transport locks, never the reverse). Do not lock it outside EventLoop.
+  Mutex mu_;
+
  private:
   struct Timer {
     TimerId id;
@@ -57,13 +63,13 @@ class EventLoop {
 
   void Run();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  std::multimap<std::chrono::steady_clock::time_point, Timer> timers_;
-  std::unordered_set<TimerId> cancelled_;
-  TimerId next_timer_id_ = 1;
-  bool stopping_ = false;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ MR_GUARDED_BY(mu_);
+  std::multimap<std::chrono::steady_clock::time_point, Timer> timers_
+      MR_GUARDED_BY(mu_);
+  std::unordered_set<TimerId> cancelled_ MR_GUARDED_BY(mu_);
+  TimerId next_timer_id_ MR_GUARDED_BY(mu_) = 1;
+  bool stopping_ MR_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -2,7 +2,6 @@
 #define MINIRAID_NET_INPROC_TRANSPORT_H_
 
 #include <atomic>
-#include <mutex>
 #include <unordered_map>
 
 #include "net/event_loop.h"

@@ -106,13 +106,13 @@ void TcpTransport::Stop() {
   const int listen_fd = listen_fd_.exchange(-1);
   if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     for (auto& [peer, fd] : out_fds_) ::close(fd);
     out_fds_.clear();
   }
   std::vector<std::thread> readers;
   {
-    std::lock_guard<std::mutex> lock(readers_mu_);
+    MutexLock lock(readers_mu_);
     for (int fd : in_fds_) ::shutdown(fd, SHUT_RDWR);
     readers.swap(reader_threads_);
   }
@@ -122,7 +122,7 @@ void TcpTransport::Stop() {
     if (t.joinable()) t.join();
   }
   {
-    std::lock_guard<std::mutex> lock(readers_mu_);
+    MutexLock lock(readers_mu_);
     for (int fd : in_fds_) ::close(fd);
     in_fds_.clear();
   }
@@ -137,7 +137,7 @@ void TcpTransport::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(readers_mu_);
+    MutexLock lock(readers_mu_);
     if (stopping_.load()) {
       ::close(fd);
       return;
@@ -209,7 +209,7 @@ Status TcpTransport::Send(const Message& msg) {
       static_cast<uint8_t>(length), static_cast<uint8_t>(length >> 8),
       static_cast<uint8_t>(length >> 16), static_cast<uint8_t>(length >> 24)};
 
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   auto it = out_fds_.find(msg.to);
   if (it == out_fds_.end()) {
     int fd = -1;

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "net/event_loop.h"
 #include "net/transport.h"
 
@@ -57,7 +57,9 @@ class TcpTransport : public Transport {
  private:
   void AcceptLoop();
   void ReadLoop(int fd);
-  Status ConnectTo(SiteId peer, int* fd_out);
+  /// Opens the lazy outbound connection; called on the Send path with the
+  /// connection table locked (the map insert must be atomic with connect).
+  Status ConnectTo(SiteId peer, int* fd_out) MR_REQUIRES(conn_mu_);
 
   SiteId self_;
   std::map<SiteId, uint16_t> peers_;
@@ -70,12 +72,18 @@ class TcpTransport : public Transport {
   std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
 
-  std::mutex conn_mu_;
-  std::map<SiteId, int> out_fds_;  // guarded by conn_mu_
+  // Lock order (statically declared): each transport mutex comes before
+  // the destination EventLoop's queue mutex — a thread may post to a loop
+  // while holding a transport lock, but loop internals never call into the
+  // transport with their queue lock held (tasks run with it released).
+  // This forbids at compile time the loop<->transport deadlock class TSan
+  // can only observe on an unlucky interleaving.
+  Mutex conn_mu_ MR_ACQUIRED_BEFORE(loop_->mu_);
+  std::map<SiteId, int> out_fds_ MR_GUARDED_BY(conn_mu_);
 
-  std::mutex readers_mu_;
-  std::vector<std::thread> reader_threads_;  // guarded by readers_mu_
-  std::vector<int> in_fds_;                  // guarded by readers_mu_
+  Mutex readers_mu_ MR_ACQUIRED_BEFORE(loop_->mu_);
+  std::vector<std::thread> reader_threads_ MR_GUARDED_BY(readers_mu_);
+  std::vector<int> in_fds_ MR_GUARDED_BY(readers_mu_);
 
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> messages_received_{0};

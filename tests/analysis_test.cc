@@ -82,7 +82,8 @@ TEST(AnalysisVsSimTest, MessageCountMatchesFormula) {
   ClusterOptions options;
   options.n_sites = 4;
   options.db_size = 10;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   TxnSpec txn;
   txn.id = 1;
   txn.ops = {Operation::Write(0, 1), Operation::Read(1)};
@@ -101,7 +102,8 @@ TEST(AnalysisVsSimTest, CopierDemandMatchesProbability) {
     ClusterOptions options;
     options.n_sites = 2;
     options.db_size = 50;
-    SimCluster cluster(options);
+    auto cluster_owner = MakeSimCluster(options);
+    SimCluster& cluster = *cluster_owner;
     UniformWorkloadOptions wopts;
     wopts.db_size = 50;
     wopts.max_txn_size = 5;

@@ -53,7 +53,8 @@ std::vector<TxnReplyArgs> RunConcurrently(
 }
 
 TEST(ConcurrencyTest, DisjointWritesAtDifferentCoordinators) {
-  SimCluster cluster(Options(3));
+  auto cluster_owner = MakeSimCluster(Options(3));
+  SimCluster& cluster = *cluster_owner;
   const auto replies = RunConcurrently(
       cluster, {{MakeTxn(1, {Operation::Write(0, 10)}), 0},
                 {MakeTxn(2, {Operation::Write(1, 20)}), 1},
@@ -70,7 +71,8 @@ TEST(ConcurrencyTest, DisjointWritesAtDifferentCoordinators) {
 }
 
 TEST(ConcurrencyTest, ConflictingWritesConvergeByLastWriterWins) {
-  SimCluster cluster(Options(3));
+  auto cluster_owner = MakeSimCluster(Options(3));
+  SimCluster& cluster = *cluster_owner;
   const auto replies = RunConcurrently(
       cluster, {{MakeTxn(1, {Operation::Write(5, 100)}), 0},
                 {MakeTxn(2, {Operation::Write(5, 200)}), 1},
@@ -88,7 +90,8 @@ TEST(ConcurrencyTest, ConflictingWritesConvergeByLastWriterWins) {
 }
 
 TEST(ConcurrencyTest, BusyCoordinatorQueuesInOrder) {
-  SimCluster cluster(Options(2));
+  auto cluster_owner = MakeSimCluster(Options(2));
+  SimCluster& cluster = *cluster_owner;
   std::vector<std::pair<TxnSpec, SiteId>> batch;
   for (TxnId t = 1; t <= 10; ++t) {
     batch.push_back({MakeTxn(t, {Operation::Write(0, Value(t))}), 0});
@@ -104,7 +107,8 @@ TEST(ConcurrencyTest, BusyCoordinatorQueuesInOrder) {
 
 TEST(ConcurrencyTest, ParticipantsHoldMultipleStagings) {
   // Sites 0 and 1 both coordinate; site 2 participates in both at once.
-  SimCluster cluster(Options(3));
+  auto cluster_owner = MakeSimCluster(Options(3));
+  SimCluster& cluster = *cluster_owner;
   const auto replies = RunConcurrently(
       cluster, {{MakeTxn(1, {Operation::Write(0, 10), Operation::Write(1, 11)}),
                  0},
@@ -119,7 +123,8 @@ TEST(ConcurrencyTest, ParticipantsHoldMultipleStagings) {
 }
 
 TEST(ConcurrencyTest, ConcurrentLoadWithFailureStaysConsistent) {
-  SimCluster cluster(Options(4, 20));
+  auto cluster_owner = MakeSimCluster(Options(4, 20));
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 20;
   wopts.max_txn_size = 5;
@@ -149,7 +154,8 @@ TEST(ConcurrencyTest, ConcurrentLoadWithFailureStaysConsistent) {
 TEST(ConcurrencyTest, QueueOverflowDropsButClientTimesOut) {
   ClusterOptions options = Options(2);
   options.managing.client_timeout = Seconds(30);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   // 70 concurrent submissions to one coordinator: 1 active + 64 queued,
   // the rest dropped. Every submission still gets exactly one reply
   // (dropped ones as kCoordinatorUnreachable after the client timeout).

@@ -40,7 +40,8 @@ TEST_P(ConsistencyPropertyTest, InvariantsHoldUnderRandomFailures) {
   // validates fail-lock/session consistency, table agreement, session
   // monotonicity, and write coverage (aborts on violation).
   options.check_invariants = true;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   UniformWorkloadOptions wopts;
   wopts.db_size = kDbSize;
@@ -190,7 +191,8 @@ TEST_P(ExtensionPropertyTest, InvariantsHoldWithExtensionsEnabled) {
   options.site.batch_copier_chunk = 4;
   options.site.enable_type3 = true;
   options.managing.client_timeout = Seconds(5);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   UniformWorkloadOptions wopts;
   wopts.db_size = kDbSize;

@@ -69,7 +69,8 @@ TEST_F(DurableSiteTest, MirrorRestoreRecoverCycle) {
                                    Version version) {
     (void)(*store)->InstallCopy(item, ItemState{value, version});
   };
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   // Commit some state, then crash site 1 (memory wiped).
   for (TxnId t = 1; t <= 6; ++t) {
@@ -111,7 +112,8 @@ TEST_F(DurableSiteTest, RestoreImageRequiresDownSite) {
   ClusterOptions options;
   options.n_sites = 2;
   options.db_size = 4;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   const Status status =
       cluster.site(0).RestoreImage({ItemCopy{0, 1, 1}});
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
@@ -121,7 +123,8 @@ TEST_F(DurableSiteTest, RestoreImageValidatesItems) {
   ClusterOptions options;
   options.n_sites = 2;
   options.db_size = 4;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   cluster.Fail(1);
   EXPECT_EQ(cluster.site(1).RestoreImage({ItemCopy{99, 1, 1}}).code(),
             StatusCode::kInvalidArgument);
@@ -136,7 +139,8 @@ TEST_F(DurableSiteTest, OnApplyHookSeesEveryCommittedWrite) {
                                      Version version) {
     applied.emplace_back(item, value, version);
   };
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   ASSERT_EQ(cluster
                 .RunTxn(MakeTxn(1, {Operation::Write(3, 33),
                                     Operation::Write(5, 55)}),
@@ -157,7 +161,8 @@ TEST(DuplicateDeliveryTest, ProtocolToleratesRetransmittingTransport) {
   options.db_size = 12;
   options.transport.duplicate_probability = 0.3;
   options.transport.jitter_seed = 4;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 12;
   wopts.max_txn_size = 5;

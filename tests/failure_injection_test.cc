@@ -39,7 +39,8 @@ TEST(PartitionTest, MinoritySideDetectsMajorityAsFailed) {
   options.n_sites = 3;
   options.db_size = 8;
   options.transport.drop_filter = partition.Filter();
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   partition.Split({{0, 1}, {2}});
   // Site 2's next coordinated write times out on both peers and announces
@@ -63,7 +64,8 @@ TEST(PartitionTest, RowaaDivergesUnderPartitionTheDocumentedLimitation) {
   options.n_sites = 2;
   options.db_size = 4;
   options.transport.drop_filter = partition.Filter();
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   partition.Split({{0}, {1}});
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 1)}), 0);  // detect
@@ -87,7 +89,8 @@ TEST(PartitionTest, HealedPartitionRecoversViaControlType1) {
   options.n_sites = 3;
   options.db_size = 8;
   options.transport.drop_filter = partition.Filter();
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   partition.Split({{0, 1}, {2}});
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(3, 1)}), 0);  // detect
@@ -140,7 +143,8 @@ TEST(JitterTest, ProtocolCorrectUnderJitteredLatency) {
   options.transport.latency_jitter = Milliseconds(30);
   options.transport.jitter_seed = 7;
   options.check_invariants = true;  // full invariant suite at every step
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 10;
   wopts.max_txn_size = 5;
@@ -164,7 +168,8 @@ TEST(LoseStateTest, ColdRestartRefreshesEverythingBeforeServing) {
   options.db_size = 6;
   options.site.lose_state_on_crash = true;
   options.check_invariants = true;  // full invariant suite at every step
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0);
   cluster.Fail(1);
   // Site 1's memory is gone, including the value of item 2 committed
@@ -189,7 +194,8 @@ TEST(LoseStateTest, SessionCounterSurvivesColdRestart) {
   options.n_sites = 2;
   options.db_size = 4;
   options.site.lose_state_on_crash = true;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   cluster.Fail(1);
   cluster.Recover(1);
   cluster.Fail(1);
@@ -207,7 +213,8 @@ TEST(LoseStateTest, BatchModeDrainsColdRestartQuickly) {
   options.site.lose_state_on_crash = true;
   options.site.batch_copier_threshold = 1.0;  // proactive refresh
   options.site.batch_copier_chunk = 4;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   for (TxnId t = 1; t <= 6; ++t) {
     (void)cluster.RunTxn(
         MakeTxn(t, {Operation::Write(static_cast<ItemId>(t), Value(t))}), 0);

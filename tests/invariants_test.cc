@@ -29,7 +29,7 @@ class InvariantCheckerTest : public ::testing::Test {
     ClusterOptions options;
     options.n_sites = 3;
     options.db_size = 8;
-    cluster_ = std::make_unique<SimCluster>(options);
+    cluster_ = MakeSimCluster(options);
     (void)cluster_->RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
     (void)cluster_->RunTxn(MakeTxn(2, {Operation::Write(3, 30)}), 1);
     cluster_->Fail(2);
@@ -152,7 +152,8 @@ TEST(SimClusterInvariantsTest, EnforcedClusterRunsCleanThroughFailures) {
   options.n_sites = 4;
   options.db_size = 10;
   options.check_invariants = true;  // MR_CHECK-aborts on any violation
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 10;
   wopts.max_txn_size = 4;
@@ -179,7 +180,8 @@ TEST(SimClusterInvariantsTest, LoseStateClusterRunsCleanUnderEnforcement) {
   options.db_size = 6;
   options.site.lose_state_on_crash = true;
   options.check_invariants = true;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0);
   cluster.Fail(1);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(4, 44)}), 0);

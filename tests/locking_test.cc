@@ -49,7 +49,8 @@ std::vector<TxnReplyArgs> RunConcurrently(
 }
 
 TEST(LockingTest, SerialTransactionsUnaffected) {
-  SimCluster cluster(Options(3));
+  auto cluster_owner = MakeSimCluster(Options(3));
+  SimCluster& cluster = *cluster_owner;
   for (TxnId t = 1; t <= 10; ++t) {
     const TxnReplyArgs reply = cluster.RunTxn(
         MakeTxn(t, {Operation::Write(static_cast<ItemId>(t % 12), Value(t)),
@@ -71,7 +72,8 @@ TEST(LockingTest, MultiItemReadIsAtomicAgainstConcurrentWrite) {
   // event and sites apply writes atomically — the test pins down that the
   // locking machinery preserves it while adding its waits/aborts.)
   for (uint64_t seed = 0; seed < 5; ++seed) {
-    SimCluster cluster(Options(2, 4));
+    auto cluster_owner = MakeSimCluster(Options(2, 4));
+    SimCluster& cluster = *cluster_owner;
     (void)cluster.RunTxn(
         MakeTxn(1, {Operation::Write(0, 100), Operation::Write(1, 100)}), 0);
 
@@ -92,7 +94,8 @@ TEST(LockingTest, MultiItemReadIsAtomicAgainstConcurrentWrite) {
 }
 
 TEST(LockingTest, YoungerConflictingWriterDiesAndCanRetry) {
-  SimCluster cluster(Options(2, 4));
+  auto cluster_owner = MakeSimCluster(Options(2, 4));
+  SimCluster& cluster = *cluster_owner;
   // Start an older multi-item writer and a younger conflicting writer
   // concurrently at different coordinators.
   const auto replies = RunConcurrently(
@@ -113,7 +116,8 @@ TEST(LockingTest, YoungerConflictingWriterDiesAndCanRetry) {
 }
 
 TEST(LockingTest, NoLocksLeakAcrossHeavyConcurrency) {
-  SimCluster cluster(Options(4, 10));
+  auto cluster_owner = MakeSimCluster(Options(4, 10));
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 10;
   wopts.max_txn_size = 4;
@@ -154,7 +158,8 @@ TEST(LockingTest, StaleLocksDoNotOutliveTimeoutsOrCrashes) {
     return msg.from == 0 && msg.to == 1 && msg.type == MsgType::kCommit;
   };
   options.managing.client_timeout = Seconds(30);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   ASSERT_EQ(cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0).outcome,
             TxnOutcome::kCommitted);
   // Clear the mutual suspicion with a real crash + type-1 recovery.
@@ -171,7 +176,8 @@ TEST(LockingTest, StaleLocksDoNotOutliveTimeoutsOrCrashes) {
 }
 
 TEST(LockingTest, FailureAndRecoveryComposeWithLocking) {
-  SimCluster cluster(Options(3, 8));
+  auto cluster_owner = MakeSimCluster(Options(3, 8));
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 8;
   wopts.max_txn_size = 4;

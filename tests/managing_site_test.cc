@@ -19,7 +19,8 @@ TEST(ManagingSiteTest, TalliesOutcomes) {
   options.n_sites = 2;
   options.db_size = 4;
   options.managing.client_timeout = Seconds(2);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   EXPECT_EQ(cluster.RunTxn(MakeTxn(1), 0).outcome, TxnOutcome::kCommitted);
   cluster.Fail(1);
@@ -39,7 +40,8 @@ TEST(ManagingSiteTest, TimeoutSynthesizesUnreachableReply) {
   ClusterOptions options;
   options.n_sites = 2;
   options.managing.client_timeout = Milliseconds(500);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   cluster.Fail(0);
   const TxnReplyArgs reply = cluster.RunTxn(MakeTxn(1), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCoordinatorUnreachable);
@@ -53,7 +55,8 @@ TEST(ManagingSiteTest, LateReplyAfterTimeoutIgnored) {
   ClusterOptions options;
   options.n_sites = 4;
   options.managing.client_timeout = Milliseconds(20);  // < 2PC round trips
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   const TxnReplyArgs reply = cluster.RunTxn(MakeTxn(1), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCoordinatorUnreachable);
   // The transaction itself still committed at the sites.
@@ -66,7 +69,8 @@ TEST(ManagingSiteTest, LateReplyAfterTimeoutIgnored) {
 TEST(ManagingSiteTest, CallbackInvokedExactlyOnce) {
   ClusterOptions options;
   options.n_sites = 2;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   int calls = 0;
   cluster.managing().Submit(MakeTxn(1), 0,
                             [&calls](const TxnReplyArgs&) { ++calls; });

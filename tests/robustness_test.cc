@@ -27,7 +27,8 @@ ClusterOptions SmallOptions() {
 }
 
 TEST(RobustnessTest, OutOfRangeItemsRejectedNotCrashed) {
-  SimCluster cluster(SmallOptions());
+  auto cluster_owner = MakeSimCluster(SmallOptions());
+  SimCluster& cluster = *cluster_owner;
   const TxnReplyArgs reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(999, 1)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kRejectedInvalid);
@@ -37,7 +38,8 @@ TEST(RobustnessTest, OutOfRangeItemsRejectedNotCrashed) {
 }
 
 TEST(RobustnessTest, DuplicateCommitIsIdempotent) {
-  SimCluster cluster(SmallOptions());
+  auto cluster_owner = MakeSimCluster(SmallOptions());
+  SimCluster& cluster = *cluster_owner;
   ASSERT_EQ(cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 5)}), 0).outcome,
             TxnOutcome::kCommitted);
   // Replay the commit to a participant after the transaction finished.
@@ -49,7 +51,8 @@ TEST(RobustnessTest, DuplicateCommitIsIdempotent) {
 }
 
 TEST(RobustnessTest, StrayAcksAndRepliesIgnored) {
-  SimCluster cluster(SmallOptions());
+  auto cluster_owner = MakeSimCluster(SmallOptions());
+  SimCluster& cluster = *cluster_owner;
   (void)cluster.transport().Send(MakeMessage(1, 0, PrepareAckArgs{77}));
   (void)cluster.transport().Send(MakeMessage(1, 0, CommitAckArgs{77}));
   CopyReplyArgs stray_copy;
@@ -64,7 +67,8 @@ TEST(RobustnessTest, StrayAcksAndRepliesIgnored) {
 }
 
 TEST(RobustnessTest, StaleAbortForFinishedTxnIgnored) {
-  SimCluster cluster(SmallOptions());
+  auto cluster_owner = MakeSimCluster(SmallOptions());
+  SimCluster& cluster = *cluster_owner;
   ASSERT_EQ(cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 5)}), 0).outcome,
             TxnOutcome::kCommitted);
   (void)cluster.transport().Send(MakeMessage(0, 1, AbortArgs{1}));
@@ -73,7 +77,8 @@ TEST(RobustnessTest, StaleAbortForFinishedTxnIgnored) {
 }
 
 TEST(RobustnessTest, MalformedClearFailLocksIgnored) {
-  SimCluster cluster(SmallOptions());
+  auto cluster_owner = MakeSimCluster(SmallOptions());
+  SimCluster& cluster = *cluster_owner;
   ClearFailLocksArgs bad;
   bad.txn = 1;
   bad.refreshed_site = 99;           // no such site
@@ -90,7 +95,8 @@ TEST(RobustnessTest, MalformedClearFailLocksIgnored) {
 }
 
 TEST(RobustnessTest, MalformedControlMessagesIgnored) {
-  SimCluster cluster(SmallOptions());
+  auto cluster_owner = MakeSimCluster(SmallOptions());
+  SimCluster& cluster = *cluster_owner;
   (void)cluster.transport().Send(
       MakeMessage(1, 0, RecoveryAnnounceArgs{99, 5}));
   CopyCreateArgs bad_create;
@@ -112,7 +118,8 @@ TEST(RobustnessTest, WireFuzzAgainstLiveCluster) {
   // Generate random (structurally valid, semantically junk) messages of
   // every type, deliver them between real transactions, and require the
   // cluster to stay consistent and alive.
-  SimCluster cluster(SmallOptions());
+  auto cluster_owner = MakeSimCluster(SmallOptions());
+  SimCluster& cluster = *cluster_owner;
   UniformWorkloadOptions wopts;
   wopts.db_size = 8;
   wopts.max_txn_size = 4;

@@ -36,7 +36,8 @@ void FailAndDetect(SimCluster& cluster, SiteId victim, SiteId detector,
 }
 
 TEST(SiteProtocolTest, MaintenanceSetsBitsOnlyForDownHolders) {
-  SimCluster cluster(Options(3));
+  auto cluster_owner = MakeSimCluster(Options(3));
+  SimCluster& cluster = *cluster_owner;
   FailAndDetect(cluster, 2, 0, 1);
 
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(5, 55)}), 0);
@@ -51,7 +52,8 @@ TEST(SiteProtocolTest, MaintenanceSetsBitsOnlyForDownHolders) {
 }
 
 TEST(SiteProtocolTest, MaintenanceCountersTrackTransitions) {
-  SimCluster cluster(Options(2));
+  auto cluster_owner = MakeSimCluster(Options(2));
+  SimCluster& cluster = *cluster_owner;
   FailAndDetect(cluster, 1, 0, 1);
   const uint64_t before = cluster.site(0).counters().fail_locks_set;
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(3, 1)}), 0);
@@ -63,14 +65,16 @@ TEST(SiteProtocolTest, MaintenanceCountersTrackTransitions) {
 TEST(SiteProtocolTest, DisablingMaintenanceSkipsFailLocks) {
   ClusterOptions options = Options(2);
   options.site.maintain_fail_locks = false;  // the Experiment-1 toggle
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   FailAndDetect(cluster, 1, 0, 1);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(3, 1)}), 0);
   EXPECT_EQ(cluster.site(0).fail_locks().TotalSet(), 0u);
 }
 
 TEST(SiteProtocolTest, SpecialTxnClearsLocksAtAllOperationalSites) {
-  SimCluster cluster(Options(4));
+  auto cluster_owner = MakeSimCluster(Options(4));
+  SimCluster& cluster = *cluster_owner;
   FailAndDetect(cluster, 3, 0, 1);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(7, 70)}), 0);
   cluster.Recover(3);
@@ -94,7 +98,8 @@ TEST(SiteProtocolTest, RecoveryAdoptsOperationalTablesDiscardingFrozenOnes) {
   // say site 0 is stale; site 0 refreshes while site 1 is down; when site 1
   // recovers it must adopt the operational view, not union in its frozen
   // (now wrong) bits — otherwise it would refuse site 0 as a copy source.
-  SimCluster cluster(Options(2));
+  auto cluster_owner = MakeSimCluster(Options(2));
+  SimCluster& cluster = *cluster_owner;
   // Phase 1: site 0 down, write item 3 -> site 1 records 3 stale at 0.
   FailAndDetect(cluster, 0, 1, 1);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(3, 30)}), 1);
@@ -118,7 +123,8 @@ TEST(SiteProtocolTest, RecoveryAdoptsOperationalTablesDiscardingFrozenOnes) {
 }
 
 TEST(SiteProtocolTest, StaleFailureAnnouncementIgnored) {
-  SimCluster cluster(Options(3));
+  auto cluster_owner = MakeSimCluster(Options(3));
+  SimCluster& cluster = *cluster_owner;
   // Site 2 fails and recovers: now in session 2.
   cluster.Fail(2);
   cluster.Recover(2);
@@ -138,7 +144,8 @@ TEST(SiteProtocolTest, StaleFailureAnnouncementIgnored) {
 }
 
 TEST(SiteProtocolTest, SessionNumbersIncreaseAcrossRecoveries) {
-  SimCluster cluster(Options(2));
+  auto cluster_owner = MakeSimCluster(Options(2));
+  SimCluster& cluster = *cluster_owner;
   for (SessionNumber expected = 2; expected <= 5; ++expected) {
     cluster.Fail(1);
     cluster.Recover(1);
@@ -148,7 +155,8 @@ TEST(SiteProtocolTest, SessionNumbersIncreaseAcrossRecoveries) {
 }
 
 TEST(SiteProtocolTest, AbortDiscardsStagedWritesAtParticipants) {
-  SimCluster cluster(Options(3));
+  auto cluster_owner = MakeSimCluster(Options(3));
+  SimCluster& cluster = *cluster_owner;
   cluster.Fail(2);
   // This transaction reaches participant 1 (which acks) but aborts because
   // participant 2 never answers. Site 1 must discard the staged write.
@@ -162,7 +170,8 @@ TEST(SiteProtocolTest, AbortDiscardsStagedWritesAtParticipants) {
 }
 
 TEST(SiteProtocolTest, RecoveringSiteServesOnlyFreshCopies) {
-  SimCluster cluster(Options(2));
+  auto cluster_owner = MakeSimCluster(Options(2));
+  SimCluster& cluster = *cluster_owner;
   FailAndDetect(cluster, 1, 0, 1);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(3, 30)}), 0);
   (void)cluster.RunTxn(MakeTxn(3, {Operation::Write(6, 60)}), 0);
@@ -195,7 +204,8 @@ TEST(SiteProtocolTest, CopierGroupsBySourceWhenFreshCopiesAreSpread) {
   // Experiment-3 conclusion: "fail-locks can properly track the location of
   // the correct values for data items even when these values are spread out
   // over multiple sites."
-  SimCluster cluster(Options(3));
+  auto cluster_owner = MakeSimCluster(Options(3));
+  SimCluster& cluster = *cluster_owner;
   // Make site 1 the only fresh holder of item 1: write while 2 was down...
   FailAndDetect(cluster, 2, 0, 1);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(1, 11)}), 0);
@@ -232,7 +242,8 @@ TEST(SiteProtocolTest, CommitPhaseTimeoutStillCommits) {
     return msg.type == MsgType::kCommit && msg.to == 1 &&
            cluster_ptr != nullptr;
   };
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   cluster_ptr = &cluster;
   const TxnReplyArgs reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0);
@@ -252,7 +263,8 @@ TEST(SiteProtocolTest, ParticipantDetectsDeadCoordinator) {
            (msg.type == MsgType::kCommit || msg.type == MsgType::kAbort);
   };
   options.managing.client_timeout = Seconds(30);
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   const TxnReplyArgs reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0);
   // The coordinator itself commits (it got both prepare acks; site 1's
@@ -265,7 +277,8 @@ TEST(SiteProtocolTest, ParticipantDetectsDeadCoordinator) {
 }
 
 TEST(SiteProtocolTest, OverlappingRequestQueuesAndExecutesAfter) {
-  SimCluster cluster(Options(2));
+  auto cluster_owner = MakeSimCluster(Options(2));
+  SimCluster& cluster = *cluster_owner;
   // Submit two transactions to the same coordinator back to back: the
   // second queues behind the first and executes once the slot frees up
   // (per-site execution stays serial).
@@ -287,7 +300,8 @@ TEST(SiteProtocolTest, OverlappingRequestQueuesAndExecutesAfter) {
 }
 
 TEST(SiteProtocolTest, ShutdownSilencesSite) {
-  SimCluster cluster(Options(2));
+  auto cluster_owner = MakeSimCluster(Options(2));
+  SimCluster& cluster = *cluster_owner;
   cluster.managing().Shutdown(1);
   cluster.RunUntilIdle();
   EXPECT_EQ(cluster.site(1).local_status(), SiteStatus::kTerminating);

@@ -1,0 +1,186 @@
+#include "core/submit_window.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/managing_site.h"
+#include "net/sim_transport.h"
+#include "replication/site.h"
+#include "sim/sim_runtime.h"
+
+namespace miniraid {
+namespace {
+
+TxnSpec MakeTxn(TxnId id) {
+  TxnSpec txn;
+  txn.id = id;
+  txn.ops = {Operation::Write(0, static_cast<Value>(id))};
+  return txn;
+}
+
+/// Wires the window to a real managing site over the simulator, like
+/// SimCluster does, but with direct access to the SubmitWindow — the
+/// cluster layer keeps it private.
+class SubmitWindowTest : public ::testing::Test {
+ protected:
+  void Init(uint32_t max_inflight, uint32_t n_sites = 2) {
+    sim_ = std::make_unique<SimRuntime>();
+    transport_ = std::make_unique<SimTransport>(sim_.get(),
+                                                SimTransportOptions{});
+    SiteOptions site_options;
+    site_options.n_sites = n_sites;
+    site_options.db_size = 4;
+    site_options.managing_site = n_sites;
+    for (SiteId id = 0; id < n_sites; ++id) {
+      sites_.push_back(std::make_unique<Site>(
+          id, site_options, transport_.get(), sim_->RuntimeFor(id)));
+      transport_->Register(id, sites_.back().get());
+    }
+    managing_ = std::make_unique<ManagingSite>(n_sites, transport_.get(),
+                                               sim_->RuntimeFor(n_sites));
+    transport_->Register(n_sites, managing_.get());
+    window_ = std::make_unique<SubmitWindow>(managing_.get(), max_inflight);
+  }
+
+  /// Submits `id` to coordinator 0 and appends its reply to `replies_`.
+  void Submit(TxnId id) {
+    window_->Submit(MakeTxn(id), 0, [this](const TxnReplyArgs& reply) {
+      replies_.push_back(reply);
+    });
+  }
+
+  std::unique_ptr<SimRuntime> sim_;
+  std::unique_ptr<SimTransport> transport_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::unique_ptr<ManagingSite> managing_;
+  std::unique_ptr<SubmitWindow> window_;
+  std::vector<TxnReplyArgs> replies_;
+};
+
+TEST_F(SubmitWindowTest, CloseRejectsBacklogInArrivalOrderOnly) {
+  Init(/*max_inflight=*/1);
+  Submit(1);  // dispatches
+  Submit(2);  // backlog
+  Submit(3);  // backlog
+  EXPECT_EQ(window_->inflight(), 1u);
+  EXPECT_EQ(window_->backlog_size(), 2u);
+
+  window_->Close();
+
+  // The two queued submissions were rejected synchronously, in arrival
+  // order; the in-flight one is untouched.
+  ASSERT_EQ(replies_.size(), 2u);
+  EXPECT_EQ(replies_[0].txn, 2u);
+  EXPECT_EQ(replies_[1].txn, 3u);
+  EXPECT_EQ(replies_[0].outcome, TxnOutcome::kCoordinatorUnreachable);
+  EXPECT_EQ(replies_[1].outcome, TxnOutcome::kCoordinatorUnreachable);
+  EXPECT_EQ(window_->backlog_size(), 0u);
+  EXPECT_EQ(window_->inflight(), 1u);
+
+  // The managing site still owes the dispatched transaction exactly one
+  // real reply.
+  sim_->RunUntilIdle();
+  ASSERT_EQ(replies_.size(), 3u);
+  EXPECT_EQ(replies_[2].txn, 1u);
+  EXPECT_EQ(replies_[2].outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(window_->inflight(), 0u);
+}
+
+TEST_F(SubmitWindowTest, SubmitAfterCloseRejectedImmediately) {
+  Init(/*max_inflight=*/2);
+  window_->Close();
+  EXPECT_TRUE(window_->closed());
+  Submit(9);
+  // Rejected synchronously — no simulation step needed.
+  ASSERT_EQ(replies_.size(), 1u);
+  EXPECT_EQ(replies_[0].txn, 9u);
+  EXPECT_EQ(replies_[0].outcome, TxnOutcome::kCoordinatorUnreachable);
+  EXPECT_EQ(window_->inflight(), 0u);
+}
+
+TEST_F(SubmitWindowTest, CloseIsIdempotent) {
+  Init(/*max_inflight=*/1);
+  Submit(1);
+  Submit(2);
+  window_->Close();
+  window_->Close();
+  ASSERT_EQ(replies_.size(), 1u);  // txn 2 rejected exactly once
+  EXPECT_EQ(replies_[0].txn, 2u);
+}
+
+// A completion callback that resubmits re-enters the window from inside
+// Dispatch's reply lambda. This is the regression test for the
+// callback-under-lock bug class: if the window (or the wait-state plumbing
+// above it) invoked callbacks while holding a non-recursive lock, this
+// reentrant Submit would deadlock or corrupt the queue. The window is
+// single-context by design, so it must just work.
+TEST_F(SubmitWindowTest, CallbackMayResubmit) {
+  Init(/*max_inflight=*/1);
+  window_->Submit(MakeTxn(1), 0, [this](const TxnReplyArgs& first) {
+    replies_.push_back(first);
+    Submit(2);
+  });
+  sim_->RunUntilIdle();
+  ASSERT_EQ(replies_.size(), 2u);
+  EXPECT_EQ(replies_[0].txn, 1u);
+  EXPECT_EQ(replies_[1].txn, 2u);
+  EXPECT_EQ(replies_[0].outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(replies_[1].outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(window_->inflight(), 0u);
+}
+
+// Resubmitting from a rejection callback during Close must also be safe:
+// Close swaps the backlog out before rejecting, and the reentrant Submit
+// sees the closed window and is rejected directly.
+TEST_F(SubmitWindowTest, RejectionCallbackMayResubmit) {
+  Init(/*max_inflight=*/1);
+  Submit(1);  // occupies the slot
+  window_->Submit(MakeTxn(2), 0, [this](const TxnReplyArgs& reply) {
+    replies_.push_back(reply);
+    Submit(3);
+  });
+  window_->Close();
+  ASSERT_EQ(replies_.size(), 2u);
+  EXPECT_EQ(replies_[0].txn, 2u);
+  EXPECT_EQ(replies_[1].txn, 3u);
+  EXPECT_EQ(replies_[1].outcome, TxnOutcome::kCoordinatorUnreachable);
+  EXPECT_EQ(window_->backlog_size(), 0u);
+}
+
+TEST_F(SubmitWindowTest, ZeroWindowMeansUnbounded) {
+  Init(/*max_inflight=*/0);
+  for (TxnId id = 1; id <= 5; ++id) Submit(id);
+  // Nothing queues: every submission dispatches immediately.
+  EXPECT_EQ(window_->backlog_size(), 0u);
+  EXPECT_EQ(window_->backlogged_total(), 0u);
+  EXPECT_EQ(window_->inflight(), 5u);
+  EXPECT_EQ(window_->max_inflight_seen(), 5u);
+
+  sim_->RunUntilIdle();
+  ASSERT_EQ(replies_.size(), 5u);
+  for (const TxnReplyArgs& reply : replies_) {
+    EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  }
+  EXPECT_EQ(window_->inflight(), 0u);
+}
+
+TEST_F(SubmitWindowTest, BacklogDrainsAsSlotsFree) {
+  Init(/*max_inflight=*/2);
+  for (TxnId id = 1; id <= 6; ++id) Submit(id);
+  EXPECT_EQ(window_->inflight(), 2u);
+  EXPECT_EQ(window_->backlog_size(), 4u);
+  EXPECT_EQ(window_->backlogged_total(), 4u);
+
+  sim_->RunUntilIdle();
+  ASSERT_EQ(replies_.size(), 6u);
+  for (const TxnReplyArgs& reply : replies_) {
+    EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
+  }
+  EXPECT_EQ(window_->max_inflight_seen(), 2u);
+  EXPECT_EQ(window_->backlog_size(), 0u);
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -53,7 +53,8 @@ TEST(SiteTracingTest, FullCycleProducesExpectedEventSequence) {
   options.n_sites = 2;
   options.db_size = 6;
   options.site.trace = &log;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
 
   TxnSpec txn;
   txn.id = 1;
@@ -97,7 +98,8 @@ TEST(SiteTracingTest, DisabledTraceCostsNothingAndRecordsNothing) {
   ClusterOptions options;
   options.n_sites = 2;
   options.db_size = 4;
-  SimCluster cluster(options);  // options.site.trace == nullptr
+  auto cluster_owner = MakeSimCluster(options);  // options.site.trace == nullptr
+  SimCluster& cluster = *cluster_owner;
   TxnSpec txn;
   txn.id = 1;
   txn.ops = {Operation::Write(0, 1)};

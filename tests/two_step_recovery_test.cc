@@ -30,7 +30,7 @@ ClusterOptions Options(double threshold, uint32_t chunk) {
 /// the cluster for inspection.
 std::unique_ptr<SimCluster> StaleRecovery(const ClusterOptions& options,
                                           uint32_t n_stale) {
-  auto cluster = std::make_unique<SimCluster>(options);
+  auto cluster = MakeSimCluster(options);
   cluster->Fail(1);
   (void)cluster->RunTxn(MakeTxn(1, {Operation::Write(0, 1)}), 0);  // detect
   TxnId txn = 2;
@@ -84,7 +84,8 @@ TEST(TwoStepRecoveryTest, BatchAbandonedWhenNoSourceAvailable) {
   // a site that just failed.
   ClusterOptions options = Options(1.0, 5);
   options.n_sites = 3;
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   cluster.Fail(2);
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 1)}), 0);  // detect
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(5, 55)}), 0);
@@ -109,7 +110,8 @@ TEST(TwoStepRecoveryTest, BatchSurvivesSilentCopySource) {
   options.transport.drop_filter = [](const Message& msg) {
     return msg.type == MsgType::kCopyReply && msg.from == 0;
   };
-  SimCluster cluster(options);
+  auto cluster_owner = MakeSimCluster(options);
+  SimCluster& cluster = *cluster_owner;
   cluster.Fail(1);
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 1)}), 0);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(1, 2)}), 0);

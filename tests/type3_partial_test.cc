@@ -31,7 +31,8 @@ ClusterOptions PartialOptions(bool enable_type3) {
 }
 
 TEST(PartialReplicationTest, PlacementWiring) {
-  SimCluster cluster(PartialOptions(false));
+  auto cluster_owner = MakeSimCluster(PartialOptions(false));
+  SimCluster& cluster = *cluster_owner;
   // Item 0 lives on sites 0 and 1.
   EXPECT_TRUE(cluster.site(0).db().Holds(0));
   EXPECT_TRUE(cluster.site(1).db().Holds(0));
@@ -42,7 +43,8 @@ TEST(PartialReplicationTest, PlacementWiring) {
 }
 
 TEST(PartialReplicationTest, WritesReachOnlyHolders) {
-  SimCluster cluster(PartialOptions(false));
+  auto cluster_owner = MakeSimCluster(PartialOptions(false));
+  SimCluster& cluster = *cluster_owner;
   const TxnReplyArgs reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
@@ -52,7 +54,8 @@ TEST(PartialReplicationTest, WritesReachOnlyHolders) {
 }
 
 TEST(PartialReplicationTest, RemoteReadFetchesFromHolder) {
-  SimCluster cluster(PartialOptions(false));
+  auto cluster_owner = MakeSimCluster(PartialOptions(false));
+  SimCluster& cluster = *cluster_owner;
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
   // Site 2 holds no copy of item 0: the read fetches one remotely (a
   // copier-style request) without installing a local copy.
@@ -64,7 +67,8 @@ TEST(PartialReplicationTest, RemoteReadFetchesFromHolder) {
 }
 
 TEST(PartialReplicationTest, ConsistencyOracleHandlesPartialPlacement) {
-  SimCluster cluster(PartialOptions(false));
+  auto cluster_owner = MakeSimCluster(PartialOptions(false));
+  SimCluster& cluster = *cluster_owner;
   for (TxnId t = 1; t <= 20; ++t) {
     const ItemId item = static_cast<ItemId>(t % 6);
     (void)cluster.RunTxn(
@@ -76,7 +80,8 @@ TEST(PartialReplicationTest, ConsistencyOracleHandlesPartialPlacement) {
 }
 
 TEST(Type3Test, LastCopyHolderCreatesBackup) {
-  SimCluster cluster(PartialOptions(true));
+  auto cluster_owner = MakeSimCluster(PartialOptions(true));
+  SimCluster& cluster = *cluster_owner;
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
   cluster.Fail(0);
   // Detection: the next transaction's coordinator announces site 0 down.
@@ -96,7 +101,8 @@ TEST(Type3Test, LastCopyHolderCreatesBackup) {
 }
 
 TEST(Type3Test, BackupKeepsDataAvailableThroughSecondFailure) {
-  SimCluster cluster(PartialOptions(true));
+  auto cluster_owner = MakeSimCluster(PartialOptions(true));
+  SimCluster& cluster = *cluster_owner;
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
   cluster.Fail(0);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(1, 11)}), 1);  // detect
@@ -110,7 +116,8 @@ TEST(Type3Test, BackupKeepsDataAvailableThroughSecondFailure) {
 }
 
 TEST(Type3Test, WithoutBackupSecondFailureLosesAvailability) {
-  SimCluster cluster(PartialOptions(false));
+  auto cluster_owner = MakeSimCluster(PartialOptions(false));
+  SimCluster& cluster = *cluster_owner;
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
   cluster.Fail(0);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(1, 11)}), 1);
@@ -123,7 +130,8 @@ TEST(Type3Test, WithoutBackupSecondFailureLosesAvailability) {
 
 TEST(Type3Test, NoBackupWhenAnotherFreshCopyExists) {
   // With all sites up, nothing is a last copy: type 3 must stay quiet.
-  SimCluster cluster(PartialOptions(true));
+  auto cluster_owner = MakeSimCluster(PartialOptions(true));
+  SimCluster& cluster = *cluster_owner;
   for (TxnId t = 1; t <= 10; ++t) {
     (void)cluster.RunTxn(
         MakeTxn(t, {Operation::Write(static_cast<ItemId>(t % 6), Value(t))}),
