@@ -116,6 +116,36 @@ CASES = [
      "void Site::Y() { fail_locks_.Set(item, site); }\n",
      None),
 
+    # -- layering ----------------------------------------------------------
+    ("upward include: replication reaching into core",
+     "src/replication/bad_upward.cc",
+     '#include "core/cluster_api.h"\n',
+     "layering"),
+    ("sideways include: net reaching into storage (same rank)",
+     "src/net/bad_sideways.cc",
+     '#include "storage/wal.h"\n',
+     "layering"),
+    ("upward include: core linking back into the checker",
+     "src/core/bad_check_dep.cc",
+     '#include "check/abstract_model.h"\n',
+     "layering"),
+    ("downward include is the normal direction",
+     "src/replication/good_downward.cc",
+     '#include "msg/message.h"\n#include "common/types.h"\n',
+     None),
+    ("own-component include is always fine",
+     "src/core/good_own.cc",
+     '#include "core/invariants.h"\n',
+     None),
+    ("driver file is re-homed above core despite living in txn/",
+     "src/txn/driver.cc",
+     '#include "core/cluster_api.h"\n#include "txn/transaction.h"\n',
+     None),
+    ("including the driver from plain txn code points upward",
+     "src/txn/bad_driver_dep.cc",
+     '#include "txn/driver.h"\n',
+     "layering"),
+
     # -- pre-existing rules stay alive -------------------------------------
     ("blocking sleep on a loop-thread layer",
      "src/core/bad_sleep.cc",

@@ -48,6 +48,14 @@ Rules (each can be suppressed per line or per preceding line with
                        announcement type 2 — may change a site's view of
                        sessions, and those run inside Site.
 
+  layering             The include DAG between src/ components must respect
+                       the architecture ranks (LAYER_RANKS below): an
+                       #include "<dir>/..." may only point at a component of
+                       strictly lower rank, or at the including file's own
+                       component. Keeps e.g. replication/ from reaching up
+                       into core/, and the model checker (check/) a pure
+                       observer that nothing links back to.
+
 Modes:
   (default)        run the text rules over src/ (or the given paths)
   --headers        also verify every header is self-contained (compiles
@@ -151,6 +159,43 @@ RAW_MUTEX_HOME = "src/common/"
 # notify waiters (the submit path and the runtimes beneath it).
 CALLBACK_LOCK_SCOPE = ("src/core/", "src/txn/", "src/net/")
 
+# layering: the architecture DAG, bottom (0) to top. An include edge may
+# only point strictly downward across component boundaries. Components are
+# src/ subdirectories except where LAYER_FILE_COMPONENT re-homes a file
+# whose library sits elsewhere in the DAG than its directory.
+LAYER_RANKS = {
+    "common": 0,
+    "db": 1,
+    "metrics": 1,
+    "sim": 1,
+    "txn": 1,
+    "msg": 2,
+    "net": 3,
+    "storage": 3,
+    "replication": 4,
+    "core": 5,
+    "baselines": 6,
+    "driver": 6,
+    "check": 7,
+}
+# The workload driver lives in src/txn/ for historical reasons but is its
+# own library (miniraid_driver) layered above core.
+LAYER_FILE_COMPONENT = {
+    "src/txn/driver.h": "driver",
+    "src/txn/driver.cc": "driver",
+}
+LAYER_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([a-z_0-9]+)/([^"]+)"')
+
+
+def layer_component(rel):
+    """Component name for a src/ file, or None if outside the ranked DAG."""
+    if rel in LAYER_FILE_COMPONENT:
+        return LAYER_FILE_COMPONENT[rel]
+    parts = rel.split("/")
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_RANKS:
+        return parts[1]
+    return None
+
 
 def find_repo_root():
     here = os.path.dirname(os.path.abspath(__file__))
@@ -208,6 +253,7 @@ def lint_file(path, root, findings):
         return
     lines = text.splitlines()
 
+    source_component = layer_component(rel)
     in_block_comment = False
     prev_code_tail = ";"  # code character ending the previous non-blank line
     brace_depth = 0      # callback-under-lock scope tracking
@@ -238,6 +284,22 @@ def lint_file(path, root, findings):
                              "fail-lock tables may only be mutated by the "
                              "Site protocol engine (src/replication/site.cc "
                              "or the table implementation itself)"))
+
+        include = LAYER_INCLUDE_RE.match(code)
+        if include and source_component is not None:
+            target = LAYER_FILE_COMPONENT.get(
+                f"src/{include.group(1)}/{include.group(2)}",
+                include.group(1))
+            if (target in LAYER_RANKS
+                    and target != source_component
+                    and LAYER_RANKS[target] >= LAYER_RANKS[source_component]
+                    and not suppressed(lines, i, "layering")):
+                findings.append(
+                    (rel, i + 1, "layering",
+                     f"include of {target}/ (rank "
+                     f"{LAYER_RANKS[target]}) from {source_component}/ "
+                     f"(rank {LAYER_RANKS[source_component]}) points "
+                     f"upward or sideways in the architecture DAG"))
 
         if (SESSION_MUT_RE.search(code)
                 and rel not in SESSION_HOME

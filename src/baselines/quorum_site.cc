@@ -130,7 +130,7 @@ void QuorumSite::StartWritePhase() {
   for (SiteId t = 0; t < options_.n_sites; ++t) {
     if (t == id_) continue;
     (void)transport_->Send(
-        MakeMessage(id_, t, PrepareArgs{c.txn.id, c.writes}));
+        MakeMessage(id_, t, PrepareArgs{c.txn.id, c.writes, {}, {}}));
   }
   c.timer =
       runtime_->ScheduleAfter(options_.ack_timeout, [this] { Timeout(); });
@@ -222,7 +222,7 @@ void QuorumSite::HandlePrepare(const Message& msg) {
   part_->txn = args.txn;
   part_->coordinator = msg.from;
   part_->staged = args.writes;
-  (void)transport_->Send(MakeMessage(id_, msg.from, PrepareAckArgs{args.txn}));
+  (void)transport_->Send(MakeMessage(id_, msg.from, PrepareAckArgs{args.txn, true, {}}));
   part_->timer = runtime_->ScheduleAfter(3 * options_.ack_timeout, [this] {
     if (part_) part_.reset();
   });

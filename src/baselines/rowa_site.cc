@@ -96,7 +96,7 @@ void RowaSite::HandleTxnRequest(const Message& msg) {
     if (t == id_) continue;
     coord_->awaiting.insert(t);
     (void)transport_->Send(
-        MakeMessage(id_, t, PrepareArgs{coord_->txn.id, coord_->writes}));
+        MakeMessage(id_, t, PrepareArgs{coord_->txn.id, coord_->writes, {}, {}}));
   }
   if (coord_->awaiting.empty()) {
     FinishCommit();
@@ -177,7 +177,7 @@ void RowaSite::HandlePrepare(const Message& msg) {
   part_->coordinator = msg.from;
   part_->staged = args.writes;
   (void)transport_->Send(
-      MakeMessage(id_, msg.from, PrepareAckArgs{args.txn}));
+      MakeMessage(id_, msg.from, PrepareAckArgs{args.txn, true, {}}));
   part_->timer = runtime_->ScheduleAfter(3 * options_.ack_timeout, [this] {
     if (part_) part_.reset();  // coordinator gone; discard
   });

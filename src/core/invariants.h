@@ -42,11 +42,21 @@ class Site;
 ///                         regress between checks) and across observers (no
 ///                         operational observer may record a higher session
 ///                         for an up site than the site itself).
-///   kWriteCoverage        Write-all-available coverage: every copy whose
-///                         fail-lock bit is clear in the operational union
-///                         matches the freshest copy anywhere — a ROWAA
-///                         commit that skipped an operational site without
-///                         fail-locking it shows up here.
+///   kWriteCoverage        Local read safety: every operational copy whose
+///                         fail-lock bit is clear in its OWN site's table
+///                         matches the freshest copy anywhere. Reads
+///                         consult only the local table, so this is the
+///                         form the paper's "no committed read of a stale
+///                         copy" argument actually needs (the state-space
+///                         checker refuted the weaker operational-union
+///                         form: a crash can leave the only flag at a site
+///                         the owner never hears from). One qualifier:
+///                         sites excluded from the nominal session (some
+///                         operational peer believes them down) are
+///                         exempt — timeout-based detection can falsely
+///                         exclude a live site, which then cannot learn
+///                         its copies went stale until it runs type-1
+///                         recovery. The guarantee is scoped to members.
 enum class InvariantKind : uint8_t {
   kFailLockShape = 0,
   kFailLockSession = 1,
@@ -138,6 +148,14 @@ class InvariantChecker {
   std::vector<std::vector<SessionNumber>> last_sessions_;
   uint64_t checks_run_ = 0;
 };
+
+/// Stateless one-shot check: validates a single quiescent cut with a fresh
+/// checker (no monotonicity history carried across calls). The oracle form
+/// used by the systematic execution checker, where every execution stands
+/// up a fresh cluster.
+[[nodiscard]] std::vector<InvariantViolation> CheckInvariantsOnce(
+    const std::vector<SiteSnapshot>& sites,
+    const InvariantChecker::Options& options = {});
 
 }  // namespace miniraid
 

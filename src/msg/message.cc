@@ -107,10 +107,13 @@ struct PayloadEncoder {
   void operator()(const PrepareArgs& a) {
     enc.PutU64(a.txn);
     enc.PutVector(a.writes, PutItemWrite);
+    enc.PutVector(a.session_vector, PutSessionEntry);
+    enc.PutVector(a.participants, PutItemId);  // SiteId == ItemId == u32
   }
   void operator()(const PrepareAckArgs& a) {
     enc.PutU64(a.txn);
     enc.PutU8(a.accepted ? 1 : 0);
+    enc.PutVector(a.session_vector, PutSessionEntry);
   }
   void operator()(const CommitArgs& a) { enc.PutU64(a.txn); }
   void operator()(const CommitAckArgs& a) { enc.PutU64(a.txn); }
@@ -167,7 +170,7 @@ Status DecodePayload(MsgType type, Decoder& dec, Payload* out) {
       MINIRAID_RETURN_IF_ERROR(dec.GetU64(&a.txn));
       uint8_t outcome = 0;
       MINIRAID_RETURN_IF_ERROR(dec.GetU8(&outcome));
-      if (outcome > static_cast<uint8_t>(TxnOutcome::kAbortedLockConflict)) {
+      if (outcome > static_cast<uint8_t>(TxnOutcome::kAbortedStaleView)) {
         return Status::Corruption("bad txn outcome");
       }
       a.outcome = static_cast<TxnOutcome>(outcome);
@@ -180,6 +183,9 @@ Status DecodePayload(MsgType type, Decoder& dec, Payload* out) {
       PrepareArgs a;
       MINIRAID_RETURN_IF_ERROR(dec.GetU64(&a.txn));
       MINIRAID_RETURN_IF_ERROR(dec.GetVector(&a.writes, GetItemWrite));
+      MINIRAID_RETURN_IF_ERROR(
+          dec.GetVector(&a.session_vector, GetSessionEntry));
+      MINIRAID_RETURN_IF_ERROR(dec.GetVector(&a.participants, GetItemId));
       *out = std::move(a);
       return Status::Ok();
     }
@@ -189,7 +195,9 @@ Status DecodePayload(MsgType type, Decoder& dec, Payload* out) {
       uint8_t accepted = 1;
       MINIRAID_RETURN_IF_ERROR(dec.GetU8(&accepted));
       a.accepted = accepted != 0;
-      *out = a;
+      MINIRAID_RETURN_IF_ERROR(
+          dec.GetVector(&a.session_vector, GetSessionEntry));
+      *out = std::move(a);
       return Status::Ok();
     }
     case MsgType::kCommit: {

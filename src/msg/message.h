@@ -107,14 +107,32 @@ struct TxnReplyArgs {
 struct PrepareArgs {
   TxnId txn = 0;
   std::vector<ItemWrite> writes;
+  /// The coordinator's nominal session vector, piggybacked so every
+  /// participant maintains fail-locks from the same membership knowledge
+  /// the participant set was chosen under (and can veto a coordinator
+  /// whose knowledge is stale — see PrepareAckArgs::accepted).
+  std::vector<SessionEntryWire> session_vector;
+  /// The transaction's participant set (coordinator included). Commit-time
+  /// fail-lock maintenance sets the bit for exactly the holders outside
+  /// this set: those are the copies that miss the write, regardless of
+  /// what each participant currently believes about their status.
+  std::vector<SiteId> participants;
   friend bool operator==(const PrepareArgs&, const PrepareArgs&) = default;
 };
 
 struct PrepareAckArgs {
   TxnId txn = 0;
-  /// False = the participant refuses the transaction (lock conflict under
-  /// the wait-die concurrency-control extension); the coordinator aborts.
+  /// False = the participant refuses the transaction: a lock conflict
+  /// under the wait-die concurrency-control extension, or a session-vector
+  /// validation failure (the participant knows a strictly newer session
+  /// for some site than the coordinator's piggybacked vector — committing
+  /// under the coordinator's stale membership could strand a recovering
+  /// site's fail-locks). The coordinator aborts.
   bool accepted = true;
+  /// On a session-validation refusal, the participant's vector rides back
+  /// so the coordinator can catch up before the client retries. Empty
+  /// otherwise.
+  std::vector<SessionEntryWire> session_vector;
   friend bool operator==(const PrepareAckArgs&,
                          const PrepareAckArgs&) = default;
 };

@@ -44,6 +44,18 @@ struct SiteCounters {
   uint64_t commits_handled = 0;
   uint64_t aborts_handled = 0;
   uint64_t coordinator_failures_detected = 0;
+  // Prepares refused because this participant's session vector recorded a
+  // strictly newer session than the coordinator's piggybacked one
+  // (commit-time session-vector validation).
+  uint64_t prepare_session_vetoes = 0;
+
+  // -- recovery edge cases -------------------------------------------------
+  // Fail-lock mutations journaled during the waiting-to-recover window and
+  // replayed over the installed tables at completion.
+  uint64_t recovery_window_replays = 0;
+  // Recoveries that completed with zero info replies and conservatively
+  // fail-locked every held copy.
+  uint64_t recovery_blind_completions = 0;
 
   // -- timing distributions (virtual time under the simulator) ------------
   DurationStats coord_txn_time;        // TxnRequest received -> reply sent

@@ -334,7 +334,7 @@ void Site::HandleCopyReply(const Message& msg) {
       if (options_.on_apply) {
         options_.on_apply(copy.item, copy.value, copy.version);
       }
-      if (fail_locks_.Clear(copy.item, id_)) {
+      if (ClearFailLock(copy.item, id_)) {
         ++counters_.fail_locks_cleared;
       }
       coord_->refreshed_items.push_back(copy.item);
@@ -357,7 +357,14 @@ void Site::FinishCopierPhase() {
     ++counters_.clear_lock_txns_sent;
     Trace(TraceEvent::kClearLocksSent, coord_->txn.id,
           coord_->refreshed_items.size());
-    for (SiteId peer : OperationalPeers()) {
+    // Broadcast to every peer address, not only the believed-up ones: the
+    // special transaction is idempotent fire-and-forget, and a
+    // just-recovered site this site has not heard about yet must still get
+    // the clear, or it carries a spurious stale fail-lock indefinitely (a
+    // state-space-checker finding; a crashed receiver just drops it and
+    // has its table replaced wholesale at its next recovery).
+    for (SiteId peer = 0; peer < options_.n_sites; ++peer) {
+      if (peer == id_) continue;
       Charge(options_.costs.clear_locks_format);
       SendTo(peer, ClearFailLocksArgs{coord_->txn.id, id_,
                                       coord_->refreshed_items});
@@ -411,9 +418,15 @@ void Site::ExecuteAndPrepare() {
   }
   c.phase = Coordination::Phase::kPrepare;
   c.awaiting.insert(c.participants.begin(), c.participants.end());
+  // The wire participant set includes the coordinator: commit-time
+  // maintenance needs the full set, identical at every site.
+  std::vector<SiteId> wire_participants = c.participants;
+  wire_participants.push_back(id_);
+  std::sort(wire_participants.begin(), wire_participants.end());
+  const std::vector<SessionEntryWire> vector_wire = session_vector_.ToWire();
   for (SiteId p : c.participants) {
     Charge(options_.costs.prepare_send_per_site);
-    SendTo(p, PrepareArgs{c.txn.id, c.writes});
+    SendTo(p, PrepareArgs{c.txn.id, c.writes, vector_wire, wire_participants});
   }
   c.timer = runtime_->ScheduleAfter(options_.ack_timeout,
                                     [this] { CoordinationTimeout(); });
@@ -424,15 +437,31 @@ void Site::HandlePrepareAck(const Message& msg) {
   const auto& args = msg.As<PrepareAckArgs>();
   if (args.txn != coord_->txn.id) return;
   if (!args.accepted) {
-    // A participant refused (wait-die lock conflict): abort everywhere.
+    // A participant refused (wait-die lock conflict or session-vector
+    // veto): abort everywhere. On a veto the refusal carries the
+    // participant's vector; merging it catches this coordinator up so a
+    // retried transaction picks the right participant set.
+    const bool stale_view = !args.session_vector.empty();
+    if (stale_view) {
+      const Status merged = session_vector_.MergeFrom(args.session_vector);
+      if (!merged.ok()) {
+        MR_LOG(kWarn) << "site " << id_
+                      << ": bad session vector in prepare ack: "
+                      << merged.ToString();
+      }
+    }
     runtime_->CancelTimer(coord_->timer);
     coord_->timer = kInvalidTimer;
     for (SiteId p : coord_->participants) {
       Charge(options_.costs.ack_format);
       SendTo(p, AbortArgs{coord_->txn.id});
     }
-    ++counters_.txns_aborted_lock_conflict;
-    ReplyAndClear(TxnOutcome::kAbortedLockConflict);
+    if (stale_view) {
+      ReplyAndClear(TxnOutcome::kAbortedStaleView);
+    } else {
+      ++counters_.txns_aborted_lock_conflict;
+      ReplyAndClear(TxnOutcome::kAbortedLockConflict);
+    }
     return;
   }
   coord_->awaiting.erase(msg.from);
@@ -469,7 +498,9 @@ void Site::HandleCommitAck(const Message& msg) {
 void Site::FinishCommit() {
   // "commit database data items; update fail-locks for data items" — the
   // coordinator's local commit happens after phase two completes.
-  CommitLocalWrites(coord_->txn.id, coord_->writes);
+  std::vector<SiteId> participants = coord_->participants;
+  participants.push_back(id_);
+  CommitLocalWrites(coord_->txn.id, coord_->writes, participants);
   ++counters_.txns_committed;
   ReplyAndClear(TxnOutcome::kCommitted);
 }
@@ -512,8 +543,16 @@ void Site::CoordinationTimeout() {
     }
     case Coordination::Phase::kCommit: {
       // "if commit ack not received from all participating sites then run
-      // control type 2" — but the transaction still commits.
+      // control type 2" — but the transaction still commits. The silent
+      // sites leave the participant set first: they may have crashed
+      // before applying the write, so the coordinator's maintenance must
+      // fail-lock their copies rather than clear them (their recovery will
+      // sort out which it was — a spurious lock only costs a refresh).
       std::vector<SiteId> silent(c.awaiting.begin(), c.awaiting.end());
+      c.participants.erase(
+          std::remove_if(c.participants.begin(), c.participants.end(),
+                         [&c](SiteId p) { return c.awaiting.count(p) > 0; }),
+          c.participants.end());
       FinishCommit();
       RunControlType2(silent);
       break;
@@ -568,13 +607,42 @@ void Site::HandlePrepare(const Message& msg) {
   if (existing != participations_.end()) {
     // Duplicate prepare (retransmission): re-ack, keep the staging.
     Charge(options_.costs.ack_format);
-    SendTo(msg.from, PrepareAckArgs{args.txn});
+    SendTo(msg.from, PrepareAckArgs{args.txn, /*accepted=*/true, {}});
     return;
   }
   ++counters_.prepares_handled;
+
+  // Commit-time session-vector validation: if this participant knows a
+  // strictly newer session for any site than the coordinator's piggybacked
+  // vector, the coordinator chose its participant set under stale
+  // membership (it may have missed a recovery announce and excluded the
+  // recovering site). Committing would maintain fail-locks under divergent
+  // knowledge, so refuse; the coordinator merges the returned vector and
+  // the client retries against a caught-up coordinator.
+  if (args.session_vector.size() == options_.n_sites) {
+    for (SiteId k = 0; k < options_.n_sites; ++k) {
+      if (session_vector_.session(k) > args.session_vector[k].session) {
+        ++counters_.prepare_session_vetoes;
+        Charge(options_.costs.ack_format);
+        SendTo(msg.from, PrepareAckArgs{args.txn, /*accepted=*/false,
+                                        session_vector_.ToWire()});
+        return;
+      }
+    }
+    // The prepare carries the coordinator's knowledge; merging it here
+    // means every participant runs fail-lock maintenance from at least the
+    // membership the participant set was chosen under.
+    const Status merged = session_vector_.MergeFrom(args.session_vector);
+    if (!merged.ok()) {
+      MR_LOG(kWarn) << "site " << id_ << ": bad session vector in prepare: "
+                    << merged.ToString();
+    }
+  }
+
   Participation& part = participations_[args.txn];
   part.txn = args.txn;
   part.coordinator = msg.from;
+  part.participants = args.participants;
   part.start_time = runtime_->Now();
   for (const ItemWrite& write : args.writes) {
     if (!db_.Holds(write.item)) continue;
@@ -600,7 +668,7 @@ void Site::HandlePrepare(const Message& msg) {
         runtime_->CancelTimer(part.timer);
         participations_.erase(txn);
         Charge(options_.costs.ack_format);
-        SendTo(msg.from, PrepareAckArgs{txn, /*accepted=*/false});
+        SendTo(msg.from, PrepareAckArgs{txn, /*accepted=*/false, {}});
         return;
       }
       if (outcome == LockTable::Outcome::kQueued) {
@@ -621,7 +689,7 @@ void Site::OnParticipantLockGranted(TxnId txn) {
 
 void Site::SendPrepareAck(Participation& part) {
   Charge(options_.costs.ack_format);
-  SendTo(part.coordinator, PrepareAckArgs{part.txn});
+  SendTo(part.coordinator, PrepareAckArgs{part.txn, /*accepted=*/true, {}});
 }
 
 void Site::HandleCommit(const Message& msg) {
@@ -629,7 +697,7 @@ void Site::HandleCommit(const Message& msg) {
   if (it == participations_.end()) return;
   Participation& part = it->second;
   runtime_->CancelTimer(part.timer);
-  CommitLocalWrites(part.txn, part.staged);
+  CommitLocalWrites(part.txn, part.staged, part.participants);
   if (options_.enable_locking) lock_table_.ReleaseAll(part.txn);
   Trace(TraceEvent::kParticipantCommitted, part.txn, part.staged.size());
   Charge(options_.costs.ack_format);
@@ -695,7 +763,7 @@ void Site::HandleClearFailLocks(const Message& msg) {
              static_cast<Duration>(args.items.size()));
   for (ItemId item : args.items) {
     if (item >= options_.db_size) continue;
-    if (fail_locks_.Clear(item, args.refreshed_site)) {
+    if (ClearFailLock(item, args.refreshed_site)) {
       ++counters_.fail_locks_cleared;
     }
   }
@@ -713,6 +781,14 @@ void Site::StartRecovery() {
   recovery_.emplace();
   recovery_->new_session = session_vector_.session(id_) + 1;
   recovery_->start_time = runtime_->Now();
+  // The bumped session is recorded (stable storage) at announce time, not
+  // at completion: if this recovery is cut short by another crash, the
+  // next incarnation must announce a strictly newer session — peers that
+  // recorded (this_session, down) via failure detection ignore a
+  // re-announce of the same session ("down wins" at equal sessions), which
+  // would leave this site permanently excluded.
+  session_vector_.Set(id_, recovery_->new_session,
+                      SiteStatus::kWaitingToRecover);
   Trace(TraceEvent::kRecoveryStarted, recovery_->new_session);
   // Announce to every other database site; the local vector may be
   // arbitrarily stale, and sites that are actually down simply ignore it.
@@ -754,6 +830,12 @@ void Site::HandleRecoveryAnnounce(const Message& msg) {
   if (status_ != SiteStatus::kUp) return;
   const auto& args = msg.As<RecoveryAnnounceArgs>();
   if (args.recovering_site >= options_.n_sites) return;  // untrusted input
+  // A site can only leave the down state through a strictly newer session;
+  // a duplicate or stale announce (this session already superseded by
+  // failure news or a later incarnation) must not resurrect it.
+  if (args.new_session <= session_vector_.session(args.recovering_site)) {
+    return;
+  }
   session_vector_.Set(args.recovering_site, args.new_session,
                       SiteStatus::kUp);
   ++counters_.control1_served;
@@ -810,9 +892,31 @@ void Site::CompleteRecovery() {
                       << merged.ToString();
       }
     }
+  } else {
+    // No operational site answered (every responder crashed first, or this
+    // site is alone). The frozen local table cannot know which of its
+    // copies missed updates committed while it was down, so conservatively
+    // fail-lock every held copy; each clears on its first refresh. Coming
+    // up with a trusted-but-stale table was refuted by the state-space
+    // checker (a commit can land between a responder's reply and its
+    // crash).
+    ++counters_.recovery_blind_completions;
+    for (ItemId item = 0; item < options_.db_size; ++item) {
+      if (db_.Holds(item)) fail_locks_.Set(item, id_);
+    }
   }
-  // Else: no operational site answered. Keep the frozen local state — the
-  // best available — and come up alone (documented DESIGN.md choice).
+  // Replay fail-lock mutations that happened during the waiting-to-recover
+  // window: the responders snapshotted their tables at announce time, so a
+  // commit or clear-fail-locks processed here after the announce is not in
+  // the installed union and would otherwise be forgotten.
+  for (const auto& [key, locked] : recovery.window_journal) {
+    ++counters_.recovery_window_replays;
+    if (locked) {
+      fail_locks_.Set(key.first, key.second);
+    } else {
+      fail_locks_.Clear(key.first, key.second);
+    }
+  }
   session_vector_.Set(id_, recovery.new_session, SiteStatus::kUp);
   if (state_lost_) {
     // Cold restart: even copies the operational sites think are fine are
@@ -883,7 +987,7 @@ void Site::HandleCopyCreate(const Message& msg) {
         if (options_.on_apply) {
           options_.on_apply(copy.item, copy.value, copy.version);
         }
-        fail_locks_.Clear(copy.item, id_);  // the new copy is up to date
+        ClearFailLock(copy.item, id_);  // the new copy is up to date
       } else {
         MR_LOG(kWarn) << "site " << id_ << ": type-3 install failed: "
                       << status.ToString();
@@ -939,8 +1043,8 @@ void Site::MaybeRunType3() {
 // Shared helpers.
 // ---------------------------------------------------------------------------
 
-void Site::CommitLocalWrites(TxnId writer,
-                             const std::vector<ItemWrite>& writes) {
+void Site::CommitLocalWrites(TxnId writer, const std::vector<ItemWrite>& writes,
+                             const std::vector<SiteId>& participants) {
   for (const ItemWrite& write : writes) {
     if (!db_.Holds(write.item)) continue;
     Charge(options_.costs.commit_install_per_item);
@@ -959,26 +1063,48 @@ void Site::CommitLocalWrites(TxnId writer,
                     << " failed: " << status.ToString();
     }
   }
-  if (options_.maintain_fail_locks) MaintainFailLocks(writes);
+  if (options_.maintain_fail_locks) MaintainFailLocks(writes, participants);
 }
 
-void Site::MaintainFailLocks(const std::vector<ItemWrite>& writes) {
+void Site::MaintainFailLocks(const std::vector<ItemWrite>& writes,
+                             const std::vector<SiteId>& participants) {
   // "As a transaction committed a particular copy on a site, the nominal
   // session vector was examined and the fail-lock bits for each written
   // data item were set for each failed site" — and re-cleared for each
-  // operational site (the paper found unconditional maintenance cheaper
-  // than checking each site's state first).
+  // operational site. The set/clear decision is keyed on the commit's
+  // participant set rather than each maintainer's believed-up view: the
+  // set is identical at every participant by construction, so the written
+  // rows stay convergent even while session vectors are skewed (the
+  // state-space checker refuted view-keyed maintenance; see
+  // docs/ANALYSIS.md "Model checking").
   for (const ItemWrite& write : writes) {
     Charge(options_.costs.faillock_maint_per_item);
     for (SiteId t = 0; t < options_.n_sites; ++t) {
       if (!holders_.Holds(write.item, t)) continue;
-      if (session_vector_.IsUp(t)) {
-        if (fail_locks_.Clear(write.item, t)) ++counters_.fail_locks_cleared;
+      const bool participated =
+          std::find(participants.begin(), participants.end(), t) !=
+          participants.end();
+      if (participated) {
+        if (ClearFailLock(write.item, t)) ++counters_.fail_locks_cleared;
       } else {
-        if (fail_locks_.Set(write.item, t)) ++counters_.fail_locks_set;
+        if (SetFailLock(write.item, t)) ++counters_.fail_locks_set;
       }
     }
   }
+}
+
+bool Site::SetFailLock(ItemId item, SiteId site) {
+  if (status_ == SiteStatus::kWaitingToRecover && recovery_) {
+    recovery_->window_journal[{item, site}] = true;
+  }
+  return fail_locks_.Set(item, site);
+}
+
+bool Site::ClearFailLock(ItemId item, SiteId site) {
+  if (status_ == SiteStatus::kWaitingToRecover && recovery_) {
+    recovery_->window_journal[{item, site}] = false;
+  }
+  return fail_locks_.Clear(item, site);
 }
 
 void Site::MaybeStartBatchCopier() {

@@ -144,6 +144,9 @@ class Site : public MessageHandler {
     SiteId coordinator = kInvalidSite;
     TimePoint start_time = 0;
     std::vector<ItemWrite> staged;  // writes of items this site holds
+    // The transaction's participant set from the prepare, for commit-time
+    // fail-lock maintenance (holders outside it missed the write).
+    std::vector<SiteId> participants;
     TimerId timer = kInvalidTimer;
     // Locking extension: queued exclusive-lock requests still outstanding
     // before the prepare-ack can be sent.
@@ -156,6 +159,14 @@ class Site : public MessageHandler {
     TimePoint start_time = 0;
     std::set<SiteId> awaiting;
     std::vector<RecoveryInfoArgs> infos;
+    /// Journal of fail-lock bits written at this site during the
+    /// waiting-to-recover window (a commit or clear-fail-locks processed
+    /// after the announce but before completion), keyed by (item, site),
+    /// last write wins. CompleteRecovery replays it over the installed
+    /// union of the responders' tables: the responders snapshotted their
+    /// tables at announce time, so without the replay a window update
+    /// would be silently forgotten.
+    std::map<std::pair<ItemId, SiteId>, bool> window_journal;
     TimerId timer = kInvalidTimer;
   };
 
@@ -205,11 +216,24 @@ class Site : public MessageHandler {
   void MaybeRunType3();
 
   // ---- shared helpers --------------------------------------------------------
-  /// Installs committed writes locally and maintains fail-locks per the
-  /// local session vector (the paper folds fail-lock maintenance into the
-  /// commitment of data copies).
-  void CommitLocalWrites(TxnId writer, const std::vector<ItemWrite>& writes);
-  void MaintainFailLocks(const std::vector<ItemWrite>& writes);
+  /// Installs committed writes locally and maintains fail-locks keyed on
+  /// the transaction's participant set (the paper folds fail-lock
+  /// maintenance into the commitment of data copies). `participants` is
+  /// the commit's participant set including the coordinator; holders
+  /// outside it missed the write and get the bit, holders inside it get it
+  /// cleared. Keying on the set — identical at every participant by
+  /// construction — rather than on each site's believed-up view keeps the
+  /// written rows convergent even when views are skewed.
+  void CommitLocalWrites(TxnId writer, const std::vector<ItemWrite>& writes,
+                         const std::vector<SiteId>& participants);
+  void MaintainFailLocks(const std::vector<ItemWrite>& writes,
+                         const std::vector<SiteId>& participants);
+
+  /// Applies one fail-lock bit mutation, journaling it when a recovery
+  /// window is open (see Recovery::window_journal). Returns true if the
+  /// table changed.
+  bool SetFailLock(ItemId item, SiteId site);
+  bool ClearFailLock(ItemId item, SiteId site);
 
   /// Operational database sites other than this one, per the local vector.
   std::vector<SiteId> OperationalPeers() const;

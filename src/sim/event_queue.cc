@@ -4,49 +4,57 @@
 
 namespace miniraid {
 
-EventQueue::EventId EventQueue::Push(TimePoint when,
-                                     std::function<void()> fn) {
+EventQueue::EventId EventQueue::Push(TimePoint when, std::function<void()> fn,
+                                     SiteId site) {
   const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
-  functions_.emplace(id, std::move(fn));
+  const Key key{when, next_seq_++};
+  entries_.emplace(key, Record{id, site, std::move(fn)});
+  index_.emplace(id, key);
   return id;
 }
 
 void EventQueue::Cancel(EventId id) {
-  auto it = functions_.find(id);
-  if (it == functions_.end()) return;  // already ran or cancelled
-  functions_.erase(it);
-  cancelled_.insert(id);
-}
-
-void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::Empty() const {
-  DropCancelledHead();
-  return heap_.empty();
+  auto it = index_.find(id);
+  if (it == index_.end()) return;  // already ran or cancelled
+  entries_.erase(it->second);
+  index_.erase(it);
 }
 
 TimePoint EventQueue::NextTime() const {
-  DropCancelledHead();
-  MR_CHECK(!heap_.empty()) << "NextTime on empty event queue";
-  return heap_.top().when;
+  MR_CHECK(!entries_.empty()) << "NextTime on empty event queue";
+  return entries_.begin()->first.first;
+}
+
+EventQueue::Event EventQueue::Take(std::map<Key, Record>::iterator it) {
+  Event event{it->first.first, it->second.id, it->second.site,
+              std::move(it->second.fn)};
+  index_.erase(it->second.id);
+  entries_.erase(it);
+  return event;
 }
 
 EventQueue::Event EventQueue::Pop() {
-  DropCancelledHead();
-  MR_CHECK(!heap_.empty()) << "Pop on empty event queue";
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto it = functions_.find(entry.id);
-  MR_CHECK(it != functions_.end()) << "live heap entry without function";
-  Event event{entry.when, entry.id, std::move(it->second)};
-  functions_.erase(it);
-  return event;
+  MR_CHECK(!entries_.empty()) << "Pop on empty event queue";
+  return Take(entries_.begin());
+}
+
+std::vector<EventQueue::FrontEvent> EventQueue::FrontEvents() const {
+  MR_CHECK(!entries_.empty()) << "FrontEvents on empty event queue";
+  const TimePoint front_time = entries_.begin()->first.first;
+  std::vector<FrontEvent> front;
+  for (auto it = entries_.begin();
+       it != entries_.end() && it->first.first == front_time; ++it) {
+    front.push_back(FrontEvent{it->second.id, it->second.site});
+  }
+  return front;
+}
+
+EventQueue::Event EventQueue::PopById(EventId id) {
+  auto it = index_.find(id);
+  MR_CHECK(it != index_.end()) << "PopById on unknown event " << id;
+  auto entry = entries_.find(it->second);
+  MR_CHECK(entry != entries_.end()) << "event index out of sync";
+  return Take(entry);
 }
 
 }  // namespace miniraid

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <map>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/types.h"
 
 namespace miniraid {
 
@@ -16,6 +17,13 @@ namespace miniraid {
 /// order (a strictly increasing sequence number), which makes runs fully
 /// deterministic and preserves FIFO delivery for messages scheduled at the
 /// same instant.
+///
+/// Events may carry a SiteId tag identifying the execution context they are
+/// bound to (kInvalidSite for global/driver events). The tag is what lets
+/// the systematic checker (src/check) treat same-time deliveries to
+/// different sites as commuting choices: FrontEvents() enumerates every
+/// event tied for the earliest time, and PopById() removes a specific one,
+/// so a scheduler other than strict FIFO can drive the simulation.
 class EventQueue {
  public:
   using EventId = uint64_t;
@@ -24,16 +32,17 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Enqueues `fn` to run at absolute time `when`. Returns an id usable
-  /// with Cancel().
-  EventId Push(TimePoint when, std::function<void()> fn);
+  /// Enqueues `fn` to run at absolute time `when`, optionally tagged with
+  /// the site whose context it executes in. Returns an id usable with
+  /// Cancel().
+  EventId Push(TimePoint when, std::function<void()> fn,
+               SiteId site = kInvalidSite);
 
-  /// Marks an event cancelled; it is discarded when popped. No-op if the
-  /// event already ran.
+  /// Removes an event; no-op if it already ran or was cancelled.
   void Cancel(EventId id);
 
   /// True if no runnable (non-cancelled) event remains.
-  bool Empty() const;
+  bool Empty() const { return entries_.empty(); }
 
   /// Time of the earliest runnable event. Precondition: !Empty().
   TimePoint NextTime() const;
@@ -42,30 +51,37 @@ class EventQueue {
   struct Event {
     TimePoint when;
     EventId id;
+    SiteId site;
     std::function<void()> fn;
   };
   Event Pop();
 
-  size_t size() const { return heap_.size() - cancelled_.size(); }
+  /// Every pending event tied for the earliest time, in insertion order.
+  /// Precondition: !Empty().
+  struct FrontEvent {
+    EventId id;
+    SiteId site;
+  };
+  std::vector<FrontEvent> FrontEvents() const;
+
+  /// Pops the specific pending event `id`. Precondition: `id` is pending.
+  Event PopById(EventId id);
+
+  size_t size() const { return entries_.size(); }
 
  private:
-  struct Entry {
-    TimePoint when;
-    uint64_t seq;
+  // (when, seq) orders the queue; seq is unique so the key is too.
+  using Key = std::pair<TimePoint, uint64_t>;
+  struct Record {
     EventId id;
-    // Heap orders earliest-first; std::priority_queue is a max-heap, so
-    // invert the comparison.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    SiteId site;
+    std::function<void()> fn;
   };
 
-  void DropCancelledHead() const;
+  Event Take(std::map<Key, Record>::iterator it);
 
-  mutable std::priority_queue<Entry> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, std::function<void()>> functions_;
+  std::map<Key, Record> entries_;
+  std::unordered_map<EventId, Key> index_;
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
 };

@@ -74,9 +74,12 @@ void SimRuntime::SetBusyUntil(SiteId site, TimePoint when) {
 
 EventQueue::EventId SimRuntime::ScheduleSiteEvent(TimePoint when, SiteId site,
                                                   std::function<void()> fn) {
-  return queue_.Push(when, [this, site, when, fn = std::move(fn)]() mutable {
-    ExecuteSiteEvent(site, when, std::move(fn));
-  });
+  return queue_.Push(
+      when,
+      [this, site, when, fn = std::move(fn)]() mutable {
+        ExecuteSiteEvent(site, when, std::move(fn));
+      },
+      site);
 }
 
 EventQueue::EventId SimRuntime::ScheduleGlobalEvent(TimePoint when,
@@ -110,12 +113,27 @@ void SimRuntime::ExecuteSiteEvent(SiteId site, TimePoint when,
 
 bool SimRuntime::RunOne() {
   if (queue_.Empty()) return false;
-  EventQueue::Event event = queue_.Pop();
+  RunEvent(queue_.Pop());
+  return true;
+}
+
+void SimRuntime::RunEvent(EventQueue::Event event) {
   MR_CHECK(event.when >= now_) << "event scheduled in the past";
   now_ = event.when;
   ++events_processed_;
   event.fn();
-  return true;
+}
+
+std::vector<EventQueue::FrontEvent> SimRuntime::RunnableEvents() const {
+  if (queue_.Empty()) return {};
+  return queue_.FrontEvents();
+}
+
+void SimRuntime::RunEventById(EventQueue::EventId id) {
+  EventQueue::Event event = queue_.PopById(id);
+  MR_CHECK(queue_.Empty() || queue_.NextTime() >= event.when)
+      << "RunEventById skipping past an earlier event";
+  RunEvent(std::move(event));
 }
 
 void SimRuntime::RunUntilIdle() {

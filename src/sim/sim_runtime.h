@@ -40,6 +40,19 @@ class SimRuntime {
   /// Runs the next runnable event. Returns false when the queue is empty.
   bool RunOne();
 
+  /// Every pending event tied for the earliest virtual time, with the site
+  /// context each is bound to (kInvalidSite for global events). Empty when
+  /// the queue is idle. Deliveries to distinct sites at the same instant
+  /// commute, so the systematic checker (src/check) uses this set as the
+  /// branching choices at each scheduling point.
+  std::vector<EventQueue::FrontEvent> RunnableEvents() const;
+
+  /// Runs the specific pending event `id` instead of the FIFO front.
+  /// Precondition: `id` was returned by RunnableEvents() for the current
+  /// front time (running a later-time event before an earlier one is a
+  /// checked error).
+  void RunEventById(EventQueue::EventId id);
+
   /// Runs events until the queue drains.
   void RunUntilIdle();
 
@@ -77,6 +90,7 @@ class SimRuntime {
 
   TimePoint BusyUntil(SiteId site) const;
   void SetBusyUntil(SiteId site, TimePoint when);
+  void RunEvent(EventQueue::Event event);
   void ExecuteSiteEvent(SiteId site, TimePoint when,
                         std::function<void()>&& fn);
 

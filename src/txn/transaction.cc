@@ -65,6 +65,8 @@ std::string_view TxnOutcomeName(TxnOutcome outcome) {
       return "RejectedInvalid";
     case TxnOutcome::kAbortedLockConflict:
       return "AbortedLockConflict";
+    case TxnOutcome::kAbortedStaleView:
+      return "AbortedStaleView";
   }
   return "Unknown";
 }

@@ -79,6 +79,11 @@ enum class TxnOutcome : uint8_t {
   /// Aborted by wait-die (the concurrency-control extension): a younger
   /// transaction conflicted with an older one's locks. Safe to retry.
   kAbortedLockConflict = 6,
+  /// Aborted by commit-time session-vector validation: a participant knew
+  /// a strictly newer session for some site than the coordinator, so the
+  /// participant set was chosen under stale membership. The coordinator
+  /// has merged the participant's vector; safe to retry.
+  kAbortedStaleView = 7,
 };
 
 std::string_view TxnOutcomeName(TxnOutcome outcome);

@@ -1,0 +1,140 @@
+// Tests for the abstract protocol model checker (check/abstract_model.h):
+// the exhaustive bound is clean, each known-bug toggle still trips the
+// property it historically violated, and exploration is deterministic.
+
+#include "check/abstract_model.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid::check {
+namespace {
+
+AbstractConfig BaseConfig() {
+  AbstractConfig cfg;
+  cfg.n_sites = 3;
+  cfg.n_items = 2;
+  cfg.max_depth = 64;  // beyond closure: exploration exhausts at depth 17
+  return cfg;
+}
+
+TEST(AbstractModelTest, FullClosureAtThreeSitesTwoItemsIsClean) {
+  AbstractResult r = ExploreAbstract(BaseConfig());
+  ASSERT_FALSE(r.violation.has_value())
+      << r.violation->detail << "\n" << r.violation->state;
+  // Within the action budgets (3 commits / 2 crashes / 2 refreshes) the
+  // state space closes: nothing was cut off by the depth bound.
+  EXPECT_FALSE(r.depth_bounded);
+  EXPECT_FALSE(r.state_bounded);
+  // Closure statistics are a regression pin: a change to the transition
+  // relation or the properties must consciously update them (and the
+  // matching numbers in docs/ANALYSIS.md).
+  EXPECT_EQ(r.states_visited, 9542u);
+  EXPECT_EQ(r.max_depth_reached, 17u);
+}
+
+TEST(AbstractModelTest, AgreementHoldsAtClosureWithFixedSemantics) {
+  AbstractConfig cfg = BaseConfig();
+  cfg.check_lock_agreement = true;
+  AbstractResult r = ExploreAbstract(cfg);
+  EXPECT_FALSE(r.violation.has_value())
+      << r.violation->detail << "\n" << r.violation->state;
+}
+
+TEST(AbstractModelTest, ExplorationIsDeterministic) {
+  AbstractResult a = ExploreAbstract(BaseConfig());
+  AbstractResult b = ExploreAbstract(BaseConfig());
+  EXPECT_EQ(a.states_visited, b.states_visited);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(AbstractModelTest, SymmetryReductionPreservesTheVerdict) {
+  AbstractConfig sym = BaseConfig();
+  AbstractConfig raw = BaseConfig();
+  raw.canonicalize = false;
+  // Bound the raw run's depth: without folding the space is much larger.
+  sym.max_depth = raw.max_depth = 10;
+  AbstractResult with_sym = ExploreAbstract(sym);
+  AbstractResult without = ExploreAbstract(raw);
+  EXPECT_FALSE(with_sym.violation.has_value());
+  EXPECT_FALSE(without.violation.has_value());
+  // Folding can only shrink the canonical state count.
+  EXPECT_LE(with_sym.states_visited, without.states_visited);
+  EXPECT_GT(with_sym.symmetry_hits, 0u);
+}
+
+// Each toggle reproduces a defect this checker found in the real engine
+// (docs/ANALYSIS.md "Model checking"); the checker must keep catching it.
+
+TEST(AbstractModelTest, DroppedRecoveryWindowUpdatesAreCaught) {
+  AbstractConfig cfg = BaseConfig();
+  cfg.drop_recovery_window_updates = true;
+  AbstractResult r = ExploreAbstract(cfg);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->property, AbstractProperty::kLockOwnerConsistency)
+      << r.violation->detail;
+}
+
+TEST(AbstractModelTest, PreFixCommitSemanticsViolateReadSafety) {
+  AbstractConfig cfg = BaseConfig();
+  cfg.skip_prepare_view_merge = true;
+  AbstractResult r = ExploreAbstract(cfg);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->property, AbstractProperty::kFreshCopyCoverage)
+      << r.violation->detail;
+  // The historical counterexample was 7 actions deep; BFS returns a
+  // shortest path, so the depth must not grow.
+  EXPECT_LE(r.violation->path.size(), 7u);
+}
+
+TEST(AbstractModelTest, PreFixCommitSemanticsRefuteLockAgreement) {
+  AbstractConfig cfg = BaseConfig();
+  cfg.skip_prepare_view_merge = true;
+  cfg.check_lock_agreement = true;
+  AbstractResult r = ExploreAbstract(cfg);
+  ASSERT_TRUE(r.violation.has_value());
+  // Agreement is the shallower symptom of the same defect, so it fires
+  // first (historically at 6 actions).
+  EXPECT_EQ(r.violation->property, AbstractProperty::kLockAgreement)
+      << r.violation->detail;
+  EXPECT_LE(r.violation->path.size(), 6u);
+}
+
+TEST(AbstractModelTest, NarrowClearBroadcastLeavesAStaleLockBehind) {
+  AbstractConfig cfg = BaseConfig();
+  cfg.narrow_clear_broadcast = true;
+  AbstractResult r = ExploreAbstract(cfg);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->property, AbstractProperty::kLockOwnerConsistency)
+      << r.violation->detail;
+  EXPECT_LE(r.violation->path.size(), 12u);
+}
+
+TEST(AbstractModelTest, ActionsRoundTripThroughApply) {
+  AbstractConfig cfg = BaseConfig();
+  ModelState s = InitialState(cfg);
+  std::vector<AbstractAction> actions = EnabledActions(cfg, s);
+  ASSERT_FALSE(actions.empty());
+  // From the all-up initial state the enabled set is commits and crashes
+  // only (nothing to detect, recover, or refresh).
+  for (const AbstractAction& a : actions) {
+    EXPECT_TRUE(a.kind == AbstractAction::Kind::kCommit ||
+                a.kind == AbstractAction::Kind::kCrash)
+        << a.ToString();
+    ModelState next = ApplyAction(cfg, s, a);
+    EXPECT_FALSE(CheckState(cfg, next).has_value())
+        << "one step from the initial state violated a property: "
+        << a.ToString();
+  }
+}
+
+TEST(AbstractModelTest, StateBoundReportsInsteadOfFailing) {
+  AbstractConfig cfg = BaseConfig();
+  cfg.max_states = 100;
+  AbstractResult r = ExploreAbstract(cfg);
+  EXPECT_TRUE(r.state_bounded);
+  EXPECT_FALSE(r.violation.has_value());
+}
+
+}  // namespace
+}  // namespace miniraid::check

@@ -1,0 +1,84 @@
+// Replays every trace checked in under tests/traces/ byte for byte.
+//
+// Two kinds of fixture live there:
+//   golden_*.json       pin the simulator's determinism: a fixed pseudo-
+//                       random schedule recorded once; any behaviour change
+//                       in the engine shows up as a fanout/pick mismatch.
+//   regression_*.json   counterexample traces for issues the checker found;
+//                       they must keep replaying exactly AND stay free of
+//                       violations under the documented oracle.
+//
+// MINIRAID_TRACE_DIR is injected by the build (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/systematic.h"
+#include "check/trace_io.h"
+
+namespace miniraid::check {
+namespace {
+
+std::string TracePath(const std::string& name) {
+  return std::string(MINIRAID_TRACE_DIR) + "/" + name;
+}
+
+std::vector<std::string> AllTraces() {
+  return {
+      "golden_smoke.json",
+      "golden_recovery_skew.json",
+      "golden_recovery_window.json",
+      "golden_double_failure.json",
+      "regression_commit_crash_agreement.json",
+      "regression_double_failure_agreement.json",
+  };
+}
+
+TEST(CheckReplayTest, EveryCheckedInTraceReplaysExactly) {
+  for (const std::string& name : AllTraces()) {
+    SCOPED_TRACE(name);
+    Result<CheckTrace> trace = ReadTraceFile(TracePath(name));
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    ReplayOutcome out = ReplayTrace(*trace);
+    EXPECT_TRUE(out.matched) << out.mismatch;
+    EXPECT_TRUE(out.violations.empty())
+        << "invariant violation on replay: " << out.violations.front();
+    EXPECT_GT(out.steps, 0u);
+  }
+}
+
+TEST(CheckReplayTest, ReplayIsDeterministic) {
+  Result<CheckTrace> trace = ReadTraceFile(TracePath("golden_smoke.json"));
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ReplayOutcome a = ReplayTrace(*trace);
+  ReplayOutcome b = ReplayTrace(*trace);
+  EXPECT_TRUE(a.matched);
+  EXPECT_TRUE(b.matched);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.choice_points, b.choice_points);
+}
+
+TEST(CheckReplayTest, RegressionTracesDocumentTheirFinding) {
+  // The regression fixtures were recorded as counterexamples against the
+  // all-invariants oracle; the note must say what they demonstrated so a
+  // reader of the JSON does not need the git history.
+  for (const std::string& name :
+       {std::string("regression_commit_crash_agreement.json"),
+        std::string("regression_double_failure_agreement.json")}) {
+    SCOPED_TRACE(name);
+    Result<CheckTrace> trace = ReadTraceFile(TracePath(name));
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    EXPECT_NE(trace->note.find("FailLockAgreement"), std::string::npos)
+        << trace->note;
+  }
+}
+
+TEST(CheckReplayTest, MissingTraceIsAnError) {
+  Result<CheckTrace> trace = ReadTraceFile(TracePath("no_such_trace.json"));
+  EXPECT_FALSE(trace.ok());
+}
+
+}  // namespace
+}  // namespace miniraid::check

@@ -172,7 +172,8 @@ TEST(LockingTest, StaleLocksDoNotOutliveTimeoutsOrCrashes) {
       cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 23)}), 2);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(cluster.site(1).db().Read(2)->value, 23);
-  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok())
+      << cluster.CheckReplicaAgreement().ToString();
 }
 
 TEST(LockingTest, FailureAndRecoveryComposeWithLocking) {

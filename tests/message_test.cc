@@ -46,8 +46,16 @@ TEST(MessageTest, RoundTripTwoPhaseCommitMessages) {
   PrepareArgs prepare;
   prepare.txn = 7;
   prepare.writes = {ItemWrite{0, 1}, ItemWrite{49, -9}};
+  prepare.session_vector = {SessionEntryWire{1, SiteStatus::kUp},
+                            SessionEntryWire{4, SiteStatus::kDown}};
+  prepare.participants = {0, 1};
   ExpectRoundTrip(MakeMessage(0, 1, std::move(prepare)));
-  ExpectRoundTrip(MakeMessage(1, 0, PrepareAckArgs{7}));
+  ExpectRoundTrip(MakeMessage(1, 0, PrepareAckArgs{7, true, {}}));
+  // A session-vector veto: refused, with the participant's vector riding
+  // back for the coordinator to merge.
+  PrepareAckArgs veto{7, /*accepted=*/false,
+                      {SessionEntryWire{2, SiteStatus::kUp}}};
+  ExpectRoundTrip(MakeMessage(1, 0, std::move(veto)));
   ExpectRoundTrip(MakeMessage(0, 1, CommitArgs{7}));
   ExpectRoundTrip(MakeMessage(1, 0, CommitAckArgs{7}));
   ExpectRoundTrip(MakeMessage(0, 1, AbortArgs{7}));
@@ -102,7 +110,7 @@ TEST(MessageTest, RoundTripControlPlane) {
 }
 
 TEST(MessageTest, EmptyVectorsRoundTrip) {
-  ExpectRoundTrip(MakeMessage(0, 1, PrepareArgs{1, {}}));
+  ExpectRoundTrip(MakeMessage(0, 1, PrepareArgs{1, {}, {}, {}}));
   ExpectRoundTrip(MakeMessage(0, 1, CopyReplyArgs{1, {}}));
   ExpectRoundTrip(MakeMessage(0, 1, RecoveryInfoArgs{{}, {}}));
 }
@@ -135,7 +143,12 @@ TEST(MessageTest, EveryTruncationFailsCleanly) {
   // Property: no prefix of a valid message decodes successfully, and none
   // crashes. Exercises bounds checks in every payload decoder.
   std::vector<Message> corpus;
-  corpus.push_back(MakeMessage(0, 1, PrepareArgs{7, {ItemWrite{3, 9}}}));
+  corpus.push_back(MakeMessage(
+      0, 1,
+      PrepareArgs{7,
+                  {ItemWrite{3, 9}},
+                  {SessionEntryWire{2, SiteStatus::kUp}},
+                  {0, 1, 2}}));
   corpus.push_back(
       MakeMessage(0, 1, CopyReplyArgs{7, {ItemCopy{1, 2, 3}}}));
   RecoveryInfoArgs info;

@@ -53,7 +53,7 @@ TEST(RobustnessTest, DuplicateCommitIsIdempotent) {
 TEST(RobustnessTest, StrayAcksAndRepliesIgnored) {
   auto cluster_owner = MakeSimCluster(SmallOptions());
   SimCluster& cluster = *cluster_owner;
-  (void)cluster.transport().Send(MakeMessage(1, 0, PrepareAckArgs{77}));
+  (void)cluster.transport().Send(MakeMessage(1, 0, PrepareAckArgs{77, true, {}}));
   (void)cluster.transport().Send(MakeMessage(1, 0, CommitAckArgs{77}));
   CopyReplyArgs stray_copy;
   stray_copy.txn = 77;
@@ -134,9 +134,9 @@ TEST(RobustnessTest, WireFuzzAgainstLiveCluster) {
     const SiteId site = static_cast<SiteId>(fuzz.NextBounded(8));
     switch (pick) {
       case 0:
-        return PrepareArgs{txn, {ItemWrite{item, Value(fuzz.Next())}}};
+        return PrepareArgs{txn, {ItemWrite{item, Value(fuzz.Next())}}, {}, {site}};
       case 1:
-        return PrepareAckArgs{txn};
+        return PrepareAckArgs{txn, true, {}};
       case 2:
         return CommitArgs{txn};
       case 3:
