@@ -8,6 +8,19 @@
 #include "common/strings.h"
 
 namespace miniraid {
+namespace {
+
+/// Per-endpoint channel options: each endpoint gets its own retransmission
+/// jitter stream so simultaneous losses at different senders back off on
+/// decorrelated schedules.
+ReliableChannelOptions ChannelOptionsFor(const ReliableChannelOptions& base,
+                                         SiteId endpoint) {
+  ReliableChannelOptions options = base;
+  options.seed = base.seed + endpoint;
+  return options;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // SimCluster.
@@ -16,16 +29,45 @@ namespace miniraid {
 SimCluster::SimCluster(const ClusterOptions& options)
     : Cluster(options), sim_(options.sim) {
   transport_ = std::make_unique<SimTransport>(&sim_, options_.transport);
+  // With the reliable layer on, every endpoint sends and receives through
+  // its own ReliableChannel stacked on the shared SimTransport: the site
+  // sends into the channel, the transport delivers into the channel, and
+  // the channel delivers in-order deduplicated messages up to the site.
+  const bool reliable = options_.reliable.enabled;
   for (SiteId id = 0; id < options_.n_sites; ++id) {
-    sites_.push_back(std::make_unique<Site>(id, options_.site,
-                                            transport_.get(),
+    Transport* site_transport = transport_.get();
+    if (reliable) {
+      channels_.push_back(std::make_unique<ReliableChannel>(
+          id, transport_.get(), sim_.RuntimeFor(id), /*upper=*/nullptr,
+          ChannelOptionsFor(options_.reliable, id)));
+      site_transport = channels_.back().get();
+    }
+    sites_.push_back(std::make_unique<Site>(id, options_.site, site_transport,
                                             sim_.RuntimeFor(id)));
-    transport_->Register(id, sites_.back().get());
+    if (reliable) {
+      channels_.back()->set_upper(sites_.back().get());
+      transport_->Register(id, channels_.back().get());
+    } else {
+      transport_->Register(id, sites_.back().get());
+    }
+  }
+  Transport* managing_transport = transport_.get();
+  if (reliable) {
+    channels_.push_back(std::make_unique<ReliableChannel>(
+        managing_id(), transport_.get(), sim_.RuntimeFor(managing_id()),
+        /*upper=*/nullptr, ChannelOptionsFor(options_.reliable,
+                                             managing_id())));
+    managing_transport = channels_.back().get();
   }
   managing_ = std::make_unique<ManagingSite>(
-      managing_id(), transport_.get(), sim_.RuntimeFor(managing_id()),
+      managing_id(), managing_transport, sim_.RuntimeFor(managing_id()),
       options_.managing);
-  transport_->Register(managing_id(), managing_.get());
+  if (reliable) {
+    channels_.back()->set_upper(managing_.get());
+    transport_->Register(managing_id(), channels_.back().get());
+  } else {
+    transport_->Register(managing_id(), managing_.get());
+  }
   window_ =
       std::make_unique<SubmitWindow>(managing_.get(), options_.max_inflight);
 }
@@ -98,10 +140,13 @@ ClusterStats SimCluster::Stats() const {
   stats.committed = managing_->committed();
   stats.aborted = managing_->aborted();
   stats.unreachable = managing_->unreachable();
+  stats.late_outcomes = managing_->late_outcomes();
   stats.messages_sent = transport_->messages_sent();
+  stats.messages_dropped = transport_->messages_dropped();
   stats.backlogged = window_->backlogged_total();
   stats.inflight = window_->inflight();
   stats.max_inflight_seen = window_->max_inflight_seen();
+  for (const auto& channel : channels_) stats.channel += channel->counters();
   return stats;
 }
 
@@ -169,18 +214,45 @@ Status RealCluster::Start() {
         std::make_unique<ThreadSiteRuntime>(loops_.back().get(), &clock_));
   }
 
+  const bool reliable = options_.reliable.enabled;
   if (options_.backend == ClusterBackend::kInProc) {
     inproc_ = std::make_unique<InProcTransport>(options_.inproc);
     for (SiteId id = 0; id < options_.n_sites; ++id) {
+      Transport* site_transport = inproc_.get();
+      if (reliable) {
+        channels_.push_back(std::make_unique<ReliableChannel>(
+            id, inproc_.get(), runtimes_[id].get(), /*upper=*/nullptr,
+            ChannelOptionsFor(options_.reliable, id)));
+        site_transport = channels_.back().get();
+      }
       sites_.push_back(std::make_unique<Site>(
-          id, options_.site, inproc_.get(), runtimes_[id].get()));
-      inproc_->Register(id, loops_[id].get(), sites_.back().get());
+          id, options_.site, site_transport, runtimes_[id].get()));
+      if (reliable) {
+        channels_.back()->set_upper(sites_.back().get());
+        inproc_->Register(id, loops_[id].get(), channels_.back().get());
+      } else {
+        inproc_->Register(id, loops_[id].get(), sites_.back().get());
+      }
+    }
+    Transport* managing_transport = inproc_.get();
+    if (reliable) {
+      channels_.push_back(std::make_unique<ReliableChannel>(
+          managing_id(), inproc_.get(), runtimes_[managing_id()].get(),
+          /*upper=*/nullptr,
+          ChannelOptionsFor(options_.reliable, managing_id())));
+      managing_transport = channels_.back().get();
     }
     managing_ = std::make_unique<ManagingSite>(
-        managing_id(), inproc_.get(), runtimes_[managing_id()].get(),
+        managing_id(), managing_transport, runtimes_[managing_id()].get(),
         options_.managing);
-    inproc_->Register(managing_id(), loops_[managing_id()].get(),
-                      managing_.get());
+    if (reliable) {
+      channels_.back()->set_upper(managing_.get());
+      inproc_->Register(managing_id(), loops_[managing_id()].get(),
+                        channels_.back().get());
+    } else {
+      inproc_->Register(managing_id(), loops_[managing_id()].get(),
+                        managing_.get());
+    }
     window_ = std::make_unique<SubmitWindow>(managing_.get(),
                                              options_.max_inflight);
     return Status::Ok();
@@ -197,17 +269,40 @@ Status RealCluster::Start() {
   }
   for (uint32_t i = 0; i < total; ++i) {
     tcp_.push_back(std::make_unique<TcpTransport>(
-        static_cast<SiteId>(i), ports, loops_[i].get(), /*handler=*/nullptr));
+        static_cast<SiteId>(i), ports, loops_[i].get(), /*handler=*/nullptr,
+        options_.tcp));
+    if (reliable) {
+      channels_.push_back(std::make_unique<ReliableChannel>(
+          static_cast<SiteId>(i), tcp_.back().get(), runtimes_[i].get(),
+          /*upper=*/nullptr,
+          ChannelOptionsFor(options_.reliable, static_cast<SiteId>(i))));
+    }
   }
   for (SiteId id = 0; id < options_.n_sites; ++id) {
-    sites_.push_back(std::make_unique<Site>(id, options_.site, tcp_[id].get(),
+    Transport* site_transport =
+        reliable ? static_cast<Transport*>(channels_[id].get())
+                 : static_cast<Transport*>(tcp_[id].get());
+    sites_.push_back(std::make_unique<Site>(id, options_.site, site_transport,
                                             runtimes_[id].get()));
-    tcp_[id]->set_handler(sites_.back().get());
+    if (reliable) {
+      channels_[id]->set_upper(sites_.back().get());
+      tcp_[id]->set_handler(channels_[id].get());
+    } else {
+      tcp_[id]->set_handler(sites_.back().get());
+    }
   }
+  Transport* managing_transport =
+      reliable ? static_cast<Transport*>(channels_[managing_id()].get())
+               : static_cast<Transport*>(tcp_[managing_id()].get());
   managing_ = std::make_unique<ManagingSite>(
-      managing_id(), tcp_[managing_id()].get(),
+      managing_id(), managing_transport,
       runtimes_[managing_id()].get(), options_.managing);
-  tcp_[managing_id()]->set_handler(managing_.get());
+  if (reliable) {
+    channels_[managing_id()]->set_upper(managing_.get());
+    tcp_[managing_id()]->set_handler(channels_[managing_id()].get());
+  } else {
+    tcp_[managing_id()]->set_handler(managing_.get());
+  }
   window_ =
       std::make_unique<SubmitWindow>(managing_.get(), options_.max_inflight);
   for (auto& transport : tcp_) {
@@ -283,13 +378,23 @@ ClusterStats RealCluster::Stats() const {
     stats.committed = managing_->committed();
     stats.aborted = managing_->aborted();
     stats.unreachable = managing_->unreachable();
+    stats.late_outcomes = managing_->late_outcomes();
     stats.backlogged = window_->backlogged_total();
     stats.inflight = window_->inflight();
     stats.max_inflight_seen = window_->max_inflight_seen();
   });
-  if (inproc_) stats.messages_sent = inproc_->messages_sent();
+  if (inproc_) {
+    stats.messages_sent = inproc_->messages_sent();
+    stats.messages_dropped = inproc_->messages_dropped();
+  }
   for (const auto& transport : tcp_) {
     stats.messages_sent += transport->messages_sent();
+    stats.messages_dropped += transport->messages_dropped();
+  }
+  // Channel state lives in each endpoint's loop context; read it there.
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    loops_[i]->PostAndWait(
+        [this, i, &stats] { stats.channel += channels_[i]->counters(); });
   }
   return stats;
 }

@@ -82,6 +82,10 @@ class SimCluster : public Cluster {
 
   SimRuntime sim_;
   std::unique_ptr<SimTransport> transport_;
+  /// Per-endpoint reliable channels (sites + managing), in id order;
+  /// empty unless options.reliable.enabled. Each fronts the shared
+  /// SimTransport for its endpoint.
+  std::vector<std::unique_ptr<ReliableChannel>> channels_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<ManagingSite> managing_;
   std::unique_ptr<SubmitWindow> window_;
@@ -145,6 +149,10 @@ class RealCluster : public Cluster {
   std::vector<std::unique_ptr<ThreadSiteRuntime>> runtimes_;
   std::unique_ptr<InProcTransport> inproc_;
   std::vector<std::unique_ptr<TcpTransport>> tcp_;  // per site + managing
+  /// Per-endpoint reliable channels (sites + managing), in id order; empty
+  /// unless options.reliable.enabled. Channel state lives in its
+  /// endpoint's loop context, like the Site behind it.
+  std::vector<std::unique_ptr<ReliableChannel>> channels_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<ManagingSite> managing_;
   std::unique_ptr<SubmitWindow> window_;  // managing-loop context only

@@ -13,7 +13,9 @@
 #include "core/invariants.h"
 #include "core/managing_site.h"
 #include "net/inproc_transport.h"
+#include "net/reliable_channel.h"
 #include "net/sim_transport.h"
+#include "net/tcp_transport.h"
 #include "replication/site.h"
 #include "sim/sim_runtime.h"
 #include "txn/transaction.h"
@@ -53,6 +55,14 @@ struct ClusterOptions {
   /// transaction starts when it is dispatched, not when it is enqueued.
   uint32_t max_inflight = 0;
 
+  /// Reliable-delivery layer (net/reliable_channel.h), backend-agnostic:
+  /// with `reliable.enabled` every endpoint (sites + managing) sends and
+  /// receives through a ReliableChannel, which retransmits lost messages
+  /// with exponential backoff and suppresses duplicates at the receiver.
+  /// Pair with per-transport fault injection (TransportFaults) to run the
+  /// protocol over a lossy network.
+  ReliableChannelOptions reliable;
+
   // -- sim backend only ----------------------------------------------------
   SimOptions sim;
   SimTransportOptions transport;
@@ -61,6 +71,7 @@ struct ClusterOptions {
   InProcTransportOptions inproc;
 
   // -- tcp backend only ----------------------------------------------------
+  TcpTransportOptions tcp;
   /// First port; site s listens on base_port + s. 0 picks a base derived
   /// from the pid and a per-process counter, keeping concurrent test runs
   /// and multiple clusters in one process apart.
@@ -81,13 +92,22 @@ struct ClusterStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t unreachable = 0;
+  /// Replies that arrived after their client timeout already fired — the
+  /// caller was told kCoordinatorUnreachable for a transaction the cluster
+  /// resolved anyway (ManagingSite::late_outcomes; see docs/API.md).
+  uint64_t late_outcomes = 0;
   /// Messages accepted by the transport (all sites + managing).
   uint64_t messages_sent = 0;
+  /// Messages dropped by transport fault injection.
+  uint64_t messages_dropped = 0;
   /// Submissions that had to wait for a window slot (max_inflight).
   uint64_t backlogged = 0;
   /// Transactions in flight right now / high-water mark.
   uint32_t inflight = 0;
   uint32_t max_inflight_seen = 0;
+  /// Reliable-channel counters aggregated over every endpoint (all zero
+  /// when ClusterOptions::reliable.enabled is false).
+  ChannelCounters channel;
 };
 
 namespace internal {

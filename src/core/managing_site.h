@@ -1,8 +1,10 @@
 #ifndef MINIRAID_CORE_MANAGING_SITE_H_
 #define MINIRAID_CORE_MANAGING_SITE_H_
 
+#include <deque>
 #include <functional>
 #include <map>
+#include <set>
 
 #include "common/runtime.h"
 #include "net/transport.h"
@@ -64,6 +66,16 @@ class ManagingSite : public MessageHandler {
   uint64_t aborted() const { return aborted_; }
   uint64_t unreachable() const { return unreachable_; }
 
+  /// Replies that arrived AFTER the client timeout already fired for their
+  /// transaction. Each one is a transaction whose caller was told
+  /// kCoordinatorUnreachable while the cluster actually resolved it — most
+  /// often a commit racing the timeout on a slow or lossy network. The
+  /// caller-visible tallies are not retroactively rewritten (the caller
+  /// already acted on the timeout); this counter sizes the lie. A non-zero
+  /// value under loss means client_timeout is too tight for the retry
+  /// chain underneath it. See docs/API.md.
+  uint64_t late_outcomes() const { return late_outcomes_; }
+
   SiteId id() const { return id_; }
 
  private:
@@ -73,6 +85,7 @@ class ManagingSite : public MessageHandler {
   };
 
   void ClientTimeout(TxnId txn);
+  void RecordTimedOut(TxnId txn);
 
   const SiteId id_;
   Transport* const transport_;
@@ -80,10 +93,19 @@ class ManagingSite : public MessageHandler {
   const Options options_;
 
   std::map<TxnId, PendingTxn> pending_;
+  /// Transactions whose client timeout fired, kept (bounded FIFO) so a
+  /// late reply is distinguishable from a duplicate of an already-counted
+  /// reply — the difference between "the cluster contradicted what we told
+  /// the caller" (late_outcomes_) and harmless retransmission noise.
+  std::set<TxnId> timed_out_;
+  std::deque<TxnId> timed_out_fifo_;
+  static constexpr size_t kMaxTimedOut = 1024;
+
   uint64_t submitted_ = 0;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
   uint64_t unreachable_ = 0;
+  uint64_t late_outcomes_ = 0;
 };
 
 }  // namespace miniraid

@@ -152,6 +152,8 @@ struct PayloadEncoder {
   void operator()(const FailSiteArgs&) {}
   void operator()(const RecoverSiteArgs&) {}
   void operator()(const ShutdownArgs&) {}
+  void operator()(const DecisionQueryArgs& a) { enc.PutU64(a.txn); }
+  void operator()(const ChannelAckArgs&) {}
 };
 
 // -- payload decoders --------------------------------------------------------
@@ -289,6 +291,15 @@ Status DecodePayload(MsgType type, Decoder& dec, Payload* out) {
     case MsgType::kShutdown:
       *out = ShutdownArgs{};
       return Status::Ok();
+    case MsgType::kDecisionQuery: {
+      DecisionQueryArgs a;
+      MINIRAID_RETURN_IF_ERROR(dec.GetU64(&a.txn));
+      *out = a;
+      return Status::Ok();
+    }
+    case MsgType::kChannelAck:
+      *out = ChannelAckArgs{};
+      return Status::Ok();
   }
   return Status::Corruption("unknown message type");
 }
@@ -337,6 +348,10 @@ std::string_view MsgTypeName(MsgType type) {
       return "RecoverSite";
     case MsgType::kShutdown:
       return "Shutdown";
+    case MsgType::kDecisionQuery:
+      return "DecisionQuery";
+    case MsgType::kChannelAck:
+      return "ChannelAck";
   }
   return "Unknown";
 }
@@ -364,6 +379,8 @@ std::vector<uint8_t> EncodeMessage(const Message& msg) {
   enc.PutU8(static_cast<uint8_t>(msg.type));
   enc.PutU32(msg.from);
   enc.PutU32(msg.to);
+  enc.PutVarint(msg.seq);
+  enc.PutVarint(msg.ack);
   std::visit(PayloadEncoder{enc}, msg.payload);
   return enc.TakeBuffer();
 }
@@ -372,13 +389,15 @@ Result<Message> DecodeMessage(const uint8_t* data, size_t size) {
   Decoder dec(data, size);
   uint8_t type_byte = 0;
   MINIRAID_RETURN_IF_ERROR(dec.GetU8(&type_byte));
-  if (type_byte > static_cast<uint8_t>(MsgType::kShutdown)) {
+  if (type_byte > static_cast<uint8_t>(MsgType::kChannelAck)) {
     return Status::Corruption("unknown message type byte");
   }
   Message msg;
   msg.type = static_cast<MsgType>(type_byte);
   MINIRAID_RETURN_IF_ERROR(dec.GetU32(&msg.from));
   MINIRAID_RETURN_IF_ERROR(dec.GetU32(&msg.to));
+  MINIRAID_RETURN_IF_ERROR(dec.GetVarint(&msg.seq));
+  MINIRAID_RETURN_IF_ERROR(dec.GetVarint(&msg.ack));
   MINIRAID_RETURN_IF_ERROR(DecodePayload(msg.type, dec, &msg.payload));
   if (!dec.AtEnd()) {
     return Status::Corruption("trailing bytes after message payload");

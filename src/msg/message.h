@@ -49,6 +49,10 @@ enum class MsgType : uint8_t {
                       // crash; the site ignores everything until recovery)
   kRecoverSite = 18,  // managing -> site: start the type-1 protocol
   kShutdown = 19,     // managing -> site: terminate cleanly
+
+  // Reliable-delivery machinery (lossy-network extension).
+  kDecisionQuery = 20,  // in-doubt participant -> coordinator: outcome?
+  kChannelAck = 21,     // ReliableChannel ack (value rides in the header)
 };
 
 std::string_view MsgTypeName(MsgType type);
@@ -244,13 +248,32 @@ struct ShutdownArgs {
   friend bool operator==(const ShutdownArgs&, const ShutdownArgs&) = default;
 };
 
+/// An in-doubt participant (its patience timer fired while a transaction
+/// was still staged) asks the coordinator for the outcome. The coordinator
+/// answers with a Commit or Abort; a transaction it has no record of is
+/// presumed aborted (see docs/PROTOCOL.md, reliable delivery).
+struct DecisionQueryArgs {
+  TxnId txn = 0;
+  friend bool operator==(const DecisionQueryArgs&, const DecisionQueryArgs&) =
+      default;
+};
+
+/// Standalone acknowledgement emitted by a ReliableChannel when it has no
+/// outbound data message to piggyback the cumulative ack on. The ack value
+/// itself rides in the message header (Message::ack); the payload is empty.
+struct ChannelAckArgs {
+  friend bool operator==(const ChannelAckArgs&, const ChannelAckArgs&) =
+      default;
+};
+
 using Payload =
     std::variant<TxnRequestArgs, TxnReplyArgs, PrepareArgs, PrepareAckArgs,
                  CommitArgs, CommitAckArgs, AbortArgs, CopyRequestArgs,
                  CopyReplyArgs, ClearFailLocksArgs, ClearFailLocksAckArgs,
                  RecoveryAnnounceArgs, RecoveryInfoArgs, FailureAnnounceArgs,
                  FailureAckArgs, CopyCreateArgs, CopyCreateAckArgs,
-                 FailSiteArgs, RecoverSiteArgs, ShutdownArgs>;
+                 FailSiteArgs, RecoverSiteArgs, ShutdownArgs,
+                 DecisionQueryArgs, ChannelAckArgs>;
 
 /// One protocol message. `from`/`to` identify sites (the managing site has
 /// an id too). The payload variant index always matches `type`.
@@ -258,6 +281,14 @@ struct Message {
   MsgType type = MsgType::kTxnRequest;
   SiteId from = kInvalidSite;
   SiteId to = kInvalidSite;
+  /// Reliable-channel header (see net/reliable_channel.h). `seq` is the
+  /// per-(from, to) sequence number the sender's channel assigned, starting
+  /// at 1; 0 means the message travels outside any channel (an unreliable
+  /// datagram, the pre-channel default). `ack` is cumulative: the highest
+  /// seq the sender has delivered in order from `to`. Both encode as
+  /// varints, so the legacy common case (0, 0) costs two bytes.
+  uint64_t seq = 0;
+  uint64_t ack = 0;
   Payload payload;
 
   /// Convenience typed accessors; precondition: the payload holds T.

@@ -6,7 +6,7 @@
 namespace miniraid {
 
 InProcTransport::InProcTransport(const InProcTransportOptions& options)
-    : options_(options) {}
+    : options_(options), injector_(options.faults) {}
 
 void InProcTransport::Register(SiteId site, EventLoop* loop,
                                MessageHandler* handler) {
@@ -20,6 +20,16 @@ Status InProcTransport::Send(const Message& msg) {
         StrFormat("no endpoint registered for site %u", msg.to));
   }
   const Endpoint endpoint = it->second;
+  bool duplicate = false;
+  {
+    // Draw fault decisions under the lock, deliver outside it.
+    MutexLock lock(faults_mu_);
+    if (injector_.ShouldDrop(msg)) {
+      messages_dropped_.fetch_add(1);
+      return Status::Ok();
+    }
+    duplicate = injector_.ShouldDuplicate();
+  }
   std::function<void()> deliver;
   if (options_.codec_roundtrip) {
     std::vector<uint8_t> wire = EncodeMessage(msg);
@@ -32,10 +42,22 @@ Status InProcTransport::Send(const Message& msg) {
   } else {
     deliver = [endpoint, msg] { endpoint.handler->OnMessage(msg); };
   }
+  std::function<void()> deliver_copy;
+  if (duplicate) deliver_copy = deliver;
   if (options_.message_latency > 0) {
     endpoint.loop->ScheduleAfter(options_.message_latency, std::move(deliver));
   } else {
     endpoint.loop->Post(std::move(deliver));
+  }
+  if (duplicate) {
+    // Enqueued after the original so the copy never arrives first.
+    Duration dup_latency =
+        options_.message_latency + options_.faults.duplicate_delay;
+    if (dup_latency > 0) {
+      endpoint.loop->ScheduleAfter(dup_latency, std::move(deliver_copy));
+    } else {
+      endpoint.loop->Post(std::move(deliver_copy));
+    }
   }
   messages_sent_.fetch_add(1);
   return Status::Ok();

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "net/event_loop.h"
+#include "net/faults.h"
 #include "net/transport.h"
 
 namespace miniraid {
@@ -21,6 +23,12 @@ struct InProcTransportOptions {
   /// loop gets to it. Timer-based: no thread ever blocks, and per-pair
   /// FIFO is preserved (equal deadlines fire in insertion order).
   Duration message_latency = 0;
+
+  /// Fault injection (loss, duplication, duplicate delay) shared with the
+  /// sim and TCP transports; defaults inject nothing. The decision streams
+  /// are deterministic per seed, but which Send draws which decision
+  /// depends on thread interleaving on this backend.
+  TransportFaults faults;
 };
 
 /// Real message passing between sites running as threads in one process —
@@ -42,6 +50,9 @@ class InProcTransport : public Transport {
   /// Messages accepted for delivery so far. Safe from any thread.
   uint64_t messages_sent() const { return messages_sent_.load(); }
 
+  /// Messages dropped by fault injection so far. Safe from any thread.
+  uint64_t messages_dropped() const { return messages_dropped_.load(); }
+
  private:
   struct Endpoint {
     EventLoop* loop;
@@ -50,7 +61,13 @@ class InProcTransport : public Transport {
 
   InProcTransportOptions options_;
   std::unordered_map<SiteId, Endpoint> endpoints_;
+  /// Send runs on every site's loop thread, so fault decisions (which
+  /// mutate RNG state) are drawn under a short lock; delivery itself never
+  /// happens while the lock is held.
+  Mutex faults_mu_;
+  FaultInjector injector_ MR_GUARDED_BY(faults_mu_);
   std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
 };
 
 }  // namespace miniraid

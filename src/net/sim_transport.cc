@@ -7,8 +7,28 @@
 
 namespace miniraid {
 
+namespace {
+
+// Folds the legacy per-field fault knobs into the shared TransportFaults
+// struct so both spellings configure the same injector.
+TransportFaults MergedFaults(const SimTransportOptions& options) {
+  TransportFaults faults = options.faults;
+  if (!faults.drop_filter && options.drop_filter) {
+    faults.drop_filter = options.drop_filter;
+  }
+  if (faults.duplicate_probability == 0.0) {
+    faults.duplicate_probability = options.duplicate_probability;
+  }
+  return faults;
+}
+
+}  // namespace
+
 SimTransport::SimTransport(SimRuntime* sim, const SimTransportOptions& options)
-    : sim_(sim), options_(options), jitter_rng_(options.jitter_seed) {}
+    : sim_(sim),
+      options_(options),
+      injector_(MergedFaults(options)),
+      jitter_rng_(options.jitter_seed) {}
 
 void SimTransport::Register(SiteId site, MessageHandler* handler) {
   handlers_[site] = handler;
@@ -20,7 +40,7 @@ Status SimTransport::Send(const Message& msg) {
     return Status::InvalidArgument(
         StrFormat("no handler registered for site %u", msg.to));
   }
-  if (options_.drop_filter && options_.drop_filter(msg)) {
+  if (injector_.ShouldDrop(msg)) {
     ++messages_dropped_;
     return Status::Ok();
   }
@@ -37,9 +57,12 @@ Status SimTransport::Send(const Message& msg) {
   }
   sim_->ScheduleSiteEvent(arrival, msg.to,
                           [handler, msg]() { handler->OnMessage(msg); });
-  if (options_.duplicate_probability > 0.0 &&
-      jitter_rng_.NextBool(options_.duplicate_probability)) {
-    sim_->ScheduleSiteEvent(arrival, msg.to,
+  // Duplicate decisions come from the injector's own RNG stream, never the
+  // latency jitter's, so a same-seed run's original arrivals are identical
+  // with duplication on or off.
+  if (injector_.ShouldDuplicate()) {
+    TimePoint dup_arrival = arrival + injector_.faults().duplicate_delay;
+    sim_->ScheduleSiteEvent(dup_arrival, msg.to,
                             [handler, msg]() { handler->OnMessage(msg); });
   }
   return Status::Ok();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "net/faults.h"
 #include "net/transport.h"
 #include "sim/sim_runtime.h"
 
@@ -18,10 +19,10 @@ struct SimTransportOptions {
   /// milliseconds" (§2.1); that figure is the default.
   Duration message_latency = Milliseconds(9);
 
-  /// Optional fault filter: return true to silently drop a message
-  /// (network partition / lossy-link injection for tests). Reliability is
-  /// the paper's assumption, so the default drops nothing.
-  std::function<bool(const Message&)> drop_filter;
+  /// Fault injection (loss, duplication, duplicate delay) shared with the
+  /// inproc and TCP transports. Reliability is the paper's assumption, so
+  /// the default injects nothing.
+  TransportFaults faults;
 
   /// Uniform extra delay in [0, latency_jitter] added per message
   /// (deterministic from jitter_seed). Delivery stays FIFO per sender ->
@@ -30,10 +31,9 @@ struct SimTransportOptions {
   Duration latency_jitter = 0;
   uint64_t jitter_seed = 1;
 
-  /// Probability that a message is delivered twice (fault injection; the
-  /// paper assumes exactly-once, so this tests the protocol's tolerance of
-  /// a transport that retransmits). The duplicate arrives immediately
-  /// after the original.
+  /// Legacy aliases, merged into `faults` at construction (either spelling
+  /// works; `faults` wins if both are set).
+  std::function<bool(const Message&)> drop_filter;
   double duplicate_probability = 0.0;
 };
 
@@ -59,6 +59,7 @@ class SimTransport : public Transport {
  private:
   SimRuntime* sim_;
   SimTransportOptions options_;
+  FaultInjector injector_;
   std::unordered_map<SiteId, MessageHandler*> handlers_;
   Rng jitter_rng_;
   std::map<std::pair<SiteId, SiteId>, TimePoint> last_arrival_;

@@ -60,7 +60,8 @@ TcpTransport::TcpTransport(SiteId self, std::map<SiteId, uint16_t> peers,
       peers_(std::move(peers)),
       loop_(loop),
       handler_(handler),
-      options_(options) {}
+      options_(options),
+      injector_(options.faults) {}
 
 TcpTransport::~TcpTransport() { Stop(); }
 
@@ -201,20 +202,19 @@ Status TcpTransport::ConnectTo(SiteId peer, int* fd_out) {
   return Status::Ok();
 }
 
-Status TcpTransport::Send(const Message& msg) {
+Status TcpTransport::SendFrame(SiteId to, const std::vector<uint8_t>& body) {
   if (stopping_.load()) return Status::FailedPrecondition("transport stopped");
-  const std::vector<uint8_t> body = EncodeMessage(msg);
   const uint32_t length = static_cast<uint32_t>(body.size());
   uint8_t header[4] = {
       static_cast<uint8_t>(length), static_cast<uint8_t>(length >> 8),
       static_cast<uint8_t>(length >> 16), static_cast<uint8_t>(length >> 24)};
 
   MutexLock lock(conn_mu_);
-  auto it = out_fds_.find(msg.to);
+  auto it = out_fds_.find(to);
   if (it == out_fds_.end()) {
     int fd = -1;
-    MINIRAID_RETURN_IF_ERROR(ConnectTo(msg.to, &fd));
-    it = out_fds_.emplace(msg.to, fd).first;
+    MINIRAID_RETURN_IF_ERROR(ConnectTo(to, &fd));
+    it = out_fds_.emplace(to, fd).first;
   }
   Status status = WriteAll(it->second, header, sizeof(header));
   if (status.ok()) status = WriteAll(it->second, body.data(), body.size());
@@ -225,6 +225,32 @@ Status TcpTransport::Send(const Message& msg) {
     return status;
   }
   messages_sent_.fetch_add(1);
+  return Status::Ok();
+}
+
+Status TcpTransport::Send(const Message& msg) {
+  if (stopping_.load()) return Status::FailedPrecondition("transport stopped");
+  bool duplicate = false;
+  {
+    MutexLock lock(faults_mu_);
+    if (injector_.ShouldDrop(msg)) {
+      messages_dropped_.fetch_add(1);
+      return Status::Ok();
+    }
+    duplicate = injector_.ShouldDuplicate();
+  }
+  std::vector<uint8_t> body = EncodeMessage(msg);
+  MINIRAID_RETURN_IF_ERROR(SendFrame(msg.to, body));
+  if (duplicate) {
+    const Duration delay = options_.faults.duplicate_delay;
+    if (delay > 0) {
+      loop_->ScheduleAfter(delay, [this, to = msg.to, b = std::move(body)] {
+        (void)SendFrame(to, b);  // stopping_ is re-checked inside
+      });
+    } else {
+      (void)SendFrame(msg.to, body);
+    }
+  }
   return Status::Ok();
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/mutex.h"
 #include "net/event_loop.h"
+#include "net/faults.h"
 #include "net/transport.h"
 
 namespace miniraid {
@@ -17,6 +18,13 @@ struct TcpTransportOptions {
   /// Address every peer binds on. Experiments run on localhost, like the
   /// paper's single-machine testbed; any IPv4 address works.
   std::string bind_address = "127.0.0.1";
+
+  /// Fault injection (loss, duplication, duplicate delay) shared with the
+  /// sim and inproc transports; defaults inject nothing. TCP itself never
+  /// loses or duplicates, so faults are applied above the socket: a
+  /// dropped message is never framed, a duplicated one is framed twice
+  /// (the copy after `duplicate_delay`).
+  TransportFaults faults;
 };
 
 /// Message passing over real TCP sockets, one transport instance per site.
@@ -53,6 +61,7 @@ class TcpTransport : public Transport {
 
   uint64_t messages_sent() const { return messages_sent_.load(); }
   uint64_t messages_received() const { return messages_received_.load(); }
+  uint64_t messages_dropped() const { return messages_dropped_.load(); }
 
  private:
   void AcceptLoop();
@@ -60,6 +69,10 @@ class TcpTransport : public Transport {
   /// Opens the lazy outbound connection; called on the Send path with the
   /// connection table locked (the map insert must be atomic with connect).
   Status ConnectTo(SiteId peer, int* fd_out) MR_REQUIRES(conn_mu_);
+  /// Frames and writes one already-encoded message; the fault-free inner
+  /// send, also used for delayed duplicate copies (which must not re-draw
+  /// fault decisions).
+  Status SendFrame(SiteId to, const std::vector<uint8_t>& body);
 
   SiteId self_;
   std::map<SiteId, uint16_t> peers_;
@@ -85,8 +98,14 @@ class TcpTransport : public Transport {
   std::vector<std::thread> reader_threads_ MR_GUARDED_BY(readers_mu_);
   std::vector<int> in_fds_ MR_GUARDED_BY(readers_mu_);
 
+  // Fault decisions mutate RNG state and Send runs on many threads; held
+  // only around the decision, never around a write or a loop post.
+  Mutex faults_mu_ MR_ACQUIRED_BEFORE(loop_->mu_);
+  FaultInjector injector_ MR_GUARDED_BY(faults_mu_);
+
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> messages_received_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
 };
 
 /// Returns a base port unlikely to collide between concurrently running

@@ -15,17 +15,34 @@ class MessageHandler {
   virtual void OnMessage(const Message& msg) = 0;
 };
 
-/// Asynchronous, reliable, per-pair-FIFO message channel — the paper's
+/// Asynchronous, per-pair-FIFO message channel. Delivery is AT MOST ONCE
+/// per accepted copy but not guaranteed: every transport can be configured
+/// to lose, duplicate, and delay messages (TransportFaults in net/faults.h),
+/// and the real backends can lose them on connection failure. The paper's
 /// assumption 1 ("no messages were lost; messages arrived and were
-/// processed in the order that they were sent"). Send never blocks on the
-/// receiver; delivery failures beyond the reliability contract (e.g. an
-/// unknown destination) surface as a Status.
+/// processed in the order that they were sent") therefore does NOT hold at
+/// this layer. It is restored for the protocol engine by stacking a
+/// ReliableChannel (net/reliable_channel.h) on top, which turns the lossy
+/// substrate into AT-LEAST-ONCE delivery via retransmission with
+/// exponential backoff, and then into exactly-once in-order delivery via
+/// receiver-side sequence-number dedup and reorder buffering. Code sending
+/// directly through a raw transport must tolerate silent loss; code
+/// receiving behind a ReliableChannel may assume per-pair FIFO and no
+/// duplicates, but must still tolerate duplicates at the PROTOCOL level
+/// (a retried Prepare or re-announced recovery is a fresh message with a
+/// fresh sequence number — dedup below cannot see protocol retries).
+///
+/// What stays true on every backend, faults or not: messages that are
+/// delivered arrive in the order sent per (from, to) pair — a duplicate's
+/// delayed copy is the one exception — and Send never blocks on the
+/// receiver.
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Queues `msg` for delivery to `msg.to`. Fire-and-forget: an OK return
-  /// means the transport accepted the message, not that it was processed.
+  /// means the transport accepted the message — not that it was delivered
+  /// (fault injection may still drop it) nor that it was processed.
   virtual Status Send(const Message& msg) = 0;
 };
 

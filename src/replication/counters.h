@@ -57,6 +57,23 @@ struct SiteCounters {
   // fail-locked every held copy.
   uint64_t recovery_blind_completions = 0;
 
+  // -- lossy-network retry machinery (SiteOptions::retry_limit) ------------
+  // Phase messages re-sent by a coordinator after an ack_timeout expired
+  // with retries remaining (copy requests, Prepares, CommitDecisions).
+  uint64_t phase_retransmits = 0;
+  // Decision queries sent by this site as an in-doubt prepared participant.
+  uint64_t decision_queries_sent = 0;
+  // Decision queries answered from coordination state or recent outcomes.
+  uint64_t decision_queries_answered = 0;
+  // Decision queries answered by presumed abort (no trace of the txn).
+  uint64_t decisions_presumed_abort = 0;
+  // Type-1 announcements re-sent for the same session after a timeout.
+  uint64_t recovery_reannounces = 0;
+  // Messages recognized as protocol-level duplicates and ignored or
+  // re-acked without side effects (duplicate Prepare / CommitDecision /
+  // RecoveryInfo / TxnRequest and friends).
+  uint64_t duplicate_msgs_ignored = 0;
+
   // -- timing distributions (virtual time under the simulator) ------------
   DurationStats coord_txn_time;        // TxnRequest received -> reply sent
   DurationStats coord_txn_copier_time;  // same, txns that ran >= 1 copier
@@ -66,6 +83,11 @@ struct SiteCounters {
   DurationStats type2_receive_time;    // type 2 processing at a receiver
   DurationStats copy_serve_time;       // copy request service
   DurationStats clear_locks_time;      // special-transaction processing
+
+  // -- per-2PC-phase latency (coordinator side, committed txns) ------------
+  DurationStats phase_copier_time;   // copier phase start -> all copies in
+  DurationStats phase_prepare_time;  // Prepares sent -> all acks in
+  DurationStats phase_commit_time;   // CommitDecisions sent -> all acks in
 };
 
 }  // namespace miniraid

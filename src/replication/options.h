@@ -40,6 +40,19 @@ struct SiteOptions {
   /// recovery info) before declaring the silent party failed.
   Duration ack_timeout = Milliseconds(1000);
 
+  /// Lossy-network retry budget. With retry_limit = 0 (the default, and
+  /// the paper's reliable-network behavior) the first expired ack_timeout
+  /// declares the silent party failed. With retry_limit = N, a timeout
+  /// first retries up to N times — a coordinator re-sends the current
+  /// phase's message (copy request / Prepare / CommitDecision) to the
+  /// still-silent sites only, a prepared participant queries the
+  /// coordinator for the decision instead of unilaterally discarding, and
+  /// a recovering site re-announces the same session — each wait stretched
+  /// by retry_backoff per attempt. Only after the budget is exhausted does
+  /// the legacy failure handling run.
+  uint32_t retry_limit = 0;
+  double retry_backoff = 1.5;
+
   /// Two-step recovery (paper §3.2 proposal). When the fraction of this
   /// site's copies that are fail-locked drops to or below this threshold,
   /// the site enters step two and proactively issues batch copier

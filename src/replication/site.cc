@@ -8,6 +8,13 @@
 namespace miniraid {
 namespace {
 
+/// Timeout for the (attempt+1)-th wait: base stretched by backoff^attempt.
+Duration RetryDelay(Duration base, uint32_t attempt, double backoff) {
+  double delay = static_cast<double>(base);
+  for (uint32_t i = 0; i < attempt; ++i) delay *= backoff;
+  return static_cast<Duration>(delay);
+}
+
 Database MakeDatabase(SiteId id, const SiteOptions& options) {
   if (options.placement.empty()) return Database(options.db_size);
   MR_CHECK(options.placement.size() == options.n_sites)
@@ -129,6 +136,13 @@ void Site::OnMessage(const Message& msg) {
     case MsgType::kShutdown:
       status_ = SiteStatus::kTerminating;
       break;
+    case MsgType::kDecisionQuery:
+      HandleDecisionQuery(msg);
+      break;
+    case MsgType::kChannelAck:
+      // Consumed by the ReliableChannel below this handler; one reaching
+      // the site (channel disabled) carries nothing to act on.
+      break;
   }
 }
 
@@ -154,6 +168,8 @@ void Site::Crash() {
     // as stable storage (see SiteOptions::lose_state_on_crash).
     db_ = MakeDatabase(id_, options_);
     fail_locks_ = FailLockTable(options_.db_size, options_.n_sites);
+    recent_outcomes_.clear();
+    recent_outcomes_fifo_.clear();
     state_lost_ = true;
     return;
   }
@@ -167,6 +183,21 @@ void Site::Crash() {
 
 void Site::HandleTxnRequest(const Message& msg) {
   if (status_ != SiteStatus::kUp) return;  // client will time out
+  // A duplicated request (transport fault or client retransmission) for a
+  // transaction this site is already serving, has queued, or recently
+  // finished must not run the transaction twice.
+  const TxnId incoming = msg.As<TxnRequestArgs>().txn.id;
+  const bool serving =
+      coord_ && !coord_->batch_refresh && coord_->txn.id == incoming;
+  const bool queued = std::any_of(
+      queued_requests_.begin(), queued_requests_.end(),
+      [incoming](const Message& q) {
+        return q.As<TxnRequestArgs>().txn.id == incoming;
+      });
+  if (serving || queued || RecentOutcome(incoming).has_value()) {
+    ++counters_.duplicate_msgs_ignored;
+    return;
+  }
   if (coord_) {
     // Another transaction is being coordinated; serve this one when the
     // slot frees up. Execution at this site stays serial.
@@ -261,6 +292,8 @@ void Site::ProceedAfterLocks() {
 void Site::StartCopierPhase(const std::vector<ItemId>& needed) {
   Coordination& c = *coord_;
   c.phase = Coordination::Phase::kCopier;
+  c.phase_start = runtime_->Now();
+  c.retries_used = 0;
   if (!c.batch_refresh) {
     Trace(TraceEvent::kCopierStarted, c.txn.id, needed.size());
   }
@@ -350,6 +383,7 @@ void Site::HandleCopyReply(const Message& msg) {
 void Site::FinishCopierPhase() {
   runtime_->CancelTimer(coord_->timer);
   coord_->timer = kInvalidTimer;
+  counters_.phase_copier_time.Add(runtime_->Now() - coord_->phase_start);
   if (!coord_->refreshed_items.empty()) {
     // The special transaction: "inform other sites of the fail-lock bits
     // cleared by copier transactions", run after the copier values have
@@ -417,6 +451,8 @@ void Site::ExecuteAndPrepare() {
     return;
   }
   c.phase = Coordination::Phase::kPrepare;
+  c.phase_start = runtime_->Now();
+  c.retries_used = 0;
   c.awaiting.insert(c.participants.begin(), c.participants.end());
   // The wire participant set includes the coordinator: commit-time
   // maintenance needs the full set, identical at every site.
@@ -468,6 +504,7 @@ void Site::HandlePrepareAck(const Message& msg) {
   if (coord_->awaiting.empty()) {
     runtime_->CancelTimer(coord_->timer);
     coord_->timer = kInvalidTimer;
+    counters_.phase_prepare_time.Add(runtime_->Now() - coord_->phase_start);
     StartCommitPhase();
   }
 }
@@ -475,6 +512,8 @@ void Site::HandlePrepareAck(const Message& msg) {
 void Site::StartCommitPhase() {
   Coordination& c = *coord_;
   c.phase = Coordination::Phase::kCommit;
+  c.phase_start = runtime_->Now();
+  c.retries_used = 0;
   c.awaiting.insert(c.participants.begin(), c.participants.end());
   for (SiteId p : c.participants) {
     Charge(options_.costs.ack_format);
@@ -491,6 +530,7 @@ void Site::HandleCommitAck(const Message& msg) {
   if (coord_->awaiting.empty()) {
     runtime_->CancelTimer(coord_->timer);
     coord_->timer = kInvalidTimer;
+    counters_.phase_commit_time.Add(runtime_->Now() - coord_->phase_start);
     FinishCommit();
   }
 }
@@ -509,6 +549,53 @@ void Site::CoordinationTimeout() {
   if (!coord_ || coord_->timer == kInvalidTimer) return;
   coord_->timer = kInvalidTimer;
   Coordination& c = *coord_;
+
+  // Lossy-network retries: before declaring the silent parties failed,
+  // re-send the current phase's message to exactly the sites still owed a
+  // reply, with the next wait stretched by retry_backoff. Every phase
+  // message is idempotent at the receiver (duplicate Prepare re-acks,
+  // duplicate CommitDecision after teardown re-acks from the outcome
+  // cache, duplicate copy requests re-serve), so re-sending is safe even
+  // when the original was delivered and only the reply was lost.
+  if (c.retries_used < options_.retry_limit) {
+    ++c.retries_used;
+    switch (c.phase) {
+      case Coordination::Phase::kCopier:
+        for (const auto& [source, items] : c.copies_pending) {
+          ++counters_.phase_retransmits;
+          Charge(options_.costs.ack_format);
+          SendTo(source, CopyRequestArgs{c.txn.id, items});
+        }
+        break;
+      case Coordination::Phase::kPrepare: {
+        std::vector<SiteId> wire_participants = c.participants;
+        wire_participants.push_back(id_);
+        std::sort(wire_participants.begin(), wire_participants.end());
+        const std::vector<SessionEntryWire> vector_wire =
+            session_vector_.ToWire();
+        for (SiteId p : c.awaiting) {
+          ++counters_.phase_retransmits;
+          Charge(options_.costs.prepare_send_per_site);
+          SendTo(p, PrepareArgs{c.txn.id, c.writes, vector_wire,
+                                wire_participants});
+        }
+        break;
+      }
+      case Coordination::Phase::kCommit:
+        for (SiteId p : c.awaiting) {
+          ++counters_.phase_retransmits;
+          Charge(options_.costs.ack_format);
+          SendTo(p, CommitArgs{c.txn.id});
+        }
+        break;
+    }
+    c.timer = runtime_->ScheduleAfter(
+        RetryDelay(options_.ack_timeout, c.retries_used,
+                   options_.retry_backoff),
+        [this] { CoordinationTimeout(); });
+    return;
+  }
+
   switch (c.phase) {
     case Coordination::Phase::kCopier: {
       // "site to which copy request sent is now down": abort the database
@@ -573,6 +660,10 @@ void Site::ReplyAndClear(TxnOutcome outcome) {
     Trace(outcome == TxnOutcome::kCommitted ? TraceEvent::kTxnCommitted
                                             : TraceEvent::kTxnAborted,
           c.txn.id, static_cast<uint64_t>(outcome));
+    // Remember the outcome so duplicated requests, duplicated 2PC traffic,
+    // and in-doubt decision queries arriving after this teardown can be
+    // answered consistently.
+    RecordOutcome(c.txn.id, outcome == TxnOutcome::kCommitted);
     Charge(options_.costs.reply_format);
     SendTo(c.client,
            TxnReplyArgs{c.txn.id, outcome, c.copier_count, c.reads});
@@ -605,9 +696,29 @@ void Site::HandlePrepare(const Message& msg) {
   const auto& args = msg.As<PrepareArgs>();
   auto existing = participations_.find(args.txn);
   if (existing != participations_.end()) {
-    // Duplicate prepare (retransmission): re-ack, keep the staging.
-    Charge(options_.costs.ack_format);
-    SendTo(msg.from, PrepareAckArgs{args.txn, /*accepted=*/true, {}});
+    // Duplicate prepare (retransmission): re-ack, keep the staging. With
+    // the locking extension, an ack before the queued locks are granted
+    // would let the coordinator commit writes this site has not locked —
+    // stay silent and let SendPrepareAck run when the locks arrive.
+    ++counters_.duplicate_msgs_ignored;
+    if (existing->second.lock_waits_pending == 0) {
+      Charge(options_.costs.ack_format);
+      SendTo(msg.from, PrepareAckArgs{args.txn, /*accepted=*/true, {}});
+    }
+    return;
+  }
+  const std::optional<bool> finished = RecentOutcome(args.txn);
+  if (finished.has_value()) {
+    // Duplicate prepare arriving after this participation was torn down.
+    // If the transaction committed here, the staging is long applied:
+    // re-ack so a still-retrying coordinator is not stuck. If it aborted
+    // (or was discarded in doubt), re-staging a finished transaction's
+    // writes would resurrect it — drop.
+    ++counters_.duplicate_msgs_ignored;
+    if (*finished) {
+      Charge(options_.costs.ack_format);
+      SendTo(msg.from, PrepareAckArgs{args.txn, /*accepted=*/true, {}});
+    }
     return;
   }
   ++counters_.prepares_handled;
@@ -693,13 +804,31 @@ void Site::SendPrepareAck(Participation& part) {
 }
 
 void Site::HandleCommit(const Message& msg) {
-  auto it = participations_.find(msg.As<CommitArgs>().txn);
-  if (it == participations_.end()) return;
+  const TxnId txn = msg.As<CommitArgs>().txn;
+  auto it = participations_.find(txn);
+  if (it == participations_.end()) {
+    // Duplicated (or retried) CommitDecision after this participation was
+    // torn down. If the commit already happened here, the coordinator is
+    // still waiting for an ack that was lost — re-ack, or its
+    // retransmissions never converge. Anything else (aborted, discarded in
+    // doubt, or too old to remember) must stay a no-op: the staging is
+    // gone, so there is nothing correct to apply.
+    const std::optional<bool> finished = RecentOutcome(txn);
+    if (finished.has_value()) {
+      ++counters_.duplicate_msgs_ignored;
+      if (*finished) {
+        Charge(options_.costs.ack_format);
+        SendTo(msg.from, CommitAckArgs{txn});
+      }
+    }
+    return;
+  }
   Participation& part = it->second;
   runtime_->CancelTimer(part.timer);
   CommitLocalWrites(part.txn, part.staged, part.participants);
   if (options_.enable_locking) lock_table_.ReleaseAll(part.txn);
   Trace(TraceEvent::kParticipantCommitted, part.txn, part.staged.size());
+  RecordOutcome(part.txn, /*committed=*/true);
   Charge(options_.costs.ack_format);
   SendTo(part.coordinator, CommitAckArgs{part.txn});
   ++counters_.commits_handled;
@@ -709,23 +838,88 @@ void Site::HandleCommit(const Message& msg) {
 }
 
 void Site::HandleAbort(const Message& msg) {
-  auto it = participations_.find(msg.As<AbortArgs>().txn);
-  if (it == participations_.end()) return;
+  const TxnId txn = msg.As<AbortArgs>().txn;
+  auto it = participations_.find(txn);
+  if (it == participations_.end()) {
+    // Duplicated Abort after teardown: the discard already happened (or
+    // there was never anything staged); nothing to undo twice.
+    if (RecentOutcome(txn).has_value()) ++counters_.duplicate_msgs_ignored;
+    return;
+  }
   runtime_->CancelTimer(it->second.timer);
   ++counters_.aborts_handled;
   if (options_.enable_locking) lock_table_.ReleaseAll(it->first);
+  RecordOutcome(txn, /*committed=*/false);
   participations_.erase(it);  // "discard the copy updates"
 }
 
 void Site::ParticipationTimeout(TxnId txn) {
   auto it = participations_.find(txn);
   if (it == participations_.end()) return;
+  Participation& part = it->second;
+  part.timer = kInvalidTimer;
+  // Lossy-network retries: before declaring the coordinator dead, ask it
+  // for the decision — the Prepare may have been answered but the
+  // CommitDecision (or Abort) lost. A live coordinator re-sends the
+  // decision from its in-flight state or outcome cache; a coordinator
+  // with no trace of the transaction answers Abort (presumed abort).
+  if (part.queries_sent < options_.retry_limit) {
+    ++part.queries_sent;
+    ++counters_.decision_queries_sent;
+    Charge(options_.costs.ack_format);
+    SendTo(part.coordinator, DecisionQueryArgs{txn});
+    part.timer = runtime_->ScheduleAfter(
+        RetryDelay(options_.ack_timeout, part.queries_sent,
+                   options_.retry_backoff),
+        [this, txn] { ParticipationTimeout(txn); });
+    return;
+  }
   // "coordinating site has failed": discard and run control type 2.
   ++counters_.coordinator_failures_detected;
-  const SiteId coordinator = it->second.coordinator;
+  const SiteId coordinator = part.coordinator;
   if (options_.enable_locking) lock_table_.ReleaseAll(it->first);
+  // The in-doubt discard is a local abort; remember it so a late-arriving
+  // CommitDecision duplicate cannot be mistaken for an applicable commit.
+  RecordOutcome(txn, /*committed=*/false);
   participations_.erase(it);
   RunControlType2({coordinator});
+}
+
+void Site::HandleDecisionQuery(const Message& msg) {
+  const TxnId txn = msg.As<DecisionQueryArgs>().txn;
+  if (coord_ && !coord_->batch_refresh && coord_->txn.id == txn) {
+    // Still deciding. In the commit phase the decision exists and the
+    // querier's CommitDecision was evidently lost: re-send it. Before the
+    // commit phase there is no decision yet — stay silent and let the
+    // querier's next timeout re-ask.
+    if (coord_->phase == Coordination::Phase::kCommit) {
+      ++counters_.decision_queries_answered;
+      Charge(options_.costs.ack_format);
+      SendTo(msg.from, CommitArgs{txn});
+    }
+    return;
+  }
+  const std::optional<bool> finished = RecentOutcome(txn);
+  if (finished.has_value()) {
+    ++counters_.decision_queries_answered;
+    Charge(options_.costs.ack_format);
+    if (*finished) {
+      SendTo(msg.from, CommitArgs{txn});
+    } else {
+      SendTo(msg.from, AbortArgs{txn});
+    }
+    return;
+  }
+  // No trace of the transaction: presumed abort. Safe because a
+  // coordinator that commits always keeps the outcome in its cache for
+  // far longer than a participant keeps querying, and a coordinator that
+  // stopped waiting for this participant (commit-phase timeout) removed it
+  // from the participant set — the participant's copies were fail-locked
+  // by everyone's commit-time maintenance, so a discard here is repaired
+  // by the copier machinery, not silently divergent.
+  ++counters_.decisions_presumed_abort;
+  Charge(options_.costs.ack_format);
+  SendTo(msg.from, AbortArgs{txn});
 }
 
 // ---------------------------------------------------------------------------
@@ -803,7 +997,34 @@ void Site::StartRecovery() {
     return;
   }
   recovery_->timer = runtime_->ScheduleAfter(options_.ack_timeout,
-                                             [this] { CompleteRecovery(); });
+                                             [this] { RecoveryTimeout(); });
+}
+
+void Site::RecoveryTimeout() {
+  if (!recovery_) return;
+  recovery_->timer = kInvalidTimer;
+  // Lossy-network retries: the announce (or an info reply) may have been
+  // lost rather than the peers being down. Re-announce the SAME session to
+  // the still-silent peers — receivers that already served it re-serve
+  // their info without touching their vectors, so a re-announce is
+  // idempotent — and stretch the next wait. Completing with partial info
+  // is safe but costly (missing responders can force a blind completion
+  // that fail-locks everything), so patience is cheap insurance.
+  if (recovery_->retries_used < options_.retry_limit &&
+      !recovery_->awaiting.empty()) {
+    ++recovery_->retries_used;
+    ++counters_.recovery_reannounces;
+    for (SiteId t : recovery_->awaiting) {
+      Charge(options_.costs.announce_format);
+      SendTo(t, RecoveryAnnounceArgs{id_, recovery_->new_session});
+    }
+    recovery_->timer = runtime_->ScheduleAfter(
+        RetryDelay(options_.ack_timeout, recovery_->retries_used,
+                   options_.retry_backoff),
+        [this] { RecoveryTimeout(); });
+    return;
+  }
+  CompleteRecovery();
 }
 
 Status Site::RestoreImage(const std::vector<ItemCopy>& image) {
@@ -831,9 +1052,26 @@ void Site::HandleRecoveryAnnounce(const Message& msg) {
   const auto& args = msg.As<RecoveryAnnounceArgs>();
   if (args.recovering_site >= options_.n_sites) return;  // untrusted input
   // A site can only leave the down state through a strictly newer session;
-  // a duplicate or stale announce (this session already superseded by
-  // failure news or a later incarnation) must not resurrect it.
-  if (args.new_session <= session_vector_.session(args.recovering_site)) {
+  // a stale announce (this session already superseded by failure news or a
+  // later incarnation) must not resurrect it.
+  const SessionNumber recorded = session_vector_.session(args.recovering_site);
+  if (args.new_session < recorded) return;
+  if (args.new_session == recorded) {
+    // Same session again: either our earlier info reply was lost and the
+    // recovering site re-announced, or the announce itself was duplicated.
+    // If our vector still shows the site up for this session we already
+    // served it — re-serve the info (a fresh snapshot is at least as
+    // complete) without touching the vector. If we recorded it down at
+    // this session, "down wins": serving would let a site everyone
+    // considers failed complete recovery.
+    if (!session_vector_.IsUp(args.recovering_site)) return;
+    ++counters_.duplicate_msgs_ignored;
+    const std::vector<FailLockRow> rows = fail_locks_.ToWire();
+    Charge(options_.costs.recovery_format_base +
+           options_.costs.recovery_format_per_item *
+               static_cast<Duration>(rows.size()));
+    SendTo(args.recovering_site,
+           RecoveryInfoArgs{session_vector_.ToWire(), rows});
     return;
   }
   session_vector_.Set(args.recovering_site, args.new_session,
@@ -851,10 +1089,23 @@ void Site::HandleRecoveryAnnounce(const Message& msg) {
 }
 
 void Site::HandleRecoveryInfo(const Message& msg) {
-  if (!recovery_) return;
+  if (!recovery_) {
+    // Info arriving after recovery completed (or was never started):
+    // a duplicate or a straggler. Either way the table union is done;
+    // installing more rows now would clobber post-recovery state.
+    ++counters_.duplicate_msgs_ignored;
+    return;
+  }
+  if (recovery_->awaiting.erase(msg.from) == 0) {
+    // Second info from the same responder (duplicated reply, or a
+    // re-announce crossing the original reply): the first one is already
+    // in `infos`, and unioning a newer snapshot of the same table could
+    // resurrect fail-locks the special transaction cleared in between.
+    ++counters_.duplicate_msgs_ignored;
+    return;
+  }
   Charge(options_.costs.recovery_install);
   recovery_->infos.push_back(msg.As<RecoveryInfoArgs>());
-  recovery_->awaiting.erase(msg.from);
   if (recovery_->awaiting.empty()) {
     runtime_->CancelTimer(recovery_->timer);
     recovery_->timer = kInvalidTimer;
@@ -1091,6 +1342,25 @@ void Site::MaintainFailLocks(const std::vector<ItemWrite>& writes,
       }
     }
   }
+}
+
+void Site::RecordOutcome(TxnId txn, bool committed) {
+  auto [it, inserted] = recent_outcomes_.emplace(txn, committed);
+  if (!inserted) {
+    it->second = committed;
+    return;
+  }
+  recent_outcomes_fifo_.push_back(txn);
+  while (recent_outcomes_fifo_.size() > kMaxRecentOutcomes) {
+    recent_outcomes_.erase(recent_outcomes_fifo_.front());
+    recent_outcomes_fifo_.pop_front();
+  }
+}
+
+std::optional<bool> Site::RecentOutcome(TxnId txn) const {
+  auto it = recent_outcomes_.find(txn);
+  if (it == recent_outcomes_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool Site::SetFailLock(ItemId item, SiteId site) {

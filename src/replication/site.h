@@ -131,6 +131,12 @@ class Site : public MessageHandler {
     // transaction (txn/client unused, no 2PC follows the copier).
     bool batch_refresh = false;
 
+    // Lossy-network retries: timeouts spent re-sending the current phase's
+    // message instead of declaring failure (SiteOptions::retry_limit), and
+    // when the current phase started (per-phase latency counters).
+    uint32_t retries_used = 0;
+    TimePoint phase_start = 0;
+
     // Locking extension state: read-set items needing copier refresh
     // (computed before lock acquisition) and outstanding queued local
     // lock requests.
@@ -151,6 +157,9 @@ class Site : public MessageHandler {
     // Locking extension: queued exclusive-lock requests still outstanding
     // before the prepare-ack can be sent.
     uint32_t lock_waits_pending = 0;
+    // Lossy-network retries: decision queries sent to the coordinator
+    // while in doubt (SiteOptions::retry_limit) before giving up.
+    uint32_t queries_sent = 0;
   };
 
   // State of an in-flight control-type-1 recovery at this site.
@@ -168,6 +177,10 @@ class Site : public MessageHandler {
     /// would be silently forgotten.
     std::map<std::pair<ItemId, SiteId>, bool> window_journal;
     TimerId timer = kInvalidTimer;
+    // Lossy-network retries: re-announcements of the same session after a
+    // timeout (SiteOptions::retry_limit) before completing with whatever
+    // info arrived.
+    uint32_t retries_used = 0;
   };
 
   // ---- coordinator role -------------------------------------------------
@@ -197,6 +210,10 @@ class Site : public MessageHandler {
   void ParticipationTimeout(TxnId txn);
   void OnParticipantLockGranted(TxnId txn);
   void SendPrepareAck(Participation& part);
+  /// Answers an in-doubt participant's outcome query: from live
+  /// coordination state, from the recent-outcome cache, or — when the
+  /// transaction left no trace — by presumed abort.
+  void HandleDecisionQuery(const Message& msg);
 
   /// Runs when the coordinator slot frees up: serves the next queued
   /// request, or lets step-two batch copiers proceed.
@@ -209,6 +226,7 @@ class Site : public MessageHandler {
   // ---- control transactions ------------------------------------------------
   void HandleRecoveryAnnounce(const Message& msg);
   void HandleRecoveryInfo(const Message& msg);
+  void RecoveryTimeout();
   void CompleteRecovery();
   void HandleFailureAnnounce(const Message& msg);
   void RunControlType2(const std::vector<SiteId>& failed);
@@ -246,6 +264,13 @@ class Site : public MessageHandler {
   /// when idle and below the threshold.
   void MaybeStartBatchCopier();
 
+  /// Records a transaction's final outcome in the bounded recent-outcome
+  /// cache, which lets this site answer duplicated 2PC messages and
+  /// decision queries after the live state is torn down.
+  void RecordOutcome(TxnId txn, bool committed);
+  /// Looks up a recent outcome; nullopt if the id fell out of the cache.
+  std::optional<bool> RecentOutcome(TxnId txn) const;
+
   void Charge(Duration amount) { runtime_->ChargeCpu(amount); }
   void SendTo(SiteId to, Payload payload);
 
@@ -281,6 +306,16 @@ class Site : public MessageHandler {
   static constexpr size_t kMaxQueuedRequests = 64;
   /// Set by a lose-state crash; consumed by the next CompleteRecovery.
   bool state_lost_ = false;
+
+  /// Final outcomes of recently finished transactions (true = committed),
+  /// both coordinated here and participated in. Bounded FIFO. Duplicated
+  /// Prepares/CommitDecisions and decision queries for transactions whose
+  /// live state is gone are answered from this cache; anything older than
+  /// the cache window is presumed aborted. Wiped by a lose-state crash
+  /// (the cache is volatile, like the paper's site memory).
+  std::map<TxnId, bool> recent_outcomes_;
+  std::deque<TxnId> recent_outcomes_fifo_;
+  static constexpr size_t kMaxRecentOutcomes = 256;
 };
 
 }  // namespace miniraid

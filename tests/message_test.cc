@@ -134,8 +134,9 @@ TEST(MessageTest, BadEnumValuesRejected) {
   args.txn.id = 1;
   args.txn.ops = {Operation::Read(0)};
   std::vector<uint8_t> wire = EncodeMessage(MakeMessage(4, 0, args));
-  // Layout: type(1) from(4) to(4) txn id(8) count(varint=1) kind(1) ...
-  wire[17] = 9;  // invalid Operation::Kind
+  // Layout: type(1) from(4) to(4) seq(varint=1) ack(varint=1) txn id(8)
+  //         count(varint=1) kind(1) ...
+  wire[19] = 9;  // invalid Operation::Kind
   EXPECT_EQ(DecodeMessage(wire).status().code(), StatusCode::kCorruption);
 }
 
@@ -183,11 +184,22 @@ TEST(MessageTest, RandomBytesNeverCrashDecoder) {
 
 TEST(MessageTest, MsgTypeNamesAreUnique) {
   std::set<std::string_view> names;
-  for (int t = 0; t <= static_cast<int>(MsgType::kShutdown); ++t) {
+  for (int t = 0; t <= static_cast<int>(MsgType::kChannelAck); ++t) {
     names.insert(MsgTypeName(static_cast<MsgType>(t)));
   }
   EXPECT_EQ(names.size(),
-            static_cast<size_t>(MsgType::kShutdown) + 1);
+            static_cast<size_t>(MsgType::kChannelAck) + 1);
+}
+
+TEST(MessageTest, ChannelSequenceNumbersRoundTrip) {
+  // The reliable channel stamps seq/ack on every frame; both must survive
+  // the codec, including multi-byte varint values.
+  Message msg = MakeMessage(0, 1, CommitArgs{5});
+  msg.seq = 300;     // two varint bytes
+  msg.ack = 70000;   // three varint bytes
+  ExpectRoundTrip(msg);
+  ExpectRoundTrip(MakeMessage(1, 0, ChannelAckArgs{}));
+  ExpectRoundTrip(MakeMessage(0, 2, DecisionQueryArgs{42}));
 }
 
 }  // namespace

@@ -101,6 +101,40 @@ TEST_P(RealClusterTest, WorkloadBurstKeepsReplicasConsistent) {
   EXPECT_TRUE(cluster->CheckReplicaAgreement().ok());
 }
 
+TEST_P(RealClusterTest, ReliableChannelRepairsLossOnRealRuntimes) {
+  // The channel's retransmit timers and dedup state run on real event-loop
+  // threads here, not virtual time — this is the wiring the sim-based
+  // channel tests cannot cover. 10% loss + 5% duplication must be invisible
+  // to clients: every transaction commits without a client timeout.
+  ClusterOptions options = Options(GetParam(), 3);
+  options.reliable.enabled = true;
+  options.site.retry_limit = 2;
+  TransportFaults faults;
+  faults.drop_probability = 0.10;
+  faults.duplicate_probability = 0.05;
+  faults.seed = 3;
+  options.inproc.faults = faults;
+  options.tcp.faults = faults;
+  auto made = MakeCluster(options);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto& cluster = **made;
+
+  for (TxnId id = 1; id <= 30; ++id) {
+    const TxnReplyArgs reply = cluster.RunTxn(
+        MakeTxn(id, {Operation::Write(static_cast<ItemId>(id % 12),
+                                      static_cast<Value>(100 + id))}),
+        static_cast<SiteId>(id % 3));
+    ASSERT_EQ(reply.outcome, TxnOutcome::kCommitted) << "txn " << id;
+  }
+
+  const ClusterStats stats = cluster.Stats();
+  EXPECT_EQ(stats.unreachable, 0u);
+  EXPECT_EQ(stats.late_outcomes, 0u);
+  EXPECT_GT(stats.messages_dropped, 0u);
+  EXPECT_GT(stats.channel.retransmits, 0u);
+  EXPECT_TRUE(cluster.CheckReplicaAgreement().ok());
+}
+
 TEST_P(RealClusterTest, TwoTcpClustersCoexistInOneProcess) {
   // Regression test for base_port = 0 collisions: two clusters stood up
   // back to back in one process must land on disjoint port ranges.
