@@ -4,8 +4,11 @@ known-bad snippet and accept the matching known-good one.
 
 This is the regression harness the CI lint job runs first: if a rule stops
 firing (a refactor of the lint, an over-broad suppression), the injected
-raw-mutex / callback-under-lock / session-mutation / fail-lock snippets
-below stop being caught and this script fails the build.
+raw-mutex / callback-under-lock / layering snippets below stop being caught
+and this script fails the build. The retired semantic rules
+(fail-lock-mutation, session-mutation, blocking-call) moved to
+tools/miniraid-analyze, which has its own fixture selftest
+(tools/miniraid-analyze/selftest.py).
 
 Exit status: 0 all cases pass, 1 otherwise.
 """
@@ -84,36 +87,18 @@ CASES = [
      "}\n",
      None),
 
-    # -- session-mutation --------------------------------------------------
-    ("session vector mutated outside the Site engine",
-     "src/core/bad_session.cc",
+    # -- retired rules must NOT fire here anymore --------------------------
+    ("session mutation is the semantic analyzer's job now",
+     "src/core/retired_session.cc",
      "void F() { session_vector_.MarkDown(3); }\n",
-     "session-mutation"),
-    ("session vector merge outside the Site engine",
-     "src/baselines/bad_session_merge.cc",
-     "void F() { (void)site.session_vector().MergeFrom(remote); }\n",
-     "session-mutation"),
-    ("Site itself may mutate session vectors",
-     "src/replication/site.cc",
-     "void Site::X() { session_vector_.MarkDown(3); }\n",
      None),
-    ("reading a session vector anywhere is fine",
-     "src/core/good_session.cc",
-     "bool F() { return session_vector_.IsUp(3); }\n",
-     None),
-
-    # -- fail-lock-mutation (tightened home) -------------------------------
-    ("fail-lock mutation outside the Site engine",
-     "src/core/bad_faillock.cc",
+    ("fail-lock mutation is the semantic analyzer's job now",
+     "src/core/retired_faillock.cc",
      "void F() { fail_locks_.Set(item, site); }\n",
-     "fail-lock-mutation"),
-    ("fail-lock mutation elsewhere in replication/ is no longer home",
-     "src/replication/placement.cc",
-     "void F() { fail_locks_.Clear(item, site); }\n",
-     "fail-lock-mutation"),
-    ("Site itself may mutate fail-locks",
-     "src/replication/site.cc",
-     "void Site::Y() { fail_locks_.Set(item, site); }\n",
+     None),
+    ("blocking calls are the semantic analyzer's job now",
+     "src/core/retired_sleep.cc",
+     "void F() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n",
      None),
 
     # -- layering ----------------------------------------------------------
@@ -147,10 +132,6 @@ CASES = [
      "layering"),
 
     # -- pre-existing rules stay alive -------------------------------------
-    ("blocking sleep on a loop-thread layer",
-     "src/core/bad_sleep.cc",
-     "void F() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n",
-     "blocking-call"),
     ("wrong header guard",
      "src/core/bad_guard_name.h",
      "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n",

@@ -4,18 +4,6 @@
 Rules (each can be suppressed per line or per preceding line with
 `// miniraid-lint: allow(<rule>)`):
 
-  fail-lock-mutation   Mutating FailLockTable calls (Set/Clear/MergeFrom on a
-                       fail-lock receiver) are confined to src/replication/.
-                       The fail-lock table is the paper's central correctness
-                       structure; every mutation must stay inside the
-                       replication layer where the protocol maintains it.
-
-  blocking-call        No blocking syscalls or sleeps in code that runs on a
-                       site's event-loop thread (everything outside
-                       src/storage/ and src/net/tcp_transport.cc, which own
-                       dedicated I/O threads). A blocked loop thread stalls
-                       the whole site: timers, 2PC acks, recovery.
-
   discarded-status     A call to a known Status/Result-returning API used as
                        a bare statement. [[nodiscard]] catches this at
                        compile time; the lint also flags it in templates and
@@ -40,14 +28,6 @@ Rules (each can be suppressed per line or per preceding line with
                        by hand: it deadlocks on re-entrant submission and
                        wakes waiters into a still-held mutex.
 
-  session-mutation     SessionVector mutations (Set/MarkDown/MarkUp/
-                       MergeFrom on a session-vector receiver) outside the
-                       Site protocol engine and the vector's own
-                       implementation. The paper's ownership rule (sec. 3):
-                       only control transactions — recovery type 1, failure
-                       announcement type 2 — may change a site's view of
-                       sessions, and those run inside Site.
-
   layering             The include DAG between src/ components must respect
                        the architecture ranks (LAYER_RANKS below): an
                        #include "<dir>/..." may only point at a component of
@@ -55,6 +35,16 @@ Rules (each can be suppressed per line or per preceding line with
                        component. Keeps e.g. replication/ from reaching up
                        into core/, and the model checker (check/) a pure
                        observer that nothing links back to.
+
+Retired rules — now owned by the semantic analyzer (tools/miniraid-analyze),
+which resolves receiver types and walks the call graph instead of matching
+text, and keeps the same `// miniraid-lint: allow(...)` suppression syntax:
+
+  fail-lock-mutation   FailLockTable mutations outside src/replication/.
+  session-mutation     SessionVector mutations outside the Site engine.
+  blocking-call        Blocking calls reachable from loop-context entries
+                       (reachability replaced this script's per-file
+                       allowlists).
 
 Modes:
   (default)        run the text rules over src/ (or the given paths)
@@ -73,20 +63,6 @@ import subprocess
 import sys
 
 SUPPRESS_RE = re.compile(r"//\s*miniraid-lint:\s*allow\(([a-z\-, ]+)\)")
-
-# fail-lock-mutation: a mutating method invoked on something that names the
-# fail-lock table (member, local copy, or accessor result).
-FAIL_LOCK_MUT_RE = re.compile(
-    r"\bfail_locks?\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*(Set|Clear|MergeFrom)\s*\("
-)
-
-# blocking-call: sleeps and blocking socket/file syscalls that must never
-# run on an event-loop thread.
-BLOCKING_RE = re.compile(
-    r"(std::this_thread::sleep_for|std::this_thread::sleep_until"
-    r"|\busleep\s*\(|\bsleep\s*\(|::recv\s*\(|::send\s*\(|::accept\s*\("
-    r"|::connect\s*\(|::poll\s*\(|::select\s*\(|::fsync\s*\(|\bsystem\s*\()"
-)
 
 # discarded-status: a bare-statement call (no assignment, return, cast, or
 # macro wrapper) to an API known to return Status/Result. MergeFrom is only
@@ -118,37 +94,6 @@ GUARD_DECL_RE = re.compile(
 CALLBACK_CALL_RE = re.compile(
     r"(?:\b(?:callback|cb|task)\s*\(|(?:\.|->)\s*fn\s*\("
     r"|(?:\.|->)\s*(?:NotifyOne|NotifyAll|notify_one|notify_all)\s*\()"
-)
-
-# session-mutation: a mutating method invoked on something that names a
-# session vector.
-SESSION_MUT_RE = re.compile(
-    r"\bsession_vector\w*\s*(?:\(\s*\))?\s*(?:\.|->)\s*"
-    r"(Set|MarkDown|MarkUp|MergeFrom)\s*\("
-)
-
-# Layers whose code runs on (or posts to) an event-loop thread. Dedicated
-# I/O threads live in tcp_transport; the storage layer is explicitly a
-# blocking durability layer driven from non-loop contexts.
-BLOCKING_EXEMPT_DIRS = ("src/storage/",)
-BLOCKING_EXEMPT_FILES = ("src/net/tcp_transport.cc",)
-
-# fail-lock mutations are legal only in the Site protocol engine (where
-# ROWAA commits and control transactions maintain the table) and in the
-# table's own implementation.
-FAIL_LOCK_HOME = (
-    "src/replication/site.cc",
-    "src/replication/site.h",
-    "src/replication/fail_locks.cc",
-    "src/replication/fail_locks.h",
-)
-
-# Session vectors likewise: Site plus the vector's implementation.
-SESSION_HOME = (
-    "src/replication/site.cc",
-    "src/replication/site.h",
-    "src/replication/session_vector.cc",
-    "src/replication/session_vector.h",
 )
 
 # Raw standard-library synchronization is confined to the annotated
@@ -277,14 +222,6 @@ def lint_file(path, root, findings):
         if not code.strip():
             continue
 
-        if (FAIL_LOCK_MUT_RE.search(code)
-                and rel not in FAIL_LOCK_HOME
-                and not suppressed(lines, i, "fail-lock-mutation")):
-            findings.append((rel, i + 1, "fail-lock-mutation",
-                             "fail-lock tables may only be mutated by the "
-                             "Site protocol engine (src/replication/site.cc "
-                             "or the table implementation itself)"))
-
         include = LAYER_INCLUDE_RE.match(code)
         if include and source_component is not None:
             target = LAYER_FILE_COMPONENT.get(
@@ -300,14 +237,6 @@ def lint_file(path, root, findings):
                      f"{LAYER_RANKS[target]}) from {source_component}/ "
                      f"(rank {LAYER_RANKS[source_component]}) points "
                      f"upward or sideways in the architecture DAG"))
-
-        if (SESSION_MUT_RE.search(code)
-                and rel not in SESSION_HOME
-                and not suppressed(lines, i, "session-mutation")):
-            findings.append((rel, i + 1, "session-mutation",
-                             "session vectors may only be mutated by the "
-                             "Site protocol engine (control transactions) "
-                             "or the vector implementation itself"))
 
         if (RAW_MUTEX_RE.search(code)
                 and not rel.startswith(RAW_MUTEX_HOME)
@@ -344,15 +273,6 @@ def lint_file(path, root, findings):
                              "callback / condvar notify invoked while a "
                              "scoped lock guard is in scope; release the "
                              "lock first (notify-after-unlock rule)"))
-
-        if (BLOCKING_RE.search(code)
-                and not rel.startswith(BLOCKING_EXEMPT_DIRS)
-                and rel not in BLOCKING_EXEMPT_FILES
-                and not suppressed(lines, i, "blocking-call")):
-            findings.append((rel, i + 1, "blocking-call",
-                             "blocking call in code that may run on an "
-                             "event-loop thread; move it to a dedicated "
-                             "thread or suppress with justification"))
 
         # Only a statement *start* can discard a result: skip continuation
         # lines (previous line ended mid-expression, e.g. `=`, `(`, `,`, or

@@ -30,7 +30,10 @@ fi
 build_dir="${1:-}"
 if [[ $# -gt 0 ]]; then shift; fi
 if [[ -z "$build_dir" ]]; then
-  for candidate in "$root/build-release" "$root/build"; do
+  # Any configured build symlinks its compile_commands.json to the repo
+  # root (see CMakeLists.txt), so the root works no matter which build dir
+  # is current; the explicit dirs remain as fallbacks for stale trees.
+  for candidate in "$root" "$root/build-release" "$root/build"; do
     if [[ -f "$candidate/compile_commands.json" ]]; then
       build_dir="$candidate"
       break

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 
 namespace miniraid {
 
@@ -20,24 +21,30 @@ inline constexpr TimerId kInvalidTimer = 0;
 /// made from that site's execution context (the simulator's single thread,
 /// or the site's event-loop thread), and timer callbacks fire in that same
 /// context — so the protocol engine needs no internal locking.
+///
+/// The methods are MR_RUNS_ON(any): confinement here is per *instance*
+/// (the owning endpoint's context), which the MR_RUNS_ON vocabulary is
+/// deliberately too coarse to express — `any` records the obligation that
+/// the implementations themselves stay confinement- and blocking-clean.
 class SiteRuntime {
  public:
   virtual ~SiteRuntime() = default;
 
   /// Current time (virtual or steady), in nanoseconds since runtime start.
-  virtual TimePoint Now() const = 0;
+  MR_RUNS_ON(any) virtual TimePoint Now() const = 0;
 
   /// Runs `fn` after `delay` in this site's execution context. Returns a
   /// handle that can cancel the timer before it fires.
+  MR_RUNS_ON(any)
   virtual TimerId ScheduleAfter(Duration delay, std::function<void()> fn) = 0;
 
   /// Cancels a pending timer; a no-op if it already fired or was cancelled.
-  virtual void CancelTimer(TimerId id) = 0;
+  MR_RUNS_ON(any) virtual void CancelTimer(TimerId id) = 0;
 
   /// Accounts `amount` of CPU work to this site. Under the simulator this
   /// advances the site's virtual clock (and delays everything the site does
   /// afterwards); real runtimes may ignore it.
-  virtual void ChargeCpu(Duration amount) = 0;
+  MR_RUNS_ON(any) virtual void ChargeCpu(Duration amount) = 0;
 };
 
 }  // namespace miniraid

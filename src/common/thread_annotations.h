@@ -79,4 +79,36 @@
 #define MR_NO_THREAD_SAFETY_ANALYSIS \
   MR_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// ---------------------------------------------------------------------------
+/// Execution-context confinement (checked by tools/miniraid-analyze).
+///
+/// MR_RUNS_ON(ctx) declares the execution context a function is confined
+/// to. Place it at the start of the declaration:
+///
+///   MR_RUNS_ON(managing) void Submit(TxnId id);
+///
+/// Vocabulary:
+///   managing - the managing site's execution context (ManagingSite,
+///              SubmitWindow, and everything confined to coordinator state).
+///   loop     - a site's event-loop context (Site and the protocol engine).
+///   client   - caller/driver threads and dedicated IO threads; blocking is
+///              permitted, touching loop-/managing-confined state is not
+///              (marshal through EventLoop::Post / PostAndWait instead).
+///   any      - callable from every context; must itself stay confinement-
+///              and blocking-clean.
+///
+/// miniraid-analyze verifies by call-graph reachability that a function
+/// annotated for one context never reaches a function confined to another,
+/// that no blocking call is reachable from managing/loop/any entry points,
+/// and that every public method of an annotated class carries a context.
+/// On clang the annotation is also visible to the AST frontend as
+/// __attribute__((annotate("mr_runs_on:<ctx>"))); on other compilers it
+/// compiles away and the built-in indexer reads the macro token directly.
+/// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define MR_RUNS_ON(ctx) __attribute__((annotate("mr_runs_on:" #ctx)))
+#else
+#define MR_RUNS_ON(ctx)
+#endif
+
 #endif  // MINIRAID_COMMON_THREAD_ANNOTATIONS_H_

@@ -414,8 +414,8 @@ bool RealCluster::Drive(const std::function<bool()>& done, Duration timeout) {
     loops_[managing_id()]->PostAndWait([&done, &ok] { ok = done(); });
     if (ok) return true;
     if (clock_.Now() >= deadline) return false;
-    // Driver-side poll loop on the caller's thread, never a loop thread.
-    // miniraid-lint: allow(blocking-call)
+    // Driver-side poll loop: Drive is MR_RUNS_ON(client), where blocking
+    // is permitted.
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
@@ -434,8 +434,8 @@ bool RealCluster::WaitUntil(SiteId site,
     bool ok = false;
     Inspect(site, [&](Site& s) { ok = pred(s); });
     if (ok) return true;
-    // Driver-side poll loop on the caller's thread, never a loop thread.
-    // miniraid-lint: allow(blocking-call)
+    // Driver-side poll loop: WaitUntil is MR_RUNS_ON(client), where
+    // blocking is permitted.
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   return false;

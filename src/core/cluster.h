@@ -25,6 +25,12 @@ namespace miniraid {
 /// Implements the unified Cluster interface (see core/cluster_api.h); the
 /// members below it are simulator extras (direct site access, virtual-time
 /// control) that interface-level code must not depend on.
+///
+/// Deliberately carries no MR_RUNS_ON annotations: the simulator collapses
+/// every execution context onto one thread (client code, managing site and
+/// all sites run interleaved on the caller), so no single context name in
+/// the vocabulary is true of its methods. miniraid-analyze checks it only
+/// through the annotated Cluster base contract.
 class SimCluster : public Cluster {
  public:
   ~SimCluster() override;
@@ -101,38 +107,43 @@ class RealCluster : public Cluster {
 
   /// Binds sockets / finishes wiring. Must be called before traffic.
   /// (MakeCluster does this for you.)
-  Status Start();
+  MR_RUNS_ON(client) Status Start();
 
   /// Stops all loops and transports. Idempotent; the destructor calls it.
-  void Stop();
+  MR_RUNS_ON(client) void Stop();
 
   // -- Cluster interface ----------------------------------------------------
   using Cluster::SubmitTxn;
+  MR_RUNS_ON(client)
   void SubmitTxn(const TxnSpec& txn, SiteId coordinator,
                  ReplyCallback callback) override;
 
-  void Fail(SiteId site) override;
-  void Recover(SiteId site) override;
+  MR_RUNS_ON(client) void Fail(SiteId site) override;
+  MR_RUNS_ON(client) void Recover(SiteId site) override;
 
-  std::vector<SiteId> UpSites() const override;
-  std::vector<SiteSnapshot> SnapshotSites() const override;
-  ClusterStats Stats() const override;
+  MR_RUNS_ON(client) std::vector<SiteId> UpSites() const override;
+  MR_RUNS_ON(client) std::vector<SiteSnapshot> SnapshotSites() const override;
+  MR_RUNS_ON(client) ClusterStats Stats() const override;
 
-  TimePoint Now() const override { return clock_.Now(); }
-  void Post(std::function<void()> fn) override;
+  MR_RUNS_ON(any) TimePoint Now() const override { return clock_.Now(); }
+  MR_RUNS_ON(any) void Post(std::function<void()> fn) override;
+  MR_RUNS_ON(any)
   void ScheduleAfter(Duration delay, std::function<void()> fn) override;
+  MR_RUNS_ON(client)
   bool Drive(const std::function<bool()>& done,
              Duration timeout = Seconds(60)) override;
+  MR_RUNS_ON(client)
   bool WaitUntil(SiteId site, const std::function<bool(const Site&)>& pred,
                  Duration timeout = Seconds(10)) override;
 
   // -- real-backend extras --------------------------------------------------
   /// Runs `fn(site)` on the site's loop thread and waits (all Site access
   /// must happen there).
+  MR_RUNS_ON(client)
   void Inspect(SiteId site, const std::function<void(Site&)>& fn) const;
 
  protected:
-  void AwaitTxn(internal::TxnWaitState& state) override;
+  MR_RUNS_ON(client) void AwaitTxn(internal::TxnWaitState& state) override;
 
  private:
   /// Construction goes through MakeCluster only: a RealCluster is unusable

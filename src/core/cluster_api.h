@@ -9,6 +9,7 @@
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/invariants.h"
 #include "core/managing_site.h"
@@ -143,15 +144,15 @@ class TxnHandle {
  public:
   TxnHandle() = default;
 
-  bool valid() const { return state_ != nullptr; }
-  TxnId id() const { return state_ ? state_->id : 0; }
+  MR_RUNS_ON(any) bool valid() const { return state_ != nullptr; }
+  MR_RUNS_ON(any) TxnId id() const { return state_ ? state_->id : 0; }
 
   /// True once the reply has arrived. Never blocks.
-  bool done() const { return state_ && state_->IsDone(); }
+  MR_RUNS_ON(any) bool done() const { return state_ && state_->IsDone(); }
 
   /// Waits for the reply (running the simulation to completion under the
   /// sim backend). The reference stays valid as long as the handle lives.
-  const TxnReplyArgs& Get();
+  MR_RUNS_ON(client) const TxnReplyArgs& Get();
 
  private:
   friend class Cluster;
@@ -174,6 +175,11 @@ class TxnHandle {
 /// execution context (the simulator's thread, or the managing event-loop
 /// thread) — state touched only from callbacks and Post/ScheduleAfter
 /// closures therefore needs no locking.
+///
+/// The surface is MR_RUNS_ON(client): it is what drivers, experiments and
+/// tests call from their own threads, and it may block. Only Now / Post /
+/// ScheduleAfter and the trivial accessors are MR_RUNS_ON(any) — they are
+/// explicitly documented as safe from every context.
 class Cluster {
  public:
   using ReplyCallback = ManagingSite::ReplyCallback;
@@ -189,16 +195,18 @@ class Cluster {
   /// Submits `txn` to `coordinator`; `callback` is invoked exactly once
   /// with the reply, in the managing execution context. Subject to the
   /// submission window (see ClusterOptions::max_inflight).
+  MR_RUNS_ON(client)
   virtual void SubmitTxn(const TxnSpec& txn, SiteId coordinator,
                          ReplyCallback callback) = 0;
 
   /// Future form of the above.
-  TxnHandle SubmitTxn(const TxnSpec& txn, SiteId coordinator);
+  MR_RUNS_ON(client) TxnHandle SubmitTxn(const TxnSpec& txn, SiteId coordinator);
 
   /// Blocking wrapper: submits and waits for the reply. Under the sim
   /// backend this also runs the simulation to quiescence and (with
   /// check_invariants) enforces the protocol invariants, preserving the
   /// paper experiments' serial semantics.
+  MR_RUNS_ON(client)
   virtual TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator);
 
   // -- failure control ------------------------------------------------------
@@ -206,51 +214,55 @@ class Cluster {
   /// Fails / recovers a site through the managing site's control channel.
   /// Blocking: returns once the site observed the transition (and, under
   /// sim, the cluster is quiescent).
-  virtual void Fail(SiteId site) = 0;
-  virtual void Recover(SiteId site) = 0;
+  MR_RUNS_ON(client) virtual void Fail(SiteId site) = 0;
+  MR_RUNS_ON(client) virtual void Recover(SiteId site) = 0;
 
   // -- inspection -----------------------------------------------------------
 
   /// Sites whose local status is up.
-  virtual std::vector<SiteId> UpSites() const = 0;
+  MR_RUNS_ON(client) virtual std::vector<SiteId> UpSites() const = 0;
 
   /// One snapshot per database site, in id order. Snapshots are
   /// individually consistent on every backend; cross-site guarantees (the
   /// cluster-wide invariants) hold at quiescence only.
+  MR_RUNS_ON(client)
   virtual std::vector<SiteSnapshot> SnapshotSites() const = 0;
 
   /// Inconsistency measure for the figures: how many of `target`'s copies
   /// are fail-locked, per the operational sites' (authoritative) tables —
   /// the max across them (they agree at quiescence).
-  virtual uint32_t FailLockCountFor(SiteId target) const;
+  MR_RUNS_ON(client) virtual uint32_t FailLockCountFor(SiteId target) const;
 
   /// Verifies invariant 1 (replica agreement): for every item, every copy
   /// whose fail-lock bit is clear in the authoritative table matches the
   /// freshest copy. Call at quiescence only.
-  [[nodiscard]] Status CheckReplicaAgreement() const;
+  MR_RUNS_ON(client) [[nodiscard]] Status CheckReplicaAgreement() const;
 
   /// Runs the full invariant suite over the current state using the
   /// cluster's stateful checker. Empty result = every invariant holds.
   /// Call at quiescence only.
+  MR_RUNS_ON(client)
   [[nodiscard]] std::vector<InvariantViolation> CheckInvariants();
 
   /// Aggregate submission / message counters.
-  virtual ClusterStats Stats() const = 0;
+  MR_RUNS_ON(client) virtual ClusterStats Stats() const = 0;
 
   // -- execution services (for drivers) -------------------------------------
 
   /// Current time: virtual under sim, steady-clock on the real backends.
-  virtual TimePoint Now() const = 0;
+  MR_RUNS_ON(any) virtual TimePoint Now() const = 0;
 
   /// Runs `fn` in the managing execution context as soon as possible /
   /// after `delay`. Safe from any thread.
-  virtual void Post(std::function<void()> fn) = 0;
+  MR_RUNS_ON(any) virtual void Post(std::function<void()> fn) = 0;
+  MR_RUNS_ON(any)
   virtual void ScheduleAfter(Duration delay, std::function<void()> fn) = 0;
 
   /// Drives execution until `done()` (evaluated in the managing execution
   /// context) returns true. Under sim this runs events (and ignores the
   /// timeout — virtual time is free); on the real backends it polls until
   /// the real-time deadline. Returns the final value of `done()`.
+  MR_RUNS_ON(client)
   virtual bool Drive(const std::function<bool()>& done,
                      Duration timeout = Seconds(60)) = 0;
 
@@ -258,20 +270,21 @@ class Cluster {
   /// context. Under sim this first runs to quiescence; on the real
   /// backends it polls until the deadline. Returns whether the predicate
   /// held.
+  MR_RUNS_ON(client)
   virtual bool WaitUntil(SiteId site,
                          const std::function<bool(const Site&)>& pred,
                          Duration timeout = Seconds(10)) = 0;
 
-  uint32_t n_sites() const { return options_.n_sites; }
-  SiteId managing_id() const { return options_.n_sites; }
-  ClusterBackend backend() const { return options_.backend; }
-  const ClusterOptions& options() const { return options_; }
+  MR_RUNS_ON(any) uint32_t n_sites() const { return options_.n_sites; }
+  MR_RUNS_ON(any) SiteId managing_id() const { return options_.n_sites; }
+  MR_RUNS_ON(any) ClusterBackend backend() const { return options_.backend; }
+  MR_RUNS_ON(any) const ClusterOptions& options() const { return options_; }
 
  protected:
   friend class TxnHandle;
 
   /// Blocks / drives until `state.done`. Implemented per backend.
-  virtual void AwaitTxn(internal::TxnWaitState& state) = 0;
+  MR_RUNS_ON(client) virtual void AwaitTxn(internal::TxnWaitState& state) = 0;
 
   ClusterOptions options_;
   InvariantChecker checker_;

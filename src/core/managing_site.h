@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/runtime.h"
+#include "common/thread_annotations.h"
 #include "net/transport.h"
 #include "txn/transaction.h"
 
@@ -40,31 +41,32 @@ class ManagingSite : public MessageHandler {
   /// the client timeout. The paper's experiments submit serially
   /// (assumption 2), but multiple transactions may be outstanding — sites
   /// queue overlapping requests and still execute serially each.
+  MR_RUNS_ON(managing)
   void Submit(const TxnSpec& txn, SiteId coordinator, ReplyCallback callback);
 
   /// True while any submitted transaction has neither replied nor timed
   /// out.
-  bool HasPending() const { return !pending_.empty(); }
-  size_t PendingCount() const { return pending_.size(); }
+  MR_RUNS_ON(managing) bool HasPending() const { return !pending_.empty(); }
+  MR_RUNS_ON(managing) size_t PendingCount() const { return pending_.size(); }
 
   /// Simulates a crash of `site` (paper: "site failure was simulated by
   /// sending a message to a site to indicate that the site should not
   /// participate in any further system actions").
-  void FailSite(SiteId site);
+  MR_RUNS_ON(managing) void FailSite(SiteId site);
 
   /// Initiates recovery (control transaction type 1) at `site`.
-  void RecoverSite(SiteId site);
+  MR_RUNS_ON(managing) void RecoverSite(SiteId site);
 
   /// Asks `site` to terminate cleanly.
-  void Shutdown(SiteId site);
+  MR_RUNS_ON(managing) void Shutdown(SiteId site);
 
-  void OnMessage(const Message& msg) override;
+  MR_RUNS_ON(managing) void OnMessage(const Message& msg) override;
 
   // -- tallies over all submitted transactions ---------------------------
-  uint64_t submitted() const { return submitted_; }
-  uint64_t committed() const { return committed_; }
-  uint64_t aborted() const { return aborted_; }
-  uint64_t unreachable() const { return unreachable_; }
+  MR_RUNS_ON(managing) uint64_t submitted() const { return submitted_; }
+  MR_RUNS_ON(managing) uint64_t committed() const { return committed_; }
+  MR_RUNS_ON(managing) uint64_t aborted() const { return aborted_; }
+  MR_RUNS_ON(managing) uint64_t unreachable() const { return unreachable_; }
 
   /// Replies that arrived AFTER the client timeout already fired for their
   /// transaction. Each one is a transaction whose caller was told
@@ -74,9 +76,9 @@ class ManagingSite : public MessageHandler {
   /// already acted on the timeout); this counter sizes the lie. A non-zero
   /// value under loss means client_timeout is too tight for the retry
   /// chain underneath it. See docs/API.md.
-  uint64_t late_outcomes() const { return late_outcomes_; }
+  MR_RUNS_ON(managing) uint64_t late_outcomes() const { return late_outcomes_; }
 
-  SiteId id() const { return id_; }
+  MR_RUNS_ON(any) SiteId id() const { return id_; }
 
  private:
   struct PendingTxn {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/thread_annotations.h"
 #include "core/managing_site.h"
 #include "txn/transaction.h"
 
@@ -31,6 +32,7 @@ class SubmitWindow {
   /// any) is dispatched before the callback runs, keeping the pipe full.
   /// After Close(), the callback is instead invoked immediately with a
   /// synthesized kCoordinatorUnreachable reply.
+  MR_RUNS_ON(managing)
   void Submit(const TxnSpec& txn, SiteId coordinator,
               ManagingSite::ReplyCallback callback);
 
@@ -40,14 +42,14 @@ class SubmitWindow {
   /// not touched: the managing site still owes each exactly one reply.
   /// Idempotent. Used by cluster shutdown so no submission callback is
   /// silently dropped.
-  void Close();
+  MR_RUNS_ON(managing) void Close();
 
-  bool closed() const { return closed_; }
-  uint32_t inflight() const { return inflight_; }
-  size_t backlog_size() const { return backlog_.size(); }
+  MR_RUNS_ON(managing) bool closed() const { return closed_; }
+  MR_RUNS_ON(managing) uint32_t inflight() const { return inflight_; }
+  MR_RUNS_ON(managing) size_t backlog_size() const { return backlog_.size(); }
   /// Total submissions that had to wait for a slot.
-  uint64_t backlogged_total() const { return backlogged_total_; }
-  uint32_t max_inflight_seen() const { return max_inflight_seen_; }
+  MR_RUNS_ON(managing) uint64_t backlogged_total() const { return backlogged_total_; }
+  MR_RUNS_ON(managing) uint32_t max_inflight_seen() const { return max_inflight_seen_; }
 
  private:
   struct Pending {

@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/runtime.h"
 
 namespace miniraid {
@@ -27,26 +28,26 @@ class EventLoop {
 
   /// Enqueues `task` to run on the loop thread. Safe from any thread.
   /// Tasks posted after Stop() are dropped.
-  void Post(std::function<void()> task);
+  MR_RUNS_ON(any) void Post(std::function<void()> task);
 
   /// Runs `fn` on the loop thread after `delay`. Safe from any thread.
-  TimerId ScheduleAfter(Duration delay, std::function<void()> fn);
+  MR_RUNS_ON(any) TimerId ScheduleAfter(Duration delay, std::function<void()> fn);
 
   /// Cancels a pending timer (no-op if it already fired). Safe from any
   /// thread, including the loop thread.
-  void CancelTimer(TimerId id);
+  MR_RUNS_ON(any) void CancelTimer(TimerId id);
 
   /// Stops the loop and joins the thread. Pending tasks/timers are dropped.
   /// Idempotent. Must not be called from the loop thread.
-  void Stop();
+  MR_RUNS_ON(client) void Stop();
 
-  bool IsCurrentThread() const {
+  MR_RUNS_ON(any) bool IsCurrentThread() const {
     return std::this_thread::get_id() == thread_.get_id();
   }
 
   /// Posts `task` and blocks until it has run (deadlocks if called from the
   /// loop thread; asserted).
-  void PostAndWait(std::function<void()> task);
+  MR_RUNS_ON(client) void PostAndWait(std::function<void()> task);
 
   /// The queue mutex, public only so that other layers can name it in
   /// lock-order annotations (see TcpTransport: transport mutexes are
@@ -61,7 +62,7 @@ class EventLoop {
     std::function<void()> fn;
   };
 
-  void Run();
+  MR_RUNS_ON(loop) void Run();
 
   CondVar cv_;
   std::deque<std::function<void()>> tasks_ MR_GUARDED_BY(mu_);
@@ -84,17 +85,18 @@ class ThreadSiteRuntime : public SiteRuntime {
                     double cpu_scale = 0.0)
       : loop_(loop), clock_(clock), cpu_scale_(cpu_scale) {}
 
-  TimePoint Now() const override { return clock_->Now(); }
+  MR_RUNS_ON(any) TimePoint Now() const override { return clock_->Now(); }
 
+  MR_RUNS_ON(any)
   TimerId ScheduleAfter(Duration delay, std::function<void()> fn) override {
     return loop_->ScheduleAfter(delay, std::move(fn));
   }
 
-  void CancelTimer(TimerId id) override { loop_->CancelTimer(id); }
+  MR_RUNS_ON(any) void CancelTimer(TimerId id) override { loop_->CancelTimer(id); }
 
-  void ChargeCpu(Duration amount) override;
+  MR_RUNS_ON(any) void ChargeCpu(Duration amount) override;
 
-  EventLoop* loop() { return loop_; }
+  MR_RUNS_ON(any) EventLoop* loop() { return loop_; }
 
  private:
   EventLoop* loop_;

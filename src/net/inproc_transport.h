@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/event_loop.h"
 #include "net/faults.h"
 #include "net/transport.h"
@@ -43,15 +44,20 @@ class InProcTransport : public Transport {
 
   /// Registers `site`'s loop and handler. Not thread-safe against Send;
   /// register all sites before starting traffic.
+  MR_RUNS_ON(client)
   void Register(SiteId site, EventLoop* loop, MessageHandler* handler);
 
-  Status Send(const Message& msg) override;
+  MR_RUNS_ON(any) Status Send(const Message& msg) override;
 
   /// Messages accepted for delivery so far. Safe from any thread.
-  uint64_t messages_sent() const { return messages_sent_.load(); }
+  MR_RUNS_ON(any) uint64_t messages_sent() const {
+    return messages_sent_.load();
+  }
 
   /// Messages dropped by fault injection so far. Safe from any thread.
-  uint64_t messages_dropped() const { return messages_dropped_.load(); }
+  MR_RUNS_ON(any) uint64_t messages_dropped() const {
+    return messages_dropped_.load();
+  }
 
  private:
   struct Endpoint {

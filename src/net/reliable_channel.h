@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/runtime.h"
+#include "common/thread_annotations.h"
 #include "metrics/channel_stats.h"
 #include "net/transport.h"
 
@@ -63,7 +64,10 @@ struct ReliableChannelOptions {
 /// exactly how a dead process behind a live kernel behaves.
 ///
 /// Threading: all calls (Send, OnMessage, timers) must run in the owning
-/// endpoint's execution context, like every other per-site object.
+/// endpoint's execution context, like every other per-site object. Like
+/// SiteRuntime this is per-instance confinement, which MR_RUNS_ON cannot
+/// name — the methods carry MR_RUNS_ON(any), recording only that they are
+/// confinement- and blocking-clean wherever the instance lives.
 class ReliableChannel : public Transport, public MessageHandler {
  public:
   ReliableChannel(SiteId self, Transport* inner, SiteRuntime* runtime,
@@ -75,17 +79,19 @@ class ReliableChannel : public Transport, public MessageHandler {
 
   /// Late wiring for construction cycles (channel before site); must be
   /// set before any message flows.
-  void set_upper(MessageHandler* upper) { upper_ = upper; }
+  MR_RUNS_ON(any) void set_upper(MessageHandler* upper) { upper_ = upper; }
 
   /// Outbound path: stamps seq/ack, records the message for retransmission,
   /// and forwards to the inner transport.
-  Status Send(const Message& msg) override;
+  MR_RUNS_ON(any) Status Send(const Message& msg) override;
 
   /// Inbound path: ack processing, dedup/reorder, in-order delivery to the
   /// upper handler.
-  void OnMessage(const Message& msg) override;
+  MR_RUNS_ON(any) void OnMessage(const Message& msg) override;
 
-  const ChannelCounters& counters() const { return counters_; }
+  MR_RUNS_ON(any) const ChannelCounters& counters() const {
+    return counters_;
+  }
 
  private:
   /// Sender-side state for one destination.

@@ -41,6 +41,10 @@ struct SimTransportOptions {
 /// the receiver `message_latency` after the (virtual) moment of sending.
 /// Delivery is per-pair FIFO and fully deterministic. Also counts messages,
 /// which the overhead experiments report.
+///
+/// Like SimCluster, deliberately unannotated: under the simulator every
+/// execution context shares one thread, so MR_RUNS_ON has no true name for
+/// these methods. Callers are checked against the Transport base contract.
 class SimTransport : public Transport {
  public:
   SimTransport(SimRuntime* sim, const SimTransportOptions& options);

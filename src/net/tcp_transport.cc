@@ -19,8 +19,12 @@ namespace {
 Status WriteAll(int fd, const uint8_t* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n =
-        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    // Deliberate exception: the TCP backend writes frames inline on the
+    // sender's thread (including loop threads). Localhost writes fit the
+    // socket buffer, so this "blocks" only under extreme backpressure —
+    // accepted in exchange for not running a writer thread per peer.
+    // miniraid-lint: allow(blocking-call)
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(StrFormat("send: %s", std::strerror(errno)));
@@ -190,6 +194,8 @@ Status TcpTransport::ConnectTo(SiteId peer, int* fd_out) {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(it->second);
   ::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr);
+  // Same deliberate exception as WriteAll: the lazy localhost connect on
+  // first send is accepted inline. miniraid-lint: allow(blocking-call)
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const int err = errno;
     ::close(fd);

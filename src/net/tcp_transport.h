@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/event_loop.h"
 #include "net/faults.h"
 #include "net/transport.h"
@@ -44,28 +45,39 @@ class TcpTransport : public Transport {
                const TcpTransportOptions& options = TcpTransportOptions{});
 
   /// Sets the inbound message consumer. Must happen before Start().
-  void set_handler(MessageHandler* handler) { handler_ = handler; }
+  MR_RUNS_ON(client) void set_handler(MessageHandler* handler) {
+    handler_ = handler;
+  }
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   /// Binds, listens, and starts the accept thread.
-  Status Start();
+  MR_RUNS_ON(client) Status Start();
 
   /// Closes all sockets and joins helper threads. Idempotent.
-  void Stop();
+  MR_RUNS_ON(client) void Stop();
 
-  /// Thread-safe; lazily connects to the destination on first use.
-  Status Send(const Message& msg) override;
+  /// Thread-safe; lazily connects to the destination on first use. Writes
+  /// the frame to the socket inline — a deliberate blocking exception on
+  /// loop threads (see the allow(blocking-call) notes in tcp_transport.cc).
+  MR_RUNS_ON(any) Status Send(const Message& msg) override;
 
-  uint64_t messages_sent() const { return messages_sent_.load(); }
-  uint64_t messages_received() const { return messages_received_.load(); }
-  uint64_t messages_dropped() const { return messages_dropped_.load(); }
+  MR_RUNS_ON(any) uint64_t messages_sent() const {
+    return messages_sent_.load();
+  }
+  MR_RUNS_ON(any) uint64_t messages_received() const {
+    return messages_received_.load();
+  }
+  MR_RUNS_ON(any) uint64_t messages_dropped() const {
+    return messages_dropped_.load();
+  }
 
  private:
-  void AcceptLoop();
-  void ReadLoop(int fd);
+  /// Dedicated IO threads: blocking socket calls are their whole job.
+  MR_RUNS_ON(client) void AcceptLoop();
+  MR_RUNS_ON(client) void ReadLoop(int fd);
   /// Opens the lazy outbound connection; called on the Send path with the
   /// connection table locked (the map insert must be atomic with connect).
   Status ConnectTo(SiteId peer, int* fd_out) MR_REQUIRES(conn_mu_);

@@ -2,6 +2,7 @@
 #define MINIRAID_NET_TRANSPORT_H_
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "msg/message.h"
 
 namespace miniraid {
@@ -9,10 +10,18 @@ namespace miniraid {
 /// Consumer of incoming messages. Each site implements this; the transport
 /// invokes it in the site's execution context (see SiteRuntime's threading
 /// contract).
+///
+/// OnMessage is MR_RUNS_ON(any) as a *delivery contract*: each transport
+/// guarantees by construction that it invokes the handler in the receiving
+/// endpoint's own execution context (posting to its EventLoop or scheduling
+/// on the simulator), so callers of the virtual boundary are context-clean
+/// wherever they run. miniraid-analyze re-anchors its call-graph walk at
+/// this annotation; the concrete overrides (Site: loop, ManagingSite:
+/// managing) carry their real confinement.
 class MessageHandler {
  public:
   virtual ~MessageHandler() = default;
-  virtual void OnMessage(const Message& msg) = 0;
+  MR_RUNS_ON(any) virtual void OnMessage(const Message& msg) = 0;
 };
 
 /// Asynchronous, per-pair-FIFO message channel. Delivery is AT MOST ONCE
@@ -43,7 +52,9 @@ class Transport {
   /// Queues `msg` for delivery to `msg.to`. Fire-and-forget: an OK return
   /// means the transport accepted the message — not that it was delivered
   /// (fault injection may still drop it) nor that it was processed.
-  virtual Status Send(const Message& msg) = 0;
+  /// MR_RUNS_ON(any): Send never blocks on the receiver and every backend
+  /// accepts it from any execution context.
+  MR_RUNS_ON(any) virtual Status Send(const Message& msg) = 0;
 };
 
 }  // namespace miniraid

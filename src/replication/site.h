@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/runtime.h"
+#include "common/thread_annotations.h"
 #include "db/database.h"
 #include "net/transport.h"
 #include "replication/counters.h"
@@ -30,7 +31,8 @@ namespace miniraid {
 /// The engine is runtime-agnostic: all time, timers, CPU accounting, and
 /// messaging go through SiteRuntime and Transport, so the identical code
 /// runs under the deterministic simulator and on real threads/sockets.
-/// All methods must be called from the site's execution context.
+/// All methods must be called from the site's execution context
+/// (MR_RUNS_ON(loop), enforced by tools/miniraid-analyze).
 class Site : public MessageHandler {
  public:
   Site(SiteId id, const SiteOptions& options, Transport* transport,
@@ -40,16 +42,16 @@ class Site : public MessageHandler {
   Site& operator=(const Site&) = delete;
 
   /// Transport entry point.
-  void OnMessage(const Message& msg) override;
+  MR_RUNS_ON(loop) void OnMessage(const Message& msg) override;
 
   /// Simulated crash (the managing site's kFailSite does this): the site
   /// stops participating in all system actions until recovery. State is
   /// retained, as in the paper's implementation, where a failed site
   /// "would remain inactive until recovery was initiated".
-  void Crash();
+  MR_RUNS_ON(loop) void Crash();
 
   /// Begins the control-type-1 recovery protocol (kRecoverSite does this).
-  void StartRecovery();
+  MR_RUNS_ON(loop) void StartRecovery();
 
   /// Restores a durable image into a DOWN site that lost its volatile
   /// state (lose_state_on_crash): the modelled equivalent of a process
@@ -57,37 +59,37 @@ class Site : public MessageHandler {
   /// type 1. After the restore only the updates committed while the site
   /// was down need fail-lock-driven refresh, exactly as with retained
   /// state. kFailedPrecondition unless the site is down.
-  Status RestoreImage(const std::vector<ItemCopy>& image);
+  MR_RUNS_ON(loop) Status RestoreImage(const std::vector<ItemCopy>& image);
 
   // -- introspection (drivers, experiments, tests) -----------------------
 
-  SiteId id() const { return id_; }
-  SiteStatus local_status() const { return status_; }
-  bool is_up() const { return status_ == SiteStatus::kUp; }
+  MR_RUNS_ON(any) SiteId id() const { return id_; }
+  MR_RUNS_ON(loop) SiteStatus local_status() const { return status_; }
+  MR_RUNS_ON(loop) bool is_up() const { return status_ == SiteStatus::kUp; }
 
   /// True while the site is up but still holds fail-locks on its own
   /// copies (the paper's "recovery period").
-  bool InRecoveryPeriod() const {
+  MR_RUNS_ON(loop) bool InRecoveryPeriod() const {
     return is_up() && fail_locks_.CountForSite(id_) > 0;
   }
 
-  const Database& db() const { return db_; }
-  const SessionVector& session_vector() const { return session_vector_; }
-  const FailLockTable& fail_locks() const { return fail_locks_; }
-  const HoldersTable& holders() const { return holders_; }
-  const SiteCounters& counters() const { return counters_; }
+  MR_RUNS_ON(loop) const Database& db() const { return db_; }
+  MR_RUNS_ON(loop) const SessionVector& session_vector() const { return session_vector_; }
+  MR_RUNS_ON(loop) const FailLockTable& fail_locks() const { return fail_locks_; }
+  MR_RUNS_ON(loop) const HoldersTable& holders() const { return holders_; }
+  MR_RUNS_ON(loop) const SiteCounters& counters() const { return counters_; }
 
   /// Mutable counters, so drivers can reset between warmup and measurement
   /// windows (the paper measured "after a stable state of transaction
   /// processing was achieved").
-  SiteCounters& mutable_counters() { return counters_; }
-  const SiteOptions& options() const { return options_; }
+  MR_RUNS_ON(loop) SiteCounters& mutable_counters() { return counters_; }
+  MR_RUNS_ON(any) const SiteOptions& options() const { return options_; }
 
   /// Number of this site's own copies currently fail-locked.
-  uint32_t OwnFailLockCount() const { return fail_locks_.CountForSite(id_); }
+  MR_RUNS_ON(loop) uint32_t OwnFailLockCount() const { return fail_locks_.CountForSite(id_); }
 
   /// True if no transaction / recovery is in flight at this site.
-  bool IsIdle() const {
+  MR_RUNS_ON(loop) bool IsIdle() const {
     return !coord_.has_value() && participations_.empty() &&
            !recovery_.has_value() && queued_requests_.empty();
   }
@@ -95,7 +97,7 @@ class Site : public MessageHandler {
   /// Transaction requests waiting for the coordinator slot (requests that
   /// arrive while another transaction is being coordinated are queued and
   /// served in order; execution at the site stays serial).
-  size_t QueuedRequests() const { return queued_requests_.size(); }
+  MR_RUNS_ON(loop) size_t QueuedRequests() const { return queued_requests_.size(); }
 
  private:
   // State of a transaction this site is coordinating. Processing is serial

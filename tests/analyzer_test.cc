@@ -1,0 +1,481 @@
+// Unit and regression tests for the miniraid-analyze semantic core.
+//
+// These drive the built-in indexer + checks over inline sources, pinning the
+// exact behaviours the fixture selftest cannot express file-by-file:
+// receiver-type resolution through aliases and accessor chains, the lambda
+// asymmetry between the confinement and blocking passes, and the defects
+// found while bringing the analyzer up (decode-sequence file attribution,
+// no implicit base->override context inheritance).
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer.h"
+
+namespace miniraid {
+namespace analyze {
+namespace {
+
+Model BuildModel(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  Indexer indexer;
+  for (const auto& [path, content] : sources) {
+    indexer.AddFile(LexFile(path, content));
+  }
+  return indexer.Build();
+}
+
+std::vector<Finding> Analyze(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  Model model = BuildModel(sources);
+  std::vector<Finding> findings = RunChecks(model, CheckOptions::Defaults());
+  ApplySuppressions(model, &findings);
+  return findings;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule,
+              bool include_suppressed = false) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule && (include_suppressed || !f.suppressed)) ++n;
+  }
+  return n;
+}
+
+// Annotation macro preamble shared by the context-rule sources. The
+// analyzer keys off the MR_RUNS_ON(ctx) spelling itself.
+constexpr char kPreamble[] = R"(
+#define MR_RUNS_ON(ctx)
+)";
+
+// ---------------------------------------------------------------------------
+// Receiver-type resolution (ownership rules).
+// ---------------------------------------------------------------------------
+
+TEST(OwnershipTest, ResolvesReceiverThroughTypeAlias) {
+  auto findings = Analyze({{"src/core/recovery_helper.cc", R"(
+class FailLockTable {
+ public:
+  void Set(int from, int to);
+};
+using LockTable = FailLockTable;
+void Tamper(LockTable& t) { t.Set(1, 2); }
+)"}});
+  EXPECT_EQ(CountRule(findings, "fail-lock-mutation"), 1);
+}
+
+TEST(OwnershipTest, ResolvesReceiverThroughAccessorChain) {
+  auto findings = Analyze({{"src/core/recovery_helper.cc", R"(
+class SessionVector {
+ public:
+  void MarkDown(int site);
+};
+class Site {
+ public:
+  SessionVector& sessions();
+};
+void Tamper(Site& site) { site.sessions().MarkDown(3); }
+)"}});
+  EXPECT_EQ(CountRule(findings, "session-mutation"), 1);
+}
+
+TEST(OwnershipTest, ResolvesReceiverThroughDerivedClass) {
+  // Regression: the base-clause parser returned the access specifier as the
+  // "type" of `: public FailLockTable` and dropped it, so DerivesFrom never
+  // saw any inheritance edge and subclass receivers escaped the rule.
+  auto findings = Analyze({{"src/core/recovery_helper.cc", R"(
+class FailLockTable {
+ public:
+  void Set(int from, int to);
+};
+class InstrumentedTable : public FailLockTable {
+ public:
+  int writes = 0;
+};
+void Tamper(InstrumentedTable& t) { t.Set(1, 2); }
+)"}});
+  EXPECT_EQ(CountRule(findings, "fail-lock-mutation"), 1);
+}
+
+TEST(OwnershipTest, SameNamedMethodOnUnrelatedTypeIsClean) {
+  auto findings = Analyze({{"src/core/recovery_helper.cc", R"(
+class Bitmap {
+ public:
+  void Set(int bit, bool value);
+};
+void Flip(Bitmap& b) { b.Set(7, true); }
+)"}});
+  EXPECT_EQ(CountRule(findings, "fail-lock-mutation"), 0);
+}
+
+TEST(OwnershipTest, MutationInHomeFileIsAllowed) {
+  auto findings = Analyze({{"src/core/site.cc", R"(
+class FailLockTable {
+ public:
+  void Set(int from, int to);
+};
+void Engine(FailLockTable& t) { t.Set(1, 2); }
+)"}});
+  EXPECT_EQ(CountRule(findings, "fail-lock-mutation"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Context confinement and the lambda asymmetry.
+// ---------------------------------------------------------------------------
+
+TEST(ConfinementTest, FlagsTransitiveCrossContextCall) {
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+class Site {
+ public:
+  MR_RUNS_ON(loop) void Crash();
+};
+void Helper(Site& s) { s.Crash(); }
+class Driver {
+ public:
+  MR_RUNS_ON(client) void Go(Site& s) { Helper(s); }
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "cross-context-call"), 1);
+}
+
+TEST(ConfinementTest, LambdaBodyIsMarshalledNotInherited) {
+  // Posting a lambda is the sanctioned way to hop contexts: the confinement
+  // pass must not walk into the lambda body from the enclosing function.
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+class Site {
+ public:
+  MR_RUNS_ON(loop) void Crash();
+};
+class Loop {
+ public:
+  template <typename F>
+  MR_RUNS_ON(any) void Post(F fn);
+};
+class Driver {
+ public:
+  MR_RUNS_ON(client) void Go(Loop& loop, Site& site) {
+    loop.Post([&site] { site.Crash(); });
+  }
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "cross-context-call"), 0);
+}
+
+TEST(BlockingTest, LambdaBodyIsFollowedForBlockingCalls) {
+  // The opposite asymmetry: a timer callback runs on the loop, so a sleep
+  // inside a lambda handed to the runtime IS reachable from the loop entry.
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+void sleep_for(int ms);
+class Runtime {
+ public:
+  template <typename F>
+  MR_RUNS_ON(any) void ScheduleAfter(int ms, F fn);
+};
+class Site {
+ public:
+  MR_RUNS_ON(loop) void Arm(Runtime& rt) {
+    rt.ScheduleAfter(5, [] { sleep_for(10); });
+  }
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "blocking-call"), 1);
+}
+
+TEST(BlockingTest, ClientContextMayBlock) {
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+void sleep_for(int ms);
+class Driver {
+ public:
+  MR_RUNS_ON(client) void Poll() { sleep_for(1); }
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "blocking-call"), 0);
+}
+
+TEST(BlockingTest, AnnotatedCalleeReanchorsTraversal) {
+  // An annotated callee is its own verification root: traversal must stop
+  // at the contract boundary, so the sleep inside the any-context helper is
+  // reported exactly once (from the helper's own root), not re-reported
+  // from every caller that reaches it.
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+void sleep_for(int ms);
+class Rt {
+ public:
+  MR_RUNS_ON(any) void Nap() { sleep_for(1); }
+};
+class Site {
+ public:
+  MR_RUNS_ON(loop) void Tick(Rt& rt) { rt.Nap(); }
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "blocking-call"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: no implicit base->override context inheritance.
+// ---------------------------------------------------------------------------
+
+TEST(ConfinementTest, OverridesDoNotInheritBaseContext) {
+  // SimCluster regression: the simulator collapses every context onto one
+  // thread, so its overrides are deliberately unannotated. Propagating the
+  // base method's client context into the override produced false
+  // cross-context findings against the simulator internals.
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+class Site {
+ public:
+  MR_RUNS_ON(loop) void Step();
+};
+class Cluster {
+ public:
+  MR_RUNS_ON(client) virtual void Drive() = 0;
+};
+class SimCluster : public Cluster {
+ public:
+  void Drive() override { site_.Step(); }
+ private:
+  Site site_;
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "cross-context-call"), 0);
+}
+
+TEST(ConfinementTest, UnannotatedVirtualFansOutToOverrides) {
+  // But when the BASE method is unannotated, a call through it must still
+  // fan out to derived overrides so annotated implementations are checked.
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+class Site {
+ public:
+  MR_RUNS_ON(loop) void Step();
+};
+class Backend {
+ public:
+  virtual void Run(Site& s) = 0;
+};
+class RealBackend : public Backend {
+ public:
+  MR_RUNS_ON(loop) void Run(Site& s) override { s.Step(); }
+};
+class Driver {
+ public:
+  MR_RUNS_ON(client) void Go(Backend& b, Site& s) { b.Run(s); }
+};
+)"}});
+  // Driver::Go (client) -> Backend::Run fans out to RealBackend::Run, which
+  // is a loop-confined contract: one finding at the fan-out edge.
+  EXPECT_EQ(CountRule(findings, "cross-context-call"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Coverage.
+// ---------------------------------------------------------------------------
+
+TEST(CoverageTest, FlagsUnannotatedPublicMethodOfAnnotatedClass) {
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+class SubmitWindow {
+ public:
+  MR_RUNS_ON(client) void Submit(int txn);
+  void Close();
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "context-coverage"), 1);
+}
+
+TEST(CoverageTest, UnannotatedClassesAndSpecialMembersAreExempt) {
+  auto findings = Analyze({{"src/core/x.cc", std::string(kPreamble) + R"(
+class Unaware {
+ public:
+  void Anything();
+};
+class SubmitWindow {
+ public:
+  SubmitWindow();
+  ~SubmitWindow();
+  bool operator==(const SubmitWindow& o) const;
+  MR_RUNS_ON(client) void Submit(int txn);
+ private:
+  void Track(int txn);
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "context-coverage"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, AllowCommentCoversOwnAndNextLine) {
+  auto findings = Analyze({{"src/core/recovery_helper.cc", R"(
+class FailLockTable {
+ public:
+  void Set(int from, int to);
+};
+void Tamper(FailLockTable& t) {
+  // miniraid-lint: allow(fail-lock-mutation)
+  t.Set(1, 2);
+}
+)"}});
+  EXPECT_EQ(CountRule(findings, "fail-lock-mutation"), 0);
+  EXPECT_EQ(CountRule(findings, "fail-lock-mutation", true), 1);
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return f.rule == "fail-lock-mutation"; });
+  ASSERT_NE(it, findings.end());
+  EXPECT_TRUE(it->suppressed);
+}
+
+TEST(SuppressionTest, AllowForDifferentRuleDoesNotSuppress) {
+  auto findings = Analyze({{"src/core/recovery_helper.cc", R"(
+class FailLockTable {
+ public:
+  void Set(int from, int to);
+};
+void Tamper(FailLockTable& t) {
+  // miniraid-lint: allow(blocking-call)
+  t.Set(1, 2);
+}
+)"}});
+  EXPECT_EQ(CountRule(findings, "fail-lock-mutation"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch exhaustiveness.
+// ---------------------------------------------------------------------------
+
+TEST(DispatchTest, DefaultlessDispatchSwitchMustBeExhaustive) {
+  auto findings = Analyze({{"src/core/x.cc", R"(
+enum class MsgType : unsigned char { kPrepare, kCommit };
+class Site {
+ public:
+  void OnMessage(MsgType t) {
+    switch (t) {
+      case MsgType::kPrepare:
+        break;
+      case MsgType::kCommit:
+        break;
+    }
+  }
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "msg-dispatch"), 0);
+}
+
+TEST(DispatchTest, MissingCaseAndUnhandledEnumeratorBothReport) {
+  auto findings = Analyze({{"src/core/x.cc", R"(
+enum class MsgType : unsigned char { kPrepare, kCommit };
+class Site {
+ public:
+  void OnMessage(MsgType t) {
+    switch (t) {
+      case MsgType::kPrepare:
+        break;
+    }
+  }
+};
+)"}});
+  // One finding at the switch (missing kCommit) and one at the enum
+  // (kCommit handled by no dispatcher anywhere).
+  EXPECT_EQ(CountRule(findings, "msg-dispatch"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Codec symmetry, incl. the decode-sequence file-attribution regression.
+// ---------------------------------------------------------------------------
+
+TEST(CodecTest, CountMismatchReportsAtDecoderCaseInDecoderFile) {
+  // Regression: with the encoder and decoder in different files, the
+  // finding must carry the decoder's file, not the file that happened to
+  // hold the last-indexed function.
+  auto findings = Analyze(
+      {{"src/net/encode.cc", R"(
+enum class MsgType : unsigned char { kPing };
+struct PingArgs { unsigned long long seq; unsigned char hop; };
+class Encoder {
+ public:
+  void PutU8(unsigned char v);
+  void PutU64(unsigned long long v);
+};
+struct PayloadEncoder {
+  Encoder& enc;
+  void operator()(const PingArgs& a) {
+    enc.PutU64(a.seq);
+    enc.PutU8(a.hop);
+  }
+};
+class Site {
+ public:
+  void OnMessage(MsgType t) {
+    switch (t) {
+      case MsgType::kPing:
+        break;
+    }
+  }
+};
+)"},
+       {"src/net/decode.cc", R"(
+enum class MsgType : unsigned char { kPing };
+class Decoder {
+ public:
+  bool GetU64(unsigned long long* v);
+};
+bool DecodePayload(Decoder& dec, MsgType type) {
+  switch (type) {
+    case MsgType::kPing: {
+      unsigned long long seq = 0;
+      return dec.GetU64(&seq);
+    }
+  }
+  return false;
+}
+)"}});
+  ASSERT_EQ(CountRule(findings, "codec-symmetry"), 1);
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return f.rule == "codec-symmetry"; });
+  EXPECT_EQ(it->file, "src/net/decode.cc");
+}
+
+TEST(CodecTest, SymmetricCodecIsClean) {
+  auto findings = Analyze({{"src/net/codec.cc", R"(
+enum class MsgType : unsigned char { kPing };
+struct PingArgs { unsigned long long seq; };
+class Encoder {
+ public:
+  void PutU64(unsigned long long v);
+};
+class Decoder {
+ public:
+  bool GetU64(unsigned long long* v);
+};
+struct PayloadEncoder {
+  Encoder& enc;
+  void operator()(const PingArgs& a) { enc.PutU64(a.seq); }
+};
+bool DecodePayload(Decoder& dec, MsgType type) {
+  switch (type) {
+    case MsgType::kPing: {
+      unsigned long long seq = 0;
+      return dec.GetU64(&seq);
+    }
+  }
+  return false;
+}
+class Site {
+ public:
+  void OnMessage(MsgType t) {
+    switch (t) {
+      case MsgType::kPing:
+        break;
+    }
+  }
+};
+)"}});
+  EXPECT_EQ(CountRule(findings, "codec-symmetry"), 0);
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace miniraid

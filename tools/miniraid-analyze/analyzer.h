@@ -1,0 +1,233 @@
+#ifndef MINIRAID_TOOLS_MINIRAID_ANALYZE_ANALYZER_H_
+#define MINIRAID_TOOLS_MINIRAID_ANALYZE_ANALYZER_H_
+
+// miniraid-analyze: whole-program semantic analysis for the execution-context
+// and protocol-ownership disciplines the engine relies on (docs/ANALYSIS.md
+// §7). The analysis core in this header is frontend-independent: facts about
+// the program (classes, functions, calls with resolved receiver types,
+// switches, codec sequences) are extracted into a `Model` either by the
+// built-in indexer (lexer.cc + indexer.cc, no toolchain dependency) or by the
+// Clang LibTooling frontend (clang_frontend.cc, built when
+// MINIRAID_ANALYZE_CLANG=ON), and the checks in checks.cc run on the model.
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace miniraid {
+namespace analyze {
+
+// ---------------------------------------------------------------------------
+// Execution contexts (the MR_RUNS_ON vocabulary).
+//
+//   managing - the managing site's execution context: ManagingSite,
+//              SubmitWindow, and everything transitively confined to the
+//              coordinator's protocol state.
+//   loop     - a site's event-loop context: Site and the protocol engine.
+//   client   - caller/driver threads and dedicated IO threads; blocking is
+//              permitted here, touching loop- or managing-confined state is
+//              not (marshal through EventLoop::Post / PostAndWait instead).
+//   any      - callable from every context; must itself stay confinement-
+//              and blocking-clean.
+// ---------------------------------------------------------------------------
+enum class Ctx { kNone = 0, kManaging, kLoop, kClient, kAny };
+
+const char* CtxName(Ctx ctx);
+Ctx ParseCtx(const std::string& name);  // "managing" -> kManaging, ...
+
+// ---------------------------------------------------------------------------
+// Findings and suppression.
+// ---------------------------------------------------------------------------
+struct Finding {
+  std::string rule;     // e.g. "cross-context-call"
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Tokens (built-in frontend).
+// ---------------------------------------------------------------------------
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind = kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;
+  // line -> rules allowed on that line ("*" = all). A `// miniraid-lint:
+  // allow(rule)` comment covers its own line and the next line, matching
+  // scripts/miniraid_lint.py.
+  std::map<int, std::set<std::string>> allow;
+};
+
+// Lexes `content`; records suppression comments, skips preprocessor lines.
+SourceFile LexFile(const std::string& path, const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Program model.
+// ---------------------------------------------------------------------------
+struct CallSite {
+  std::string callee;         // unqualified name ("Set", "Wait", "sleep_for")
+  std::string receiver_type;  // resolved class of the receiver, "" if none or
+                              // unresolvable
+  bool is_member = false;     // x.f() / x->f() / implicit this
+  bool qualified = false;     // ::f() or ns::f()
+  bool in_lambda = false;     // call happens inside a lambda body
+  int line = 0;
+  int file_index = -1;
+  size_t tok = 0;             // index of the callee token in the file stream
+                              // (clang frontend: source offset — used only
+                              // for ordering against CaseLabel::tok)
+  std::string last_ident_arg; // last argument when it is a lone identifier;
+                              // pre-resolved by the clang frontend (the
+                              // built-in indexer recovers it from tokens)
+};
+
+struct CaseLabel {
+  std::string enum_qual;   // "MsgType" in `case MsgType::kPrepare:`
+  std::string enumerator;  // "kPrepare"
+  int line = 0;
+  size_t tok = 0;
+};
+
+struct SwitchInfo {
+  std::vector<CaseLabel> cases;
+  bool has_default = false;
+  int line = 0;
+  int file_index = -1;
+};
+
+// One encoder write or decoder read, in source order.
+struct CodecOp {
+  std::string kind;    // "U8", "U64", "Varint", "String", "Vector", ...
+  std::string helper;  // for Vector: the element helper ("PutOperation")
+  int line = 0;
+};
+
+struct FunctionInfo {
+  std::string cls;   // enclosing class, "" for free functions
+  std::string name;  // unqualified ("OnMessage", "operator()")
+  std::string key;   // merge key: cls::name, operator() adds "@<param0>"
+  std::string file;  // declaration site (header when available)
+  int line = 0;
+  int file_index = -1;
+  Ctx ctx = Ctx::kNone;
+  bool ctx_inherited = false;  // ctx propagated from an annotated base method
+  bool is_public = false;
+  bool is_defn = false;        // a body was seen
+  bool is_ctor_dtor = false;
+  bool is_operator = false;
+  bool is_static = false;
+  std::string param0_type;     // resolved core type of the first parameter
+  std::vector<CallSite> calls;
+  std::vector<SwitchInfo> switches;
+
+  std::string qual() const { return cls.empty() ? name : cls + "::" + name; }
+};
+
+struct ClassInfo {
+  std::string name;
+  bool is_struct = false;
+  std::vector<std::string> bases;
+  std::map<std::string, std::string> fields;      // field name -> core type
+  std::map<std::string, std::string> method_ret;  // method -> core return type
+  std::set<std::string> methods;
+  std::string file;
+  int line = 0;
+};
+
+struct EnumInfo {
+  std::string name;       // simple name ("MsgType")
+  std::string scope;      // enclosing class, "" at namespace scope
+  std::vector<std::string> enumerators;
+  std::string file;
+  int line = 0;
+};
+
+struct Model {
+  std::vector<SourceFile> files;
+  std::map<std::string, ClassInfo> classes;       // by simple name
+  std::vector<EnumInfo> enums;
+  std::map<std::string, std::string> aliases;     // using A = B; A -> B
+
+  std::vector<FunctionInfo> functions;
+  std::map<std::string, std::vector<int>> by_key;   // merge key -> index
+  std::map<std::string, std::vector<int>> by_name;  // unqualified -> indices
+
+  // Resolves `name` through the alias map (bounded, cycle-safe).
+  std::string ResolveAlias(const std::string& name) const;
+  // True if `cls` is `base` or derives (transitively) from it.
+  bool DerivesFrom(const std::string& cls, const std::string& base) const;
+  // Looks up a method in `cls` or its bases; returns function index or -1.
+  int FindMethod(const std::string& cls, const std::string& name) const;
+  // Field type in `cls` or its bases ("" if unknown).
+  std::string FieldType(const std::string& cls, const std::string& field) const;
+  const FunctionInfo* Find(const std::string& key) const;
+};
+
+// ---------------------------------------------------------------------------
+// Built-in indexer: builds a Model from lexed sources (two passes:
+// declarations, then bodies).
+// ---------------------------------------------------------------------------
+class Indexer {
+ public:
+  void AddFile(SourceFile file) { files_.push_back(std::move(file)); }
+  Model Build();
+
+ private:
+  std::vector<SourceFile> files_;
+};
+
+// ---------------------------------------------------------------------------
+// Checks.
+// ---------------------------------------------------------------------------
+struct OwnershipRule {
+  std::string rule;                     // finding rule name
+  std::string receiver;                 // owning type ("FailLockTable")
+  std::set<std::string> mutators;       // {"Set", "Clear", "MergeFrom"}
+  std::set<std::string> home_basenames; // files allowed to mutate
+};
+
+struct CheckOptions {
+  std::vector<OwnershipRule> ownership;
+  std::set<std::string> blocking_free;  // free-call names that block
+  std::map<std::string, std::set<std::string>> blocking_members;
+  std::string dispatch_enum;            // enum checked for exhaustiveness
+  std::string dispatch_function;        // name of dispatch entry points
+  bool check_codec = true;
+  bool check_contexts = true;
+
+  static CheckOptions Defaults();
+};
+
+std::vector<Finding> RunChecks(const Model& model, const CheckOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------------
+// Marks findings covered by a `// miniraid-lint: allow(...)` comment.
+void ApplySuppressions(const Model& model, std::vector<Finding>* findings);
+// Prints unsuppressed findings as clickable file:line diagnostics; returns
+// the number of unsuppressed findings.
+int PrintFindings(const std::vector<Finding>& findings, std::ostream& os);
+// Writes the full findings list (including suppressed) as JSON.
+void WriteJson(const std::vector<Finding>& findings, std::ostream& os);
+
+}  // namespace analyze
+}  // namespace miniraid
+
+#endif  // MINIRAID_TOOLS_MINIRAID_ANALYZE_ANALYZER_H_

@@ -1,0 +1,557 @@
+// The frontend-independent analysis passes. All of them consume the Model
+// built by either frontend:
+//
+//   cross-context-call  - call-graph reachability from every MR_RUNS_ON
+//                         entry point; a root confined to one context must
+//                         never reach a function confined to another
+//                         (MR_RUNS_ON(any) callees are always permitted,
+//                         annotated callees re-anchor the search).
+//   context-coverage    - every public method of a class that annotates at
+//                         least one method must itself be annotated, so the
+//                         call-graph pass has no blind entry points.
+//   blocking-call       - no sleep / blocking syscall / CondVar::Wait is
+//                         reachable from a managing-, loop-, or any-context
+//                         entry point.
+//   fail-lock-mutation  - FailLockTable mutators called outside the owning
+//   session-mutation      module (receiver types resolved through aliases,
+//                         references, fields, and accessor chains).
+//   msg-dispatch        - switches over MsgType without a default cover
+//                         every enumerator, and every enumerator is handled
+//                         by some OnMessage dispatch switch.
+//   codec-symmetry      - encoder writes match decoder reads field-by-field
+//                         for every payload struct, including vector element
+//                         helpers (PutFoo/GetFoo pairs).
+
+#include <algorithm>
+#include <sstream>
+
+#include "analyzer.h"
+
+namespace miniraid {
+namespace analyze {
+
+namespace {
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string Join(const std::set<std::string>& items, const char* sep) {
+  std::string out;
+  for (const auto& s : items) {
+    if (!out.empty()) out += sep;
+    out += s;
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Returns the text of the last top-level argument of the call whose callee
+// identifier is at `tok` — used to recover the element helper passed to
+// PutVector / GetVector. Empty if the argument is not a lone identifier.
+std::string LastArg(const SourceFile& file, size_t tok) {
+  const std::vector<Token>& t = file.tokens;
+  size_t open = tok + 1;
+  if (open >= t.size() || t[open].text != "(") return "";
+  int depth = 0;
+  size_t last_start = open + 1;
+  size_t close = open;
+  for (size_t i = open; i < t.size(); ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(" || x == "[" || x == "{") {
+      ++depth;
+    } else if (x == ")" || x == "]" || x == "}") {
+      if (--depth == 0) {
+        close = i;
+        break;
+      }
+    } else if (x == "," && depth == 1) {
+      last_start = i + 1;
+    }
+  }
+  if (close <= last_start) return "";
+  if (close - last_start == 1 && t[last_start].kind == Token::kIdent) {
+    return t[last_start].text;
+  }
+  return "";
+}
+
+class Checker {
+ public:
+  Checker(const Model& m, const CheckOptions& opts) : m_(m), opts_(opts) {
+    for (const auto& kv : m_.classes) {
+      for (const std::string& b : kv.second.bases) {
+        derived_[b].push_back(kv.first);
+      }
+    }
+  }
+
+  std::vector<Finding> Run() {
+    if (opts_.check_contexts) {
+      CheckCrossContext();
+      CheckCoverage();
+      CheckBlocking();
+    }
+    CheckOwnership();
+    CheckDispatch();
+    if (opts_.check_codec) CheckCodec();
+    std::sort(findings_.begin(), findings_.end());
+    return std::move(findings_);
+  }
+
+ private:
+  const FunctionInfo& Fn(int i) const { return m_.functions[i]; }
+
+  void Report(const std::string& rule, const std::string& file, int line,
+              const std::string& message) {
+    std::ostringstream key;
+    key << rule << '|' << file << '|' << line << '|' << message;
+    if (!reported_.insert(key.str()).second) return;
+    Finding f;
+    f.rule = rule;
+    f.file = file;
+    f.line = line;
+    f.message = message;
+    findings_.push_back(std::move(f));
+  }
+
+  std::string FileOf(const CallSite& c) const {
+    return c.file_index >= 0 ? m_.files[c.file_index].path : "";
+  }
+
+  // Call targets. An annotated method found through the receiver type is a
+  // contract: no virtual fan-out. An unannotated method fans out to every
+  // derived override so indirect dispatch is not a blind spot.
+  std::vector<int> Targets(const CallSite& c) const {
+    std::vector<int> out;
+    if (c.is_member) {
+      if (c.receiver_type.empty()) return out;
+      std::string recv = m_.ResolveAlias(c.receiver_type);
+      int idx = m_.FindMethod(recv, c.callee);
+      if (idx < 0) return out;
+      out.push_back(idx);
+      if (Fn(idx).ctx == Ctx::kNone) {
+        const std::string& owner = Fn(idx).cls;
+        auto it = m_.by_name.find(c.callee);
+        if (it != m_.by_name.end()) {
+          for (int cand : it->second) {
+            if (cand == idx || Fn(cand).cls.empty()) continue;
+            if (m_.DerivesFrom(Fn(cand).cls, owner)) out.push_back(cand);
+          }
+        }
+      }
+      return out;
+    }
+    auto it = m_.by_name.find(c.callee);
+    if (it != m_.by_name.end()) {
+      for (int cand : it->second) {
+        if (Fn(cand).cls.empty()) out.push_back(cand);
+      }
+    }
+    return out;
+  }
+
+  // ---------------- cross-context-call ----------------
+  void CheckCrossContext() {
+    for (size_t r = 0; r < m_.functions.size(); ++r) {
+      const FunctionInfo& root = Fn(static_cast<int>(r));
+      if (root.ctx == Ctx::kNone) continue;
+      std::set<int> visited;
+      std::vector<int> stack{static_cast<int>(r)};
+      visited.insert(static_cast<int>(r));
+      while (!stack.empty()) {
+        const FunctionInfo& fn = Fn(stack.back());
+        stack.pop_back();
+        for (const CallSite& call : fn.calls) {
+          // Lambda bodies are separate execution scopes: the Post /
+          // PostAndWait marshalling idiom moves them to another context by
+          // design, so the confinement pass does not follow them.
+          if (call.in_lambda) continue;
+          for (int t : Targets(call)) {
+            const FunctionInfo& callee = Fn(t);
+            if (callee.ctx != Ctx::kNone) {
+              if (callee.ctx != Ctx::kAny && callee.ctx != root.ctx) {
+                std::ostringstream msg;
+                msg << "'" << root.qual() << "' runs on the "
+                    << CtxName(root.ctx) << " context but ";
+                if (&fn != &root) msg << "transitively (via '" << fn.qual()
+                                      << "') ";
+                msg << "calls '" << callee.qual() << "', which is confined to "
+                    << "the " << CtxName(callee.ctx) << " context";
+                Report("cross-context-call", FileOf(call), call.line,
+                       msg.str());
+              }
+              continue;  // annotated callee re-anchors the search
+            }
+            if (callee.is_defn && visited.insert(t).second) stack.push_back(t);
+          }
+        }
+      }
+    }
+  }
+
+  // ---------------- context-coverage ----------------
+  void CheckCoverage() {
+    std::set<std::string> aware;
+    for (const FunctionInfo& fn : m_.functions) {
+      if (!fn.cls.empty() && fn.ctx != Ctx::kNone && !fn.ctx_inherited) {
+        aware.insert(fn.cls);
+      }
+    }
+    for (const FunctionInfo& fn : m_.functions) {
+      if (fn.cls.empty() || !aware.count(fn.cls)) continue;
+      if (!fn.is_public || fn.is_ctor_dtor || fn.is_operator) continue;
+      if (fn.ctx != Ctx::kNone) continue;
+      Report("context-coverage", fn.file, fn.line,
+             "public method '" + fn.qual() + "' of context-annotated class '" +
+                 fn.cls + "' lacks an MR_RUNS_ON annotation");
+    }
+  }
+
+  // ---------------- blocking-call ----------------
+  bool IsBlocking(const CallSite& c) const {
+    if (c.is_member) {
+      if (c.receiver_type.empty()) return false;
+      auto it = opts_.blocking_members.find(m_.ResolveAlias(c.receiver_type));
+      return it != opts_.blocking_members.end() && it->second.count(c.callee);
+    }
+    return opts_.blocking_free.count(c.callee) > 0;
+  }
+
+  void CheckBlocking() {
+    for (size_t r = 0; r < m_.functions.size(); ++r) {
+      const FunctionInfo& root = Fn(static_cast<int>(r));
+      if (root.ctx != Ctx::kManaging && root.ctx != Ctx::kLoop &&
+          root.ctx != Ctx::kAny) {
+        continue;
+      }
+      std::set<int> visited;
+      std::vector<int> stack{static_cast<int>(r)};
+      visited.insert(static_cast<int>(r));
+      while (!stack.empty()) {
+        const FunctionInfo& fn = Fn(stack.back());
+        stack.pop_back();
+        // The blocking pass *does* follow lambda bodies: a lambda created on
+        // a loop thread (timer callbacks, deferred work) runs on that loop.
+        for (const CallSite& call : fn.calls) {
+          if (IsBlocking(call)) {
+            std::ostringstream msg;
+            msg << "blocking call '" << call.callee << "' is reachable from "
+                << CtxName(root.ctx) << "-context entry '" << root.qual()
+                << "'";
+            if (&fn != &root) msg << " via '" << fn.qual() << "'";
+            Report("blocking-call", FileOf(call), call.line, msg.str());
+            continue;
+          }
+          for (int t : Targets(call)) {
+            const FunctionInfo& callee = Fn(t);
+            if (callee.ctx != Ctx::kNone) continue;  // re-anchored elsewhere
+            if (callee.is_defn && visited.insert(t).second) stack.push_back(t);
+          }
+        }
+      }
+    }
+  }
+
+  // ---------------- fail-lock-mutation / session-mutation ----------------
+  void CheckOwnership() {
+    for (const FunctionInfo& fn : m_.functions) {
+      for (const CallSite& call : fn.calls) {
+        if (!call.is_member || call.receiver_type.empty()) continue;
+        std::string recv = m_.ResolveAlias(call.receiver_type);
+        for (const OwnershipRule& rule : opts_.ownership) {
+          if (!rule.mutators.count(call.callee)) continue;
+          if (!m_.DerivesFrom(recv, rule.receiver)) continue;
+          std::string file = FileOf(call);
+          if (rule.home_basenames.count(Basename(file))) continue;
+          Report(rule.rule, file, call.line,
+                 "'" + rule.receiver + "::" + call.callee +
+                     "' mutates protocol state owned by the Site engine "
+                     "(allowed only in: " +
+                     Join(rule.home_basenames, ", ") + ")");
+        }
+      }
+    }
+  }
+
+  // ---------------- msg-dispatch ----------------
+  void CheckDispatch() {
+    if (opts_.dispatch_enum.empty()) return;
+    const EnumInfo* target = nullptr;
+    for (const EnumInfo& e : m_.enums) {
+      if (e.name == opts_.dispatch_enum) {
+        if (target != nullptr) return;  // ambiguous: bail out
+        target = &e;
+      }
+    }
+    if (target == nullptr) return;
+    std::set<std::string> all(target->enumerators.begin(),
+                              target->enumerators.end());
+    std::set<std::string> handled;
+    for (const FunctionInfo& fn : m_.functions) {
+      for (const SwitchInfo& sw : fn.switches) {
+        std::set<std::string> cases;
+        bool relevant = false;
+        for (const CaseLabel& c : sw.cases) {
+          if (c.enum_qual == opts_.dispatch_enum) {
+            relevant = true;
+            cases.insert(c.enumerator);
+          }
+        }
+        if (!relevant) continue;
+        if (fn.name == opts_.dispatch_function) {
+          handled.insert(cases.begin(), cases.end());
+        }
+        if (sw.has_default) continue;
+        std::set<std::string> missing;
+        for (const std::string& e : all) {
+          if (!cases.count(e)) missing.insert(e);
+        }
+        if (!missing.empty()) {
+          Report("msg-dispatch",
+                 sw.file_index >= 0 ? m_.files[sw.file_index].path : fn.file,
+                 sw.line,
+                 "switch on " + opts_.dispatch_enum + " in '" + fn.qual() +
+                     "' has no default and does not handle: " +
+                     Join(missing, ", "));
+        }
+      }
+    }
+    for (const std::string& e : all) {
+      if (!handled.count(e)) {
+        Report("msg-dispatch", target->file, target->line,
+               opts_.dispatch_enum + "::" + e + " is not handled by any '" +
+                   opts_.dispatch_function + "' dispatch switch");
+      }
+    }
+  }
+
+  // ---------------- codec-symmetry ----------------
+  struct Seq {
+    std::vector<CodecOp> ops;
+    std::string file;
+    int line = 0;
+  };
+
+  Seq CollectOps(const FunctionInfo& fn, const char* prefix) const {
+    Seq seq;
+    seq.file = fn.file;
+    seq.line = fn.line;
+    for (const CallSite& call : fn.calls) {
+      if (!StartsWith(call.callee, prefix)) continue;
+      CodecOp op;
+      op.kind = call.callee.substr(3);
+      op.line = call.line;
+      if (op.kind == "Vector") {
+        op.helper = call.last_ident_arg;
+        if (op.helper.empty() && call.file_index >= 0) {
+          op.helper = LastArg(m_.files[call.file_index], call.tok);
+        }
+      }
+      seq.ops.push_back(std::move(op));
+    }
+    return seq;
+  }
+
+  static std::string HelperSuffix(const std::string& helper) {
+    if (StartsWith(helper, "Put") || StartsWith(helper, "Get")) {
+      return helper.substr(3);
+    }
+    return helper;
+  }
+
+  void CompareSeqs(const std::string& what, const Seq& enc, const Seq& dec) {
+    if (enc.ops.size() != dec.ops.size()) {
+      std::ostringstream msg;
+      msg << "codec asymmetry for " << what << ": encoder writes "
+          << enc.ops.size() << " field(s) but decoder reads "
+          << dec.ops.size();
+      Report("codec-symmetry", dec.file, dec.line ? dec.line : enc.line,
+             msg.str());
+      return;
+    }
+    for (size_t i = 0; i < enc.ops.size(); ++i) {
+      const CodecOp& e = enc.ops[i];
+      const CodecOp& d = dec.ops[i];
+      if (e.kind != d.kind) {
+        std::ostringstream msg;
+        msg << "codec asymmetry for " << what << ": field #" << (i + 1)
+            << " is written as " << e.kind << " but read as " << d.kind;
+        Report("codec-symmetry", dec.file, d.line ? d.line : dec.line,
+               msg.str());
+        continue;
+      }
+      if (e.kind == "Vector" && !e.helper.empty() && !d.helper.empty() &&
+          HelperSuffix(e.helper) != HelperSuffix(d.helper)) {
+        std::ostringstream msg;
+        msg << "codec asymmetry for " << what << ": field #" << (i + 1)
+            << " vector elements are written with " << e.helper
+            << " but read with " << d.helper;
+        Report("codec-symmetry", dec.file, d.line ? d.line : dec.line,
+               msg.str());
+      }
+    }
+  }
+
+  void CheckCodec() {
+    // Encoder sequences: PayloadEncoder::operator()(const XArgs&).
+    std::map<std::string, Seq> encode;
+    // Helper pairs: PutFoo(Encoder&, ...) / GetFoo(Decoder&, ...).
+    std::map<std::string, Seq> put_helpers, get_helpers;
+    const FunctionInfo* decode_fn = nullptr;
+    for (const FunctionInfo& fn : m_.functions) {
+      if (fn.cls == "PayloadEncoder" && fn.name == "operator()" &&
+          !fn.param0_type.empty()) {
+        encode[fn.param0_type] = CollectOps(fn, "Put");
+      } else if (fn.cls.empty() && fn.name == "DecodePayload") {
+        decode_fn = &fn;
+      } else if (fn.cls.empty() && StartsWith(fn.name, "Put") &&
+                 fn.name.size() > 3 && fn.param0_type == "Encoder") {
+        put_helpers[fn.name.substr(3)] = CollectOps(fn, "Put");
+      } else if (fn.cls.empty() && StartsWith(fn.name, "Get") &&
+                 fn.name.size() > 3 && fn.param0_type == "Decoder") {
+        get_helpers[fn.name.substr(3)] = CollectOps(fn, "Get");
+      }
+    }
+    if (encode.empty() && decode_fn == nullptr) return;
+
+    // Decoder sequences: Get* calls grouped by the MsgType case label they
+    // fall under, by token position.
+    std::map<std::string, Seq> decode;
+    if (decode_fn != nullptr) {
+      for (const SwitchInfo& sw : decode_fn->switches) {
+        std::vector<CaseLabel> labels;
+        for (const CaseLabel& c : sw.cases) {
+          if (c.enum_qual == opts_.dispatch_enum || opts_.dispatch_enum.empty())
+            labels.push_back(c);
+        }
+        if (labels.empty()) continue;
+        std::sort(labels.begin(), labels.end(),
+                  [](const CaseLabel& a, const CaseLabel& b) {
+                    return a.tok < b.tok;
+                  });
+        std::string sw_file = sw.file_index >= 0
+                                  ? m_.files[sw.file_index].path
+                                  : decode_fn->file;
+        for (size_t i = 0; i < labels.size(); ++i) {
+          Seq& seq = decode[labels[i].enumerator];
+          seq.file = sw_file;
+          seq.line = labels[i].line;
+        }
+        for (const CallSite& call : decode_fn->calls) {
+          if (!StartsWith(call.callee, "Get")) continue;
+          // Find the case region containing this call.
+          const CaseLabel* owner = nullptr;
+          for (const CaseLabel& c : labels) {
+            if (c.tok < call.tok) {
+              owner = &c;
+            } else {
+              break;
+            }
+          }
+          if (owner == nullptr) continue;
+          CodecOp op;
+          op.kind = call.callee.substr(3);
+          op.line = call.line;
+          if (op.kind == "Vector") {
+            op.helper = call.last_ident_arg;
+            if (op.helper.empty() && call.file_index >= 0) {
+              op.helper = LastArg(m_.files[call.file_index], call.tok);
+            }
+          }
+          decode[owner->enumerator].ops.push_back(std::move(op));
+        }
+      }
+    }
+
+    for (const auto& kv : encode) {
+      if (!EndsWith(kv.first, "Args")) continue;
+      std::string enumerator =
+          "k" + kv.first.substr(0, kv.first.size() - 4);
+      auto dit = decode.find(enumerator);
+      if (dit == decode.end()) {
+        if (decode_fn != nullptr) {
+          Report("codec-symmetry", kv.second.file, kv.second.line,
+                 "encoder overload for " + kv.first +
+                     " has no matching decoder case MsgType::" + enumerator);
+        }
+        continue;
+      }
+      CompareSeqs(kv.first, kv.second, dit->second);
+    }
+    for (const auto& kv : decode) {
+      std::string args = kv.first.substr(1) + "Args";
+      if (!encode.empty() && !encode.count(args)) {
+        Report("codec-symmetry", kv.second.file, kv.second.line,
+               "decoder case MsgType::" + kv.first +
+                   " has no matching encoder overload for " + args);
+      }
+    }
+    for (const auto& kv : put_helpers) {
+      auto git = get_helpers.find(kv.first);
+      if (git == get_helpers.end()) {
+        Report("codec-symmetry", kv.second.file, kv.second.line,
+               "codec helper Put" + kv.first + " has no Get" + kv.first +
+                   " counterpart");
+        continue;
+      }
+      CompareSeqs("codec helper pair Put/Get" + kv.first, kv.second,
+                  git->second);
+    }
+    for (const auto& kv : get_helpers) {
+      if (!put_helpers.count(kv.first)) {
+        Report("codec-symmetry", kv.second.file, kv.second.line,
+               "codec helper Get" + kv.first + " has no Put" + kv.first +
+                   " counterpart");
+      }
+    }
+  }
+
+  const Model& m_;
+  const CheckOptions& opts_;
+  std::map<std::string, std::vector<std::string>> derived_;
+  std::set<std::string> reported_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+CheckOptions CheckOptions::Defaults() {
+  CheckOptions opts;
+  opts.ownership.push_back(OwnershipRule{
+      "fail-lock-mutation",
+      "FailLockTable",
+      {"Set", "Clear", "MergeFrom"},
+      {"site.cc", "site.h", "fail_locks.cc", "fail_locks.h"}});
+  opts.ownership.push_back(OwnershipRule{
+      "session-mutation",
+      "SessionVector",
+      {"Set", "MarkDown", "MarkUp", "MergeFrom"},
+      {"site.cc", "site.h", "session_vector.cc", "session_vector.h"}});
+  opts.blocking_free = {"sleep_for", "sleep_until", "usleep",  "sleep",
+                        "nanosleep", "recv",        "send",    "accept",
+                        "connect",   "poll",        "select",  "fsync",
+                        "fdatasync", "system"};
+  opts.blocking_members = {{"CondVar", {"Wait", "WaitFor", "WaitUntil"}},
+                           {"thread", {"join"}}};
+  opts.dispatch_enum = "MsgType";
+  opts.dispatch_function = "OnMessage";
+  return opts;
+}
+
+std::vector<Finding> RunChecks(const Model& model, const CheckOptions& opts) {
+  Checker checker(model, opts);
+  return checker.Run();
+}
+
+}  // namespace analyze
+}  // namespace miniraid

@@ -1,0 +1,483 @@
+// Clang LibTooling frontend: builds the same Model the built-in indexer
+// produces, but from the real AST — types are resolved by the compiler, so
+// receiver resolution, alias chasing and overload selection are exact.
+//
+// Only compiled when MINIRAID_ANALYZE_CLANG=ON (requires the libclang-dev /
+// llvm-dev packages; CI installs them, local dev containers may not have
+// them — the built-in indexer is the default frontend everywhere).
+//
+// Translation units are the .cc files among the inputs, driven by the
+// compile_commands.json the build exports; facts about headers are picked
+// up while parsing the TUs and deduplicated by merge key, mirroring
+// Indexer::Build. CallSite/CaseLabel `tok` fields carry source offsets
+// (only their relative order matters to the checks), and vector-element
+// helpers are pre-resolved into CallSite::last_ident_arg since there is no
+// token stream to recover them from.
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/ArgumentsAdjusters.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+namespace miniraid {
+namespace analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Canonical(const std::string& path) {
+  std::error_code ec;
+  fs::path p = fs::weakly_canonical(fs::path(path), ec);
+  return ec ? path : p.string();
+}
+
+// Shared state across all TUs: the model under construction plus the
+// merge-key maps that deduplicate redeclarations seen in many TUs.
+struct Collector {
+  Model* model = nullptr;
+  std::map<std::string, int> file_index;  // canonical path -> files[] index
+  std::map<std::string, int> fn_index;    // merge key -> functions[] index
+
+  int FileIndexFor(const std::string& canonical_path) const {
+    auto it = file_index.find(canonical_path);
+    return it == file_index.end() ? -1 : it->second;
+  }
+};
+
+// Core type name: the class name with references, cv-qualifiers and sugar
+// stripped — "const TxnRequestArgs&" -> "TxnRequestArgs".
+std::string CoreTypeName(clang::QualType qt) {
+  if (qt.isNull()) return "";
+  qt = qt.getNonReferenceType();
+  if (qt->isPointerType()) qt = qt->getPointeeType();
+  qt = qt.getUnqualifiedType();
+  if (const clang::CXXRecordDecl* rd = qt->getAsCXXRecordDecl()) {
+    return rd->getNameAsString();
+  }
+  if (const clang::EnumType* et = qt->getAs<clang::EnumType>()) {
+    return et->getDecl()->getNameAsString();
+  }
+  return "";
+}
+
+Ctx CtxFromAttrs(const clang::Decl* d) {
+  for (const clang::AnnotateAttr* a :
+       d->specific_attrs<clang::AnnotateAttr>()) {
+    llvm::StringRef ann = a->getAnnotation();
+    if (ann.startswith("mr_runs_on:")) {
+      return ParseCtx(ann.drop_front(11).str());
+    }
+  }
+  return Ctx::kNone;
+}
+
+// Collects calls and switches from one function body into `fn`, tracking
+// lambda nesting (calls inside a lambda body belong to the enclosing
+// function record but are flagged in_lambda).
+class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
+ public:
+  BodyVisitor(const Collector& collector, clang::ASTContext& ctx,
+              FunctionInfo* fn)
+      : collector_(collector), sm_(ctx.getSourceManager()), fn_(fn) {}
+
+  bool TraverseLambdaExpr(clang::LambdaExpr* e) {
+    ++lambda_depth_;
+    bool result =
+        clang::RecursiveASTVisitor<BodyVisitor>::TraverseLambdaExpr(e);
+    --lambda_depth_;
+    return result;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* e) {
+    const clang::CXXMethodDecl* method = e->getMethodDecl();
+    if (method == nullptr) return true;
+    CallSite call = BaseCall(e->getExprLoc());
+    call.callee = method->getNameAsString();
+    call.is_member = true;
+    if (const clang::Expr* obj = e->getImplicitObjectArgument()) {
+      call.receiver_type = CoreTypeName(obj->getType());
+    }
+    if (call.receiver_type.empty() && method->getParent() != nullptr) {
+      call.receiver_type = method->getParent()->getNameAsString();
+    }
+    RecordLastIdentArg(e, &call);
+    fn_->calls.push_back(std::move(call));
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* e) {
+    if (llvm::isa<clang::CXXMemberCallExpr>(e) ||
+        llvm::isa<clang::CXXOperatorCallExpr>(e)) {
+      return true;  // handled above / not modelled
+    }
+    const clang::FunctionDecl* callee = e->getDirectCallee();
+    if (callee == nullptr) return true;
+    CallSite call = BaseCall(e->getExprLoc());
+    call.callee = callee->getNameAsString();
+    if (const clang::CXXMethodDecl* method =
+            llvm::dyn_cast<clang::CXXMethodDecl>(callee)) {
+      // Qualified static call (Status::IoError(...)).
+      call.is_member = true;
+      call.receiver_type = method->getParent()->getNameAsString();
+    } else {
+      call.qualified = callee->getDeclContext()->isNamespace() ||
+                       e->getCallee()->getType().isNull();
+    }
+    RecordLastIdentArg(e, &call);
+    fn_->calls.push_back(std::move(call));
+    return true;
+  }
+
+  bool VisitSwitchStmt(clang::SwitchStmt* s) {
+    SwitchInfo sw;
+    clang::SourceLocation loc = sm_.getExpansionLoc(s->getSwitchLoc());
+    sw.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+    sw.file_index =
+        collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+    for (const clang::SwitchCase* sc = s->getSwitchCaseList(); sc != nullptr;
+         sc = sc->getNextSwitchCase()) {
+      if (llvm::isa<clang::DefaultStmt>(sc)) {
+        sw.has_default = true;
+        continue;
+      }
+      const clang::CaseStmt* cs = llvm::dyn_cast<clang::CaseStmt>(sc);
+      if (cs == nullptr) continue;
+      const clang::Expr* lhs = cs->getLHS();
+      if (lhs == nullptr) continue;
+      while (const clang::ConstantExpr* ce =
+                 llvm::dyn_cast<clang::ConstantExpr>(lhs)) {
+        lhs = ce->getSubExpr();
+      }
+      lhs = lhs->IgnoreParenImpCasts();
+      const clang::DeclRefExpr* ref = llvm::dyn_cast<clang::DeclRefExpr>(lhs);
+      if (ref == nullptr) continue;
+      const clang::EnumConstantDecl* ecd =
+          llvm::dyn_cast<clang::EnumConstantDecl>(ref->getDecl());
+      if (ecd == nullptr) continue;
+      CaseLabel label;
+      label.enumerator = ecd->getNameAsString();
+      if (const clang::EnumDecl* ed =
+              llvm::dyn_cast<clang::EnumDecl>(ecd->getDeclContext())) {
+        label.enum_qual = ed->getNameAsString();
+      }
+      clang::SourceLocation case_loc = sm_.getExpansionLoc(cs->getCaseLoc());
+      label.line = static_cast<int>(sm_.getExpansionLineNumber(case_loc));
+      label.tok = sm_.getFileOffset(case_loc);
+      sw.cases.push_back(std::move(label));
+    }
+    fn_->switches.push_back(std::move(sw));
+    return true;
+  }
+
+ private:
+  CallSite BaseCall(clang::SourceLocation loc) {
+    CallSite call;
+    loc = sm_.getExpansionLoc(loc);
+    call.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+    call.file_index =
+        collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+    call.tok = sm_.getFileOffset(loc);
+    call.in_lambda = lambda_depth_ > 0;
+    return call;
+  }
+
+  // The element-helper argument of PutVector/GetVector calls, when it is a
+  // plain function reference.
+  static void RecordLastIdentArg(const clang::CallExpr* e, CallSite* call) {
+    if (e->getNumArgs() == 0) return;
+    const clang::Expr* last = e->getArg(e->getNumArgs() - 1);
+    if (last == nullptr) return;
+    last = last->IgnoreParenImpCasts();
+    if (const clang::DeclRefExpr* ref =
+            llvm::dyn_cast<clang::DeclRefExpr>(last)) {
+      if (llvm::isa<clang::FunctionDecl>(ref->getDecl()) ||
+          llvm::isa<clang::VarDecl>(ref->getDecl())) {
+        call->last_ident_arg = ref->getDecl()->getNameAsString();
+      }
+    }
+  }
+
+  const Collector& collector_;
+  const clang::SourceManager& sm_;
+  FunctionInfo* fn_;
+  int lambda_depth_ = 0;
+};
+
+class IndexVisitor : public clang::RecursiveASTVisitor<IndexVisitor> {
+ public:
+  IndexVisitor(Collector* collector, clang::ASTContext& ctx)
+      : collector_(collector), ctx_(ctx), sm_(ctx.getSourceManager()) {}
+
+  bool VisitCXXRecordDecl(clang::CXXRecordDecl* d) {
+    if (!d->isThisDeclarationADefinition() || d->getName().empty()) {
+      return true;
+    }
+    if (d->isLambda()) return true;
+    std::string file;
+    int line = 0;
+    if (!LocateInModel(d->getLocation(), &file, &line)) return true;
+    ClassInfo& cls = collector_->model->classes[d->getNameAsString()];
+    if (cls.name.empty()) {
+      cls.name = d->getNameAsString();
+      cls.is_struct = d->isStruct();
+      cls.file = file;
+      cls.line = line;
+      for (const clang::CXXBaseSpecifier& base : d->bases()) {
+        std::string name = CoreTypeName(base.getType());
+        if (!name.empty()) cls.bases.push_back(name);
+      }
+      for (const clang::FieldDecl* f : d->fields()) {
+        std::string type = CoreTypeName(f->getType());
+        if (!type.empty()) cls.fields[f->getNameAsString()] = type;
+      }
+    }
+    for (const clang::CXXMethodDecl* m : d->methods()) {
+      if (m->isImplicit()) continue;
+      cls.methods.insert(m->getNameAsString());
+      std::string ret = CoreTypeName(m->getReturnType());
+      if (!ret.empty()) cls.method_ret[m->getNameAsString()] = ret;
+    }
+    return true;
+  }
+
+  bool VisitEnumDecl(clang::EnumDecl* d) {
+    if (!d->isThisDeclarationADefinition() || d->getName().empty()) {
+      return true;
+    }
+    std::string file;
+    int line = 0;
+    if (!LocateInModel(d->getLocation(), &file, &line)) return true;
+    for (const EnumInfo& existing : collector_->model->enums) {
+      if (existing.name == d->getNameAsString() && existing.file == file &&
+          existing.line == line) {
+        return true;  // already recorded from another TU
+      }
+    }
+    EnumInfo info;
+    info.name = d->getNameAsString();
+    if (const clang::CXXRecordDecl* scope = llvm::dyn_cast<clang::CXXRecordDecl>(
+            d->getDeclContext())) {
+      info.scope = scope->getNameAsString();
+    }
+    info.file = file;
+    info.line = line;
+    for (const clang::EnumConstantDecl* e : d->enumerators()) {
+      info.enumerators.push_back(e->getNameAsString());
+    }
+    collector_->model->enums.push_back(std::move(info));
+    return true;
+  }
+
+  bool VisitFunctionDecl(clang::FunctionDecl* d) {
+    if (d->isImplicit() || llvm::isa<clang::CXXDeductionGuideDecl>(d)) {
+      return true;
+    }
+    const clang::CXXMethodDecl* method =
+        llvm::dyn_cast<clang::CXXMethodDecl>(d);
+    if (method != nullptr && method->getParent()->isLambda()) return true;
+    std::string file;
+    int line = 0;
+    if (!LocateInModel(d->getLocation(), &file, &line)) return true;
+
+    FunctionInfo fn;
+    fn.name = d->getNameAsString();
+    if (method != nullptr) fn.cls = method->getParent()->getNameAsString();
+    fn.is_ctor_dtor = llvm::isa<clang::CXXConstructorDecl>(d) ||
+                      llvm::isa<clang::CXXDestructorDecl>(d);
+    fn.is_operator = d->isOverloadedOperator();
+    fn.is_static = method != nullptr ? method->isStatic()
+                                     : !d->isExternallyVisible();
+    fn.is_public = method == nullptr || d->getAccess() == clang::AS_public;
+    fn.file = file;
+    fn.line = line;
+    fn.file_index = collector_->FileIndexFor(
+        Canonical(sm_.getFilename(sm_.getExpansionLoc(d->getLocation())).str()));
+    fn.ctx = CtxFromAttrs(d);
+    if (d->getNumParams() > 0) {
+      fn.param0_type = CoreTypeName(d->getParamDecl(0)->getType());
+    }
+    fn.key = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+    if (fn.name == "operator()") fn.key += "@" + fn.param0_type;
+
+    bool has_body = d->doesThisDeclarationHaveABody();
+    Model* model = collector_->model;
+    auto it = collector_->fn_index.find(fn.key);
+    int index;
+    if (it == collector_->fn_index.end()) {
+      index = static_cast<int>(model->functions.size());
+      collector_->fn_index[fn.key] = index;
+      model->functions.push_back(std::move(fn));
+    } else {
+      index = it->second;
+      FunctionInfo& existing = model->functions[index];
+      if (existing.ctx == Ctx::kNone) existing.ctx = fn.ctx;
+      // Prefer the header declaration site for diagnostics, matching the
+      // built-in indexer's headers-first merge order.
+      bool existing_is_header =
+          existing.file.size() > 2 &&
+          existing.file.compare(existing.file.size() - 2, 2, ".h") == 0;
+      bool new_is_header = file.size() > 2 &&
+                           file.compare(file.size() - 2, 2, ".h") == 0;
+      if (new_is_header && !existing_is_header) {
+        existing.file = file;
+        existing.line = line;
+        existing.file_index = fn.file_index;
+        existing.is_public = fn.is_public;
+        if (fn.ctx != Ctx::kNone) existing.ctx = fn.ctx;
+      }
+    }
+
+    if (has_body && !model->functions[index].is_defn) {
+      model->functions[index].is_defn = true;
+      BodyVisitor body(*collector_, ctx_, &model->functions[index]);
+      body.TraverseStmt(d->getBody());
+    }
+    return true;
+  }
+
+ private:
+  // Maps a location to a scanned input file; false for everything else
+  // (system headers, gtest, generated code).
+  bool LocateInModel(clang::SourceLocation loc, std::string* file,
+                     int* line) {
+    loc = sm_.getExpansionLoc(loc);
+    if (loc.isInvalid()) return false;
+    int index = collector_->FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+    if (index < 0) return false;
+    *file = collector_->model->files[index].path;
+    *line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+    return true;
+  }
+
+  Collector* collector_;
+  clang::ASTContext& ctx_;
+  const clang::SourceManager& sm_;
+};
+
+class IndexConsumer : public clang::ASTConsumer {
+ public:
+  explicit IndexConsumer(Collector* collector) : collector_(collector) {}
+
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    IndexVisitor visitor(collector_, ctx);
+    visitor.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+ private:
+  Collector* collector_;
+};
+
+class IndexAction : public clang::ASTFrontendAction {
+ public:
+  explicit IndexAction(Collector* collector) : collector_(collector) {}
+
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance& /*ci*/, llvm::StringRef /*file*/) override {
+    return std::make_unique<IndexConsumer>(collector_);
+  }
+
+ private:
+  Collector* collector_;
+};
+
+class IndexActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit IndexActionFactory(Collector* collector) : collector_(collector) {}
+
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<IndexAction>(collector_);
+  }
+
+ private:
+  Collector* collector_;
+};
+
+}  // namespace
+
+int RunClangFrontend(const std::vector<std::string>& files,
+                     const std::string& build_path, Model* model,
+                     std::string* error) {
+  // The model still needs per-file suppression maps (and paths for
+  // diagnostics); lex each input for its allow comments only. Token streams
+  // are dropped — offsets from the AST replace them.
+  Collector collector;
+  collector.model = model;
+  std::vector<std::string> tus;
+  for (const std::string& f : files) {
+    std::ifstream in(f);
+    if (!in) {
+      *error = "cannot read " + f;
+      return 1;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    SourceFile lexed = LexFile(f, content.str());
+    lexed.tokens.clear();
+    collector.file_index[Canonical(f)] =
+        static_cast<int>(model->files.size());
+    model->files.push_back(std::move(lexed));
+    if (f.size() > 3 && f.compare(f.size() - 3, 3, ".cc") == 0) {
+      tus.push_back(f);
+    }
+  }
+  if (tus.empty()) {
+    *error = "no .cc translation units among the inputs";
+    return 1;
+  }
+
+  std::string db_error;
+  std::unique_ptr<clang::tooling::CompilationDatabase> db;
+  if (!build_path.empty()) {
+    db = clang::tooling::CompilationDatabase::loadFromDirectory(build_path,
+                                                                db_error);
+  } else {
+    db = clang::tooling::CompilationDatabase::autoDetectFromSource(tus[0],
+                                                                   db_error);
+  }
+  if (db == nullptr) {
+    *error = "no compilation database: " + db_error +
+             " (configure a build first; pass -p <build-dir>)";
+    return 1;
+  }
+
+  clang::tooling::ClangTool tool(*db, tus);
+  // The tool re-parses the tree with whatever warnings the database
+  // recorded; findings are the analyzer's job, so silence diagnostics.
+  tool.appendArgumentsAdjuster(clang::tooling::getInsertArgumentAdjuster(
+      "-Wno-everything", clang::tooling::ArgumentInsertPosition::END));
+  IndexActionFactory factory(&collector);
+  if (tool.run(&factory) != 0) {
+    *error = "one or more translation units failed to parse";
+    return 1;
+  }
+
+  for (size_t i = 0; i < model->functions.size(); ++i) {
+    const FunctionInfo& fn = model->functions[i];
+    model->by_key[fn.key].push_back(static_cast<int>(i));
+    model->by_name[fn.name].push_back(static_cast<int>(i));
+  }
+  return 0;
+}
+
+}  // namespace analyze
+}  // namespace miniraid

@@ -1,0 +1,1066 @@
+// Built-in frontend: a two-pass syntactic indexer that builds the analysis
+// Model without a compiler. Pass 1 records declarations (classes, bases,
+// fields, method signatures, enums, aliases, MR_RUNS_ON annotations); pass 2
+// parses function bodies, resolving member-call receivers through locals,
+// parameters, fields (including inherited ones), accessor return types, and
+// type aliases. It is deliberately conservative: anything it cannot resolve
+// produces *no* call edge rather than a guess, and the Clang frontend
+// (clang_frontend.cc) provides exact resolution where this one approximates.
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+#include "analyzer.h"
+
+namespace miniraid {
+namespace analyze {
+
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsTypeKeyword(const std::string& s) {
+  static const std::set<std::string>* kWords = new std::set<std::string>{
+      "void", "bool", "char", "int", "unsigned", "signed", "short", "long",
+      "float", "double", "auto", "wchar_t", "size_t", "int8_t", "uint8_t",
+      "int16_t", "uint16_t", "int32_t", "uint32_t", "int64_t", "uint64_t"};
+  return kWords->count(s) > 0;
+}
+
+bool IsDeclSkipWord(const std::string& s) {
+  static const std::set<std::string>* kWords = new std::set<std::string>{
+      "const",    "constexpr", "static",   "inline",   "mutable",
+      "volatile", "virtual",   "explicit", "unsigned", "signed",
+      "struct",   "class",     "enum",     "typename", "register",
+      "extern",   "thread_local", "override", "final",  "noexcept",
+      "long",     "short"};
+  return kWords->count(s) > 0;
+}
+
+bool IsStmtKeyword(const std::string& s) {
+  static const std::set<std::string>* kWords = new std::set<std::string>{
+      "if",       "for",         "while",    "do",         "else",
+      "return",   "break",       "continue", "goto",       "new",
+      "delete",   "throw",       "try",      "catch",      "sizeof",
+      "alignof",  "decltype",    "typename", "template",   "true",
+      "false",    "nullptr",     "const",    "constexpr",  "static",
+      "struct",   "class",       "enum",     "public",     "private",
+      "protected", "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast", "static_assert", "co_return", "co_await",
+      "co_yield", "operator",    "noexcept", "mutable",    "inline",
+      "volatile", "unsigned",    "signed",   "long",       "short",
+      "else"};
+  return kWords->count(s) > 0;
+}
+
+// All-caps identifiers are macro invocations (MR_CHECK, EXPECT_EQ, ...);
+// their argument tokens are still scanned, but the name itself is not a call.
+bool IsMacroName(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+struct Parser {
+  Model* model;
+  SourceFile* file;
+  int file_index;
+  bool bodies;  // pass 2?
+
+  const std::vector<Token>& toks() const { return file->tokens; }
+  size_t size() const { return file->tokens.size(); }
+  const std::string& Text(size_t i) const {
+    static const std::string kEmpty;
+    return i < size() ? file->tokens[i].text : kEmpty;
+  }
+  Token::Kind Kind(size_t i) const {
+    return i < size() ? file->tokens[i].kind : Token::kPunct;
+  }
+  int Line(size_t i) const {
+    return i < size() ? file->tokens[i].line : 0;
+  }
+
+  // `i` is at an opening ( { [ ; returns the index *after* the matching
+  // closer (clamped to end on malformed input).
+  size_t SkipBalanced(size_t i) const {
+    const std::string& open = Text(i);
+    std::string close = open == "(" ? ")" : open == "{" ? "}" : "]";
+    int depth = 0;
+    for (; i < size(); ++i) {
+      if (Text(i) == open) {
+        ++depth;
+      } else if (Text(i) == close) {
+        if (--depth == 0) return i + 1;
+      }
+    }
+    return size();
+  }
+
+  // `i` is at '<'; returns index after the matching '>'. Bails out (returns
+  // i + 1) if the run hits ';' or '{', which means this was a comparison.
+  size_t SkipAngles(size_t i) const {
+    int depth = 0;
+    size_t start = i;
+    for (; i < size(); ++i) {
+      const std::string& t = Text(i);
+      if (t == "<") {
+        ++depth;
+      } else if (t == ">") {
+        if (--depth == 0) return i + 1;
+      } else if (t == ";" || t == "{") {
+        return start + 1;
+      }
+    }
+    return start + 1;
+  }
+
+  // Extracts the "core" user-type name from a declaration-ish token span:
+  // skips cv/storage keywords and attribute macros, takes the first
+  // identifier chain (a::b::c<...>), and returns its last component.
+  std::string CoreType(size_t begin, size_t end) const {
+    for (size_t i = begin; i < end; ++i) {
+      if (Kind(i) != Token::kIdent) continue;
+      const std::string& t = Text(i);
+      if (IsDeclSkipWord(t)) continue;
+      if (t == "MR_RUNS_ON" || (IsMacroName(t) && Text(i + 1) == "(")) {
+        if (Text(i + 1) == "(") i = SkipBalanced(i + 1) - 1;
+        continue;
+      }
+      // Identifier chain.
+      std::string last = t;
+      size_t j = i + 1;
+      while (j + 1 < end) {
+        if (Text(j) == "<") {
+          j = SkipAngles(j);
+          continue;
+        }
+        if (Text(j) == "::" && Kind(j + 1) == Token::kIdent) {
+          last = Text(j + 1);
+          j += 2;
+          continue;
+        }
+        break;
+      }
+      return last;
+    }
+    return "";
+  }
+
+  ClassInfo* GetClass(const std::string& name) {
+    ClassInfo& c = model->classes[name];
+    if (c.name.empty()) {
+      c.name = name;
+      c.file = file->path;
+    }
+    return &c;
+  }
+
+  FunctionInfo* GetFunction(const std::string& key) {
+    auto it = model->by_key.find(key);
+    if (it != model->by_key.end()) {
+      return &model->functions[it->second.front()];
+    }
+    model->functions.emplace_back();
+    int idx = static_cast<int>(model->functions.size()) - 1;
+    model->by_key[key].push_back(idx);
+    FunctionInfo* fn = &model->functions[idx];
+    fn->key = key;
+    return fn;
+  }
+
+  // ------------------------------------------------------------------
+  // Declaration scope (namespace / file / class body).
+  // ------------------------------------------------------------------
+  void ParseDeclScope(size_t begin, size_t end, const std::string& cls,
+                      bool is_struct) {
+    std::string access = cls.empty() || is_struct ? "public" : "private";
+    size_t i = begin;
+    while (i < end) {
+      const std::string& t = Text(i);
+      if (t == ";" || t == "}") {
+        ++i;
+        continue;
+      }
+      if (Kind(i) == Token::kIdent) {
+        if (t == "namespace") {
+          i = ParseNamespace(i, end);
+          continue;
+        }
+        if (t == "template") {
+          ++i;
+          if (Text(i) == "<") i = SkipAngles(i);
+          continue;
+        }
+        if (t == "extern") {
+          if (Kind(i + 1) == Token::kString && Text(i + 2) == "{") {
+            size_t close = SkipBalanced(i + 2);
+            ParseDeclScope(i + 3, close - 1, cls, is_struct);
+            i = close;
+            continue;
+          }
+          ++i;
+          continue;
+        }
+        if (t == "using" || t == "typedef") {
+          i = ParseAlias(i, end);
+          continue;
+        }
+        if (t == "friend" || t == "static_assert") {
+          while (i < end && Text(i) != ";") {
+            if (Text(i) == "{") {
+              i = SkipBalanced(i);
+              break;
+            }
+            ++i;
+          }
+          ++i;
+          continue;
+        }
+        if ((t == "public" || t == "private" || t == "protected") &&
+            Text(i + 1) == ":") {
+          access = t;
+          i += 2;
+          continue;
+        }
+        if (t == "enum") {
+          i = ParseEnum(i, end, cls);
+          continue;
+        }
+        if ((t == "class" || t == "struct") && LooksLikeClassDef(i, end)) {
+          i = ParseClass(i, end);
+          continue;
+        }
+        i = ParseDeclaration(i, end, cls, access);
+        continue;
+      }
+      if (t == "[" && Text(i + 1) == "[") {
+        i = SkipBalanced(i);
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  size_t ParseNamespace(size_t i, size_t end) {
+    ++i;  // 'namespace'
+    while (i < end && (Kind(i) == Token::kIdent || Text(i) == "::")) ++i;
+    if (Text(i) == "=") {  // namespace alias
+      while (i < end && Text(i) != ";") ++i;
+      return i + 1;
+    }
+    if (Text(i) == "{") {
+      size_t close = SkipBalanced(i);
+      ParseDeclScope(i + 1, close - 1, "", false);
+      return close;
+    }
+    return i + 1;
+  }
+
+  size_t ParseAlias(size_t i, size_t end) {
+    bool is_typedef = Text(i) == "typedef";
+    size_t begin = i + 1;
+    size_t semi = begin;
+    while (semi < end && Text(semi) != ";") {
+      if (Text(semi) == "{") {
+        semi = SkipBalanced(semi) - 1;
+      }
+      ++semi;
+    }
+    if (is_typedef) {
+      // typedef <type tokens> NAME;
+      if (semi > begin + 1 && Kind(semi - 1) == Token::kIdent) {
+        std::string target = CoreType(begin, semi - 1);
+        if (!target.empty()) model->aliases[Text(semi - 1)] = target;
+      }
+    } else if (Text(begin) != "namespace") {
+      // using NAME = <type tokens>;
+      if (Kind(begin) == Token::kIdent && Text(begin + 1) == "=") {
+        std::string target = CoreType(begin + 2, semi);
+        if (!target.empty()) model->aliases[Text(begin)] = target;
+      }
+    }
+    return semi + 1;
+  }
+
+  size_t ParseEnum(size_t i, size_t end, const std::string& cls) {
+    ++i;  // 'enum'
+    if (Text(i) == "class" || Text(i) == "struct") ++i;
+    std::string name;
+    if (Kind(i) == Token::kIdent) {
+      name = Text(i);
+      ++i;
+    }
+    while (i < end && Text(i) != "{" && Text(i) != ";") ++i;  // ': uint8_t'
+    if (i >= end || Text(i) == ";") return i + 1;
+    size_t close = SkipBalanced(i);
+    if (!bodies && !name.empty()) {
+      EnumInfo info;
+      info.name = name;
+      info.scope = cls;
+      info.file = file->path;
+      info.line = Line(i);
+      // Enumerators: identifiers directly after '{' or ','.
+      bool expect = true;
+      int depth = 0;
+      for (size_t j = i + 1; j + 1 < close; ++j) {
+        const std::string& t = Text(j);
+        if (t == "(" || t == "{" || t == "[") {
+          j = SkipBalanced(j) - 1;
+          continue;
+        }
+        if (t == ",") {
+          expect = true;
+          continue;
+        }
+        if (expect && Kind(j) == Token::kIdent) {
+          info.enumerators.push_back(t);
+          expect = false;
+        }
+      }
+      (void)depth;
+      model->enums.push_back(std::move(info));
+    }
+    return close;
+  }
+
+  bool LooksLikeClassDef(size_t i, size_t end) const {
+    // 'class'/'struct' introduces a definition or forward declaration if a
+    // '{' or ';' appears before any '=' or '(' — otherwise it is an
+    // elaborated type in some declaration.
+    for (size_t j = i + 1; j < end && j < i + 24; ++j) {
+      const std::string& t = Text(j);
+      if (t == "{" || t == ";") return true;
+      if (t == "=" || t == "(" || t == ")") return false;
+    }
+    return false;
+  }
+
+  size_t ParseClass(size_t i, size_t end) {
+    bool is_struct = Text(i) == "struct";
+    ++i;
+    // Skip attribute macros, take the name.
+    std::string name;
+    while (i < end) {
+      if (Kind(i) == Token::kIdent) {
+        if (IsMacroName(Text(i)) && Text(i + 1) == "(") {
+          i = SkipBalanced(i + 1);
+          continue;
+        }
+        if (Text(i) == "final") {
+          ++i;
+          continue;
+        }
+        name = Text(i);
+        ++i;
+        break;
+      }
+      if (Text(i) == "[" && Text(i + 1) == "[") {
+        i = SkipBalanced(i);
+        continue;
+      }
+      break;
+    }
+    if (Text(i) == "final") ++i;
+    if (Text(i) == ";") return i + 1;  // forward declaration
+    std::vector<std::string> bases;
+    if (Text(i) == ":") {
+      size_t base_begin = ++i;
+      while (i < end && Text(i) != "{" && Text(i) != ";") ++i;
+      // Split base-clause on top-level ','.
+      size_t seg = base_begin;
+      for (size_t j = base_begin; j <= i; ++j) {
+        if (j == i || Text(j) == ",") {
+          // CoreType takes the first identifier, so the access specifier
+          // must be stepped over, not filtered out after the fact.
+          size_t s = seg;
+          while (s < j && (Text(s) == "public" || Text(s) == "protected" ||
+                           Text(s) == "private" || Text(s) == "virtual")) {
+            ++s;
+          }
+          std::string b = CoreType(s, j);
+          if (!b.empty()) bases.push_back(b);
+          seg = j + 1;
+        } else if (Text(j) == "<") {
+          j = SkipAngles(j) - 1;
+        }
+      }
+    }
+    if (Text(i) != "{") return i + 1;
+    size_t close = SkipBalanced(i);
+    if (!name.empty()) {
+      ClassInfo* info = GetClass(name);
+      info->is_struct = is_struct;
+      if (!bodies) {
+        info->line = Line(i);
+        info->file = file->path;
+        for (const std::string& b : bases) {
+          if (std::find(info->bases.begin(), info->bases.end(), b) ==
+              info->bases.end()) {
+            info->bases.push_back(b);
+          }
+        }
+      }
+      ParseDeclScope(i + 1, close - 1, name, is_struct);
+    } else {
+      ParseDeclScope(i + 1, close - 1, "", true);
+    }
+    // Optional trailing declarator: `} instance_;`
+    size_t j = close;
+    while (j < end && Kind(j) == Token::kIdent) ++j;
+    if (j < end && Text(j) == ";") return j + 1;
+    return close;
+  }
+
+  // ------------------------------------------------------------------
+  // A single declaration at class or namespace scope: field, alias-free
+  // variable, or function (with optional body).
+  // ------------------------------------------------------------------
+  size_t ParseDeclaration(size_t i, size_t end, const std::string& cls,
+                          const std::string& access) {
+    size_t start = i;
+    int paren = 0;
+    size_t paren_open = kNpos, paren_close = kNpos;
+    bool seen_eq = false, after_params = false, expect_params = false;
+    bool has_body = false, is_defaulted = false;
+    size_t body_open = kNpos;
+    Ctx ctx = Ctx::kNone;
+    bool is_static = false, is_operator = false;
+    std::string op_name;
+    size_t j = i;
+    size_t last_ident = kNpos;  // candidate field name
+
+    while (j < end) {
+      const std::string& t = Text(j);
+      if (Kind(j) == Token::kIdent) {
+        if (t == "MR_RUNS_ON" && Text(j + 1) == "(" &&
+            Kind(j + 2) == Token::kIdent && Text(j + 3) == ")") {
+          ctx = ParseCtx(Text(j + 2));
+          j += 4;
+          continue;
+        }
+        if (IsMacroName(t) && Text(j + 1) == "(" && paren == 0) {
+          j = SkipBalanced(j + 1);
+          continue;
+        }
+        if (t == "static" && paren == 0) is_static = true;
+        if (t == "operator" && paren == 0 && !seen_eq) {
+          is_operator = true;
+          op_name = "operator";
+          size_t k = j + 1;
+          if (Text(k) == "(" && Text(k + 1) == ")") {
+            op_name += "()";
+            k += 2;
+          } else {
+            while (k < end && Kind(k) == Token::kPunct && Text(k) != "(" &&
+                   Text(k) != ";") {
+              op_name += Text(k);
+              ++k;
+            }
+            if (Kind(k) == Token::kIdent) {
+              // conversion operator: `operator bool()`
+              op_name += " " + Text(k);
+              ++k;
+            }
+          }
+          expect_params = true;
+          j = k;
+          continue;
+        }
+        if (paren == 0 && !seen_eq && !IsDeclSkipWord(t)) last_ident = j;
+        ++j;
+        continue;
+      }
+      if (t == "(") {
+        if (paren == 0 && paren_open == kNpos && !seen_eq &&
+            (expect_params ||
+             (j > start && Kind(j - 1) == Token::kIdent &&
+              !IsTypeKeyword(Text(j - 1)) && !IsDeclSkipWord(Text(j - 1))))) {
+          paren_open = j;
+        }
+        ++paren;
+        ++j;
+        continue;
+      }
+      if (t == ")") {
+        --paren;
+        if (paren == 0 && paren_open != kNpos && paren_close == kNpos) {
+          paren_close = j;
+          after_params = true;
+        }
+        ++j;
+        continue;
+      }
+      if (paren > 0) {
+        ++j;
+        continue;
+      }
+      if (t == "<" && !seen_eq && !after_params) {
+        j = SkipAngles(j);
+        continue;
+      }
+      if (t == "[") {
+        j = SkipBalanced(j);
+        continue;
+      }
+      if (t == "=") {
+        if (after_params) {
+          is_defaulted = true;  // = default / = delete / = 0
+        } else {
+          seen_eq = true;
+        }
+        ++j;
+        continue;
+      }
+      if (t == ":" && after_params) {
+        // Constructor initializer list: consume until the body '{'.
+        ++j;
+        while (j < end && Text(j) != "{" && Text(j) != ";") {
+          if (Text(j) == "(" || Text(j) == "[") {
+            j = SkipBalanced(j);
+          } else if (Text(j) == "<") {
+            j = SkipAngles(j);
+          } else {
+            ++j;
+          }
+        }
+        continue;
+      }
+      if (t == "{") {
+        if (after_params && !is_defaulted) {
+          has_body = true;
+          body_open = j;
+          break;
+        }
+        j = SkipBalanced(j);  // brace initializer
+        continue;
+      }
+      if (t == ";") break;
+      ++j;
+    }
+
+    size_t next_i = j < end ? j + 1 : end;
+    if (has_body) next_i = SkipBalanced(body_open);
+    if (next_i <= i) next_i = i + 1;
+
+    const bool is_function = paren_open != kNpos;
+    if (!is_function) {
+      // Field / variable.
+      if (!bodies && !cls.empty() && last_ident != kNpos) {
+        std::string fname = Text(last_ident);
+        std::string ftype = CoreType(start, last_ident);
+        if (!fname.empty() && !ftype.empty()) {
+          GetClass(cls)->fields[fname] = ftype;
+        }
+      }
+      return next_i;
+    }
+
+    // Function name (and possibly out-of-class qualifier).
+    std::string name, fn_cls = cls;
+    bool ctor_dtor = false;
+    if (is_operator) {
+      name = op_name;
+      // Out-of-class operator definitions: `Foo::operator()(...)`.
+      // (Scan back from 'operator' is skipped; in-class is the common case.)
+    } else {
+      size_t k = paren_open - 1;
+      if (Kind(k) != Token::kIdent) return next_i;
+      name = Text(k);
+      if (k > start && Text(k - 1) == "~") {
+        name = "~" + name;
+        ctor_dtor = true;
+        --k;
+      }
+      // Qualified name: A::B::name — last qualifier is the class.
+      while (k >= 2 && Text(k - 1) == "::" && Kind(k - 2) == Token::kIdent) {
+        fn_cls = Text(k - 2);
+        k -= 2;
+        break;  // only the innermost qualifier matters
+      }
+      if (IsTypeKeyword(name) || IsStmtKeyword(name)) return next_i;
+      if (name == fn_cls) ctor_dtor = true;
+    }
+
+    // First parameter's core type (for operator() keying and codec helpers).
+    std::string param0;
+    {
+      size_t p_end = paren_close;
+      for (size_t k = paren_open + 1; k < paren_close; ++k) {
+        if (Text(k) == "(" || Text(k) == "[" || Text(k) == "{") {
+          k = SkipBalanced(k) - 1;
+        } else if (Text(k) == "<") {
+          k = SkipAngles(k) - 1;
+        } else if (Text(k) == ",") {
+          p_end = k;
+          break;
+        }
+      }
+      param0 = CoreType(paren_open + 1, p_end);
+    }
+
+    std::string key = fn_cls.empty() ? name : fn_cls + "::" + name;
+    if (name == "operator()") key += "@" + param0;
+
+    FunctionInfo* fn = GetFunction(key);
+    if (!bodies) {
+      if (fn->name.empty()) {
+        fn->cls = fn_cls;
+        fn->name = name;
+        fn->file = file->path;
+        fn->line = Line(start);
+        fn->file_index = file_index;
+        fn->param0_type = param0;
+      }
+      if (ctx != Ctx::kNone && fn->ctx == Ctx::kNone) {
+        fn->ctx = ctx;
+        fn->ctx_inherited = false;
+      }
+      if (!cls.empty()) {
+        fn->is_public = fn->is_public || access == "public";
+        fn->is_ctor_dtor = fn->is_ctor_dtor || ctor_dtor;
+        fn->is_operator = fn->is_operator || is_operator;
+        fn->is_static = fn->is_static || is_static;
+        ClassInfo* ci = GetClass(cls);
+        ci->methods.insert(name);
+        if (!ctor_dtor) {
+          std::string ret = CoreType(start, is_operator ? paren_open
+                                                        : paren_open - 1);
+          if (!ret.empty()) ci->method_ret[name] = ret;
+        }
+      }
+      if (has_body) fn->is_defn = true;
+    } else if (has_body) {
+      // Parameters seed the local symbol table.
+      std::map<std::string, std::string> locals;
+      SeedParams(paren_open, paren_close, &locals);
+      size_t body_close = SkipBalanced(body_open);
+      ParseStmts(body_open + 1, body_close - 1, fn_cls, &locals, false,
+                 nullptr, fn);
+    }
+    return next_i;
+  }
+
+  void SeedParams(size_t open, size_t close,
+                  std::map<std::string, std::string>* locals) {
+    size_t seg = open + 1;
+    for (size_t j = open + 1; j <= close; ++j) {
+      if (j == close || (Text(j) == "," && j < close)) {
+        if (j > seg + 1) {
+          // name = last identifier; type = core of the rest.
+          size_t name_idx = kNpos;
+          for (size_t k = j; k-- > seg;) {
+            if (Kind(k) == Token::kIdent && !IsDeclSkipWord(Text(k))) {
+              name_idx = k;
+              break;
+            }
+          }
+          if (name_idx != kNpos && name_idx > seg) {
+            std::string ty = CoreType(seg, name_idx);
+            if (!ty.empty()) (*locals)[Text(name_idx)] = ty;
+          }
+        }
+        seg = j + 1;
+        continue;
+      }
+      if (Text(j) == "(" || Text(j) == "[" || Text(j) == "{") {
+        j = SkipBalanced(j) - 1;
+      } else if (Text(j) == "<") {
+        j = SkipAngles(j) - 1;
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Statement scope (function and lambda bodies).
+  // ------------------------------------------------------------------
+  void ParseStmts(size_t begin, size_t end, const std::string& cls,
+                  std::map<std::string, std::string>* locals, bool in_lambda,
+                  SwitchInfo* sw, FunctionInfo* fn) {
+    size_t j = begin;
+    while (j < end) {
+      const std::string& t = Text(j);
+      if (Kind(j) == Token::kIdent) {
+        if (t == "switch") {
+          // Condition (scan for calls), then the switch body.
+          size_t cond_open = j + 1;
+          if (Text(cond_open) == "(") {
+            size_t cond_close = SkipBalanced(cond_open);
+            ParseStmts(cond_open + 1, cond_close - 1, cls, locals, in_lambda,
+                       sw, fn);
+            j = cond_close;
+          } else {
+            ++j;
+          }
+          if (Text(j) == "{") {
+            size_t close = SkipBalanced(j);
+            SwitchInfo inner;
+            inner.line = Line(j);
+            inner.file_index = file_index;
+            ParseStmts(j + 1, close - 1, cls, locals, in_lambda, &inner, fn);
+            fn->switches.push_back(std::move(inner));
+            j = close;
+          }
+          continue;
+        }
+        if (t == "case" && sw != nullptr) {
+          size_t k = j + 1;
+          std::vector<std::string> chain;
+          while (k < end && Text(k) != ":" && Text(k) != ";") {
+            if (Kind(k) == Token::kIdent) chain.push_back(Text(k));
+            ++k;
+          }
+          if (!chain.empty()) {
+            CaseLabel label;
+            label.enumerator = chain.back();
+            if (chain.size() >= 2) label.enum_qual = chain[chain.size() - 2];
+            label.line = Line(j);
+            label.tok = j;
+            sw->cases.push_back(std::move(label));
+          }
+          j = k + 1;
+          continue;
+        }
+        if (t == "default" && sw != nullptr && Text(j + 1) == ":") {
+          sw->has_default = true;
+          j += 2;
+          continue;
+        }
+        if (t == "using" || t == "typedef") {
+          while (j < end && Text(j) != ";") ++j;
+          continue;
+        }
+        if (IsMacroName(t)) {
+          ++j;  // macro name is not a call; its arguments are still scanned
+          continue;
+        }
+        if (IsStmtKeyword(t)) {
+          ++j;
+          continue;
+        }
+        // Local declaration: KnownType [<...>] [&*const] name {; = ( ,}
+        std::string core = model->ResolveAlias(t);
+        if (model->classes.count(core) && Text(j + 1) != "(" &&
+            Text(j + 1) != "." && Text(j + 1) != "->") {
+          size_t k = j + 1;
+          if (Text(k) == "<") k = SkipAngles(k);
+          while (Text(k) == "&" || Text(k) == "*" || Text(k) == "const") ++k;
+          if (Kind(k) == Token::kIdent && !IsStmtKeyword(Text(k))) {
+            const std::string& nxt = Text(k + 1);
+            if (nxt == ";" || nxt == "=" || nxt == "{" || nxt == "(" ||
+                nxt == ",") {
+              (*locals)[Text(k)] = core;
+              j = k + 1;
+              continue;
+            }
+          }
+        }
+        // Call?
+        if (Text(j + 1) == "(") {
+          const std::string& prev = j > 0 ? Text(j - 1) : "";
+          CallSite call;
+          call.callee = t;
+          call.line = Line(j);
+          call.file_index = file_index;
+          call.tok = j;
+          call.in_lambda = in_lambda;
+          if (prev == "." || prev == "->") {
+            call.is_member = true;
+            call.receiver_type = ResolveReceiver(j - 1, cls, *locals);
+          } else if (prev == "::") {
+            call.qualified = true;
+          } else if (!cls.empty() &&
+                     model->FindMethod(cls, t) >= 0) {
+            call.is_member = true;  // implicit this
+            call.receiver_type = cls;
+          }
+          fn->calls.push_back(std::move(call));
+          ++j;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      if (t == "[") {
+        if (Text(j + 1) == "[") {  // [[attribute]]
+          j = SkipBalanced(j);
+          continue;
+        }
+        const std::string& prev = j > begin ? Text(j - 1) : "";
+        bool subscript = (j > begin) && (Kind(j - 1) == Token::kIdent ||
+                                         Kind(j - 1) == Token::kNumber ||
+                                         prev == ")" || prev == "]");
+        if (!subscript) {
+          // Lambda: [captures] (params)? specifiers? { body }
+          size_t cap_close = SkipBalanced(j);
+          size_t k = cap_close;
+          std::map<std::string, std::string> inner_locals = *locals;
+          if (Text(k) == "(") {
+            size_t p_close = SkipBalanced(k) - 1;
+            SeedParams(k, p_close, &inner_locals);
+            k = p_close + 1;
+          }
+          while (k < end && Text(k) != "{" && Text(k) != ";") ++k;
+          if (Text(k) == "{") {
+            size_t body_close = SkipBalanced(k);
+            ParseStmts(k + 1, body_close - 1, cls, &inner_locals, true,
+                       nullptr, fn);
+            j = body_close;
+            continue;
+          }
+          j = k;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      ++j;
+    }
+  }
+
+  // Resolves the receiver chain ending at the '.' or '->' at `sep`.
+  std::string ResolveReceiver(size_t sep,
+                              const std::string& cls,
+                              const std::map<std::string, std::string>& locals)
+      const {
+    struct Elem {
+      enum Kind { kIdent, kCall, kThis, kIndex } kind;
+      std::string name;
+    };
+    std::vector<Elem> chain;
+    size_t k = sep;
+    while (true) {
+      if (k == 0) break;
+      --k;  // token before the separator / previous element
+      const std::string& t = Text(k);
+      if (t == "this") {
+        chain.push_back({Elem::kThis, ""});
+      } else if (t == ")") {
+        // find matching '('
+        int depth = 0;
+        size_t m = k;
+        while (true) {
+          if (Text(m) == ")") ++depth;
+          if (Text(m) == "(") {
+            if (--depth == 0) break;
+          }
+          if (m == 0) return "";
+          --m;
+        }
+        if (m == 0 || Kind(m - 1) != Token::kIdent) return "";
+        chain.push_back({Elem::kCall, Text(m - 1)});
+        k = m - 1;
+      } else if (t == "]") {
+        int depth = 0;
+        size_t m = k;
+        while (true) {
+          if (Text(m) == "]") ++depth;
+          if (Text(m) == "[") {
+            if (--depth == 0) break;
+          }
+          if (m == 0) return "";
+          --m;
+        }
+        chain.push_back({Elem::kIndex, ""});
+        k = m;
+        continue;  // the indexed expression continues to the left
+      } else if (Kind(k) == Token::kIdent) {
+        if (IsStmtKeyword(t)) return "";
+        chain.push_back({Elem::kIdent, t});
+      } else {
+        return "";
+      }
+      // Is there another chain element to the left?
+      if (k == 0) break;
+      const std::string& prev = Text(k - 1);
+      if (prev == "." || prev == "->") {
+        k -= 1;  // loop decrements onto the element before the separator
+        continue;
+      }
+      if (prev == "::") {
+        // Namespace-qualified variable: drop the qualifier.
+        size_t m = k - 1;
+        while (m >= 1 && Text(m) == "::" && Kind(m - 1) == Token::kIdent) {
+          if (m < 2) break;
+          m -= 2;
+        }
+        break;
+      }
+      break;
+    }
+    if (chain.empty()) return "";
+    std::reverse(chain.begin(), chain.end());
+
+    std::string cur;
+    for (size_t e = 0; e < chain.size(); ++e) {
+      const Elem& el = chain[e];
+      if (e == 0) {
+        switch (el.kind) {
+          case Elem::kThis:
+            cur = cls;
+            break;
+          case Elem::kIdent: {
+            auto it = locals.find(el.name);
+            if (it != locals.end()) {
+              cur = it->second;
+            } else if (!cls.empty()) {
+              cur = model->FieldType(cls, el.name);
+            }
+            break;
+          }
+          case Elem::kCall: {
+            if (!cls.empty()) cur = MethodRet(cls, el.name);
+            break;
+          }
+          case Elem::kIndex:
+            return "";
+        }
+      } else {
+        if (cur.empty()) return "";
+        switch (el.kind) {
+          case Elem::kIdent:
+            cur = model->FieldType(cur, el.name);
+            break;
+          case Elem::kCall:
+            cur = MethodRet(cur, el.name);
+            break;
+          case Elem::kIndex:
+          case Elem::kThis:
+            return "";
+        }
+      }
+      if (cur.empty()) return "";
+      cur = model->ResolveAlias(cur);
+    }
+    return cur;
+  }
+
+  std::string MethodRet(const std::string& cls, const std::string& name)
+      const {
+    // Walk the class and its bases for a recorded return type.
+    std::vector<std::string> stack{model->ResolveAlias(cls)};
+    std::set<std::string> seen;
+    while (!stack.empty()) {
+      std::string c = stack.back();
+      stack.pop_back();
+      if (!seen.insert(c).second) continue;
+      auto it = model->classes.find(c);
+      if (it == model->classes.end()) continue;
+      auto rit = it->second.method_ret.find(name);
+      if (rit != it->second.method_ret.end()) {
+        return model->ResolveAlias(rit->second);
+      }
+      for (const std::string& b : it->second.bases) stack.push_back(b);
+    }
+    return "";
+  }
+};
+
+}  // namespace
+
+std::string Model::ResolveAlias(const std::string& name) const {
+  std::string cur = name;
+  for (int i = 0; i < 8; ++i) {
+    auto it = aliases.find(cur);
+    if (it == aliases.end()) return cur;
+    cur = it->second;
+  }
+  return cur;
+}
+
+bool Model::DerivesFrom(const std::string& cls, const std::string& base)
+    const {
+  if (cls == base) return true;
+  std::vector<std::string> stack{cls};
+  std::set<std::string> seen;
+  while (!stack.empty()) {
+    std::string c = stack.back();
+    stack.pop_back();
+    if (!seen.insert(c).second) continue;
+    auto it = classes.find(c);
+    if (it == classes.end()) continue;
+    for (const std::string& b : it->second.bases) {
+      if (b == base) return true;
+      stack.push_back(b);
+    }
+  }
+  return false;
+}
+
+int Model::FindMethod(const std::string& cls, const std::string& name) const {
+  std::vector<std::string> stack{ResolveAlias(cls)};
+  std::set<std::string> seen;
+  while (!stack.empty()) {
+    std::string c = stack.back();
+    stack.pop_back();
+    if (!seen.insert(c).second) continue;
+    auto key = by_key.find(c + "::" + name);
+    if (key != by_key.end()) return key->second.front();
+    auto it = classes.find(c);
+    if (it == classes.end()) continue;
+    for (const std::string& b : it->second.bases) stack.push_back(b);
+  }
+  return -1;
+}
+
+std::string Model::FieldType(const std::string& cls, const std::string& field)
+    const {
+  std::vector<std::string> stack{ResolveAlias(cls)};
+  std::set<std::string> seen;
+  while (!stack.empty()) {
+    std::string c = stack.back();
+    stack.pop_back();
+    if (!seen.insert(c).second) continue;
+    auto it = classes.find(c);
+    if (it == classes.end()) continue;
+    auto fit = it->second.fields.find(field);
+    if (fit != it->second.fields.end()) return ResolveAlias(fit->second);
+    for (const std::string& b : it->second.bases) stack.push_back(b);
+  }
+  return "";
+}
+
+const FunctionInfo* Model::Find(const std::string& key) const {
+  auto it = by_key.find(key);
+  if (it == by_key.end()) return nullptr;
+  return &functions[it->second.front()];
+}
+
+Model Indexer::Build() {
+  Model model;
+  // Headers first so declaration sites (annotations, access) win over
+  // out-of-class definitions when records merge.
+  std::stable_sort(files_.begin(), files_.end(),
+                   [](const SourceFile& a, const SourceFile& b) {
+                     auto is_header = [](const std::string& p) {
+                       return p.size() > 2 && p.compare(p.size() - 2, 2, ".h")
+                                                  == 0;
+                     };
+                     return is_header(a.path) > is_header(b.path);
+                   });
+  model.files = std::move(files_);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t f = 0; f < model.files.size(); ++f) {
+      Parser p{&model, &model.files[f], static_cast<int>(f), pass == 1};
+      p.ParseDeclScope(0, model.files[f].tokens.size(), "", false);
+    }
+  }
+  // Note: annotations are NOT auto-propagated from base methods to
+  // overrides. An annotated base method is a caller-side contract (virtual
+  // dispatch stops there); each concrete class states its own contexts so
+  // that backends which deliberately collapse contexts (the single-threaded
+  // SimCluster drives Site, ManagingSite, and client code on one thread)
+  // are not forced into a vocabulary that cannot describe them.
+  model.by_name.clear();
+  for (size_t i = 0; i < model.functions.size(); ++i) {
+    model.by_name[model.functions[i].name].push_back(static_cast<int>(i));
+  }
+  return model;
+}
+
+}  // namespace analyze
+}  // namespace miniraid

@@ -1,0 +1,156 @@
+// miniraid-analyze CLI.
+//
+//   miniraid-analyze [options] <paths...>
+//
+//   --frontend=index   built-in semantic indexer (default; no toolchain
+//                      dependency, used by the local ctest entries)
+//   --frontend=clang   Clang LibTooling frontend over compile_commands.json
+//                      (available when built with MINIRAID_ANALYZE_CLANG=ON)
+//   -p <dir>           compilation database directory (clang frontend)
+//   --json <path>      write the full findings report (incl. suppressed)
+//   --no-context       skip the MR_RUNS_ON passes (fixture debugging)
+//
+// Paths may be files or directories (directories are scanned recursively for
+// .h/.cc). Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace miniraid {
+namespace analyze {
+
+#ifdef MINIRAID_ANALYZE_HAVE_CLANG
+// clang_frontend.cc
+int RunClangFrontend(const std::vector<std::string>& files,
+                     const std::string& build_path, Model* model,
+                     std::string* error);
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void CollectSources(const std::string& path, std::vector<std::string>* out) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (fs::recursive_directory_iterator it(path, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      std::string p = it->path().string();
+      if (p.size() > 2 && (p.compare(p.size() - 2, 2, ".h") == 0 ||
+                           (p.size() > 3 &&
+                            p.compare(p.size() - 3, 3, ".cc") == 0))) {
+        out->push_back(p);
+      }
+    }
+    return;
+  }
+  out->push_back(path);
+}
+
+int Run(int argc, char** argv) {
+  std::string frontend = "index";
+  std::string json_path;
+  std::string build_path;
+  bool contexts = true;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--frontend=", 0) == 0) {
+      frontend = arg.substr(11);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "-p" && i + 1 < argc) {
+      build_path = argv[++i];
+    } else if (arg == "--no-context") {
+      contexts = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: miniraid-analyze [--frontend=index|clang] "
+                   "[-p build-dir] [--json out.json] <paths...>\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "miniraid-analyze: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "miniraid-analyze: no input paths\n";
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (const std::string& p : paths) CollectSources(p, &files);
+  if (files.empty()) {
+    std::cerr << "miniraid-analyze: no .h/.cc sources under given paths\n";
+    return 2;
+  }
+
+  Model model;
+  if (frontend == "index") {
+    Indexer indexer;
+    for (const std::string& f : files) {
+      std::ifstream in(f);
+      if (!in) {
+        std::cerr << "miniraid-analyze: cannot read " << f << "\n";
+        return 2;
+      }
+      std::ostringstream content;
+      content << in.rdbuf();
+      indexer.AddFile(LexFile(f, content.str()));
+    }
+    model = indexer.Build();
+  } else if (frontend == "clang") {
+#ifdef MINIRAID_ANALYZE_HAVE_CLANG
+    std::string error;
+    if (RunClangFrontend(files, build_path, &model, &error) != 0) {
+      std::cerr << "miniraid-analyze: clang frontend failed: " << error
+                << "\n";
+      return 2;
+    }
+#else
+    std::cerr << "miniraid-analyze: built without Clang support "
+                 "(reconfigure with -DMINIRAID_ANALYZE_CLANG=ON)\n";
+    return 2;
+#endif
+  } else {
+    std::cerr << "miniraid-analyze: unknown frontend '" << frontend << "'\n";
+    return 2;
+  }
+
+  CheckOptions opts = CheckOptions::Defaults();
+  opts.check_contexts = contexts;
+  std::vector<Finding> findings = RunChecks(model, opts);
+  ApplySuppressions(model, &findings);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "miniraid-analyze: cannot write " << json_path << "\n";
+      return 2;
+    }
+    WriteJson(findings, out);
+  }
+  int unsuppressed = PrintFindings(findings, std::cerr);
+  if (unsuppressed > 0) {
+    std::cerr << unsuppressed << " finding(s)\n";
+    return 1;
+  }
+  std::cout << "miniraid-analyze: " << files.size() << " file(s), "
+            << findings.size() << " finding(s), all suppressed or none\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace miniraid
+
+int main(int argc, char** argv) {
+  return miniraid::analyze::Run(argc, argv);
+}

@@ -1,0 +1,93 @@
+// Suppression matching and output: clickable file:line diagnostics for
+// humans, a JSON findings report for CI artifacts.
+
+#include <map>
+
+#include "analyzer.h"
+
+namespace miniraid {
+namespace analyze {
+
+void ApplySuppressions(const Model& model, std::vector<Finding>* findings) {
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : model.files) by_path[f.path] = &f;
+  for (Finding& finding : *findings) {
+    auto it = by_path.find(finding.file);
+    if (it == by_path.end()) continue;
+    auto allow = it->second->allow.find(finding.line);
+    if (allow == it->second->allow.end()) continue;
+    if (allow->second.count(finding.rule) || allow->second.count("*") ||
+        allow->second.count("all")) {
+      finding.suppressed = true;
+    }
+  }
+}
+
+int PrintFindings(const std::vector<Finding>& findings, std::ostream& os) {
+  int count = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+    ++count;
+  }
+  return count;
+}
+
+namespace {
+
+void JsonEscape(const std::string& s, std::ostream& os) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void WriteJson(const std::vector<Finding>& findings, std::ostream& os) {
+  int unsuppressed = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++unsuppressed;
+  }
+  os << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"rule\": ";
+    JsonEscape(f.rule, os);
+    os << ", \"file\": ";
+    JsonEscape(f.file, os);
+    os << ", \"line\": " << f.line << ", \"suppressed\": "
+       << (f.suppressed ? "true" : "false") << ", \"message\": ";
+    JsonEscape(f.message, os);
+    os << "}";
+  }
+  os << "\n  ],\n  \"total\": " << findings.size()
+     << ",\n  \"unsuppressed\": " << unsuppressed << "\n}\n";
+}
+
+}  // namespace analyze
+}  // namespace miniraid

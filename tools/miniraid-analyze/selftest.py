@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Self-test for the miniraid-analyze semantic analyzer.
+
+Mirrors scripts/lint_selftest.py for the regex linter: every rule ships a
+bad/good/suppressed fixture triplet under testdata/<rule>/, and this runner
+asserts the contract for each file:
+
+  bad.cc        exits non-zero and reports at least one finding of <rule>
+                (and no finding of any OTHER rule -- fixtures are isolated)
+  good.cc       exits zero with zero findings, suppressed or not
+  suppressed.cc exits zero, but the JSON report shows at least one
+                suppressed finding of <rule> -- proving the check still
+                sees the defect and the allow() comment is what silences it
+
+Run it against the built binary:
+
+  python3 tools/miniraid-analyze/selftest.py --binary build/tools/miniraid-analyze/miniraid-analyze
+
+The driver is registered as the `miniraid_analyze_selftest` ctest.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "testdata")
+
+RULES = [
+    "cross-context-call",
+    "context-coverage",
+    "blocking-call",
+    "fail-lock-mutation",
+    "session-mutation",
+    "msg-dispatch",
+    "codec-symmetry",
+]
+
+
+def run_analyzer(binary, path):
+    """Run the analyzer on one fixture; return (exit_code, findings)."""
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json", delete=False) as tf:
+        json_path = tf.name
+    try:
+        proc = subprocess.run(
+            [binary, "--json", json_path, path],
+            capture_output=True,
+            text=True,
+        )
+        with open(json_path) as f:
+            report = json.load(f)
+    finally:
+        os.unlink(json_path)
+    return proc.returncode, report["findings"], proc.stdout + proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True, help="miniraid-analyze binary")
+    args = parser.parse_args()
+
+    failures = []
+    checked = 0
+
+    for rule in RULES:
+        triplet_dir = os.path.join(TESTDATA, rule)
+        for kind in ("bad", "good", "suppressed"):
+            path = os.path.join(triplet_dir, kind + ".cc")
+            if not os.path.exists(path):
+                failures.append(f"{rule}/{kind}.cc: fixture missing")
+                continue
+            checked += 1
+            code, findings, output = run_analyzer(args.binary, path)
+            rules_hit = {f["rule"] for f in findings}
+            unsuppressed = [f for f in findings if not f["suppressed"]]
+            label = f"{rule}/{kind}.cc"
+
+            if kind == "bad":
+                if code == 0 or not unsuppressed:
+                    failures.append(f"{label}: expected the check to fire, "
+                                    f"got exit {code} with {len(unsuppressed)} "
+                                    f"unsuppressed finding(s)\n{output}")
+                elif rule not in rules_hit:
+                    failures.append(f"{label}: fired {sorted(rules_hit)}, "
+                                    f"not '{rule}'")
+                elif rules_hit != {rule}:
+                    failures.append(f"{label}: cross-rule noise, also fired "
+                                    f"{sorted(rules_hit - {rule})}")
+            elif kind == "good":
+                if code != 0 or findings:
+                    failures.append(f"{label}: expected a clean pass, got exit "
+                                    f"{code} with {len(findings)} finding(s)\n"
+                                    f"{output}")
+            else:  # suppressed
+                suppressed_hits = {f["rule"] for f in findings if f["suppressed"]}
+                if code != 0 or unsuppressed:
+                    failures.append(f"{label}: allow() comment did not silence "
+                                    f"the finding (exit {code})\n{output}")
+                elif rule not in suppressed_hits:
+                    failures.append(f"{label}: expected a suppressed '{rule}' "
+                                    f"finding proving the check still sees the "
+                                    f"defect; saw {sorted(suppressed_hits)}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        print(f"\n{len(failures)} failure(s) out of {checked} fixture checks",
+              file=sys.stderr)
+        return 1
+
+    print(f"miniraid-analyze selftest: {checked} fixture checks passed "
+          f"({len(RULES)} rules x bad/good/suppressed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

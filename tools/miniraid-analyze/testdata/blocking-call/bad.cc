@@ -1,0 +1,56 @@
+// Fixture: blocking calls reachable from loop- and any-context entries —
+// directly, transitively through a helper, and inside a lambda (timer
+// callbacks run on the loop, so the blocking pass follows lambda bodies).
+#if defined(__clang__)
+#define MR_RUNS_ON(ctx) __attribute__((annotate("mr_runs_on:" #ctx)))
+#else
+#define MR_RUNS_ON(ctx)
+#endif
+
+struct Duration {
+  long long ns;
+};
+
+void sleep_for(Duration d);
+
+class Mutex {};
+
+class CondVar {
+ public:
+  void Wait(Mutex& mu);
+};
+
+class Runtime {
+ public:
+  template <typename F>
+  MR_RUNS_ON(any) void ScheduleAfter(Duration d, F fn) {
+    pending_ns_ += d.ns;
+    fn();
+  }
+
+ private:
+  long long pending_ns_ = 0;
+};
+
+namespace {
+
+void Helper() { sleep_for(Duration{1}); }
+
+}  // namespace
+
+class Site {
+ public:
+  MR_RUNS_ON(loop) void DirectSleep() { sleep_for(Duration{1}); }
+
+  MR_RUNS_ON(loop) void TransitiveSleep() { Helper(); }
+
+  MR_RUNS_ON(loop) void CondVarWait() {
+    Mutex mu;
+    CondVar cv;
+    cv.Wait(mu);  // member blocking call, receiver-resolved
+  }
+
+  MR_RUNS_ON(loop) void TimerSleep(Runtime& rt) {
+    rt.ScheduleAfter(Duration{5}, [] { sleep_for(Duration{1}); });
+  }
+};

@@ -1,0 +1,25 @@
+// Fixture: blocking is fine on client-context entries (drivers, dedicated
+// IO threads), and loop entries that stay non-blocking are clean.
+#if defined(__clang__)
+#define MR_RUNS_ON(ctx) __attribute__((annotate("mr_runs_on:" #ctx)))
+#else
+#define MR_RUNS_ON(ctx)
+#endif
+
+struct Duration {
+  long long ns;
+};
+
+void sleep_for(Duration d);
+
+class Site {
+ public:
+  MR_RUNS_ON(loop) void Step() { ++steps_; }
+
+ private:
+  long long steps_ = 0;
+};
+
+MR_RUNS_ON(client) void PollLoop(Site& /*site*/) {
+  sleep_for(Duration{1000});  // client context: blocking permitted
+}

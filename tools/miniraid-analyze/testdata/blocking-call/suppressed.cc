@@ -1,0 +1,22 @@
+// Fixture: a justified blocking call on a loop entry, suppressed in place
+// (the real tree does this for EventLoop's own idle wait).
+#if defined(__clang__)
+#define MR_RUNS_ON(ctx) __attribute__((annotate("mr_runs_on:" #ctx)))
+#else
+#define MR_RUNS_ON(ctx)
+#endif
+
+struct Duration {
+  long long ns;
+};
+
+void sleep_for(Duration d);
+
+class Site {
+ public:
+  MR_RUNS_ON(loop) void IdleWait() {
+    // The loop's own idle wait is what the loop *is*.
+    // miniraid-lint: allow(blocking-call)
+    sleep_for(Duration{1});
+  }
+};

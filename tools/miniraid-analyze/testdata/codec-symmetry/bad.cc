@@ -1,0 +1,85 @@
+// Fixture: three codec asymmetries — a field-count mismatch, a width
+// mismatch, and a vector element helper pair that disagrees.
+enum class MsgType : unsigned char {
+  kTxnRequest = 0,
+  kTxnReply = 1,
+  kItemList = 2,
+};
+
+struct TxnRequestArgs {
+  unsigned long long txn;
+  unsigned char kind;
+};
+struct TxnReplyArgs {
+  unsigned long long txn;
+};
+struct ItemListArgs {
+  int items;
+};
+
+class Encoder {
+ public:
+  void PutU8(unsigned char v);
+  void PutU32(unsigned v);
+  void PutU64(unsigned long long v);
+  template <typename C, typename F>
+  void PutVector(const C& c, F f);
+};
+
+class Decoder {
+ public:
+  bool GetU8(unsigned char* v);
+  bool GetU32(unsigned* v);
+  bool GetU64(unsigned long long* v);
+  template <typename C, typename F>
+  bool GetVector(C* c, F f);
+};
+
+void PutItem(Encoder& enc, int item);
+bool GetRow(Decoder& dec, int* item);
+
+// Exhaustive dispatcher so only codec-symmetry is under test here.
+class Site {
+ public:
+  void OnMessage(MsgType type) {
+    switch (type) {
+      case MsgType::kTxnRequest:
+      case MsgType::kTxnReply:
+      case MsgType::kItemList:
+        break;
+    }
+  }
+};
+
+struct PayloadEncoder {
+  Encoder& enc;
+
+  void operator()(const TxnRequestArgs& a) {
+    enc.PutU64(a.txn);
+    enc.PutU8(a.kind);  // decoder never reads this: count mismatch
+  }
+  void operator()(const TxnReplyArgs& a) {
+    enc.PutU32(static_cast<unsigned>(a.txn));  // written 32, read 64
+  }
+  void operator()(const ItemListArgs& a) {
+    enc.PutVector(a.items, PutItem);  // elements written as Item, read as Row
+  }
+};
+
+bool DecodePayload(Decoder& dec, MsgType type) {
+  switch (type) {
+    case MsgType::kTxnRequest: {
+      unsigned long long txn = 0;
+      return dec.GetU64(&txn);
+    }
+    case MsgType::kTxnReply: {
+      unsigned long long txn = 0;
+      return dec.GetU64(&txn);
+    }
+    case MsgType::kItemList: {
+      int items = 0;
+      return dec.GetVector(&items, GetRow);
+    }
+  }
+  return false;
+}

@@ -1,0 +1,77 @@
+// Fixture: a symmetric codec — every encoder overload matches its decoder
+// case field-for-field, vector element helpers pair up, and an
+// empty-payload message writes and reads nothing.
+enum class MsgType : unsigned char {
+  kTxnRequest = 0,
+  kItemList = 1,
+  kShutdown = 2,
+};
+
+struct TxnRequestArgs {
+  unsigned long long txn;
+  unsigned char kind;
+};
+struct ItemListArgs {
+  int items;
+};
+struct ShutdownArgs {};
+
+class Encoder {
+ public:
+  void PutU8(unsigned char v);
+  void PutU64(unsigned long long v);
+  template <typename C, typename F>
+  void PutVector(const C& c, F f);
+};
+
+class Decoder {
+ public:
+  bool GetU8(unsigned char* v);
+  bool GetU64(unsigned long long* v);
+  template <typename C, typename F>
+  bool GetVector(C* c, F f);
+};
+
+void PutItem(Encoder& enc, int item);
+bool GetItem(Decoder& dec, int* item);
+
+// Exhaustive dispatcher so only codec-symmetry is under test here.
+class Site {
+ public:
+  void OnMessage(MsgType type) {
+    switch (type) {
+      case MsgType::kTxnRequest:
+      case MsgType::kItemList:
+      case MsgType::kShutdown:
+        break;
+    }
+  }
+};
+
+struct PayloadEncoder {
+  Encoder& enc;
+
+  void operator()(const TxnRequestArgs& a) {
+    enc.PutU64(a.txn);
+    enc.PutU8(a.kind);
+  }
+  void operator()(const ItemListArgs& a) { enc.PutVector(a.items, PutItem); }
+  void operator()(const ShutdownArgs&) {}
+};
+
+bool DecodePayload(Decoder& dec, MsgType type) {
+  switch (type) {
+    case MsgType::kTxnRequest: {
+      unsigned long long txn = 0;
+      unsigned char kind = 0;
+      return dec.GetU64(&txn) && dec.GetU8(&kind);
+    }
+    case MsgType::kItemList: {
+      int items = 0;
+      return dec.GetVector(&items, GetItem);
+    }
+    case MsgType::kShutdown:
+      return true;
+  }
+  return false;
+}

@@ -1,0 +1,53 @@
+// Fixture: a deliberate asymmetry (decoder tolerates a truncated legacy
+// frame) with the waiver on the reporting line.
+enum class MsgType : unsigned char {
+  kTxnRequest = 0,
+};
+
+struct TxnRequestArgs {
+  unsigned long long txn;
+  unsigned char kind;
+};
+
+class Encoder {
+ public:
+  void PutU8(unsigned char v);
+  void PutU64(unsigned long long v);
+};
+
+class Decoder {
+ public:
+  bool GetU64(unsigned long long* v);
+};
+
+struct PayloadEncoder {
+  Encoder& enc;
+
+  void operator()(const TxnRequestArgs& a) {
+    enc.PutU64(a.txn);
+    enc.PutU8(a.kind);
+  }
+};
+
+// Exhaustive dispatcher so only codec-symmetry is under test here.
+class Site {
+ public:
+  void OnMessage(MsgType type) {
+    switch (type) {
+      case MsgType::kTxnRequest:
+        break;
+    }
+  }
+};
+
+bool DecodePayload(Decoder& dec, MsgType type) {
+  switch (type) {
+    // Legacy peers omit the kind byte; the decoder defaults it.
+    // miniraid-lint: allow(codec-symmetry)
+    case MsgType::kTxnRequest: {
+      unsigned long long txn = 0;
+      return dec.GetU64(&txn);
+    }
+  }
+  return false;
+}

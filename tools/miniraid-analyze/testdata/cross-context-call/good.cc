@@ -1,0 +1,37 @@
+// Fixture: the legal shapes — calling MR_RUNS_ON(any) helpers from any
+// context, and marshalling into another context through a posted lambda
+// (the confinement pass does not follow lambda bodies by design).
+#if defined(__clang__)
+#define MR_RUNS_ON(ctx) __attribute__((annotate("mr_runs_on:" #ctx)))
+#else
+#define MR_RUNS_ON(ctx)
+#endif
+
+template <typename F>
+class Fn;
+
+class Site {
+ public:
+  MR_RUNS_ON(loop) void Crash() { crashed_ = true; }
+  MR_RUNS_ON(any) int id() const { return id_; }
+
+ private:
+  int id_ = 0;
+  bool crashed_ = false;
+};
+
+class EventLoop {
+ public:
+  template <typename F>
+  MR_RUNS_ON(any) void Post(F fn) {
+    fn();
+  }
+};
+
+MR_RUNS_ON(client) int ReadShared(Site& site) {
+  return site.id();  // any-context accessor: fine from everywhere
+}
+
+MR_RUNS_ON(client) void MarshalledCrash(EventLoop& loop, Site& site) {
+  loop.Post([&site] { site.Crash(); });  // lambda runs on the loop
+}

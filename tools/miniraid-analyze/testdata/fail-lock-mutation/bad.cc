@@ -1,0 +1,27 @@
+// Fixture: FailLockTable mutations outside the owning module, through the
+// receiver shapes the old regex lint could not see — an aliased local, a
+// reference parameter, and an accessor chain.
+class FailLockTable {
+ public:
+  void Set(unsigned item, unsigned site);
+  void Clear(unsigned item, unsigned site);
+  bool IsSet(unsigned item, unsigned site) const;
+};
+
+using LockTable = FailLockTable;
+
+class Site {
+ public:
+  FailLockTable& fail_locks() { return locks_; }
+
+ private:
+  FailLockTable locks_;
+};
+
+void MutateViaAlias(LockTable& table) {
+  table.Set(1, 2);  // alias resolves to FailLockTable
+}
+
+void MutateViaAccessorChain(Site& site) {
+  site.fail_locks().Clear(1, 2);  // accessor return type resolved
+}

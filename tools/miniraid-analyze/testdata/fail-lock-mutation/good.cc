@@ -1,0 +1,24 @@
+// Fixture: reads of the fail-lock table are fine anywhere, and mutators on
+// UNRELATED types that happen to share method names must not fire (the old
+// regex lint matched on spelling; the analyzer resolves the receiver).
+class FailLockTable {
+ public:
+  void Set(unsigned item, unsigned site);
+  bool IsSet(unsigned item, unsigned site) const;
+  unsigned CountFor(unsigned site) const;
+};
+
+class Bitmap {
+ public:
+  void Set(unsigned bit);
+  void Clear(unsigned bit);
+};
+
+bool ReadAnywhere(const FailLockTable& table) {
+  return table.IsSet(1, 2) || table.CountFor(2) > 0;
+}
+
+void SameNameDifferentType(Bitmap& bits) {
+  bits.Set(3);    // Bitmap::Set is not FailLockTable::Set
+  bits.Clear(3);
+}

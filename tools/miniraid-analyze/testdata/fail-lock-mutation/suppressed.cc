@@ -1,0 +1,11 @@
+// Fixture: an out-of-module mutation with an explicit waiver.
+class FailLockTable {
+ public:
+  void Set(unsigned item, unsigned site);
+};
+
+void TestOnlySetup(FailLockTable& table) {
+  // Fixture setup for a white-box test; not protocol code.
+  // miniraid-lint: allow(fail-lock-mutation)
+  table.Set(1, 2);
+}

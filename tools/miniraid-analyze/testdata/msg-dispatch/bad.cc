@@ -1,0 +1,41 @@
+// Fixture: a default-less dispatch switch missing an enumerator, and an
+// enumerator no OnMessage switch handles at all.
+enum class MsgType : unsigned char {
+  kPrepare = 0,
+  kCommit = 1,
+  kAbort = 2,
+  kOrphan = 3,  // handled by no dispatch switch anywhere
+};
+
+struct Message {
+  MsgType type;
+};
+
+class Site {
+ public:
+  void OnMessage(const Message& msg) {
+    switch (msg.type) {  // no default, kAbort and kOrphan missing
+      case MsgType::kPrepare:
+        ++prepares_;
+        break;
+      case MsgType::kCommit:
+        ++commits_;
+        break;
+    }
+  }
+
+ private:
+  int prepares_ = 0;
+  int commits_ = 0;
+};
+
+void HandleAbort(const Message& msg) {
+  switch (msg.type) {  // non-dispatch switch: exhaustiveness still applies
+    case MsgType::kAbort:
+      break;
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
+    case MsgType::kOrphan:
+      break;
+  }
+}

@@ -1,0 +1,42 @@
+// Fixture: a default-less dispatch switch covering every enumerator, and a
+// helper switch that opts out of exhaustiveness with a default.
+enum class MsgType : unsigned char {
+  kPrepare = 0,
+  kCommit = 1,
+  kAbort = 2,
+};
+
+struct Message {
+  MsgType type;
+};
+
+class Site {
+ public:
+  void OnMessage(const Message& msg) {
+    switch (msg.type) {
+      case MsgType::kPrepare:
+        ++prepares_;
+        break;
+      case MsgType::kCommit:
+        ++commits_;
+        break;
+      case MsgType::kAbort:
+        ++aborts_;
+        break;
+    }
+  }
+
+ private:
+  int prepares_ = 0;
+  int commits_ = 0;
+  int aborts_ = 0;
+};
+
+int CountVotes(const Message& msg) {
+  switch (msg.type) {  // default present: exhaustiveness not required
+    case MsgType::kPrepare:
+      return 1;
+    default:
+      return 0;
+  }
+}

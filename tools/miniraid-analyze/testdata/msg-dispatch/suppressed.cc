@@ -1,0 +1,28 @@
+// Fixture: the incomplete dispatch switch silenced in place. The
+// unhandled-anywhere finding reports at the enum declaration, so the
+// waiver for kDebugOnly sits there.
+// miniraid-lint: allow(msg-dispatch)
+enum class MsgType : unsigned char {
+  kPrepare = 0,
+  kDebugOnly = 1,  // intentionally unhandled outside debug builds
+};
+
+struct Message {
+  MsgType type;
+};
+
+class Site {
+ public:
+  void OnMessage(const Message& msg) {
+    // Debug messages are stripped in this build.
+    // miniraid-lint: allow(msg-dispatch)
+    switch (msg.type) {
+      case MsgType::kPrepare:
+        ++prepares_;
+        break;
+    }
+  }
+
+ private:
+  int prepares_ = 0;
+};

@@ -1,0 +1,22 @@
+// Fixture: SessionVector mutations outside the Site engine, including
+// through a wrapper class member and a pointer receiver.
+class SessionVector {
+ public:
+  void MarkDown(unsigned site);
+  void MarkUp(unsigned site);
+  bool IsUp(unsigned site) const;
+};
+
+class Baseline {
+ public:
+  void ForceFailover(unsigned site) {
+    sessions_.MarkDown(site);  // member field receiver
+  }
+
+ private:
+  SessionVector sessions_;
+};
+
+void MutateViaPointer(SessionVector* sessions) {
+  sessions->MarkUp(3);
+}

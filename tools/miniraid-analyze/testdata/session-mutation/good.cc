@@ -1,0 +1,18 @@
+// Fixture: reads are fine anywhere; mutators on unrelated types that share
+// spellings (MarkDown on a renderer) must not fire.
+class SessionVector {
+ public:
+  bool IsUp(unsigned site) const;
+  unsigned UpCount() const;
+};
+
+class Document {
+ public:
+  void MarkDown(unsigned heading_level);  // unrelated same-named method
+};
+
+bool ReadAnywhere(const SessionVector& sessions) {
+  return sessions.IsUp(1) && sessions.UpCount() > 0;
+}
+
+void UnrelatedReceiver(Document& doc) { doc.MarkDown(2); }

@@ -1,0 +1,11 @@
+// Fixture: an out-of-engine session mutation with an explicit waiver.
+class SessionVector {
+ public:
+  void MarkDown(unsigned site);
+};
+
+void TestOnlyPartition(SessionVector& sessions) {
+  // White-box fault injection for a recovery test.
+  // miniraid-lint: allow(session-mutation)
+  sessions.MarkDown(1);
+}
