@@ -50,7 +50,7 @@ Outcome Drive(bool enable_type3, uint64_t seed) {
   auto run = [&](uint32_t count, std::vector<SiteId> coords) {
     for (uint32_t i = 0; i < count; ++i) {
       const SiteId coord = coords[rng.NextBounded(coords.size())];
-      const TxnReplyArgs reply = cluster.RunTxn(workload.Next(), coord);
+      const TxnResult reply = cluster.RunTxn(workload.Next(), coord);
       switch (reply.outcome) {
         case TxnOutcome::kCommitted:
           ++outcome.committed;

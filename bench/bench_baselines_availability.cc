@@ -25,7 +25,7 @@ struct Tally {
   uint64_t messages = 0;
   uint64_t txns = 0;
 
-  void Count(const TxnReplyArgs& reply) {
+  void Count(const TxnResult& reply) {
     ++txns;
     switch (reply.outcome) {
       case TxnOutcome::kCommitted:

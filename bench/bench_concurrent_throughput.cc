@@ -127,7 +127,7 @@ DriverReport MeasureRealSerial(uint32_t warmup, uint32_t txns) {
   DriverReport report;
   const TimePoint start = cluster->Now();
   for (uint32_t i = 0; i < txns; ++i) {
-    const TxnReplyArgs reply =
+    const TxnResult reply =
         cluster->RunTxn(workload.Next(), static_cast<SiteId>(i % 4));
     ++report.submitted;
     if (reply.outcome == TxnOutcome::kCommitted) {

@@ -50,7 +50,7 @@ EpisodeResult Drive(Cluster& cluster, PartitionController& partition,
     const SiteId coordinator =
         side_a ? static_cast<SiteId>(rng.NextBounded(2))
                : static_cast<SiteId>(2 + rng.NextBounded(2));
-    const TxnReplyArgs reply = cluster.RunTxn(workload.Next(), coordinator);
+    const TxnResult reply = cluster.RunTxn(workload.Next(), coordinator);
     if (reply.outcome == TxnOutcome::kCommitted) {
       (side_a ? result.committed_side_a : result.committed_side_b) += 1;
     }

@@ -55,6 +55,11 @@ bool Quiescent(const AbstractConfig& cfg, const ModelState& s) {
   for (uint32_t i = 0; i < cfg.n_sites; ++i) {
     if (s.rec[i].active) return false;
   }
+  for (uint32_t x = 0; x < cfg.n_items; ++x) {
+    // A commit between prepare and apply is an in-flight coordination:
+    // the real checker's quiescent cuts require those drained too.
+    if (s.pend[x].active) return false;
+  }
   return true;
 }
 
@@ -114,6 +119,15 @@ std::string ModelState::Encode(const AbstractConfig& cfg,
     }
   }
   for (uint32_t nx = 0; nx < cfg.n_items; ++nx) {
+    const ModelPending& p = pend[item_perm[nx]];
+    out.push_back(p.active ? 1 : 0);
+    if (!p.active) continue;  // inactive slots are all-equal
+    // The coordinator is a site index; encode it as a one-hot mask so the
+    // same bit-remapping as the lock rows relabels it.
+    out.push_back(remap_bits(static_cast<uint8_t>(1u << p.coord)));
+    out.push_back(remap_bits(p.participants));
+  }
+  for (uint32_t nx = 0; nx < cfg.n_items; ++nx) {
     out.push_back(static_cast<char>(latest[item_perm[nx]]));
   }
   out.push_back(static_cast<char>(commits_used));
@@ -149,6 +163,12 @@ std::string ModelState::Dump(const AbstractConfig& cfg) const {
     }
     out += "\n";
   }
+  for (uint32_t x = 0; x < cfg.n_items; ++x) {
+    if (pend[x].active) {
+      out += StrFormat("pending commit: item %d coord=%d participants=%02x\n",
+                       x, pend[x].coord, pend[x].participants);
+    }
+  }
   out += "latest=[";
   for (uint32_t x = 0; x < cfg.n_items; ++x) {
     out += StrFormat("%s%d", x ? " " : "", latest[x]);
@@ -175,6 +195,10 @@ std::string AbstractAction::ToString() const {
       return StrFormat("end_recovery(site=%d)", site);
     case Kind::kRefresh:
       return StrFormat("refresh(site=%d source=%d item=%d)", site, peer, item);
+    case Kind::kBeginCommit:
+      return StrFormat("begin_commit(coord=%d item=%d)", site, item);
+    case Kind::kEndCommit:
+      return StrFormat("end_commit(coord=%d item=%d)", site, item);
   }
   return "?";
 }
@@ -237,7 +261,27 @@ std::vector<AbstractAction> EnabledActions(const AbstractConfig& cfg,
         if (vetoed) continue;
       }
       for (uint8_t x = 0; x < m; ++x) {
-        actions.push_back({Kind::kCommit, c, 0, x});
+        if (cfg.interleaved_commits) {
+          // The item's exclusive write lock: a second commit on the same
+          // item queues behind the pending one and is not a distinct
+          // transition until the slot frees.
+          if (!s.pend[x].active) {
+            actions.push_back({Kind::kBeginCommit, c, 0, x});
+          }
+        } else {
+          actions.push_back({Kind::kCommit, c, 0, x});
+        }
+      }
+    }
+  }
+
+  // kEndCommit: a prepared commit applies. Every pinned participant is
+  // still up by construction — a participant crash clears the slot
+  // (presumed abort) before this action could fire.
+  if (cfg.interleaved_commits) {
+    for (uint8_t x = 0; x < m; ++x) {
+      if (s.pend[x].active) {
+        actions.push_back({Kind::kEndCommit, s.pend[x].coord, 0, x});
       }
     }
   }
@@ -290,6 +334,10 @@ std::vector<AbstractAction> EnabledActions(const AbstractConfig& cfg,
       if (s.site[i].mode != SiteMode::kUp) continue;
       for (uint8_t x = 0; x < m; ++x) {
         if (!((s.site[i].locks[x] >> i) & 1u)) continue;
+        // The copier needs the item's write lock at the refresher and the
+        // clear broadcast conflicts with the pending commit's maintenance;
+        // under 2PL the refresh queues until the commit resolves.
+        if (s.pend[x].active) continue;
         for (uint8_t j = 0; j < n; ++j) {
           if (j == i || !s.site[i].view[j].up) continue;
           if ((s.site[i].locks[x] >> j) & 1u) continue;
@@ -366,6 +414,56 @@ ModelState ApplyAction(const AbstractConfig& cfg, const ModelState& prev,
       ++s.commits_used;
       break;
     }
+    case Kind::kBeginCommit: {
+      const uint8_t c = a.site;
+      const uint8_t x = a.item;
+      uint8_t participants = 0;
+      for (uint8_t j = 0; j < n; ++j) {
+        if (prev.site[c].view[j].up) {
+          participants |= static_cast<uint8_t>(1u << j);
+        }
+      }
+      // Prepare: the coordinator's vector is merged at each participant
+      // now (the prepare message carries it); the write and the fail-lock
+      // maintenance land at kEndCommit.
+      if (!cfg.skip_prepare_view_merge) {
+        for (uint8_t j = 0; j < n; ++j) {
+          if (!((participants >> j) & 1u) || j == c) continue;
+          for (uint8_t k = 0; k < n; ++k) {
+            s.site[j].view[k] = Join(s.site[j].view[k], prev.site[c].view[k]);
+          }
+        }
+      }
+      s.pend[x] = ModelPending{true, c, participants};
+      ++s.commits_used;
+      break;
+    }
+    case Kind::kEndCommit: {
+      const uint8_t x = a.item;
+      const uint8_t participants = prev.pend[x].participants;
+      const uint8_t v = ++s.latest[x];
+      for (uint8_t j = 0; j < n; ++j) {
+        if (!((participants >> j) & 1u)) continue;
+        ModelSite& pj = s.site[j];
+        pj.ver[x] = v;
+        uint8_t row;
+        if (cfg.skip_prepare_view_merge) {
+          row = 0;
+          for (uint8_t k = 0; k < n; ++k) {
+            if (!pj.view[k].up) row |= static_cast<uint8_t>(1u << k);
+          }
+        } else {
+          // Maintenance from the set pinned at prepare time, not from the
+          // believed-up view at apply time: the real engine commits with
+          // the participant set the prepare round agreed on.
+          row = static_cast<uint8_t>(~participants) & all;
+        }
+        pj.locks[x] = row;
+        journal_row(j, x, row, all);
+      }
+      s.pend[x] = ModelPending{};
+      break;
+    }
     case Kind::kDetectFailure: {
       const uint8_t c = a.site;
       const uint8_t d = a.peer;
@@ -389,6 +487,14 @@ ModelState ApplyAction(const AbstractConfig& cfg, const ModelState& prev,
         // timeout covers it.
         if (s.rec[m2].active) {
           s.rec[m2].pending &= static_cast<uint8_t>(~(1u << i));
+        }
+      }
+      for (uint8_t x = 0; x < cfg.n_items; ++x) {
+        // Presumed abort: a crash of any 2PC member kills the prepared
+        // commit before anything applies (the survivors' timers resolve
+        // it to abort).
+        if (s.pend[x].active && ((s.pend[x].participants >> i) & 1u)) {
+          s.pend[x] = ModelPending{};
         }
       }
       ++s.crashes_used;
@@ -424,7 +530,29 @@ ModelState ApplyAction(const AbstractConfig& cfg, const ModelState& prev,
       rec.pending &= static_cast<uint8_t>(~(1u << r));
       rec.any_info = true;
       for (uint8_t x = 0; x < cfg.n_items; ++x) {
-        rec.info_locks[x] |= s.site[r].locks[x];
+        uint8_t served = s.site[r].locks[x];
+        // Prospective maintenance (mirrors Site::RecoveryInfoRows): a
+        // commit past its prepare at this responder will rewrite this row
+        // to the complement of its pinned participant set when it applies
+        // — possibly after recovery completes, when no snapshot can carry
+        // the change — so the responder serves that future row: set bits
+        // cover the recovering site's missed write, cleared bits keep the
+        // union from resurrecting bits the commit clears everywhere else.
+        // skip_prospective_faillocks reproduces the pre-fix reply.
+        if (!cfg.skip_prospective_faillocks && s.pend[x].active &&
+            ((s.pend[x].participants >> r) & 1u)) {
+          const uint8_t p = s.pend[x].participants;
+          served = static_cast<uint8_t>(~p) & FullMask(n);
+          if ((p >> i) & 1u) {
+            // Never prospectively clear the recovering site's OWN bit:
+            // the served row becomes its table, and if the commit that
+            // was going to write to it aborts, a cleared own bit would
+            // let it serve a stale copy. If the commit does land there,
+            // the site's own maintenance (or window journal) clears it.
+            served |= s.site[r].locks[x] & static_cast<uint8_t>(1u << i);
+          }
+        }
+        rec.info_locks[x] |= served;
       }
       for (uint8_t k = 0; k < n; ++k) {
         rec.info_view[k] = Join(rec.info_view[k], s.site[r].view[k]);

@@ -40,6 +40,14 @@ struct AbstractConfig {
   uint32_t max_commits = 3;
   uint32_t max_crashes = 2;
   uint32_t max_refreshes = 2;
+  /// Split every commit into kBeginCommit (prepare: participant set
+  /// pinned, coordinator's vector merged) and kEndCommit (writes + commit-
+  /// time fail-lock maintenance), so recovery announces, info replies and
+  /// completions interleave with a transaction that is past its prepare —
+  /// the window the intra-site 2PL layer widens in the real engine (a
+  /// pinned commit can stay in flight while dozens of others run). Off =
+  /// the classic atomic kCommit action.
+  bool interleaved_commits = false;
   /// Fold site- and item-permutation-symmetric states together. Sound for
   /// this model: the initial state and every guard/effect are symmetric
   /// under relabeling.
@@ -75,6 +83,16 @@ struct AbstractConfig {
   /// about misses the clear and carries a spurious stale fail-lock
   /// indefinitely (lock-owner-consistency violation at depth 12).
   bool narrow_clear_broadcast = false;
+  /// skip_prospective_faillocks: recovery info replies serve only the
+  /// responder's current fail-lock table (pre-fix site.cc semantics),
+  /// omitting prospective bits for commits already past their prepare.
+  /// Only meaningful with interleaved_commits: a commit prepared before
+  /// the announce and applied after completion then sets bits every info
+  /// snapshot missed, and the recovered site serves committed reads from a
+  /// stale copy whose own-table bit is clear (read-safety violation;
+  /// mirrors Site::RecoveryInfoRows and the
+  /// regression_recovery_inflight_coverage trace).
+  bool skip_prospective_faillocks = false;
   /// Also assert pointwise fail-lock agreement between operational
   /// observers at quiescence. This checker REFUTED agreement under the
   /// pre-fix commit semantics: a commit racing a recovery announce made
@@ -132,9 +150,21 @@ struct ModelRecovery {
   uint8_t window_value[kMaxModelItems] = {};
 };
 
+/// A commit past its prepare but not yet applied (interleaved_commits
+/// only). One slot per item: the per-item exclusive write lock admits at
+/// most one transaction between prepare and commit on an item, and the
+/// model folds each transaction to a single-item write.
+struct ModelPending {
+  bool active = false;
+  uint8_t coord = 0;
+  /// Participant set pinned at prepare time, coordinator included.
+  uint8_t participants = 0;
+};
+
 struct ModelState {
   ModelSite site[kMaxModelSites];
   ModelRecovery rec[kMaxModelSites];
+  ModelPending pend[kMaxModelItems];
   /// Freshest committed version per item, cluster-wide (the oracle the
   /// coverage property compares copies against).
   uint8_t latest[kMaxModelItems] = {};
@@ -181,6 +211,16 @@ struct AbstractAction {
     /// `item` from `peer` and broadcasts the clear-fail-locks special
     /// transaction.
     kRefresh = 6,
+    /// interleaved_commits prepare half of kCommit: coordinator `site`
+    /// pins the participant set for `item`, merges its vector at the
+    /// participants, and takes the item's pending slot. The write happens
+    /// at kEndCommit; a crash of any participant first means presumed
+    /// abort (the slot is cleared, nothing was applied).
+    kBeginCommit = 7,
+    /// interleaved_commits commit half: applies the write and runs
+    /// fail-lock maintenance from the pinned participant set, then frees
+    /// the pending slot.
+    kEndCommit = 8,
   };
   Kind kind = Kind::kCommit;
   uint8_t site = 0;

@@ -42,6 +42,7 @@ struct Args {
   std::string json_path;
   std::string bug;
   bool check_agreement = false;
+  bool interleaved = false;
   uint32_t sites = 3;
   uint32_t items = 2;
   uint32_t depth = 12;
@@ -57,8 +58,9 @@ int Usage() {
                "usage: minicheck abstract|systematic [options]\n"
                "       minicheck --replay FILE | --record-golden NAME --out "
                "FILE | --smoke | --list\n"
-               "options: --sites N --items M --depth D --bug "
-               "drop-window|skip-merge|narrow-clear --scenario NAME\n"
+               "options: --sites N --items M --depth D --interleaved --bug "
+               "drop-window|skip-merge|narrow-clear|skip-prospective "
+               "--scenario NAME\n"
                "         --max-executions N --branch-points N --no-symmetry "
                "--json FILE --out FILE\n");
   return 2;
@@ -78,6 +80,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->no_symmetry = true;
     } else if (a == "--check-agreement") {
       args->check_agreement = true;
+    } else if (a == "--interleaved") {
+      args->interleaved = true;
     } else if (a == "--replay") {
       const char* v = next();
       if (!v) return false;
@@ -208,13 +212,18 @@ AbstractConfig AbstractConfigFromArgs(const Args& args) {
   cfg.drop_recovery_window_updates = args.bug == "drop-window";
   cfg.skip_prepare_view_merge = args.bug == "skip-merge";
   cfg.narrow_clear_broadcast = args.bug == "narrow-clear";
+  cfg.skip_prospective_faillocks = args.bug == "skip-prospective";
+  // The prospective-fail-lock bug only exists when prepare and commit are
+  // separate steps, so the toggle implies the interleaved transition set.
+  cfg.interleaved_commits = args.interleaved || cfg.skip_prospective_faillocks;
   cfg.check_lock_agreement = args.check_agreement;
   return cfg;
 }
 
 int RunAbstract(const Args& args) {
   if (!args.bug.empty() && args.bug != "drop-window" &&
-      args.bug != "skip-merge" && args.bug != "narrow-clear") {
+      args.bug != "skip-merge" && args.bug != "narrow-clear" &&
+      args.bug != "skip-prospective") {
     std::fprintf(stderr, "unknown --bug %s\n", args.bug.c_str());
     return 2;
   }

@@ -77,7 +77,7 @@ struct ExecutionOutcome {
 void Inject(SimCluster& cluster, const ScheduleAction& action) {
   switch (action.kind) {
     case ScheduleAction::Kind::kSubmit:
-      cluster.SubmitTxn(action.txn, action.site, [](const TxnReplyArgs&) {});
+      cluster.SubmitTxn(action.txn, action.site, [](const TxnResult&) {});
       break;
     case ScheduleAction::Kind::kFail:
       cluster.managing().FailSite(action.site);
@@ -101,6 +101,7 @@ ExecutionOutcome RunOneExecution(
   copts.backend = ClusterBackend::kSim;
   copts.n_sites = sopts.n_sites;
   copts.db_size = sopts.db_size;
+  copts.site.concurrency = sopts.concurrency;
   // Zero latency folds each protocol exchange onto one virtual instant, so
   // the front-time tie set is exactly the delivery nondeterminism.
   copts.transport.message_latency = 0;
@@ -281,6 +282,7 @@ SystematicResult ExploreSystematic(const SystematicOptions& sopts) {
       CheckTrace trace;
       trace.n_sites = sopts.n_sites;
       trace.db_size = sopts.db_size;
+      trace.concurrency = sopts.concurrency;
       trace.actions = sopts.actions;
       trace.picks = std::move(picks);
       trace.fanouts = std::move(fanouts);
@@ -329,6 +331,7 @@ ReplayOutcome ReplayTrace(const CheckTrace& trace,
   SystematicOptions sopts;
   sopts.n_sites = trace.n_sites;
   sopts.db_size = trace.db_size;
+  sopts.concurrency = trace.concurrency;
   sopts.actions = trace.actions;
   sopts.invariants = invariants;
 
@@ -383,6 +386,7 @@ CheckTrace RecordGoldenTrace(const SystematicOptions& sopts) {
   CheckTrace trace;
   trace.n_sites = sopts.n_sites;
   trace.db_size = sopts.db_size;
+  trace.concurrency = sopts.concurrency;
   trace.actions = sopts.actions;
   trace.picks = std::move(picks);
   trace.fanouts = std::move(fanouts);
@@ -402,7 +406,8 @@ InvariantChecker::Options SystematicOracleOptions() {
 }
 
 std::vector<std::string_view> ScenarioNames() {
-  return {"smoke", "recovery-skew", "recovery-window", "double-failure"};
+  return {"smoke", "recovery-skew", "recovery-window", "double-failure",
+          "interleaved-2pl"};
 }
 
 std::optional<SystematicOptions> ScenarioByName(std::string_view name) {
@@ -455,6 +460,30 @@ std::optional<SystematicOptions> ScenarioByName(std::string_view name) {
     };
     s.max_branch_points = 18;
     s.max_executions = 60000;
+    return s;
+  }
+  if (name == "interleaved-2pl") {
+    // Intra-site concurrency: with site 2 down, two coordinations with
+    // conflicting write sets overlap at coordinator 0 (per-item 2PL,
+    // wait-die — no lock timers, so every cut quiesces). Each commit runs
+    // fail-lock maintenance for the dead site's copies while the other
+    // executor is mid-flight on the same engine, so the explorer covers
+    // lock hand-off, wait-die rejection, and maintenance/executor
+    // interleavings; the serial recovery then re-checks the column merge.
+    s.concurrency.mode = ConcurrencyMode::kTwoPhaseLocking;
+    s.concurrency.max_executors = 2;
+    s.concurrency.deadlock_policy = DeadlockPolicy::kWaitDie;
+    s.actions = {
+        ScheduleAction::Submit(WriteTxn(1, 0), 0, /*serial=*/true),
+        ScheduleAction::Fail(2, /*serial=*/true),
+        ScheduleAction::Submit(WriteTxn(2, 0), 0),
+        ScheduleAction::Submit(WriteTxn(3, 0), 0),
+        ScheduleAction::Recover(2, /*serial=*/true),
+    };
+    // Exhausts at ~51k executions / ~45k branch nodes (a couple of seconds);
+    // the bounds leave headroom so the run reports a genuine full sweep.
+    s.max_branch_points = 32;
+    s.max_executions = 80000;
     return s;
   }
   if (name == "double-failure") {

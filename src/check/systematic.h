@@ -33,6 +33,11 @@ namespace miniraid::check {
 struct SystematicOptions {
   uint32_t n_sites = 3;
   uint32_t db_size = 2;
+  /// Intra-site concurrency of every site engine. Serial by default; set
+  /// mode = kTwoPhaseLocking (wait-die recommended — no lock timers, so
+  /// quiescent cuts stay reachable) to explore interleaved executions of
+  /// overlapping coordinations at one site.
+  ConcurrencyOptions concurrency;
   std::vector<ScheduleAction> actions;
   /// Choice points recorded (and therefore explored) per execution; deeper
   /// choice points fall back to FIFO order. Exhaustive within the bound.

@@ -354,6 +354,26 @@ void AppendUintArray(std::string* out, const std::vector<uint32_t>& values) {
   out->push_back(']');
 }
 
+std::string_view PolicyToken(DeadlockPolicy policy) {
+  switch (policy) {
+    case DeadlockPolicy::kWaitDie:
+      return "wait-die";
+    case DeadlockPolicy::kWoundWait:
+      return "wound-wait";
+    case DeadlockPolicy::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+Result<DeadlockPolicy> PolicyFromToken(std::string_view token) {
+  if (token == "wait-die") return DeadlockPolicy::kWaitDie;
+  if (token == "wound-wait") return DeadlockPolicy::kWoundWait;
+  if (token == "timeout") return DeadlockPolicy::kTimeout;
+  return Status::InvalidArgument(StrFormat(
+      "trace JSON: unknown deadlock policy \"%s\"", std::string(token).c_str()));
+}
+
 }  // namespace
 
 std::string ScheduleAction::ToString() const {
@@ -375,6 +395,16 @@ std::string TraceToJson(const CheckTrace& trace) {
   out += "  \"kind\": \"systematic\",\n";
   out += StrFormat("  \"n_sites\": %u,\n", trace.n_sites);
   out += StrFormat("  \"db_size\": %u,\n", trace.db_size);
+  // Emitted only for non-serial executions so pre-concurrency golden traces
+  // stay byte-identical.
+  if (trace.concurrency.locking()) {
+    out += StrFormat(
+        "  \"concurrency\": {\"mode\": \"2pl\", \"max_executors\": %u, "
+        "\"deadlock_policy\": \"%s\", \"lock_wait_timeout_ms\": %ld},\n",
+        trace.concurrency.max_executors,
+        std::string(PolicyToken(trace.concurrency.deadlock_policy)).c_str(),
+        static_cast<long>(trace.concurrency.lock_wait_timeout / 1000000));
+  }
   out += "  \"note\": ";
   AppendJsonString(&out, trace.note);
   out += ",\n  \"actions\": [\n";
@@ -428,6 +458,28 @@ Result<CheckTrace> TraceFromJson(std::string_view json) {
   trace.n_sites = static_cast<uint32_t>(n_sites);
   trace.db_size = static_cast<uint32_t>(db_size);
   trace.note = GetStringOr(obj, "note", "");
+  // Optional: absent = serial (traces predating the concurrency extension).
+  if (auto conc_it = obj.find("concurrency");
+      conc_it != obj.end() && conc_it->second.type == JsonValue::Type::kObject) {
+    const JsonObject& conc = *conc_it->second.object;
+    const std::string mode = GetStringOr(conc, "mode", "serial");
+    if (mode == "2pl") {
+      trace.concurrency.mode = ConcurrencyMode::kTwoPhaseLocking;
+    } else if (mode != "serial") {
+      return Status::InvalidArgument(StrFormat(
+          "trace JSON: unknown concurrency mode \"%s\"", mode.c_str()));
+    }
+    trace.concurrency.max_executors = static_cast<uint32_t>(
+        GetNumberOr(conc, "max_executors", trace.concurrency.max_executors));
+    MINIRAID_ASSIGN_OR_RETURN(
+        trace.concurrency.deadlock_policy,
+        PolicyFromToken(GetStringOr(
+            conc, "deadlock_policy",
+            std::string(PolicyToken(trace.concurrency.deadlock_policy)))));
+    trace.concurrency.lock_wait_timeout = Milliseconds(GetNumberOr(
+        conc, "lock_wait_timeout_ms",
+        trace.concurrency.lock_wait_timeout / 1000000));
+  }
   auto actions_it = obj.find("actions");
   if (actions_it == obj.end() ||
       actions_it->second.type != JsonValue::Type::kArray) {

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/types.h"
+#include "replication/options.h"
 #include "txn/transaction.h"
 
 namespace miniraid::check {
@@ -55,6 +56,10 @@ struct CheckTrace {
   uint32_t version = 1;
   uint32_t n_sites = 3;
   uint32_t db_size = 2;
+  /// Intra-site concurrency configuration of the execution. Serialized only
+  /// when non-serial, and parsed with serial defaults, so traces recorded
+  /// before the concurrency extension replay unchanged.
+  ConcurrencyOptions concurrency;
   /// Free-form provenance ("found by ExploreSystematic, scenario X").
   std::string note;
   std::vector<ScheduleAction> actions;

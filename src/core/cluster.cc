@@ -86,10 +86,10 @@ void SimCluster::SubmitTxn(const TxnSpec& txn, SiteId coordinator,
   window_->Submit(txn, coordinator, std::move(callback));
 }
 
-TxnReplyArgs SimCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
-  std::optional<TxnReplyArgs> result;
+TxnResult SimCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
+  std::optional<TxnResult> result;
   SubmitTxn(txn, coordinator,
-            [&result](const TxnReplyArgs& reply) { result = reply; });
+            [&result](const TxnResult& reply) { result = reply; });
   sim_.RunUntilIdle();
   MR_CHECK(result.has_value()) << "simulation drained without a reply";
   EnforceInvariants();

@@ -42,7 +42,7 @@ class SimCluster : public Cluster {
 
   /// Submits `txn` to `coordinator` and runs the simulation to quiescence;
   /// returns the reply (synthesized kCoordinatorUnreachable on timeout).
-  TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator) override;
+  TxnResult RunTxn(const TxnSpec& txn, SiteId coordinator) override;
 
   /// Fails / recovers a site through the managing site's control channel
   /// and runs to quiescence.

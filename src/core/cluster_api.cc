@@ -18,7 +18,7 @@ std::string_view ClusterBackendName(ClusterBackend backend) {
   return "unknown";
 }
 
-const TxnReplyArgs& TxnHandle::Get() {
+const TxnResult& TxnHandle::Get() {
   MR_CHECK(valid()) << "Get() on an empty TxnHandle";
   if (!state_->IsDone()) cluster_->AwaitTxn(*state_);
   return state_->reply;
@@ -47,7 +47,7 @@ Cluster::~Cluster() = default;
 TxnHandle Cluster::SubmitTxn(const TxnSpec& txn, SiteId coordinator) {
   auto state = std::make_shared<internal::TxnWaitState>();
   state->id = txn.id;
-  SubmitTxn(txn, coordinator, [state](const TxnReplyArgs& reply) {
+  SubmitTxn(txn, coordinator, [state](const TxnResult& reply) {
     {
       MutexLock lock(state->mu);
       state->reply = reply;
@@ -61,7 +61,7 @@ TxnHandle Cluster::SubmitTxn(const TxnSpec& txn, SiteId coordinator) {
   return TxnHandle(this, std::move(state));
 }
 
-TxnReplyArgs Cluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
+TxnResult Cluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
   return SubmitTxn(txn, coordinator).Get();
 }
 

@@ -124,7 +124,7 @@ struct TxnWaitState {
   /// `done` is observed true, so the lock release/acquire on `done` is the
   /// synchronization for `reply` too — TxnHandle::Get can safely hand out
   /// a plain reference.
-  TxnReplyArgs reply;
+  TxnResult reply;
   TxnId id = 0;
 
   bool IsDone() {
@@ -152,7 +152,7 @@ class TxnHandle {
 
   /// Waits for the reply (running the simulation to completion under the
   /// sim backend). The reference stays valid as long as the handle lives.
-  MR_RUNS_ON(client) const TxnReplyArgs& Get();
+  MR_RUNS_ON(client) const TxnResult& Get();
 
  private:
   friend class Cluster;
@@ -207,7 +207,7 @@ class Cluster {
   /// check_invariants) enforces the protocol invariants, preserving the
   /// paper experiments' serial semantics.
   MR_RUNS_ON(client)
-  virtual TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator);
+  virtual TxnResult RunTxn(const TxnSpec& txn, SiteId coordinator);
 
   // -- failure control ------------------------------------------------------
 

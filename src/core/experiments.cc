@@ -57,7 +57,7 @@ ScenarioResult RunScenarioImplInternal(const ScenarioConfig& config,
     const SiteId coordinator = policy.Pick(up, &policy_rng);
     const TxnSpec txn = workload.Next();
     ++txn_no;
-    const TxnReplyArgs reply = cluster->RunTxn(txn, coordinator);
+    const TxnResult reply = cluster->RunTxn(txn, coordinator);
 
     TxnRecord record;
     record.txn_no = txn_no;
@@ -392,7 +392,7 @@ Exp1CopierResult RunExp1Copier(const Exp1Config& config) {
   // generate copier transactions on demand.
   uint32_t with_copier_samples = 0;
   for (uint32_t i = 0; i < 300 && with_copier_samples < 30; ++i) {
-    const TxnReplyArgs reply = cluster.RunTxn(workload.Next(), victim);
+    const TxnResult reply = cluster.RunTxn(workload.Next(), victim);
     if (reply.copier_count > 0) ++with_copier_samples;
   }
 

@@ -39,7 +39,7 @@ void ManagingSite::Shutdown(SiteId site) {
 
 void ManagingSite::OnMessage(const Message& msg) {
   if (msg.type != MsgType::kTxnReply) return;
-  const auto& reply = msg.As<TxnReplyArgs>();
+  const auto& reply = msg.As<TxnResult>();
   auto it = pending_.find(reply.txn);
   if (it == pending_.end()) {
     // Not outstanding: either a duplicate of a reply already counted, or —
@@ -74,7 +74,7 @@ void ManagingSite::ClientTimeout(TxnId txn) {
   pending_.erase(it);
   ++unreachable_;
   RecordTimedOut(txn);
-  TxnReplyArgs synthetic;
+  TxnResult synthetic;
   synthetic.txn = txn;
   synthetic.outcome = TxnOutcome::kCoordinatorUnreachable;
   if (pending.callback) pending.callback(synthetic);

@@ -34,7 +34,7 @@ class ManagingSite : public MessageHandler {
   ManagingSite(SiteId id, Transport* transport, SiteRuntime* runtime)
       : ManagingSite(id, transport, runtime, Options{}) {}
 
-  using ReplyCallback = std::function<void(const TxnReplyArgs&)>;
+  using ReplyCallback = std::function<void(const TxnResult&)>;
 
   /// Sends `txn` to `coordinator` and invokes `callback` exactly once: with
   /// the coordinator's reply, or with outcome kCoordinatorUnreachable after

@@ -32,7 +32,7 @@ void SubmitWindow::Close() {
 }
 
 void SubmitWindow::Reject(Pending pending) {
-  TxnReplyArgs reply;
+  TxnResult reply;
   reply.txn = pending.txn.id;
   reply.outcome = TxnOutcome::kCoordinatorUnreachable;
   pending.callback(reply);
@@ -44,7 +44,7 @@ void SubmitWindow::Dispatch(Pending pending) {
   ManagingSite::ReplyCallback callback = std::move(pending.callback);
   managing_->Submit(
       pending.txn, pending.coordinator,
-      [this, callback = std::move(callback)](const TxnReplyArgs& reply) {
+      [this, callback = std::move(callback)](const TxnResult& reply) {
         --inflight_;
         // Refill the slot before running user code so the pipe never goes
         // idle while a queued transaction is waiting.

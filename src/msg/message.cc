@@ -97,8 +97,10 @@ struct PayloadEncoder {
   void operator()(const TxnRequestArgs& a) {
     enc.PutU64(a.txn.id);
     enc.PutVector(a.txn.ops, PutOperation);
+    enc.PutVector(a.txn.declared_reads, PutItemId);
+    enc.PutVector(a.txn.declared_writes, PutItemId);
   }
-  void operator()(const TxnReplyArgs& a) {
+  void operator()(const TxnResult& a) {
     enc.PutU64(a.txn);
     enc.PutU8(static_cast<uint8_t>(a.outcome));
     enc.PutU32(a.copier_count);
@@ -164,15 +166,18 @@ Status DecodePayload(MsgType type, Decoder& dec, Payload* out) {
       TxnRequestArgs a;
       MINIRAID_RETURN_IF_ERROR(dec.GetU64(&a.txn.id));
       MINIRAID_RETURN_IF_ERROR(dec.GetVector(&a.txn.ops, GetOperation));
+      MINIRAID_RETURN_IF_ERROR(dec.GetVector(&a.txn.declared_reads, GetItemId));
+      MINIRAID_RETURN_IF_ERROR(
+          dec.GetVector(&a.txn.declared_writes, GetItemId));
       *out = std::move(a);
       return Status::Ok();
     }
     case MsgType::kTxnReply: {
-      TxnReplyArgs a;
+      TxnResult a;
       MINIRAID_RETURN_IF_ERROR(dec.GetU64(&a.txn));
       uint8_t outcome = 0;
       MINIRAID_RETURN_IF_ERROR(dec.GetU8(&outcome));
-      if (outcome > static_cast<uint8_t>(TxnOutcome::kAbortedStaleView)) {
+      if (outcome > static_cast<uint8_t>(TxnOutcome::kAbortedLockTimeout)) {
         return Status::Corruption("bad txn outcome");
       }
       a.outcome = static_cast<TxnOutcome>(outcome);

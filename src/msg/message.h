@@ -98,15 +98,30 @@ struct TxnRequestArgs {
                          const TxnRequestArgs&) = default;
 };
 
-struct TxnReplyArgs {
+/// Terminal result of a database transaction, carried by kTxnReply from
+/// the coordinator to the managing site and handed to client callbacks.
+/// The typed abort reason (TxnOutcome) distinguishes deadlock victims,
+/// lock-wait timeouts, stale membership views, and failure-driven aborts;
+/// retryable() says whether re-submitting unchanged may succeed.
+struct TxnResult {
   TxnId txn = 0;
   TxnOutcome outcome = TxnOutcome::kCommitted;
   /// Copier transactions the coordinator ran for this transaction.
   uint32_t copier_count = 0;
   /// Values observed by the read operations (post-copier), for the oracle.
   std::vector<ItemCopy> reads;
-  friend bool operator==(const TxnReplyArgs&, const TxnReplyArgs&) = default;
+
+  bool committed() const { return outcome == TxnOutcome::kCommitted; }
+  bool aborted() const { return outcome != TxnOutcome::kCommitted; }
+  /// True for transient scheduling aborts (see IsRetryableAbort).
+  bool retryable() const { return IsRetryableAbort(outcome); }
+
+  friend bool operator==(const TxnResult&, const TxnResult&) = default;
 };
+
+/// Deprecated name for TxnResult, kept for one PR while call sites
+/// migrate; new code should say TxnResult.
+using TxnReplyArgs = TxnResult;
 
 struct PrepareArgs {
   TxnId txn = 0;
@@ -267,7 +282,7 @@ struct ChannelAckArgs {
 };
 
 using Payload =
-    std::variant<TxnRequestArgs, TxnReplyArgs, PrepareArgs, PrepareAckArgs,
+    std::variant<TxnRequestArgs, TxnResult, PrepareArgs, PrepareAckArgs,
                  CommitArgs, CommitAckArgs, AbortArgs, CopyRequestArgs,
                  CopyReplyArgs, ClearFailLocksArgs, ClearFailLocksAckArgs,
                  RecoveryAnnounceArgs, RecoveryInfoArgs, FailureAnnounceArgs,

@@ -1,0 +1,191 @@
+#include "replication/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace miniraid {
+
+LockManager::Outcome LockManager::Acquire(ItemId item, TxnId txn, Mode mode,
+                                          std::function<void()> on_grant) {
+  ItemLocks& locks = locks_[item];
+
+  if (locks.holders.empty()) {
+    locks.mode = mode;
+    locks.holders.insert(txn);
+    return Outcome::kGranted;
+  }
+
+  if (locks.holders.count(txn)) {
+    // Re-entrant acquisition. Shared -> exclusive upgrades succeed only
+    // for a sole holder; otherwise treat like any conflicting request.
+    if (mode == Mode::kShared || locks.mode == Mode::kExclusive) {
+      return Outcome::kGranted;
+    }
+    if (locks.holders.size() == 1) {
+      locks.mode = Mode::kExclusive;
+      return Outcome::kGranted;
+    }
+    // Fall through: upgrade conflicts with the other shared holders.
+  }
+
+  const bool compatible = mode == Mode::kShared &&
+                          locks.mode == Mode::kShared &&
+                          locks.queue.empty();  // no writer starvation
+  if (compatible) {
+    locks.holders.insert(txn);
+    return Outcome::kGranted;
+  }
+
+  switch (options_.deadlock_policy) {
+    case DeadlockPolicy::kWaitDie:
+      // Wait only if older (smaller id) than every conflicting holder; a
+      // younger requester dies so no cycle can form.
+      for (const TxnId holder : locks.holders) {
+        if (holder == txn) continue;
+        if (txn > holder) return Outcome::kRejected;
+      }
+      break;
+    case DeadlockPolicy::kWoundWait:
+      // Wound every younger conflicting holder (deferred: the site aborts
+      // them, and their ReleaseAll grants this queued request). Pinned
+      // holders are skipped — the requester waits for them instead.
+      for (const TxnId holder : locks.holders) {
+        if (holder == txn) continue;
+        if (holder > txn) Wound(holder);
+      }
+      break;
+    case DeadlockPolicy::kTimeout:
+      // Always queue; the site's lock-wait timer breaks cycles.
+      break;
+  }
+  MR_CHECK(on_grant != nullptr) << "queued lock request needs a callback";
+  locks.queue.push_back(Waiter{txn, mode, std::move(on_grant)});
+  return Outcome::kQueued;
+}
+
+void LockManager::Wound(TxnId victim) {
+  if (pinned_.count(victim) || wounded_.count(victim)) return;
+  wounded_.insert(victim);
+  pending_wounds_.push_back(victim);
+}
+
+std::vector<TxnId> LockManager::TakePendingWounds() {
+  std::vector<TxnId> out;
+  out.swap(pending_wounds_);
+  return out;
+}
+
+void LockManager::Pin(TxnId txn) { pinned_.insert(txn); }
+
+void LockManager::GrantFromQueue(ItemId item) {
+  auto it = locks_.find(item);
+  if (it == locks_.end()) return;
+  ItemLocks& locks = it->second;
+  // Grant while compatible: one exclusive waiter alone, or a run of shared
+  // waiters. Wound-wait grants oldest-first so every wait edge points
+  // young -> old (see header); the other policies grant FIFO.
+  const bool oldest_first =
+      options_.deadlock_policy == DeadlockPolicy::kWoundWait;
+  std::vector<std::function<void()>> callbacks;
+  while (!locks.queue.empty()) {
+    size_t pick = 0;
+    if (oldest_first) {
+      for (size_t i = 1; i < locks.queue.size(); ++i) {
+        if (locks.queue[i].txn < locks.queue[pick].txn) pick = i;
+      }
+    }
+    Waiter& next = locks.queue[pick];
+    const bool sole_holder_upgrade =
+        locks.holders.size() == 1 && locks.holders.count(next.txn) > 0;
+    const bool can_grant =
+        locks.holders.empty() || sole_holder_upgrade ||
+        (next.mode == Mode::kShared && locks.mode == Mode::kShared);
+    if (!can_grant) break;
+    locks.mode = (locks.holders.empty() || sole_holder_upgrade)
+                     ? next.mode
+                     : locks.mode;
+    locks.holders.insert(next.txn);
+    callbacks.push_back(std::move(next.on_grant));
+    locks.queue.erase(locks.queue.begin() + pick);
+    if (locks.mode == Mode::kExclusive) break;
+  }
+  if (locks.holders.empty() && locks.queue.empty()) {
+    locks_.erase(it);
+  }
+  for (auto& callback : callbacks) callback();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  pinned_.erase(txn);
+  wounded_.erase(txn);
+  pending_wounds_.erase(
+      std::remove(pending_wounds_.begin(), pending_wounds_.end(), txn),
+      pending_wounds_.end());
+  // Collect affected items first: grant callbacks may re-enter Acquire.
+  std::vector<ItemId> affected;
+  for (auto& [item, locks] : locks_) {
+    const bool held = locks.holders.erase(txn) > 0;
+    const auto queued = std::remove_if(
+        locks.queue.begin(), locks.queue.end(),
+        [txn](const Waiter& waiter) { return waiter.txn == txn; });
+    const bool dequeued = queued != locks.queue.end();
+    locks.queue.erase(queued, locks.queue.end());
+    if (held || dequeued) affected.push_back(item);
+  }
+  for (const ItemId item : affected) GrantFromQueue(item);
+  // Drop empty entries that GrantFromQueue did not visit/erase.
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second.holders.empty() && it->second.queue.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LockManager::CancelWaits(TxnId txn) {
+  // Dropping a queued waiter can unblock the requests behind it (a shared
+  // run dammed up behind a canceled exclusive), so re-run the grant loop.
+  std::vector<ItemId> affected;
+  for (auto& [item, locks] : locks_) {
+    const auto queued = std::remove_if(
+        locks.queue.begin(), locks.queue.end(),
+        [txn](const Waiter& waiter) { return waiter.txn == txn; });
+    if (queued != locks.queue.end()) {
+      locks.queue.erase(queued, locks.queue.end());
+      affected.push_back(item);
+    }
+  }
+  for (const ItemId item : affected) GrantFromQueue(item);
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    if (it->second.holders.empty() && it->second.queue.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockManager::Holds(ItemId item, TxnId txn) const {
+  auto it = locks_.find(item);
+  return it != locks_.end() && it->second.holders.count(txn) > 0;
+}
+
+size_t LockManager::HolderCount(ItemId item) const {
+  auto it = locks_.find(item);
+  return it == locks_.end() ? 0 : it->second.holders.size();
+}
+
+size_t LockManager::QueueLength(ItemId item) const {
+  auto it = locks_.find(item);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+size_t LockManager::TotalHeld() const {
+  size_t total = 0;
+  for (const auto& [item, locks] : locks_) total += locks.holders.size();
+  return total;
+}
+
+}  // namespace miniraid

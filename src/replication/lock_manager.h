@@ -1,0 +1,125 @@
+#ifndef MINIRAID_REPLICATION_LOCK_MANAGER_H_
+#define MINIRAID_REPLICATION_LOCK_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "replication/options.h"
+
+namespace miniraid {
+
+/// Per-site item lock manager for the two-phase-locking execution mode
+/// (ConcurrencyOptions::mode == kTwoPhaseLocking): shared locks for a
+/// coordinator's reads, exclusive locks for writes (acquired at every
+/// participant through phase one of 2PC) and for copier refreshes. Locks
+/// are strict — held through commit — so fail-lock maintenance inside the
+/// commit step can never race a concurrent executor on the same item.
+///
+/// Deadlocks are broken per ConcurrencyOptions::deadlock_policy:
+///
+///  - kWaitDie: an older requester (smaller TxnId) waits for a conflicting
+///    holder, a younger one is rejected at request time (kRejected). Grants
+///    from the queue are FIFO. No cycle can form: every wait edge points
+///    old -> young, and a site enqueues one transaction's whole lock set in
+///    a single event, so queue order is consistent across items.
+///  - kWoundWait: an older requester wounds younger conflicting holders
+///    (recorded, surfaced via TakePendingWounds; the site aborts the
+///    victims with kAbortedDeadlock), a younger requester waits. Grants
+///    from the queue are oldest-first, so every wait edge points
+///    young -> old and cycles are impossible. Holders past the point of no
+///    return (Pin) are never wounded; a pinned transaction never waits, so
+///    it cannot extend a cycle.
+///  - kTimeout: every conflicting request queues; the site runs a
+///    lock-wait timer per transaction and aborts it (kAbortedLockTimeout,
+///    via CancelWaits + ReleaseAll) if a request is still queued when the
+///    timer fires.
+///
+/// Single-threaded per the site's execution context. Grant callbacks fire
+/// synchronously from ReleaseAll / CancelWaits; wounds are NEVER delivered
+/// synchronously from Acquire — the site drains them with
+/// TakePendingWounds after its own bookkeeping is consistent.
+class LockManager {
+ public:
+  enum class Mode : uint8_t { kShared = 0, kExclusive = 1 };
+
+  enum class Outcome : uint8_t {
+    kGranted,   // lock held; proceed now
+    kQueued,    // on_grant will fire when the conflict clears
+    kRejected,  // wait-die only: requester is younger than a holder
+  };
+
+  explicit LockManager(const ConcurrencyOptions& options)
+      : options_(options) {}
+
+  /// Requests `mode` on `item` for `txn`. Re-entrant: a holder re-acquiring
+  /// (or upgrading shared->exclusive when it is the only holder) is granted.
+  /// `on_grant` is invoked exactly once if and when a kQueued request is
+  /// eventually granted; it must not be null for queued requests. Under
+  /// kWoundWait this may record wounds — the caller must drain
+  /// TakePendingWounds before returning to the event loop.
+  Outcome Acquire(ItemId item, TxnId txn, Mode mode,
+                  std::function<void()> on_grant);
+
+  /// Releases every lock `txn` holds, cancels its queued requests and
+  /// forgets its pin/wound marks, granting whatever unblocks (grant
+  /// callbacks fire before return).
+  void ReleaseAll(TxnId txn);
+
+  /// Cancels `txn`'s queued (not yet granted) requests only; held locks
+  /// stay held. Used by the kTimeout policy when a lock-wait timer fires:
+  /// the site then aborts the transaction, which calls ReleaseAll.
+  void CancelWaits(TxnId txn);
+
+  /// Marks `txn` as past the point of no return (coordinator has started
+  /// the commit decision / participant has acked prepare). Wound-wait
+  /// skips pinned holders; ReleaseAll clears the mark.
+  void Pin(TxnId txn);
+  bool IsPinned(TxnId txn) const { return pinned_.count(txn) > 0; }
+
+  /// Returns and clears the transactions wounded since the last call, in
+  /// wound order. The site aborts each (kAbortedDeadlock). A transaction
+  /// is reported at most once until its ReleaseAll.
+  std::vector<TxnId> TakePendingWounds();
+
+  bool Holds(ItemId item, TxnId txn) const;
+  /// Locks currently held (any mode) on `item`.
+  size_t HolderCount(ItemId item) const;
+  /// Queued (not yet granted) requests on `item`.
+  size_t QueueLength(ItemId item) const;
+  /// Total held locks across all items (for tests / leak checks).
+  size_t TotalHeld() const;
+
+  const ConcurrencyOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    Mode mode;
+    std::function<void()> on_grant;
+  };
+
+  struct ItemLocks {
+    Mode mode = Mode::kShared;
+    std::set<TxnId> holders;
+    /// FIFO arrival order; kWoundWait grants oldest-first instead.
+    std::vector<Waiter> queue;
+  };
+
+  void GrantFromQueue(ItemId item);
+  /// Records a wound for `victim` unless it is pinned or already wounded.
+  void Wound(TxnId victim);
+
+  ConcurrencyOptions options_;
+  std::map<ItemId, ItemLocks> locks_;
+  std::set<TxnId> pinned_;
+  /// Wounded and not yet released — suppresses duplicate wound reports.
+  std::set<TxnId> wounded_;
+  std::vector<TxnId> pending_wounds_;
+};
+
+}  // namespace miniraid
+
+#endif  // MINIRAID_REPLICATION_LOCK_MANAGER_H_

@@ -11,6 +11,58 @@
 
 namespace miniraid {
 
+/// How a site schedules the transactions it coordinates.
+enum class ConcurrencyMode : uint8_t {
+  /// One coordination at a time per site (the paper's assumption 2);
+  /// incoming requests queue behind the active one. The default — the
+  /// paper experiments reproduce unchanged.
+  kSerial = 0,
+  /// Strict per-item two-phase locking: up to `max_executors` concurrent
+  /// coordinations per site, each holding shared locks on its read set and
+  /// exclusive locks on its write set from acquisition through commit.
+  kTwoPhaseLocking = 1,
+};
+
+/// How lock-wait cycles are broken under kTwoPhaseLocking.
+enum class DeadlockPolicy : uint8_t {
+  /// WAIT-DIE on transaction ids: an older requester (smaller id) waits,
+  /// a younger one is rejected immediately (kAbortedLockConflict).
+  kWaitDie = 0,
+  /// WOUND-WAIT on transaction ids: an older requester wounds younger
+  /// conflicting holders (they abort with kAbortedDeadlock), a younger
+  /// requester waits. Locks are granted from the queue oldest-first.
+  kWoundWait = 1,
+  /// Always queue on conflict; a request that waits longer than
+  /// `lock_wait_timeout` aborts its transaction (kAbortedLockTimeout).
+  kTimeout = 2,
+};
+
+/// Intra-site concurrency control, grouped in one sub-struct (mirroring
+/// the TransportFaults pattern) so call sites configure scheduling as a
+/// unit: `options.concurrency = {.mode = ..., .max_executors = ...}`.
+struct ConcurrencyOptions {
+  ConcurrencyMode mode = ConcurrencyMode::kSerial;
+
+  /// Upper bound on concurrent coordinations per site under
+  /// kTwoPhaseLocking (ignored — effectively 1 — under kSerial). All
+  /// executors share the site's one execution context; concurrency means
+  /// logically interleaved 2PC coordinations, not threads.
+  uint32_t max_executors = 8;
+
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kWaitDie;
+
+  /// kTimeout policy only: how long a lock request may sit queued before
+  /// its transaction aborts.
+  Duration lock_wait_timeout = Milliseconds(500);
+
+  bool locking() const { return mode == ConcurrencyMode::kTwoPhaseLocking; }
+
+  /// Coordination slots the site engine actually uses.
+  uint32_t EffectiveExecutors() const {
+    return locking() ? (max_executors > 0 ? max_executors : 1) : 1;
+  }
+};
+
 /// Static configuration shared by every site in a cluster.
 struct SiteOptions {
   /// Number of database sites (the managing site is extra, see
@@ -80,13 +132,11 @@ struct SiteOptions {
   bool lose_state_on_crash = false;
 
   /// Opt-in concurrency-control extension (the paper's deferred "complete
-  /// RAID" integration): strict two-phase item locking — shared locks for
-  /// the coordinator's local reads, exclusive locks acquired at every site
-  /// through phase one for writes — with WAIT-DIE deadlock avoidance
-  /// (younger conflicting transactions abort with kAbortedLockConflict and
-  /// can be retried). Off by default: the paper's experiments run without
-  /// concurrency control (assumption 2).
-  bool enable_locking = false;
+  /// RAID" integration): strict two-phase item locking with a configurable
+  /// deadlock policy and executor bound. Defaults to serial execution —
+  /// the paper's experiments run without concurrency control
+  /// (assumption 2). See ConcurrencyOptions.
+  ConcurrencyOptions concurrency;
 
   /// Optional shared protocol trace (not owned; must outlive the sites).
   /// Only enable under the simulator — TraceLog is not thread-safe.

@@ -39,6 +39,7 @@ Site::Site(SiteId id, const SiteOptions& options, Transport* transport,
       transport_(transport),
       runtime_(runtime),
       db_(MakeDatabase(id, options)),
+      lock_manager_(options.concurrency),
       session_vector_(options.n_sites),
       fail_locks_(options.db_size, options.n_sites),
       holders_(MakeHolders(options)) {
@@ -149,16 +150,23 @@ void Site::OnMessage(const Message& msg) {
 void Site::Crash() {
   status_ = SiteStatus::kDown;
   Trace(TraceEvent::kCrashed, options_.lose_state_on_crash ? 1 : 0);
-  if (coord_) {
-    runtime_->CancelTimer(coord_->timer);
-    coord_.reset();
+  for (auto& [txn, coordination] : coords_) {
+    runtime_->CancelTimer(coordination.timer);
+    runtime_->CancelTimer(coordination.lock_timer);
+  }
+  coords_.clear();
+  if (batch_) {
+    runtime_->CancelTimer(batch_->timer);
+    batch_.reset();
   }
   for (auto& [txn, participation] : participations_) {
     runtime_->CancelTimer(participation.timer);
+    runtime_->CancelTimer(participation.lock_timer);
   }
   participations_.clear();
   queued_requests_.clear();
-  lock_table_ = LockTable();  // all locks vanish with the crash
+  lock_manager_ = LockManager(options_.concurrency);  // locks vanish with
+                                                      // the crash
   if (recovery_) {
     runtime_->CancelTimer(recovery_->timer);
     recovery_.reset();
@@ -187,8 +195,7 @@ void Site::HandleTxnRequest(const Message& msg) {
   // transaction this site is already serving, has queued, or recently
   // finished must not run the transaction twice.
   const TxnId incoming = msg.As<TxnRequestArgs>().txn.id;
-  const bool serving =
-      coord_ && !coord_->batch_refresh && coord_->txn.id == incoming;
+  const bool serving = coords_.count(incoming) > 0;
   const bool queued = std::any_of(
       queued_requests_.begin(), queued_requests_.end(),
       [incoming](const Message& q) {
@@ -198,9 +205,10 @@ void Site::HandleTxnRequest(const Message& msg) {
     ++counters_.duplicate_msgs_ignored;
     return;
   }
-  if (coord_) {
-    // Another transaction is being coordinated; serve this one when the
-    // slot frees up. Execution at this site stays serial.
+  if (batch_ ||
+      coords_.size() >= options_.concurrency.EffectiveExecutors()) {
+    // Every executor slot is busy (or a batch refresh has the site to
+    // itself); serve this one when a slot frees up.
     if (queued_requests_.size() < kMaxQueuedRequests) {
       queued_requests_.push_back(msg);
     } else {
@@ -210,18 +218,46 @@ void Site::HandleTxnRequest(const Message& msg) {
     return;
   }
   ++counters_.txns_coordinated;
-  coord_.emplace();
-  coord_->txn = msg.As<TxnRequestArgs>().txn;
-  coord_->client = msg.from;
-  coord_->start_time = runtime_->Now();
-  Trace(TraceEvent::kTxnReceived, coord_->txn.id, coord_->txn.ops.size());
+  Coordination& c = coords_[incoming];
+  c.txn = msg.As<TxnRequestArgs>().txn;
+  c.client = msg.from;
+  c.start_time = runtime_->Now();
+  counters_.max_concurrent_coordinations =
+      std::max<uint64_t>(counters_.max_concurrent_coordinations,
+                         coords_.size());
+  Trace(TraceEvent::kTxnReceived, c.txn.id, c.txn.ops.size());
   Charge(options_.costs.txn_setup);
 
   // Validate before touching any table: item ids from the wire are
-  // untrusted input.
-  for (const Operation& op : coord_->txn.ops) {
+  // untrusted input. The declared access sets are wire input too, and the
+  // engine locks exactly what is declared — an undeclared op would run
+  // outside the locks, so a declaration that under-covers ops is invalid.
+  for (const Operation& op : c.txn.ops) {
     if (op.item >= options_.db_size) {
-      ReplyAndClear(TxnOutcome::kRejectedInvalid);
+      ReplyAndClear(c, TxnOutcome::kRejectedInvalid);
+      return;
+    }
+  }
+  const std::vector<ItemId> read_set = c.txn.ReadSet();
+  const std::vector<ItemId> write_set = c.txn.WriteSet();
+  for (ItemId item : read_set) {
+    if (item >= options_.db_size) {
+      ReplyAndClear(c, TxnOutcome::kRejectedInvalid);
+      return;
+    }
+  }
+  for (ItemId item : write_set) {
+    if (item >= options_.db_size) {
+      ReplyAndClear(c, TxnOutcome::kRejectedInvalid);
+      return;
+    }
+  }
+  for (const Operation& op : c.txn.ops) {
+    const std::vector<ItemId>& declared =
+        op.is_read() ? read_set : write_set;
+    if (std::find(declared.begin(), declared.end(), op.item) ==
+        declared.end()) {
+      ReplyAndClear(c, TxnOutcome::kRejectedInvalid);
       return;
     }
   }
@@ -229,68 +265,98 @@ void Site::HandleTxnRequest(const Message& msg) {
   // "if transaction contains read operation for a fail-locked copy then
   // run copier transaction". Reads of items this site holds no copy of
   // (partial replication) fetch a remote copy the same way.
-  for (ItemId item : coord_->txn.ReadSet()) {
+  for (ItemId item : read_set) {
     if (!db_.Holds(item) || fail_locks_.IsSet(item, id_)) {
-      coord_->needs_copy.push_back(item);
+      c.needs_copy.push_back(item);
     }
   }
-  if (options_.enable_locking) {
-    AcquireCoordinatorLocks();
+  if (options_.concurrency.locking()) {
+    AcquireCoordinatorLocks(c);
   } else {
-    ProceedAfterLocks();
+    ProceedAfterLocks(c);
   }
 }
 
-void Site::AcquireCoordinatorLocks() {
+void Site::AcquireCoordinatorLocks(Coordination& c) {
   // Shared locks for pure local reads, exclusive for writes and for stale
   // reads (the copier installs a fresh copy locally). Strict two-phase:
   // everything is released in ReplyAndClear.
-  Coordination& c = *coord_;
   const TxnId txn = c.txn.id;
-  std::map<ItemId, LockTable::Mode> wanted;
-  for (ItemId item : c.txn.ReadSet()) wanted[item] = LockTable::Mode::kShared;
-  for (ItemId item : c.needs_copy) wanted[item] = LockTable::Mode::kExclusive;
+  std::map<ItemId, LockManager::Mode> wanted;
+  for (ItemId item : c.txn.ReadSet()) {
+    wanted[item] = LockManager::Mode::kShared;
+  }
+  for (ItemId item : c.needs_copy) {
+    wanted[item] = LockManager::Mode::kExclusive;
+  }
   for (ItemId item : c.txn.WriteSet()) {
-    wanted[item] = LockTable::Mode::kExclusive;
+    wanted[item] = LockManager::Mode::kExclusive;
   }
   for (const auto& [item, mode] : wanted) {
-    const LockTable::Outcome outcome = lock_table_.Acquire(
+    const LockManager::Outcome outcome = lock_manager_.Acquire(
         item, txn, mode, [this, txn] { OnCoordinatorLockGranted(txn); });
     switch (outcome) {
-      case LockTable::Outcome::kGranted:
+      case LockManager::Outcome::kGranted:
         break;
-      case LockTable::Outcome::kQueued:
+      case LockManager::Outcome::kQueued:
         ++counters_.lock_waits;
         ++c.lock_waits_pending;
         break;
-      case LockTable::Outcome::kRejected: {
+      case LockManager::Outcome::kRejected: {
         // Wait-die: this (younger) transaction dies; the client may retry.
         ++counters_.lock_rejections;
         ++counters_.txns_aborted_lock_conflict;
-        lock_table_.ReleaseAll(txn);
-        ReplyAndClear(TxnOutcome::kAbortedLockConflict);
+        lock_manager_.ReleaseAll(txn);
+        ReplyAndClear(c, TxnOutcome::kAbortedLockConflict);
         return;
       }
     }
   }
-  if (c.lock_waits_pending == 0) ProceedAfterLocks();
+  if (c.lock_waits_pending == 0) {
+    ProceedAfterLocks(c);
+  } else if (options_.concurrency.deadlock_policy == DeadlockPolicy::kTimeout) {
+    c.lock_timer =
+        runtime_->ScheduleAfter(options_.concurrency.lock_wait_timeout,
+                                [this, txn] { CoordinatorLockTimeout(txn); });
+  }
+  // Wounds recorded by the acquisitions above (wound-wait policy) are
+  // drained only now, with this coordination's bookkeeping consistent.
+  ProcessWounds();
 }
 
 void Site::OnCoordinatorLockGranted(TxnId txn) {
-  if (!coord_ || coord_->batch_refresh || coord_->txn.id != txn) return;
-  if (--coord_->lock_waits_pending == 0) ProceedAfterLocks();
-}
-
-void Site::ProceedAfterLocks() {
-  if (!coord_->needs_copy.empty()) {
-    StartCopierPhase(coord_->needs_copy);
-  } else {
-    ExecuteAndPrepare();
+  auto it = coords_.find(txn);
+  if (it == coords_.end()) return;
+  Coordination& c = it->second;
+  if (--c.lock_waits_pending == 0) {
+    if (c.lock_timer != kInvalidTimer) {
+      runtime_->CancelTimer(c.lock_timer);
+      c.lock_timer = kInvalidTimer;
+    }
+    ProceedAfterLocks(c);
   }
 }
 
-void Site::StartCopierPhase(const std::vector<ItemId>& needed) {
-  Coordination& c = *coord_;
+void Site::CoordinatorLockTimeout(TxnId txn) {
+  auto it = coords_.find(txn);
+  if (it == coords_.end()) return;
+  Coordination& c = it->second;
+  c.lock_timer = kInvalidTimer;
+  if (c.lock_waits_pending == 0) return;  // raced with the last grant
+  ++counters_.txns_aborted_lock_timeout;
+  ReplyAndClear(c, TxnOutcome::kAbortedLockTimeout);  // releases the locks
+}
+
+void Site::ProceedAfterLocks(Coordination& c) {
+  if (!c.needs_copy.empty()) {
+    StartCopierPhase(c, c.needs_copy);
+  } else {
+    ExecuteAndPrepare(c);
+  }
+}
+
+void Site::StartCopierPhase(Coordination& c,
+                            const std::vector<ItemId>& needed) {
   c.phase = Coordination::Phase::kCopier;
   c.phase_start = runtime_->Now();
   c.retries_used = 0;
@@ -304,11 +370,11 @@ void Site::StartCopierPhase(const std::vector<ItemId>& needed) {
       // No operational site holds an up-to-date copy: the transaction
       // cannot proceed (Experiment 3 scenario 1's abort cause).
       if (c.batch_refresh) {
-        coord_.reset();
+        batch_.reset();
         return;
       }
       ++counters_.txns_aborted_copier;
-      ReplyAndClear(TxnOutcome::kAbortedCopierFailed);
+      ReplyAndClear(c, TxnOutcome::kAbortedCopierFailed);
       return;
     }
     c.copies_pending[source].push_back(item);
@@ -324,16 +390,28 @@ void Site::StartCopierPhase(const std::vector<ItemId>& needed) {
     Charge(options_.costs.ack_format);
     SendTo(source, CopyRequestArgs{c.txn.id, items});
   }
-  c.timer = runtime_->ScheduleAfter(options_.ack_timeout,
-                                    [this] { CoordinationTimeout(); });
+  const TxnId txn = c.txn.id;
+  const bool batch = c.batch_refresh;
+  c.timer = runtime_->ScheduleAfter(
+      options_.ack_timeout, [this, txn, batch] {
+        CoordinationTimeout(txn, batch);
+      });
+}
+
+Site::Coordination* Site::CoordinationFor(TxnId txn) {
+  auto it = coords_.find(txn);
+  if (it != coords_.end()) return &it->second;
+  if (batch_ && batch_->txn.id == txn) return &*batch_;
+  return nullptr;
 }
 
 void Site::HandleCopyReply(const Message& msg) {
-  if (!coord_ || coord_->phase != Coordination::Phase::kCopier) return;
   const auto& args = msg.As<CopyReplyArgs>();
-  if (args.txn != coord_->txn.id) return;
-  auto pending = coord_->copies_pending.find(msg.from);
-  if (pending == coord_->copies_pending.end()) return;
+  Coordination* cp = CoordinationFor(args.txn);
+  if (cp == nullptr || cp->phase != Coordination::Phase::kCopier) return;
+  Coordination& c = *cp;
+  auto pending = c.copies_pending.find(msg.from);
+  if (pending == c.copies_pending.end()) return;
 
   // The source returns every requested item it could serve; a missing item
   // means the source's own copy turned out fail-locked (our table was
@@ -341,15 +419,15 @@ void Site::HandleCopyReply(const Message& msg) {
   for (ItemId item : pending->second) {
     const bool present =
         std::any_of(args.copies.begin(), args.copies.end(),
-                    [item](const ItemCopy& c) { return c.item == item; });
+                    [item](const ItemCopy& copy) { return copy.item == item; });
     if (!present) {
-      runtime_->CancelTimer(coord_->timer);
-      if (coord_->batch_refresh) {
-        coord_.reset();
+      runtime_->CancelTimer(c.timer);
+      if (c.batch_refresh) {
+        batch_.reset();
         return;
       }
       ++counters_.txns_aborted_copier;
-      ReplyAndClear(TxnOutcome::kAbortedCopierFailed);
+      ReplyAndClear(c, TxnOutcome::kAbortedCopierFailed);
       return;
     }
   }
@@ -370,27 +448,26 @@ void Site::HandleCopyReply(const Message& msg) {
       if (ClearFailLock(copy.item, id_)) {
         ++counters_.fail_locks_cleared;
       }
-      coord_->refreshed_items.push_back(copy.item);
+      c.refreshed_items.push_back(copy.item);
     } else {
       // Partial replication: remote read, no local copy to refresh.
-      coord_->remote_reads[copy.item] = state;
+      c.remote_reads[copy.item] = state;
     }
   }
-  coord_->copies_pending.erase(pending);
-  if (coord_->copies_pending.empty()) FinishCopierPhase();
+  c.copies_pending.erase(pending);
+  if (c.copies_pending.empty()) FinishCopierPhase(c);
 }
 
-void Site::FinishCopierPhase() {
-  runtime_->CancelTimer(coord_->timer);
-  coord_->timer = kInvalidTimer;
-  counters_.phase_copier_time.Add(runtime_->Now() - coord_->phase_start);
-  if (!coord_->refreshed_items.empty()) {
+void Site::FinishCopierPhase(Coordination& c) {
+  runtime_->CancelTimer(c.timer);
+  c.timer = kInvalidTimer;
+  counters_.phase_copier_time.Add(runtime_->Now() - c.phase_start);
+  if (!c.refreshed_items.empty()) {
     // The special transaction: "inform other sites of the fail-lock bits
     // cleared by copier transactions", run after the copier values have
     // been written at the coordinating site.
     ++counters_.clear_lock_txns_sent;
-    Trace(TraceEvent::kClearLocksSent, coord_->txn.id,
-          coord_->refreshed_items.size());
+    Trace(TraceEvent::kClearLocksSent, c.txn.id, c.refreshed_items.size());
     // Broadcast to every peer address, not only the believed-up ones: the
     // special transaction is idempotent fire-and-forget, and a
     // just-recovered site this site has not heard about yet must still get
@@ -400,20 +477,18 @@ void Site::FinishCopierPhase() {
     for (SiteId peer = 0; peer < options_.n_sites; ++peer) {
       if (peer == id_) continue;
       Charge(options_.costs.clear_locks_format);
-      SendTo(peer, ClearFailLocksArgs{coord_->txn.id, id_,
-                                      coord_->refreshed_items});
+      SendTo(peer, ClearFailLocksArgs{c.txn.id, id_, c.refreshed_items});
     }
   }
-  if (coord_->batch_refresh) {
-    coord_.reset();
-    OnCoordinatorIdle();
+  if (c.batch_refresh) {
+    batch_.reset();
+    OnExecutorIdle();
     return;
   }
-  ExecuteAndPrepare();
+  ExecuteAndPrepare(c);
 }
 
-void Site::ExecuteAndPrepare() {
-  Coordination& c = *coord_;
+void Site::ExecuteAndPrepare(Coordination& c) {
   for (const Operation& op : c.txn.ops) {
     if (op.is_read()) {
       Charge(options_.costs.per_read_op);
@@ -447,7 +522,7 @@ void Site::ExecuteAndPrepare() {
   // every operational site".
   c.participants = OperationalPeers();
   if (c.participants.empty()) {
-    FinishCommit();
+    FinishCommit(c);
     return;
   }
   c.phase = Coordination::Phase::kPrepare;
@@ -464,14 +539,20 @@ void Site::ExecuteAndPrepare() {
     Charge(options_.costs.prepare_send_per_site);
     SendTo(p, PrepareArgs{c.txn.id, c.writes, vector_wire, wire_participants});
   }
-  c.timer = runtime_->ScheduleAfter(options_.ack_timeout,
-                                    [this] { CoordinationTimeout(); });
+  const TxnId txn = c.txn.id;
+  c.timer = runtime_->ScheduleAfter(
+      options_.ack_timeout,
+      [this, txn] { CoordinationTimeout(txn, /*batch=*/false); });
 }
 
 void Site::HandlePrepareAck(const Message& msg) {
-  if (!coord_ || coord_->phase != Coordination::Phase::kPrepare) return;
   const auto& args = msg.As<PrepareAckArgs>();
-  if (args.txn != coord_->txn.id) return;
+  auto it = coords_.find(args.txn);
+  if (it == coords_.end() ||
+      it->second.phase != Coordination::Phase::kPrepare) {
+    return;
+  }
+  Coordination& c = it->second;
   if (!args.accepted) {
     // A participant refused (wait-die lock conflict or session-vector
     // veto): abort everywhere. On a veto the refusal carries the
@@ -486,69 +567,85 @@ void Site::HandlePrepareAck(const Message& msg) {
                       << merged.ToString();
       }
     }
-    runtime_->CancelTimer(coord_->timer);
-    coord_->timer = kInvalidTimer;
-    for (SiteId p : coord_->participants) {
+    runtime_->CancelTimer(c.timer);
+    c.timer = kInvalidTimer;
+    for (SiteId p : c.participants) {
       Charge(options_.costs.ack_format);
-      SendTo(p, AbortArgs{coord_->txn.id});
+      SendTo(p, AbortArgs{c.txn.id});
     }
     if (stale_view) {
-      ReplyAndClear(TxnOutcome::kAbortedStaleView);
+      ReplyAndClear(c, TxnOutcome::kAbortedStaleView);
     } else {
       ++counters_.txns_aborted_lock_conflict;
-      ReplyAndClear(TxnOutcome::kAbortedLockConflict);
+      ReplyAndClear(c, TxnOutcome::kAbortedLockConflict);
     }
     return;
   }
-  coord_->awaiting.erase(msg.from);
-  if (coord_->awaiting.empty()) {
-    runtime_->CancelTimer(coord_->timer);
-    coord_->timer = kInvalidTimer;
-    counters_.phase_prepare_time.Add(runtime_->Now() - coord_->phase_start);
-    StartCommitPhase();
+  c.awaiting.erase(msg.from);
+  if (c.awaiting.empty()) {
+    runtime_->CancelTimer(c.timer);
+    c.timer = kInvalidTimer;
+    counters_.phase_prepare_time.Add(runtime_->Now() - c.phase_start);
+    StartCommitPhase(c);
   }
 }
 
-void Site::StartCommitPhase() {
-  Coordination& c = *coord_;
+void Site::StartCommitPhase(Coordination& c) {
   c.phase = Coordination::Phase::kCommit;
   c.phase_start = runtime_->Now();
   c.retries_used = 0;
   c.awaiting.insert(c.participants.begin(), c.participants.end());
+  if (options_.concurrency.locking()) {
+    // Past the point of no return: the decision to commit is made, so a
+    // wound-wait abort is no longer possible (see LockManager::Pin).
+    lock_manager_.Pin(c.txn.id);
+  }
   for (SiteId p : c.participants) {
     Charge(options_.costs.ack_format);
     SendTo(p, CommitArgs{c.txn.id});
   }
-  c.timer = runtime_->ScheduleAfter(options_.ack_timeout,
-                                    [this] { CoordinationTimeout(); });
+  const TxnId txn = c.txn.id;
+  c.timer = runtime_->ScheduleAfter(
+      options_.ack_timeout,
+      [this, txn] { CoordinationTimeout(txn, /*batch=*/false); });
 }
 
 void Site::HandleCommitAck(const Message& msg) {
-  if (!coord_ || coord_->phase != Coordination::Phase::kCommit) return;
-  if (msg.As<CommitAckArgs>().txn != coord_->txn.id) return;
-  coord_->awaiting.erase(msg.from);
-  if (coord_->awaiting.empty()) {
-    runtime_->CancelTimer(coord_->timer);
-    coord_->timer = kInvalidTimer;
-    counters_.phase_commit_time.Add(runtime_->Now() - coord_->phase_start);
-    FinishCommit();
+  const TxnId txn = msg.As<CommitAckArgs>().txn;
+  auto it = coords_.find(txn);
+  if (it == coords_.end() ||
+      it->second.phase != Coordination::Phase::kCommit) {
+    return;
+  }
+  Coordination& c = it->second;
+  c.awaiting.erase(msg.from);
+  if (c.awaiting.empty()) {
+    runtime_->CancelTimer(c.timer);
+    c.timer = kInvalidTimer;
+    counters_.phase_commit_time.Add(runtime_->Now() - c.phase_start);
+    FinishCommit(c);
   }
 }
 
-void Site::FinishCommit() {
+void Site::FinishCommit(Coordination& c) {
   // "commit database data items; update fail-locks for data items" — the
-  // coordinator's local commit happens after phase two completes.
-  std::vector<SiteId> participants = coord_->participants;
+  // coordinator's local commit happens after phase two completes. The
+  // write install and the fail-lock maintenance below run inside this one
+  // event, so they are atomic w.r.t. every concurrent executor.
+  std::vector<SiteId> participants = c.participants;
   participants.push_back(id_);
-  CommitLocalWrites(coord_->txn.id, coord_->writes, participants);
+  CommitLocalWrites(c.txn.id, c.writes, participants);
   ++counters_.txns_committed;
-  ReplyAndClear(TxnOutcome::kCommitted);
+  ReplyAndClear(c, TxnOutcome::kCommitted);
 }
 
-void Site::CoordinationTimeout() {
-  if (!coord_ || coord_->timer == kInvalidTimer) return;
-  coord_->timer = kInvalidTimer;
-  Coordination& c = *coord_;
+void Site::CoordinationTimeout(TxnId txn, bool batch) {
+  Coordination* cp =
+      batch ? (batch_ ? &*batch_ : nullptr)
+            : (coords_.count(txn) ? &coords_.at(txn) : nullptr);
+  if (cp == nullptr || cp->timer == kInvalidTimer) return;
+  Coordination& c = *cp;
+  c.timer = kInvalidTimer;
 
   // Lossy-network retries: before declaring the silent parties failed,
   // re-send the current phase's message to exactly the sites still owed a
@@ -592,7 +689,7 @@ void Site::CoordinationTimeout() {
     c.timer = runtime_->ScheduleAfter(
         RetryDelay(options_.ack_timeout, c.retries_used,
                    options_.retry_backoff),
-        [this] { CoordinationTimeout(); });
+        [this, txn, batch] { CoordinationTimeout(txn, batch); });
     return;
   }
 
@@ -604,12 +701,11 @@ void Site::CoordinationTimeout() {
       for (const auto& [source, items] : c.copies_pending) {
         silent.push_back(source);
       }
-      const bool batch = c.batch_refresh;
       if (!batch) {
         ++counters_.txns_aborted_copier;
-        ReplyAndClear(TxnOutcome::kAbortedCopierFailed);
+        ReplyAndClear(c, TxnOutcome::kAbortedCopierFailed);
       } else {
-        coord_.reset();
+        batch_.reset();
       }
       RunControlType2(silent);
       break;
@@ -624,7 +720,7 @@ void Site::CoordinationTimeout() {
         }
       }
       ++counters_.txns_aborted_participant;
-      ReplyAndClear(TxnOutcome::kAbortedParticipantFailed);
+      ReplyAndClear(c, TxnOutcome::kAbortedParticipantFailed);
       RunControlType2(silent);
       break;
     }
@@ -640,50 +736,62 @@ void Site::CoordinationTimeout() {
           std::remove_if(c.participants.begin(), c.participants.end(),
                          [&c](SiteId p) { return c.awaiting.count(p) > 0; }),
           c.participants.end());
-      FinishCommit();
+      FinishCommit(c);
       RunControlType2(silent);
       break;
     }
   }
 }
 
-void Site::ReplyAndClear(TxnOutcome outcome) {
-  Coordination& c = *coord_;
-  if (options_.enable_locking && !c.batch_refresh) {
-    lock_table_.ReleaseAll(c.txn.id);
+void Site::ReplyAndClear(Coordination& c, TxnOutcome outcome) {
+  const TxnId txn = c.txn.id;
+  const bool batch = c.batch_refresh;
+  if (options_.concurrency.locking() && !batch) {
+    lock_manager_.ReleaseAll(txn);
   }
   if (c.timer != kInvalidTimer) {
     runtime_->CancelTimer(c.timer);
     c.timer = kInvalidTimer;
   }
-  if (!c.batch_refresh) {
+  if (c.lock_timer != kInvalidTimer) {
+    runtime_->CancelTimer(c.lock_timer);
+    c.lock_timer = kInvalidTimer;
+  }
+  if (!batch) {
     Trace(outcome == TxnOutcome::kCommitted ? TraceEvent::kTxnCommitted
                                             : TraceEvent::kTxnAborted,
-          c.txn.id, static_cast<uint64_t>(outcome));
+          txn, static_cast<uint64_t>(outcome));
     // Remember the outcome so duplicated requests, duplicated 2PC traffic,
     // and in-doubt decision queries arriving after this teardown can be
     // answered consistently.
-    RecordOutcome(c.txn.id, outcome == TxnOutcome::kCommitted);
+    RecordOutcome(txn, outcome == TxnOutcome::kCommitted);
     Charge(options_.costs.reply_format);
-    SendTo(c.client,
-           TxnReplyArgs{c.txn.id, outcome, c.copier_count, c.reads});
+    SendTo(c.client, TxnResult{txn, outcome, c.copier_count, c.reads});
     const Duration elapsed = runtime_->Now() - c.start_time;
     counters_.coord_txn_time.Add(elapsed);
     if (c.copier_count > 0) counters_.coord_txn_copier_time.Add(elapsed);
   }
-  coord_.reset();
-  OnCoordinatorIdle();
+  // `c` is destroyed here; do not touch it below.
+  if (batch) {
+    batch_.reset();
+  } else {
+    coords_.erase(txn);
+  }
+  OnExecutorIdle();
 }
 
-void Site::OnCoordinatorIdle() {
-  if (status_ != SiteStatus::kUp || coord_) return;
-  if (!queued_requests_.empty()) {
-    // Serve the next queued client transaction (client work has priority
-    // over proactive batch refreshes).
+void Site::OnExecutorIdle() {
+  if (status_ != SiteStatus::kUp) return;
+  // Serve queued client transactions while executor slots are free (client
+  // work has priority over proactive batch refreshes). HandleTxnRequest
+  // can finish a transaction synchronously (validation reject, wait-die
+  // death), re-entering this drain; the loop conditions re-check state
+  // each iteration, so the nested drain simply empties the queue first.
+  while (!batch_ && !queued_requests_.empty() &&
+         coords_.size() < options_.concurrency.EffectiveExecutors()) {
     const Message next = queued_requests_.front();
     queued_requests_.pop_front();
     HandleTxnRequest(next);
-    return;
   }
   MaybeStartBatchCopier();
 }
@@ -767,27 +875,43 @@ void Site::HandlePrepare(const Message& msg) {
   part.timer = runtime_->ScheduleAfter(
       3 * options_.ack_timeout, [this, txn] { ParticipationTimeout(txn); });
 
-  if (options_.enable_locking) {
+  if (options_.concurrency.locking()) {
     for (const ItemWrite& write : part.staged) {
-      const LockTable::Outcome outcome = lock_table_.Acquire(
-          write.item, txn, LockTable::Mode::kExclusive,
+      const LockManager::Outcome outcome = lock_manager_.Acquire(
+          write.item, txn, LockManager::Mode::kExclusive,
           [this, txn] { OnParticipantLockGranted(txn); });
-      if (outcome == LockTable::Outcome::kRejected) {
+      if (outcome == LockManager::Outcome::kRejected) {
         // Wait-die: refuse the prepare; the coordinator aborts the txn.
         ++counters_.lock_rejections;
-        lock_table_.ReleaseAll(txn);
+        lock_manager_.ReleaseAll(txn);
         runtime_->CancelTimer(part.timer);
         participations_.erase(txn);
         Charge(options_.costs.ack_format);
         SendTo(msg.from, PrepareAckArgs{txn, /*accepted=*/false, {}});
+        ProcessWounds();
         return;
       }
-      if (outcome == LockTable::Outcome::kQueued) {
+      if (outcome == LockManager::Outcome::kQueued) {
         ++counters_.lock_waits;
         ++part.lock_waits_pending;
       }
     }
-    if (part.lock_waits_pending > 0) return;  // ack once locks arrive
+    if (part.lock_waits_pending > 0) {
+      if (options_.concurrency.deadlock_policy == DeadlockPolicy::kTimeout) {
+        part.lock_timer = runtime_->ScheduleAfter(
+            options_.concurrency.lock_wait_timeout,
+            [this, txn] { ParticipantLockTimeout(txn); });
+      }
+      ProcessWounds();
+      return;  // ack once locks arrive
+    }
+    ProcessWounds();
+    // The wounds may have torn this participation down (a wound victim can
+    // be a not-yet-acked participation at this very site). Re-look it up.
+    auto self = participations_.find(txn);
+    if (self == participations_.end()) return;
+    SendPrepareAck(self->second);
+    return;
   }
   SendPrepareAck(part);
 }
@@ -795,10 +919,38 @@ void Site::HandlePrepare(const Message& msg) {
 void Site::OnParticipantLockGranted(TxnId txn) {
   auto it = participations_.find(txn);
   if (it == participations_.end()) return;
-  if (--it->second.lock_waits_pending == 0) SendPrepareAck(it->second);
+  Participation& part = it->second;
+  if (--part.lock_waits_pending == 0) {
+    if (part.lock_timer != kInvalidTimer) {
+      runtime_->CancelTimer(part.lock_timer);
+      part.lock_timer = kInvalidTimer;
+    }
+    SendPrepareAck(part);
+  }
+}
+
+void Site::ParticipantLockTimeout(TxnId txn) {
+  auto it = participations_.find(txn);
+  if (it == participations_.end()) return;
+  Participation& part = it->second;
+  part.lock_timer = kInvalidTimer;
+  if (part.lock_waits_pending == 0) return;  // raced with the last grant
+  // Refuse the prepare: the coordinator aborts the transaction, which is
+  // how a participant-side lock wait surfaces as kAbortedLockTimeout there.
+  ++counters_.txns_aborted_lock_timeout;
+  const SiteId coordinator = part.coordinator;
+  runtime_->CancelTimer(part.timer);
+  lock_manager_.ReleaseAll(txn);  // also cancels the queued waits
+  RecordOutcome(txn, /*committed=*/false);
+  participations_.erase(it);
+  Charge(options_.costs.ack_format);
+  SendTo(coordinator, PrepareAckArgs{txn, /*accepted=*/false, {}});
 }
 
 void Site::SendPrepareAck(Participation& part) {
+  // Past the point of no return: this site has promised to commit, so a
+  // wound-wait elder must wait for (not wound) this transaction's locks.
+  if (options_.concurrency.locking()) lock_manager_.Pin(part.txn);
   Charge(options_.costs.ack_format);
   SendTo(part.coordinator, PrepareAckArgs{part.txn, /*accepted=*/true, {}});
 }
@@ -825,8 +977,9 @@ void Site::HandleCommit(const Message& msg) {
   }
   Participation& part = it->second;
   runtime_->CancelTimer(part.timer);
+  if (part.lock_timer != kInvalidTimer) runtime_->CancelTimer(part.lock_timer);
   CommitLocalWrites(part.txn, part.staged, part.participants);
-  if (options_.enable_locking) lock_table_.ReleaseAll(part.txn);
+  if (options_.concurrency.locking()) lock_manager_.ReleaseAll(part.txn);
   Trace(TraceEvent::kParticipantCommitted, part.txn, part.staged.size());
   RecordOutcome(part.txn, /*committed=*/true);
   Charge(options_.costs.ack_format);
@@ -847,8 +1000,11 @@ void Site::HandleAbort(const Message& msg) {
     return;
   }
   runtime_->CancelTimer(it->second.timer);
+  if (it->second.lock_timer != kInvalidTimer) {
+    runtime_->CancelTimer(it->second.lock_timer);
+  }
   ++counters_.aborts_handled;
-  if (options_.enable_locking) lock_table_.ReleaseAll(it->first);
+  if (options_.concurrency.locking()) lock_manager_.ReleaseAll(it->first);
   RecordOutcome(txn, /*committed=*/false);
   participations_.erase(it);  // "discard the copy updates"
 }
@@ -877,7 +1033,8 @@ void Site::ParticipationTimeout(TxnId txn) {
   // "coordinating site has failed": discard and run control type 2.
   ++counters_.coordinator_failures_detected;
   const SiteId coordinator = part.coordinator;
-  if (options_.enable_locking) lock_table_.ReleaseAll(it->first);
+  if (part.lock_timer != kInvalidTimer) runtime_->CancelTimer(part.lock_timer);
+  if (options_.concurrency.locking()) lock_manager_.ReleaseAll(it->first);
   // The in-doubt discard is a local abort; remember it so a late-arriving
   // CommitDecision duplicate cannot be mistaken for an applicable commit.
   RecordOutcome(txn, /*committed=*/false);
@@ -887,12 +1044,13 @@ void Site::ParticipationTimeout(TxnId txn) {
 
 void Site::HandleDecisionQuery(const Message& msg) {
   const TxnId txn = msg.As<DecisionQueryArgs>().txn;
-  if (coord_ && !coord_->batch_refresh && coord_->txn.id == txn) {
+  auto deciding = coords_.find(txn);
+  if (deciding != coords_.end()) {
     // Still deciding. In the commit phase the decision exists and the
     // querier's CommitDecision was evidently lost: re-send it. Before the
     // commit phase there is no decision yet — stay silent and let the
     // querier's next timeout re-ask.
-    if (coord_->phase == Coordination::Phase::kCommit) {
+    if (deciding->second.phase == Coordination::Phase::kCommit) {
       ++counters_.decision_queries_answered;
       Charge(options_.costs.ack_format);
       SendTo(msg.from, CommitArgs{txn});
@@ -1066,7 +1224,8 @@ void Site::HandleRecoveryAnnounce(const Message& msg) {
     // considers failed complete recovery.
     if (!session_vector_.IsUp(args.recovering_site)) return;
     ++counters_.duplicate_msgs_ignored;
-    const std::vector<FailLockRow> rows = fail_locks_.ToWire();
+    const std::vector<FailLockRow> rows =
+        RecoveryInfoRows(args.recovering_site);
     Charge(options_.costs.recovery_format_base +
            options_.costs.recovery_format_per_item *
                static_cast<Duration>(rows.size()));
@@ -1078,7 +1237,8 @@ void Site::HandleRecoveryAnnounce(const Message& msg) {
                       SiteStatus::kUp);
   ++counters_.control1_served;
   const TimePoint start = runtime_->Now();
-  const std::vector<FailLockRow> rows = fail_locks_.ToWire();
+  const std::vector<FailLockRow> rows =
+      RecoveryInfoRows(args.recovering_site);
   Charge(options_.costs.recovery_format_base +
          options_.costs.recovery_format_per_item *
              static_cast<Duration>(rows.size()));
@@ -1086,6 +1246,49 @@ void Site::HandleRecoveryAnnounce(const Message& msg) {
          RecoveryInfoArgs{session_vector_.ToWire(), rows});
   Trace(TraceEvent::kRecoveryServed, args.recovering_site, rows.size());
   counters_.type1_serve_time.Add(runtime_->Now() - start);
+}
+
+std::vector<FailLockRow> Site::RecoveryInfoRows(SiteId recovering) const {
+  FailLockTable snapshot = fail_locks_;
+  // Prospective maintenance for in-flight 2PC (see the declaration
+  // comment): each transaction past its prepare will, when it applies,
+  // rewrite every written item's row to holders-outside-the-participant-
+  // set, so the reply serves that future row. Both directions matter: the
+  // set bits cover a commit that applies after recovery completes (no
+  // later snapshot can carry them), the clears keep the recovering site
+  // from installing bits the commit is about to clear everywhere else.
+  // The copier phase is excluded — no 2PC is pinned yet, nothing is
+  // guaranteed to apply.
+  auto prospective = [&](const std::vector<ItemWrite>& writes,
+                         const std::vector<SiteId>& participants,
+                         SiteId coordinator) {
+    for (const ItemWrite& w : writes) {
+      for (SiteId t = 0; t < options_.n_sites; ++t) {
+        if (!holders_.Holds(w.item, t)) continue;
+        const bool participated =
+            t == coordinator ||
+            std::find(participants.begin(), participants.end(), t) !=
+                participants.end();
+        if (participated) {
+          // The recovering site's own column is exempt from prospective
+          // clears (see the declaration comment).
+          if (t != recovering) snapshot.Clear(w.item, t);
+        } else {
+          snapshot.Set(w.item, t);
+        }
+      }
+    }
+  };
+  for (const auto& [txn, c] : coords_) {
+    if (c.phase == Coordination::Phase::kCopier) continue;
+    prospective(c.writes, c.participants, id_);  // c.participants omits id_
+  }
+  for (const auto& [txn, part] : participations_) {
+    // part.participants is the wire set from the prepare: coordinator
+    // included.
+    prospective(part.staged, part.participants, kInvalidSite);
+  }
+  return snapshot.ToWire();
 }
 
 void Site::HandleRecoveryInfo(const Message& msg) {
@@ -1388,10 +1591,64 @@ void Site::MaybeStartBatchCopier() {
   const std::vector<ItemId> items =
       fail_locks_.ItemsLockedFor(id_, options_.batch_copier_chunk);
   Trace(TraceEvent::kBatchCopierStarted, items.size());
-  coord_.emplace();
-  coord_->batch_refresh = true;
-  coord_->start_time = runtime_->Now();
-  StartCopierPhase(items);
+  batch_.emplace();
+  batch_->batch_refresh = true;
+  batch_->start_time = runtime_->Now();
+  StartCopierPhase(*batch_, items);
+}
+
+// ---------------------------------------------------------------------------
+// Wound-wait victim teardown.
+// ---------------------------------------------------------------------------
+
+void Site::ProcessWounds() {
+  // Wounds recorded by the LockManager during the event we just ran. The
+  // manager never fires callbacks from Acquire, so draining here — after our
+  // own bookkeeping is consistent — is the only place victims are aborted.
+  for (const TxnId victim : lock_manager_.TakePendingWounds()) {
+    AbortWoundedTxn(victim);
+  }
+}
+
+void Site::AbortWoundedTxn(TxnId victim) {
+  auto cit = coords_.find(victim);
+  if (cit != coords_.end()) {
+    Coordination& c = cit->second;
+    ++counters_.lock_wounds;
+    ++counters_.txns_aborted_deadlock;
+    if (c.phase == Coordination::Phase::kPrepare) {
+      // Participants may have staged (and locked) the writes: abort them.
+      for (SiteId p : c.participants) {
+        Charge(options_.costs.ack_format);
+        SendTo(p, AbortArgs{c.txn.id});
+      }
+    }
+    // kCommit-phase coordinations are pinned and never wounded; kCopier /
+    // lock-wait coordinations have nothing remote to undo.
+    ReplyAndClear(c, TxnOutcome::kAbortedDeadlock);
+    return;
+  }
+  auto pit = participations_.find(victim);
+  if (pit != participations_.end()) {
+    // A not-yet-acked participation (acked ones are pinned): refuse the
+    // prepare so the coordinator aborts the transaction everywhere.
+    Participation& part = pit->second;
+    ++counters_.lock_wounds;
+    const SiteId coordinator = part.coordinator;
+    runtime_->CancelTimer(part.timer);
+    if (part.lock_timer != kInvalidTimer) {
+      runtime_->CancelTimer(part.lock_timer);
+    }
+    lock_manager_.ReleaseAll(victim);
+    RecordOutcome(victim, /*committed=*/false);
+    participations_.erase(pit);
+    Charge(options_.costs.ack_format);
+    SendTo(coordinator, PrepareAckArgs{victim, /*accepted=*/false, {}});
+    return;
+  }
+  // The victim finished (or was torn down) between wound and drain; its
+  // ReleaseAll already cleared the wound mark for any future incarnation.
+  lock_manager_.ReleaseAll(victim);
 }
 
 }  // namespace miniraid

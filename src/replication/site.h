@@ -13,7 +13,7 @@
 #include "net/transport.h"
 #include "replication/counters.h"
 #include "replication/fail_locks.h"
-#include "replication/lock_table.h"
+#include "replication/lock_manager.h"
 #include "replication/options.h"
 #include "replication/placement.h"
 #include "replication/session_vector.h"
@@ -33,6 +33,13 @@ namespace miniraid {
 /// runs under the deterministic simulator and on real threads/sockets.
 /// All methods must be called from the site's execution context
 /// (MR_RUNS_ON(loop), enforced by tools/miniraid-analyze).
+///
+/// Execution is serial by default (paper assumption 2). Under
+/// ConcurrencyOptions::mode == kTwoPhaseLocking the site runs up to
+/// max_executors coordinations concurrently — logically interleaved in
+/// the one execution context, isolated by per-item strict two-phase locks
+/// (see LockManager and docs/PROTOCOL.md §9 for why commit-time fail-lock
+/// maintenance stays atomic with respect to the concurrent executors).
 class Site : public MessageHandler {
  public:
   Site(SiteId id, const SiteOptions& options, Transport* transport,
@@ -90,18 +97,27 @@ class Site : public MessageHandler {
 
   /// True if no transaction / recovery is in flight at this site.
   MR_RUNS_ON(loop) bool IsIdle() const {
-    return !coord_.has_value() && participations_.empty() &&
+    return coords_.empty() && !batch_.has_value() && participations_.empty() &&
            !recovery_.has_value() && queued_requests_.empty();
   }
 
-  /// Transaction requests waiting for the coordinator slot (requests that
-  /// arrive while another transaction is being coordinated are queued and
-  /// served in order; execution at the site stays serial).
+  /// Transaction requests waiting for an executor slot (requests that
+  /// arrive while every slot is busy are queued and served in order).
   MR_RUNS_ON(loop) size_t QueuedRequests() const { return queued_requests_.size(); }
 
+  /// Coordinations currently in flight (excluding a batch refresh).
+  MR_RUNS_ON(loop) size_t ActiveCoordinations() const { return coords_.size(); }
+
+  /// The lock manager, for tests and invariant checks. Meaningful only
+  /// under ConcurrencyOptions::mode == kTwoPhaseLocking.
+  MR_RUNS_ON(loop) const LockManager& lock_manager() const { return lock_manager_; }
+
  private:
-  // State of a transaction this site is coordinating. Processing is serial
-  // (paper assumption 2): at most one coordination is in flight.
+  // State of a transaction this site is coordinating. Under the default
+  // serial mode (paper assumption 2) at most one coordination is in
+  // flight; under two-phase locking up to
+  // ConcurrencyOptions::max_executors interleave in this one execution
+  // context, isolated by the per-item locks.
   struct Coordination {
     TxnSpec txn;
     SiteId client = kInvalidSite;
@@ -144,6 +160,9 @@ class Site : public MessageHandler {
     // lock requests.
     std::vector<ItemId> needs_copy;
     uint32_t lock_waits_pending = 0;
+    // kTimeout deadlock policy: aborts the transaction if its queued lock
+    // requests are still outstanding when it fires.
+    TimerId lock_timer = kInvalidTimer;
   };
 
   // State of a transaction this site participates in.
@@ -159,6 +178,9 @@ class Site : public MessageHandler {
     // Locking extension: queued exclusive-lock requests still outstanding
     // before the prepare-ack can be sent.
     uint32_t lock_waits_pending = 0;
+    // kTimeout deadlock policy: refuses the prepare if the queued lock
+    // requests are still outstanding when it fires.
+    TimerId lock_timer = kInvalidTimer;
     // Lossy-network retries: decision queries sent to the coordinator
     // while in doubt (SiteOptions::retry_limit) before giving up.
     uint32_t queries_sent = 0;
@@ -190,20 +212,25 @@ class Site : public MessageHandler {
   /// Locking extension: acquires the coordinator's local locks (shared for
   /// pure reads, exclusive for writes and stale reads), then continues to
   /// the copier phase / execution once all are granted.
-  void AcquireCoordinatorLocks();
+  void AcquireCoordinatorLocks(Coordination& c);
   void OnCoordinatorLockGranted(TxnId txn);
   /// Runs after local locks are held (or immediately when locking is off).
-  void ProceedAfterLocks();
-  void StartCopierPhase(const std::vector<ItemId>& needed);
+  void ProceedAfterLocks(Coordination& c);
+  void StartCopierPhase(Coordination& c, const std::vector<ItemId>& needed);
   void HandleCopyReply(const Message& msg);
-  void FinishCopierPhase();
-  void ExecuteAndPrepare();
+  void FinishCopierPhase(Coordination& c);
+  void ExecuteAndPrepare(Coordination& c);
   void HandlePrepareAck(const Message& msg);
-  void StartCommitPhase();
+  void StartCommitPhase(Coordination& c);
   void HandleCommitAck(const Message& msg);
-  void FinishCommit();
-  void CoordinationTimeout();
-  void ReplyAndClear(TxnOutcome outcome);
+  void FinishCommit(Coordination& c);
+  void CoordinationTimeout(TxnId txn, bool batch);
+  /// kTimeout policy: a coordinator lock request waited too long.
+  void CoordinatorLockTimeout(TxnId txn);
+  /// Tears the coordination down: releases locks, cancels timers, replies
+  /// to the client, erases it from coords_ (or resets batch_) and serves
+  /// the queue. `c` is invalid on return.
+  void ReplyAndClear(Coordination& c, TxnOutcome outcome);
 
   // ---- participant role --------------------------------------------------
   void HandlePrepare(const Message& msg);
@@ -211,15 +238,29 @@ class Site : public MessageHandler {
   void HandleAbort(const Message& msg);
   void ParticipationTimeout(TxnId txn);
   void OnParticipantLockGranted(TxnId txn);
+  /// kTimeout policy: a participant lock request waited too long.
+  void ParticipantLockTimeout(TxnId txn);
   void SendPrepareAck(Participation& part);
   /// Answers an in-doubt participant's outcome query: from live
   /// coordination state, from the recent-outcome cache, or — when the
   /// transaction left no trace — by presumed abort.
   void HandleDecisionQuery(const Message& msg);
 
-  /// Runs when the coordinator slot frees up: serves the next queued
-  /// request, or lets step-two batch copiers proceed.
-  void OnCoordinatorIdle();
+  /// Runs when an executor slot frees up: serves queued requests while
+  /// slots are free, then lets step-two batch copiers proceed.
+  void OnExecutorIdle();
+
+  /// Resolves an in-flight coordination by transaction id: a client
+  /// coordination from coords_, or the batch refresh (its copier traffic
+  /// carries the batch's pseudo transaction id).
+  Coordination* CoordinationFor(TxnId txn);
+
+  /// Drains LockManager::TakePendingWounds, aborting each wound-wait
+  /// victim (coordinations reply kAbortedDeadlock; participations refuse
+  /// their prepare). Must run before returning to the event loop after any
+  /// lock acquisition.
+  void ProcessWounds();
+  void AbortWoundedTxn(TxnId victim);
 
   // ---- services -----------------------------------------------------------
   void HandleCopyRequest(const Message& msg);
@@ -227,6 +268,23 @@ class Site : public MessageHandler {
 
   // ---- control transactions ------------------------------------------------
   void HandleRecoveryAnnounce(const Message& msg);
+  /// Rows served in a recovery info reply: the fail-lock table with the
+  /// commit-time maintenance of every transaction still in 2PC here
+  /// applied prospectively. A transaction whose prepare predates the
+  /// announce commits with its pre-recovery participant set, so its
+  /// maintenance runs after this snapshot — possibly after the recovering
+  /// site already completed — and the plain table would serve rows the
+  /// commit immediately invalidates in both directions: missing set bits
+  /// (the recovering site's copy missed the write but its own table says
+  /// clean — a read-safety hole) and soon-stale ones (a bit the commit
+  /// clears at every participant survives only in the recovered table).
+  /// Abort-safe: a prospective set is cleared by the site's first refresh,
+  /// and a prospective clear of (item, t) leaves t's own bit intact, so t
+  /// still refuses to serve its stale copy (HandleCopyRequest). The one
+  /// exception is t == recovering itself — the served row becomes that
+  /// site's own table, so its own column is never prospectively cleared
+  /// (an aborted commit would otherwise leave a stale copy unlocked).
+  std::vector<FailLockRow> RecoveryInfoRows(SiteId recovering) const;
   void HandleRecoveryInfo(const Message& msg);
   void RecoveryTimeout();
   void CompleteRecovery();
@@ -289,13 +347,25 @@ class Site : public MessageHandler {
 
   SiteStatus status_ = SiteStatus::kUp;
   Database db_;
-  LockTable lock_table_;  // used only with options_.enable_locking
+  /// Used only under ConcurrencyOptions::mode == kTwoPhaseLocking.
+  LockManager lock_manager_;
   SessionVector session_vector_;
   FailLockTable fail_locks_;
   HoldersTable holders_;
   SiteCounters counters_;
 
-  std::optional<Coordination> coord_;
+  /// In-flight coordinations keyed by transaction id, bounded by
+  /// ConcurrencyOptions::EffectiveExecutors() (1 under serial mode). All
+  /// of them interleave in this site's one execution context — an
+  /// "executor" is an in-flight coordination, not a thread — so every
+  /// event (including commit-time fail-lock maintenance) is atomic with
+  /// respect to the others.
+  std::map<TxnId, Coordination> coords_;
+  /// A step-two batch copier refresh. Kept out of coords_ and only
+  /// started when the site is fully idle: batch refreshes predate the
+  /// locking layer and run with the site to themselves, which keeps
+  /// their no-2PC copier traffic out of the lock order.
+  std::optional<Coordination> batch_;
   std::deque<Message> queued_requests_;
   /// In-flight participations keyed by transaction id. Multiple
   /// coordinators may have transactions staged here concurrently; each

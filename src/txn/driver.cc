@@ -94,12 +94,12 @@ struct RunCtx : std::enable_shared_from_this<RunCtx> {
     ++inflight;
     auto self = shared_from_this();
     cluster->SubmitTxn(txn, coordinator,
-                       [self, measured, t0](const TxnReplyArgs& reply) {
+                       [self, measured, t0](const TxnResult& reply) {
                          self->OnReply(reply, measured, t0);
                        });
   }
 
-  void OnReply(const TxnReplyArgs& reply, bool measured, TimePoint t0) {
+  void OnReply(const TxnResult& reply, bool measured, TimePoint t0) {
     --inflight;
     ++finished;
     if (measured) {

@@ -22,10 +22,12 @@ std::vector<ItemId> DistinctItems(const std::vector<Operation>& ops,
 }  // namespace
 
 std::vector<ItemId> TxnSpec::ReadSet() const {
+  if (!declared_reads.empty()) return declared_reads;
   return DistinctItems(ops, Operation::Kind::kRead);
 }
 
 std::vector<ItemId> TxnSpec::WriteSet() const {
+  if (!declared_writes.empty()) return declared_writes;
   return DistinctItems(ops, Operation::Kind::kWrite);
 }
 
@@ -67,8 +69,24 @@ std::string_view TxnOutcomeName(TxnOutcome outcome) {
       return "AbortedLockConflict";
     case TxnOutcome::kAbortedStaleView:
       return "AbortedStaleView";
+    case TxnOutcome::kAbortedDeadlock:
+      return "AbortedDeadlock";
+    case TxnOutcome::kAbortedLockTimeout:
+      return "AbortedLockTimeout";
   }
   return "Unknown";
+}
+
+bool IsRetryableAbort(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kAbortedLockConflict:
+    case TxnOutcome::kAbortedStaleView:
+    case TxnOutcome::kAbortedDeadlock:
+    case TxnOutcome::kAbortedLockTimeout:
+      return true;
+    default:
+      return false;
+  }
 }
 
 Value WriteValueFor(TxnId txn, ItemId item) {

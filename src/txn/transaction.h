@@ -37,15 +37,26 @@ struct Operation {
 };
 
 /// A database transaction as submitted by the managing site: an identifier
-/// plus an ordered list of operations. Transactions execute serially
-/// (paper assumption 2), so no isolation metadata is needed.
+/// plus an ordered list of operations. Under the default serial execution
+/// (paper assumption 2) no isolation metadata is needed; under two-phase
+/// locking the coordinator acquires locks up front from the declared
+/// read/write sets (explicit if given, otherwise derived from `ops`).
 struct TxnSpec {
   TxnId id = 0;
   std::vector<Operation> ops;
 
-  /// Distinct items read by the transaction, in first-occurrence order.
+  /// Optional declared access sets for lock acquisition. Empty = derive
+  /// from `ops`. A declaration may be a superset of what `ops` touches
+  /// (conservative locking) but must not be a subset: the engine locks
+  /// exactly what is declared, so an undeclared access would run unlocked.
+  std::vector<ItemId> declared_reads;
+  std::vector<ItemId> declared_writes;
+
+  /// Distinct items read by the transaction, in first-occurrence order
+  /// (`declared_reads` when non-empty, otherwise derived from `ops`).
   std::vector<ItemId> ReadSet() const;
-  /// Distinct items written by the transaction, in first-occurrence order.
+  /// Distinct items written by the transaction, in first-occurrence order
+  /// (`declared_writes` when non-empty, otherwise derived from `ops`).
   std::vector<ItemId> WriteSet() const;
 
   /// True if any operation touches `item`.
@@ -54,7 +65,9 @@ struct TxnSpec {
   std::string ToString() const;
 
   friend bool operator==(const TxnSpec& a, const TxnSpec& b) {
-    return a.id == b.id && a.ops == b.ops;
+    return a.id == b.id && a.ops == b.ops &&
+           a.declared_reads == b.declared_reads &&
+           a.declared_writes == b.declared_writes;
   }
 };
 
@@ -84,9 +97,23 @@ enum class TxnOutcome : uint8_t {
   /// participant set was chosen under stale membership. The coordinator
   /// has merged the participant's vector; safe to retry.
   kAbortedStaleView = 7,
+  /// Aborted by wound-wait deadlock avoidance: an older transaction
+  /// conflicted with this (younger) transaction's locks and wounded it.
+  /// Safe to retry.
+  kAbortedDeadlock = 8,
+  /// Aborted because a lock request waited longer than
+  /// ConcurrencyOptions::lock_wait_timeout (timeout deadlock policy).
+  /// Safe to retry.
+  kAbortedLockTimeout = 9,
 };
 
 std::string_view TxnOutcomeName(TxnOutcome outcome);
+
+/// True for aborts caused by transient scheduling conflicts (lock
+/// conflicts, deadlock victims, lock-wait timeouts, stale membership
+/// views): re-submitting the same transaction unchanged may succeed.
+/// False for kCommitted and for aborts that need operator/system action.
+bool IsRetryableAbort(TxnOutcome outcome);
 
 /// Deterministic value a workload writes for (txn, item); also used by the
 /// test oracles to predict the final database state.

@@ -32,6 +32,25 @@ TEST(AbstractModelTest, FullClosureAtThreeSitesTwoItemsIsClean) {
   EXPECT_EQ(r.max_depth_reached, 17u);
 }
 
+TEST(AbstractModelTest, InterleavedCommitsClosureIsClean) {
+  // With every commit split into prepare/apply halves, recovery traffic
+  // interleaves with transactions past their prepare — the window the
+  // intra-site 2PL layer widens in the real engine. Coverage, owner
+  // consistency, session consistency and per-edge monotonicity must
+  // still close clean (prospective fail-lock maintenance in the info
+  // replies is what makes this pass; see the test below).
+  AbstractConfig cfg = BaseConfig();
+  cfg.interleaved_commits = true;
+  AbstractResult r = ExploreAbstract(cfg);
+  ASSERT_FALSE(r.violation.has_value())
+      << r.violation->detail << "\n" << r.violation->state;
+  EXPECT_FALSE(r.depth_bounded);
+  EXPECT_FALSE(r.state_bounded);
+  // Regression pin, like the serial closure above.
+  EXPECT_EQ(r.states_visited, 37384u);
+  EXPECT_EQ(r.max_depth_reached, 20u);
+}
+
 TEST(AbstractModelTest, AgreementHoldsAtClosureWithFixedSemantics) {
   AbstractConfig cfg = BaseConfig();
   cfg.check_lock_agreement = true;
@@ -98,6 +117,25 @@ TEST(AbstractModelTest, PreFixCommitSemanticsRefuteLockAgreement) {
   EXPECT_EQ(r.violation->property, AbstractProperty::kLockAgreement)
       << r.violation->detail;
   EXPECT_LE(r.violation->path.size(), 6u);
+}
+
+TEST(AbstractModelTest, SkippedProspectiveFailLocksAreCaught) {
+  // Pre-fix recovery info replies serve only the responder's current
+  // table. A commit prepared before the announce and applied after the
+  // snapshot then maintains bits no info reply carried, and the recovered
+  // site's table is immediately wrong — the defect the systematic layer
+  // found in the real engine (regression_recovery_inflight_coverage) and
+  // Site::RecoveryInfoRows fixes.
+  AbstractConfig cfg = BaseConfig();
+  cfg.interleaved_commits = true;
+  cfg.skip_prospective_faillocks = true;
+  AbstractResult r = ExploreAbstract(cfg);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->property, AbstractProperty::kLockOwnerConsistency)
+      << r.violation->detail;
+  // BFS shortest counterexample: 8 actions (crash, detect, begin-commit,
+  // begin-recovery, reply, end-commit, crash, end-recovery).
+  EXPECT_LE(r.violation->path.size(), 8u);
 }
 
 TEST(AbstractModelTest, NarrowClearBroadcastLeavesAStaleLockBehind) {

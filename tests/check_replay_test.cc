@@ -31,8 +31,10 @@ std::vector<std::string> AllTraces() {
       "golden_recovery_skew.json",
       "golden_recovery_window.json",
       "golden_double_failure.json",
+      "golden_interleaved_2pl.json",
       "regression_commit_crash_agreement.json",
       "regression_double_failure_agreement.json",
+      "regression_recovery_inflight_coverage.json",
   };
 }
 
@@ -64,14 +66,18 @@ TEST(CheckReplayTest, RegressionTracesDocumentTheirFinding) {
   // The regression fixtures were recorded as counterexamples against the
   // all-invariants oracle; the note must say what they demonstrated so a
   // reader of the JSON does not need the git history.
-  for (const std::string& name :
-       {std::string("regression_commit_crash_agreement.json"),
-        std::string("regression_double_failure_agreement.json")}) {
-    SCOPED_TRACE(name);
-    Result<CheckTrace> trace = ReadTraceFile(TracePath(name));
+  struct Case {
+    std::string name;
+    std::string finding;
+  };
+  for (const Case& c :
+       {Case{"regression_commit_crash_agreement.json", "FailLockAgreement"},
+        Case{"regression_double_failure_agreement.json", "FailLockAgreement"},
+        Case{"regression_recovery_inflight_coverage.json", "WriteCoverage"}}) {
+    SCOPED_TRACE(c.name);
+    Result<CheckTrace> trace = ReadTraceFile(TracePath(c.name));
     ASSERT_TRUE(trace.ok()) << trace.status().ToString();
-    EXPECT_NE(trace->note.find("FailLockAgreement"), std::string::npos)
-        << trace->note;
+    EXPECT_NE(trace->note.find(c.finding), std::string::npos) << trace->note;
   }
 }
 

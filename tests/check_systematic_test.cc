@@ -106,6 +106,27 @@ TEST(SystematicTest, ReplayDetectsFanoutDivergence) {
   EXPECT_NE(out.mismatch.find("fanout"), std::string::npos) << out.mismatch;
 }
 
+TEST(SystematicTest, InterleavedTwoPhaseLockingScenarioIsClean) {
+  // The 2PL scenario runs two conflicting coordinations through one site
+  // with a participant down; a trimmed sweep must stay violation-free and
+  // the recorded trace must carry the concurrency configuration through
+  // JSON so replay reconstructs the same engine.
+  SystematicOptions opts = Scenario("interleaved-2pl");
+  EXPECT_TRUE(opts.concurrency.locking());
+  opts.max_executions = 500;
+  SystematicResult r = ExploreSystematic(opts);
+  EXPECT_FALSE(r.counterexample.has_value()) << r.counterexample->note;
+
+  CheckTrace golden = RecordGoldenTrace(opts);
+  Result<CheckTrace> parsed = TraceFromJson(TraceToJson(golden));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->concurrency.locking());
+  EXPECT_EQ(parsed->concurrency.max_executors, 2u);
+  ReplayOutcome out = ReplayTrace(*parsed);
+  EXPECT_TRUE(out.matched) << out.mismatch;
+  EXPECT_TRUE(out.violations.empty()) << out.violations.front();
+}
+
 TEST(SystematicTest, RecoveryScenariosAreCleanWithinBudget) {
   for (std::string_view name : {"recovery-window", "double-failure"}) {
     SystematicOptions opts = Scenario(name);

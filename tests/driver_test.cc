@@ -118,8 +118,9 @@ TEST(DriverTest, SubmissionWindowCapsDriverConcurrency) {
 /// One pipelined run with failure and recovery in the middle; returns a
 /// fingerprint covering every measured outcome, the final database image,
 /// message count, and the invariant-checker verdict.
-std::string DeterminismFingerprint() {
+std::string DeterminismFingerprint(ConcurrencyOptions concurrency = {}) {
   ClusterOptions options = SimOptions(4, 16, /*window=*/6);
+  options.site.concurrency = concurrency;
   options.check_invariants = true;  // enforced at Fail/Recover quiescence
   auto cluster = Make(options);
 
@@ -171,6 +172,17 @@ TEST(DriverTest, PipelinedSubmissionIsDeterministicUnderSim) {
   EXPECT_EQ(first, second);
   // And the runs were non-trivial: outcomes were actually recorded.
   EXPECT_GT(first.size(), 120u * 2);
+}
+
+TEST(DriverTest, SerialModeIsTheDefaultAndStaysDeterministic) {
+  // ConcurrencyOptions default to mode=serial, and an explicit serial
+  // configuration must be indistinguishable from the default — the paper
+  // experiments reproduce unchanged after the concurrency redesign.
+  ConcurrencyOptions serial;
+  serial.mode = ConcurrencyMode::kSerial;
+  const std::string explicit_serial = DeterminismFingerprint(serial);
+  EXPECT_EQ(explicit_serial, DeterminismFingerprint());
+  EXPECT_EQ(explicit_serial, DeterminismFingerprint(serial));
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+#include "replication/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace miniraid {
+namespace {
+
+using Mode = LockManager::Mode;
+using Outcome = LockManager::Outcome;
+
+ConcurrencyOptions TwoPhase(DeadlockPolicy policy = DeadlockPolicy::kWaitDie) {
+  ConcurrencyOptions options;
+  options.mode = ConcurrencyMode::kTwoPhaseLocking;
+  options.deadlock_policy = policy;
+  return options;
+}
+
+TEST(LockManagerTest, GrantsFreeLocks) {
+  LockManager lm(TwoPhase());
+  EXPECT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  EXPECT_TRUE(lm.Holds(1, 10));
+  EXPECT_EQ(lm.TotalHeld(), 1u);
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm(TwoPhase());
+  EXPECT_EQ(lm.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  EXPECT_EQ(lm.Acquire(1, 20, Mode::kShared, nullptr), Outcome::kGranted);
+  EXPECT_EQ(lm.HolderCount(1), 2u);
+}
+
+TEST(LockManagerTest, ReentrantAcquisition) {
+  LockManager lm(TwoPhase());
+  EXPECT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  EXPECT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  EXPECT_EQ(lm.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  EXPECT_EQ(lm.HolderCount(1), 1u);
+}
+
+TEST(LockManagerTest, SoleSharedHolderUpgrades) {
+  LockManager lm(TwoPhase());
+  EXPECT_EQ(lm.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  EXPECT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  // Now exclusive: another shared request from an older txn queues.
+  bool granted = false;
+  EXPECT_EQ(lm.Acquire(1, 5, Mode::kShared, [&granted] { granted = true; }),
+            Outcome::kQueued);
+  lm.ReleaseAll(10);
+  EXPECT_TRUE(granted);
+}
+
+TEST(LockManagerTest, QueuedUpgradeGrantsWhenSoleHolderRemains) {
+  // txn 5 holds shared alongside txn 10 and queues an upgrade; when 10
+  // releases, 5 is the sole remaining holder and the upgrade must grant
+  // (a naive grant loop would stall: holders is non-empty).
+  LockManager lm(TwoPhase(DeadlockPolicy::kTimeout));
+  ASSERT_EQ(lm.Acquire(1, 5, Mode::kShared, nullptr), Outcome::kGranted);
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  bool upgraded = false;
+  ASSERT_EQ(lm.Acquire(1, 5, Mode::kExclusive, [&upgraded] { upgraded = true; }),
+            Outcome::kQueued);
+  lm.ReleaseAll(10);
+  EXPECT_TRUE(upgraded);
+  EXPECT_TRUE(lm.Holds(1, 5));
+  EXPECT_EQ(lm.HolderCount(1), 1u);
+}
+
+TEST(LockManagerTest, WaitDieOlderWaitsYoungerDies) {
+  LockManager lm(TwoPhase());
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  // Younger (larger id) conflicting requester dies immediately.
+  EXPECT_EQ(lm.Acquire(1, 20, Mode::kExclusive, nullptr), Outcome::kRejected);
+  EXPECT_EQ(lm.Acquire(1, 20, Mode::kShared, nullptr), Outcome::kRejected);
+  // Older (smaller id) requester waits.
+  bool granted = false;
+  EXPECT_EQ(lm.Acquire(1, 5, Mode::kExclusive, [&granted] { granted = true; }),
+            Outcome::kQueued);
+  EXPECT_FALSE(granted);
+  lm.ReleaseAll(10);
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(lm.Holds(1, 5));
+}
+
+TEST(LockManagerTest, FifoGrantOfQueuedWaiters) {
+  LockManager lm(TwoPhase());
+  ASSERT_EQ(lm.Acquire(1, 30, Mode::kExclusive, nullptr), Outcome::kGranted);
+  std::vector<int> order;
+  ASSERT_EQ(
+      lm.Acquire(1, 10, Mode::kExclusive, [&order] { order.push_back(10); }),
+      Outcome::kQueued);
+  ASSERT_EQ(
+      lm.Acquire(1, 20, Mode::kExclusive, [&order] { order.push_back(20); }),
+      Outcome::kQueued);
+  lm.ReleaseAll(30);
+  // Only the first waiter gets the exclusive lock.
+  EXPECT_EQ(order, (std::vector<int>{10}));
+  lm.ReleaseAll(10);
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+}
+
+TEST(LockManagerTest, SharedWaitersGrantTogether) {
+  LockManager lm(TwoPhase());
+  ASSERT_EQ(lm.Acquire(1, 30, Mode::kExclusive, nullptr), Outcome::kGranted);
+  int granted = 0;
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kShared, [&granted] { ++granted; }),
+            Outcome::kQueued);
+  ASSERT_EQ(lm.Acquire(1, 20, Mode::kShared, [&granted] { ++granted; }),
+            Outcome::kQueued);
+  lm.ReleaseAll(30);
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(lm.HolderCount(1), 2u);
+}
+
+TEST(LockManagerTest, QueuedSharedBlocksLaterSharedBehindWriter) {
+  // No writer starvation: once an exclusive waiter queues, later shared
+  // requests conflict (they must queue or die).
+  LockManager lm(TwoPhase());
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  bool writer_granted = false;
+  ASSERT_EQ(lm.Acquire(1, 5, Mode::kExclusive,
+                       [&writer_granted] { writer_granted = true; }),
+            Outcome::kQueued);
+  // Younger shared requester dies rather than jumping the writer.
+  EXPECT_EQ(lm.Acquire(1, 20, Mode::kShared, nullptr), Outcome::kRejected);
+  lm.ReleaseAll(10);
+  EXPECT_TRUE(writer_granted);
+}
+
+TEST(LockManagerTest, ReleaseCancelsQueuedRequests) {
+  LockManager lm(TwoPhase());
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  bool granted = false;
+  ASSERT_EQ(lm.Acquire(1, 5, Mode::kExclusive, [&granted] { granted = true; }),
+            Outcome::kQueued);
+  lm.ReleaseAll(5);  // the waiter gives up (abort path)
+  lm.ReleaseAll(10);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lm.TotalHeld(), 0u);
+}
+
+TEST(LockManagerTest, ReleaseAllCoversManyItems) {
+  LockManager lm(TwoPhase());
+  for (ItemId item = 0; item < 5; ++item) {
+    ASSERT_EQ(lm.Acquire(item, 7, Mode::kExclusive, nullptr),
+              Outcome::kGranted);
+  }
+  EXPECT_EQ(lm.TotalHeld(), 5u);
+  lm.ReleaseAll(7);
+  EXPECT_EQ(lm.TotalHeld(), 0u);
+}
+
+TEST(LockManagerTest, CancelWaitsKeepsHeldLocksAndUnblocksFollowers) {
+  LockManager lm(TwoPhase(DeadlockPolicy::kTimeout));
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kShared, nullptr), Outcome::kGranted);
+  ASSERT_EQ(lm.Acquire(2, 5, Mode::kExclusive, nullptr), Outcome::kGranted);
+  // txn 5 queues an exclusive on item 1; txn 20's shared dams up behind it.
+  ASSERT_EQ(lm.Acquire(1, 5, Mode::kExclusive, [] {}), Outcome::kQueued);
+  bool late_shared = false;
+  ASSERT_EQ(lm.Acquire(1, 20, Mode::kShared,
+                       [&late_shared] { late_shared = true; }),
+            Outcome::kQueued);
+  lm.CancelWaits(5);
+  // Dropping the exclusive waiter lets the compatible shared run through,
+  // while txn 5's granted lock on item 2 stays held.
+  EXPECT_TRUE(late_shared);
+  EXPECT_TRUE(lm.Holds(2, 5));
+  EXPECT_EQ(lm.QueueLength(1), 0u);
+}
+
+TEST(LockManagerTest, WoundWaitWoundsYoungerHolderDeferred) {
+  LockManager lm(TwoPhase(DeadlockPolicy::kWoundWait));
+  ASSERT_EQ(lm.Acquire(1, 20, Mode::kExclusive, nullptr), Outcome::kGranted);
+  bool granted = false;
+  // Older requester wounds the younger holder but gets no synchronous
+  // callback — the wound is reported via TakePendingWounds.
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kExclusive, [&granted] { granted = true; }),
+            Outcome::kQueued);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lm.TakePendingWounds(), (std::vector<TxnId>{20}));
+  // Duplicate wounds are suppressed until the victim releases.
+  EXPECT_TRUE(lm.TakePendingWounds().empty());
+  lm.ReleaseAll(20);  // the site aborts the victim
+  EXPECT_TRUE(granted);
+  EXPECT_TRUE(lm.Holds(1, 10));
+}
+
+TEST(LockManagerTest, WoundWaitYoungerRequesterWaits) {
+  LockManager lm(TwoPhase(DeadlockPolicy::kWoundWait));
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  bool granted = false;
+  ASSERT_EQ(lm.Acquire(1, 20, Mode::kExclusive, [&granted] { granted = true; }),
+            Outcome::kQueued);
+  EXPECT_TRUE(lm.TakePendingWounds().empty());  // no wound: holder is older
+  lm.ReleaseAll(10);
+  EXPECT_TRUE(granted);
+}
+
+TEST(LockManagerTest, WoundWaitGrantsOldestFirst) {
+  // Wound-wait's deadlock-freedom argument needs every wait edge to point
+  // young -> old, so the grant order must be by age, not arrival.
+  LockManager lm(TwoPhase(DeadlockPolicy::kWoundWait));
+  ASSERT_EQ(lm.Acquire(1, 5, Mode::kExclusive, nullptr), Outcome::kGranted);
+  std::vector<int> order;
+  ASSERT_EQ(
+      lm.Acquire(1, 30, Mode::kExclusive, [&order] { order.push_back(30); }),
+      Outcome::kQueued);
+  ASSERT_EQ(
+      lm.Acquire(1, 10, Mode::kExclusive, [&order] { order.push_back(10); }),
+      Outcome::kQueued);
+  lm.ReleaseAll(5);
+  EXPECT_EQ(order, (std::vector<int>{10}));  // older 10 beats earlier 30
+  lm.ReleaseAll(10);
+  EXPECT_EQ(order, (std::vector<int>{10, 30}));
+}
+
+TEST(LockManagerTest, PinnedHolderIsNeverWounded) {
+  LockManager lm(TwoPhase(DeadlockPolicy::kWoundWait));
+  ASSERT_EQ(lm.Acquire(1, 20, Mode::kExclusive, nullptr), Outcome::kGranted);
+  lm.Pin(20);  // past the point of no return
+  bool granted = false;
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kExclusive, [&granted] { granted = true; }),
+            Outcome::kQueued);
+  // The elder waits instead of wounding the pinned younger holder.
+  EXPECT_TRUE(lm.TakePendingWounds().empty());
+  lm.ReleaseAll(20);  // commit finishes; pin is forgotten with the release
+  EXPECT_TRUE(granted);
+  EXPECT_FALSE(lm.IsPinned(20));
+}
+
+TEST(LockManagerTest, TimeoutPolicyAlwaysQueues) {
+  LockManager lm(TwoPhase(DeadlockPolicy::kTimeout));
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  // Even a younger conflicting requester queues (no wait-die rejection);
+  // the site's lock-wait timer is responsible for breaking cycles.
+  EXPECT_EQ(lm.Acquire(1, 20, Mode::kExclusive, [] {}), Outcome::kQueued);
+  EXPECT_EQ(lm.QueueLength(1), 1u);
+  EXPECT_TRUE(lm.TakePendingWounds().empty());
+}
+
+}  // namespace
+}  // namespace miniraid

@@ -208,6 +208,10 @@ struct CheckOptions {
   std::map<std::string, std::set<std::string>> blocking_members;
   std::string dispatch_enum;            // enum checked for exhaustiveness
   std::string dispatch_function;        // name of dispatch entry points
+  // Wire payload types whose name does not follow the `<Enumerator>Args`
+  // convention, mapped to their dispatch enumerator (e.g. "TxnResult" ->
+  // "kTxnReply").
+  std::map<std::string, std::string> codec_aliases;
   bool check_codec = true;
   bool check_contexts = true;
 

@@ -474,9 +474,15 @@ class Checker {
     }
 
     for (const auto& kv : encode) {
-      if (!EndsWith(kv.first, "Args")) continue;
-      std::string enumerator =
-          "k" + kv.first.substr(0, kv.first.size() - 4);
+      std::string enumerator;
+      auto alias = opts_.codec_aliases.find(kv.first);
+      if (alias != opts_.codec_aliases.end()) {
+        enumerator = alias->second;
+      } else if (EndsWith(kv.first, "Args")) {
+        enumerator = "k" + kv.first.substr(0, kv.first.size() - 4);
+      } else {
+        continue;
+      }
       auto dit = decode.find(enumerator);
       if (dit == decode.end()) {
         if (decode_fn != nullptr) {
@@ -490,6 +496,9 @@ class Checker {
     }
     for (const auto& kv : decode) {
       std::string args = kv.first.substr(1) + "Args";
+      for (const auto& alias : opts_.codec_aliases) {
+        if (alias.second == kv.first) args = alias.first;
+      }
       if (!encode.empty() && !encode.count(args)) {
         Report("codec-symmetry", kv.second.file, kv.second.line,
                "decoder case MsgType::" + kv.first +
@@ -545,6 +554,7 @@ CheckOptions CheckOptions::Defaults() {
                            {"thread", {"join"}}};
   opts.dispatch_enum = "MsgType";
   opts.dispatch_function = "OnMessage";
+  opts.codec_aliases = {{"TxnResult", "kTxnReply"}};
   return opts;
 }
 
