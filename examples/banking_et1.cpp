@@ -35,7 +35,7 @@ int main() {
   uint64_t committed = 0, aborted = 0;
   auto run = [&](uint32_t count, SiteId coordinator) {
     for (uint32_t i = 0; i < count; ++i) {
-      const TxnReplyArgs reply = cluster.RunTxn(workload.Next(), coordinator);
+      const TxnResult reply = cluster.RunTxn(workload.Next(), coordinator);
       (reply.outcome == TxnOutcome::kCommitted ? committed : aborted) += 1;
     }
   };

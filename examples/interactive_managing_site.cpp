@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
             (fixed >= 0 && fixed < long(n_sites))
                 ? static_cast<SiteId>(fixed)
                 : up[rng.NextBounded(up.size())];
-        const TxnReplyArgs reply = cluster.RunTxn(workload.Next(),
+        const TxnResult reply = cluster.RunTxn(workload.Next(),
                                                   coordinator);
         committed += reply.outcome == TxnOutcome::kCommitted;
       }
@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
         continue;
       }
       ++manual_id;
-      const TxnReplyArgs reply =
+      const TxnResult reply =
           cluster.RunTxn(*txn, static_cast<SiteId>(site));
       std::printf("  %s (copiers=%u)",
                   std::string(TxnOutcomeName(reply.outcome)).c_str(),

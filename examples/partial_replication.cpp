@@ -63,7 +63,7 @@ int main() {
   cluster.Fail(1);
   uint64_t committed = 0, unavailable = 0;
   for (int i = 0; i < 30; ++i) {
-    const TxnReplyArgs reply = cluster.RunTxn(workload.Next(), 2);
+    const TxnResult reply = cluster.RunTxn(workload.Next(), 2);
     if (reply.outcome == TxnOutcome::kCommitted) {
       ++committed;
     } else if (reply.outcome == TxnOutcome::kAbortedCopierFailed) {

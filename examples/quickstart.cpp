@@ -45,7 +45,7 @@ int main() {
   TxnSpec txn;
   txn.id = 1;
   txn.ops = {Operation::Write(0, 100), Operation::Write(7, 700)};
-  TxnReplyArgs reply = cluster.RunTxn(txn, /*coordinator=*/0);
+  TxnResult reply = cluster.RunTxn(txn, /*coordinator=*/0);
   std::printf("txn 1 (write items 0 and 7): %s\n",
               std::string(TxnOutcomeName(reply.outcome)).c_str());
   txn.id = 99;

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
 
   uint64_t committed = 0;
   for (int i = 0; i < 50; ++i) {
-    const TxnReplyArgs reply =
+    const TxnResult reply =
         cluster->RunTxn(workload.Next(), static_cast<SiteId>(i % 3));
     if (reply.outcome == TxnOutcome::kCommitted) ++committed;
   }
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   // Crash site 2 and keep going; then bring it back.
   cluster->Fail(2);
   for (int i = 0; i < 20; ++i) {
-    const TxnReplyArgs reply =
+    const TxnResult reply =
         cluster->RunTxn(workload.Next(), static_cast<SiteId>(i % 2));
     if (reply.outcome == TxnOutcome::kCommitted) ++committed;
   }

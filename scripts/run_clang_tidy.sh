@@ -51,6 +51,24 @@ fi
 mapfile -t sources < <(cd "$root" && find src tests bench examples \
   -name '*.cc' -o -name '*.cpp' | sort)
 
+# A source missing from the database would be tidied with no flags — or,
+# depending on the clang-tidy version, silently skipped — and a stale
+# database quietly narrows the gate to whatever existed at configure time.
+# Fail loudly and name the fix instead.
+stale=()
+for src in "${sources[@]}"; do
+  if ! grep -Fq "$src" "$build_dir/compile_commands.json"; then
+    stale+=("$src")
+  fi
+done
+if [[ ${#stale[@]} -gt 0 ]]; then
+  echo "run_clang_tidy: compile_commands.json is stale; missing entries for:" >&2
+  printf '  %s\n' "${stale[@]}" >&2
+  echo "run_clang_tidy: re-run cmake to regenerate it, e.g." >&2
+  echo "  cmake --preset release   # or: cmake -B build -S ." >&2
+  exit 2
+fi
+
 echo "run_clang_tidy: $tidy over ${#sources[@]} files (build: $build_dir)"
 status=0
 # -warnings-as-errors='*' makes every enabled check gating: clang-tidy

@@ -31,10 +31,10 @@ BaselineCluster::BaselineCluster(const BaselineClusterOptions& options)
 
 BaselineCluster::~BaselineCluster() = default;
 
-TxnReplyArgs BaselineCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
-  std::optional<TxnReplyArgs> result;
+TxnResult BaselineCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
+  std::optional<TxnResult> result;
   managing_->Submit(txn, coordinator,
-                    [&result](const TxnReplyArgs& reply) { result = reply; });
+                    [&result](const TxnResult& reply) { result = reply; });
   sim_.RunUntilIdle();
   MR_CHECK(result.has_value()) << "simulation drained without a reply";
   return *result;

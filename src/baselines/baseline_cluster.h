@@ -39,7 +39,7 @@ class BaselineCluster {
   BaselineCluster(const BaselineCluster&) = delete;
   BaselineCluster& operator=(const BaselineCluster&) = delete;
 
-  TxnReplyArgs RunTxn(const TxnSpec& txn, SiteId coordinator);
+  TxnResult RunTxn(const TxnSpec& txn, SiteId coordinator);
   void Fail(SiteId site);
   void Recover(SiteId site);
 

@@ -192,7 +192,7 @@ void QuorumSite::Reply(TxnOutcome outcome) {
   if (coord_->timer != kInvalidTimer) runtime_->CancelTimer(coord_->timer);
   (void)transport_->Send(MakeMessage(
       id_, coord_->client,
-      TxnReplyArgs{coord_->txn.id, outcome, 0, coord_->reads}));
+      TxnResult{coord_->txn.id, outcome, 0, coord_->reads}));
   coord_.reset();
 }
 

@@ -203,6 +203,63 @@ std::string AbstractAction::ToString() const {
   return "?";
 }
 
+const std::vector<ActionEffectVocabulary>& AbstractActionVocabulary() {
+  // Handlers and effects follow src/replication/site.cc. The per-action
+  // sets overlap because the implementation drains queued coordinator work
+  // from any handler that completes a transaction — the union, not the
+  // partition, is the contract the effect golden is checked against.
+  using Kind = AbstractAction::Kind;
+  static const std::vector<ActionEffectVocabulary> vocab = {
+      {Kind::kCommit,
+       "kCommit",
+       {"kTxnRequest", "kPrepare", "kPrepareAck", "kCommit", "kCommitAck",
+        "kAbort", "kTxnReply", "kDecisionQuery"},
+       {"send:kPrepare", "send:kPrepareAck", "send:kCommit", "send:kCommitAck",
+        "send:kAbort", "send:kTxnReply", "faillock.set", "faillock.clear",
+        "session.merge", "outcome.record", "lockmgr.acquire",
+        "lockmgr.release"}},
+      {Kind::kDetectFailure,
+       "kDetectFailure",
+       {"kFailSite", "kFailureAnnounce", "kFailureAck"},
+       {"session.mark_down", "session.set", "send:kCopyCreate"}},
+      {Kind::kCrash,
+       "kCrash",
+       {"kFailSite"},
+       // Crash mutates site state by assignment, not through the mutation
+       // APIs the analyzer tracks: a pure handler by construction.
+       {}},
+      {Kind::kBeginRecovery,
+       "kBeginRecovery",
+       {"kRecoverSite", "kRecoveryAnnounce"},
+       {"send:kRecoveryAnnounce", "session.set", "session.merge"}},
+      {Kind::kRecoveryReply,
+       "kRecoveryReply",
+       {"kRecoveryAnnounce", "kRecoveryInfo"},
+       {"send:kRecoveryInfo", "session.set", "faillock.merge"}},
+      {Kind::kEndRecovery,
+       "kEndRecovery",
+       {"kRecoveryInfo"},
+       {"faillock.merge", "faillock.clear", "session.merge", "session.set"}},
+      {Kind::kRefresh,
+       "kRefresh",
+       {"kCopyRequest", "kCopyReply", "kCopyCreate", "kCopyCreateAck",
+        "kClearFailLocks", "kClearFailLocksAck"},
+       {"send:kCopyRequest", "send:kCopyReply", "send:kCopyCreate",
+        "send:kClearFailLocks", "faillock.clear"}},
+      {Kind::kBeginCommit,
+       "kBeginCommit",
+       {"kPrepare", "kPrepareAck"},
+       {"send:kPrepare", "send:kPrepareAck", "lockmgr.acquire", "lockmgr.pin",
+        "session.merge"}},
+      {Kind::kEndCommit,
+       "kEndCommit",
+       {"kCommit", "kCommitAck", "kAbort"},
+       {"send:kCommitAck", "send:kTxnReply", "faillock.set", "faillock.clear",
+        "lockmgr.release", "outcome.record"}},
+  };
+  return vocab;
+}
+
 std::string_view AbstractPropertyName(AbstractProperty p) {
   switch (p) {
     case AbstractProperty::kLockAgreement:

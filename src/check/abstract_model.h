@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace miniraid::check {
@@ -256,6 +257,25 @@ enum class AbstractProperty : uint8_t {
 };
 
 std::string_view AbstractPropertyName(AbstractProperty p);
+
+/// One abstract action's footprint in the implementation: the MsgType
+/// handlers that realize it in src/replication/site.cc and the analyzer
+/// effect tokens those handlers may produce. This is the bridge between the
+/// model's action alphabet and miniraid-analyze's protocol-effect pass: the
+/// checked-in effect golden (tools/miniraid-analyze/effects_golden.txt) must
+/// stay inside the union of these effect sets, which
+/// tests/check_abstract_test.cc asserts. A handler effect with no owning
+/// abstract action means the implementation grew a protocol step the model
+/// does not explore.
+struct ActionEffectVocabulary {
+  AbstractAction::Kind kind;
+  std::string_view name;                   // enumerator spelling, "kCommit"
+  std::vector<std::string_view> handlers;  // realizing MsgType enumerators
+  std::vector<std::string_view> effects;   // permitted effect tokens
+};
+
+/// The vocabulary for all nine action kinds, in Kind order.
+const std::vector<ActionEffectVocabulary>& AbstractActionVocabulary();
 
 struct AbstractViolation {
   AbstractProperty property = AbstractProperty::kLockAgreement;

@@ -13,6 +13,9 @@
 //       compared; summary JSON via --json
 //   minicheck --list
 //       list scenario names
+//   minicheck --effect-vocab FILE
+//       dump the abstract action -> handler/effect vocabulary as JSON
+//       (the contract miniraid-analyze's effect golden is checked against)
 //
 // Exit codes: 0 clean, 1 property/invariant violation, 2 usage or
 // determinism failure.
@@ -51,13 +54,15 @@ struct Args {
   bool no_symmetry = false;
   bool smoke = false;
   bool list = false;
+  std::string effect_vocab_path;
+  bool effect_vocab = false;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: minicheck abstract|systematic [options]\n"
                "       minicheck --replay FILE | --record-golden NAME --out "
-               "FILE | --smoke | --list\n"
+               "FILE | --smoke | --list | --effect-vocab FILE\n"
                "options: --sites N --items M --depth D --interleaved --bug "
                "drop-window|skip-merge|narrow-clear|skip-prospective "
                "--scenario NAME\n"
@@ -76,6 +81,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->smoke = true;
     } else if (a == "--list") {
       args->list = true;
+    } else if (a == "--effect-vocab") {
+      const char* v = next();
+      if (!v) return false;
+      args->effect_vocab = true;
+      args->effect_vocab_path = v;
     } else if (a == "--no-symmetry") {
       args->no_symmetry = true;
     } else if (a == "--check-agreement") {
@@ -405,6 +415,32 @@ int Main(int argc, char** argv) {
   if (args.list) {
     for (std::string_view name : ScenarioNames()) {
       std::printf("%s\n", std::string(name).c_str());
+    }
+    return 0;
+  }
+  if (args.effect_vocab) {
+    std::string body = "{\n";
+    const auto& vocab = AbstractActionVocabulary();
+    for (size_t i = 0; i < vocab.size(); ++i) {
+      const ActionEffectVocabulary& v = vocab[i];
+      body += StrFormat("  \"%s\": {\"handlers\": [",
+                        std::string(v.name).c_str());
+      for (size_t j = 0; j < v.handlers.size(); ++j) {
+        body += StrFormat("%s\"%s\"", j ? ", " : "",
+                          std::string(v.handlers[j]).c_str());
+      }
+      body += "], \"effects\": [";
+      for (size_t j = 0; j < v.effects.size(); ++j) {
+        body += StrFormat("%s\"%s\"", j ? ", " : "",
+                          std::string(v.effects[j]).c_str());
+      }
+      body += StrFormat("]}%s\n", i + 1 < vocab.size() ? "," : "");
+    }
+    body += "}\n";
+    if (!WriteFileOrStdout(args.effect_vocab_path, body)) {
+      std::fprintf(stderr, "minicheck: cannot write %s\n",
+                   args.effect_vocab_path.c_str());
+      return 2;
     }
     return 0;
   }

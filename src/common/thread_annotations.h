@@ -41,11 +41,25 @@
 
 /// Declares lock order: this capability must be acquired before / after
 /// the listed ones. Violations are whole deadlock classes; clang checks
-/// them under -Wthread-safety-beta.
-#define MR_ACQUIRED_BEFORE(...) \
-  MR_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
-#define MR_ACQUIRED_AFTER(...) \
-  MR_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+/// them under -Wthread-safety-beta, and miniraid-analyze's lock-order pass
+/// checks the declared graph for cycles and diffs it against the acquisition
+/// order actually observed in function bodies (docs/ANALYSIS.md §8).
+///
+/// On clang the edge is additionally emitted as an annotate attribute
+/// ("mr_acquired_before:<targets>") so the AST frontend sees the same
+/// vocabulary the built-in indexer reads from the macro tokens.
+#if defined(__clang__)
+#define MR_LOCK_EDGE_ANNOTATE_(dir, ...) \
+  __attribute__((annotate(dir #__VA_ARGS__)))
+#else
+#define MR_LOCK_EDGE_ANNOTATE_(dir, ...)
+#endif
+#define MR_ACQUIRED_BEFORE(...)                           \
+  MR_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))     \
+  MR_LOCK_EDGE_ANNOTATE_("mr_acquired_before:", __VA_ARGS__)
+#define MR_ACQUIRED_AFTER(...)                            \
+  MR_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))      \
+  MR_LOCK_EDGE_ANNOTATE_("mr_acquired_after:", __VA_ARGS__)
 
 /// Function requires the listed capabilities to be held on entry (and does
 /// not release them).

@@ -119,10 +119,6 @@ struct TxnResult {
   friend bool operator==(const TxnResult&, const TxnResult&) = default;
 };
 
-/// Deprecated name for TxnResult, kept for one PR while call sites
-/// migrate; new code should say TxnResult.
-using TxnReplyArgs = TxnResult;
-
 struct PrepareArgs {
   TxnId txn = 0;
   std::vector<ItemWrite> writes;

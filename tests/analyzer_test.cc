@@ -476,6 +476,189 @@ class Site {
   EXPECT_EQ(CountRule(findings, "codec-symmetry"), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Lock-order pass.
+// ---------------------------------------------------------------------------
+
+// Capability macro preamble for the lock-order sources; the indexer keys
+// off the MR_* spellings, the expansions are irrelevant.
+constexpr char kLockPreamble[] = R"(
+#define MR_CAPABILITY(x)
+#define MR_SCOPED_CAPABILITY
+#define MR_ACQUIRE(...)
+#define MR_RELEASE(...)
+#define MR_ACQUIRED_BEFORE(...)
+class MR_CAPABILITY("mutex") Mutex {
+ public:
+  void Lock() MR_ACQUIRE();
+  void Unlock() MR_RELEASE();
+};
+class MR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MR_ACQUIRE(mu);
+  ~MutexLock() MR_RELEASE();
+};
+)";
+
+std::vector<Finding> AnalyzeWithGraph(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    LockGraph* graph) {
+  Model model = BuildModel(sources);
+  CheckOptions opts = CheckOptions::Defaults();
+  std::vector<Finding> findings = RunChecks(model, opts);
+  *graph = BuildLockGraph(model, opts, &findings);
+  ApplySuppressions(model, &findings);
+  return findings;
+}
+
+TEST(LockOrderTest, SeededDeclaredCycleIsDetected) {
+  LockGraph graph;
+  auto findings =
+      AnalyzeWithGraph({{"src/core/x.cc", std::string(kLockPreamble) + R"(
+class Cyclic {
+ private:
+  Mutex a_ MR_ACQUIRED_BEFORE(b_);
+  Mutex b_ MR_ACQUIRED_BEFORE(a_);
+};
+)"}}, &graph);
+  ASSERT_EQ(CountRule(findings, "lock-order"), 1);
+  for (const Finding& f : findings) {
+    if (f.rule == "lock-order") {
+      EXPECT_NE(f.message.find("cycle"), std::string::npos) << f.message;
+    }
+  }
+}
+
+TEST(LockOrderTest, InterproceduralInversionContradictsDeclaredOrder) {
+  LockGraph graph;
+  auto findings =
+      AnalyzeWithGraph({{"src/core/x.cc", std::string(kLockPreamble) + R"(
+class Engine {
+ public:
+  void Helper() { MutexLock lock(outer_); }
+  void Run() {
+    MutexLock lock(inner_);
+    Helper();
+  }
+ private:
+  Mutex outer_ MR_ACQUIRED_BEFORE(inner_);
+  Mutex inner_;
+};
+)"}}, &graph);
+  EXPECT_EQ(CountRule(findings, "lock-order"), 1);
+  bool observed_inversion = false;
+  for (const LockGraph::Edge& e : graph.edges) {
+    if (e.kind == "observed" && e.from == "Engine::inner_" &&
+        e.to == "Engine::outer_") {
+      observed_inversion = true;
+      EXPECT_EQ(e.via, "Engine::Helper");
+    }
+  }
+  EXPECT_TRUE(observed_inversion);
+}
+
+TEST(LockOrderTest, DeclaredOrderSilencesObservedEdgeButKeepsItInGraph) {
+  LockGraph graph;
+  auto findings =
+      AnalyzeWithGraph({{"src/core/x.cc", std::string(kLockPreamble) + R"(
+class Engine {
+ public:
+  void Nested() {
+    MutexLock lock(outer_);
+    MutexLock inner_lock(inner_);
+  }
+ private:
+  Mutex outer_ MR_ACQUIRED_BEFORE(inner_);
+  Mutex inner_;
+};
+)"}}, &graph);
+  EXPECT_EQ(CountRule(findings, "lock-order"), 0);
+  int declared = 0, observed = 0;
+  for (const LockGraph::Edge& e : graph.edges) {
+    if (e.kind == "declared") ++declared;
+    if (e.kind == "observed") ++observed;
+  }
+  EXPECT_EQ(declared, 1);
+  EXPECT_EQ(observed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-effect pass.
+// ---------------------------------------------------------------------------
+
+constexpr char kDispatchSource[] = R"(
+enum class MsgType { kPing, kStop };
+struct PingArgs { unsigned from; };
+struct PongArgs { unsigned from; };
+struct ExtraArgs { unsigned from; };
+struct Message { MsgType type; unsigned from; };
+class Site {
+ public:
+  void OnMessage(const Message& msg) {
+    switch (msg.type) {
+      case MsgType::kPing:
+        SendTo(msg.from, %PAYLOAD%{0});
+        break;
+      case MsgType::kStop:
+        break;
+    }
+  }
+ private:
+  void SendTo(unsigned to, %PAYLOAD% args);
+};
+)";
+
+std::string DispatchSourceSending(const std::string& payload) {
+  std::string src = kDispatchSource;
+  std::string::size_type pos;
+  while ((pos = src.find("%PAYLOAD%")) != std::string::npos) {
+    src.replace(pos, 9, payload);
+  }
+  return src;
+}
+
+TEST(ProtocolEffectTest, ComputesHandlerSummariesFromDispatchCases) {
+  Model model = BuildModel({{"src/core/x.cc", DispatchSourceSending("PongArgs")}});
+  EffectMap map = BuildEffectMap(model, CheckOptions::Defaults());
+  ASSERT_EQ(map.handlers.size(), 2u);
+  EXPECT_EQ(map.handlers["kPing"], std::set<std::string>{"send:kPong"});
+  EXPECT_TRUE(map.handlers["kStop"].empty());
+}
+
+TEST(ProtocolEffectTest, SeededDriftAgainstGoldenIsDetected) {
+  Model model = BuildModel({{"src/core/x.cc", DispatchSourceSending("ExtraArgs")}});
+  EffectMap map = BuildEffectMap(model, CheckOptions::Defaults());
+  std::vector<Finding> findings;
+  DiffEffectsAgainstGolden(map, "kPing: send:kPong\nkStop: -\n", &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "protocol-effect");
+  EXPECT_NE(findings[0].message.find("send:kExtra"), std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(findings[0].message.find("send:kPong"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(ProtocolEffectTest, MatchingGoldenAndCommentsProduceNoFindings) {
+  Model model = BuildModel({{"src/core/x.cc", DispatchSourceSending("PongArgs")}});
+  EffectMap map = BuildEffectMap(model, CheckOptions::Defaults());
+  std::vector<Finding> findings;
+  DiffEffectsAgainstGolden(
+      map, "# comment\nkPing: send:kPong  # trailing\n\nkStop: -\n",
+      &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(ProtocolEffectTest, GoldenHandlerWithoutDispatchCaseReports) {
+  Model model = BuildModel({{"src/core/x.cc", DispatchSourceSending("PongArgs")}});
+  EffectMap map = BuildEffectMap(model, CheckOptions::Defaults());
+  std::vector<Finding> findings;
+  DiffEffectsAgainstGolden(
+      map, "kPing: send:kPong\nkStop: -\nkRetired: send:kPong\n", &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("kRetired"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("no dispatch case"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace analyze
 }  // namespace miniraid

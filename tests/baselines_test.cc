@@ -24,7 +24,7 @@ BaselineClusterOptions Options(BaselineKind kind, uint32_t n_sites) {
 
 TEST(RowaStrictTest, CommitsAndReplicatesWhenAllUp) {
   BaselineCluster cluster(Options(BaselineKind::kRowaStrict, 3));
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(cluster.site_counters(1).commits_handled, 1u);
@@ -35,7 +35,7 @@ TEST(RowaStrictTest, AnyFailureBlocksAllUpdates) {
   BaselineCluster cluster(Options(BaselineKind::kRowaStrict, 3));
   cluster.Fail(2);
   for (TxnId t = 1; t <= 3; ++t) {
-    const TxnReplyArgs reply =
+    const TxnResult reply =
         cluster.RunTxn(MakeTxn(t, {Operation::Write(1, 10)}), 0);
     EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedParticipantFailed)
         << "txn " << t;
@@ -46,7 +46,7 @@ TEST(RowaStrictTest, ReadOnlyTransactionsSurviveFailures) {
   BaselineCluster cluster(Options(BaselineKind::kRowaStrict, 3));
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(1, 10)}), 0);
   cluster.Fail(2);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(2, {Operation::Read(1)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 10);
@@ -61,7 +61,7 @@ TEST(RowaStrictTest, RecoveryCopiesWholeDatabase) {
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(3, 34)}), 0);
   cluster.Recover(1);
   // After recovery the copy matches (it re-copied the whole database).
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(3, {Operation::Read(3)}), 1);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 33);  // txn 2 aborted; 33 is current
@@ -71,7 +71,7 @@ TEST(RowaStrictTest, RecoveryCopiesWholeDatabase) {
 TEST(QuorumTest, CommitsWithMinorityDown) {
   BaselineCluster cluster(Options(BaselineKind::kQuorum, 3));
   cluster.Fail(2);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(4, 44)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
 }
@@ -80,7 +80,7 @@ TEST(QuorumTest, BlocksWithMajorityDown) {
   BaselineCluster cluster(Options(BaselineKind::kQuorum, 3));
   cluster.Fail(1);
   cluster.Fail(2);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Read(0)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedParticipantFailed);
 }
@@ -92,7 +92,7 @@ TEST(QuorumTest, ReadQuorumMasksStaleRecoveredCopy) {
   cluster.Recover(2);  // no refresh: site 2's copy of 4 is stale (version 0)
   // A read coordinated at the stale site still returns the fresh value:
   // the read quorum includes a fresh copy, and the max version wins.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(2, {Operation::Read(4)}), 2);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 44);
@@ -107,7 +107,7 @@ TEST(QuorumTest, WritesAdvanceVersionsMonotonically) {
                   .outcome,
               TxnOutcome::kCommitted);
   }
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(6, {Operation::Read(0)}), 1);
   EXPECT_EQ(reply.reads.at(0).value, 5);
   EXPECT_EQ(reply.reads.at(0).version, 5u);
@@ -115,7 +115,7 @@ TEST(QuorumTest, WritesAdvanceVersionsMonotonically) {
 
 TEST(QuorumTest, SingleSiteClusterTrivialQuorum) {
   BaselineCluster cluster(Options(BaselineKind::kQuorum, 1));
-  const TxnReplyArgs reply = cluster.RunTxn(
+  const TxnResult reply = cluster.RunTxn(
       MakeTxn(1, {Operation::Write(0, 7), Operation::Read(0)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
 }

@@ -4,6 +4,11 @@
 
 #include "check/abstract_model.h"
 
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace miniraid::check {
@@ -173,6 +178,72 @@ TEST(AbstractModelTest, StateBoundReportsInsteadOfFailing) {
   EXPECT_TRUE(r.state_bounded);
   EXPECT_FALSE(r.violation.has_value());
 }
+
+// ---------------------------------------------------------------------------
+// Action/effect vocabulary (the bridge to miniraid-analyze's effect golden).
+// ---------------------------------------------------------------------------
+
+TEST(ActionVocabularyTest, CoversAllKindsInOrderWithUniqueNames) {
+  const auto& vocab = AbstractActionVocabulary();
+  ASSERT_EQ(vocab.size(), 9u);
+  std::set<std::string> names;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(vocab[i].kind), i);
+    EXPECT_TRUE(names.insert(std::string(vocab[i].name)).second)
+        << vocab[i].name;
+  }
+}
+
+#ifdef MINIRAID_EFFECTS_GOLDEN
+// Every handler and effect token the checked-in analyzer golden approves
+// must be owned by at least one abstract action: a golden entry with no
+// owner means src/replication grew a protocol step the model does not
+// explore, and the two must be reconciled together.
+TEST(ActionVocabularyTest, EffectGoldenStaysInsideTheVocabulary) {
+  std::ifstream in(MINIRAID_EFFECTS_GOLDEN);
+  ASSERT_TRUE(in) << "cannot read " << MINIRAID_EFFECTS_GOLDEN;
+
+  std::set<std::string> known_handlers, known_effects;
+  for (const ActionEffectVocabulary& v : AbstractActionVocabulary()) {
+    for (std::string_view h : v.handlers) known_handlers.emplace(h);
+    for (std::string_view e : v.effects) known_effects.emplace(e);
+  }
+
+  // Pure acks and client-side replies carry no effects, so no abstract
+  // action claims them; they are still legitimate golden entries.
+  const std::set<std::string> pure_wire_steps = {
+      "kChannelAck", "kClearFailLocksAck", "kCopyCreateAck", "kFailureAck",
+      "kShutdown", "kTxnReply"};
+
+  std::string line;
+  int handlers_seen = 0;
+  while (std::getline(in, line)) {
+    std::string::size_type hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::string::size_type colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string handler = line.substr(0, colon);
+    handler.erase(0, handler.find_first_not_of(" \t"));
+    handler.erase(handler.find_last_not_of(" \t") + 1);
+    if (handler.empty()) continue;
+    ++handlers_seen;
+    EXPECT_TRUE(known_handlers.count(handler) ||
+                pure_wire_steps.count(handler))
+        << "golden handler " << handler << " has no owning abstract action";
+    std::istringstream rest(line.substr(colon + 1));
+    std::string tok;
+    while (rest >> tok) {
+      if (tok == "-") continue;
+      EXPECT_TRUE(known_effects.count(tok))
+          << "golden effect " << tok << " (handler " << handler
+          << ") is outside the abstract action vocabulary";
+    }
+  }
+  // The golden covers the whole MsgType alphabet; an empty parse would
+  // make the containment checks above pass vacuously.
+  EXPECT_GE(handlers_seen, 20);
+}
+#endif  // MINIRAID_EFFECTS_GOLDEN
 
 }  // namespace
 }  // namespace miniraid::check

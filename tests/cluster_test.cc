@@ -53,7 +53,7 @@ TEST_P(ClusterApiTest, CommitReplicatesWrites) {
   auto cluster = Make();
   const TxnSpec txn =
       MakeTxn(1, {Operation::Write(3, 42), Operation::Read(3)});
-  const TxnReplyArgs reply = cluster->RunTxn(txn, /*coordinator=*/0);
+  const TxnResult reply = cluster->RunTxn(txn, /*coordinator=*/0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   for (SiteId s = 0; s < 2; ++s) {
     const ItemState state = ReadItem(*cluster, s, 3);
@@ -67,7 +67,7 @@ TEST_P(ClusterApiTest, ReadsObserveLatestCommit) {
   auto cluster = Make();
   (void)cluster->RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
   (void)cluster->RunTxn(MakeTxn(2, {Operation::Write(0, 20)}), 1);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster->RunTxn(MakeTxn(3, {Operation::Read(0)}), 0);
   ASSERT_EQ(reply.reads.size(), 1u);
   EXPECT_EQ(reply.reads[0].value, 20);
@@ -79,7 +79,7 @@ TEST_P(ClusterApiTest, SubmitTxnHandleResolvesToReply) {
   TxnHandle handle =
       cluster->SubmitTxn(MakeTxn(1, {Operation::Write(4, 7)}), 0);
   ASSERT_TRUE(handle.valid());
-  const TxnReplyArgs& reply = handle.Get();
+  const TxnResult& reply = handle.Get();
   EXPECT_TRUE(handle.done());
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(ReadItem(*cluster, 1, 4).value, 7);
@@ -137,7 +137,7 @@ TEST_P(ClusterApiTest, SubmissionWindowBackpressuresButCompletesAll) {
 TEST_P(ClusterApiTest, WritesWhileSiteDownSetFailLocks) {
   auto cluster = Make();
   cluster->Fail(1);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster->RunTxn(MakeTxn(1, {Operation::Write(2, 7)}), 0);
   // The first transaction after an undetected failure aborts on the
   // prepare-ack timeout and announces the failure (control type 2).
@@ -146,7 +146,7 @@ TEST_P(ClusterApiTest, WritesWhileSiteDownSetFailLocks) {
 
   // With the failure known, ROWAA proceeds with the single available copy
   // and fail-locks the down site's copy.
-  const TxnReplyArgs reply2 =
+  const TxnResult reply2 =
       cluster->RunTxn(MakeTxn(2, {Operation::Write(2, 8)}), 0);
   EXPECT_EQ(reply2.outcome, TxnOutcome::kCommitted);
   EXPECT_TRUE(cluster->SnapshotSites()[0].fail_locks.IsSet(2, 1));
@@ -187,7 +187,7 @@ TEST_P(ClusterApiTest, CopierTransactionRefreshesFailLockedRead) {
 
   // A read of the fail-locked copy at the recovering coordinator runs a
   // copier transaction and returns the up-to-date value.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster->RunTxn(MakeTxn(3, {Operation::Read(2)}), 1);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.copier_count, 1u);
@@ -212,7 +212,7 @@ TEST_P(ClusterApiTest, WriteRefreshesFailLockedCopyEverywhere) {
 
   // A write to the fail-locked item refreshes the recovered copy without a
   // copier: fail-lock maintenance at commit clears the bit at every site.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster->RunTxn(MakeTxn(3, {Operation::Write(2, 99)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.copier_count, 0u);
@@ -237,7 +237,7 @@ TEST_P(ClusterApiTest, AbortWhenNoUpToDateCopyReachable) {
   // site holds a fresh one (Experiment 3 scenario 1's abort cause).
   // The first attempt may abort on the undetected failure of site 1.
   (void)cluster->RunTxn(MakeTxn(3, {Operation::Read(2)}), 0);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster->RunTxn(MakeTxn(4, {Operation::Read(2)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedCopierFailed);
 }
@@ -245,7 +245,7 @@ TEST_P(ClusterApiTest, AbortWhenNoUpToDateCopyReachable) {
 TEST_P(ClusterApiTest, DownCoordinatorIsUnreachable) {
   auto cluster = Make();
   cluster->Fail(0);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster->RunTxn(MakeTxn(1, {Operation::Write(1, 5)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCoordinatorUnreachable);
   EXPECT_EQ(cluster->Stats().unreachable, 1u);

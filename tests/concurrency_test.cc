@@ -34,20 +34,20 @@ ClusterOptions Options(uint32_t n_sites, uint32_t db_size = 12) {
 
 /// Submits all (txn, coordinator) pairs before running the simulation, so
 /// the coordinations genuinely overlap in virtual time.
-std::vector<TxnReplyArgs> RunConcurrently(
+std::vector<TxnResult> RunConcurrently(
     SimCluster& cluster,
     const std::vector<std::pair<TxnSpec, SiteId>>& batch) {
-  std::vector<std::optional<TxnReplyArgs>> slots(batch.size());
+  std::vector<std::optional<TxnResult>> slots(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     cluster.managing().Submit(
         batch[i].first, batch[i].second,
-        [&slots, i](const TxnReplyArgs& reply) { slots[i] = reply; });
+        [&slots, i](const TxnResult& reply) { slots[i] = reply; });
   }
   cluster.RunUntilIdle();
-  std::vector<TxnReplyArgs> replies;
+  std::vector<TxnResult> replies;
   for (auto& slot : slots) {
     EXPECT_TRUE(slot.has_value()) << "missing reply";
-    replies.push_back(slot.value_or(TxnReplyArgs{}));
+    replies.push_back(slot.value_or(TxnResult{}));
   }
   return replies;
 }
@@ -59,7 +59,7 @@ TEST(ConcurrencyTest, DisjointWritesAtDifferentCoordinators) {
       cluster, {{MakeTxn(1, {Operation::Write(0, 10)}), 0},
                 {MakeTxn(2, {Operation::Write(1, 20)}), 1},
                 {MakeTxn(3, {Operation::Write(2, 30)}), 2}});
-  for (const TxnReplyArgs& reply : replies) {
+  for (const TxnResult& reply : replies) {
     EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   }
   for (SiteId s = 0; s < 3; ++s) {
@@ -77,7 +77,7 @@ TEST(ConcurrencyTest, ConflictingWritesConvergeByLastWriterWins) {
       cluster, {{MakeTxn(1, {Operation::Write(5, 100)}), 0},
                 {MakeTxn(2, {Operation::Write(5, 200)}), 1},
                 {MakeTxn(3, {Operation::Write(5, 300)}), 2}});
-  for (const TxnReplyArgs& reply : replies) {
+  for (const TxnResult& reply : replies) {
     EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   }
   // The highest transaction id wins everywhere, whatever the arrival
@@ -97,7 +97,7 @@ TEST(ConcurrencyTest, BusyCoordinatorQueuesInOrder) {
     batch.push_back({MakeTxn(t, {Operation::Write(0, Value(t))}), 0});
   }
   const auto replies = RunConcurrently(cluster, batch);
-  for (const TxnReplyArgs& reply : replies) {
+  for (const TxnResult& reply : replies) {
     EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   }
   // FIFO queue + serial execution: the last submitted wins.
@@ -165,7 +165,7 @@ TEST(ConcurrencyTest, QueueOverflowDropsButClientTimesOut) {
   }
   const auto replies = RunConcurrently(cluster, batch);
   uint64_t committed = 0, unreachable = 0;
-  for (const TxnReplyArgs& reply : replies) {
+  for (const TxnResult& reply : replies) {
     if (reply.outcome == TxnOutcome::kCommitted) ++committed;
     if (reply.outcome == TxnOutcome::kCoordinatorUnreachable) ++unreachable;
   }

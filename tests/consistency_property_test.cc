@@ -88,7 +88,7 @@ TEST_P(ConsistencyPropertyTest, InvariantsHoldUnderRandomFailures) {
 
     const TxnSpec txn = workload.Next();
     const SiteId coordinator = up[chaos.NextBounded(up.size())];
-    const TxnReplyArgs reply = cluster.RunTxn(txn, coordinator);
+    const TxnResult reply = cluster.RunTxn(txn, coordinator);
 
     if (reply.outcome == TxnOutcome::kCommitted) {
       // Invariant 5: each read observed the latest committed value.

@@ -100,7 +100,7 @@ TEST_F(DurableSiteTest, MirrorRestoreRecoverCycle) {
   // whole database, as a bare cold restart would require.
   EXPECT_LE(cluster.site(1).OwnFailLockCount(), 1u);
   EXPECT_EQ(cluster.site(1).db().Read(3)->value, 103);  // from the image
-  const TxnReplyArgs read =
+  const TxnResult read =
       cluster.RunTxn(MakeTxn(9, {Operation::Read(2)}), 1);
   EXPECT_EQ(read.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(read.reads.at(0).value, 202);
@@ -171,7 +171,7 @@ TEST(DuplicateDeliveryTest, ProtocolToleratesRetransmittingTransport) {
 
   uint64_t committed = 0;
   for (int i = 0; i < 60; ++i) {
-    const TxnReplyArgs reply =
+    const TxnResult reply =
         cluster.RunTxn(workload.Next(), static_cast<SiteId>(i % 3));
     committed += reply.outcome == TxnOutcome::kCommitted;
   }

@@ -109,7 +109,7 @@ TEST(PartitionTest, HealedPartitionRecoversViaControlType1) {
   cluster.Fail(2);
   cluster.Recover(2);
   EXPECT_TRUE(cluster.site(2).fail_locks().IsSet(3, 2));
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(3, {Operation::Read(3)}), 2);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 33);
@@ -189,7 +189,7 @@ TEST(LoseStateTest, ColdRestartRefreshesEverythingBeforeServing) {
   EXPECT_EQ(cluster.site(1).OwnFailLockCount(), 6u);
   // Reads at the restarted site go through copier transactions and return
   // the correct pre-crash value.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(4, {Operation::Read(2)}), 1);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 22);
@@ -273,7 +273,7 @@ void RunLossScenario(ClusterOptions options, MsgType victim_type) {
   cluster.Recover(2);
   // A read at the recovered site forces a copier (its copy of item 1 is
   // fail-locked) and afterwards the clear-fail-locks transaction.
-  const TxnReplyArgs read =
+  const TxnResult read =
       cluster.RunTxn(MakeTxn(4, {Operation::Read(1)}), 2);
   EXPECT_EQ(read.outcome, TxnOutcome::kCommitted);
   ASSERT_EQ(read.reads.size(), 1u);

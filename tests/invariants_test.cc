@@ -186,7 +186,7 @@ TEST(SimClusterInvariantsTest, LoseStateClusterRunsCleanUnderEnforcement) {
   cluster.Fail(1);
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(4, 44)}), 0);
   cluster.Recover(1);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(3, {Operation::Read(2)}), 1);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_TRUE(cluster.CheckInvariants().empty());

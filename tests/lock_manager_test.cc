@@ -237,5 +237,59 @@ TEST(LockManagerTest, TimeoutPolicyAlwaysQueues) {
   EXPECT_TRUE(lm.TakePendingWounds().empty());
 }
 
+// kTimeout races a waiter's lock-wait timer against the holder's site
+// failure: the crash path releases the holder's locks (granting the
+// waiter), while the timer path cancels the waiter's queued requests. The
+// two fire in either order and each must leave a consistent table.
+
+TEST(LockManagerTest, TimeoutCrashReleaseBeforeTimerKeepsGrantedLock) {
+  // Holder 10 "crashes": the site aborts it with ReleaseAll, which grants
+  // waiter 20. The waiter's lock-wait timer then fires late — its
+  // CancelWaits must be a no-op on the now-HELD lock, not a revocation.
+  LockManager lm(TwoPhase(DeadlockPolicy::kTimeout));
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  int grants = 0;
+  ASSERT_EQ(lm.Acquire(1, 20, Mode::kExclusive, [&grants] { ++grants; }),
+            Outcome::kQueued);
+
+  lm.ReleaseAll(10);  // crash path: holder's site failed
+  EXPECT_EQ(grants, 1);
+  ASSERT_TRUE(lm.Holds(1, 20));
+
+  lm.CancelWaits(20);  // stale timer fires after the grant
+  EXPECT_TRUE(lm.Holds(1, 20));
+  EXPECT_EQ(lm.HolderCount(1), 1u);
+  EXPECT_EQ(grants, 1);  // no double grant
+}
+
+TEST(LockManagerTest, TimeoutTimerBeforeCrashReleaseNeverGrantsWaiter) {
+  // The waiter's timer wins the race: CancelWaits(20) dequeues it before
+  // the holder's crash releases the lock. The subsequent ReleaseAll(10)
+  // must NOT grant 20 — its site already aborted it with
+  // kAbortedLockTimeout, and a late grant callback would resurrect a dead
+  // transaction.
+  LockManager lm(TwoPhase(DeadlockPolicy::kTimeout));
+  ASSERT_EQ(lm.Acquire(1, 10, Mode::kExclusive, nullptr), Outcome::kGranted);
+  int grants = 0;
+  ASSERT_EQ(lm.Acquire(1, 20, Mode::kExclusive, [&grants] { ++grants; }),
+            Outcome::kQueued);
+  // A third transaction waits behind 20; the cancel must unblock it, not
+  // merely drop 20.
+  int grants_30 = 0;
+  ASSERT_EQ(lm.Acquire(1, 30, Mode::kExclusive, [&grants_30] { ++grants_30; }),
+            Outcome::kQueued);
+
+  lm.CancelWaits(20);  // timeout path: waiter aborts
+  lm.ReleaseAll(20);   // its site's abort then releases (holds nothing)
+  EXPECT_EQ(grants, 0);
+  EXPECT_EQ(lm.QueueLength(1), 1u);  // 30 still waits; 20 is gone
+
+  lm.ReleaseAll(10);  // crash path arrives second
+  EXPECT_EQ(grants, 0);  // 20 must stay dead
+  EXPECT_EQ(grants_30, 1);
+  EXPECT_TRUE(lm.Holds(1, 30));
+  EXPECT_FALSE(lm.Holds(1, 20));
+}
+
 }  // namespace
 }  // namespace miniraid

@@ -31,20 +31,20 @@ ClusterOptions Options(uint32_t n_sites, uint32_t db_size = 12) {
   return options;
 }
 
-std::vector<TxnReplyArgs> RunConcurrently(
+std::vector<TxnResult> RunConcurrently(
     SimCluster& cluster,
     const std::vector<std::pair<TxnSpec, SiteId>>& batch) {
-  std::vector<std::optional<TxnReplyArgs>> slots(batch.size());
+  std::vector<std::optional<TxnResult>> slots(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     cluster.managing().Submit(
         batch[i].first, batch[i].second,
-        [&slots, i](const TxnReplyArgs& reply) { slots[i] = reply; });
+        [&slots, i](const TxnResult& reply) { slots[i] = reply; });
   }
   cluster.RunUntilIdle();
-  std::vector<TxnReplyArgs> replies;
+  std::vector<TxnResult> replies;
   for (auto& slot : slots) {
     EXPECT_TRUE(slot.has_value());
-    replies.push_back(slot.value_or(TxnReplyArgs{}));
+    replies.push_back(slot.value_or(TxnResult{}));
   }
   return replies;
 }
@@ -53,7 +53,7 @@ TEST(LockingTest, SerialTransactionsUnaffected) {
   auto cluster_owner = MakeSimCluster(Options(3));
   SimCluster& cluster = *cluster_owner;
   for (TxnId t = 1; t <= 10; ++t) {
-    const TxnReplyArgs reply = cluster.RunTxn(
+    const TxnResult reply = cluster.RunTxn(
         MakeTxn(t, {Operation::Write(static_cast<ItemId>(t % 12), Value(t)),
                     Operation::Read(0)}),
         static_cast<SiteId>(t % 3));
@@ -109,7 +109,7 @@ TEST(LockingTest, YoungerConflictingWriterDiesAndCanRetry) {
   // never deadlock or corrupt. If it died, a retry commits.
   if (replies[1].outcome != TxnOutcome::kCommitted) {
     EXPECT_EQ(replies[1].outcome, TxnOutcome::kAbortedLockConflict);
-    const TxnReplyArgs retry =
+    const TxnResult retry =
         cluster.RunTxn(MakeTxn(3, {Operation::Write(1, 21)}), 1);
     EXPECT_EQ(retry.outcome, TxnOutcome::kCommitted);
   }
@@ -131,7 +131,7 @@ TEST(LockingTest, NoLocksLeakAcrossHeavyConcurrency) {
     for (int i = 0; i < 6; ++i) {
       batch.push_back({workload.Next(), static_cast<SiteId>(i % 4)});
     }
-    for (const TxnReplyArgs& reply : RunConcurrently(cluster, batch)) {
+    for (const TxnResult& reply : RunConcurrently(cluster, batch)) {
       committed += reply.outcome == TxnOutcome::kCommitted;
       lock_aborts += reply.outcome == TxnOutcome::kAbortedLockConflict;
     }
@@ -170,7 +170,7 @@ TEST(LockingTest, StaleLocksDoNotOutliveTimeoutsOrCrashes) {
   // If the timed-out participation had leaked txn 1's lock, this younger
   // writer's prepare at site 1 would die under wait-die. Committing — and
   // replicating to site 1 — proves the lock was released.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(2, {Operation::Write(2, 23)}), 2);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(cluster.site(1).db().Read(2)->value, 23);

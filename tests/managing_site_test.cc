@@ -43,7 +43,7 @@ TEST(ManagingSiteTest, TimeoutSynthesizesUnreachableReply) {
   auto cluster_owner = MakeSimCluster(options);
   SimCluster& cluster = *cluster_owner;
   cluster.Fail(0);
-  const TxnReplyArgs reply = cluster.RunTxn(MakeTxn(1), 0);
+  const TxnResult reply = cluster.RunTxn(MakeTxn(1), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCoordinatorUnreachable);
   EXPECT_EQ(reply.txn, 1u);
   EXPECT_FALSE(cluster.managing().HasPending());
@@ -57,7 +57,7 @@ TEST(ManagingSiteTest, LateReplyAfterTimeoutIgnored) {
   options.managing.client_timeout = Milliseconds(20);  // < 2PC round trips
   auto cluster_owner = MakeSimCluster(options);
   SimCluster& cluster = *cluster_owner;
-  const TxnReplyArgs reply = cluster.RunTxn(MakeTxn(1), 0);
+  const TxnResult reply = cluster.RunTxn(MakeTxn(1), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCoordinatorUnreachable);
   // The transaction itself still committed at the sites.
   EXPECT_EQ(cluster.site(0).db().Read(0)->value, 1);
@@ -73,7 +73,7 @@ TEST(ManagingSiteTest, CallbackInvokedExactlyOnce) {
   SimCluster& cluster = *cluster_owner;
   int calls = 0;
   cluster.managing().Submit(MakeTxn(1), 0,
-                            [&calls](const TxnReplyArgs&) { ++calls; });
+                            [&calls](const TxnResult&) { ++calls; });
   cluster.RunUntilIdle();
   EXPECT_EQ(calls, 1);
 }

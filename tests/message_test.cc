@@ -19,7 +19,7 @@ void ExpectRoundTrip(const Message& msg) {
 
 TEST(MessageTest, TypeMatchesPayloadAlternative) {
   EXPECT_EQ(MakeMessage(0, 1, PrepareArgs{}).type, MsgType::kPrepare);
-  EXPECT_EQ(MakeMessage(0, 1, TxnReplyArgs{}).type, MsgType::kTxnReply);
+  EXPECT_EQ(MakeMessage(0, 1, TxnResult{}).type, MsgType::kTxnReply);
   EXPECT_EQ(MakeMessage(0, 1, ShutdownArgs{}).type, MsgType::kShutdown);
   EXPECT_EQ(MakeMessage(0, 1, RecoveryInfoArgs{}).type,
             MsgType::kRecoveryInfo);
@@ -34,7 +34,7 @@ TEST(MessageTest, RoundTripTxnRequest) {
 }
 
 TEST(MessageTest, RoundTripTxnReply) {
-  TxnReplyArgs args;
+  TxnResult args;
   args.txn = 42;
   args.outcome = TxnOutcome::kAbortedCopierFailed;
   args.copier_count = 3;

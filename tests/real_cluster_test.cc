@@ -42,7 +42,7 @@ class RealClusterTest : public ::testing::TestWithParam<ClusterBackend> {
 
 TEST_P(RealClusterTest, CommitReplicates) {
   auto cluster = Make(3);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster->RunTxn(MakeTxn(1, {Operation::Write(4, 44)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   const std::vector<SiteSnapshot> snaps = cluster->SnapshotSites();
@@ -61,7 +61,7 @@ TEST_P(RealClusterTest, FailureRecoveryRoundTrip) {
   cluster->Fail(2);
   // First write detects the failure (abort), second proceeds via ROWAA.
   (void)cluster->RunTxn(MakeTxn(2, {Operation::Write(3, 33)}), 0);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster->RunTxn(MakeTxn(3, {Operation::Write(3, 34)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_GE(cluster->SnapshotSites()[0].fail_locks.CountForSite(2), 1u);
@@ -71,7 +71,7 @@ TEST_P(RealClusterTest, FailureRecoveryRoundTrip) {
   ASSERT_TRUE(cluster->WaitUntil(
       2, [](const Site& site) { return site.OwnFailLockCount() >= 1; }));
   // A read at the recovering site triggers a copier transaction.
-  const TxnReplyArgs read_reply =
+  const TxnResult read_reply =
       cluster->RunTxn(MakeTxn(4, {Operation::Read(3)}), 2);
   EXPECT_EQ(read_reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(read_reply.reads.at(0).value, 34);
@@ -120,7 +120,7 @@ TEST_P(RealClusterTest, ReliableChannelRepairsLossOnRealRuntimes) {
   auto& cluster = **made;
 
   for (TxnId id = 1; id <= 30; ++id) {
-    const TxnReplyArgs reply = cluster.RunTxn(
+    const TxnResult reply = cluster.RunTxn(
         MakeTxn(id, {Operation::Write(static_cast<ItemId>(id % 12),
                                       static_cast<Value>(100 + id))}),
         static_cast<SiteId>(id % 3));

@@ -29,7 +29,7 @@ ClusterOptions SmallOptions() {
 TEST(RobustnessTest, OutOfRangeItemsRejectedNotCrashed) {
   auto cluster_owner = MakeSimCluster(SmallOptions());
   SimCluster& cluster = *cluster_owner;
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(999, 1)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kRejectedInvalid);
   // The cluster still works.
@@ -168,7 +168,7 @@ TEST(RobustnessTest, WireFuzzAgainstLiveCluster) {
       (void)cluster.transport().Send(MakeMessage(from, to, random_payload()));
     }
     cluster.RunUntilIdle();
-    const TxnReplyArgs reply = cluster.RunTxn(
+    const TxnResult reply = cluster.RunTxn(
         workload.Next(), static_cast<SiteId>(fuzz.NextBounded(3)));
     committed += reply.outcome == TxnOutcome::kCommitted;
   }

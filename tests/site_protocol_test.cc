@@ -30,7 +30,7 @@ TxnSpec MakeTxn(TxnId id, std::vector<Operation> ops) {
 void FailAndDetect(SimCluster& cluster, SiteId victim, SiteId detector,
                    TxnId txn_id) {
   cluster.Fail(victim);
-  const TxnReplyArgs reply = cluster.RunTxn(
+  const TxnResult reply = cluster.RunTxn(
       MakeTxn(txn_id, {Operation::Write(0, 1)}), detector);
   ASSERT_EQ(reply.outcome, TxnOutcome::kAbortedParticipantFailed);
 }
@@ -82,7 +82,7 @@ TEST(SiteProtocolTest, SpecialTxnClearsLocksAtAllOperationalSites) {
 
   // A read at the recovering coordinator triggers the copier + the special
   // clear-fail-locks transaction; all four tables converge.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(3, {Operation::Read(7)}), 3);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.copier_count, 1u);
@@ -116,7 +116,7 @@ TEST(SiteProtocolTest, RecoveryAdoptsOperationalTablesDiscardingFrozenOnes) {
       << "frozen fail-lock resurrected after recovery";
   EXPECT_TRUE(cluster.site(1).fail_locks().IsSet(3, 1));
   // And the copier path works: site 1 reads item 3 via site 0.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(5, {Operation::Read(3)}), 1);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 33);
@@ -160,7 +160,7 @@ TEST(SiteProtocolTest, AbortDiscardsStagedWritesAtParticipants) {
   cluster.Fail(2);
   // This transaction reaches participant 1 (which acks) but aborts because
   // participant 2 never answers. Site 1 must discard the staged write.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(4, 44)}), 0);
   ASSERT_EQ(reply.outcome, TxnOutcome::kAbortedParticipantFailed);
   EXPECT_EQ(cluster.site(1).db().Read(4)->value, 0);
@@ -219,7 +219,7 @@ TEST(SiteProtocolTest, CopierGroupsBySourceWhenFreshCopiesAreSpread) {
   // Site 0 is stale on item 2; site 2 is stale on item 1. A transaction at
   // site 0 reading both must fetch item 2 remotely; a transaction at site 2
   // reading both must fetch item 1 remotely. Values converge everywhere.
-  TxnReplyArgs reply =
+  TxnResult reply =
       cluster.RunTxn(MakeTxn(5, {Operation::Read(1), Operation::Read(2)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 11);
@@ -245,7 +245,7 @@ TEST(SiteProtocolTest, CommitPhaseTimeoutStillCommits) {
   auto cluster_owner = MakeSimCluster(options);
   SimCluster& cluster = *cluster_owner;
   cluster_ptr = &cluster;
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(cluster.site(0).db().Read(2)->value, 22);
@@ -265,7 +265,7 @@ TEST(SiteProtocolTest, ParticipantDetectsDeadCoordinator) {
   options.managing.client_timeout = Seconds(30);
   auto cluster_owner = MakeSimCluster(options);
   SimCluster& cluster = *cluster_owner;
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(2, 22)}), 0);
   // The coordinator itself commits (it got both prepare acks; site 1's
   // missing commit-ack is a phase-two timeout).
@@ -282,12 +282,12 @@ TEST(SiteProtocolTest, OverlappingRequestQueuesAndExecutesAfter) {
   // Submit two transactions to the same coordinator back to back: the
   // second queues behind the first and executes once the slot frees up
   // (per-site execution stays serial).
-  std::optional<TxnReplyArgs> first;
-  std::optional<TxnReplyArgs> second;
+  std::optional<TxnResult> first;
+  std::optional<TxnResult> second;
   cluster.managing().Submit(MakeTxn(1, {Operation::Write(0, 1)}), 0,
-                            [&first](const TxnReplyArgs& r) { first = r; });
+                            [&first](const TxnResult& r) { first = r; });
   cluster.managing().Submit(MakeTxn(2, {Operation::Write(1, 1)}), 0,
-                            [&second](const TxnReplyArgs& r) { second = r; });
+                            [&second](const TxnResult& r) { second = r; });
   cluster.RunUntilIdle();
   ASSERT_TRUE(first.has_value());
   ASSERT_TRUE(second.has_value());
@@ -308,9 +308,9 @@ TEST(SiteProtocolTest, ShutdownSilencesSite) {
   // A terminated site ignores transactions; coordinator 1 never answers.
   ClusterOptions unused = Options(2);
   (void)unused;
-  std::optional<TxnReplyArgs> reply;
+  std::optional<TxnResult> reply;
   cluster.managing().Submit(MakeTxn(1, {Operation::Read(0)}), 1,
-                            [&reply](const TxnReplyArgs& r) { reply = r; });
+                            [&reply](const TxnResult& r) { reply = r; });
   cluster.RunUntilIdle();
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->outcome, TxnOutcome::kCoordinatorUnreachable);

@@ -46,7 +46,7 @@ class SubmitWindowTest : public ::testing::Test {
 
   /// Submits `id` to coordinator 0 and appends its reply to `replies_`.
   void Submit(TxnId id) {
-    window_->Submit(MakeTxn(id), 0, [this](const TxnReplyArgs& reply) {
+    window_->Submit(MakeTxn(id), 0, [this](const TxnResult& reply) {
       replies_.push_back(reply);
     });
   }
@@ -56,7 +56,7 @@ class SubmitWindowTest : public ::testing::Test {
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<ManagingSite> managing_;
   std::unique_ptr<SubmitWindow> window_;
-  std::vector<TxnReplyArgs> replies_;
+  std::vector<TxnResult> replies_;
 };
 
 TEST_F(SubmitWindowTest, CloseRejectsBacklogInArrivalOrderOnly) {
@@ -118,7 +118,7 @@ TEST_F(SubmitWindowTest, CloseIsIdempotent) {
 // single-context by design, so it must just work.
 TEST_F(SubmitWindowTest, CallbackMayResubmit) {
   Init(/*max_inflight=*/1);
-  window_->Submit(MakeTxn(1), 0, [this](const TxnReplyArgs& first) {
+  window_->Submit(MakeTxn(1), 0, [this](const TxnResult& first) {
     replies_.push_back(first);
     Submit(2);
   });
@@ -137,7 +137,7 @@ TEST_F(SubmitWindowTest, CallbackMayResubmit) {
 TEST_F(SubmitWindowTest, RejectionCallbackMayResubmit) {
   Init(/*max_inflight=*/1);
   Submit(1);  // occupies the slot
-  window_->Submit(MakeTxn(2), 0, [this](const TxnReplyArgs& reply) {
+  window_->Submit(MakeTxn(2), 0, [this](const TxnResult& reply) {
     replies_.push_back(reply);
     Submit(3);
   });
@@ -160,7 +160,7 @@ TEST_F(SubmitWindowTest, ZeroWindowMeansUnbounded) {
 
   sim_->RunUntilIdle();
   ASSERT_EQ(replies_.size(), 5u);
-  for (const TxnReplyArgs& reply : replies_) {
+  for (const TxnResult& reply : replies_) {
     EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   }
   EXPECT_EQ(window_->inflight(), 0u);
@@ -175,7 +175,7 @@ TEST_F(SubmitWindowTest, BacklogDrainsAsSlotsFree) {
 
   sim_->RunUntilIdle();
   ASSERT_EQ(replies_.size(), 6u);
-  for (const TxnReplyArgs& reply : replies_) {
+  for (const TxnResult& reply : replies_) {
     EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   }
   EXPECT_EQ(window_->max_inflight_seen(), 2u);

@@ -45,7 +45,7 @@ TEST(PartialReplicationTest, PlacementWiring) {
 TEST(PartialReplicationTest, WritesReachOnlyHolders) {
   auto cluster_owner = MakeSimCluster(PartialOptions(false));
   SimCluster& cluster = *cluster_owner;
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(cluster.site(0).db().Read(0)->value, 10);
@@ -59,7 +59,7 @@ TEST(PartialReplicationTest, RemoteReadFetchesFromHolder) {
   (void)cluster.RunTxn(MakeTxn(1, {Operation::Write(0, 10)}), 0);
   // Site 2 holds no copy of item 0: the read fetches one remotely (a
   // copier-style request) without installing a local copy.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(2, {Operation::Read(0)}), 2);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 10);
@@ -109,7 +109,7 @@ TEST(Type3Test, BackupKeepsDataAvailableThroughSecondFailure) {
   cluster.Fail(1);
   (void)cluster.RunTxn(MakeTxn(3, {Operation::Write(2, 12)}), 2);  // detect
   // Item 0's placement sites are both down; only the type-3 backup serves.
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(4, {Operation::Read(0)}), 2);
   EXPECT_EQ(reply.outcome, TxnOutcome::kCommitted);
   EXPECT_EQ(reply.reads.at(0).value, 10);
@@ -123,7 +123,7 @@ TEST(Type3Test, WithoutBackupSecondFailureLosesAvailability) {
   (void)cluster.RunTxn(MakeTxn(2, {Operation::Write(1, 11)}), 1);
   cluster.Fail(1);
   (void)cluster.RunTxn(MakeTxn(3, {Operation::Write(2, 12)}), 2);
-  const TxnReplyArgs reply =
+  const TxnResult reply =
       cluster.RunTxn(MakeTxn(4, {Operation::Read(0)}), 2);
   EXPECT_EQ(reply.outcome, TxnOutcome::kAbortedCopierFailed);
 }

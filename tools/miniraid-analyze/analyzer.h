@@ -84,6 +84,12 @@ struct CallSite {
   std::string callee;         // unqualified name ("Set", "Wait", "sleep_for")
   std::string receiver_type;  // resolved class of the receiver, "" if none or
                               // unresolvable
+  std::string receiver_node;  // receiver identity when the chain ends in a
+                              // field: "OwnerClass::field" ("" otherwise);
+                              // the lock-order pass keys mutex ops on it
+  std::string last_arg_type;  // resolved core type of the last argument
+                              // (through std::move and braced construction);
+                              // the effect pass reads SendTo payloads off it
   bool is_member = false;     // x.f() / x->f() / implicit this
   bool qualified = false;     // ::f() or ns::f()
   bool in_lambda = false;     // call happens inside a lambda body
@@ -118,6 +124,20 @@ struct CodecOp {
   int line = 0;
 };
 
+// A scoped lock acquisition: `MutexLock lock(mu_);`. The lock is held from
+// `tok` until the enclosing block closes at `release_tok` (both in the same
+// token/offset space as CallSite::tok, so lock ops and calls interleave by
+// simple comparison).
+struct ScopedAcquire {
+  std::string node;        // "OwnerClass::field" of the locked mutex, "" if
+                           // the constructor argument did not resolve
+  size_t tok = 0;
+  size_t release_tok = 0;  // position of the enclosing block's closing brace
+  int line = 0;
+  int file_index = -1;
+  bool in_lambda = false;
+};
+
 struct FunctionInfo {
   std::string cls;   // enclosing class, "" for free functions
   std::string name;  // unqualified ("OnMessage", "operator()")
@@ -135,6 +155,7 @@ struct FunctionInfo {
   std::string param0_type;     // resolved core type of the first parameter
   std::vector<CallSite> calls;
   std::vector<SwitchInfo> switches;
+  std::vector<ScopedAcquire> scoped_acquires;
 
   std::string qual() const { return cls.empty() ? name : cls + "::" + name; }
 };
@@ -142,12 +163,26 @@ struct FunctionInfo {
 struct ClassInfo {
   std::string name;
   bool is_struct = false;
+  bool is_capability = false;         // MR_CAPABILITY / clang `capability`
+  bool is_scoped_capability = false;  // MR_SCOPED_CAPABILITY / scoped_lockable
   std::vector<std::string> bases;
   std::map<std::string, std::string> fields;      // field name -> core type
   std::map<std::string, std::string> method_ret;  // method -> core return type
   std::set<std::string> methods;
   std::string file;
   int line = 0;
+
+  // A lock-order edge declared on a mutex field with MR_ACQUIRED_BEFORE /
+  // MR_ACQUIRED_AFTER. `target` is the annotation argument as an identifier
+  // chain (`loop_->mu_` -> {"loop_", "mu_"}); resolution to a lock node
+  // happens in the lock-order pass once the whole model is built.
+  struct LockEdge {
+    std::string field;                // annotated mutex field
+    std::vector<std::string> target;  // identifier chain of the argument
+    bool before = true;               // MR_ACQUIRED_BEFORE vs _AFTER
+    int line = 0;
+  };
+  std::vector<LockEdge> lock_edges;
 };
 
 struct EnumInfo {
@@ -202,6 +237,14 @@ struct OwnershipRule {
   std::set<std::string> home_basenames; // files allowed to mutate
 };
 
+// Maps a (receiver class, method) pair to a protocol-effect token; receivers
+// match through inheritance like OwnershipRule.
+struct EffectRule {
+  std::string receiver;  // "" matches methods of the dispatcher class itself
+  std::string method;
+  std::string effect;    // e.g. "faillock.set"
+};
+
 struct CheckOptions {
   std::vector<OwnershipRule> ownership;
   std::set<std::string> blocking_free;  // free-call names that block
@@ -215,10 +258,91 @@ struct CheckOptions {
   bool check_codec = true;
   bool check_contexts = true;
 
+  // --- lock-order pass -----------------------------------------------------
+  bool check_lock_order = true;
+  // Item-lock layer: methods that enqueue waiters or run grant callbacks
+  // synchronously; calling them (directly or transitively) while holding a
+  // mutex is flagged, because grant callbacks execute on lock-release paths.
+  std::map<std::string, std::set<std::string>> item_lock_members;
+
+  // --- protocol-effect pass ------------------------------------------------
+  // Dispatcher class whose `dispatch_function` switch defines the handlers
+  // ("Site"), and the call that transmits a payload ("SendTo").
+  std::string effect_class;
+  std::string send_function;
+  std::vector<EffectRule> effect_rules;
+  // Parsed golden text (one `handler: effects...` line per handler). Empty
+  // means "compute the map but do not diff" — protocol-effect findings are
+  // only produced against a golden.
+  std::string effects_golden;
+
   static CheckOptions Defaults();
 };
 
 std::vector<Finding> RunChecks(const Model& model, const CheckOptions& opts);
+
+// Call-target resolution shared by every interprocedural pass (checks.cc):
+// annotated methods found through the receiver type are contracts (no
+// virtual fan-out); unannotated methods fan out to derived overrides.
+std::vector<int> ResolveCallTargets(const Model& m, const CallSite& c);
+// The call's last argument when it is a lone identifier (pre-resolved by the
+// clang frontend, recovered from tokens by the built-in indexer).
+std::string CallLastIdentArg(const Model& m, const CallSite& c);
+
+// ---------------------------------------------------------------------------
+// Lock-order pass (lock_order.cc).
+//
+// Nodes are mutex-typed fields of capability classes ("EventLoop::mu_").
+// Declared edges come from MR_ACQUIRED_BEFORE/_AFTER annotations; observed
+// edges from interprocedural replay of scoped/manual acquisitions ("holds A
+// while acquiring B", possibly through a call chain). Findings (rule
+// "lock-order"): declared-order cycles, observed edges that contradict the
+// declared order, observed edges with no declared order (completeness), and
+// paths that can block (CondVar wait, item-lock op) while holding a mutex.
+// ---------------------------------------------------------------------------
+struct LockGraph {
+  struct Edge {
+    std::string from;
+    std::string to;
+    std::string kind;  // "declared" | "observed"
+    std::string via;   // observed: call chain hint ("EventLoop::Post")
+    std::string file;
+    int line = 0;
+  };
+  std::set<std::string> nodes;
+  std::vector<Edge> edges;
+};
+
+LockGraph BuildLockGraph(const Model& model, const CheckOptions& opts,
+                         std::vector<Finding>* findings);
+void WriteLockGraphDot(const LockGraph& graph, std::ostream& os);
+void WriteLockGraphJson(const LockGraph& graph, std::ostream& os);
+
+// ---------------------------------------------------------------------------
+// Protocol-effect pass (effects.cc).
+//
+// For each `case MsgType::kX:` region of the dispatcher's switch, the effect
+// summary is the union of effect tokens produced by the region's calls and
+// their transitive callees (lambda bodies excluded: deferred continuations
+// are not part of the handler's synchronous effect). Tokens: "send:<kEnum>",
+// "faillock.*", "session.*", "lockmgr.*", "outcome.record".
+// ---------------------------------------------------------------------------
+struct EffectMap {
+  // dispatch enumerator -> sorted effect tokens (empty set = pure handler)
+  std::map<std::string, std::set<std::string>> handlers;
+  std::map<std::string, int> handler_lines;  // case label line per handler
+  std::string file;  // dispatcher definition file
+  int line = 0;      // dispatcher definition line
+};
+
+EffectMap BuildEffectMap(const Model& model, const CheckOptions& opts);
+// One `kEnumerator: effect effect...` line per handler ("-" when pure).
+std::string FormatEffectMap(const EffectMap& map);
+void WriteEffectMapJson(const EffectMap& map, std::ostream& os);
+// Diffs `map` against golden text ('#' comments allowed); appends one
+// "protocol-effect" finding per drifted, missing, or unexpected handler.
+void DiffEffectsAgainstGolden(const EffectMap& map, const std::string& golden,
+                              std::vector<Finding>* findings);
 
 // ---------------------------------------------------------------------------
 // Reporting.

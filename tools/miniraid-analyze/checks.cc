@@ -128,36 +128,8 @@ class Checker {
     return c.file_index >= 0 ? m_.files[c.file_index].path : "";
   }
 
-  // Call targets. An annotated method found through the receiver type is a
-  // contract: no virtual fan-out. An unannotated method fans out to every
-  // derived override so indirect dispatch is not a blind spot.
   std::vector<int> Targets(const CallSite& c) const {
-    std::vector<int> out;
-    if (c.is_member) {
-      if (c.receiver_type.empty()) return out;
-      std::string recv = m_.ResolveAlias(c.receiver_type);
-      int idx = m_.FindMethod(recv, c.callee);
-      if (idx < 0) return out;
-      out.push_back(idx);
-      if (Fn(idx).ctx == Ctx::kNone) {
-        const std::string& owner = Fn(idx).cls;
-        auto it = m_.by_name.find(c.callee);
-        if (it != m_.by_name.end()) {
-          for (int cand : it->second) {
-            if (cand == idx || Fn(cand).cls.empty()) continue;
-            if (m_.DerivesFrom(Fn(cand).cls, owner)) out.push_back(cand);
-          }
-        }
-      }
-      return out;
-    }
-    auto it = m_.by_name.find(c.callee);
-    if (it != m_.by_name.end()) {
-      for (int cand : it->second) {
-        if (Fn(cand).cls.empty()) out.push_back(cand);
-      }
-    }
-    return out;
+    return ResolveCallTargets(m_, c);
   }
 
   // ---------------- cross-context-call ----------------
@@ -534,6 +506,44 @@ class Checker {
 
 }  // namespace
 
+// Call targets. An annotated method found through the receiver type is a
+// contract: no virtual fan-out. An unannotated method fans out to every
+// derived override so indirect dispatch is not a blind spot.
+std::vector<int> ResolveCallTargets(const Model& m, const CallSite& c) {
+  std::vector<int> out;
+  if (c.is_member) {
+    if (c.receiver_type.empty()) return out;
+    std::string recv = m.ResolveAlias(c.receiver_type);
+    int idx = m.FindMethod(recv, c.callee);
+    if (idx < 0) return out;
+    out.push_back(idx);
+    if (m.functions[idx].ctx == Ctx::kNone) {
+      const std::string& owner = m.functions[idx].cls;
+      auto it = m.by_name.find(c.callee);
+      if (it != m.by_name.end()) {
+        for (int cand : it->second) {
+          if (cand == idx || m.functions[cand].cls.empty()) continue;
+          if (m.DerivesFrom(m.functions[cand].cls, owner)) out.push_back(cand);
+        }
+      }
+    }
+    return out;
+  }
+  auto it = m.by_name.find(c.callee);
+  if (it != m.by_name.end()) {
+    for (int cand : it->second) {
+      if (m.functions[cand].cls.empty()) out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+std::string CallLastIdentArg(const Model& m, const CallSite& c) {
+  if (!c.last_ident_arg.empty()) return c.last_ident_arg;
+  if (c.file_index >= 0) return LastArg(m.files[c.file_index], c.tok);
+  return "";
+}
+
 CheckOptions CheckOptions::Defaults() {
   CheckOptions opts;
   opts.ownership.push_back(OwnershipRule{
@@ -555,6 +565,27 @@ CheckOptions CheckOptions::Defaults() {
   opts.dispatch_enum = "MsgType";
   opts.dispatch_function = "OnMessage";
   opts.codec_aliases = {{"TxnResult", "kTxnReply"}};
+  // Item-lock layer ops that must not run under a mutex: Acquire enqueues a
+  // waiter (a logical block point), ReleaseAll/CancelWaits invoke grant
+  // callbacks synchronously on the lock-release path.
+  opts.item_lock_members = {
+      {"LockManager", {"Acquire", "ReleaseAll", "CancelWaits"}}};
+  opts.effect_class = "Site";
+  opts.send_function = "SendTo";
+  opts.effect_rules = {
+      {"FailLockTable", "Set", "faillock.set"},
+      {"FailLockTable", "Clear", "faillock.clear"},
+      {"FailLockTable", "MergeFrom", "faillock.merge"},
+      {"SessionVector", "Set", "session.set"},
+      {"SessionVector", "MarkDown", "session.mark_down"},
+      {"SessionVector", "MarkUp", "session.mark_up"},
+      {"SessionVector", "MergeFrom", "session.merge"},
+      {"LockManager", "Acquire", "lockmgr.acquire"},
+      {"LockManager", "ReleaseAll", "lockmgr.release"},
+      {"LockManager", "CancelWaits", "lockmgr.cancel"},
+      {"LockManager", "Pin", "lockmgr.pin"},
+      {"Site", "RecordOutcome", "outcome.record"},
+  };
   return opts;
 }
 

@@ -14,6 +14,7 @@
 // helpers are pre-resolved into CallSite::last_ident_arg since there is no
 // token stream to recover them from.
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -91,6 +92,53 @@ Ctx CtxFromAttrs(const clang::Decl* d) {
   return Ctx::kNone;
 }
 
+// Splits the stringized MR_ACQUIRED_BEFORE/AFTER argument list
+// ("loop_->mu_", "a_, b_") into per-target identifier chains, the same shape
+// Indexer::ParseEdgeTargets produces from the macro tokens.
+std::vector<std::vector<std::string>> ParseEdgeAnnotation(
+    llvm::StringRef args) {
+  std::vector<std::vector<std::string>> targets;
+  llvm::SmallVector<llvm::StringRef, 4> parts;
+  args.split(parts, ',');
+  for (llvm::StringRef part : parts) {
+    std::vector<std::string> chain;
+    std::string ident;
+    auto flush = [&] {
+      if (!ident.empty() && ident != "this") chain.push_back(ident);
+      ident.clear();
+    };
+    for (char c : part) {
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ident.push_back(c);
+      } else {
+        flush();
+      }
+    }
+    flush();
+    if (!chain.empty()) targets.push_back(std::move(chain));
+  }
+  return targets;
+}
+
+// "OwnerClass::field" when the expression is a member-field access; the
+// lock-order pass keys mutex identities on this form. Empty for anything
+// else (locals, temporaries, calls) — same conservatism as the indexer.
+std::string LockNodeFor(const clang::Expr* e) {
+  if (e == nullptr) return "";
+  e = e->IgnoreParenImpCasts();
+  if (const clang::MemberExpr* me = llvm::dyn_cast<clang::MemberExpr>(e)) {
+    if (const clang::FieldDecl* fd =
+            llvm::dyn_cast<clang::FieldDecl>(me->getMemberDecl())) {
+      if (const clang::RecordDecl* rd = fd->getParent()) {
+        if (!rd->getName().empty()) {
+          return rd->getNameAsString() + "::" + fd->getNameAsString();
+        }
+      }
+    }
+  }
+  return "";
+}
+
 // Collects calls and switches from one function body into `fn`, tracking
 // lambda nesting (calls inside a lambda body belong to the enclosing
 // function record but are flagged in_lambda).
@@ -108,6 +156,44 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
     return result;
   }
 
+  // Scoped-acquire extents (ScopedAcquire::release_tok) are the enclosing
+  // block's closing brace; a compound-statement stack recovers it without a
+  // token stream.
+  bool TraverseCompoundStmt(clang::CompoundStmt* s) {
+    compound_ends_.push_back(
+        sm_.getFileOffset(sm_.getExpansionLoc(s->getRBracLoc())));
+    bool result =
+        clang::RecursiveASTVisitor<BodyVisitor>::TraverseCompoundStmt(s);
+    compound_ends_.pop_back();
+    return result;
+  }
+
+  bool VisitVarDecl(clang::VarDecl* d) {
+    if (!d->isLocalVarDecl()) return true;
+    const clang::CXXRecordDecl* rd =
+        d->getType().getNonReferenceType()->getAsCXXRecordDecl();
+    if (rd == nullptr || !rd->hasAttr<clang::ScopedLockableAttr>()) {
+      return true;
+    }
+    const clang::Expr* init = d->getInit();
+    if (init == nullptr) return true;
+    const clang::CXXConstructExpr* ctor =
+        llvm::dyn_cast<clang::CXXConstructExpr>(init->IgnoreImplicit());
+    ScopedAcquire sa;
+    if (ctor != nullptr && ctor->getNumArgs() >= 1) {
+      sa.node = LockNodeFor(ctor->getArg(0));
+    }
+    clang::SourceLocation loc = sm_.getExpansionLoc(d->getLocation());
+    sa.tok = sm_.getFileOffset(loc);
+    sa.release_tok = compound_ends_.empty() ? sa.tok : compound_ends_.back();
+    sa.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+    sa.file_index =
+        collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+    sa.in_lambda = lambda_depth_ > 0;
+    fn_->scoped_acquires.push_back(std::move(sa));
+    return true;
+  }
+
   bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* e) {
     const clang::CXXMethodDecl* method = e->getMethodDecl();
     if (method == nullptr) return true;
@@ -116,6 +202,7 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
     call.is_member = true;
     if (const clang::Expr* obj = e->getImplicitObjectArgument()) {
       call.receiver_type = CoreTypeName(obj->getType());
+      call.receiver_node = LockNodeFor(obj);
     }
     if (call.receiver_type.empty() && method->getParent() != nullptr) {
       call.receiver_type = method->getParent()->getNameAsString();
@@ -201,12 +288,15 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
     return call;
   }
 
-  // The element-helper argument of PutVector/GetVector calls, when it is a
-  // plain function reference.
+  // The element-helper argument of PutVector/GetVector calls (a plain
+  // function reference), the waited-on mutex of a CondVar::Wait (a member
+  // field), and the payload type of a SendTo (any expression — the AST type
+  // is exact through std::move, temporaries and braced construction).
   static void RecordLastIdentArg(const clang::CallExpr* e, CallSite* call) {
     if (e->getNumArgs() == 0) return;
     const clang::Expr* last = e->getArg(e->getNumArgs() - 1);
     if (last == nullptr) return;
+    call->last_arg_type = CoreTypeName(last->getType());
     last = last->IgnoreParenImpCasts();
     if (const clang::DeclRefExpr* ref =
             llvm::dyn_cast<clang::DeclRefExpr>(last)) {
@@ -214,6 +304,9 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
           llvm::isa<clang::VarDecl>(ref->getDecl())) {
         call->last_ident_arg = ref->getDecl()->getNameAsString();
       }
+    } else if (const clang::MemberExpr* me =
+                   llvm::dyn_cast<clang::MemberExpr>(last)) {
+      call->last_ident_arg = me->getMemberDecl()->getNameAsString();
     }
   }
 
@@ -221,6 +314,7 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
   const clang::SourceManager& sm_;
   FunctionInfo* fn_;
   int lambda_depth_ = 0;
+  std::vector<unsigned> compound_ends_;
 };
 
 class IndexVisitor : public clang::RecursiveASTVisitor<IndexVisitor> {
@@ -249,7 +343,28 @@ class IndexVisitor : public clang::RecursiveASTVisitor<IndexVisitor> {
       for (const clang::FieldDecl* f : d->fields()) {
         std::string type = CoreTypeName(f->getType());
         if (!type.empty()) cls.fields[f->getNameAsString()] = type;
+        for (const clang::AnnotateAttr* a :
+             f->specific_attrs<clang::AnnotateAttr>()) {
+          llvm::StringRef ann = a->getAnnotation();
+          bool before = ann.startswith("mr_acquired_before:");
+          if (!before && !ann.startswith("mr_acquired_after:")) continue;
+          llvm::StringRef args =
+              ann.drop_front(before ? 19 : 18);
+          for (std::vector<std::string>& chain : ParseEdgeAnnotation(args)) {
+            ClassInfo::LockEdge edge;
+            edge.field = f->getNameAsString();
+            edge.target = std::move(chain);
+            edge.before = before;
+            edge.line = static_cast<int>(sm_.getExpansionLineNumber(
+                sm_.getExpansionLoc(f->getLocation())));
+            cls.lock_edges.push_back(std::move(edge));
+          }
+        }
       }
+    }
+    if (d->hasAttr<clang::CapabilityAttr>()) cls.is_capability = true;
+    if (d->hasAttr<clang::ScopedLockableAttr>()) {
+      cls.is_scoped_capability = true;
     }
     for (const clang::CXXMethodDecl* m : d->methods()) {
       if (m->isImplicit()) continue;
@@ -457,6 +572,25 @@ int RunClangFrontend(const std::vector<std::string>& files,
   if (db == nullptr) {
     *error = "no compilation database: " + db_error +
              " (configure a build first; pass -p <build-dir>)";
+    return 1;
+  }
+
+  // A TU missing from the database would otherwise be parsed with default
+  // flags (or skipped by wrappers) and silently analyzed against the wrong
+  // build — fail loudly and name the fix instead.
+  std::vector<std::string> missing;
+  for (const std::string& tu : tus) {
+    if (db->getCompileCommands(clang::tooling::getAbsolutePath(tu)).empty()) {
+      missing.push_back(tu);
+    }
+  }
+  if (!missing.empty()) {
+    std::ostringstream msg;
+    msg << "compile_commands.json is stale: no entry for";
+    for (const std::string& f : missing) msg << " " << f;
+    msg << " — re-run cmake (the tree configures with "
+           "CMAKE_EXPORT_COMPILE_COMMANDS=ON) so new sources are indexed";
+    *error = msg.str();
     return 1;
   }
 

@@ -331,9 +331,14 @@ struct Parser {
   bool LooksLikeClassDef(size_t i, size_t end) const {
     // 'class'/'struct' introduces a definition or forward declaration if a
     // '{' or ';' appears before any '=' or '(' — otherwise it is an
-    // elaborated type in some declaration.
+    // elaborated type in some declaration. Attribute-macro arguments
+    // (`class MR_CAPABILITY("mutex") Mutex`) do not count as the '('.
     for (size_t j = i + 1; j < end && j < i + 24; ++j) {
       const std::string& t = Text(j);
+      if (Kind(j) == Token::kIdent && IsMacroName(t) && Text(j + 1) == "(") {
+        j = SkipBalanced(j + 1) - 1;
+        continue;
+      }
       if (t == "{" || t == ";") return true;
       if (t == "=" || t == "(" || t == ")") return false;
     }
@@ -343,12 +348,17 @@ struct Parser {
   size_t ParseClass(size_t i, size_t end) {
     bool is_struct = Text(i) == "struct";
     ++i;
-    // Skip attribute macros, take the name.
+    // Skip attribute macros, take the name. Capability annotations on the
+    // class head make it a lock type for the lock-order pass.
     std::string name;
+    bool capability = false, scoped_capability = false;
     while (i < end) {
       if (Kind(i) == Token::kIdent) {
-        if (IsMacroName(Text(i)) && Text(i + 1) == "(") {
-          i = SkipBalanced(i + 1);
+        if (IsMacroName(Text(i))) {
+          if (Text(i) == "MR_CAPABILITY") capability = true;
+          if (Text(i) == "MR_SCOPED_CAPABILITY") scoped_capability = true;
+          // Attribute macros may be parenless (MR_SCOPED_CAPABILITY).
+          i = Text(i + 1) == "(" ? SkipBalanced(i + 1) : i + 1;
           continue;
         }
         if (Text(i) == "final") {
@@ -395,6 +405,9 @@ struct Parser {
     if (!name.empty()) {
       ClassInfo* info = GetClass(name);
       info->is_struct = is_struct;
+      info->is_capability = info->is_capability || capability;
+      info->is_scoped_capability = info->is_scoped_capability ||
+                                   scoped_capability;
       if (!bodies) {
         info->line = Line(i);
         info->file = file->path;
@@ -433,6 +446,9 @@ struct Parser {
     std::string op_name;
     size_t j = i;
     size_t last_ident = kNpos;  // candidate field name
+    // MR_ACQUIRED_BEFORE/_AFTER edges seen on this declaration; attached to
+    // the field below once the declaration turns out to be a field.
+    std::vector<ClassInfo::LockEdge> edges;
 
     while (j < end) {
       const std::string& t = Text(j);
@@ -441,6 +457,14 @@ struct Parser {
             Kind(j + 2) == Token::kIdent && Text(j + 3) == ")") {
           ctx = ParseCtx(Text(j + 2));
           j += 4;
+          continue;
+        }
+        if ((t == "MR_ACQUIRED_BEFORE" || t == "MR_ACQUIRED_AFTER") &&
+            Text(j + 1) == "(" && paren == 0) {
+          size_t close = SkipBalanced(j + 1);
+          ParseEdgeTargets(j + 2, close - 1, t == "MR_ACQUIRED_BEFORE",
+                           Line(j), &edges);
+          j = close;
           continue;
         }
         if (IsMacroName(t) && Text(j + 1) == "(" && paren == 0) {
@@ -554,7 +578,12 @@ struct Parser {
         std::string fname = Text(last_ident);
         std::string ftype = CoreType(start, last_ident);
         if (!fname.empty() && !ftype.empty()) {
-          GetClass(cls)->fields[fname] = ftype;
+          ClassInfo* ci = GetClass(cls);
+          ci->fields[fname] = ftype;
+          for (ClassInfo::LockEdge& e : edges) {
+            e.field = fname;
+            ci->lock_edges.push_back(std::move(e));
+          }
         }
       }
       return next_i;
@@ -675,6 +704,150 @@ struct Parser {
     }
   }
 
+  // Splits an MR_ACQUIRED_BEFORE/_AFTER argument span on top-level commas;
+  // each target becomes an identifier chain (`loop_->mu_` -> {loop_, mu_}).
+  void ParseEdgeTargets(size_t begin, size_t end_tok, bool before, int line,
+                        std::vector<ClassInfo::LockEdge>* out) const {
+    ClassInfo::LockEdge cur;
+    cur.before = before;
+    cur.line = line;
+    for (size_t k = begin; k <= end_tok; ++k) {
+      if (k == end_tok || Text(k) == ",") {
+        if (!cur.target.empty()) out->push_back(cur);
+        cur.target.clear();
+        continue;
+      }
+      if (Text(k) == "(" || Text(k) == "[" || Text(k) == "{") {
+        k = SkipBalanced(k) - 1;
+        continue;
+      }
+      if (Kind(k) == Token::kIdent && Text(k) != "this") {
+        cur.target.push_back(Text(k));
+      }
+    }
+  }
+
+  // Resolves an identifier chain (tokens in [begin, end_tok), punctuation
+  // ignored) to a lock node "OwnerClass::field". Locals that are themselves
+  // mutexes have no cross-function identity and resolve to "".
+  std::string ResolveNodeChain(size_t begin, size_t end_tok,
+                               const std::string& cls,
+                               const std::map<std::string, std::string>& locals)
+      const {
+    std::vector<std::string> chain;
+    for (size_t k = begin; k < end_tok; ++k) {
+      if (Kind(k) == Token::kIdent && Text(k) != "this") {
+        chain.push_back(Text(k));
+      } else if (Text(k) == "(" || Text(k) == "[" || Text(k) == "{") {
+        k = SkipBalanced(k) - 1;
+      }
+    }
+    return ResolveChainToNode(chain, cls, locals);
+  }
+
+  std::string ResolveChainToNode(
+      const std::vector<std::string>& chain, const std::string& cls,
+      const std::map<std::string, std::string>& locals) const {
+    if (chain.empty()) return "";
+    std::string owner;  // class owning the final field
+    if (chain.size() == 1) {
+      if (locals.count(chain[0])) return "";  // function-local mutex
+      owner = model->ResolveAlias(cls);
+    } else {
+      auto it = locals.find(chain[0]);
+      std::string cur = it != locals.end()
+                            ? it->second
+                            : model->FieldType(cls, chain[0]);
+      if (cur.empty()) return "";
+      for (size_t e = 1; e + 1 < chain.size(); ++e) {
+        cur = model->FieldType(cur, chain[e]);
+        if (cur.empty()) return "";
+      }
+      owner = model->ResolveAlias(cur);
+    }
+    if (owner.empty()) return "";
+    if (model->FieldType(owner, chain.back()).empty()) return "";
+    return owner + "::" + chain.back();
+  }
+
+  // Position of the '}' closing the block that encloses `from` (file end if
+  // the scan runs out — the function's own closing brace at the latest).
+  size_t FindScopeEnd(size_t from) const {
+    int depth = 0;
+    for (size_t k = from; k < size(); ++k) {
+      if (Text(k) == "{") {
+        ++depth;
+      } else if (Text(k) == "}") {
+        if (--depth < 0) return k;
+      }
+    }
+    return size();
+  }
+
+  // Resolved core type of the last top-level argument of the call whose
+  // callee token is at `callee_tok` — through std::move and braced/paren
+  // construction. Used for SendTo payload classification; "" when the type
+  // cannot be pinned down.
+  std::string ResolveLastArgType(
+      size_t callee_tok, const std::string& cls,
+      const std::map<std::string, std::string>& locals) const {
+    size_t open = callee_tok + 1;
+    if (Text(open) != "(") return "";
+    size_t close = SkipBalanced(open) - 1;
+    size_t seg = open + 1;
+    for (size_t k = open + 1; k < close; ++k) {
+      if (Text(k) == "(" || Text(k) == "[" || Text(k) == "{") {
+        k = SkipBalanced(k) - 1;
+      } else if (Text(k) == "<") {
+        k = SkipAngles(k) - 1;
+      } else if (Text(k) == ",") {
+        seg = k + 1;
+      }
+    }
+    return ResolveArgType(seg, close, cls, locals);
+  }
+
+  std::string ResolveArgType(
+      size_t begin, size_t end_tok, const std::string& cls,
+      const std::map<std::string, std::string>& locals) const {
+    if (begin >= end_tok) return "";
+    // std::move(x) / move(x): the inner expression's type.
+    size_t k = begin;
+    if (Text(k) == "std" && Text(k + 1) == "::") k += 2;
+    if (Text(k) == "move" && Text(k + 1) == "(") {
+      return ResolveArgType(k + 2, SkipBalanced(k + 1) - 1, cls, locals);
+    }
+    // Type{...} / Type(...): direct construction of a known class.
+    for (size_t m = begin; m < end_tok; ++m) {
+      if (Kind(m) != Token::kIdent) continue;
+      std::string core = model->ResolveAlias(Text(m));
+      if (model->classes.count(core) &&
+          (Text(m + 1) == "{" || Text(m + 1) == "(")) {
+        return core;
+      }
+      break;
+    }
+    // Lone identifier (or x.y chain): a local, parameter, or field.
+    std::vector<std::string> chain;
+    for (size_t m = begin; m < end_tok; ++m) {
+      if (Kind(m) == Token::kIdent) {
+        if (IsStmtKeyword(Text(m))) return "";
+        chain.push_back(Text(m));
+      } else if (Text(m) != "." && Text(m) != "->" && Text(m) != "*" &&
+                 Text(m) != "&") {
+        return "";
+      }
+    }
+    if (chain.empty()) return "";
+    auto it = locals.find(chain[0]);
+    std::string cur = it != locals.end() ? it->second
+                                         : model->FieldType(cls, chain[0]);
+    for (size_t e = 1; e < chain.size() && !cur.empty(); ++e) {
+      cur = model->FieldType(cur, chain[e]);
+    }
+    return model->ResolveAlias(cur);
+  }
+
   // ------------------------------------------------------------------
   // Statement scope (function and lambda bodies).
   // ------------------------------------------------------------------
@@ -754,6 +927,21 @@ struct Parser {
             if (nxt == ";" || nxt == "=" || nxt == "{" || nxt == "(" ||
                 nxt == ",") {
               (*locals)[Text(k)] = core;
+              // Scoped lock: `MutexLock lock(mu_);` holds the constructor-
+              // argument mutex until the enclosing block closes.
+              if (model->classes.find(core)->second.is_scoped_capability &&
+                  (nxt == "(" || nxt == "{")) {
+                size_t args_close = SkipBalanced(k + 1);
+                ScopedAcquire sa;
+                sa.node = ResolveNodeChain(k + 2, args_close - 1, cls,
+                                           *locals);
+                sa.tok = j;
+                sa.release_tok = FindScopeEnd(args_close);
+                sa.line = Line(j);
+                sa.file_index = file_index;
+                sa.in_lambda = in_lambda;
+                fn->scoped_acquires.push_back(std::move(sa));
+              }
               j = k + 1;
               continue;
             }
@@ -770,7 +958,8 @@ struct Parser {
           call.in_lambda = in_lambda;
           if (prev == "." || prev == "->") {
             call.is_member = true;
-            call.receiver_type = ResolveReceiver(j - 1, cls, *locals);
+            call.receiver_type =
+                ResolveReceiver(j - 1, cls, *locals, &call.receiver_node);
           } else if (prev == "::") {
             call.qualified = true;
           } else if (!cls.empty() &&
@@ -778,6 +967,7 @@ struct Parser {
             call.is_member = true;  // implicit this
             call.receiver_type = cls;
           }
+          call.last_arg_type = ResolveLastArgType(j, cls, *locals);
           fn->calls.push_back(std::move(call));
           ++j;
           continue;
@@ -795,6 +985,16 @@ struct Parser {
                                          Kind(j - 1) == Token::kNumber ||
                                          prev == ")" || prev == "]");
         if (!subscript) {
+          // Structured binding, not a lambda: `auto [a, b]`, `auto& [a, b]`,
+          // `auto&& [a, b]`. Mistaking it for a lambda would swallow the
+          // rest of the enclosing statement (e.g. a for-loop body) into a
+          // phantom lambda body and hide its calls from every pass.
+          if (prev == "auto" ||
+              ((prev == "&" || prev == "&&") && j >= begin + 2 &&
+               Text(j - 2) == "auto")) {
+            j = SkipBalanced(j);
+            continue;
+          }
           // Lambda: [captures] (params)? specifiers? { body }
           size_t cap_close = SkipBalanced(j);
           size_t k = cap_close;
@@ -822,10 +1022,14 @@ struct Parser {
     }
   }
 
-  // Resolves the receiver chain ending at the '.' or '->' at `sep`.
+  // Resolves the receiver chain ending at the '.' or '->' at `sep`. When
+  // `node` is non-null and the chain ends in a field, it receives the
+  // receiver's identity as "OwnerClass::field" (the lock-order pass keys
+  // mutex Lock/Unlock/Wait ops on it).
   std::string ResolveReceiver(size_t sep,
                               const std::string& cls,
-                              const std::map<std::string, std::string>& locals)
+                              const std::map<std::string, std::string>& locals,
+                              std::string* node = nullptr)
       const {
     struct Elem {
       enum Kind { kIdent, kCall, kThis, kIndex } kind;
@@ -896,8 +1100,10 @@ struct Parser {
     std::reverse(chain.begin(), chain.end());
 
     std::string cur;
+    std::string node_candidate;  // "Owner::field" when the element is a field
     for (size_t e = 0; e < chain.size(); ++e) {
       const Elem& el = chain[e];
+      node_candidate.clear();
       if (e == 0) {
         switch (el.kind) {
           case Elem::kThis:
@@ -909,6 +1115,9 @@ struct Parser {
               cur = it->second;
             } else if (!cls.empty()) {
               cur = model->FieldType(cls, el.name);
+              if (!cur.empty()) {
+                node_candidate = model->ResolveAlias(cls) + "::" + el.name;
+              }
             }
             break;
           }
@@ -922,9 +1131,12 @@ struct Parser {
       } else {
         if (cur.empty()) return "";
         switch (el.kind) {
-          case Elem::kIdent:
+          case Elem::kIdent: {
+            std::string owner = cur;
             cur = model->FieldType(cur, el.name);
+            if (!cur.empty()) node_candidate = owner + "::" + el.name;
             break;
+          }
           case Elem::kCall:
             cur = MethodRet(cur, el.name);
             break;
@@ -936,6 +1148,7 @@ struct Parser {
       if (cur.empty()) return "";
       cur = model->ResolveAlias(cur);
     }
+    if (node != nullptr) *node = node_candidate;
     return cur;
   }
 

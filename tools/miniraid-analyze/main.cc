@@ -9,10 +9,17 @@
 //   -p <dir>           compilation database directory (clang frontend)
 //   --json <path>      write the full findings report (incl. suppressed)
 //   --no-context       skip the MR_RUNS_ON passes (fixture debugging)
+//   --effects <path>        write the computed protocol-effect map (text)
+//   --effects-json <path>   write the computed protocol-effect map (JSON)
+//   --effects-golden <path> diff the effect map against a golden; drift is
+//                           reported under the "protocol-effect" rule
+//   --lock-graph-dot <path>  write the lock acquisition graph (Graphviz)
+//   --lock-graph-json <path> write the lock acquisition graph (JSON)
 //
 // Paths may be files or directories (directories are scanned recursively for
 // .h/.cc). Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -58,6 +65,8 @@ int Run(int argc, char** argv) {
   std::string frontend = "index";
   std::string json_path;
   std::string build_path;
+  std::string effects_path, effects_json_path, effects_golden_path;
+  std::string lock_dot_path, lock_json_path;
   bool contexts = true;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -68,11 +77,23 @@ int Run(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "-p" && i + 1 < argc) {
       build_path = argv[++i];
+    } else if (arg == "--effects" && i + 1 < argc) {
+      effects_path = argv[++i];
+    } else if (arg == "--effects-json" && i + 1 < argc) {
+      effects_json_path = argv[++i];
+    } else if (arg == "--effects-golden" && i + 1 < argc) {
+      effects_golden_path = argv[++i];
+    } else if (arg == "--lock-graph-dot" && i + 1 < argc) {
+      lock_dot_path = argv[++i];
+    } else if (arg == "--lock-graph-json" && i + 1 < argc) {
+      lock_json_path = argv[++i];
     } else if (arg == "--no-context") {
       contexts = false;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: miniraid-analyze [--frontend=index|clang] "
-                   "[-p build-dir] [--json out.json] <paths...>\n";
+                   "[-p build-dir] [--json out.json] "
+                   "[--effects[-json] out] [--effects-golden golden.txt] "
+                   "[--lock-graph-dot|-json out] <paths...>\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "miniraid-analyze: unknown option '" << arg << "'\n";
@@ -126,8 +147,49 @@ int Run(int argc, char** argv) {
 
   CheckOptions opts = CheckOptions::Defaults();
   opts.check_contexts = contexts;
+  if (!effects_golden_path.empty()) {
+    std::ifstream in(effects_golden_path);
+    if (!in) {
+      std::cerr << "miniraid-analyze: cannot read effect golden "
+                << effects_golden_path << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    opts.effects_golden = content.str();
+  }
   std::vector<Finding> findings = RunChecks(model, opts);
+
+  LockGraph lock_graph = BuildLockGraph(model, opts, &findings);
+  EffectMap effects = BuildEffectMap(model, opts);
+  if (!opts.effects_golden.empty()) {
+    DiffEffectsAgainstGolden(effects, opts.effects_golden, &findings);
+  }
+  std::sort(findings.begin(), findings.end());
   ApplySuppressions(model, &findings);
+
+  auto write_file = [](const std::string& path, const std::string& what,
+                       auto&& writer) {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "miniraid-analyze: cannot write " << what << " " << path
+                << "\n";
+      return false;
+    }
+    writer(out);
+    return true;
+  };
+  bool io_ok =
+      write_file(effects_path, "effect map",
+                 [&](std::ostream& os) { os << FormatEffectMap(effects); }) &&
+      write_file(effects_json_path, "effect map",
+                 [&](std::ostream& os) { WriteEffectMapJson(effects, os); }) &&
+      write_file(lock_dot_path, "lock graph",
+                 [&](std::ostream& os) { WriteLockGraphDot(lock_graph, os); }) &&
+      write_file(lock_json_path, "lock graph",
+                 [&](std::ostream& os) { WriteLockGraphJson(lock_graph, os); });
+  if (!io_ok) return 2;
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

@@ -36,6 +36,8 @@ RULES = [
     "session-mutation",
     "msg-dispatch",
     "codec-symmetry",
+    "lock-order",
+    "protocol-effect",
 ]
 
 
@@ -43,9 +45,13 @@ def run_analyzer(binary, path):
     """Run the analyzer on one fixture; return (exit_code, findings)."""
     with tempfile.NamedTemporaryFile(mode="r", suffix=".json", delete=False) as tf:
         json_path = tf.name
+    # A triplet that ships a golden.txt (protocol-effect) is diffed against
+    # it; rules without a golden run with the default passes only.
+    golden = os.path.join(os.path.dirname(path), "golden.txt")
+    extra = ["--effects-golden", golden] if os.path.exists(golden) else []
     try:
         proc = subprocess.run(
-            [binary, "--json", json_path, path],
+            [binary, "--json", json_path] + extra + [path],
             capture_output=True,
             text=True,
         )

@@ -10,7 +10,7 @@ struct TxnRequestArgs {
   unsigned long long txn;
   unsigned char kind;
 };
-struct TxnReplyArgs {
+struct TxnResult {
   unsigned long long txn;
 };
 struct ItemListArgs {
@@ -58,7 +58,7 @@ struct PayloadEncoder {
     enc.PutU64(a.txn);
     enc.PutU8(a.kind);  // decoder never reads this: count mismatch
   }
-  void operator()(const TxnReplyArgs& a) {
+  void operator()(const TxnResult& a) {
     enc.PutU32(static_cast<unsigned>(a.txn));  // written 32, read 64
   }
   void operator()(const ItemListArgs& a) {

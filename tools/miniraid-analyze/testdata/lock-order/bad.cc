@@ -1,0 +1,57 @@
+// Fixture: two lock-order defects. (1) The declared MR_ACQUIRED_BEFORE
+// graph has a cycle (a_ before b_ AND b_ before a_) — no acquisition order
+// can satisfy it. (2) A function acquires locks in the order opposite to
+// the declared one, through an interprocedural call.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MR_CAPABILITY(x) __attribute__((capability(x)))
+#define MR_SCOPED_CAPABILITY __attribute__((scoped_lockable))
+#define MR_ACQUIRE(...) __attribute__((acquire_capability(__VA_ARGS__)))
+#define MR_RELEASE(...) __attribute__((release_capability(__VA_ARGS__)))
+#define MR_ACQUIRED_BEFORE(...) \
+  __attribute__((acquired_before(__VA_ARGS__)))
+#endif
+#endif
+#ifndef MR_CAPABILITY
+#define MR_CAPABILITY(x)
+#define MR_SCOPED_CAPABILITY
+#define MR_ACQUIRE(...)
+#define MR_RELEASE(...)
+#define MR_ACQUIRED_BEFORE(...)
+#endif
+
+class MR_CAPABILITY("mutex") Mutex {
+ public:
+  void Lock() MR_ACQUIRE();
+  void Unlock() MR_RELEASE();
+};
+
+class MR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MR_ACQUIRE(mu);
+  ~MutexLock() MR_RELEASE();
+};
+
+// Defect 1: declared cycle.
+class Cyclic {
+ private:
+  Mutex a_ MR_ACQUIRED_BEFORE(b_);
+  Mutex b_ MR_ACQUIRED_BEFORE(a_);
+};
+
+// Defect 2: Outer holds inner_ while Helper acquires outer_, contradicting
+// the declared outer_-before-inner_ order.
+class Engine {
+ public:
+  void Helper() {
+    MutexLock lock(outer_);
+  }
+  void Run() {
+    MutexLock lock(inner_);
+    Helper();
+  }
+
+ private:
+  Mutex outer_ MR_ACQUIRED_BEFORE(inner_);
+  Mutex inner_;
+};

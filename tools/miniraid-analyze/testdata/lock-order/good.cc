@@ -1,0 +1,62 @@
+// Fixture: clean lock discipline. Nested acquisition follows the declared
+// MR_ACQUIRED_BEFORE order (directly and through a call), and the condition
+// wait only holds the mutex it atomically releases.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MR_CAPABILITY(x) __attribute__((capability(x)))
+#define MR_SCOPED_CAPABILITY __attribute__((scoped_lockable))
+#define MR_ACQUIRE(...) __attribute__((acquire_capability(__VA_ARGS__)))
+#define MR_RELEASE(...) __attribute__((release_capability(__VA_ARGS__)))
+#define MR_ACQUIRED_BEFORE(...) \
+  __attribute__((acquired_before(__VA_ARGS__)))
+#endif
+#endif
+#ifndef MR_CAPABILITY
+#define MR_CAPABILITY(x)
+#define MR_SCOPED_CAPABILITY
+#define MR_ACQUIRE(...)
+#define MR_RELEASE(...)
+#define MR_ACQUIRED_BEFORE(...)
+#endif
+
+class MR_CAPABILITY("mutex") Mutex {
+ public:
+  void Lock() MR_ACQUIRE();
+  void Unlock() MR_RELEASE();
+};
+
+class MR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MR_ACQUIRE(mu);
+  ~MutexLock() MR_RELEASE();
+};
+
+class CondVar {
+ public:
+  void Wait(Mutex& mu);
+  void SignalAll();
+};
+
+class Engine {
+ public:
+  void Helper() {
+    MutexLock lock(inner_);
+  }
+  void Run() {
+    MutexLock lock(outer_);
+    Helper();
+  }
+  void Nested() {
+    MutexLock lock(outer_);
+    MutexLock inner_lock(inner_);
+  }
+  void Await() {
+    MutexLock lock(outer_);
+    cv_.Wait(outer_);  // waits only on the mutex it releases
+  }
+
+ private:
+  Mutex outer_ MR_ACQUIRED_BEFORE(inner_);
+  Mutex inner_;
+  CondVar cv_;
+};

@@ -1,0 +1,44 @@
+// Fixture: handler-effect drift. The kPing handler was changed to answer
+// with a kExtra payload instead of the kPong the golden approves — the
+// protocol gained a transition the abstract model has never seen.
+using SiteId = unsigned;
+
+enum class MsgType {
+  kPing,
+  kStop,
+};
+
+struct PingArgs {
+  SiteId from;
+};
+struct PongArgs {
+  SiteId from;
+};
+struct ExtraArgs {
+  SiteId from;
+};
+
+struct Message {
+  MsgType type;
+  SiteId from;
+};
+
+class Site {
+ public:
+  void OnMessage(const Message& msg) {
+    switch (msg.type) {
+      case MsgType::kPing:
+        SendTo(msg.from, ExtraArgs{self_});
+        break;
+      case MsgType::kStop:
+        running_ = false;
+        break;
+    }
+  }
+
+ private:
+  void SendTo(SiteId to, ExtraArgs args);
+
+  SiteId self_ = 0;
+  bool running_ = true;
+};

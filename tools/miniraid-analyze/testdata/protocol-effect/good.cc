@@ -1,0 +1,40 @@
+// Fixture: the dispatcher's computed effect map matches the checked-in
+// golden (kPing answers with a kPong payload, kStop is pure).
+using SiteId = unsigned;
+
+enum class MsgType {
+  kPing,
+  kStop,
+};
+
+struct PingArgs {
+  SiteId from;
+};
+struct PongArgs {
+  SiteId from;
+};
+
+struct Message {
+  MsgType type;
+  SiteId from;
+};
+
+class Site {
+ public:
+  void OnMessage(const Message& msg) {
+    switch (msg.type) {
+      case MsgType::kPing:
+        SendTo(msg.from, PongArgs{self_});
+        break;
+      case MsgType::kStop:
+        running_ = false;
+        break;
+    }
+  }
+
+ private:
+  void SendTo(SiteId to, PongArgs args);
+
+  SiteId self_ = 0;
+  bool running_ = true;
+};

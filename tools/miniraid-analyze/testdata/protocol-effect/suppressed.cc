@@ -1,0 +1,47 @@
+// Fixture: the same kPing drift as bad.cc, silenced with an allow()
+// comment on the dispatch case while the golden catches up. The analyzer
+// must still SEE the drift (a suppressed finding proves the diff ran).
+using SiteId = unsigned;
+
+enum class MsgType {
+  kPing,
+  kStop,
+};
+
+struct PingArgs {
+  SiteId from;
+};
+struct PongArgs {
+  SiteId from;
+};
+struct ExtraArgs {
+  SiteId from;
+};
+
+struct Message {
+  MsgType type;
+  SiteId from;
+};
+
+class Site {
+ public:
+  void OnMessage(const Message& msg) {
+    switch (msg.type) {
+      // Migration window: kExtra replaces kPong next release; golden and
+      // abstract model update land together.
+      // miniraid-lint: allow(protocol-effect)
+      case MsgType::kPing:
+        SendTo(msg.from, ExtraArgs{self_});
+        break;
+      case MsgType::kStop:
+        running_ = false;
+        break;
+    }
+  }
+
+ private:
+  void SendTo(SiteId to, ExtraArgs args);
+
+  SiteId self_ = 0;
+  bool running_ = true;
+};
