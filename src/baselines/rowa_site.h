@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/runtime.h"
+#include "common/thread_annotations.h"
 #include "db/database.h"
 #include "net/transport.h"
 #include "replication/counters.h"
@@ -78,12 +79,15 @@ class RowaSite : public MessageHandler {
   Transport* const transport_;
   SiteRuntime* const runtime_;
 
-  bool up_ = true;
-  bool recovering_ = false;
+  // Baseline sites exist only inside BaselineCluster's single-threaded
+  // SimRuntime: message handlers, timers, and the driver all execute on the
+  // simulation's driving (client) thread, so no two contexts ever overlap.
+  bool up_ MR_CONTEXT_CONFINED(client) = true;
+  bool recovering_ MR_CONTEXT_CONFINED(client) = false;
   Database db_;
-  SiteCounters counters_;
-  std::optional<Coordination> coord_;
-  std::optional<Participation> part_;
+  SiteCounters counters_ MR_CONTEXT_CONFINED(client);
+  std::optional<Coordination> coord_ MR_CONTEXT_CONFINED(client);
+  std::optional<Participation> part_ MR_CONTEXT_CONFINED(client);
 };
 
 }  // namespace miniraid

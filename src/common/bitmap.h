@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdint>
 
+#include "common/thread_annotations.h"
+
 namespace miniraid {
 
 /// A fixed 64-bit set. The paper implements fail-locks as "a bit map for
@@ -51,7 +53,10 @@ class Bitmap64 {
   }
 
  private:
-  uint64_t bits_ = 0;
+  /// Value type: each Bitmap64 lives and dies inside its owner (a
+  /// FailLockTable row, a quorum tally) and inherits that owner's
+  /// confinement; the class itself has no context of its own.
+  uint64_t bits_ MR_CONTEXT_CONFINED(any) = 0;
 };
 
 }  // namespace miniraid

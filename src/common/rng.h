@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/thread_annotations.h"
+
 namespace miniraid {
 
 /// Deterministic pseudo-random generator (xoshiro256**), seeded via
@@ -36,7 +38,10 @@ class Rng {
   Rng Fork();
 
  private:
-  uint64_t s_[4];
+  /// Value type: every consumer forks (or seeds) its own generator, so
+  /// stream state is confined to whichever context owns the instance —
+  /// sharing one Rng across contexts would also break replay determinism.
+  uint64_t s_[4] MR_CONTEXT_CONFINED(any);
 };
 
 /// Zipf(θ) sampler over {0, ..., n-1} using the classic CDF-inversion

@@ -125,4 +125,23 @@
 #define MR_RUNS_ON(ctx)
 #endif
 
+/// Field-level confinement waiver for the shared-state pass
+/// (docs/ANALYSIS.md §9). Declares that a field, although reachable from
+/// more than one execution context in the call graph, is only ever
+/// *dynamically* touched from the named context — the cross-context paths
+/// are phase-separated (e.g. configured before threads start, or only the
+/// client context drives the simulation). Place it on the field:
+///
+///   std::vector<Event> trace_ MR_CONTEXT_CONFINED(client);
+///
+/// The waiver is an auditable claim, not an enforcement: each use must
+/// carry a comment at the field explaining why the phases cannot overlap.
+/// Prefer MR_GUARDED_BY when a mutex exists.
+#if defined(__clang__)
+#define MR_CONTEXT_CONFINED(ctx) \
+  __attribute__((annotate("mr_context_confined:" #ctx)))
+#else
+#define MR_CONTEXT_CONFINED(ctx)
+#endif
+
 #endif  // MINIRAID_COMMON_THREAD_ANNOTATIONS_H_

@@ -88,7 +88,11 @@ void SimCluster::SubmitTxn(const TxnSpec& txn, SiteId coordinator,
 
 TxnResult SimCluster::RunTxn(const TxnSpec& txn, SiteId coordinator) {
   std::optional<TxnResult> result;
+  // The by-ref capture cannot outlive this frame: RunUntilIdle() below
+  // drains the single-threaded simulation (delivering the reply) before
+  // RunTxn returns, so the callback's lifetime is bounded by the frame.
   SubmitTxn(txn, coordinator,
+            // miniraid-lint: allow(view-escape)
             [&result](const TxnResult& reply) { result = reply; });
   sim_.RunUntilIdle();
   MR_CHECK(result.has_value()) << "simulation drained without a reply";

@@ -156,7 +156,11 @@ class RealCluster : public Cluster {
   bool started_ = false;
   bool stopped_ = false;
 
-  std::vector<std::unique_ptr<EventLoop>> loops_;  // per site + managing
+  /// Per site + managing. The vector is populated in Start() and cleared in
+  /// Stop(), both on the owning (client) thread while no site thread is
+  /// running; steady-state cross-context use only reads through the stable
+  /// unique_ptrs (EventLoop itself is internally synchronized).
+  std::vector<std::unique_ptr<EventLoop>> loops_ MR_CONTEXT_CONFINED(client);
   std::vector<std::unique_ptr<ThreadSiteRuntime>> runtimes_;
   std::unique_ptr<InProcTransport> inproc_;
   std::vector<std::unique_ptr<TcpTransport>> tcp_;  // per site + managing

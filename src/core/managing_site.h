@@ -86,8 +86,11 @@ class ManagingSite : public MessageHandler {
     TimerId timer = kInvalidTimer;
   };
 
-  void ClientTimeout(TxnId txn);
-  void RecordTimedOut(TxnId txn);
+  // Timer callbacks fire on the managing site's own loop, which IS the
+  // managing execution context — annotated so the shared-state pass anchors
+  // them there instead of inferring the generic timer (loop) context.
+  MR_RUNS_ON(managing) void ClientTimeout(TxnId txn);
+  MR_RUNS_ON(managing) void RecordTimedOut(TxnId txn);
 
   const SiteId id_;
   Transport* const transport_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace miniraid {
@@ -70,8 +71,11 @@ class Database {
   }
 
  private:
-  std::vector<std::optional<ItemState>> items_;
-  uint32_t held_count_ = 0;
+  /// Value type: each Database is a site's local store and is only touched
+  /// from that site's context (loop thread in real mode, the driving thread
+  /// in simulation); the class itself carries no synchronization.
+  std::vector<std::optional<ItemState>> items_ MR_CONTEXT_CONFINED(any);
+  uint32_t held_count_ MR_CONTEXT_CONFINED(any) = 0;
 };
 
 }  // namespace miniraid

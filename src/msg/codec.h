@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace miniraid {
 
@@ -55,7 +56,9 @@ class Encoder {
     }
   }
 
-  std::vector<uint8_t> buf_;
+  /// Value type: encoders are stack-local to whichever context is
+  /// serializing; the buffer never outlives the encode call chain.
+  std::vector<uint8_t> buf_ MR_CONTEXT_CONFINED(any);
 };
 
 /// Bounds-checked reader over an encoded buffer. Every getter returns a
@@ -116,7 +119,9 @@ class Decoder {
 
   const uint8_t* data_;
   size_t size_;
-  size_t pos_ = 0;
+  /// Value type: decoders are stack-local to the context draining one
+  /// message; the read cursor is never shared.
+  size_t pos_ MR_CONTEXT_CONFINED(any) = 0;
 };
 
 }  // namespace miniraid

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "msg/message.h"
 
 namespace miniraid {
@@ -85,8 +86,11 @@ class FaultInjector {
   TransportFaults faults_;
   Rng drop_rng_;
   Rng duplicate_rng_;
-  uint64_t dropped_ = 0;
-  uint64_t duplicated_ = 0;
+  /// Value type: synchronization is the owning transport's job —
+  /// SimTransport is single-threaded, InProcTransport declares its
+  /// injector MR_GUARDED_BY(faults_mu_); the counters inherit that regime.
+  uint64_t dropped_ MR_CONTEXT_CONFINED(any) = 0;
+  uint64_t duplicated_ MR_CONTEXT_CONFINED(any) = 0;
 };
 
 }  // namespace miniraid

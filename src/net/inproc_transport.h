@@ -66,7 +66,10 @@ class InProcTransport : public Transport {
   };
 
   InProcTransportOptions options_;
-  std::unordered_map<SiteId, Endpoint> endpoints_;
+  /// Populated by Register() during cluster wiring, before any site thread
+  /// starts; steady-state Send() from loop/managing threads only reads it.
+  /// The phases cannot overlap, so no lock is needed on the map itself.
+  std::unordered_map<SiteId, Endpoint> endpoints_ MR_CONTEXT_CONFINED(client);
   /// Send runs on every site's loop thread, so fault decisions (which
   /// mutate RNG state) are drawn under a short lock; delivery itself never
   /// happens while the lock is held.

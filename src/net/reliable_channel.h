@@ -143,11 +143,15 @@ class ReliableChannel : public Transport, public MessageHandler {
   const SiteId self_;
   Transport* const inner_;
   SiteRuntime* const runtime_;
-  MessageHandler* upper_;
+  /// Channel state lives in its endpoint's loop context (see cluster.h):
+  /// OnMessage, timers, and Send all run on that loop thread. upper_ is
+  /// additionally written once by set_upper() during wiring, before the loop
+  /// starts delivering — the phases cannot overlap.
+  MessageHandler* upper_ MR_CONTEXT_CONFINED(loop);
   const ReliableChannelOptions options_;
   Rng jitter_rng_;
   std::map<SiteId, PeerState> peers_;
-  ChannelCounters counters_;
+  ChannelCounters counters_ MR_CONTEXT_CONFINED(loop);
 };
 
 }  // namespace miniraid

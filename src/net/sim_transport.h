@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "net/faults.h"
 #include "net/transport.h"
 #include "sim/sim_runtime.h"
@@ -64,11 +65,15 @@ class SimTransport : public Transport {
   SimRuntime* sim_;
   SimTransportOptions options_;
   FaultInjector injector_;
-  std::unordered_map<SiteId, MessageHandler*> handlers_;
+  // Simulation-only transport: senders and receivers are SimRuntime events,
+  // all executed on the driving (client) thread — the loop/managing callers
+  // in the call graph never run concurrently with it.
+  std::unordered_map<SiteId, MessageHandler*> handlers_
+      MR_CONTEXT_CONFINED(client);
   Rng jitter_rng_;
   std::map<std::pair<SiteId, SiteId>, TimePoint> last_arrival_;
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
+  uint64_t messages_sent_ MR_CONTEXT_CONFINED(client) = 0;
+  uint64_t messages_dropped_ MR_CONTEXT_CONFINED(client) = 0;
 };
 
 }  // namespace miniraid

@@ -6,6 +6,7 @@
 
 #include "common/bitmap.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "msg/message.h"
 
@@ -59,9 +60,13 @@ class FailLockTable {
 
  private:
   uint32_t n_sites_;
-  std::vector<Bitmap64> rows_;
-  std::vector<uint32_t> per_site_count_;
-  uint64_t total_set_ = 0;
+  /// Value type: every operational site keeps its own table and mutates it
+  /// only from its own context (Site on its loop thread, baselines on the
+  /// simulation's driving thread); tables cross contexts only as wire
+  /// copies (ToWire / MergeFrom), never by reference.
+  std::vector<Bitmap64> rows_ MR_CONTEXT_CONFINED(any);
+  std::vector<uint32_t> per_site_count_ MR_CONTEXT_CONFINED(any);
+  uint64_t total_set_ MR_CONTEXT_CONFINED(any) = 0;
 };
 
 }  // namespace miniraid

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace miniraid {
@@ -80,10 +81,13 @@ class EventQueue {
 
   Event Take(std::map<Key, Record>::iterator it);
 
-  std::map<Key, Record> entries_;
-  std::unordered_map<EventId, Key> index_;
-  uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  // Owned by SimRuntime, whose event handlers all run on the simulation's
+  // driving (client) thread — the loop/managing callers in the call graph
+  // are virtualized onto it, so the queue is never touched concurrently.
+  std::map<Key, Record> entries_ MR_CONTEXT_CONFINED(client);
+  std::unordered_map<EventId, Key> index_ MR_CONTEXT_CONFINED(client);
+  uint64_t next_seq_ MR_CONTEXT_CONFINED(client) = 0;
+  EventId next_id_ MR_CONTEXT_CONFINED(client) = 1;
 };
 
 }  // namespace miniraid

@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/runtime.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
 
@@ -94,15 +95,19 @@ class SimRuntime {
   void ExecuteSiteEvent(SiteId site, TimePoint when,
                         std::function<void()>&& fn);
 
+  // The simulation is single-threaded: site handlers and managing logic
+  // execute as events on the driving (client) thread inside Run*(), so the
+  // loop/managing contexts the call graph reaches are virtualized onto that
+  // one thread and never overlap dynamically.
   SimOptions options_;
   EventQueue queue_;
-  TimePoint now_ = 0;
+  TimePoint now_ MR_CONTEXT_CONFINED(client) = 0;
 
   // Context of the currently executing site-bound handler.
-  SiteId current_site_ = kInvalidSite;
-  Duration current_offset_ = 0;
+  SiteId current_site_ MR_CONTEXT_CONFINED(client) = kInvalidSite;
+  Duration current_offset_ MR_CONTEXT_CONFINED(client) = 0;
 
-  TimePoint shared_busy_until_ = 0;
+  TimePoint shared_busy_until_ MR_CONTEXT_CONFINED(client) = 0;
   std::unordered_map<SiteId, TimePoint> busy_until_;
   std::unordered_map<SiteId, std::unique_ptr<SimSiteRuntime>> site_runtimes_;
   uint64_t events_processed_ = 0;

@@ -184,6 +184,10 @@ DriverReport Driver::Run() {
   // not-yet-fired arrival timers from issuing more work.
   DriverReport report;
   bool extracted = false;
+  // The by-ref captures cannot outlive this frame: the Drive() call below
+  // blocks until `extracted` is set by this very lambda (with a CHECK on
+  // the timeout path), so the posted task always completes before return.
+  // miniraid-lint: allow(view-escape)
   cluster_->Post([&report, &extracted, ctx, finished] {
     ctx->done = true;
     ctx->report.completed = finished;

@@ -93,6 +93,7 @@ struct CallSite {
   bool is_member = false;     // x.f() / x->f() / implicit this
   bool qualified = false;     // ::f() or ns::f()
   bool in_lambda = false;     // call happens inside a lambda body
+  int lambda = -1;            // index into FunctionInfo::lambdas, -1 = body
   int line = 0;
   int file_index = -1;
   size_t tok = 0;             // index of the callee token in the file stream
@@ -101,6 +102,86 @@ struct CallSite {
   std::string last_ident_arg; // last argument when it is a lone identifier;
                               // pre-resolved by the clang frontend (the
                               // built-in indexer recovers it from tokens)
+};
+
+// A read or write of a class field observed in a function (or lambda) body.
+// Only root-level accesses to fields of the *enclosing* class are recorded
+// (`count_`, `this->count_`, `report.latency.Add(..)` records `report`);
+// accesses through unrelated objects go through that object's own methods
+// and are attributed there. `via_call` is the trailing member call on the
+// access chain ("push_back" in `items_.push_back(x)`): whether it mutates is
+// the shared-state pass's decision (CheckOptions::mutating_members), not the
+// frontend's.
+struct FieldAccess {
+  std::string cls;       // class that declares the field (may be a base)
+  std::string field;
+  bool is_write = false; // syntactic write: assignment or ++/--
+  std::string via_call;  // trailing member call on the chain, "" if none
+  int line = 0;
+  int file_index = -1;
+  size_t tok = 0;
+  int lambda = -1;       // index into FunctionInfo::lambdas, -1 = body proper
+};
+
+// A lambda literal in a function body. When the lambda is written directly
+// as a call argument (`loop_->Post([this] {...})`), `host_callee` /
+// `host_receiver` identify that call so the dataflow passes can map the
+// lambda to the execution context it will run on (CheckOptions::sinks) and
+// flag stack captures that outlive the frame.
+struct LambdaInfo {
+  struct Capture {
+    std::string name;     // captured identifier ("this" handled separately)
+    bool by_ref = false;
+    bool is_init = false; // [x = expr] init-capture
+  };
+  char capture_default = 0;    // '&', '=', or 0
+  bool captures_this = false;
+  std::vector<Capture> captures;
+  std::string host_callee;     // "" when not a direct call argument
+  std::string host_receiver;   // resolved receiver class of the host call
+  int line = 0;
+  int file_index = -1;
+  size_t tok = 0;
+};
+
+// A local variable declaration with its initializer's dataflow roots: in
+// `std::string_view v(buf.data(), n);` the root is `buf` and the trailing
+// call is `data`. The view-escape pass chains these to decide whether a
+// view is derived from a function-local buffer.
+struct LocalVar {
+  std::string name;
+  std::string type;       // resolved core type ("string_view", "string")
+  std::string init_root;  // first identifier of the initializer ("" = none)
+  std::string init_call;  // trailing member call in the initializer
+  int line = 0;
+  int file_index = -1;
+  size_t tok = 0;
+  int lambda = -1;
+};
+
+// A direct assignment to a field of the enclosing class (`f_ = expr;`),
+// with the RHS's dataflow root. Only length-1 access chains are recorded:
+// stores *into* a field's own members are a different hazard class.
+struct FieldStore {
+  std::string cls;        // class that declares the field
+  std::string field;
+  std::string rhs_root;   // first identifier of the RHS ("" = unresolved)
+  std::string rhs_call;   // trailing member call of the RHS ("data", ...)
+  int line = 0;
+  int file_index = -1;
+  size_t tok = 0;
+  int lambda = -1;
+};
+
+// A return statement's dataflow root (`return buf.data();` -> root "buf",
+// call "data").
+struct ReturnInfo {
+  std::string root;
+  std::string call;
+  int line = 0;
+  int file_index = -1;
+  size_t tok = 0;
+  int lambda = -1;
 };
 
 struct CaseLabel {
@@ -136,6 +217,7 @@ struct ScopedAcquire {
   int line = 0;
   int file_index = -1;
   bool in_lambda = false;
+  int lambda = -1;  // index into FunctionInfo::lambdas, -1 = body proper
 };
 
 struct FunctionInfo {
@@ -153,9 +235,18 @@ struct FunctionInfo {
   bool is_operator = false;
   bool is_static = false;
   std::string param0_type;     // resolved core type of the first parameter
+  std::string ret_type;        // resolved core return type ("" = unresolved)
   std::vector<CallSite> calls;
   std::vector<SwitchInfo> switches;
   std::vector<ScopedAcquire> scoped_acquires;
+  // Dataflow facts for the shared-state and view-escape passes.
+  std::vector<FieldAccess> accesses;
+  std::vector<LambdaInfo> lambdas;
+  std::vector<LocalVar> locals;
+  std::vector<FieldStore> field_stores;
+  std::vector<ReturnInfo> returns;
+  // MR_REQUIRES target chains: mutexes guaranteed held on entry.
+  std::vector<std::vector<std::string>> entry_locks;
 
   std::string qual() const { return cls.empty() ? name : cls + "::" + name; }
 };
@@ -167,6 +258,11 @@ struct ClassInfo {
   bool is_scoped_capability = false;  // MR_SCOPED_CAPABILITY / scoped_lockable
   std::vector<std::string> bases;
   std::map<std::string, std::string> fields;      // field name -> core type
+  std::map<std::string, int> field_lines;         // field name -> decl line
+  // MR_GUARDED_BY argument as an identifier chain, per field.
+  std::map<std::string, std::vector<std::string>> field_guards;
+  // MR_CONTEXT_CONFINED waivers: field -> the context it is confined to.
+  std::map<std::string, Ctx> field_confined;
   std::map<std::string, std::string> method_ret;  // method -> core return type
   std::set<std::string> methods;
   std::string file;
@@ -211,6 +307,9 @@ struct Model {
   int FindMethod(const std::string& cls, const std::string& name) const;
   // Field type in `cls` or its bases ("" if unknown).
   std::string FieldType(const std::string& cls, const std::string& field) const;
+  // The class (in `cls`'s base walk) that declares `field` ("" if none).
+  std::string FieldOwner(const std::string& cls, const std::string& field)
+      const;
   const FunctionInfo* Find(const std::string& key) const;
 };
 
@@ -275,6 +374,35 @@ struct CheckOptions {
   // means "compute the map but do not diff" — protocol-effect findings are
   // only produced against a golden.
   std::string effects_golden;
+
+  // --- deferred execution sinks (dataflow passes) --------------------------
+  // A method that takes a callable and runs it later on a known execution
+  // context. `runs_on == kNone` means the callable runs on the caller's own
+  // context; `deferred == false` means it completes before the call returns
+  // (EventLoop::PostAndWait), so stack captures are safe.
+  struct DeferredSink {
+    std::string receiver;  // receiver class (matched through inheritance)
+    std::string method;
+    Ctx runs_on = Ctx::kNone;
+    bool deferred = true;
+  };
+  std::vector<DeferredSink> sinks;
+
+  // --- shared-state pass ---------------------------------------------------
+  bool check_shared_state = true;
+  // Field types that are internally synchronized (or are themselves locks);
+  // their accesses are not evidence of a race.
+  std::set<std::string> shared_state_exempt_types;
+  // Member calls that mutate their receiver (container writes, stat sinks);
+  // `items_.push_back(x)` counts as a write of `items_`.
+  std::set<std::string> mutating_members;
+
+  // --- view-escape pass ----------------------------------------------------
+  bool check_view_escape = true;
+  std::set<std::string> view_types;         // string_view, Slice, span
+  std::set<std::string> buffer_types;       // string, vector, ...
+  std::set<std::string> view_source_calls;  // data, c_str: yield raw views
+  std::set<std::string> container_inserts;  // push_back, insert, ...
 
   static CheckOptions Defaults();
 };
@@ -345,6 +473,79 @@ void DiffEffectsAgainstGolden(const EffectMap& map, const std::string& golden,
                               std::vector<Finding>* findings);
 
 // ---------------------------------------------------------------------------
+// Shared held-set machinery (lock_order.cc, reused by the dataflow passes).
+//
+// A held interval is the token range of one function body over which a lock
+// node is observably held: a scoped acquire's scope, or a manual Lock()
+// paired with the next Unlock() on the same node. Intervals carry the lambda
+// index they were recorded in so a pass can ask for the held set either of
+// the enclosing function proper (lambda == -1) or of one lambda body.
+// ---------------------------------------------------------------------------
+struct HeldInterval {
+  std::string node;
+  size_t from = 0;
+  size_t to = 0;  // exclusive; SIZE_MAX for an unmatched manual Lock
+  int lambda = -1;
+};
+
+std::vector<HeldInterval> ComputeHeldIntervals(const Model& m,
+                                               const FunctionInfo& fn);
+// Lock nodes held at token position `tok` within lambda `lambda` (-1 = the
+// function body outside any lambda). Lambda bodies see only their own
+// intervals: a deferred continuation does not run under the scopes that were
+// live when it was created.
+std::set<std::string> HeldNodesAt(const std::vector<HeldInterval>& intervals,
+                                  size_t tok, int lambda);
+// Resolves a dotted identifier chain ("mu_", "loop_.mu_", "EventLoop::mu_")
+// against class `cls` to a lock-graph node name, or "" when it does not
+// reach a capability-typed field.
+std::string ResolveLockNode(const Model& m, const std::string& cls,
+                            const std::vector<std::string>& chain);
+
+// ---------------------------------------------------------------------------
+// Dataflow passes (dataflow.cc).
+//
+// shared-state: for every class field, infer the set of execution contexts
+// reaching each access (context-graph closure extended to unannotated
+// functions and posted lambdas) and the set of mutexes observably held;
+// flag multi-context fields with no common guard, no MR_GUARDED_BY, and no
+// MR_CONTEXT_CONFINED waiver, plus fields whose inferred guard disagrees
+// with their declared MR_GUARDED_BY.
+//
+// view-escape: flag string_view/Slice/span/raw-pointer values derived from
+// owning buffers that escape their buffer's scope -- stored into a field,
+// returned past the frame, inserted into a member container, or captured by
+// a lambda handed to a deferred sink (Post/ScheduleAfter).
+// ---------------------------------------------------------------------------
+struct SharedStateReport {
+  struct Field {
+    std::string cls;
+    std::string field;
+    std::string type;
+    std::string file;
+    int line = 0;
+    std::set<std::string> contexts;       // context names reaching accesses
+    std::set<std::string> common_guards;  // lock nodes held at every access
+    std::string declared_guard;           // resolved MR_GUARDED_BY node
+    std::string waiver;                   // MR_CONTEXT_CONFINED ctx name
+    int reads = 0;
+    int writes = 0;
+    // "single-context" | "read-only" | "annotated" | "confined" |
+    // "guarded" | "race" | "guard-disagreement"
+    std::string verdict;
+  };
+  std::vector<Field> fields;
+};
+
+SharedStateReport BuildSharedStateReport(const Model& model,
+                                         const CheckOptions& opts,
+                                         std::vector<Finding>* findings);
+void WriteSharedStateJson(const SharedStateReport& report, std::ostream& os);
+
+void CheckViewEscape(const Model& model, const CheckOptions& opts,
+                     std::vector<Finding>* findings);
+
+// ---------------------------------------------------------------------------
 // Reporting.
 // ---------------------------------------------------------------------------
 // Marks findings covered by a `// miniraid-lint: allow(...)` comment.
@@ -354,6 +555,9 @@ void ApplySuppressions(const Model& model, std::vector<Finding>* findings);
 int PrintFindings(const std::vector<Finding>& findings, std::ostream& os);
 // Writes the full findings list (including suppressed) as JSON.
 void WriteJson(const std::vector<Finding>& findings, std::ostream& os);
+// Writes unsuppressed findings as a minimal SARIF 2.1.0 log for CI
+// code-scanning upload.
+void WriteSarif(const std::vector<Finding>& findings, std::ostream& os);
 
 }  // namespace analyze
 }  // namespace miniraid

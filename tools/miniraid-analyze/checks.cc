@@ -586,6 +586,41 @@ CheckOptions CheckOptions::Defaults() {
       {"LockManager", "Pin", "lockmgr.pin"},
       {"Site", "RecordOutcome", "outcome.record"},
   };
+  // Deferred-execution sinks: a lambda handed to one of these runs later on
+  // the stated context. PostAndWait and Drive complete before returning
+  // (deferred = false), which is exactly why stack captures are legal there.
+  opts.sinks = {
+      {"EventLoop", "Post", Ctx::kLoop, true},
+      {"EventLoop", "ScheduleAfter", Ctx::kLoop, true},
+      {"EventLoop", "PostAndWait", Ctx::kLoop, false},
+      {"Cluster", "Post", Ctx::kManaging, true},
+      {"Cluster", "ScheduleAfter", Ctx::kManaging, true},
+      {"Cluster", "SubmitTxn", Ctx::kManaging, true},
+      {"Cluster", "Drive", Ctx::kNone, false},
+      {"SiteRuntime", "Post", Ctx::kLoop, true},
+      {"SiteRuntime", "ScheduleAfter", Ctx::kLoop, true},
+  };
+  // shared-state: internally synchronized (or lock) field types whose
+  // accesses are not race evidence.
+  opts.shared_state_exempt_types = {
+      "atomic",       "Mutex",      "CondVar",   "once_flag",
+      "mutex",        "shared_mutex", "condition_variable",
+      "LockManager",  "EventLoop",
+  };
+  // Member calls that mutate their receiver: `items_.push_back(x)` is a
+  // write of `items_` even though no assignment operator appears.
+  opts.mutating_members = {
+      "push_back", "emplace_back", "pop_back",  "pop_front", "push_front",
+      "insert",    "emplace",      "erase",     "clear",     "resize",
+      "assign",    "swap",         "reserve",   "Add",       "Record",
+      "MergeFrom", "Set",          "Clear",     "Reset",     "append",
+  };
+  // view-escape vocabulary. `substr` on std::string returns an owning
+  // string, so only data()/c_str() yield raw views of a buffer.
+  opts.view_types = {"string_view", "Slice", "span"};
+  opts.buffer_types = {"string", "vector", "deque", "array", "Buffer"};
+  opts.view_source_calls = {"data", "c_str"};
+  opts.container_inserts = {"push_back", "emplace_back", "insert", "emplace"};
   return opts;
 }
 

@@ -14,6 +14,7 @@
 // helpers are pre-resolved into CallSite::last_ident_arg since there is no
 // token stream to recover them from.
 
+#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -28,6 +29,7 @@
 #include "clang/AST/ASTConsumer.h"
 #include "clang/AST/ASTContext.h"
 #include "clang/AST/Attr.h"
+#include "clang/AST/ParentMapContext.h"
 #include "clang/AST/Decl.h"
 #include "clang/AST/DeclCXX.h"
 #include "clang/AST/Expr.h"
@@ -66,17 +68,37 @@ struct Collector {
 };
 
 // Core type name: the class name with references, cv-qualifiers and sugar
-// stripped — "const TxnRequestArgs&" -> "TxnRequestArgs".
+// stripped — "const TxnRequestArgs&" -> "TxnRequestArgs". The model's type
+// vocabulary is the one the source spells (the built-in indexer reads raw
+// tokens), so std:: library sugar maps back: basic_string -> "string",
+// basic_string_view -> "string_view", and builtin typedefs (uint8_t,
+// size_t) keep their typedef name rather than desugaring to "unsigned
+// char" / "unsigned long".
 std::string CoreTypeName(clang::QualType qt) {
   if (qt.isNull()) return "";
   qt = qt.getNonReferenceType();
   if (qt->isPointerType()) qt = qt->getPointeeType();
   qt = qt.getUnqualifiedType();
+  if (const clang::TypedefType* tt = qt->getAs<clang::TypedefType>()) {
+    const clang::CXXRecordDecl* rd = qt->getAsCXXRecordDecl();
+    if (rd == nullptr || rd->getName() == "basic_string" ||
+        rd->getName() == "basic_string_view") {
+      return tt->getDecl()->getNameAsString();
+    }
+  }
   if (const clang::CXXRecordDecl* rd = qt->getAsCXXRecordDecl()) {
-    return rd->getNameAsString();
+    std::string name = rd->getNameAsString();
+    if (name == "basic_string") return "string";
+    if (name == "basic_string_view") return "string_view";
+    return name;
   }
   if (const clang::EnumType* et = qt->getAs<clang::EnumType>()) {
     return et->getDecl()->getNameAsString();
+  }
+  if (const clang::BuiltinType* bt = qt->getAs<clang::BuiltinType>()) {
+    clang::LangOptions lang_opts;
+    clang::PrintingPolicy policy(lang_opts);
+    return bt->getName(policy).str();
   }
   return "";
 }
@@ -139,6 +161,153 @@ std::string LockNodeFor(const clang::Expr* e) {
   return "";
 }
 
+// Identifier chain of a thread-safety attribute argument or member access
+// path (`loop_->mu_` -> {"loop_", "mu_"}), the shape the lock-resolution
+// helpers expect. `this` is dropped, same as the token indexer.
+std::vector<std::string> ChainOf(const clang::Expr* e) {
+  std::vector<std::string> reversed;
+  while (e != nullptr) {
+    e = e->IgnoreParenImpCasts();
+    if (const clang::MemberExpr* me = llvm::dyn_cast<clang::MemberExpr>(e)) {
+      reversed.push_back(me->getMemberDecl()->getNameAsString());
+      e = me->getBase();
+      if (e != nullptr &&
+          llvm::isa<clang::CXXThisExpr>(e->IgnoreParenImpCasts())) {
+        break;
+      }
+      continue;
+    }
+    if (const clang::DeclRefExpr* dre =
+            llvm::dyn_cast<clang::DeclRefExpr>(e)) {
+      reversed.push_back(dre->getDecl()->getNameAsString());
+      break;
+    }
+    if (const clang::UnaryOperator* uo =
+            llvm::dyn_cast<clang::UnaryOperator>(e)) {
+      e = uo->getSubExpr();
+      continue;
+    }
+    break;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+// Dataflow root of an initializer / RHS / return expression: the base-most
+// identifier plus the trailing member call (`buf.data()` -> root "buf",
+// call "data"), descending through constructors, temporaries, std::move
+// and subscripts — the AST mirror of the indexer's ExtractRootCall.
+void RootAndCall(const clang::Expr* e, std::string* root, std::string* call) {
+  while (e != nullptr) {
+    e = e->IgnoreParenImpCasts();
+    if (const clang::ExprWithCleanups* x =
+            llvm::dyn_cast<clang::ExprWithCleanups>(e)) {
+      e = x->getSubExpr();
+      continue;
+    }
+    if (const clang::MaterializeTemporaryExpr* x =
+            llvm::dyn_cast<clang::MaterializeTemporaryExpr>(e)) {
+      e = x->getSubExpr();
+      continue;
+    }
+    if (const clang::CXXBindTemporaryExpr* x =
+            llvm::dyn_cast<clang::CXXBindTemporaryExpr>(e)) {
+      e = x->getSubExpr();
+      continue;
+    }
+    if (const clang::CXXFunctionalCastExpr* x =
+            llvm::dyn_cast<clang::CXXFunctionalCastExpr>(e)) {
+      e = x->getSubExpr();
+      continue;
+    }
+    if (const clang::CXXConstructExpr* x =
+            llvm::dyn_cast<clang::CXXConstructExpr>(e)) {
+      e = x->getNumArgs() > 0 ? x->getArg(0) : nullptr;
+      continue;
+    }
+    if (const clang::InitListExpr* x =
+            llvm::dyn_cast<clang::InitListExpr>(e)) {
+      e = x->getNumInits() > 0 ? x->getInit(0) : nullptr;
+      continue;
+    }
+    if (const clang::CXXMemberCallExpr* x =
+            llvm::dyn_cast<clang::CXXMemberCallExpr>(e)) {
+      if (call->empty() && x->getMethodDecl() != nullptr) {
+        *call = x->getMethodDecl()->getNameAsString();
+      }
+      e = x->getImplicitObjectArgument();
+      continue;
+    }
+    if (const clang::CXXOperatorCallExpr* x =
+            llvm::dyn_cast<clang::CXXOperatorCallExpr>(e)) {
+      e = x->getNumArgs() > 0 ? x->getArg(0) : nullptr;
+      continue;
+    }
+    if (const clang::CallExpr* x = llvm::dyn_cast<clang::CallExpr>(e)) {
+      const clang::FunctionDecl* callee = x->getDirectCallee();
+      std::string name =
+          callee != nullptr ? callee->getNameAsString() : std::string();
+      if ((name == "move" || name == "forward") && x->getNumArgs() > 0) {
+        e = x->getArg(0);  // wrapper: the root is the argument
+        continue;
+      }
+      if (root->empty() && !name.empty()) *root = name;
+      return;
+    }
+    if (const clang::MemberExpr* me = llvm::dyn_cast<clang::MemberExpr>(e)) {
+      const clang::Expr* base = me->getBase()->IgnoreParenImpCasts();
+      if (llvm::isa<clang::CXXThisExpr>(base)) {
+        *root = me->getMemberDecl()->getNameAsString();
+        return;
+      }
+      e = base;
+      continue;
+    }
+    if (const clang::DeclRefExpr* dre =
+            llvm::dyn_cast<clang::DeclRefExpr>(e)) {
+      *root = dre->getDecl()->getNameAsString();
+      return;
+    }
+    if (const clang::UnaryOperator* uo =
+            llvm::dyn_cast<clang::UnaryOperator>(e)) {
+      e = uo->getSubExpr();
+      continue;
+    }
+    if (const clang::ArraySubscriptExpr* ase =
+            llvm::dyn_cast<clang::ArraySubscriptExpr>(e)) {
+      e = ase->getBase();
+      continue;
+    }
+    return;
+  }
+}
+
+// The member expression when `e` is a root-level access to a field of the
+// enclosing class (`count_`, `this->count_`); null for anything else. This
+// is the AST equivalent of the indexer's "rooted identifier that resolves
+// to a field" test — locals shadow fields for free under real name lookup.
+const clang::MemberExpr* ThisField(const clang::Expr* e) {
+  const clang::MemberExpr* me = llvm::dyn_cast<clang::MemberExpr>(e);
+  if (me == nullptr) return nullptr;
+  if (!llvm::isa<clang::FieldDecl>(me->getMemberDecl())) return nullptr;
+  const clang::Expr* base = me->getBase();
+  if (base == nullptr) return nullptr;
+  return llvm::isa<clang::CXXThisExpr>(base->IgnoreParenImpCasts()) ? me
+                                                                    : nullptr;
+}
+
+// Declaring class of the accessed field (may be a base of the enclosing
+// class) — FieldAccess/FieldStore key on it.
+std::string DeclaringClass(const clang::MemberExpr* me) {
+  if (const clang::FieldDecl* fd =
+          llvm::dyn_cast<clang::FieldDecl>(me->getMemberDecl())) {
+    if (const clang::RecordDecl* rd = fd->getParent()) {
+      return rd->getNameAsString();
+    }
+  }
+  return "";
+}
+
 // Collects calls and switches from one function body into `fn`, tracking
 // lambda nesting (calls inside a lambda body belong to the enclosing
 // function record but are flagged in_lambda).
@@ -146,13 +315,71 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
  public:
   BodyVisitor(const Collector& collector, clang::ASTContext& ctx,
               FunctionInfo* fn)
-      : collector_(collector), sm_(ctx.getSourceManager()), fn_(fn) {}
+      : collector_(collector), ctx_(ctx), sm_(ctx.getSourceManager()),
+        fn_(fn) {}
 
+  // Each lambda literal becomes a LambdaInfo with its capture list and — when
+  // the lambda is a direct call argument — the host call that receives it,
+  // which the dataflow passes map to an execution-context sink. Capture
+  // initializers evaluate in the enclosing frame and are traversed under the
+  // enclosing lambda index; only the body runs under the new one.
   bool TraverseLambdaExpr(clang::LambdaExpr* e) {
+    LambdaInfo li;
+    clang::SourceLocation loc = sm_.getExpansionLoc(e->getBeginLoc());
+    li.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+    li.file_index =
+        collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+    li.tok = sm_.getFileOffset(loc);
+    switch (e->getCaptureDefault()) {
+      case clang::LCD_ByRef:
+        li.capture_default = '&';
+        break;
+      case clang::LCD_ByCopy:
+        li.capture_default = '=';
+        break;
+      default:
+        break;
+    }
+    for (const clang::LambdaCapture& c : e->explicit_captures()) {
+      if (c.capturesThis()) {
+        li.captures_this = true;
+        continue;
+      }
+      if (!c.capturesVariable()) continue;
+      LambdaInfo::Capture cap;
+      cap.name = c.getCapturedVar()->getNameAsString();
+      cap.by_ref = c.getCaptureKind() == clang::LCK_ByRef;
+      cap.is_init = c.getCapturedVar()->isInitCapture();
+      li.captures.push_back(std::move(cap));
+    }
+    if (const clang::CallExpr* host = HostCallOf(e)) {
+      if (const clang::CXXMemberCallExpr* mce =
+              llvm::dyn_cast<clang::CXXMemberCallExpr>(host)) {
+        if (const clang::CXXMethodDecl* md = mce->getMethodDecl()) {
+          li.host_callee = md->getNameAsString();
+        }
+        if (const clang::Expr* obj = mce->getImplicitObjectArgument()) {
+          li.host_receiver = CoreTypeName(obj->getType());
+        }
+      } else if (const clang::FunctionDecl* fd = host->getDirectCallee()) {
+        li.host_callee = fd->getNameAsString();
+        if (const clang::CXXMethodDecl* md =
+                llvm::dyn_cast<clang::CXXMethodDecl>(fd)) {
+          li.host_receiver = md->getParent()->getNameAsString();
+        }
+      }
+    }
+    int index = static_cast<int>(fn_->lambdas.size());
+    fn_->lambdas.push_back(std::move(li));
+    for (clang::Expr* init : e->capture_inits()) {
+      if (init != nullptr) TraverseStmt(init);
+    }
+    int prev = cur_lambda_;
+    cur_lambda_ = index;
     ++lambda_depth_;
-    bool result =
-        clang::RecursiveASTVisitor<BodyVisitor>::TraverseLambdaExpr(e);
+    bool result = TraverseStmt(e->getBody());
     --lambda_depth_;
+    cur_lambda_ = prev;
     return result;
   }
 
@@ -169,7 +396,26 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
   }
 
   bool VisitVarDecl(clang::VarDecl* d) {
-    if (!d->isLocalVarDecl()) return true;
+    if (!d->isLocalVarDecl() || llvm::isa<clang::ParmVarDecl>(d)) {
+      return true;
+    }
+    clang::SourceLocation loc = sm_.getExpansionLoc(d->getLocation());
+    // Every named local is a dataflow fact for the view-escape pass: its
+    // resolved type plus its initializer's root and trailing call.
+    if (!d->getName().empty()) {
+      LocalVar lv;
+      lv.name = d->getNameAsString();
+      lv.type = CoreTypeName(d->getType());
+      if (const clang::Expr* init = d->getInit()) {
+        RootAndCall(init, &lv.init_root, &lv.init_call);
+      }
+      lv.tok = sm_.getFileOffset(loc);
+      lv.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+      lv.file_index =
+          collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+      lv.lambda = cur_lambda_;
+      fn_->locals.push_back(std::move(lv));
+    }
     const clang::CXXRecordDecl* rd =
         d->getType().getNonReferenceType()->getAsCXXRecordDecl();
     if (rd == nullptr || !rd->hasAttr<clang::ScopedLockableAttr>()) {
@@ -183,14 +429,95 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
     if (ctor != nullptr && ctor->getNumArgs() >= 1) {
       sa.node = LockNodeFor(ctor->getArg(0));
     }
-    clang::SourceLocation loc = sm_.getExpansionLoc(d->getLocation());
     sa.tok = sm_.getFileOffset(loc);
     sa.release_tok = compound_ends_.empty() ? sa.tok : compound_ends_.back();
     sa.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
     sa.file_index =
         collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
     sa.in_lambda = lambda_depth_ > 0;
+    sa.lambda = cur_lambda_;
     fn_->scoped_acquires.push_back(std::move(sa));
+    return true;
+  }
+
+  bool VisitReturnStmt(clang::ReturnStmt* s) {
+    const clang::Expr* value = s->getRetValue();
+    if (value == nullptr) return true;
+    ReturnInfo ri;
+    RootAndCall(value, &ri.root, &ri.call);
+    clang::SourceLocation loc = sm_.getExpansionLoc(s->getReturnLoc());
+    ri.tok = sm_.getFileOffset(loc);
+    ri.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+    ri.file_index =
+        collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+    ri.lambda = cur_lambda_;
+    fn_->returns.push_back(std::move(ri));
+    return true;
+  }
+
+  // Pre-order visitation means assignment / increment parents run before
+  // their member-expression children, so VisitMemberExpr can look up
+  // whether the access it records is a write (and which trailing member
+  // call, if any, operates on the field itself).
+  bool VisitBinaryOperator(clang::BinaryOperator* op) {
+    if (!op->isAssignmentOp()) return true;
+    MarkWrite(op->getLHS());
+    if (op->getOpcode() == clang::BO_Assign) {
+      if (const clang::MemberExpr* me =
+              ThisField(op->getLHS()->IgnoreParenImpCasts())) {
+        RecordFieldStore(me, op->getRHS());
+      }
+    }
+    return true;
+  }
+
+  bool VisitUnaryOperator(clang::UnaryOperator* op) {
+    if (op->isIncrementDecrementOp()) MarkWrite(op->getSubExpr());
+    return true;
+  }
+
+  // Class-typed fields assign through operator= — a CXXOperatorCallExpr,
+  // not a BinaryOperator. `view_ = view;` on a string_view field is exactly
+  // the store the view-escape pass must see, so this path records the
+  // FieldStore too.
+  bool VisitCXXOperatorCallExpr(clang::CXXOperatorCallExpr* e) {
+    clang::OverloadedOperatorKind op = e->getOperator();
+    bool is_assign =
+        op == clang::OO_Equal || op == clang::OO_PlusEqual ||
+        op == clang::OO_MinusEqual || op == clang::OO_StarEqual ||
+        op == clang::OO_SlashEqual || op == clang::OO_PercentEqual ||
+        op == clang::OO_AmpEqual || op == clang::OO_PipeEqual ||
+        op == clang::OO_CaretEqual || op == clang::OO_LessLessEqual ||
+        op == clang::OO_GreaterGreaterEqual;
+    bool is_incdec =
+        op == clang::OO_PlusPlus || op == clang::OO_MinusMinus;
+    if ((!is_assign && !is_incdec) || e->getNumArgs() == 0) return true;
+    MarkWrite(e->getArg(0));
+    if (op == clang::OO_Equal && e->getNumArgs() >= 2) {
+      if (const clang::MemberExpr* me =
+              ThisField(e->getArg(0)->IgnoreParenImpCasts())) {
+        RecordFieldStore(me, e->getArg(1));
+      }
+    }
+    return true;
+  }
+
+  bool VisitMemberExpr(clang::MemberExpr* e) {
+    const clang::MemberExpr* me = ThisField(e);
+    if (me == nullptr) return true;
+    FieldAccess fa;
+    fa.cls = DeclaringClass(me);
+    fa.field = me->getMemberDecl()->getNameAsString();
+    fa.is_write = write_exprs_.count(e) > 0;
+    auto it = via_call_.find(e);
+    if (it != via_call_.end()) fa.via_call = it->second;
+    clang::SourceLocation loc = sm_.getExpansionLoc(e->getExprLoc());
+    fa.tok = sm_.getFileOffset(loc);
+    fa.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+    fa.file_index =
+        collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+    fa.lambda = cur_lambda_;
+    fn_->accesses.push_back(std::move(fa));
     return true;
   }
 
@@ -203,6 +530,13 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
     if (const clang::Expr* obj = e->getImplicitObjectArgument()) {
       call.receiver_type = CoreTypeName(obj->getType());
       call.receiver_node = LockNodeFor(obj);
+      // A call one hop deep operates on the field itself
+      // (`counters_.Add(..)`); deeper chains mutate some other object
+      // reached through the field and are not the field's mutation.
+      if (const clang::MemberExpr* fme =
+              ThisField(obj->IgnoreParenImpCasts())) {
+        via_call_[fme] = method->getNameAsString();
+      }
     }
     if (call.receiver_type.empty() && method->getParent() != nullptr) {
       call.receiver_type = method->getParent()->getNameAsString();
@@ -285,7 +619,76 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
         collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
     call.tok = sm_.getFileOffset(loc);
     call.in_lambda = lambda_depth_ > 0;
+    call.lambda = cur_lambda_;
     return call;
+  }
+
+  // Marks an assignment target (and, through subscripts, the container
+  // field being indexed into) as written, for the FieldAccess records that
+  // VisitMemberExpr emits when it reaches the same nodes.
+  void MarkWrite(const clang::Expr* e) {
+    while (e != nullptr) {
+      e = e->IgnoreParenImpCasts();
+      write_exprs_.insert(e);
+      if (const clang::ArraySubscriptExpr* ase =
+              llvm::dyn_cast<clang::ArraySubscriptExpr>(e)) {
+        e = ase->getBase();
+        continue;
+      }
+      if (const clang::CXXOperatorCallExpr* oce =
+              llvm::dyn_cast<clang::CXXOperatorCallExpr>(e)) {
+        if (oce->getOperator() == clang::OO_Subscript &&
+            oce->getNumArgs() >= 1) {
+          e = oce->getArg(0);
+          continue;
+        }
+      }
+      break;
+    }
+  }
+
+  void RecordFieldStore(const clang::MemberExpr* me, const clang::Expr* rhs) {
+    FieldStore fs;
+    fs.cls = DeclaringClass(me);
+    fs.field = me->getMemberDecl()->getNameAsString();
+    RootAndCall(rhs, &fs.rhs_root, &fs.rhs_call);
+    clang::SourceLocation loc = sm_.getExpansionLoc(me->getExprLoc());
+    fs.tok = sm_.getFileOffset(loc);
+    fs.line = static_cast<int>(sm_.getExpansionLineNumber(loc));
+    fs.file_index =
+        collector_.FileIndexFor(Canonical(sm_.getFilename(loc).str()));
+    fs.lambda = cur_lambda_;
+    fn_->field_stores.push_back(std::move(fs));
+  }
+
+  // The call expression a lambda literal is a direct argument of, climbing
+  // through the implicit conversion/construction wrappers the lambda ->
+  // std::function handoff inserts. Null when the lambda is stored in a
+  // variable or otherwise not handed straight to a call.
+  const clang::CallExpr* HostCallOf(const clang::Stmt* s) {
+    const clang::Stmt* cur = s;
+    for (int depth = 0; depth < 8; ++depth) {
+      clang::DynTypedNodeList parents = ctx_.getParents(*cur);
+      if (parents.empty()) return nullptr;
+      const clang::Stmt* p = parents[0].get<clang::Stmt>();
+      if (p == nullptr) return nullptr;
+      if (const clang::CallExpr* call = llvm::dyn_cast<clang::CallExpr>(p)) {
+        for (unsigned i = 0; i < call->getNumArgs(); ++i) {
+          if (call->getArg(i) == cur) return call;
+        }
+        return nullptr;  // the callee position, not an argument
+      }
+      if (llvm::isa<clang::ImplicitCastExpr>(p) ||
+          llvm::isa<clang::CXXConstructExpr>(p) ||
+          llvm::isa<clang::MaterializeTemporaryExpr>(p) ||
+          llvm::isa<clang::CXXBindTemporaryExpr>(p) ||
+          llvm::isa<clang::CXXFunctionalCastExpr>(p)) {
+        cur = p;
+        continue;
+      }
+      return nullptr;
+    }
+    return nullptr;
   }
 
   // The element-helper argument of PutVector/GetVector calls (a plain
@@ -311,10 +714,16 @@ class BodyVisitor : public clang::RecursiveASTVisitor<BodyVisitor> {
   }
 
   const Collector& collector_;
+  clang::ASTContext& ctx_;
   const clang::SourceManager& sm_;
   FunctionInfo* fn_;
   int lambda_depth_ = 0;
+  int cur_lambda_ = -1;  // index into fn_->lambdas, -1 = body proper
   std::vector<unsigned> compound_ends_;
+  // Filled by the write/call parents before the member expressions they
+  // contain are visited (pre-order traversal).
+  std::set<const clang::Expr*> write_exprs_;
+  std::map<const clang::MemberExpr*, std::string> via_call_;
 };
 
 class IndexVisitor : public clang::RecursiveASTVisitor<IndexVisitor> {
@@ -343,9 +752,24 @@ class IndexVisitor : public clang::RecursiveASTVisitor<IndexVisitor> {
       for (const clang::FieldDecl* f : d->fields()) {
         std::string type = CoreTypeName(f->getType());
         if (!type.empty()) cls.fields[f->getNameAsString()] = type;
+        cls.field_lines[f->getNameAsString()] =
+            static_cast<int>(sm_.getExpansionLineNumber(
+                sm_.getExpansionLoc(f->getLocation())));
+        if (const clang::GuardedByAttr* g =
+                f->getAttr<clang::GuardedByAttr>()) {
+          std::vector<std::string> chain = ChainOf(g->getArg());
+          if (!chain.empty()) {
+            cls.field_guards[f->getNameAsString()] = std::move(chain);
+          }
+        }
         for (const clang::AnnotateAttr* a :
              f->specific_attrs<clang::AnnotateAttr>()) {
           llvm::StringRef ann = a->getAnnotation();
+          if (ann.startswith("mr_context_confined:")) {
+            cls.field_confined[f->getNameAsString()] =
+                ParseCtx(ann.drop_front(20).str());
+            continue;
+          }
           bool before = ann.startswith("mr_acquired_before:");
           if (!before && !ann.startswith("mr_acquired_after:")) continue;
           llvm::StringRef args =
@@ -431,6 +855,19 @@ class IndexVisitor : public clang::RecursiveASTVisitor<IndexVisitor> {
     if (d->getNumParams() > 0) {
       fn.param0_type = CoreTypeName(d->getParamDecl(0)->getType());
     }
+    if (!fn.is_ctor_dtor && !fn.is_operator) {
+      fn.ret_type = CoreTypeName(d->getReturnType());
+    }
+    // MR_REQUIRES lowers to the native requires_capability attribute; its
+    // argument expressions become the identifier chains the held-set
+    // machinery resolves against the whole model.
+    for (const clang::RequiresCapabilityAttr* r :
+         d->specific_attrs<clang::RequiresCapabilityAttr>()) {
+      for (const clang::Expr* arg : r->args()) {
+        std::vector<std::string> chain = ChainOf(arg);
+        if (!chain.empty()) fn.entry_locks.push_back(std::move(chain));
+      }
+    }
     fn.key = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
     if (fn.name == "operator()") fn.key += "@" + fn.param0_type;
 
@@ -446,6 +883,10 @@ class IndexVisitor : public clang::RecursiveASTVisitor<IndexVisitor> {
       index = it->second;
       FunctionInfo& existing = model->functions[index];
       if (existing.ctx == Ctx::kNone) existing.ctx = fn.ctx;
+      if (existing.ret_type.empty()) existing.ret_type = fn.ret_type;
+      if (existing.entry_locks.empty()) {
+        existing.entry_locks = std::move(fn.entry_locks);
+      }
       // Prefer the header declaration site for diagnostics, matching the
       // built-in indexer's headers-first merge order.
       bool existing_is_header =

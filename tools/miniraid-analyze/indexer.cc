@@ -66,6 +66,16 @@ bool IsMacroName(const std::string& s) {
   return has_alpha;
 }
 
+// std:: vocabulary the dataflow passes track as locals: owning buffers, the
+// view types that can dangle into them, and the character types raw-pointer
+// views are spelled with (`const char* p = buf.data()`).
+bool IsTrackedStdType(const std::string& s) {
+  static const std::set<std::string>* kTypes = new std::set<std::string>{
+      "string", "string_view", "vector", "span",
+      "deque",  "array",       "char",   "uint8_t"};
+  return kTypes->count(s) > 0;
+}
+
 struct Parser {
   Model* model;
   SourceFile* file;
@@ -449,6 +459,11 @@ struct Parser {
     // MR_ACQUIRED_BEFORE/_AFTER edges seen on this declaration; attached to
     // the field below once the declaration turns out to be a field.
     std::vector<ClassInfo::LockEdge> edges;
+    // MR_GUARDED_BY / MR_CONTEXT_CONFINED on a field; MR_REQUIRES chains on
+    // a function.
+    std::vector<std::string> guard_chain;
+    Ctx confined = Ctx::kNone;
+    std::vector<std::vector<std::string>> req_chains;
 
     while (j < end) {
       const std::string& t = Text(j);
@@ -464,6 +479,32 @@ struct Parser {
           size_t close = SkipBalanced(j + 1);
           ParseEdgeTargets(j + 2, close - 1, t == "MR_ACQUIRED_BEFORE",
                            Line(j), &edges);
+          j = close;
+          continue;
+        }
+        if ((t == "MR_GUARDED_BY" || t == "MR_PT_GUARDED_BY") &&
+            Text(j + 1) == "(" && paren == 0) {
+          size_t close = SkipBalanced(j + 1);
+          guard_chain.clear();
+          for (size_t k = j + 2; k + 1 < close; ++k) {
+            if (Kind(k) == Token::kIdent && Text(k) != "this") {
+              guard_chain.push_back(Text(k));
+            }
+          }
+          j = close;
+          continue;
+        }
+        if (t == "MR_CONTEXT_CONFINED" && Text(j + 1) == "(" &&
+            Kind(j + 2) == Token::kIdent && Text(j + 3) == ")" &&
+            paren == 0) {
+          confined = ParseCtx(Text(j + 2));
+          j += 4;
+          continue;
+        }
+        if ((t == "MR_REQUIRES" || t == "MR_REQUIRES_SHARED") &&
+            Text(j + 1) == "(" && paren == 0) {
+          size_t close = SkipBalanced(j + 1);
+          ParseReqTargets(j + 2, close - 1, &req_chains);
           j = close;
           continue;
         }
@@ -580,6 +621,9 @@ struct Parser {
         if (!fname.empty() && !ftype.empty()) {
           ClassInfo* ci = GetClass(cls);
           ci->fields[fname] = ftype;
+          ci->field_lines[fname] = Line(last_ident);
+          if (!guard_chain.empty()) ci->field_guards[fname] = guard_chain;
+          if (confined != Ctx::kNone) ci->field_confined[fname] = confined;
           for (ClassInfo::LockEdge& e : edges) {
             e.field = fname;
             ci->lock_edges.push_back(std::move(e));
@@ -649,6 +693,12 @@ struct Parser {
         fn->ctx = ctx;
         fn->ctx_inherited = false;
       }
+      if (fn->ret_type.empty() && !ctor_dtor && !is_operator) {
+        fn->ret_type = CoreType(start, paren_open - 1);
+      }
+      if (fn->entry_locks.empty() && !req_chains.empty()) {
+        fn->entry_locks = std::move(req_chains);
+      }
       if (!cls.empty()) {
         fn->is_public = fn->is_public || access == "public";
         fn->is_ctor_dtor = fn->is_ctor_dtor || ctor_dtor;
@@ -668,7 +718,7 @@ struct Parser {
       std::map<std::string, std::string> locals;
       SeedParams(paren_open, paren_close, &locals);
       size_t body_close = SkipBalanced(body_open);
-      ParseStmts(body_open + 1, body_close - 1, fn_cls, &locals, false,
+      ParseStmts(body_open + 1, body_close - 1, fn_cls, &locals, -1,
                  nullptr, fn);
     }
     return next_i;
@@ -704,6 +754,87 @@ struct Parser {
     }
   }
 
+  // Capture list of a lambda literal: tokens in [begin, end_tok) between
+  // the '[' and its ']'. Splits on top-level commas; recognizes the capture
+  // defaults '&' and '=', `this` / `*this`, by-reference and init captures.
+  void ParseCaptures(size_t begin, size_t end_tok, LambdaInfo* li) const {
+    size_t seg = begin;
+    for (size_t k = begin; k <= end_tok; ++k) {
+      if (k < end_tok &&
+          (Text(k) == "(" || Text(k) == "[" || Text(k) == "{")) {
+        k = SkipBalanced(k) - 1;
+        continue;
+      }
+      if (k < end_tok && Text(k) != ",") continue;
+      size_t b = seg;
+      seg = k + 1;
+      if (b >= k) continue;
+      if (Text(b) == "&" && b + 1 == k) {
+        li->capture_default = '&';
+        continue;
+      }
+      if (Text(b) == "=" && b + 1 == k) {
+        li->capture_default = '=';
+        continue;
+      }
+      if (Text(b) == "this" ||
+          (Text(b) == "*" && Text(b + 1) == "this")) {
+        li->captures_this = true;
+        continue;
+      }
+      LambdaInfo::Capture cap;
+      size_t m = b;
+      if (Text(m) == "&") {
+        cap.by_ref = true;
+        ++m;
+      }
+      if (Kind(m) != Token::kIdent) continue;
+      cap.name = Text(m);
+      cap.is_init = m + 1 < k && Text(m + 1) == "=";
+      li->captures.push_back(std::move(cap));
+    }
+  }
+
+  // When the lambda literal at `lam_tok` is written directly as a call
+  // argument (`loop_->Post(0, [this] {...})`), records that call's callee
+  // and resolved receiver class so the dataflow passes can map the lambda
+  // to a deferred-execution sink. Lambdas first assigned to a variable and
+  // posted later stay hostless (conservative: no context, no escape rule).
+  void DetectLambdaHost(size_t lam_tok, const std::string& cls,
+                        const std::map<std::string, std::string>& locals,
+                        LambdaInfo* li) const {
+    int depth = 0;
+    size_t k = lam_tok;
+    while (k > 0) {
+      --k;
+      const std::string& t = Text(k);
+      if (t == ")" || t == "]" || t == "}") {
+        ++depth;
+      } else if (t == "(" || t == "[" || t == "{") {
+        if (depth == 0) {
+          if (t != "(") return;  // brace-init / subscript: not a call arg
+          break;
+        }
+        --depth;
+      } else if (depth == 0 && (t == ";" || t == "=" || t == "{")) {
+        return;  // statement or assignment boundary reached first
+      }
+      if (k == 0) return;
+    }
+    if (k == 0 || Kind(k - 1) != Token::kIdent) return;
+    size_t callee_tok = k - 1;
+    const std::string& callee = Text(callee_tok);
+    if (IsMacroName(callee) || IsStmtKeyword(callee)) return;
+    li->host_callee = callee;
+    const std::string& prev = callee_tok > 0 ? Text(callee_tok - 1) : "";
+    if (prev == "." || prev == "->") {
+      li->host_receiver = ResolveReceiver(callee_tok - 1, cls, locals);
+    } else if (prev != "::" && !cls.empty() &&
+               model->FindMethod(cls, callee) >= 0) {
+      li->host_receiver = cls;  // implicit this
+    }
+  }
+
   // Splits an MR_ACQUIRED_BEFORE/_AFTER argument span on top-level commas;
   // each target becomes an identifier chain (`loop_->mu_` -> {loop_, mu_}).
   void ParseEdgeTargets(size_t begin, size_t end_tok, bool before, int line,
@@ -723,6 +854,60 @@ struct Parser {
       }
       if (Kind(k) == Token::kIdent && Text(k) != "this") {
         cur.target.push_back(Text(k));
+      }
+    }
+  }
+
+  // Splits an MR_REQUIRES argument span on top-level commas; each target
+  // becomes an identifier chain (resolved to a lock node by the passes,
+  // once the whole model exists).
+  void ParseReqTargets(size_t begin, size_t end_tok,
+                       std::vector<std::vector<std::string>>* out) const {
+    std::vector<std::string> cur;
+    for (size_t k = begin; k <= end_tok; ++k) {
+      if (k == end_tok || Text(k) == ",") {
+        if (!cur.empty()) out->push_back(cur);
+        cur.clear();
+        continue;
+      }
+      if (Text(k) == "(" || Text(k) == "[" || Text(k) == "{") {
+        k = SkipBalanced(k) - 1;
+        continue;
+      }
+      if (Kind(k) == Token::kIdent && Text(k) != "this") cur.push_back(Text(k));
+    }
+  }
+
+  // Dataflow root of an expression span: the first identifier that is not a
+  // wrapper (std::move, a constructor of a tracked type, a macro), plus the
+  // last member call on it (`Slice(buf.data(), n)` -> root "buf", call
+  // "data"). Used for local initializers, field-store RHS, and returns.
+  void ExtractRootCall(size_t begin, size_t end_tok, std::string* root,
+                       std::string* call) const {
+    for (size_t k = begin; k < end_tok; ++k) {
+      const std::string& t = Text(k);
+      if (t == "<" && root->empty()) {
+        k = SkipAngles(k) - 1;
+        continue;
+      }
+      if (Kind(k) != Token::kIdent) continue;
+      if (t == "std" || t == "this" || IsStmtKeyword(t) || IsDeclSkipWord(t)) {
+        continue;
+      }
+      if (t == "move" && Text(k + 1) == "(") continue;
+      std::string core = model->ResolveAlias(t);
+      if ((model->classes.count(core) || IsTrackedStdType(core)) &&
+          (Text(k + 1) == "(" || Text(k + 1) == "{")) {
+        continue;  // constructor wrapper: the root is inside its arguments
+      }
+      if (IsMacroName(t)) {
+        if (Text(k + 1) == "(") k = SkipBalanced(k + 1) - 1;
+        continue;
+      }
+      if (root->empty()) *root = t;
+      if (k > begin && (Text(k - 1) == "." || Text(k - 1) == "->") &&
+          Text(k + 1) == "(") {
+        *call = t;
       }
     }
   }
@@ -851,8 +1036,11 @@ struct Parser {
   // ------------------------------------------------------------------
   // Statement scope (function and lambda bodies).
   // ------------------------------------------------------------------
+  // `lambda` is the index into fn->lambdas of the enclosing lambda literal
+  // (-1 = the function body proper); every recorded fact carries it so the
+  // dataflow passes can tell deferred-continuation code from frame code.
   void ParseStmts(size_t begin, size_t end, const std::string& cls,
-                  std::map<std::string, std::string>* locals, bool in_lambda,
+                  std::map<std::string, std::string>* locals, int lambda,
                   SwitchInfo* sw, FunctionInfo* fn) {
     size_t j = begin;
     while (j < end) {
@@ -863,7 +1051,7 @@ struct Parser {
           size_t cond_open = j + 1;
           if (Text(cond_open) == "(") {
             size_t cond_close = SkipBalanced(cond_open);
-            ParseStmts(cond_open + 1, cond_close - 1, cls, locals, in_lambda,
+            ParseStmts(cond_open + 1, cond_close - 1, cls, locals, lambda,
                        sw, fn);
             j = cond_close;
           } else {
@@ -874,7 +1062,7 @@ struct Parser {
             SwitchInfo inner;
             inner.line = Line(j);
             inner.file_index = file_index;
-            ParseStmts(j + 1, close - 1, cls, locals, in_lambda, &inner, fn);
+            ParseStmts(j + 1, close - 1, cls, locals, lambda, &inner, fn);
             fn->switches.push_back(std::move(inner));
             j = close;
           }
@@ -911,15 +1099,51 @@ struct Parser {
           ++j;  // macro name is not a call; its arguments are still scanned
           continue;
         }
+        if (t == "return" && fn != nullptr) {
+          // Record the returned expression's dataflow root. The expression
+          // tokens are NOT skipped: calls and accesses inside it still
+          // index normally on subsequent iterations.
+          size_t semi = j + 1;
+          while (semi < end && Text(semi) != ";") {
+            if (Text(semi) == "(" || Text(semi) == "[" ||
+                Text(semi) == "{") {
+              semi = SkipBalanced(semi);
+            } else {
+              ++semi;
+            }
+          }
+          if (semi > j + 1) {
+            ReturnInfo ri;
+            ri.line = Line(j);
+            ri.file_index = file_index;
+            ri.tok = j;
+            ri.lambda = lambda;
+            ExtractRootCall(j + 1, semi, &ri.root, &ri.call);
+            fn->returns.push_back(std::move(ri));
+          }
+          ++j;
+          continue;
+        }
         if (IsStmtKeyword(t)) {
           ++j;
           continue;
         }
         // Local declaration: KnownType [<...>] [&*const] name {; = ( ,}
-        std::string core = model->ResolveAlias(t);
-        if (model->classes.count(core) && Text(j + 1) != "(" &&
-            Text(j + 1) != "." && Text(j + 1) != "->") {
-          size_t k = j + 1;
+        // `std::`-qualified buffer/view types are tracked alongside the
+        // model's own classes so view lifetimes can be chained.
+        size_t type_tok = j;
+        std::string tname = t;
+        if (t == "std" && Text(j + 1) == "::" &&
+            Kind(j + 2) == Token::kIdent) {
+          tname = Text(j + 2);
+          type_tok = j + 2;
+        }
+        std::string core = model->ResolveAlias(tname);
+        bool known_class = model->classes.count(core) > 0;
+        if ((known_class || IsTrackedStdType(core)) &&
+            Text(type_tok + 1) != "(" && Text(type_tok + 1) != "." &&
+            Text(type_tok + 1) != "->") {
+          size_t k = type_tok + 1;
           if (Text(k) == "<") k = SkipAngles(k);
           while (Text(k) == "&" || Text(k) == "*" || Text(k) == "const") ++k;
           if (Kind(k) == Token::kIdent && !IsStmtKeyword(Text(k))) {
@@ -927,9 +1151,37 @@ struct Parser {
             if (nxt == ";" || nxt == "=" || nxt == "{" || nxt == "(" ||
                 nxt == ",") {
               (*locals)[Text(k)] = core;
+              if (fn != nullptr) {
+                LocalVar lv;
+                lv.name = Text(k);
+                lv.type = core;
+                lv.line = Line(j);
+                lv.file_index = file_index;
+                lv.tok = j;
+                lv.lambda = lambda;
+                if (nxt == "=" || nxt == "(" || nxt == "{") {
+                  size_t ib = k + 2, ie;
+                  if (nxt == "=") {
+                    ie = ib;
+                    while (ie < end && Text(ie) != ";" && Text(ie) != ",") {
+                      if (Text(ie) == "(" || Text(ie) == "[" ||
+                          Text(ie) == "{") {
+                        ie = SkipBalanced(ie);
+                      } else {
+                        ++ie;
+                      }
+                    }
+                  } else {
+                    ie = SkipBalanced(k + 1) - 1;
+                  }
+                  ExtractRootCall(ib, ie, &lv.init_root, &lv.init_call);
+                }
+                fn->locals.push_back(std::move(lv));
+              }
               // Scoped lock: `MutexLock lock(mu_);` holds the constructor-
               // argument mutex until the enclosing block closes.
-              if (model->classes.find(core)->second.is_scoped_capability &&
+              if (known_class &&
+                  model->classes.find(core)->second.is_scoped_capability &&
                   (nxt == "(" || nxt == "{")) {
                 size_t args_close = SkipBalanced(k + 1);
                 ScopedAcquire sa;
@@ -939,7 +1191,8 @@ struct Parser {
                 sa.release_tok = FindScopeEnd(args_close);
                 sa.line = Line(j);
                 sa.file_index = file_index;
-                sa.in_lambda = in_lambda;
+                sa.in_lambda = lambda >= 0;
+                sa.lambda = lambda;
                 fn->scoped_acquires.push_back(std::move(sa));
               }
               j = k + 1;
@@ -955,7 +1208,8 @@ struct Parser {
           call.line = Line(j);
           call.file_index = file_index;
           call.tok = j;
-          call.in_lambda = in_lambda;
+          call.in_lambda = lambda >= 0;
+          call.lambda = lambda;
           if (prev == "." || prev == "->") {
             call.is_member = true;
             call.receiver_type =
@@ -971,6 +1225,95 @@ struct Parser {
           fn->calls.push_back(std::move(call));
           ++j;
           continue;
+        }
+        // Plain identifier: a root-level access to a field of the enclosing
+        // class? (Locals shadow fields; member chains off other objects are
+        // attributed to that object's own methods, not here.)
+        if (fn != nullptr && !cls.empty() && locals->count(t) == 0) {
+          const std::string& prev = j > 0 ? Text(j - 1) : "";
+          bool rooted = prev != "." && prev != "::" &&
+                        (prev != "->" || (j >= 2 && Text(j - 2) == "this"));
+          std::string owner = rooted ? model->FieldOwner(cls, t) : "";
+          if (!owner.empty()) {
+            FieldAccess fa;
+            fa.cls = owner;
+            fa.field = t;
+            fa.line = Line(j);
+            fa.file_index = file_index;
+            fa.tok = j;
+            fa.lambda = lambda;
+            // Walk the member/subscript chain to find a trailing call and
+            // the token that follows the whole access expression.
+            size_t n = j + 1;
+            std::string last_member;
+            bool chain_is_call = false;
+            int hops = 0;
+            while (n < end) {
+              if (Text(n) == "[" && Text(n + 1) != "[") {
+                n = SkipBalanced(n);
+                continue;
+              }
+              if ((Text(n) == "." || Text(n) == "->") &&
+                  Kind(n + 1) == Token::kIdent) {
+                last_member = Text(n + 1);
+                chain_is_call = false;
+                ++hops;
+                n += 2;
+                if (Text(n) == "(") {
+                  chain_is_call = true;
+                  n = SkipBalanced(n);
+                }
+                continue;
+              }
+              break;
+            }
+            // A call one hop deep operates on the field itself
+            // (counters_.Add(...)); deeper chains mutate some other object
+            // reached through it (options_.trace->Record(...)).
+            if (chain_is_call && hops == 1) fa.via_call = last_member;
+            // Mutation: an assignment operator after the chain, or ++/--
+            // on either side. The lexer splits compound operators into
+            // single-character punctuation ("+=" is "+" "="), so these are
+            // token-sequence matches.
+            const std::string& a = Text(n);
+            const std::string& b = Text(n + 1);
+            const std::string& c = Text(n + 2);
+            bool is_assign =
+                (a == "=" && b != "=") ||
+                ((a == "+" || a == "-" || a == "*" || a == "/" || a == "%" ||
+                  a == "&" || a == "|" || a == "^") &&
+                 b == "=" && c != "=") ||
+                (a == "<" && b == "<" && c == "=") ||
+                (a == ">" && b == ">" && c == "=") ||
+                (a == "+" && b == "+") || (a == "-" && b == "-");
+            bool pre_incdec =
+                j >= 2 && ((Text(j - 1) == "+" && Text(j - 2) == "+") ||
+                           (Text(j - 1) == "-" && Text(j - 2) == "-"));
+            fa.is_write = is_assign || pre_incdec;
+            fn->accesses.push_back(std::move(fa));
+            // Direct store `field_ = expr;`: record the RHS's dataflow
+            // root for the view-escape pass.
+            if (last_member.empty() && a == "=" && b != "=") {
+              FieldStore fs;
+              fs.cls = owner;
+              fs.field = t;
+              fs.line = Line(j);
+              fs.file_index = file_index;
+              fs.tok = j;
+              fs.lambda = lambda;
+              size_t semi = n + 1;
+              while (semi < end && Text(semi) != ";") {
+                if (Text(semi) == "(" || Text(semi) == "[" ||
+                    Text(semi) == "{") {
+                  semi = SkipBalanced(semi);
+                } else {
+                  ++semi;
+                }
+              }
+              ExtractRootCall(n + 1, semi, &fs.rhs_root, &fs.rhs_call);
+              fn->field_stores.push_back(std::move(fs));
+            }
+          }
         }
         ++j;
         continue;
@@ -997,6 +1340,12 @@ struct Parser {
           }
           // Lambda: [captures] (params)? specifiers? { body }
           size_t cap_close = SkipBalanced(j);
+          LambdaInfo li;
+          li.line = Line(j);
+          li.file_index = file_index;
+          li.tok = j;
+          ParseCaptures(j + 1, cap_close - 1, &li);
+          DetectLambdaHost(j, cls, *locals, &li);
           size_t k = cap_close;
           std::map<std::string, std::string> inner_locals = *locals;
           if (Text(k) == "(") {
@@ -1007,7 +1356,12 @@ struct Parser {
           while (k < end && Text(k) != "{" && Text(k) != ";") ++k;
           if (Text(k) == "{") {
             size_t body_close = SkipBalanced(k);
-            ParseStmts(k + 1, body_close - 1, cls, &inner_locals, true,
+            int lam_idx = -1;
+            if (fn != nullptr) {
+              fn->lambdas.push_back(std::move(li));
+              lam_idx = static_cast<int>(fn->lambdas.size()) - 1;
+            }
+            ParseStmts(k + 1, body_close - 1, cls, &inner_locals, lam_idx,
                        nullptr, fn);
             j = body_close;
             continue;
@@ -1218,6 +1572,22 @@ int Model::FindMethod(const std::string& cls, const std::string& name) const {
     for (const std::string& b : it->second.bases) stack.push_back(b);
   }
   return -1;
+}
+
+std::string Model::FieldOwner(const std::string& cls,
+                              const std::string& field) const {
+  std::vector<std::string> stack{ResolveAlias(cls)};
+  std::set<std::string> seen;
+  while (!stack.empty()) {
+    std::string c = stack.back();
+    stack.pop_back();
+    if (!seen.insert(c).second) continue;
+    auto it = classes.find(c);
+    if (it == classes.end()) continue;
+    if (it->second.fields.count(field)) return c;
+    for (const std::string& b : it->second.bases) stack.push_back(b);
+  }
+  return "";
 }
 
 std::string Model::FieldType(const std::string& cls, const std::string& field)

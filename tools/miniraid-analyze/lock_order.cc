@@ -51,6 +51,85 @@ std::string JoinChain(const std::vector<std::string>& chain) {
   return out;
 }
 
+bool CapabilityType(const Model& m, const std::string& type) {
+  auto it = m.classes.find(m.ResolveAlias(type));
+  return it != m.classes.end() && it->second.is_capability;
+}
+
+}  // namespace
+
+// Shared with the dataflow passes: the observable lock intervals of one
+// function body, every lambda included (callers filter by lambda index).
+std::vector<HeldInterval> ComputeHeldIntervals(const Model& m,
+                                               const FunctionInfo& fn) {
+  std::vector<HeldInterval> out;
+  for (const ScopedAcquire& sa : fn.scoped_acquires) {
+    if (sa.node.empty()) continue;
+    out.push_back({sa.node, sa.tok, sa.release_tok, sa.lambda});
+  }
+  // Manual Lock/Unlock pairs on the same node, in token order, paired only
+  // within the same lambda scope (a Lock in the body and an Unlock inside a
+  // continuation are not a critical section).
+  std::vector<const CallSite*> ops;
+  for (const CallSite& c : fn.calls) {
+    if (!c.is_member || c.receiver_node.empty()) continue;
+    if ((c.callee == "Lock" || c.callee == "Unlock") &&
+        CapabilityType(m, c.receiver_type)) {
+      ops.push_back(&c);
+    }
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const CallSite* a, const CallSite* b) {
+              return a->tok < b->tok;
+            });
+  // node|lambda -> Lock tok
+  std::map<std::pair<std::string, int>, size_t> open;
+  for (const CallSite* c : ops) {
+    std::pair<std::string, int> key{c->receiver_node, c->lambda};
+    if (c->callee == "Lock") {
+      open[key] = c->tok;
+    } else {
+      auto it = open.find(key);
+      if (it != open.end()) {
+        out.push_back({c->receiver_node, it->second, c->tok, c->lambda});
+        open.erase(it);
+      }
+    }
+  }
+  for (const auto& kv : open) {
+    out.push_back({kv.first.first, kv.second, static_cast<size_t>(-1),
+                   kv.first.second});
+  }
+  return out;
+}
+
+std::set<std::string> HeldNodesAt(const std::vector<HeldInterval>& intervals,
+                                  size_t tok, int lambda) {
+  std::set<std::string> out;
+  for (const HeldInterval& h : intervals) {
+    if (h.lambda == lambda && h.from < tok && tok < h.to) out.insert(h.node);
+  }
+  return out;
+}
+
+std::string ResolveLockNode(const Model& m, const std::string& cls,
+                            const std::vector<std::string>& chain) {
+  if (chain.empty()) return "";
+  std::string owner = m.ResolveAlias(cls);
+  if (chain.size() > 1) {
+    std::string cur = m.FieldType(cls, chain[0]);
+    for (size_t e = 1; e + 1 < chain.size() && !cur.empty(); ++e) {
+      cur = m.FieldType(cur, chain[e]);
+    }
+    if (cur.empty()) return "";
+    owner = m.ResolveAlias(cur);
+  }
+  if (!CapabilityType(m, m.FieldType(owner, chain.back()))) return "";
+  return owner + "::" + chain.back();
+}
+
+namespace {
+
 struct LockOrderPass {
   const Model& m;
   const CheckOptions& opts;
@@ -88,18 +167,7 @@ struct LockOrderPass {
   // lock node ("" if it does not land on a capability-typed field).
   std::string ResolveTarget(const std::string& cls,
                             const std::vector<std::string>& chain) const {
-    if (chain.empty()) return "";
-    std::string owner = m.ResolveAlias(cls);
-    if (chain.size() > 1) {
-      std::string cur = m.FieldType(cls, chain[0]);
-      for (size_t e = 1; e + 1 < chain.size() && !cur.empty(); ++e) {
-        cur = m.FieldType(cur, chain[e]);
-      }
-      if (cur.empty()) return "";
-      owner = m.ResolveAlias(cur);
-    }
-    if (!IsCapabilityType(m.FieldType(owner, chain.back()))) return "";
-    return owner + "::" + chain.back();
+    return ResolveLockNode(m, cls, chain);
   }
 
   // --- phase 1: nodes and declared edges ---------------------------------
@@ -274,56 +342,16 @@ struct LockOrderPass {
   }
 
   // --- phase 3: replay each body against its live held set ---------------
-  struct HeldInterval {
-    std::string node;
-    size_t from = 0;
-    size_t to = 0;  // exclusive; SIZE_MAX for an unmatched manual Lock
-  };
-
+  // This pass reasons about the synchronous body only, so every query uses
+  // lambda == -1; the shared ComputeHeldIntervals records lambda intervals
+  // too (the shared-state pass needs them).
   std::vector<HeldInterval> HeldIntervals(const FunctionInfo& fn) const {
-    std::vector<HeldInterval> out;
-    for (const ScopedAcquire& sa : fn.scoped_acquires) {
-      if (sa.in_lambda || sa.node.empty()) continue;
-      out.push_back({sa.node, sa.tok, sa.release_tok});
-    }
-    // Manual Lock/Unlock pairs on the same node, in token order.
-    std::vector<const CallSite*> ops;
-    for (const CallSite& c : fn.calls) {
-      if (c.in_lambda || !c.is_member || c.receiver_node.empty()) continue;
-      if ((c.callee == "Lock" || c.callee == "Unlock") &&
-          IsCapabilityType(c.receiver_type)) {
-        ops.push_back(&c);
-      }
-    }
-    std::sort(ops.begin(), ops.end(),
-              [](const CallSite* a, const CallSite* b) {
-                return a->tok < b->tok;
-              });
-    std::map<std::string, size_t> open;  // node -> Lock tok
-    for (const CallSite* c : ops) {
-      if (c->callee == "Lock") {
-        open[c->receiver_node] = c->tok;
-      } else {
-        auto it = open.find(c->receiver_node);
-        if (it != open.end()) {
-          out.push_back({c->receiver_node, it->second, c->tok});
-          open.erase(it);
-        }
-      }
-    }
-    for (const auto& kv : open) {
-      out.push_back({kv.first, kv.second, static_cast<size_t>(-1)});
-    }
-    return out;
+    return ComputeHeldIntervals(m, fn);
   }
 
   std::set<std::string> HeldAt(const std::vector<HeldInterval>& intervals,
                                size_t tok) const {
-    std::set<std::string> out;
-    for (const HeldInterval& h : intervals) {
-      if (h.from < tok && tok < h.to) out.insert(h.node);
-    }
-    return out;
+    return HeldNodesAt(intervals, tok, -1);
   }
 
   void RecordObserved(const std::string& held, const std::string& acquired,
@@ -361,8 +389,11 @@ struct LockOrderPass {
   void ReplayFunction(const FunctionInfo& fn) {
     std::vector<HeldInterval> intervals = HeldIntervals(fn);
 
-    // Direct acquisitions while something else is held.
+    // Direct acquisitions while something else is held. Lambda-scope
+    // intervals are skipped: a continuation's acquisitions replay against
+    // its own scope, not its creator's.
     for (const HeldInterval& h : intervals) {
+      if (h.lambda != -1) continue;
       std::set<std::string> held = HeldAt(intervals, h.from);
       for (const std::string& other : held) {
         int line = fn.line;

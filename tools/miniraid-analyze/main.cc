@@ -15,6 +15,11 @@
 //                           reported under the "protocol-effect" rule
 //   --lock-graph-dot <path>  write the lock acquisition graph (Graphviz)
 //   --lock-graph-json <path> write the lock acquisition graph (JSON)
+//   --shared-state-json <path> write the per-field guarded-by inference
+//                              report (every field with its contexts,
+//                              common held mutexes, and verdict)
+//   --view-escape-json <path>  write the view-escape findings (JSON)
+//   --sarif <path>             write unsuppressed findings as SARIF 2.1.0
 //
 // Paths may be files or directories (directories are scanned recursively for
 // .h/.cc). Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
@@ -67,6 +72,7 @@ int Run(int argc, char** argv) {
   std::string build_path;
   std::string effects_path, effects_json_path, effects_golden_path;
   std::string lock_dot_path, lock_json_path;
+  std::string shared_state_path, view_escape_path, sarif_path;
   bool contexts = true;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
@@ -87,13 +93,20 @@ int Run(int argc, char** argv) {
       lock_dot_path = argv[++i];
     } else if (arg == "--lock-graph-json" && i + 1 < argc) {
       lock_json_path = argv[++i];
+    } else if (arg == "--shared-state-json" && i + 1 < argc) {
+      shared_state_path = argv[++i];
+    } else if (arg == "--view-escape-json" && i + 1 < argc) {
+      view_escape_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--no-context") {
       contexts = false;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: miniraid-analyze [--frontend=index|clang] "
                    "[-p build-dir] [--json out.json] "
                    "[--effects[-json] out] [--effects-golden golden.txt] "
-                   "[--lock-graph-dot|-json out] <paths...>\n";
+                   "[--lock-graph-dot|-json out] [--shared-state-json out] "
+                   "[--view-escape-json out] [--sarif out] <paths...>\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "miniraid-analyze: unknown option '" << arg << "'\n";
@@ -165,6 +178,9 @@ int Run(int argc, char** argv) {
   if (!opts.effects_golden.empty()) {
     DiffEffectsAgainstGolden(effects, opts.effects_golden, &findings);
   }
+  SharedStateReport shared_state =
+      BuildSharedStateReport(model, opts, &findings);
+  CheckViewEscape(model, opts, &findings);
   std::sort(findings.begin(), findings.end());
   ApplySuppressions(model, &findings);
 
@@ -188,7 +204,21 @@ int Run(int argc, char** argv) {
       write_file(lock_dot_path, "lock graph",
                  [&](std::ostream& os) { WriteLockGraphDot(lock_graph, os); }) &&
       write_file(lock_json_path, "lock graph",
-                 [&](std::ostream& os) { WriteLockGraphJson(lock_graph, os); });
+                 [&](std::ostream& os) { WriteLockGraphJson(lock_graph, os); }) &&
+      write_file(shared_state_path, "shared-state report",
+                 [&](std::ostream& os) {
+                   WriteSharedStateJson(shared_state, os);
+                 }) &&
+      write_file(view_escape_path, "view-escape report",
+                 [&](std::ostream& os) {
+                   std::vector<Finding> ve;
+                   for (const Finding& f : findings) {
+                     if (f.rule == "view-escape") ve.push_back(f);
+                   }
+                   WriteJson(ve, os);
+                 }) &&
+      write_file(sarif_path, "SARIF report",
+                 [&](std::ostream& os) { WriteSarif(findings, os); });
   if (!io_ok) return 2;
 
   if (!json_path.empty()) {

@@ -2,6 +2,7 @@
 // humans, a JSON findings report for CI artifacts.
 
 #include <map>
+#include <set>
 
 #include "analyzer.h"
 
@@ -87,6 +88,48 @@ void WriteJson(const std::vector<Finding>& findings, std::ostream& os) {
   }
   os << "\n  ],\n  \"total\": " << findings.size()
      << ",\n  \"unsuppressed\": " << unsuppressed << "\n}\n";
+}
+
+// Minimal SARIF 2.1.0: one run, one result per unsuppressed finding, rule
+// ids deduplicated into the driver descriptor. Enough for code-scanning
+// upload; nothing speculative.
+void WriteSarif(const std::vector<Finding>& findings, std::ostream& os) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) rules.insert(f.rule);
+  }
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\"driver\": {\"name\": \"miniraid-analyze\", "
+        "\"rules\": [";
+  bool first = true;
+  for (const std::string& r : rules) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"id\": ";
+    JsonEscape(r, os);
+    os << "}";
+  }
+  os << "]}},\n      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n        {\"ruleId\": ";
+    JsonEscape(f.rule, os);
+    os << ", \"level\": \"error\", \"message\": {\"text\": ";
+    JsonEscape(f.message, os);
+    os << "}, \"locations\": [{\"physicalLocation\": "
+          "{\"artifactLocation\": {\"uri\": ";
+    JsonEscape(f.file, os);
+    os << "}, \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+       << "}}}]}";
+  }
+  os << "\n      ]\n    }\n  ]\n}\n";
 }
 
 }  // namespace analyze

@@ -38,6 +38,8 @@ RULES = [
     "codec-symmetry",
     "lock-order",
     "protocol-effect",
+    "shared-state",
+    "view-escape",
 ]
 
 

@@ -12,7 +12,7 @@ class SubmitWindow {
 
   MR_RUNS_ON(managing) void Submit(int txn) { Track(txn); }
   MR_RUNS_ON(managing) void Close() { closed_ = true; }
-  MR_RUNS_ON(any) bool closed() const { return closed_; }
+  MR_RUNS_ON(managing) bool closed() const { return closed_; }
 
   bool operator==(const SubmitWindow& o) const {  // operators exempt
     return closed_ == o.closed_;

@@ -33,5 +33,6 @@ MR_RUNS_ON(client) int ReadShared(Site& site) {
 }
 
 MR_RUNS_ON(client) void MarshalledCrash(EventLoop& loop, Site& site) {
-  loop.Post([&site] { site.Crash(); });  // lambda runs on the loop
+  Site* target = &site;  // heap-lived object: by-value capture is sound
+  loop.Post([target] { target->Crash(); });  // lambda runs on the loop
 }

@@ -1,0 +1,68 @@
+// Fixture: two shared-state defects. (1) A field written from the managing
+// context and read from the loop context with no common mutex held, no
+// MR_GUARDED_BY, and no MR_CONTEXT_CONFINED waiver — a cross-context race.
+// (2) A field declared MR_GUARDED_BY one mutex while every observed access
+// holds a different one — the annotation and the locking disagree.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MR_CAPABILITY(x) __attribute__((capability(x)))
+#define MR_SCOPED_CAPABILITY __attribute__((scoped_lockable))
+#define MR_ACQUIRE(...) __attribute__((acquire_capability(__VA_ARGS__)))
+#define MR_RELEASE(...) __attribute__((release_capability(__VA_ARGS__)))
+#define MR_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#endif
+#endif
+#ifndef MR_CAPABILITY
+#define MR_CAPABILITY(x)
+#define MR_SCOPED_CAPABILITY
+#define MR_ACQUIRE(...)
+#define MR_RELEASE(...)
+#define MR_GUARDED_BY(x)
+#endif
+#if defined(__clang__)
+#define MR_RUNS_ON(ctx) __attribute__((annotate("mr_runs_on:" #ctx)))
+#else
+#define MR_RUNS_ON(ctx)
+#endif
+
+class MR_CAPABILITY("mutex") Mutex {
+ public:
+  void Lock() MR_ACQUIRE();
+  void Unlock() MR_RELEASE();
+};
+
+class MR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MR_ACQUIRE(mu);
+  ~MutexLock() MR_RELEASE();
+};
+
+// Defect 1: hits_ is written on the managing context and read on the loop
+// context with no synchronization whatsoever.
+class Tally {
+ public:
+  MR_RUNS_ON(managing) void Bump() { hits_ = hits_ + 1; }
+  MR_RUNS_ON(loop) int Snapshot() { return hits_; }
+
+ private:
+  int hits_ = 0;
+};
+
+// Defect 2: count_ claims mu_a_ as its guard, but both accessors lock
+// mu_b_ — whichever of the two the author meant, one of them is wrong.
+class Ledger {
+ public:
+  MR_RUNS_ON(managing) void Add() {
+    MutexLock lock(mu_b_);
+    count_ = count_ + 1;
+  }
+  MR_RUNS_ON(managing) int Total() {
+    MutexLock lock(mu_b_);
+    return count_;
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+  int count_ MR_GUARDED_BY(mu_a_) = 0;
+};

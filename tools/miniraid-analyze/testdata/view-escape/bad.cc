@@ -1,0 +1,68 @@
+// Fixture: four view-escape defects — every way a view of a function-local
+// buffer can outlive the buffer. (1) Stored into a field. (2) A raw
+// pointer into a local buffer returned past the frame. (3) Inserted into a
+// member container. (4) A stack local captured by reference in a lambda
+// handed to a deferred sink (EventLoop::Post) — the PR 8 gap: the lambda
+// runs after the frame is gone.
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+class EventLoop {
+ public:
+  void Post(std::function<void()> fn);
+};
+
+// (1) view_ outlives frame: the field points into Parse()'s dead buffer.
+class Parser {
+ public:
+  void Parse() {
+    std::string frame = Fetch();
+    std::string_view view(frame);
+    view_ = view;
+  }
+
+ private:
+  std::string Fetch();
+  std::string_view view_;
+};
+
+// (2) The returned pointer dangles the moment scratch is destroyed.
+class Renderer {
+ public:
+  const char* Render() {
+    std::string scratch = Build();
+    return scratch.c_str();
+  }
+
+ private:
+  std::string Build();
+};
+
+// (3) The container outlives the buffer every element points into.
+class Splitter {
+ public:
+  void Split() {
+    std::string line = Next();
+    std::string_view token(line);
+    parts_.push_back(token);
+  }
+
+ private:
+  std::string Next();
+  std::vector<std::string_view> parts_;
+};
+
+// (4) Post defers the lambda past Go()'s frame; &n is then a dangling
+// stack reference.
+class Worker {
+ public:
+  void Go() {
+    int n = 0;
+    loop_->Post([&n] { n = 1; });
+  }
+
+ private:
+  EventLoop* loop_;
+};

@@ -1,0 +1,64 @@
+// Fixture: view-shaped code whose lifetimes are actually sound, four ways.
+// (1) The arena pattern: a member view pointing into a member buffer —
+// field and buffer share the object's lifetime. (2) A synchronous sink
+// (PostAndWait) that completes before the frame returns, so stack captures
+// are the intended idiom. (3) A view parameter returned through — the
+// caller owns the buffer, not this frame. (4) Values captured by copy into
+// a deferred lambda.
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+class EventLoop {
+ public:
+  void Post(std::function<void()> fn);
+  void PostAndWait(std::function<void()> fn);
+};
+
+// (1) view_ points into buf_: both die with the Arena.
+class Arena {
+ public:
+  void Reindex() {
+    std::string_view view(buf_);
+    view_ = view;
+  }
+
+ private:
+  std::string buf_;
+  std::string_view view_;
+};
+
+// (2) PostAndWait blocks until the lambda has run on the loop; capturing
+// the frame by reference is the intended synchronous-handoff idiom.
+class Collector {
+ public:
+  int Sample() {
+    int total = 0;
+    loop_->PostAndWait([&total] { total = total + 1; });
+    return total;
+  }
+
+ private:
+  EventLoop* loop_;
+};
+
+// (3) The view roots in the caller's buffer, not this frame.
+class Echo {
+ public:
+  std::string_view First(std::string_view input) { return input; }
+};
+
+// (4) Copies into a deferred lambda carry their own storage.
+class Ticker {
+ public:
+  void Arm() {
+    int seq = next_;
+    loop_->Post([seq] {});
+    next_ = next_ + 1;
+  }
+
+ private:
+  EventLoop* loop_;
+  int next_ = 0;
+};

@@ -1,0 +1,26 @@
+// Fixture: the same deferred-capture defect as bad.cc, silenced by an
+// explicit allow() with the lifetime argument spelled out. The analyzer
+// must still SEE the defect (the JSON report shows a suppressed
+// view-escape finding); the comment keeps the exit code at zero.
+#include <functional>
+
+class EventLoop {
+ public:
+  void Post(std::function<void()> fn);
+  void Drain();
+};
+
+class Worker {
+ public:
+  void Go() {
+    int n = 0;
+    // The caller drains the loop before this frame returns (test harness
+    // only), so the reference never outlives the stack slot.
+    // miniraid-lint: allow(view-escape)
+    loop_->Post([&n] { n = 1; });
+    loop_->Drain();
+  }
+
+ private:
+  EventLoop* loop_;
+};
