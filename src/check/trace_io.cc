@@ -405,6 +405,13 @@ std::string TraceToJson(const CheckTrace& trace) {
         std::string(PolicyToken(trace.concurrency.deadlock_policy)).c_str(),
         static_cast<long>(trace.concurrency.lock_wait_timeout / 1000000));
   }
+  // Emitted only when group commit is on, for the same reason.
+  if (trace.batching.enabled()) {
+    out += StrFormat(
+        "  \"batching\": {\"max_batch\": %u, \"batch_linger_ms\": %ld},\n",
+        trace.batching.max_batch,
+        static_cast<long>(trace.batching.batch_linger / 1000000));
+  }
   out += "  \"note\": ";
   AppendJsonString(&out, trace.note);
   out += ",\n  \"actions\": [\n";
@@ -479,6 +486,15 @@ Result<CheckTrace> TraceFromJson(std::string_view json) {
     trace.concurrency.lock_wait_timeout = Milliseconds(GetNumberOr(
         conc, "lock_wait_timeout_ms",
         trace.concurrency.lock_wait_timeout / 1000000));
+  }
+  // Optional: absent = batching off (traces predating group commit).
+  if (auto bat_it = obj.find("batching");
+      bat_it != obj.end() && bat_it->second.type == JsonValue::Type::kObject) {
+    const JsonObject& bat = *bat_it->second.object;
+    trace.batching.max_batch = static_cast<uint32_t>(
+        GetNumberOr(bat, "max_batch", trace.batching.max_batch));
+    trace.batching.batch_linger = Milliseconds(GetNumberOr(
+        bat, "batch_linger_ms", trace.batching.batch_linger / 1000000));
   }
   auto actions_it = obj.find("actions");
   if (actions_it == obj.end() ||

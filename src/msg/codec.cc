@@ -43,11 +43,18 @@ Status Decoder::GetVarint(uint64_t* out) {
 }
 
 Status Decoder::GetString(std::string* out) {
+  std::string_view view;
+  MINIRAID_RETURN_IF_ERROR(GetStringView(&view));
+  out->assign(view);
+  return Status::Ok();
+}
+
+Status Decoder::GetStringView(std::string_view* out) {
   uint64_t n = 0;
   MINIRAID_RETURN_IF_ERROR(GetVarint(&n));
   if (n > remaining()) return Status::Corruption("string truncated");
-  out->assign(reinterpret_cast<const char*>(data_ + pos_),
-              static_cast<size_t>(n));
+  *out = std::string_view(reinterpret_cast<const char*>(data_ + pos_),
+                          static_cast<size_t>(n));
   pos_ += static_cast<size_t>(n);
   return Status::Ok();
 }

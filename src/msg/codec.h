@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -19,6 +21,14 @@ class Encoder {
  public:
   Encoder() = default;
 
+  /// Adopts `buf` as the output storage: contents are discarded, capacity
+  /// is kept. This is the buffer-reuse entry point — a FramePool hands the
+  /// same storage through many encode cycles so steady-state encoding
+  /// allocates nothing.
+  explicit Encoder(std::vector<uint8_t> buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU16(uint16_t v) { PutFixed(v); }
   void PutU32(uint32_t v) { PutFixed(v); }
@@ -30,6 +40,14 @@ class Encoder {
 
   /// Length-prefixed byte string.
   void PutString(const std::string& s);
+
+  /// Appends `n` raw bytes (no length prefix).
+  void PutBytes(const uint8_t* data, size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  /// Pre-sizes the buffer for at least `n` total bytes.
+  void reserve(size_t n) { buf_.reserve(n); }
 
   /// Length-prefixed vector of POD-encodable elements via a callback.
   template <typename T, typename F>
@@ -46,19 +64,65 @@ class Encoder {
  private:
   template <typename T>
   void PutFixed(T v) {
-    // Bytes are appended one by one (rather than staged in a local array
-    // handed to vector::insert) because GCC 12's -Warray-bounds misfires on
-    // the insert path at -O2 and the build is -Werror.
+    // Stage the little-endian bytes in a local array and append with one
+    // memcpy: a single amortized grow instead of sizeof(T) bounds-checked
+    // push_backs on the hottest encode path. GCC 12 misdiagnoses the
+    // append as out of bounds at -O2 (PR 105523 lineage) and the build is
+    // -Werror, so the false positive is suppressed locally for exactly
+    // that compiler.
+    uint8_t raw[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      raw[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
     const size_t old_size = buf_.size();
     buf_.resize(old_size + sizeof(T));
-    for (size_t i = 0; i < sizeof(T); ++i) {
-      buf_[old_size + i] = static_cast<uint8_t>(v >> (8 * i));
-    }
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+    std::memcpy(buf_.data() + old_size, raw, sizeof(T));
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
+#pragma GCC diagnostic pop
+#endif
   }
 
   /// Value type: encoders are stack-local to whichever context is
   /// serializing; the buffer never outlives the encode call chain.
   std::vector<uint8_t> buf_ MR_CONTEXT_CONFINED(any);
+};
+
+/// Recycles encode buffers between frames. Acquire() seeds an Encoder with
+/// previously released storage (capacity retained, contents cleared);
+/// Release() returns the frame's storage once the transport has consumed
+/// it. A plain free list, not a synchronized allocator: the owner confines
+/// it to one execution context or wraps it in a lock (SharedFramePool in
+/// net/transport.h does the latter for the multi-threaded send paths).
+class FramePool {
+ public:
+  Encoder Acquire() {
+    if (free_.empty()) return Encoder();
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    return Encoder(std::move(buf));
+  }
+
+  void Release(std::vector<uint8_t> buf) {
+    // Bound both the list length and the retained capacity so one huge
+    // frame (a wide batch, a full recovery-info table) does not pin its
+    // high-water mark forever.
+    if (free_.size() < kMaxFree && buf.capacity() <= kMaxRetainedCapacity) {
+      free_.push_back(std::move(buf));
+    }
+  }
+
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  static constexpr size_t kMaxFree = 16;
+  static constexpr size_t kMaxRetainedCapacity = 64 * 1024;
+  /// Value type like Encoder::buf_: confined to wherever the owning
+  /// instance lives (one loop context, or under the owner's lock).
+  std::vector<std::vector<uint8_t>> free_ MR_CONTEXT_CONFINED(any);
 };
 
 /// Bounds-checked reader over an encoded buffer. Every getter returns a
@@ -77,6 +141,14 @@ class Decoder {
   Status GetI64(int64_t* out);
   Status GetVarint(uint64_t* out);
   Status GetString(std::string* out);
+
+  /// Like GetString but yields a view into the frame instead of a copy.
+  /// The view is only valid while the decoded buffer is: callers that keep
+  /// it past the decode call chain are flagged by miniraid-analyze's
+  /// view-escape pass, which is what makes the zero-copy form safe to
+  /// offer at all. Use for decode-then-discard fields (logging, filtering,
+  /// comparisons) where GetString's copy is pure waste.
+  Status GetStringView(std::string_view* out);
 
   /// Length-prefixed vector; `get_element` decodes one element.
   template <typename T, typename F>

@@ -13,6 +13,8 @@
 
 namespace miniraid {
 
+class Encoder;
+
 /// Every message kind exchanged in the system. The first group implements
 /// the two-phase commit of Appendix A, the second the copier machinery, the
 /// third the control transactions of §1.1, and the last the managing site's
@@ -53,6 +55,16 @@ enum class MsgType : uint8_t {
   // Reliable-delivery machinery (lossy-network extension).
   kDecisionQuery = 20,  // in-doubt participant -> coordinator: outcome?
   kChannelAck = 21,     // ReliableChannel ack (value rides in the header)
+
+  // Group commit (batched 2PC extension, docs/PROTOCOL.md "Batched
+  // two-phase commit"): one frame carries N member transactions that share
+  // a participant set, so the coordination round and the per-participant
+  // fail-lock table update are paid once per batch instead of once per
+  // transaction.
+  kBatchPrepare = 22,     // coordinator -> participant: N members' writes
+  kBatchPrepareAck = 23,  // participant -> coordinator
+  kBatchCommit = 24,      // coordinator -> participant: commit/abort split
+  kBatchCommitAck = 25,   // participant -> coordinator
 };
 
 std::string_view MsgTypeName(MsgType type);
@@ -277,6 +289,64 @@ struct ChannelAckArgs {
       default;
 };
 
+/// One member transaction inside a batched prepare: its id and its copy
+/// updates. The session vector and participant set ride once at the batch
+/// level — sharing them is what makes the batch one table update.
+struct BatchMember {
+  TxnId txn = 0;
+  std::vector<ItemWrite> writes;
+  friend bool operator==(const BatchMember&, const BatchMember&) = default;
+};
+
+/// Batched prepare: N member transactions that share one participant set
+/// and were validated under one coordinator session vector. Semantically
+/// equivalent to N kPrepare messages whose session_vector/participants
+/// fields are identical; a batch of one is exactly one such kPrepare.
+struct BatchPrepareArgs {
+  /// Coordinator-local batch id, unique per coordinator (like TxnId).
+  uint64_t batch = 0;
+  std::vector<SessionEntryWire> session_vector;
+  /// Shared participant set (coordinator included), as in PrepareArgs.
+  std::vector<SiteId> participants;
+  std::vector<BatchMember> members;
+  friend bool operator==(const BatchPrepareArgs&,
+                         const BatchPrepareArgs&) = default;
+};
+
+struct BatchPrepareAckArgs {
+  uint64_t batch = 0;
+  /// False = whole-batch refusal on session-vector validation (the same
+  /// veto as PrepareAckArgs::accepted; the vector rides back below). All
+  /// members are then aborted by the coordinator: they were all validated
+  /// under the same stale view.
+  bool accepted = true;
+  std::vector<SessionEntryWire> session_vector;
+  /// Member transactions this participant refused individually (lock
+  /// conflicts under wait-die). Refusal of one member must not abort its
+  /// batch-mates; the coordinator demultiplexes per member.
+  std::vector<TxnId> refused;
+  friend bool operator==(const BatchPrepareAckArgs&,
+                         const BatchPrepareAckArgs&) = default;
+};
+
+/// Batched decision: which members commit and which abort, in one frame.
+/// Participants apply all commits and then run fail-lock maintenance once
+/// over the union of the committed writes (the rows are identical to N
+/// separate updates because the participant set is shared).
+struct BatchCommitArgs {
+  uint64_t batch = 0;
+  std::vector<TxnId> commits;
+  std::vector<TxnId> aborts;
+  friend bool operator==(const BatchCommitArgs&,
+                         const BatchCommitArgs&) = default;
+};
+
+struct BatchCommitAckArgs {
+  uint64_t batch = 0;
+  friend bool operator==(const BatchCommitAckArgs&,
+                         const BatchCommitAckArgs&) = default;
+};
+
 using Payload =
     std::variant<TxnRequestArgs, TxnResult, PrepareArgs, PrepareAckArgs,
                  CommitArgs, CommitAckArgs, AbortArgs, CopyRequestArgs,
@@ -284,7 +354,8 @@ using Payload =
                  RecoveryAnnounceArgs, RecoveryInfoArgs, FailureAnnounceArgs,
                  FailureAckArgs, CopyCreateArgs, CopyCreateAckArgs,
                  FailSiteArgs, RecoverSiteArgs, ShutdownArgs,
-                 DecisionQueryArgs, ChannelAckArgs>;
+                 DecisionQueryArgs, ChannelAckArgs, BatchPrepareArgs,
+                 BatchPrepareAckArgs, BatchCommitArgs, BatchCommitAckArgs>;
 
 /// One protocol message. `from`/`to` identify sites (the managing site has
 /// an id too). The payload variant index always matches `type`.
@@ -322,6 +393,11 @@ Message MakeMessage(SiteId from, SiteId to, Payload payload);
 
 /// Serializes `msg` to the wire encoding (without any transport framing).
 std::vector<uint8_t> EncodeMessage(const Message& msg);
+
+/// Serializes `msg` into `enc` (cleared first). With an encoder seeded from
+/// a FramePool buffer this is the allocation-free encode path: the frame is
+/// built in recycled storage instead of a fresh vector per message.
+void EncodeMessageInto(const Message& msg, Encoder& enc);
 
 /// Parses a message previously produced by EncodeMessage. Returns
 /// kCorruption for malformed input; never crashes on untrusted bytes.

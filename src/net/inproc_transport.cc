@@ -32,11 +32,16 @@ Status InProcTransport::Send(const Message& msg) {
   }
   std::function<void()> deliver;
   if (options_.codec_roundtrip) {
-    std::vector<uint8_t> wire = EncodeMessage(msg);
-    deliver = [endpoint, wire = std::move(wire)] {
+    // Encode into pooled storage; the destination loop returns the buffer
+    // to the pool right after decoding, so the frame's heap allocation is
+    // amortized across messages instead of paid per Send.
+    Encoder enc = pool_->Acquire();
+    EncodeMessageInto(msg, enc);
+    deliver = [endpoint, pool = pool_, wire = enc.TakeBuffer()]() mutable {
       Result<Message> decoded = DecodeMessage(wire);
       MR_CHECK(decoded.ok()) << "in-process codec round-trip failed: "
                              << decoded.status().ToString();
+      pool->Release(std::move(wire));
       endpoint.handler->OnMessage(*decoded);
     };
   } else {

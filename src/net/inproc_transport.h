@@ -2,6 +2,7 @@
 #define MINIRAID_NET_INPROC_TRANSPORT_H_
 
 #include <atomic>
+#include <memory>
 #include <unordered_map>
 
 #include "common/mutex.h"
@@ -75,6 +76,12 @@ class InProcTransport : public Transport {
   /// happens while the lock is held.
   Mutex faults_mu_;
   FaultInjector injector_ MR_GUARDED_BY(faults_mu_);
+  /// Frame buffers for the codec-roundtrip path cycle sender -> receiver ->
+  /// pool: the destination loop returns each buffer after decoding. Held by
+  /// shared_ptr because in-flight deliver closures may outlive the
+  /// transport during teardown.
+  std::shared_ptr<SharedFramePool> pool_ =
+      std::make_shared<SharedFramePool>();
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> messages_dropped_{0};
 };

@@ -57,6 +57,11 @@ struct ReliableChannelOptions {
 /// going the other way. Acks themselves travel with seq = 0 and are never
 /// acked or retransmitted (the next data arrival re-triggers one).
 ///
+/// Retransmissions re-enter the inner transport's Send per attempt; the
+/// transports encode through a recycled FramePool buffer (see
+/// SharedFramePool in transport.h), so a retry storm re-sends frames
+/// without allocating one buffer per attempt.
+///
 /// The channel is modelled below the protocol engine (kernel/NIC level):
 /// a simulated Site crash does not reset channel state, so sequence
 /// numbers stay continuous across failure and recovery, and messages to a

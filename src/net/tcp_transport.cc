@@ -245,18 +245,31 @@ Status TcpTransport::Send(const Message& msg) {
     }
     duplicate = injector_.ShouldDuplicate();
   }
-  std::vector<uint8_t> body = EncodeMessage(msg);
-  MINIRAID_RETURN_IF_ERROR(SendFrame(msg.to, body));
+  // Encode into pooled storage: the frame buffer cycles back to the pool
+  // once the socket write consumed it, so repeated sends (and channel
+  // retransmissions) reuse capacity instead of allocating per message.
+  Encoder enc = pool_.Acquire();
+  EncodeMessageInto(msg, enc);
+  std::vector<uint8_t> body = enc.TakeBuffer();
+  Status status = SendFrame(msg.to, body);
+  if (!status.ok()) {
+    pool_.Release(std::move(body));
+    return status;
+  }
   if (duplicate) {
     const Duration delay = options_.faults.duplicate_delay;
     if (delay > 0) {
-      loop_->ScheduleAfter(delay, [this, to = msg.to, b = std::move(body)] {
-        (void)SendFrame(to, b);  // stopping_ is re-checked inside
-      });
-    } else {
-      (void)SendFrame(msg.to, body);
+      // The delayed copy owns the buffer; it returns it after the write.
+      loop_->ScheduleAfter(
+          delay, [this, to = msg.to, b = std::move(body)]() mutable {
+            (void)SendFrame(to, b);  // stopping_ is re-checked inside
+            pool_.Release(std::move(b));
+          });
+      return Status::Ok();
     }
+    (void)SendFrame(msg.to, body);
   }
+  pool_.Release(std::move(body));
   return Status::Ok();
 }
 

@@ -115,6 +115,11 @@ class TcpTransport : public Transport {
   Mutex faults_mu_ MR_ACQUIRED_BEFORE(loop_->mu_);
   FaultInjector injector_ MR_GUARDED_BY(faults_mu_);
 
+  /// Recycles frame buffers across Send calls (including ReliableChannel
+  /// retransmissions, which re-enter Send per attempt), so steady-state
+  /// encoding does not allocate per message.
+  SharedFramePool pool_;
+
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> messages_received_{0};
   std::atomic<uint64_t> messages_dropped_{0};

@@ -1,11 +1,33 @@
 #ifndef MINIRAID_NET_TRANSPORT_H_
 #define MINIRAID_NET_TRANSPORT_H_
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "msg/codec.h"
 #include "msg/message.h"
 
 namespace miniraid {
+
+/// A FramePool behind a mutex, for transport send paths that run on many
+/// threads (every site's loop plus the client). The lock is held only
+/// around acquire/release of the buffer free list; encoding and socket
+/// writes happen outside it.
+class SharedFramePool {
+ public:
+  MR_RUNS_ON(any) Encoder Acquire() {
+    MutexLock lock(mu_);
+    return pool_.Acquire();
+  }
+  MR_RUNS_ON(any) void Release(std::vector<uint8_t> buf) {
+    MutexLock lock(mu_);
+    pool_.Release(std::move(buf));
+  }
+
+ private:
+  Mutex mu_;
+  FramePool pool_ MR_GUARDED_BY(mu_);
+};
 
 /// Consumer of incoming messages. Each site implements this; the transport
 /// invokes it in the site's execution context (see SiteRuntime's threading

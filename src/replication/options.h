@@ -63,6 +63,28 @@ struct ConcurrencyOptions {
   }
 };
 
+/// Group commit (batched 2PC). Concurrent coordinations at one site whose
+/// participant sets are identical — under full replication (assumption 4)
+/// that is every concurrent transaction — drain into one BatchPrepare /
+/// BatchCommit round instead of N independent 2PC rounds, and the
+/// participants' fail-lock maintenance for the whole batch collapses into
+/// a single table update. Requires kTwoPhaseLocking (a serial site never
+/// has two coordinations in flight, so there is nothing to batch).
+struct BatchingOptions {
+  /// Largest number of member transactions per batch. <= 1 disables
+  /// batching entirely — the default, and the paper's measured behavior
+  /// (one 2PC round per transaction).
+  uint32_t max_batch = 1;
+
+  /// How long the first member of a forming batch waits for company
+  /// before the batch is flushed anyway. 0 flushes at the end of the
+  /// current scheduling step (members only coalesce when they become
+  /// ready back-to-back, e.g. drained together from the request queue).
+  Duration batch_linger = 0;
+
+  bool enabled() const { return max_batch > 1; }
+};
+
 /// Static configuration shared by every site in a cluster.
 struct SiteOptions {
   /// Number of database sites (the managing site is extra, see
@@ -137,6 +159,12 @@ struct SiteOptions {
   /// the paper's experiments run without concurrency control
   /// (assumption 2). See ConcurrencyOptions.
   ConcurrencyOptions concurrency;
+
+  /// Group commit (batched 2PC): coalesces concurrent coordinations that
+  /// share a participant set into one BatchPrepare/BatchCommit round with
+  /// a single fail-lock table update per participant. Only effective under
+  /// kTwoPhaseLocking; defaults off (max_batch = 1). See BatchingOptions.
+  BatchingOptions batching;
 
   /// Optional shared protocol trace (not owned; must outlive the sites).
   /// Only enable under the simulator — TraceLog is not thread-safe.

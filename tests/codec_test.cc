@@ -147,5 +147,102 @@ TEST(CodecTest, RandomValuesRoundTrip) {
   }
 }
 
+TEST(CodecTest, PutFixedAppendsAfterStringContent) {
+  // Regression for the byte-at-a-time PutFixed workaround: the memcpy
+  // rewrite must append at the write cursor after arbitrary prior content
+  // (including across vector reallocation), not scribble from offset 0.
+  Encoder enc;
+  enc.PutString(std::string(300, 'x'));  // force at least one realloc later
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefULL);
+  Decoder dec(enc.buffer());
+  std::string s;
+  uint32_t u32;
+  uint64_t u64;
+  ASSERT_TRUE(dec.GetString(&s).ok());
+  ASSERT_TRUE(dec.GetU32(&u32).ok());
+  ASSERT_TRUE(dec.GetU64(&u64).ok());
+  EXPECT_EQ(s.size(), 300u);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CodecTest, PutBytesAndReserveMatchPushByteEncoding) {
+  Encoder manual;
+  const uint8_t raw[] = {1, 2, 3, 4, 5};
+  for (uint8_t b : raw) manual.PutU8(b);
+  Encoder bulk;
+  bulk.reserve(sizeof(raw));
+  bulk.PutBytes(raw, sizeof(raw));
+  EXPECT_EQ(bulk.buffer(), manual.buffer());
+}
+
+TEST(CodecTest, ReuseConstructorKeepsCapacityDiscardsContents) {
+  Encoder first;
+  first.PutString(std::string(1000, 'a'));
+  std::vector<uint8_t> storage = first.TakeBuffer();
+  const size_t cap = storage.capacity();
+  ASSERT_GE(cap, 1000u);
+
+  Encoder reused(std::move(storage));
+  EXPECT_EQ(reused.size(), 0u);  // contents discarded...
+  reused.PutU64(7);
+  Encoder fresh;
+  fresh.PutU64(7);
+  EXPECT_EQ(reused.buffer(), fresh.buffer());  // ...encoding unaffected
+  EXPECT_GE(reused.TakeBuffer().capacity(), cap);  // ...capacity kept
+}
+
+TEST(CodecTest, FramePoolRecyclesBuffersWithinBounds) {
+  FramePool pool;
+  Encoder enc = pool.Acquire();
+  enc.PutString(std::string(2000, 'z'));
+  std::vector<uint8_t> buf = enc.TakeBuffer();
+  const uint8_t* data = buf.data();
+  pool.Release(std::move(buf));
+  EXPECT_EQ(pool.free_count(), 1u);
+
+  // The next acquire hands the same storage back: no allocation in steady
+  // state.
+  Encoder again = pool.Acquire();
+  again.PutU8(1);
+  EXPECT_EQ(again.buffer().data(), data);
+  EXPECT_EQ(pool.free_count(), 0u);
+
+  // An oversized frame is dropped instead of pinning its capacity.
+  std::vector<uint8_t> huge;
+  huge.reserve(1u << 20);
+  pool.Release(std::move(huge));
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(CodecTest, GetStringViewIsBoundsChecked) {
+  Encoder enc;
+  enc.PutString("payload");
+  // Valid: the view aliases the wire bytes.
+  {
+    Decoder dec(enc.buffer());
+    std::string_view v;
+    ASSERT_TRUE(dec.GetStringView(&v).ok());
+    EXPECT_EQ(v, "payload");
+    EXPECT_TRUE(dec.AtEnd());
+  }
+  // A declared length past the end of the buffer must be rejected, not
+  // read out of bounds — including every truncation of the valid frame.
+  for (size_t cut = 0; cut < enc.size(); ++cut) {
+    Decoder dec(enc.buffer().data(), cut);
+    std::string_view v;
+    EXPECT_EQ(dec.GetStringView(&v).code(), StatusCode::kCorruption)
+        << "cut=" << cut;
+  }
+  // An absurd length prefix with no payload behind it.
+  Encoder evil;
+  evil.PutVarint(1ULL << 32);
+  Decoder dec(evil.buffer());
+  std::string_view v;
+  EXPECT_EQ(dec.GetStringView(&v).code(), StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace miniraid

@@ -140,6 +140,37 @@ TEST(MessageTest, BadEnumValuesRejected) {
   EXPECT_EQ(DecodeMessage(wire).status().code(), StatusCode::kCorruption);
 }
 
+TEST(MessageTest, RoundTripBatchMessages) {
+  BatchPrepareArgs prepare;
+  prepare.batch = 9;
+  prepare.session_vector = {SessionEntryWire{2, SiteStatus::kUp},
+                            SessionEntryWire{1, SiteStatus::kDown}};
+  prepare.participants = {0, 1, 2};
+  prepare.members = {BatchMember{7, {ItemWrite{3, 9}, ItemWrite{1, 4}}},
+                     BatchMember{8, {ItemWrite{0, 2}}}};
+  ExpectRoundTrip(MakeMessage(0, 1, std::move(prepare)));
+
+  ExpectRoundTrip(MakeMessage(1, 0, BatchPrepareAckArgs{9, true, {}, {8}}));
+  BatchPrepareAckArgs veto;
+  veto.batch = 9;
+  veto.accepted = false;
+  veto.session_vector = {SessionEntryWire{3, SiteStatus::kUp}};
+  ExpectRoundTrip(MakeMessage(1, 0, std::move(veto)));
+
+  ExpectRoundTrip(MakeMessage(0, 1, BatchCommitArgs{9, {7}, {8}}));
+  ExpectRoundTrip(MakeMessage(1, 0, BatchCommitAckArgs{9}));
+}
+
+TEST(MessageTest, EmptyBatchVectorsRoundTrip) {
+  // Degenerate but wire-legal shapes: a member with no writes, an
+  // abort-only commit frame (the whole-batch-abort notification), an ack
+  // with nothing refused.
+  ExpectRoundTrip(
+      MakeMessage(0, 1, BatchPrepareArgs{1, {}, {}, {BatchMember{5, {}}}}));
+  ExpectRoundTrip(MakeMessage(0, 1, BatchCommitArgs{1, {}, {5, 6}}));
+  ExpectRoundTrip(MakeMessage(1, 0, BatchPrepareAckArgs{1, true, {}, {}}));
+}
+
 TEST(MessageTest, EveryTruncationFailsCleanly) {
   // Property: no prefix of a valid message decodes successfully, and none
   // crashes. Exercises bounds checks in every payload decoder.
@@ -160,6 +191,13 @@ TEST(MessageTest, EveryTruncationFailsCleanly) {
   txn.txn.id = 2;
   txn.txn.ops = {Operation::Write(1, 2)};
   corpus.push_back(MakeMessage(4, 0, std::move(txn)));
+  BatchPrepareArgs batch;
+  batch.batch = 7;
+  batch.session_vector = {SessionEntryWire{2, SiteStatus::kUp}};
+  batch.participants = {0, 1};
+  batch.members = {BatchMember{3, {ItemWrite{1, 9}}}, BatchMember{4, {}}};
+  corpus.push_back(MakeMessage(0, 1, std::move(batch)));
+  corpus.push_back(MakeMessage(0, 1, BatchCommitArgs{7, {3}, {4}}));
 
   for (const Message& msg : corpus) {
     const std::vector<uint8_t> wire = EncodeMessage(msg);
@@ -184,11 +222,11 @@ TEST(MessageTest, RandomBytesNeverCrashDecoder) {
 
 TEST(MessageTest, MsgTypeNamesAreUnique) {
   std::set<std::string_view> names;
-  for (int t = 0; t <= static_cast<int>(MsgType::kChannelAck); ++t) {
+  for (int t = 0; t <= static_cast<int>(MsgType::kBatchCommitAck); ++t) {
     names.insert(MsgTypeName(static_cast<MsgType>(t)));
   }
   EXPECT_EQ(names.size(),
-            static_cast<size_t>(MsgType::kChannelAck) + 1);
+            static_cast<size_t>(MsgType::kBatchCommitAck) + 1);
 }
 
 TEST(MessageTest, ChannelSequenceNumbersRoundTrip) {
